@@ -1,0 +1,311 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (S5) against this repository's implementation, and
+   runs Bechamel micro-benchmarks of the underlying per-experiment
+   operations.
+
+   Environment knobs:
+     REFINE_SAMPLES   experiments per (program, tool) cell
+                      (default 1068, the paper's Leveugle sizing for 3%
+                      error at 95% confidence; set e.g. 200 for a quick
+                      pass — the full default run takes ~20 minutes)
+     REFINE_SEED      master PRNG seed (default 20170712)
+     REFINE_PROGRAMS  comma-separated program filter (default: all 14)
+     REFINE_BECHAMEL  set to 0 to skip the Bechamel micro-benchmarks *)
+
+module T = Refine_core.Tool
+module E = Refine_campaign.Experiment
+module Rep = Refine_campaign.Report
+module Reg = Refine_bench_progs.Registry
+module Tbl = Refine_support.Table
+
+let getenv_default name default =
+  match Sys.getenv_opt name with Some v when v <> "" -> v | _ -> default
+
+let samples = int_of_string (getenv_default "REFINE_SAMPLES" "1068")
+let seed = int_of_string (getenv_default "REFINE_SEED" "20170712")
+
+let programs =
+  match Sys.getenv_opt "REFINE_PROGRAMS" with
+  | Some s when s <> "" -> String.split_on_char ',' s |> List.map String.trim
+  | _ -> Reg.names
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ---- Table 3: benchmark programs and their input ----------------------- *)
+
+let print_table3 () =
+  section "Table 3 - benchmark programs and their input";
+  Tbl.print
+    ~header:[ "Program"; "Input (this repro | paper)" ]
+    (List.map (fun n -> let b = Reg.find n in [ b.Reg.name; b.Reg.input ]) programs)
+
+(* ---- statistical setting (paper S5.3) ---------------------------------- *)
+
+let print_setting () =
+  section "Statistical setting (Leveugle et al. sample sizing)";
+  let paper_n = Refine_stats.Samplesize.paper_sample_count in
+  Printf.printf "paper sample count (e<=3%%, 95%%): n = %d (paper: 1,068)\n" paper_n;
+  let margin = Refine_stats.Samplesize.margin_of ~samples ~confidence:0.95 () in
+  Printf.printf "this run: n = %d per (program, tool) -> margin of error <= %.1f%% at 95%%\n"
+    samples (100.0 *. margin);
+  Printf.printf "total experiments: %d programs x 3 tools x %d = %d\n"
+    (List.length programs) samples
+    (List.length programs * 3 * samples)
+
+(* ---- Listings 1 & 2: machine-only instructions and LLFI interference --- *)
+
+let static_counts (m : Refine_ir.Ir.modul) =
+  let funcs, _ = Refine_backend.Compile.to_mir m in
+  let module M = Refine_mir.Minstr in
+  let count p = List.fold_left (fun acc mf ->
+      List.fold_left (fun acc (b : Refine_mir.Mfunc.mblock) ->
+          acc + List.length (List.filter p b.code)) acc mf.Refine_mir.Mfunc.blocks)
+      0 funcs
+  in
+  let total = count (fun _ -> true) in
+  let stack = count (fun i -> M.classify i = M.Cstack) in
+  let spill_slots =
+    List.fold_left (fun acc mf -> acc + (mf.Refine_mir.Mfunc.frame_bytes / 8)) 0 funcs
+  in
+  (total, stack, spill_slots)
+
+let print_listings () =
+  section "Listings 1 & 2 - machine-only instructions and codegen interference (HPCCG)";
+  let src = (Reg.find "HPCCG-1.0").Reg.source in
+  let clean = Refine_minic.Frontend.compile src in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 clean;
+  let ir_instrs =
+    List.fold_left (fun acc f -> acc + Refine_ir.Printer.count_instrs f) 0
+      clean.Refine_ir.Ir.funcs
+  in
+  let t_clean, s_clean, fs_clean = static_counts clean in
+  let llfi = Refine_minic.Frontend.compile src in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 llfi;
+  ignore (Refine_core.Llfi_pass.run llfi);
+  let t_llfi, s_llfi, fs_llfi = static_counts llfi in
+  Printf.printf
+    "IR instructions (LLFI's entire view):            %4d\n" ir_instrs;
+  Printf.printf
+    "machine instructions, clean binary:              %4d (%d stack-class, invisible at IR level)\n"
+    t_clean s_clean;
+  Printf.printf
+    "machine instructions after LLFI instrumentation: %4d (%d stack-class)\n" t_llfi s_llfi;
+  Printf.printf
+    "frame slots (allocas + spills): clean %d -> LLFI %d (spilling induced by injectFault calls, cf. Listing 2c)\n"
+    fs_clean fs_llfi
+
+(* ---- campaign ----------------------------------------------------------- *)
+
+let run_campaign () =
+  let progs = List.map (fun n -> (n, (Reg.find n).Reg.source)) programs in
+  let t0 = Unix.gettimeofday () in
+  let cells = E.run_matrix ~samples ~seed progs Rep.tools in
+  Printf.printf "\n[campaign: %d experiments in %.1fs]\n"
+    (List.length programs * 3 * samples)
+    (Unix.gettimeofday () -. t0);
+  cells
+
+let print_figure4 cells =
+  section "Figure 4 - fault-injection outcome distributions";
+  List.iter
+    (fun p ->
+      print_string (Rep.figure4_program cells p);
+      print_string (Rep.figure4_pmf cells p);
+      print_newline ())
+    programs
+
+let print_table4 cells =
+  if List.mem "AMG2013" programs then begin
+    section "Table 4 - contingency table, LLFI vs PINFI (AMG2013)";
+    let a = E.find_cell cells ~program:"AMG2013" ~tool:T.Llfi in
+    let b = E.find_cell cells ~program:"AMG2013" ~tool:T.Pinfi in
+    print_string (Rep.contingency_table a b)
+  end
+
+let print_table5 cells =
+  section "Table 5 - chi-squared tests (alpha = 0.05)";
+  let rows = Rep.chi2_rows cells programs in
+  print_string (Rep.table5 rows);
+  let llfi_sig =
+    List.length (List.filter (fun r -> r.Rep.llfi_vs_pinfi.Refine_stats.Chi2.significant) rows)
+  in
+  let refine_sig =
+    List.length (List.filter (fun r -> r.Rep.refine_vs_pinfi.Refine_stats.Chi2.significant) rows)
+  in
+  Printf.printf
+    "LLFI significantly different from PINFI: %d/%d programs (paper: 14/14)\n" llfi_sig
+    (List.length rows);
+  Printf.printf
+    "REFINE significantly different from PINFI: %d/%d programs (paper: 0/14)\n" refine_sig
+    (List.length rows)
+
+let print_table6 cells =
+  section "Table 6 - complete outcome frequencies";
+  print_string (Rep.table6 cells programs)
+
+let print_figure5 cells =
+  section "Figure 5 - experimentation time";
+  print_string (Rep.figure5 cells programs)
+
+(* ---- Bechamel micro-benchmarks ------------------------------------------ *)
+
+let bechamel_section () =
+  let open Bechamel in
+  let open Toolkit in
+  section "Bechamel micro-benchmarks (the unit operation each table/figure repeats)";
+  let src = (Reg.find "DC").Reg.source in
+  let p_llfi = T.prepare T.Llfi src in
+  let p_refine = T.prepare T.Refine src in
+  let p_pinfi = T.prepare T.Pinfi src in
+  let rng = Refine_support.Prng.create 99 in
+  let inject p () = ignore (T.run_injection p (Refine_support.Prng.split rng)) in
+  let chi2_input = [| [| 395; 168; 505 |]; [| 269; 70; 729 |] |] in
+  let tests =
+    [
+      Test.make ~name:"figure4 injection-llfi(DC)" (Staged.stage (inject p_llfi));
+      Test.make ~name:"figure4 injection-refine(DC)" (Staged.stage (inject p_refine));
+      Test.make ~name:"figure4 injection-pinfi(DC)" (Staged.stage (inject p_pinfi));
+      Test.make ~name:"table4+5 chi-squared-test"
+        (Staged.stage (fun () -> ignore (Refine_stats.Chi2.test chi2_input)));
+      Test.make ~name:"table6 classify-output"
+        (Staged.stage (fun () ->
+             ignore
+               (Refine_core.Fault.classify p_pinfi.T.profile
+                  {
+                    Refine_machine.Exec.status = Refine_machine.Exec.Exited 0;
+                    output = p_pinfi.T.profile.Refine_core.Fault.golden_output;
+                    steps = 0L;
+                    cost = 0L;
+                  })));
+      Test.make ~name:"figure5 compile-pipeline(DC)"
+        (Staged.stage (fun () ->
+             let m = Refine_minic.Frontend.compile src in
+             Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+             ignore (Refine_backend.Compile.compile m)));
+      Test.make ~name:"listing1+2 refine-backend-pass(DC)"
+        (Staged.stage (fun () ->
+             let m = Refine_minic.Frontend.compile src in
+             Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+             let funcs, _ = Refine_backend.Compile.to_mir m in
+             List.iter (fun mf -> ignore (Refine_core.Refine_pass.run mf)) funcs));
+    ]
+  in
+  let test = Test.make_grouped ~name:"refine" ~fmt:"%s %s" tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let raw_results = Benchmark.all cfg instances test in
+  let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
+  let results = Analyze.merge ols instances results in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _ v ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          let cell =
+            match Analyze.OLS.estimates ols_result with
+            | Some (est :: _) -> Printf.sprintf "%.0f" est
+            | _ -> "n/a"
+          in
+          rows := (name, cell) :: !rows)
+        v)
+    results;
+  let rows = List.sort compare !rows in
+  Tbl.print
+    ~align:[ Tbl.Left; Tbl.Right ]
+    ~header:[ "operation"; "ns/run" ]
+    (List.map (fun (n, e) -> [ n; e ]) rows)
+
+(* ---- extensions: §4.5 opcode corruption, cited multi-bit variants,
+   and the PreFI state-saving ablation ------------------------------------ *)
+
+let extensions_section () =
+  section "Extensions - opcode corruption (paper par. 4.5), double-bit faults, PreFI ablation";
+  let src = (Reg.find "EP").Reg.source in
+  let n = min samples 200 in
+  (* opcode corruption *)
+  let m = Refine_minic.Frontend.compile src in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+  let image = Refine_backend.Compile.compile m in
+  let p = Refine_core.Opcode_fi.profile image in
+  let rng = Refine_support.Prng.create seed in
+  let tally = Array.make 3 0 in
+  for _ = 1 to n do
+    let e = Refine_core.Opcode_fi.run_injection image p (Refine_support.Prng.split rng) in
+    (match e.Refine_core.Fault.outcome with
+    | Refine_core.Fault.Crash -> tally.(0) <- tally.(0) + 1
+    | Refine_core.Fault.Soc -> tally.(1) <- tally.(1) + 1
+    | Refine_core.Fault.Benign -> tally.(2) <- tally.(2) + 1)
+  done;
+  Printf.printf
+    "opcode corruption on EP (%Ld corruptible dynamic instrs, n=%d):\n  crash %d  SOC %d  benign %d\n"
+    p.Refine_core.Fault.dyn_count n tally.(0) tally.(1) tally.(2);
+  (* double-bit vs single-bit PINFI *)
+  let run_flips flips =
+    let prepared = T.prepare T.Pinfi src in
+    let rng = Refine_support.Prng.create (seed + flips) in
+    let t = Array.make 3 0 in
+    for _ = 1 to n do
+      let r = Refine_support.Prng.split rng in
+      let target =
+        Int64.add 1L (Refine_support.Prng.int64 r prepared.T.profile.Refine_core.Fault.dyn_count)
+      in
+      let ctrl = Refine_core.Pinfi.create ~flips (Refine_core.Runtime.Inject { target; rng = r }) in
+      let eng = Refine_machine.Exec.create prepared.T.image in
+      Refine_core.Pinfi.attach ctrl eng;
+      let res =
+        Refine_machine.Exec.run
+          ~max_cost:(Int64.mul 10L prepared.T.profile.Refine_core.Fault.profile_cost) eng
+      in
+      match Refine_core.Fault.classify prepared.T.profile res with
+      | Refine_core.Fault.Crash -> t.(0) <- t.(0) + 1
+      | Refine_core.Fault.Soc -> t.(1) <- t.(1) + 1
+      | Refine_core.Fault.Benign -> t.(2) <- t.(2) + 1
+    done;
+    t
+  in
+  let one = run_flips 1 and two = run_flips 2 in
+  Printf.printf
+    "multi-bit model on EP (n=%d): 1-bit crash/SOC/benign %d/%d/%d ; 2-bit %d/%d/%d\n" n
+    one.(0) one.(1) one.(2) two.(0) two.(1) two.(2);
+  (* PreFI flags-saving ablation: without it, even profiling diverges *)
+  let m2 = Refine_minic.Frontend.compile src in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m2;
+  let funcs2, _ = Refine_backend.Compile.to_mir m2 in
+  List.iter (fun mf -> ignore (Refine_core.Refine_pass.run ~save_flags:false mf)) funcs2;
+  let image2 = Refine_backend.Compile.emit m2 funcs2 in
+  let ctrl = Refine_core.Runtime.create Refine_core.Runtime.Profile in
+  let eng = Refine_machine.Exec.create ~ext_extra:(Refine_core.Runtime.refine_handlers ctrl) image2 in
+  let r = Refine_machine.Exec.run ~max_cost:500_000_000L eng in
+  let golden = (T.prepare T.Pinfi src).T.profile.Refine_core.Fault.golden_output in
+  let diverged =
+    match r.Refine_machine.Exec.status with
+    | Refine_machine.Exec.Exited 0 -> r.Refine_machine.Exec.output <> golden
+    | _ -> true
+  in
+  Printf.printf
+    "PreFI ablation (no FLAGS save/restore): fault-free run %s - Figure 2's state saving is load-bearing\n"
+    (if diverged then "DIVERGES from golden output" else "unexpectedly matches")
+
+(* ---- main ---------------------------------------------------------------- *)
+
+let () =
+  (* the simulator allocates small boxed values at a high rate; a larger
+     minor heap keeps the GC out of the hot loop *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
+  Printf.printf
+    "REFINE reproduction - evaluation harness (paper: SC'17, 10.1145/3126908.3126972)\n";
+  Printf.printf "programs: %s\n" (String.concat ", " programs);
+  print_table3 ();
+  print_setting ();
+  print_listings ();
+  let cells = run_campaign () in
+  print_figure4 cells;
+  print_table4 cells;
+  print_table5 cells;
+  print_table6 cells;
+  print_figure5 cells;
+  if getenv_default "REFINE_EXTENSIONS" "1" <> "0" then extensions_section ();
+  if getenv_default "REFINE_BECHAMEL" "1" <> "0" then bechamel_section ();
+  print_newline ()

@@ -1,0 +1,240 @@
+(* refinec — command-line driver for the REFINE toolchain.
+
+   Mirrors the paper's user-level workflow (§4.3/§4.4): the compiler flags
+   of Table 2 select what gets instrumented, profiling produces the dynamic
+   instruction count and golden output, and injection runs classify
+   outcomes.
+
+     refinec run prog.minc                         compile and execute
+     refinec emit prog.minc --stage ir|asm         print IR or assembly
+     refinec fi prog.minc --fi-tool refine \
+        --fi-funcs '*' --fi-instrs all \
+        --samples 100 --seed 7                      an FI campaign cell
+     refinec bench --list                           list Table 3 programs *)
+
+open Cmdliner
+
+let read_source path =
+  match Refine_bench_progs.Registry.all
+        |> List.find_opt (fun b -> b.Refine_bench_progs.Registry.name = path)
+  with
+  | Some b -> b.Refine_bench_progs.Registry.source
+  | None ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+
+(* common args *)
+let src_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"PROG" ~doc:"MinC source file, or a Table 3 benchmark name (e.g. HPCCG-1.0).")
+
+let opt_arg =
+  Arg.(value & opt string "O2" & info [ "O" ] ~docv:"LEVEL" ~doc:"Optimization level: O0, O1 or O2.")
+
+let parse_opt s = Refine_ir.Pipeline.level_of_string s
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let trace_flag =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"Keep a ring buffer of executed instructions and print it on exit.")
+  in
+  let action src opt trace =
+    let m = Refine_minic.Frontend.compile (read_source src) in
+    Refine_ir.Pipeline.optimize (parse_opt opt) m;
+    let image = Refine_backend.Compile.compile m in
+    let eng = Refine_machine.Exec.create image in
+    let tracer =
+      if trace then begin
+        let t = Refine_machine.Trace.create ~capacity:24 () in
+        Refine_machine.Trace.attach t eng;
+        Some t
+      end
+      else None
+    in
+    let r = Refine_machine.Exec.run eng in
+    print_string r.Refine_machine.Exec.output;
+    (match tracer with
+    | Some t -> prerr_string (Refine_machine.Trace.render t)
+    | None -> ());
+    match r.Refine_machine.Exec.status with
+    | Refine_machine.Exec.Exited c ->
+      Printf.eprintf "[exit %d; %Ld instructions]\n" c r.Refine_machine.Exec.steps;
+      exit c
+    | Refine_machine.Exec.Trapped tr ->
+      Printf.eprintf "[trap: %s]\n" (Refine_machine.Exec.string_of_trap tr);
+      exit 139
+    | _ ->
+      Printf.eprintf "[did not finish]\n";
+      exit 124
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Compile a MinC program and execute it on the SX64 simulator.")
+    Term.(const action $ src_arg $ opt_arg $ trace_flag)
+
+(* ---- emit ---- *)
+
+let emit_cmd =
+  let stage =
+    Arg.(value & opt string "asm"
+         & info [ "stage" ] ~docv:"STAGE" ~doc:"What to print: ir, asm, or asm-fi (REFINE-instrumented).")
+  in
+  let action src opt stage =
+    let m = Refine_minic.Frontend.compile (read_source src) in
+    Refine_ir.Pipeline.optimize (parse_opt opt) m;
+    match stage with
+    | "ir" -> print_string (Refine_ir.Printer.string_of_module m)
+    | "asm" ->
+      let funcs, _ = Refine_backend.Compile.to_mir m in
+      List.iter (fun f -> print_string (Refine_mir.Mprinter.string_of_func f)) funcs
+    | "asm-fi" ->
+      let funcs, _ = Refine_backend.Compile.to_mir m in
+      let n = List.fold_left (fun a f -> a + Refine_core.Refine_pass.run f) 0 funcs in
+      Printf.printf "; REFINE: %d instrumented sites\n" n;
+      List.iter (fun f -> print_string (Refine_mir.Mprinter.string_of_func f)) funcs
+    | s -> Printf.eprintf "unknown stage %s (use ir, asm, asm-fi)\n" s; exit 2
+  in
+  Cmd.v (Cmd.info "emit" ~doc:"Print the IR or the SX64 assembly of a program.")
+    Term.(const action $ src_arg $ opt_arg $ stage)
+
+(* ---- fi ---- *)
+
+let fi_cmd =
+  let tool =
+    Arg.(value & opt string "refine"
+         & info [ "fi-tool" ] ~docv:"TOOL"
+             ~doc:"Fault injector: refine, llfi, pinfi, or opcode (valid-opcode corruption, the paper's par. 4.5 extension).")
+  in
+  let funcs =
+    Arg.(value & opt string "*"
+         & info [ "fi-funcs" ] ~docv:"NAMES"
+             ~doc:"Comma-separated function names to instrument ('*' = all); paper Table 2.")
+  in
+  let instrs =
+    Arg.(value & opt string "all"
+         & info [ "fi-instrs" ] ~docv:"CLASS"
+             ~doc:"Instruction classes: stack, arithm, mem or all; paper Table 2.")
+  in
+  let samples =
+    Arg.(value & opt int 100 & info [ "samples" ] ~docv:"N" ~doc:"Number of FI experiments.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let action src tool funcs instrs samples seed =
+    if String.lowercase_ascii tool = "opcode" then begin
+      (* the §4.5 extension: persistent valid-opcode corruption *)
+      let m = Refine_minic.Frontend.compile (read_source src) in
+      Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+      let image = Refine_backend.Compile.compile m in
+      let p = Refine_core.Opcode_fi.profile image in
+      let rng = Refine_support.Prng.create seed in
+      let c = ref 0 and so = ref 0 and b = ref 0 in
+      for _ = 1 to samples do
+        match
+          (Refine_core.Opcode_fi.run_injection image p (Refine_support.Prng.split rng))
+            .Refine_core.Fault.outcome
+        with
+        | Refine_core.Fault.Crash -> incr c
+        | Refine_core.Fault.Soc -> incr so
+        | Refine_core.Fault.Benign -> incr b
+      done;
+      Printf.printf "tool: OPCODE (valid-opcode corruption)   program: %s\n" src;
+      Printf.printf "corruptible dynamic instructions: %Ld\n" p.Refine_core.Fault.dyn_count;
+      Printf.printf "crash: %d   SOC: %d   benign: %d\n" !c !so !b;
+      exit 0
+    end;
+    let kind =
+      match String.lowercase_ascii tool with
+      | "refine" -> Refine_core.Tool.Refine
+      | "llfi" -> Refine_core.Tool.Llfi
+      | "pinfi" -> Refine_core.Tool.Pinfi
+      | t -> Printf.eprintf "unknown tool %s\n" t; exit 2
+    in
+    let sel =
+      {
+        Refine_core.Selection.funcs = String.split_on_char ',' funcs |> List.map String.trim;
+        instrs = Refine_core.Selection.instr_class_of_string instrs;
+      }
+    in
+    let cell =
+      Refine_campaign.Experiment.run_cell ~sel ~samples ~seed kind ~program:src
+        ~source:(read_source src) ()
+    in
+    let module E = Refine_campaign.Experiment in
+    Printf.printf "tool: %s   program: %s\n" (Refine_core.Tool.kind_name kind) src;
+    Printf.printf "dynamic FI targets: %Ld   static sites: %d\n"
+      cell.E.profile.Refine_core.Fault.dyn_count cell.E.static_instrumented;
+    Printf.printf "samples: %d   (margin of error ±%.1f%% at 95%%)\n" samples
+      (100.0 *. Refine_stats.Samplesize.margin_of ~samples ~confidence:0.95 ());
+    Printf.printf "crash: %d   SOC: %d   benign: %d\n" cell.E.counts.E.crash cell.E.counts.E.soc
+      cell.E.counts.E.benign;
+    Printf.printf "campaign cost: %Ld units\n" cell.E.injection_cost
+  in
+  Cmd.v
+    (Cmd.info "fi"
+       ~doc:"Run a fault-injection campaign cell (profiling + N classified injections).")
+    Term.(const action $ src_arg $ tool $ funcs $ instrs $ samples $ seed)
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let action () =
+    print_endline "Table 3 benchmark programs (usable as PROG in run/emit/fi):";
+    List.iter
+      (fun (b : Refine_bench_progs.Registry.bench) ->
+        Printf.printf "  %-10s %s\n" b.Refine_bench_progs.Registry.name
+          b.Refine_bench_progs.Registry.input)
+      Refine_bench_progs.Registry.all
+  in
+  Cmd.v (Cmd.info "bench" ~doc:"List the built-in Table 3 benchmark programs.")
+    Term.(const action $ const ())
+
+(* ---- campaign ---- *)
+
+let campaign_cmd =
+  let programs =
+    Arg.(value & opt string "all"
+         & info [ "programs" ] ~docv:"NAMES"
+             ~doc:"Comma-separated Table 3 benchmark names, or 'all'.")
+  in
+  let samples =
+    Arg.(value & opt int 200 & info [ "samples" ] ~docv:"N" ~doc:"Experiments per cell.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let csv =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the cells to a CSV file.")
+  in
+  let action programs samples seed csv =
+    let names =
+      if programs = "all" then Refine_bench_progs.Registry.names
+      else String.split_on_char ',' programs |> List.map String.trim
+    in
+    let srcs =
+      List.map (fun n -> (n, (Refine_bench_progs.Registry.find n).Refine_bench_progs.Registry.source)) names
+    in
+    let cells =
+      Refine_campaign.Experiment.run_matrix ~samples ~seed srcs Refine_campaign.Report.tools
+    in
+    List.iter (fun p -> print_string (Refine_campaign.Report.figure4_program cells p)) names;
+    print_string (Refine_campaign.Report.table5 (Refine_campaign.Report.chi2_rows cells names));
+    print_string (Refine_campaign.Report.figure5 cells names);
+    match csv with
+    | Some path ->
+      Refine_campaign.Csv.save path cells;
+      Printf.printf "[cells written to %s]\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run the evaluation matrix on benchmark programs and print Figure 4/Table 5/Figure 5.")
+    Term.(const action $ programs $ samples $ seed $ csv)
+
+let main =
+  let doc = "REFINE: realistic fault injection via compiler-based instrumentation (SC'17 reproduction)" in
+  Cmd.group (Cmd.info "refinec" ~version:"1.0.0" ~doc)
+    [ run_cmd; emit_cmd; fi_cmd; bench_cmd; campaign_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/campaign_demo.ml: List Printf Refine_bench_progs Refine_campaign Refine_core Refine_stats String

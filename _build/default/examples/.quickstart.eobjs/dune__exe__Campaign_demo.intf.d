@@ -1,0 +1,1 @@
+examples/campaign_demo.mli:

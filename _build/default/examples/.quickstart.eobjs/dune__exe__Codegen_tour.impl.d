@@ -1,0 +1,1 @@
+examples/codegen_tour.ml: List Printf Refine_backend Refine_core Refine_ir Refine_minic Refine_mir String

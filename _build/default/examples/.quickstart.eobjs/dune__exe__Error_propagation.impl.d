@@ -1,0 +1,1 @@
+examples/error_propagation.ml: List Printf Refine_core Refine_ir Refine_support

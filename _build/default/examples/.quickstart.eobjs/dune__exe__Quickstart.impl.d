@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hashtbl Printf Refine_core Refine_support

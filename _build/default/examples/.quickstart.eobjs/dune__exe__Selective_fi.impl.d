@@ -1,0 +1,1 @@
+examples/selective_fi.ml: Int64 Printf Refine_core Refine_support

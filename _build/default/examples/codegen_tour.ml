@@ -1,0 +1,94 @@
+(* Codegen tour: reproduces the paper's Listings 1 and 2 on this
+   repository's compiler.
+
+   - Listing 1: the same function at the IR level and at the machine level;
+     the machine version contains prologue/epilogue, spills and flag writes
+     that the IR never shows — the instructions IR-level FI cannot target.
+   - Listing 2: the assembly of a kernel compiled clean vs compiled after
+     LLFI-style IR instrumentation — the injectFault calls force register
+     spills and block compare/branch fusion.
+   - Bonus: the same kernel after the REFINE backend pass, showing the
+     PreFI/SetupFI/FI/PostFI block structure spliced into final code.
+
+     dune exec examples/codegen_tour.exe *)
+
+module I = Refine_ir.Ir
+module MF = Refine_mir.Mfunc
+
+let source =
+  {|
+global float local_residual;
+float compute_residual(float[] v1, float[] v2, int n) {
+  float residual = 0.0;
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    float diff = fabs(v1[i] - v2[i]);
+    if (diff > residual) { residual = diff; }
+  }
+  return residual;
+}
+int main() {
+  int i;
+  float[] a = alloc_float(16);
+  float[] b = alloc_float(16);
+  for (i = 0; i < 16; i = i + 1) { a[i] = tofloat(i); b[i] = tofloat(i * i) * 0.1; }
+  local_residual = compute_residual(a, b, 16);
+  print_float(local_residual);
+  return 0;
+}
+|}
+
+let find_mfunc funcs name = List.find (fun (mf : MF.t) -> mf.MF.mname = name) funcs
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let () =
+  (* ---- Listing 1: IR vs machine code ---- *)
+  let m = Refine_minic.Frontend.compile source in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+  banner "Listing 1a — compute_residual, optimized IR (what LLFI sees)";
+  print_string (Refine_ir.Printer.string_of_func (I.find_func m "compute_residual"));
+  let funcs, _ = Refine_backend.Compile.to_mir m in
+  banner "Listing 1b — compute_residual, SX64 machine code (note prologue/epilogue)";
+  print_string (Refine_mir.Mprinter.string_of_func (find_mfunc funcs "compute_residual"));
+  (* ---- Listing 2: codegen interference by LLFI instrumentation ---- *)
+  let m2 = Refine_minic.Frontend.compile source in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m2;
+  ignore (Refine_core.Llfi_pass.run m2);
+  banner "Listing 2a — the same IR after LLFI instrumentation (excerpt)";
+  let f2 = I.find_func m2 "compute_residual" in
+  let listing = Refine_ir.Printer.string_of_func f2 in
+  (* print the first 25 lines *)
+  String.split_on_char '\n' listing
+  |> List.filteri (fun i _ -> i < 25)
+  |> List.iter print_endline;
+  let funcs2, _ = Refine_backend.Compile.to_mir m2 in
+  let clean = find_mfunc funcs "compute_residual" in
+  let instr = find_mfunc funcs2 "compute_residual" in
+  banner "Listing 2b/2c — codegen interference, by the numbers";
+  Printf.printf "machine instructions: clean %d -> LLFI-instrumented %d\n"
+    (MF.instr_count clean) (MF.instr_count instr);
+  Printf.printf "frame bytes (locals + spills): clean %d -> LLFI-instrumented %d\n"
+    clean.MF.frame_bytes instr.MF.frame_bytes;
+  Printf.printf "callee-saved registers used: clean %d -> LLFI-instrumented %d\n"
+    (List.length clean.MF.used_callee_saved)
+    (List.length instr.MF.used_callee_saved);
+  (* ---- the REFINE backend pass output ---- *)
+  let m3 = Refine_minic.Frontend.compile source in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m3;
+  let funcs3, _ = Refine_backend.Compile.to_mir m3 in
+  let target = find_mfunc funcs3 "compute_residual" in
+  let sites = Refine_core.Refine_pass.run target in
+  banner
+    (Printf.sprintf
+       "REFINE backend pass — %d sites instrumented; first PreFI/SetupFI/FI/PostFI group"
+       sites);
+  let listing = Refine_mir.Mprinter.string_of_func target in
+  String.split_on_char '\n' listing
+  |> List.filteri (fun i _ -> i < 34)
+  |> List.iter print_endline;
+  print_endline "...";
+  Printf.printf
+    "\n(The application instructions above are byte-identical to the clean binary's:\n\
+     REFINE adds code only *between* them, after all optimizations — §4.2.2.)\n"

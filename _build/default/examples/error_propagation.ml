@@ -1,0 +1,92 @@
+(* Error-propagation analysis integrated with fault injection — the
+   integration the paper's introduction motivates: "performing injections
+   in the compiler permits close integration with error-propagation
+   analysis as both classes of analysis operate in the same software
+   layer".
+
+   The static forward-slice analysis of [Refine_core.Propagation] predicts,
+   per IR value, whether a fault in it is crash-prone (reaches a memory
+   address), SDC-prone (reaches output/memory/control) or likely benign
+   (reaches nothing observable).  The demo compares the static prediction
+   histogram with the measured outcome distribution of an IR-level (LLFI)
+   campaign on the same program.
+
+     dune exec examples/error_propagation.exe *)
+
+module T = Refine_core.Tool
+module F = Refine_core.Fault
+module Prop = Refine_core.Propagation
+module P = Refine_support.Prng
+module I = Refine_ir.Ir
+
+let source =
+  {|
+global int n = 40;
+global float table[40];
+global float out[40];
+
+int main() {
+  int i;
+  float norm = 0.0;
+  for (i = 0; i < n; i = i + 1) { table[i] = sin(tofloat(i) * 0.31) + 1.5; }
+  for (i = 0; i < n; i = i + 1) {
+    int j = (i * 17) % n;          // index arithmetic: crash-prone slice
+    float v = table[j] * 2.0;      // data flow into output: SDC-prone
+    out[i] = v;
+    norm = norm + v * v;           // accumulator: SDC-prone
+  }
+  print_float(sqrt(norm));
+  for (i = 0; i < n; i = i + 4) { print_float(out[i]); }
+  return 0;
+}
+|}
+
+let () =
+  print_endline "== error-propagation analysis vs measured fault injection ==\n";
+  (* static analysis on the optimized IR *)
+  let m = T.build_ir source in
+  let main = I.find_func m "main" in
+  let crash, sdc, benign = Prop.summarize main in
+  let total = crash + sdc + benign in
+  Printf.printf "static forward-slice predictions over %d IR values (main):\n" total;
+  let pct x = 100.0 *. float_of_int x /. float_of_int (max 1 total) in
+  Printf.printf "  crash-prone  (reach an address):          %2d  (%.0f%%)\n" crash (pct crash);
+  Printf.printf "  SDC-prone    (reach output/memory/branch): %2d  (%.0f%%)\n" sdc (pct sdc);
+  Printf.printf "  benign-prone (reach nothing observable):   %2d  (%.0f%%)\n\n" benign (pct benign);
+  (* a few concrete slices *)
+  print_endline "sample slices:";
+  List.iter
+    (fun (b : I.block) ->
+      List.iter
+        (fun i ->
+          match I.instr_def i with
+          | Some d when d mod 11 = 0 ->
+            let inf = Prop.analyze main d in
+            Printf.printf "  %-34s -> %-12s (fanout %d%s%s%s)\n"
+              (Refine_ir.Printer.string_of_instr i)
+              (Prop.string_of_prediction (Prop.predict inf))
+              inf.Prop.fanout
+              (if inf.Prop.reaches_address then ", addr" else "")
+              (if inf.Prop.reaches_output then ", output" else "")
+              (if inf.Prop.reaches_control then ", control" else "")
+          | _ -> ())
+        b.I.body)
+    main.I.blocks;
+  (* measured IR-level outcomes on the same program *)
+  let prepared = T.prepare T.Llfi source in
+  let rng = P.create 11 in
+  let c = ref 0 and s = ref 0 and b = ref 0 in
+  let samples = 250 in
+  for _ = 1 to samples do
+    match (T.run_injection prepared (P.split rng)).F.outcome with
+    | F.Crash -> incr c
+    | F.Soc -> incr s
+    | F.Benign -> incr b
+  done;
+  Printf.printf "\nmeasured LLFI outcomes over %d dynamic injections:\n" samples;
+  let pctm x = 100.0 *. float_of_int x /. float_of_int samples in
+  Printf.printf "  crash %.0f%%   SOC %.0f%%   benign %.0f%%\n" (pctm !c) (pctm !s) (pctm !b);
+  print_endline
+    "\n(The static histogram weighs each IR value once while the dynamic\n\
+     campaign weighs values by execution count, and bit position decides\n\
+     masking — the prediction gives the structure, injection the rates.)"

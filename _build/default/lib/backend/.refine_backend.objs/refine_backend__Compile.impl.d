@@ -1,0 +1,1 @@
+lib/backend/compile.ml: Frame Isel Layout List Peephole Refine_ir Refine_mir Regalloc

@@ -1,0 +1,1 @@
+lib/backend/compile.mli: Layout Refine_ir Refine_mir

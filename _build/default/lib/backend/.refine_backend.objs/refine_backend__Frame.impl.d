@@ -1,0 +1,1 @@
+lib/backend/frame.ml: Int64 List Refine_ir Refine_mir

@@ -1,0 +1,1 @@
+lib/backend/isel.ml: Hashtbl Int64 List Option Printf Refine_ir Refine_mir Splitcrit

@@ -1,0 +1,1 @@
+lib/backend/layout.ml: Array Hashtbl List Printf Refine_ir Refine_mir

@@ -1,0 +1,1 @@
+lib/backend/layout.mli: Refine_ir Refine_mir

@@ -1,0 +1,1 @@
+lib/backend/liveness.ml: Array Hashtbl List Refine_mir

@@ -1,0 +1,1 @@
+lib/backend/peephole.ml: List Refine_mir

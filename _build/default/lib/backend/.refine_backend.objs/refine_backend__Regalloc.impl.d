@@ -1,0 +1,1 @@
+lib/backend/regalloc.ml: Hashtbl List Liveness Refine_mir

@@ -1,0 +1,1 @@
+lib/backend/splitcrit.ml: List Refine_ir

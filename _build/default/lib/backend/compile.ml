@@ -1,0 +1,32 @@
+(* Backend driver: optimized IR module -> machine functions -> image.
+
+   [to_mir] stops before layout so that FI passes (REFINE) can instrument
+   the machine code right before emission, exactly as in the paper's
+   Figure 1; [emit] finishes the job.  [compile] is the plain no-FI
+   pipeline. *)
+
+module F = Refine_mir.Mfunc
+module I = Refine_ir.Ir
+
+let to_mir (m : I.modul) : F.t list * (string -> int) =
+  let global_addr, _heap = Refine_ir.Memlayout.place_globals m.globals in
+  let funcs =
+    List.map
+      (fun fn ->
+        let mf = Isel.select_func ~global_addr m fn in
+        Regalloc.run mf;
+        Frame.run mf;
+        Peephole.run mf;
+        mf)
+      m.funcs
+  in
+  (funcs, global_addr)
+
+(* FI passes (REFINE) instrument between [to_mir] and [emit], i.e. on the
+   final machine code right before emission (paper Figure 1). *)
+let emit (m : I.modul) (funcs : F.t list) : Layout.image =
+  Layout.build ~globals:m.globals funcs
+
+let compile (m : I.modul) : Layout.image =
+  let funcs, _ = to_mir m in
+  emit m funcs

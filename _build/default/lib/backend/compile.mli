@@ -1,0 +1,16 @@
+(** Backend driver: optimized IR module -> machine functions -> executable
+    image.
+
+    [to_mir] stops after peephole so FI passes (REFINE) can instrument the
+    final machine code right before emission, exactly as in the paper's
+    Figure 1; [emit] performs layout.  [compile] is the plain, no-FI
+    pipeline used for PINFI/native binaries. *)
+
+val to_mir : Refine_ir.Ir.modul -> Refine_mir.Mfunc.t list * (string -> int)
+(** Instruction selection, register allocation, frame lowering and
+    peephole for every function; also returns the global-address map. *)
+
+val emit : Refine_ir.Ir.modul -> Refine_mir.Mfunc.t list -> Layout.image
+
+val compile : Refine_ir.Ir.modul -> Layout.image
+(** [emit m (fst (to_mir m))]. *)

@@ -1,0 +1,34 @@
+(* Prologue/epilogue insertion, after register allocation (the frame size
+   and the set of used callee-saved registers are known only then).
+
+   Prologue:  push cs_1 .. cs_n; push rbp; mov rbp, rsp; sub rsp, frame
+   Epilogue:  mov rsp, rbp; pop rbp; pop cs_n .. cs_1; ret
+
+   These are precisely the machine-only instructions of the paper's
+   Listing 1b that IR-level fault injectors cannot target. *)
+
+module M = Refine_mir.Minstr
+module F = Refine_mir.Mfunc
+module R = Refine_mir.Reg
+
+let run (mf : F.t) =
+  let frame = Refine_ir.Memlayout.align8 mf.F.frame_bytes in
+  let cs = mf.F.used_callee_saved in
+  let prologue =
+    List.map (fun r -> M.Mpush r) cs
+    @ [ M.Mpush R.rbp; M.Mmov (R.rbp, M.Reg R.rsp) ]
+    @ (if frame > 0 then [ M.Mbin (Refine_ir.Ir.Sub, R.rsp, R.rsp, M.Imm (Int64.of_int frame)) ]
+       else [])
+  in
+  let epilogue =
+    [ M.Mmov (R.rsp, M.Reg R.rbp); M.Mpop R.rbp ]
+    @ List.rev_map (fun r -> M.Mpop r) cs
+  in
+  (match mf.F.blocks with
+  | entry :: _ -> entry.code <- prologue @ entry.code
+  | [] -> ());
+  List.iter
+    (fun (b : F.mblock) ->
+      b.code <-
+        List.concat_map (fun i -> match i with M.Mret -> epilogue @ [ M.Mret ] | _ -> [ i ]) b.code)
+    mf.F.blocks

@@ -1,0 +1,79 @@
+(* Final code emission: concatenates every function's blocks in layout
+   order, resolves labels to absolute code indices and produces the
+   executable image the machine simulator runs.  The paper's "Assembly /
+   Object Emitter" stage. *)
+
+module M = Refine_mir.Minstr
+module F = Refine_mir.Mfunc
+
+type image = {
+  code : M.t array;
+  entry : int; (* address of main's first instruction *)
+  func_of_pc : string array; (* owning function, per instruction *)
+  func_starts : (string * int) list;
+  globals : Refine_ir.Ir.global list;
+  global_addr : string -> int;
+  heap_base : int;
+}
+
+exception Layout_error of string
+
+let build ~(globals : Refine_ir.Ir.global list) (funcs : F.t list) : image =
+  let global_addr, heap_base = Refine_ir.Memlayout.place_globals globals in
+  (* first pass: function start addresses *)
+  let starts = Hashtbl.create 16 in
+  let total = ref 0 in
+  let func_starts =
+    List.map
+      (fun (mf : F.t) ->
+        let s = !total in
+        Hashtbl.replace starts mf.F.mname s;
+        total := !total + F.instr_count mf;
+        (mf.F.mname, s))
+      funcs
+  in
+  let code = Array.make (max 1 !total) M.Mhalt in
+  let func_of_pc = Array.make (max 1 !total) "" in
+  List.iter
+    (fun (mf : F.t) ->
+      (* label -> absolute address within this function *)
+      let label_addr = Hashtbl.create 16 in
+      let base = Hashtbl.find starts mf.F.mname in
+      let pos = ref base in
+      List.iter
+        (fun (b : F.mblock) ->
+          Hashtbl.replace label_addr b.mlbl !pos;
+          pos := !pos + List.length b.code)
+        mf.F.blocks;
+      let resolve l =
+        match Hashtbl.find_opt label_addr l with
+        | Some a -> a
+        | None -> raise (Layout_error (Printf.sprintf "%s: unresolved label L%d" mf.F.mname l))
+      in
+      let pos = ref base in
+      List.iter
+        (fun (b : F.mblock) ->
+          List.iter
+            (fun i ->
+              let resolved =
+                match i with
+                | M.Mjmp l -> M.Mjmp (resolve l)
+                | M.Mjcc (c, l) -> M.Mjcc (c, resolve l)
+                | M.Mcall name -> (
+                  match Hashtbl.find_opt starts name with
+                  | Some a -> M.Mcalli a
+                  | None -> raise (Layout_error ("call to unknown function " ^ name)))
+                | other -> other
+              in
+              code.(!pos) <- resolved;
+              func_of_pc.(!pos) <- mf.F.mname;
+              incr pos)
+            b.code)
+        mf.F.blocks)
+    funcs;
+  let entry =
+    match Hashtbl.find_opt starts "main" with
+    | Some a -> a
+    | None -> raise (Layout_error "no main function")
+  in
+  { code; entry; func_of_pc; func_starts; globals; global_addr; heap_base }

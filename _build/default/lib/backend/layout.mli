@@ -1,0 +1,19 @@
+(** Final code emission: concatenates every function's blocks in layout
+    order and resolves labels/calls to absolute code indices — the paper's
+    "Assembly / Object Emitter" stage. *)
+
+type image = {
+  code : Refine_mir.Minstr.t array;  (** jump targets are absolute indices *)
+  entry : int;  (** address of main's first instruction *)
+  func_of_pc : string array;  (** owning function, per instruction *)
+  func_starts : (string * int) list;
+  globals : Refine_ir.Ir.global list;
+  global_addr : string -> int;
+  heap_base : int;
+}
+
+exception Layout_error of string
+
+val build : globals:Refine_ir.Ir.global list -> Refine_mir.Mfunc.t list -> image
+(** Raises {!Layout_error} on unresolved labels, unknown callees or a
+    missing [main]. *)

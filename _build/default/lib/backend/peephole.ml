@@ -1,0 +1,23 @@
+(* Machine-level peephole clean-up: self-moves and jumps to the next block
+   in layout order disappear (the engine falls through to pc+1). *)
+
+module M = Refine_mir.Minstr
+module F = Refine_mir.Mfunc
+
+let run (mf : F.t) =
+  (* self-moves *)
+  List.iter
+    (fun (b : F.mblock) ->
+      b.code <-
+        List.filter (fun i -> match i with M.Mmov (d, M.Reg s) -> d <> s | _ -> true) b.code)
+    mf.F.blocks;
+  (* drop a trailing jump to the block that immediately follows *)
+  let rec walk = function
+    | (a : F.mblock) :: (b : F.mblock) :: rest ->
+      (match List.rev a.code with
+      | M.Mjmp l :: prefix when l = b.mlbl -> a.code <- List.rev prefix
+      | _ -> ());
+      walk (b :: rest)
+    | _ -> ()
+  in
+  walk mf.F.blocks

@@ -1,0 +1,42 @@
+(* Critical-edge splitting on the IR, run before instruction selection.
+
+   An edge a->b is critical when a has several successors and b several
+   predecessors.  Phi elimination places parallel copies either at the end
+   of the predecessor (needs a single successor) or at the top of the block
+   (needs a single predecessor); splitting guarantees one of the two always
+   applies. *)
+
+open Refine_ir.Ir
+module Cfg = Refine_ir.Cfg
+
+let run (fn : func) =
+  let cfg = Cfg.build fn in
+  let next_label = ref (List.fold_left (fun acc b -> max acc b.lbl) 0 fn.blocks + 1) in
+  let new_blocks = ref [] in
+  List.iter
+    (fun a ->
+      let succs = term_succs a.term in
+      if List.length succs > 1 then
+        List.iter
+          (fun s ->
+            if List.length (Cfg.predecessors cfg s) > 1 then begin
+              let mid = !next_label in
+              incr next_label;
+              new_blocks := { lbl = mid; phis = []; body = []; term = Br s } :: !new_blocks;
+              let retarget l = if l = s then mid else l in
+              (match a.term with
+              | Cbr (c, t, e) ->
+                (* split only the edge to [s]; if both arms reach s they share
+                   the same middle block, which keeps phi edges unambiguous *)
+                a.term <- Cbr (c, retarget t, retarget e)
+              | Br _ | Ret _ | Unreachable -> ());
+              let sblk = find_block fn s in
+              List.iter
+                (fun p ->
+                  p.incoming <-
+                    List.map (fun (l, o) -> ((if l = a.lbl then mid else l), o)) p.incoming)
+                sblk.phis
+            end)
+          succs)
+    fn.blocks;
+  fn.blocks <- fn.blocks @ List.rev !new_blocks

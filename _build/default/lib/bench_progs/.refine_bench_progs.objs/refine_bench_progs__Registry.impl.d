@@ -1,0 +1,1 @@
+lib/bench_progs/registry.ml: Amg2013 Comd Hpccg List Lulesh Minife Npb_bt Npb_cg Npb_dc Npb_ep Npb_ft Npb_lu Npb_sp Npb_ua Xsbench

@@ -1,0 +1,85 @@
+(* AMG2013: algebraic multigrid.  A two-level V-cycle on the 1D Poisson
+   problem: weighted-Jacobi smoothing, full-weighting restriction of the
+   residual, coarse-grid solve by more smoothing, linear prolongation and
+   correction — the solve phase structure of the benchmark. *)
+
+let name = "AMG2013"
+let input = "1D Poisson n=128, 4 two-grid V-cycles (paper: -r 24 24 24)"
+
+let source =
+  {|
+global int n = 128;
+global int nc = 64;
+global float u[128];
+global float f[128];
+global float res[128];
+global float rc[64];
+global float ec[64];
+
+// residual = f - A u for A = tridiag(-1, 2, -1) (Dirichlet boundaries)
+void residual(float[] uu, float[] ff, float[] out, int m) {
+  int i;
+  out[0] = ff[0] - (2.0 * uu[0] - uu[1]);
+  for (i = 1; i < m - 1; i = i + 1) {
+    out[i] = ff[i] - (2.0 * uu[i] - uu[i - 1] - uu[i + 1]);
+  }
+  out[m - 1] = ff[m - 1] - (2.0 * uu[m - 1] - uu[m - 2]);
+}
+
+// weighted Jacobi sweeps: u <- u + w * D^-1 (f - A u)
+void smooth(float[] uu, float[] ff, float[] scratch, int m, int sweeps) {
+  int s; int i;
+  for (s = 0; s < sweeps; s = s + 1) {
+    residual(uu, ff, scratch, m);
+    for (i = 0; i < m; i = i + 1) {
+      uu[i] = uu[i] + 0.6666666 * 0.5 * scratch[i];
+    }
+  }
+}
+
+float norm2(float[] v, int m) {
+  float s = 0.0;
+  int i;
+  for (i = 0; i < m; i = i + 1) { s = s + v[i] * v[i]; }
+  return sqrt(s);
+}
+
+int main() {
+  int i; int cycle;
+  for (i = 0; i < n; i = i + 1) {
+    u[i] = 0.0;
+    f[i] = sin(tofloat(i) * 0.19634954) + 0.25 * sin(tofloat(i) * 1.0799224);
+  }
+  for (cycle = 0; cycle < 4; cycle = cycle + 1) {
+    smooth(u, f, res, n, 2);
+    residual(u, f, res, n);
+    // full-weighting restriction to the coarse grid
+    for (i = 0; i < nc; i = i + 1) {
+      int k = 2 * i;
+      if (k == 0) { rc[i] = 0.5 * res[0] + 0.25 * res[1]; }
+      else {
+        rc[i] = 0.25 * res[k - 1] + 0.5 * res[k] + 0.25 * res[k + 1];
+      }
+      ec[i] = 0.0;
+    }
+    // coarse "solve": heavy smoothing on the coarse operator (scaled A)
+    smooth(ec, rc, res, nc, 12);
+    // prolong and correct (linear interpolation)
+    for (i = 0; i < nc; i = i + 1) {
+      u[2 * i] = u[2 * i] + ec[i];
+      if (i < nc - 1) {
+        u[2 * i + 1] = u[2 * i + 1] + 0.5 * (ec[i] + ec[i + 1]);
+      } else {
+        u[2 * i + 1] = u[2 * i + 1] + 0.5 * ec[i];
+      }
+    }
+    smooth(u, f, res, n, 2);
+    residual(u, f, res, n);
+    print_float(norm2(res, n));
+  }
+  float cksum = 0.0;
+  for (i = 0; i < n; i = i + 1) { cksum = cksum + u[i]; }
+  print_float(cksum);
+  return 0;
+}
+|}

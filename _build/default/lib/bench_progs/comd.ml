@@ -1,0 +1,88 @@
+(* CoMD: classical molecular dynamics — Lennard-Jones pair forces with a
+   cutoff and velocity-Verlet time stepping, the computational core of the
+   proxy app (eamForce / advanceVelocity / advancePosition). *)
+
+let name = "CoMD"
+let input = "28 atoms, 4 LJ velocity-Verlet steps (paper: 32x32x32 lattice)"
+
+let source =
+  {|
+// CoMD: Lennard-Jones MD in a periodic 1D box with 3D coordinates.
+global int nat = 28;
+global float px[28]; global float py[28]; global float pz[28];
+global float vx[28]; global float vy[28]; global float vz[28];
+global float fx[28]; global float fy[28]; global float fz[28];
+global float epot;
+
+float pbc(float d, float box) {
+  if (d > 0.5 * box) { return d - box; }
+  if (d < -0.5 * box) { return d + box; }
+  return d;
+}
+
+void compute_force() {
+  int i; int j;
+  float box = 12.0;
+  float cutoff2 = 6.25;
+  epot = 0.0;
+  for (i = 0; i < nat; i = i + 1) { fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0; }
+  for (i = 0; i < nat; i = i + 1) {
+    for (j = i + 1; j < nat; j = j + 1) {
+      float dx = pbc(px[i] - px[j], box);
+      float dy = pbc(py[i] - py[j], box);
+      float dz = pbc(pz[i] - pz[j], box);
+      float r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 < cutoff2) {
+        float inv2 = 1.0 / r2;
+        float inv6 = inv2 * inv2 * inv2;
+        float lj = 4.0 * (inv6 * inv6 - inv6);
+        float fmag = 24.0 * inv2 * (2.0 * inv6 * inv6 - inv6);
+        epot = epot + lj;
+        fx[i] = fx[i] + fmag * dx; fx[j] = fx[j] - fmag * dx;
+        fy[i] = fy[i] + fmag * dy; fy[j] = fy[j] - fmag * dy;
+        fz[i] = fz[i] + fmag * dz; fz[j] = fz[j] - fmag * dz;
+      }
+    }
+  }
+}
+
+int main() {
+  int i; int step;
+  float dt = 0.002;
+  // initial lattice positions with a deterministic jitter
+  int seed = 20170711;
+  for (i = 0; i < nat; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    float jit = tofloat(seed % 1000) * 0.0001;
+    px[i] = tofloat(i % 4) * 1.3 + jit;
+    py[i] = tofloat((i / 4) % 4) * 1.3 + jit * 0.5;
+    pz[i] = tofloat(i / 16) * 1.3 - jit;
+    vx[i] = 0.0; vy[i] = 0.0; vz[i] = 0.0;
+  }
+  compute_force();
+  for (step = 0; step < 4; step = step + 1) {
+    for (i = 0; i < nat; i = i + 1) {
+      vx[i] = vx[i] + 0.5 * dt * fx[i];
+      vy[i] = vy[i] + 0.5 * dt * fy[i];
+      vz[i] = vz[i] + 0.5 * dt * fz[i];
+      px[i] = px[i] + dt * vx[i];
+      py[i] = py[i] + dt * vy[i];
+      pz[i] = pz[i] + dt * vz[i];
+    }
+    compute_force();
+    for (i = 0; i < nat; i = i + 1) {
+      vx[i] = vx[i] + 0.5 * dt * fx[i];
+      vy[i] = vy[i] + 0.5 * dt * fy[i];
+      vz[i] = vz[i] + 0.5 * dt * fz[i];
+    }
+  }
+  float ekin = 0.0;
+  for (i = 0; i < nat; i = i + 1) {
+    ekin = ekin + 0.5 * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+  }
+  print_float(epot);
+  print_float(ekin);
+  print_float(epot + ekin);
+  return 0;
+}
+|}

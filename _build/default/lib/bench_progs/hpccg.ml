@@ -1,0 +1,69 @@
+(* HPCCG: conjugate-gradient solve of a 1D Laplacian system — the miniapp's
+   27-point 3D stencil reduced to the 3-point 1D stencil, same CG kernel
+   structure (sparse matvec, dot products, waxpby updates). *)
+
+let name = "HPCCG-1.0"
+let input = "n=160, 18 CG iterations (paper: 128 128 128)"
+
+let source =
+  {|
+// HPCCG: CG on the 1D Poisson system A x = b, A = tridiag(-1, 2, -1).
+global int n = 160;
+global float x[160];
+global float b[160];
+global float r[160];
+global float p[160];
+global float ap[160];
+
+// sparse matvec for the 3-point stencil: out = A * v
+void matvec(float[] v, float[] out) {
+  int i;
+  out[0] = 2.0 * v[0] - v[1];
+  for (i = 1; i < n - 1; i = i + 1) {
+    out[i] = 2.0 * v[i] - v[i - 1] - v[i + 1];
+  }
+  out[n - 1] = 2.0 * v[n - 1] - v[n - 2];
+}
+
+float ddot(float[] u, float[] v) {
+  float s = 0.0;
+  int i;
+  for (i = 0; i < n; i = i + 1) { s = s + u[i] * v[i]; }
+  return s;
+}
+
+// w = alpha * u + beta * v
+void waxpby(float a, float[] u, float bb, float[] v, float[] w) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { w[i] = a * u[i] + bb * v[i]; }
+}
+
+int main() {
+  int i;
+  int it;
+  // right-hand side: a smooth bump
+  for (i = 0; i < n; i = i + 1) {
+    x[i] = 0.0;
+    b[i] = tofloat((i % 17) - 8) * 0.125;
+  }
+  // r = b - A x = b ; p = r
+  for (i = 0; i < n; i = i + 1) { r[i] = b[i]; p[i] = r[i]; }
+  float rtr = ddot(r, r);
+  for (it = 0; it < 18; it = it + 1) {
+    matvec(p, ap);
+    float alpha = rtr / ddot(p, ap);
+    waxpby(1.0, x, alpha, p, x);
+    waxpby(1.0, r, -alpha, ap, r);
+    float rtr_new = ddot(r, r);
+    float beta = rtr_new / rtr;
+    rtr = rtr_new;
+    waxpby(1.0, r, beta, p, p);
+    if (it % 8 == 0) { print_float(sqrt(rtr)); }
+  }
+  print_float(sqrt(rtr));
+  float cksum = 0.0;
+  for (i = 0; i < n; i = i + 1) { cksum = cksum + x[i] * tofloat(i + 1); }
+  print_float(cksum);
+  return 0;
+}
+|}

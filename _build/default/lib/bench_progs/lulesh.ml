@@ -1,0 +1,69 @@
+(* LULESH: explicit shock hydrodynamics.  A 1D staggered-grid Sedov-like
+   blast: nodal velocities/positions and zonal energy/pressure advance with
+   an artificial-viscosity term and a courant-limited timestep — the
+   structure of LULESH's LagrangeLeapFrog.  LULESH is the paper's most
+   benign-heavy program (Fig. 4d): the output is a few aggregate energies
+   printed with limited precision, so low-mantissa corruption masks. *)
+
+let name = "lulesh"
+let input = "1D Sedov blast, 64 zones, 24 steps (paper: default)"
+
+let source =
+  {|
+global int nz = 64;
+global float xn[65];  // node coordinates
+global float un[65];  // node velocities
+global float e[64];   // zonal internal energy
+global float p[64];   // zonal pressure
+global float q[64];   // artificial viscosity
+global float m[64];   // zonal mass
+
+int main() {
+  int i; int step;
+  // initial mesh and Sedov energy deposition in the first zone
+  for (i = 0; i <= nz; i = i + 1) { xn[i] = tofloat(i) * 0.015625; un[i] = 0.0; }
+  for (i = 0; i < nz; i = i + 1) {
+    e[i] = 0.0; p[i] = 0.0; q[i] = 0.0;
+    m[i] = 0.015625;
+  }
+  e[0] = 3.948746e1;
+  float dt = 0.0001;
+  float gamma = 1.6666666;
+  for (step = 0; step < 24; step = step + 1) {
+    // zone pressure from EOS, viscosity from velocity jump
+    for (i = 0; i < nz; i = i + 1) {
+      float dx = xn[i + 1] - xn[i];
+      float rho = m[i] / dx;
+      p[i] = (gamma - 1.0) * rho * e[i];
+      float du = un[i + 1] - un[i];
+      if (du < 0.0) { q[i] = 2.0 * rho * du * du; } else { q[i] = 0.0; }
+    }
+    // nodal acceleration from pressure gradient (free boundaries)
+    for (i = 1; i < nz; i = i + 1) {
+      float dm = 0.5 * (m[i - 1] + m[i]);
+      float a = -((p[i] + q[i]) - (p[i - 1] + q[i - 1])) / dm;
+      un[i] = un[i] + dt * a;
+    }
+    // position update and energy (pdV work)
+    for (i = 0; i <= nz; i = i + 1) { xn[i] = xn[i] + dt * un[i]; }
+    for (i = 0; i < nz; i = i + 1) {
+      float du = un[i + 1] - un[i];
+      float dx = xn[i + 1] - xn[i];
+      e[i] = e[i] - dt * (p[i] + q[i]) * du / (m[i] / dx);
+      if (e[i] < 0.0) { e[i] = 0.0; }
+    }
+  }
+  // aggregate diagnostics only, limited precision (like lulesh's final
+  // origin-energy report)
+  float etot = 0.0;
+  float emax = 0.0;
+  for (i = 0; i < nz; i = i + 1) {
+    etot = etot + e[i] * m[i];
+    if (e[i] > emax) { emax = e[i]; }
+  }
+  print_float(etot);
+  print_float(emax);
+  print_int(toint(xn[nz] * 100.0));
+  return 0;
+}
+|}

@@ -1,0 +1,72 @@
+(* miniFE: implicit finite elements — element-by-element assembly of a 1D
+   stiffness matrix (stored as diagonals), Dirichlet boundary conditions,
+   and a CG solve, mirroring miniFE's generate_matrix + cg_solve phases. *)
+
+let name = "miniFE"
+let input = "1D FE mesh, 144 elements, 14 CG iterations (paper: -nx 18 -ny 16 -nz 16)"
+
+let source =
+  {|
+global int nel = 144;
+global int nn = 145;       // nodes
+global float kd[145];      // stiffness diagonal
+global float ko[145];      // off-diagonal (upper), ko[i] couples i and i+1
+global float rhs[145];
+global float x[145];
+global float r[145];
+global float p[145];
+global float ap[145];
+
+void matvec(float[] v, float[] out) {
+  int i;
+  for (i = 0; i < nn; i = i + 1) {
+    float s = kd[i] * v[i];
+    if (i > 0) { s = s + ko[i - 1] * v[i - 1]; }
+    if (i < nn - 1) { s = s + ko[i] * v[i + 1]; }
+    out[i] = s;
+  }
+}
+
+float dot(float[] u, float[] v) {
+  float s = 0.0;
+  int i;
+  for (i = 0; i < nn; i = i + 1) { s = s + u[i] * v[i]; }
+  return s;
+}
+
+int main() {
+  int i; int e; int it;
+  // assembly: element stiffness [k -k; -k k] with varying coefficient
+  for (i = 0; i < nn; i = i + 1) { kd[i] = 0.0; ko[i] = 0.0; rhs[i] = 0.0; x[i] = 0.0; }
+  for (e = 0; e < nel; e = e + 1) {
+    float coef = 1.0 + 0.5 * sin(tofloat(e) * 0.17);
+    kd[e] = kd[e] + coef;
+    kd[e + 1] = kd[e + 1] + coef;
+    ko[e] = ko[e] - coef;
+    // body load
+    rhs[e] = rhs[e] + 0.01;
+    rhs[e + 1] = rhs[e + 1] + 0.01;
+  }
+  // Dirichlet BC at both ends: pin x[0] = x[nn-1] = 0
+  kd[0] = 1.0; ko[0] = 0.0; rhs[0] = 0.0;
+  kd[nn - 1] = 1.0; ko[nn - 2] = 0.0; rhs[nn - 1] = 0.0;
+  // CG
+  for (i = 0; i < nn; i = i + 1) { r[i] = rhs[i]; p[i] = r[i]; }
+  float rtr = dot(r, r);
+  for (it = 0; it < 14; it = it + 1) {
+    matvec(p, ap);
+    float alpha = rtr / dot(p, ap);
+    for (i = 0; i < nn; i = i + 1) { x[i] = x[i] + alpha * p[i]; }
+    for (i = 0; i < nn; i = i + 1) { r[i] = r[i] - alpha * ap[i]; }
+    float rtr2 = dot(r, r);
+    float beta = rtr2 / rtr;
+    rtr = rtr2;
+    for (i = 0; i < nn; i = i + 1) { p[i] = r[i] + beta * p[i]; }
+  }
+  print_float_full(sqrt(rtr));
+  float cksum = 0.0;
+  for (i = 0; i < nn; i = i + 1) { cksum = cksum + x[i] * tofloat(1 + i % 7); }
+  print_float_full(cksum);
+  return 0;
+}
+|}

@@ -1,0 +1,99 @@
+(* NPB BT: block-tridiagonal ADI solver.  Solves many independent 3x3
+   block-tridiagonal line systems with dense block factorization
+   (matmul/matvec on 3x3 blocks), the core of BT's x/y/z_solve sweeps. *)
+
+let name = "BT"
+let input = "16 lines of 12 cells, 3x3 blocks, 3 ADI sweeps (paper: class A)"
+
+let source =
+  {|
+// Per line: block tridiagonal system with 3x3 blocks; Thomas algorithm
+// with explicit 3x3 inverses.
+global int ncell = 12;
+global int nline = 16;
+global float u[576];        // solution: nline * ncell * 3
+global float rhsv[576];
+// workspace per line: factored diagonal inverses and temporaries
+global float dwork[108];    // ncell * 9
+global float cwork[36];     // ncell * 3
+
+// 3x3 inverse of the SPD-ish block [d a 0.1; a d a; 0.1 a d]
+void inv3(float d, float a, float[] out, int base) {
+  float b = 0.1;
+  float det = d * (d * d - a * a) - a * (a * d - a * b) + b * (a * a - d * b);
+  float id = 1.0 / det;
+  out[base + 0] = (d * d - a * a) * id;
+  out[base + 1] = (b * a - a * d) * id;
+  out[base + 2] = (a * a - d * b) * id;
+  out[base + 3] = (a * b - a * d) * id;
+  out[base + 4] = (d * d - b * b) * id;
+  out[base + 5] = (b * a - d * a) * id;
+  out[base + 6] = (a * a - b * d) * id;
+  out[base + 7] = (a * b - d * a) * id;
+  out[base + 8] = (d * d - a * a) * id;
+}
+
+// y(3) = M(3x3, at base) * x(3)
+void mat3vec(float[] mm, int base, float x0, float x1, float x2, float[] y) {
+  y[0] = mm[base + 0] * x0 + mm[base + 1] * x1 + mm[base + 2] * x2;
+  y[1] = mm[base + 3] * x0 + mm[base + 4] * x1 + mm[base + 5] * x2;
+  y[2] = mm[base + 6] * x0 + mm[base + 7] * x1 + mm[base + 8] * x2;
+}
+
+int main() {
+  int line; int c; int k; int sweep;
+  float tmp[3];
+  // initialize rhs with a deterministic field
+  for (k = 0; k < nline * ncell * 3; k = k + 1) {
+    rhsv[k] = sin(tofloat(k) * 0.05) + 0.3;
+    u[k] = 0.0;
+  }
+  float offc = -0.4;  // off-diagonal block coupling (scalar * I)
+  for (sweep = 0; sweep < 3; sweep = sweep + 1) {
+    for (line = 0; line < nline; line = line + 1) {
+      int lb = line * ncell * 3;
+      // forward elimination: d'_c = inv(D - offc^2 d'_{c-1}) folded into a
+      // scalar recurrence on the block diagonal strength
+      float dstr = 2.5;
+      for (c = 0; c < ncell; c = c + 1) {
+        inv3(dstr, 0.7, dwork, c * 9);
+        // rhs'_c = rhs_c - offc * rhs'_{c-1}
+        int b = lb + c * 3;
+        if (c > 0) {
+          rhsv[b] = rhsv[b] - offc * cwork[(c - 1) * 3];
+          rhsv[b + 1] = rhsv[b + 1] - offc * cwork[(c - 1) * 3 + 1];
+          rhsv[b + 2] = rhsv[b + 2] - offc * cwork[(c - 1) * 3 + 2];
+        }
+        mat3vec(dwork, c * 9, rhsv[b], rhsv[b + 1], rhsv[b + 2], tmp);
+        cwork[c * 3] = tmp[0]; cwork[c * 3 + 1] = tmp[1]; cwork[c * 3 + 2] = tmp[2];
+        dstr = 2.5 - offc * offc / dstr;
+      }
+      // back substitution
+      for (c = ncell - 1; c >= 0; c = c - 1) {
+        int b = lb + c * 3;
+        u[b] = cwork[c * 3];
+        u[b + 1] = cwork[c * 3 + 1];
+        u[b + 2] = cwork[c * 3 + 2];
+        if (c < ncell - 1) {
+          u[b] = u[b] - offc * 0.3 * u[b + 3];
+          u[b + 1] = u[b + 1] - offc * 0.3 * u[b + 4];
+          u[b + 2] = u[b + 2] - offc * 0.3 * u[b + 5];
+        }
+      }
+    }
+    // couple lines for the next sweep (ADI-style transpose mixing)
+    for (k = 0; k < nline * ncell * 3; k = k + 1) {
+      rhsv[k] = 0.8 * rhsv[k] + 0.2 * u[(k * 7) % (nline * ncell * 3)];
+    }
+  }
+  // verification values, full precision (BT reports SOC-heavy outcomes)
+  float s0 = 0.0; float s1 = 0.0;
+  for (k = 0; k < nline * ncell * 3; k = k + 1) {
+    s0 = s0 + u[k];
+    s1 = s1 + u[k] * tofloat(1 + k % 5);
+  }
+  print_float_full(s0);
+  print_float_full(s1);
+  return 0;
+}
+|}

@@ -1,0 +1,82 @@
+(* NPB CG: eigenvalue estimate of a sparse symmetric matrix by inverse
+   power iteration with an inner conjugate-gradient solve.  The paper's
+   Figure 4h shows CG is the one program with *zero* SOC outcomes for every
+   tool: the power iteration is self-correcting and the printed estimate is
+   rounded, so a data fault either crashes, or is annealed away, or never
+   affects the few printed digits. *)
+
+let name = "CG"
+let input = "n=80 sparse (7 nnz/row), 3 outer power iterations x 8 CG (paper: class B)"
+
+let source =
+  {|
+global int n = 80;
+global int nnz = 7;
+global int colidx[560];    // n * nnz
+global float aval[560];
+global float x[80];
+global float z[80];
+global float r[80];
+global float p[80];
+global float q[80];
+
+void matvec(float[] v, float[] out) {
+  int i; int k;
+  for (i = 0; i < n; i = i + 1) {
+    float s = 0.0;
+    for (k = 0; k < nnz; k = k + 1) {
+      s = s + aval[i * nnz + k] * v[colidx[i * nnz + k]];
+    }
+    out[i] = s;
+  }
+}
+
+float dot(float[] u, float[] v) {
+  float s = 0.0;
+  int i;
+  for (i = 0; i < n; i = i + 1) { s = s + u[i] * v[i]; }
+  return s;
+}
+
+int main() {
+  int i; int k; int it; int outer;
+  // build a diagonally dominant symmetric-ish sparse matrix
+  int seed = 314159;
+  for (i = 0; i < n; i = i + 1) {
+    for (k = 0; k < nnz; k = k + 1) {
+      seed = (seed * 1103515245 + 12345) & 2147483647;
+      if (k == 0) {
+        colidx[i * nnz] = i;
+        aval[i * nnz] = 10.0 + tofloat(seed % 100) * 0.01;
+      } else {
+        colidx[i * nnz + k] = seed % n;
+        aval[i * nnz + k] = -0.5 + tofloat(seed % 1000) * 0.001;
+      }
+    }
+    x[i] = 1.0;
+  }
+  float zeta = 0.0;
+  for (outer = 0; outer < 3; outer = outer + 1) {
+    // CG solve A z = x
+    for (i = 0; i < n; i = i + 1) { z[i] = 0.0; r[i] = x[i]; p[i] = r[i]; }
+    float rho = dot(r, r);
+    for (it = 0; it < 8; it = it + 1) {
+      matvec(p, q);
+      float alpha = rho / dot(p, q);
+      for (i = 0; i < n; i = i + 1) { z[i] = z[i] + alpha * p[i]; }
+      for (i = 0; i < n; i = i + 1) { r[i] = r[i] - alpha * q[i]; }
+      float rho2 = dot(r, r);
+      float beta = rho2 / rho;
+      rho = rho2;
+      for (i = 0; i < n; i = i + 1) { p[i] = r[i] + beta * p[i]; }
+    }
+    zeta = 10.0 + 1.0 / dot(x, z);
+    // normalize: x = z / ||z||
+    float nrm = 1.0 / sqrt(dot(z, z));
+    for (i = 0; i < n; i = i + 1) { x[i] = z[i] * nrm; }
+  }
+  // rounded verification value only: the converged estimate
+  print_int(toint(zeta * 100.0));
+  return 0;
+}
+|}

@@ -1,0 +1,72 @@
+(* NPB DC: data-cube operator.  Generates a synthetic fact table and
+   computes aggregate views over every subset of three dimensions
+   (group-by via direct-indexed accumulation), then reports per-view
+   checksums — DC's measure-aggregation structure. *)
+
+let name = "DC"
+let input = "600 tuples, dims 4x8x16, all 8 views (paper: class W)"
+
+let source =
+  {|
+global int ntup = 600;
+global int da[600]; global int db[600]; global int dc_[600];
+global float meas[600];
+// view accumulators
+global float vabc[512];   // 4*8*16
+global float vab[32];     // 4*8
+global float vac[64];     // 4*16
+global float vbc[128];    // 8*16
+global float va[4]; global float vb[8]; global float vc[16];
+global float vtot;
+
+int main() {
+  int t; int i;
+  int seed = 271828;
+  for (t = 0; t < ntup; t = t + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    da[t] = seed % 4;
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    db[t] = seed % 8;
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    dc_[t] = seed % 16;
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    meas[t] = tofloat(seed % 10000) * 0.01 + 1.0;
+  }
+  for (i = 0; i < 512; i = i + 1) { vabc[i] = 0.0; }
+  for (i = 0; i < 32; i = i + 1) { vab[i] = 0.0; }
+  for (i = 0; i < 64; i = i + 1) { vac[i] = 0.0; }
+  for (i = 0; i < 128; i = i + 1) { vbc[i] = 0.0; }
+  for (i = 0; i < 4; i = i + 1) { va[i] = 0.0; }
+  for (i = 0; i < 8; i = i + 1) { vb[i] = 0.0; }
+  for (i = 0; i < 16; i = i + 1) { vc[i] = 0.0; }
+  vtot = 0.0;
+  for (t = 0; t < ntup; t = t + 1) {
+    int a = da[t]; int b = db[t]; int c = dc_[t];
+    float mm = meas[t];
+    vabc[(a * 8 + b) * 16 + c] = vabc[(a * 8 + b) * 16 + c] + mm;
+    vab[a * 8 + b] = vab[a * 8 + b] + mm;
+    vac[a * 16 + c] = vac[a * 16 + c] + mm;
+    vbc[b * 16 + c] = vbc[b * 16 + c] + mm;
+    va[a] = va[a] + mm;
+    vb[b] = vb[b] + mm;
+    vc[c] = vc[c] + mm;
+    vtot = vtot + mm;
+  }
+  // per-view weighted checksums, full precision (DC is SOC-prone)
+  float s = 0.0;
+  for (i = 0; i < 512; i = i + 1) { s = s + vabc[i] * tofloat(1 + i % 3); }
+  print_float_full(s);
+  s = 0.0;
+  for (i = 0; i < 32; i = i + 1) { s = s + vab[i] * tofloat(1 + i % 5); }
+  for (i = 0; i < 64; i = i + 1) { s = s + vac[i] * tofloat(1 + i % 7); }
+  for (i = 0; i < 128; i = i + 1) { s = s + vbc[i] * tofloat(1 + i % 11); }
+  print_float_full(s);
+  s = 0.0;
+  for (i = 0; i < 4; i = i + 1) { s = s + va[i]; }
+  for (i = 0; i < 8; i = i + 1) { s = s + vb[i] * 2.0; }
+  for (i = 0; i < 16; i = i + 1) { s = s + vc[i] * 3.0; }
+  print_float_full(s);
+  print_float_full(vtot);
+  return 0;
+}
+|}

@@ -1,0 +1,48 @@
+(* NPB EP: embarrassingly parallel random-number kernel.  Generates
+   uniform pairs with the NPB-style linear congruential generator, applies
+   the Marsaglia polar method to get Gaussian deviates, and tallies them
+   into concentric square annuli — EP's exact computational shape. *)
+
+let name = "EP"
+let input = "1500 pairs, 10 annuli (paper: class A)"
+
+let source =
+  {|
+global int npairs = 1500;
+global int counts[10];
+global float sx;
+global float sy;
+
+int main() {
+  int k; int i;
+  int seed = 123456789;
+  sx = 0.0; sy = 0.0;
+  for (i = 0; i < 10; i = i + 1) { counts[i] = 0; }
+  int accepted = 0;
+  for (k = 0; k < npairs; k = k + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    float u1 = tofloat(seed % 1000000) / 500000.0 - 1.0;
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    float u2 = tofloat(seed % 1000000) / 500000.0 - 1.0;
+    float t = u1 * u1 + u2 * u2;
+    if (t <= 1.0 && t > 0.0) {
+      accepted = accepted + 1;
+      float fac = sqrt(-2.0 * log(t) / t);
+      float g1 = u1 * fac;
+      float g2 = u2 * fac;
+      sx = sx + g1;
+      sy = sy + g2;
+      float m = fabs(g1);
+      if (fabs(g2) > m) { m = fabs(g2); }
+      int bin = toint(m);
+      if (bin > 9) { bin = 9; }
+      counts[bin] = counts[bin] + 1;
+    }
+  }
+  print_int(accepted);
+  print_float_full(sx);
+  print_float_full(sy);
+  for (i = 0; i < 10; i = i + 1) { print_int(counts[i]); }
+  return 0;
+}
+|}

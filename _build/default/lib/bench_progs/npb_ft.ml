@@ -1,0 +1,101 @@
+(* NPB FT: discrete 3D FFT PDE solver, reduced to its core: an iterative
+   radix-2 complex FFT with precomputed twiddles, a spectral "evolve"
+   scaling step, the inverse transform, and running checksums — FT's
+   fft/evolve/checksum loop. *)
+
+let name = "FT"
+let input = "complex FFT n=128, 2 evolve steps (paper: class B)"
+
+let source =
+  {|
+global int n = 128;
+global float re[128];
+global float im[128];
+global float wre[64];
+global float wim[64];
+
+// bit reversal for 7 bits
+int bitrev(int v) {
+  int r = 0;
+  int b;
+  for (b = 0; b < 7; b = b + 1) {
+    r = (r << 1) | ((v >> b) & 1);
+  }
+  return r;
+}
+
+// in-place radix-2 DIT FFT; sign = -1 forward, +1 inverse
+void fft(int sign) {
+  int i; int len; int half; int j; int k;
+  // bit-reversal permutation
+  for (i = 0; i < n; i = i + 1) {
+    int r = bitrev(i);
+    if (r > i) {
+      float tr = re[i]; re[i] = re[r]; re[r] = tr;
+      float ti = im[i]; im[i] = im[r]; im[r] = ti;
+    }
+  }
+  for (len = 2; len <= n; len = len * 2) {
+    half = len / 2;
+    int step = n / len;
+    for (j = 0; j < n; j = j + len) {
+      for (k = 0; k < half; k = k + 1) {
+        float wr = wre[k * step];
+        float wi = tofloat(sign) * wim[k * step];
+        int a = j + k;
+        int b = a + half;
+        float xr = re[b] * wr - im[b] * wi;
+        float xi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] = re[a] + xr;
+        im[a] = im[a] + xi;
+      }
+    }
+  }
+}
+
+int main() {
+  int i; int iter;
+  float pi = 3.14159265358979;
+  for (i = 0; i < n / 2; i = i + 1) {
+    float ang = 2.0 * pi * tofloat(i) / tofloat(n);
+    wre[i] = cos(ang);
+    wim[i] = -sin(ang);
+  }
+  // deterministic pseudo-random initial field
+  int seed = 987654321;
+  for (i = 0; i < n; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    re[i] = tofloat(seed % 10000) * 0.0001;
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    im[i] = tofloat(seed % 10000) * 0.0001;
+  }
+  for (iter = 0; iter < 2; iter = iter + 1) {
+    fft(-1);
+    // evolve: frequency-dependent exponential damping
+    for (i = 0; i < n; i = i + 1) {
+      int f = i;
+      if (f > n / 2) { f = n - f; }
+      float d = exp(-0.0001 * tofloat(f * f) * tofloat(iter + 1));
+      re[i] = re[i] * d;
+      im[i] = im[i] * d;
+    }
+    fft(1);
+    // normalize by n and report the NPB-style checksum
+    float cr = 0.0; float ci = 0.0;
+    for (i = 0; i < n; i = i + 1) {
+      re[i] = re[i] / tofloat(n);
+      im[i] = im[i] / tofloat(n);
+    }
+    for (i = 1; i <= 32; i = i + 1) {
+      int q = (i * 5) % n;
+      cr = cr + re[q];
+      ci = ci + im[q];
+    }
+    print_float(cr);
+    print_float(ci);
+  }
+  return 0;
+}
+|}

@@ -1,0 +1,63 @@
+(* NPB LU: SSOR-based solver for a regular-grid system.  Forward and
+   backward Gauss–Seidel/SSOR sweeps with wavefront-style dependencies on a
+   2D 5-point Poisson operator — the ssor() kernel of LU. *)
+
+let name = "LU"
+let input = "24x24 grid, 6 SSOR iterations, omega=1.2 (paper: class A)"
+
+let source =
+  {|
+global int nx = 24;
+global int ny = 24;
+global float u[576];
+global float rhs[576];
+
+float resid_norm() {
+  int i; int j;
+  float s = 0.0;
+  for (i = 1; i < nx - 1; i = i + 1) {
+    for (j = 1; j < ny - 1; j = j + 1) {
+      int k = i * ny + j;
+      float r = rhs[k] - (4.0 * u[k] - u[k - 1] - u[k + 1] - u[k - ny] - u[k + ny]);
+      s = s + r * r;
+    }
+  }
+  return sqrt(s);
+}
+
+int main() {
+  int i; int j; int it;
+  float omega = 1.2;
+  for (i = 0; i < nx * ny; i = i + 1) {
+    u[i] = 0.0;
+    rhs[i] = sin(tofloat(i) * 0.031) * 0.5 + 0.01 * tofloat(i % 9);
+  }
+  for (it = 0; it < 6; it = it + 1) {
+    // forward sweep (lower triangular)
+    for (i = 1; i < nx - 1; i = i + 1) {
+      for (j = 1; j < ny - 1; j = j + 1) {
+        int k = i * ny + j;
+        float gs = (rhs[k] + u[k - 1] + u[k + 1] + u[k - ny] + u[k + ny]) * 0.25;
+        u[k] = u[k] + omega * (gs - u[k]);
+      }
+    }
+    // backward sweep (upper triangular)
+    for (i = nx - 2; i >= 1; i = i - 1) {
+      for (j = ny - 2; j >= 1; j = j - 1) {
+        int k = i * ny + j;
+        float gs = (rhs[k] + u[k - 1] + u[k + 1] + u[k - ny] + u[k + ny]) * 0.25;
+        u[k] = u[k] + omega * (gs - u[k]);
+      }
+    }
+  }
+  print_float_full(resid_norm());
+  float s0 = 0.0; float s1 = 0.0;
+  for (i = 0; i < nx * ny; i = i + 1) {
+    s0 = s0 + u[i];
+    s1 = s1 + u[i] * u[i];
+  }
+  print_float_full(s0);
+  print_float_full(s1);
+  return 0;
+}
+|}

@@ -1,0 +1,84 @@
+(* NPB SP: scalar-pentadiagonal ADI solver.  Repeated independent
+   pentadiagonal line solves (LU-style forward elimination and back
+   substitution with two super/sub-diagonals) plus an inter-sweep coupling
+   step.  SP in the paper (Fig. 4m) is extremely SOC-heavy — 0% benign for
+   LLFI, ~58% SOC overall — because every computed value feeds the
+   verification output; the full-precision residual dump models that. *)
+
+let name = "SP"
+let input = "20 lines of 20 cells, 4 ADI sweeps (paper: class A)"
+
+let source =
+  {|
+global int m = 20;       // cells per line
+global int nline = 20;
+global float x[400];     // solutions
+global float b[400];     // rhs
+// pentadiagonal coefficients (same for every line)
+global float c2[20]; global float c1[20]; global float c0[20];
+global float d1[20]; global float d2[20];
+// elimination workspace
+global float w0[20]; global float w1[20]; global float w2[20];
+global float g[20];
+
+void solve_line(int lb) {
+  int i;
+  // forward elimination without pivoting (diagonally dominant system)
+  for (i = 0; i < m; i = i + 1) {
+    float piv0 = c0[i];
+    float e1 = d1[i];
+    float e2 = d2[i];
+    float r = b[lb + i];
+    if (i > 0) {
+      float f = c1[i] / w0[i - 1];
+      piv0 = piv0 - f * w1[i - 1];
+      e1 = e1 - f * w2[i - 1];
+      r = r - f * g[i - 1];
+    }
+    if (i > 1) {
+      float f2 = c2[i] / w0[i - 2];
+      piv0 = piv0 - f2 * w2[i - 2] * 0.5;
+      r = r - f2 * g[i - 2];
+    }
+    w0[i] = piv0;
+    w1[i] = e1;
+    w2[i] = e2;
+    g[i] = r;
+  }
+  // back substitution
+  for (i = m - 1; i >= 0; i = i - 1) {
+    float s = g[i];
+    if (i < m - 1) { s = s - w1[i] * x[lb + i + 1]; }
+    if (i < m - 2) { s = s - w2[i] * x[lb + i + 2]; }
+    x[lb + i] = s / w0[i];
+  }
+}
+
+int main() {
+  int i; int line; int sweep;
+  for (i = 0; i < m; i = i + 1) {
+    c2[i] = -0.1; c1[i] = -0.8; c0[i] = 3.0 + 0.05 * tofloat(i % 4);
+    d1[i] = -0.8; d2[i] = -0.1;
+  }
+  for (i = 0; i < m * nline; i = i + 1) {
+    b[i] = cos(tofloat(i) * 0.07) + 0.2;
+    x[i] = 0.0;
+  }
+  for (sweep = 0; sweep < 4; sweep = sweep + 1) {
+    for (line = 0; line < nline; line = line + 1) { solve_line(line * m); }
+    // ADI coupling: mix transposed solution back into the rhs
+    for (line = 0; line < nline; line = line + 1) {
+      for (i = 0; i < m; i = i + 1) {
+        b[line * m + i] = 0.7 * b[line * m + i] + 0.3 * x[i * nline + line];
+      }
+    }
+  }
+  // full verification dump: per-line residual-style checksums
+  for (line = 0; line < nline; line = line + 1) {
+    float s = 0.0;
+    for (i = 0; i < m; i = i + 1) { s = s + x[line * m + i] * tofloat(1 + i % 3); }
+    print_float_full(s);
+  }
+  return 0;
+}
+|}

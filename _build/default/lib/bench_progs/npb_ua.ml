@@ -1,0 +1,85 @@
+(* NPB UA: unstructured adaptive mesh.  Irregular gather/scatter over an
+   element-to-node indirection table, error-driven refinement that rebuilds
+   the indirection (adaptivity), and nodal smoothing — UA's
+   characteristically pointer-chasing memory behaviour. *)
+
+let name = "UA"
+let input = "96 elements / 64 nodes, 5 adapt cycles (paper: class B)"
+
+let source =
+  {|
+global int nel = 96;
+global int nnode = 64;
+global int elnode[384];    // 4 nodes per element (indirection table)
+global float nodeval[64];
+global float elerr[96];
+global int active[96];
+
+int main() {
+  int e; int k; int cycle; int i;
+  int seed = 555555;
+  // irregular connectivity
+  for (e = 0; e < nel; e = e + 1) {
+    active[e] = 1;
+    for (k = 0; k < 4; k = k + 1) {
+      seed = (seed * 1103515245 + 12345) & 2147483647;
+      elnode[e * 4 + k] = seed % nnode;
+    }
+  }
+  for (i = 0; i < nnode; i = i + 1) {
+    nodeval[i] = sin(tofloat(i) * 0.37) + 1.5;
+  }
+  float total_err = 0.0;
+  for (cycle = 0; cycle < 5; cycle = cycle + 1) {
+    // gather: per-element error estimate from its nodes
+    total_err = 0.0;
+    for (e = 0; e < nel; e = e + 1) {
+      if (active[e] == 1) {
+        float v0 = nodeval[elnode[e * 4]];
+        float v1 = nodeval[elnode[e * 4 + 1]];
+        float v2 = nodeval[elnode[e * 4 + 2]];
+        float v3 = nodeval[elnode[e * 4 + 3]];
+        float avg = 0.25 * (v0 + v1 + v2 + v3);
+        float err = fabs(v0 - avg) + fabs(v1 - avg) + fabs(v2 - avg) + fabs(v3 - avg);
+        elerr[e] = err;
+        total_err = total_err + err;
+      }
+    }
+    float thresh = 1.2 * total_err / tofloat(nel);
+    // adapt: deactivate low-error elements, rewire high-error ones to
+    // fresh node sets (refinement proxy)
+    for (e = 0; e < nel; e = e + 1) {
+      if (active[e] == 1) {
+        if (elerr[e] < 0.25 * thresh) { active[e] = 0; }
+        else {
+          if (elerr[e] > thresh) {
+            for (k = 0; k < 4; k = k + 1) {
+              seed = (seed * 1103515245 + 12345) & 2147483647;
+              elnode[e * 4 + k] = (elnode[e * 4 + k] + seed % 7) % nnode;
+            }
+          }
+        }
+      }
+    }
+    // scatter: smooth node values through active elements
+    for (e = 0; e < nel; e = e + 1) {
+      if (active[e] == 1) {
+        float avg = 0.25 * (nodeval[elnode[e * 4]] + nodeval[elnode[e * 4 + 1]]
+                    + nodeval[elnode[e * 4 + 2]] + nodeval[elnode[e * 4 + 3]]);
+        for (k = 0; k < 4; k = k + 1) {
+          int nd = elnode[e * 4 + k];
+          nodeval[nd] = 0.9 * nodeval[nd] + 0.1 * avg;
+        }
+      }
+    }
+  }
+  int nactive = 0;
+  for (e = 0; e < nel; e = e + 1) { nactive = nactive + active[e]; }
+  print_int(nactive);
+  print_float_full(total_err);
+  float s = 0.0;
+  for (i = 0; i < nnode; i = i + 1) { s = s + nodeval[i] * tofloat(1 + i % 4); }
+  print_float_full(s);
+  return 0;
+}
+|}

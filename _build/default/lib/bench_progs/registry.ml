@@ -1,0 +1,35 @@
+(* Registry of the 14 benchmark programs of the paper's Table 3, written in
+   MinC.  Each miniature kernel mirrors the computational pattern of the
+   original C/C++ program (DESIGN.md §2); [input] documents the reduced
+   problem size next to the paper's input. *)
+
+type bench = {
+  name : string;
+  input : string;
+  source : string;
+}
+
+let all : bench list =
+  [
+    { name = Amg2013.name; input = Amg2013.input; source = Amg2013.source };
+    { name = Comd.name; input = Comd.input; source = Comd.source };
+    { name = Hpccg.name; input = Hpccg.input; source = Hpccg.source };
+    { name = Lulesh.name; input = Lulesh.input; source = Lulesh.source };
+    { name = Xsbench.name; input = Xsbench.input; source = Xsbench.source };
+    { name = Minife.name; input = Minife.input; source = Minife.source };
+    { name = Npb_bt.name; input = Npb_bt.input; source = Npb_bt.source };
+    { name = Npb_cg.name; input = Npb_cg.input; source = Npb_cg.source };
+    { name = Npb_dc.name; input = Npb_dc.input; source = Npb_dc.source };
+    { name = Npb_ep.name; input = Npb_ep.input; source = Npb_ep.source };
+    { name = Npb_ft.name; input = Npb_ft.input; source = Npb_ft.source };
+    { name = Npb_lu.name; input = Npb_lu.input; source = Npb_lu.source };
+    { name = Npb_sp.name; input = Npb_sp.input; source = Npb_sp.source };
+    { name = Npb_ua.name; input = Npb_ua.input; source = Npb_ua.source };
+  ]
+
+let find name =
+  match List.find_opt (fun b -> b.name = name) all with
+  | Some b -> b
+  | None -> invalid_arg ("Registry.find: unknown benchmark " ^ name)
+
+let names = List.map (fun b -> b.name) all

@@ -1,0 +1,20 @@
+(** The 14 benchmark programs of the paper's Table 3, written in MinC.
+
+    Each miniature kernel mirrors the computational pattern of the original
+    C/C++ program — CG solves, Lennard-Jones forces, cross-section lookups,
+    FFTs, SSOR sweeps, data-cube aggregation, unstructured gather/scatter —
+    at laptop-scale inputs (documented next to the paper's inputs). *)
+
+type bench = {
+  name : string;  (** the paper's program name, e.g. "HPCCG-1.0" *)
+  input : string;  (** this repro's input | the paper's input *)
+  source : string;  (** MinC source text *)
+}
+
+val all : bench list
+(** All 14, in the paper's Table 3 order. *)
+
+val find : string -> bench
+(** Raises [Invalid_argument] for unknown names. *)
+
+val names : string list

@@ -1,0 +1,68 @@
+(* XSBench: Monte Carlo neutron-transport macroscopic cross-section
+   lookups — the dominant kernel of OpenMC.  Builds sorted nuclide energy
+   grids, then performs many randomized lookups: binary search on the
+   unionized grid, per-nuclide linear interpolation, accumulation into the
+   macro XS vector. *)
+
+let name = "XSBench"
+let input = "4 nuclides x 256 gridpoints, 500 lookups (paper: -s small)"
+
+let source =
+  {|
+global int ngrid = 256;
+global int nnuc = 4;
+global float egrid[256];     // unionized energy grid (sorted)
+global float xs0[256]; global float xs1[256];
+global float xs2[256]; global float xs3[256];
+global float macro[4];
+
+int search(float energy) {
+  // binary search: largest index with egrid[idx] <= energy
+  int lo = 0;
+  int hi = ngrid - 1;
+  while (lo < hi - 1) {
+    int mid = (lo + hi) / 2;
+    if (egrid[mid] <= energy) { lo = mid; } else { hi = mid; }
+  }
+  return lo;
+}
+
+float interp(float[] xs, int idx, float frac) {
+  return xs[idx] + frac * (xs[idx + 1] - xs[idx]);
+}
+
+int main() {
+  int i; int lk;
+  // energy grid: geometric-ish spacing; XS tables: smooth + resonances
+  for (i = 0; i < ngrid; i = i + 1) {
+    float t = tofloat(i) / 256.0;
+    egrid[i] = t * t * 19.0 + t + 0.000001;
+    xs0[i] = 4.0 + sin(t * 37.0) * 1.5;
+    xs1[i] = 1.0 / (0.04 + t);
+    xs2[i] = 2.0 + cos(t * 11.0);
+    xs3[i] = 0.3 + t * 2.0;
+  }
+  for (i = 0; i < nnuc; i = i + 1) { macro[i] = 0.0; }
+  float vhigh = egrid[255];
+  int seed = 42;
+  float total = 0.0;
+  for (lk = 0; lk < 500; lk = lk + 1) {
+    seed = (seed * 1103515245 + 12345) & 2147483647;
+    float energy = tofloat(seed % 100000) / 100000.0 * (vhigh - 0.000002) + 0.000001;
+    int idx = search(energy);
+    float frac = (energy - egrid[idx]) / (egrid[idx + 1] - egrid[idx]);
+    float m0 = interp(xs0, idx, frac);
+    float m1 = interp(xs1, idx, frac);
+    float m2 = interp(xs2, idx, frac);
+    float m3 = interp(xs3, idx, frac);
+    macro[0] = macro[0] + m0;
+    macro[1] = macro[1] + m1;
+    macro[2] = macro[2] + m2;
+    macro[3] = macro[3] + m3;
+    total = total + m0 + m1 + m2 + m3;
+  }
+  for (i = 0; i < nnuc; i = i + 1) { print_float_full(macro[i]); }
+  print_float(total);
+  return 0;
+}
+|}

@@ -1,0 +1,1 @@
+lib/campaign/csv.ml: Experiment Int64 List Printf Refine_core String

@@ -1,0 +1,1 @@
+lib/campaign/experiment.ml: Array Hashtbl Int64 List Refine_core Refine_support

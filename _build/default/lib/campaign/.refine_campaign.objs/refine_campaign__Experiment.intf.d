@@ -1,0 +1,1 @@
+lib/campaign/experiment.mli: Refine_core

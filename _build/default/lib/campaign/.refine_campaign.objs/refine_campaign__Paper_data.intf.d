@@ -1,0 +1,1 @@
+lib/campaign/paper_data.mli:

@@ -1,0 +1,1 @@
+lib/campaign/report.ml: Buffer Experiment Int64 List Paper_data Printf Refine_core Refine_stats Refine_support String

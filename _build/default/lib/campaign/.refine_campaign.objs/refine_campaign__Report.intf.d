@@ -1,0 +1,1 @@
+lib/campaign/report.mli: Experiment Refine_core Refine_stats

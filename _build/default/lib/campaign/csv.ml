@@ -1,0 +1,74 @@
+(* CSV export/import of campaign results, so long campaigns can be archived
+   and re-analyzed without re-running (the paper's 44,856-experiment matrix
+   took cluster time; ours persists to a file). *)
+
+module E = Experiment
+module T = Refine_core.Tool
+
+let header =
+  "program,tool,samples,crash,soc,benign,dyn_count,profile_cost,injection_cost,static_sites"
+
+let row_of_cell (c : E.cell) =
+  Printf.sprintf "%s,%s,%d,%d,%d,%d,%Ld,%Ld,%Ld,%d" c.E.program (T.kind_name c.E.tool)
+    c.E.samples c.E.counts.E.crash c.E.counts.E.soc c.E.counts.E.benign
+    c.E.profile.Refine_core.Fault.dyn_count c.E.profile.Refine_core.Fault.profile_cost
+    c.E.injection_cost c.E.static_instrumented
+
+let to_string (cells : E.cell list) =
+  String.concat "\n" (header :: List.map row_of_cell cells) ^ "\n"
+
+let save path cells =
+  let oc = open_out path in
+  output_string oc (to_string cells);
+  close_out oc
+
+exception Parse_error of string
+
+let tool_of_name = function
+  | "REFINE" -> T.Refine
+  | "LLFI" -> T.Llfi
+  | "PINFI" -> T.Pinfi
+  | s -> raise (Parse_error ("unknown tool " ^ s))
+
+(* Parses rows back into cells.  The golden output is not persisted (it can
+   be arbitrarily large); reloaded profiles carry an empty golden output and
+   are suitable for statistics, not for re-running injections. *)
+let of_string (s : string) : E.cell list =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "") in
+  match lines with
+  | [] -> []
+  | hdr :: rows ->
+    if String.trim hdr <> header then raise (Parse_error "unexpected CSV header");
+    List.map
+      (fun line ->
+        match String.split_on_char ',' line with
+        | [ program; tool; samples; crash; soc; benign; dyn; pcost; icost; sites ] ->
+          {
+            E.program;
+            tool = tool_of_name tool;
+            samples = int_of_string samples;
+            counts =
+              {
+                E.crash = int_of_string crash;
+                soc = int_of_string soc;
+                benign = int_of_string benign;
+              };
+            injection_cost = Int64.of_string icost;
+            profile =
+              {
+                Refine_core.Fault.golden_output = "";
+                golden_exit = 0;
+                dyn_count = Int64.of_string dyn;
+                profile_cost = Int64.of_string pcost;
+              };
+            static_instrumented = int_of_string sites;
+          }
+        | _ -> raise (Parse_error ("bad CSV row: " ^ line)))
+      rows
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

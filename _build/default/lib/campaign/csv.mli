@@ -1,0 +1,15 @@
+(** CSV persistence for campaign results. *)
+
+val header : string
+
+val to_string : Experiment.cell list -> string
+val save : string -> Experiment.cell list -> unit
+
+exception Parse_error of string
+
+val of_string : string -> Experiment.cell list
+(** Inverse of {!to_string}.  Golden outputs are not persisted: reloaded
+    cells are suitable for statistics and reporting, not for re-running
+    injections. *)
+
+val load : string -> Experiment.cell list

@@ -1,0 +1,73 @@
+(* Campaign orchestration: N statistically-sized fault-injection
+   experiments per (program, tool) cell, as in the paper's §5.3 — one
+   uniformly chosen single bit flip per run, outcomes tallied into a
+   crash/SOC/benign contingency row.
+
+   Each experiment owns a split of the master PRNG, so results are
+   deterministic for a given seed regardless of how work is distributed
+   over domains. *)
+
+module T = Refine_core.Tool
+module F = Refine_core.Fault
+module P = Refine_support.Prng
+
+type counts = { crash : int; soc : int; benign : int }
+
+let total c = c.crash + c.soc + c.benign
+
+let add_outcome c = function
+  | F.Crash -> { c with crash = c.crash + 1 }
+  | F.Soc -> { c with soc = c.soc + 1 }
+  | F.Benign -> { c with benign = c.benign + 1 }
+
+let zero = { crash = 0; soc = 0; benign = 0 }
+
+type cell = {
+  program : string;
+  tool : T.kind;
+  samples : int;
+  counts : counts;
+  injection_cost : int64; (* summed modeled time of all injection runs *)
+  profile : F.profile;
+  static_instrumented : int;
+}
+
+(* One (program, tool) cell: prepare (compile + profile) once, then run
+   [samples] injections. *)
+let run_cell ?domains ?(sel = Refine_core.Selection.default) ~samples ~seed
+    (tool : T.kind) ~program ~source () : cell =
+  let prepared = T.prepare ~sel tool source in
+  let master = P.create (seed lxor Hashtbl.hash (program, T.kind_name tool)) in
+  let rngs = Array.init samples (fun _ -> P.split master) in
+  let outcomes =
+    Refine_support.Parallel.map_array ?domains (fun rng -> T.run_injection prepared rng) rngs
+  in
+  let counts = Array.fold_left (fun acc e -> add_outcome acc e.F.outcome) zero outcomes in
+  let injection_cost =
+    Array.fold_left (fun acc e -> Int64.add acc e.F.run_cost) 0L outcomes
+  in
+  {
+    program;
+    tool;
+    samples;
+    counts;
+    injection_cost;
+    profile = prepared.T.profile;
+    static_instrumented = prepared.T.static_instrumented;
+  }
+
+(* The full evaluation matrix: every program x every tool. *)
+let run_matrix ?domains ?sel ~samples ~seed (programs : (string * string) list)
+    (tools : T.kind list) : cell list =
+  List.concat_map
+    (fun (program, source) ->
+      List.map
+        (fun tool -> run_cell ?domains ?sel ~samples ~seed tool ~program ~source ())
+        tools)
+    programs
+
+let find_cell cells ~program ~tool =
+  List.find (fun c -> c.program = program && c.tool = tool) cells
+
+(* contingency row for the chi-squared tests *)
+let row c = [| c.counts.crash; c.counts.soc; c.counts.benign |]

@@ -1,0 +1,48 @@
+(** Campaign orchestration: statistically-sized batches of fault-injection
+    experiments per (program, tool) cell, as in the paper's §5.3. *)
+
+type counts = { crash : int; soc : int; benign : int }
+
+val total : counts -> int
+val zero : counts
+val add_outcome : counts -> Refine_core.Fault.outcome -> counts
+
+type cell = {
+  program : string;
+  tool : Refine_core.Tool.kind;
+  samples : int;
+  counts : counts;
+  injection_cost : int64;  (** summed modeled time of all injection runs —
+                               the campaign-time measure of Figure 5 *)
+  profile : Refine_core.Fault.profile;
+  static_instrumented : int;
+}
+
+val run_cell :
+  ?domains:int ->
+  ?sel:Refine_core.Selection.t ->
+  samples:int ->
+  seed:int ->
+  Refine_core.Tool.kind ->
+  program:string ->
+  source:string ->
+  unit ->
+  cell
+(** Compile + profile once, then run [samples] injections.  Each experiment
+    owns a split of the master PRNG: results are deterministic in [seed]
+    and independent of the number of domains. *)
+
+val run_matrix :
+  ?domains:int ->
+  ?sel:Refine_core.Selection.t ->
+  samples:int ->
+  seed:int ->
+  (string * string) list ->
+  Refine_core.Tool.kind list ->
+  cell list
+(** The full evaluation grid: every (program, source) under every tool. *)
+
+val find_cell : cell list -> program:string -> tool:Refine_core.Tool.kind -> cell
+
+val row : cell -> int array
+(** [crash; soc; benign] contingency row for {!Refine_stats.Chi2.test}. *)

@@ -1,0 +1,19 @@
+(** Reference values transcribed from the paper's evaluation section, for
+    paper-vs-measured reporting: the complete Table 6 outcome counts, the
+    Figure 5 normalized campaign times, and the Table 5 REFINE p-values. *)
+
+type row = { crash : int; soc : int; benign : int }
+
+val table6 : (string * (row * row * row)) list
+(** program -> (LLFI, REFINE, PINFI) rows, 1068 samples each. *)
+
+val figure5 : (string * (float * float)) list
+(** program -> (LLFI, REFINE) campaign time normalized to PINFI. *)
+
+val figure5_total : float * float
+(** (3.9, 1.2): the paper's aggregate normalized times. *)
+
+val table5_refine_pvalues : (string * float) list
+(** The published REFINE-vs-PINFI p-values (all non-significant). *)
+
+val find_table6 : string -> row * row * row

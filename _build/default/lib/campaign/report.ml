@@ -1,0 +1,206 @@
+(* Rendering of campaign results in the shape of the paper's tables and
+   figure series (text form).  Used by bench/main.exe and the examples. *)
+
+module T = Refine_core.Tool
+module Tbl = Refine_support.Table
+module E = Experiment
+
+let pct part total = 100.0 *. float_of_int part /. float_of_int (max 1 total)
+
+let tools = [ T.Llfi; T.Refine; T.Pinfi ]
+
+(* ---- Figure 4: outcome percentages with confidence intervals ---------- *)
+
+let figure4_program (cells : E.cell list) program =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "Figure 4 — %s: sampled outcome probabilities (%%)\n" program);
+  let rows =
+    List.map
+      (fun tool ->
+        let c = E.find_cell cells ~program ~tool in
+        let n = E.total c.E.counts in
+        let ci count =
+          let iv = Refine_stats.Ci.wald ~count ~total:n () in
+          Printf.sprintf "%5.1f ±%.1f" (100.0 *. iv.Refine_stats.Ci.p)
+            (100.0 *. (iv.Refine_stats.Ci.high -. iv.Refine_stats.Ci.p))
+        in
+        [ T.kind_name tool; ci c.E.counts.E.crash; ci c.E.counts.E.soc; ci c.E.counts.E.benign ])
+      tools
+  in
+  Buffer.add_string buf
+    (Tbl.render ~align:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ]
+       ~header:[ "tool"; "crash"; "SOC"; "benign" ] rows);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---- Figure 4 PMF stacked bars ----------------------------------------
+   The fourth panel of each Figure 4 subplot: the probability mass function
+   of the outcomes per tool as a stacked bar — "a concise way of
+   visualizing diversions and similarities" (paper §5.4.1). *)
+
+let figure4_pmf (cells : E.cell list) program =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "PMF (stacked: # crash, * SOC, . benign) — %s\n" program);
+  let width = 50 in
+  List.iter
+    (fun tool ->
+      let c = E.find_cell cells ~program ~tool in
+      let n = max 1 (E.total c.E.counts) in
+      let seg count = count * width / n in
+      let ncr = seg c.E.counts.E.crash in
+      let nso = seg c.E.counts.E.soc in
+      let nbe = max 0 (width - ncr - nso) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-7s [%s%s%s]\n" (T.kind_name tool) (String.make ncr '#')
+           (String.make nso '*') (String.make nbe '.')))
+    tools;
+  Buffer.contents buf
+
+(* ---- Table 4-style contingency table ---------------------------------- *)
+
+let contingency_table (a : E.cell) (b : E.cell) =
+  let buf = Buffer.create 256 in
+  let line (c : E.cell) =
+    [
+      T.kind_name c.E.tool;
+      string_of_int c.E.counts.E.crash;
+      string_of_int c.E.counts.E.soc;
+      string_of_int c.E.counts.E.benign;
+      string_of_int (E.total c.E.counts);
+    ]
+  in
+  let tot f = f a.E.counts + f b.E.counts in
+  Buffer.add_string buf
+    (Tbl.render
+       ~align:[ Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+       ~header:[ "Tool"; "Crash"; "SOC"; "Benign"; "Total" ]
+       [
+         line a;
+         line b;
+         [
+           "Total";
+           string_of_int (tot (fun c -> c.E.crash));
+           string_of_int (tot (fun c -> c.E.soc));
+           string_of_int (tot (fun c -> c.E.benign));
+           "";
+         ];
+       ]);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---- Table 5: chi-squared verdicts ------------------------------------ *)
+
+type chi2_row = {
+  program : string;
+  llfi_vs_pinfi : Refine_stats.Chi2.test_result;
+  refine_vs_pinfi : Refine_stats.Chi2.test_result;
+}
+
+let chi2_rows (cells : E.cell list) programs : chi2_row list =
+  List.map
+    (fun program ->
+      let cell tool = E.find_cell cells ~program ~tool in
+      let test a b = Refine_stats.Chi2.test [| E.row (cell a); E.row (cell b) |] in
+      { program; llfi_vs_pinfi = test T.Llfi T.Pinfi; refine_vs_pinfi = test T.Refine T.Pinfi })
+    programs
+
+let table5 (rows : chi2_row list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Table 5 — chi-squared tests against PINFI (alpha = 0.05)\n";
+  let fmt (t : Refine_stats.Chi2.test_result) =
+    ( (if t.Refine_stats.Chi2.p_value < 0.005 then "~0.00"
+       else Printf.sprintf "%.2f" t.Refine_stats.Chi2.p_value),
+      if t.Refine_stats.Chi2.significant then "yes" else "no" )
+  in
+  let trows =
+    List.map
+      (fun r ->
+        let lp, ls = fmt r.llfi_vs_pinfi in
+        let rp, rs = fmt r.refine_vs_pinfi in
+        [ r.program; lp; ls; rp; rs ])
+      rows
+  in
+  Buffer.add_string buf
+    (Tbl.render
+       ~align:[ Tbl.Left; Tbl.Right; Tbl.Left; Tbl.Right; Tbl.Left ]
+       ~header:
+         [ "program"; "LLFI p-value"; "signif.diff?"; "REFINE p-value"; "signif.diff?" ]
+       trows);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---- Table 6: complete outcome counts, paper side-by-side ------------- *)
+
+let table6 (cells : E.cell list) programs =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Table 6 — outcome frequencies (measured | paper @1068)\n";
+  let rows =
+    List.concat_map
+      (fun program ->
+        let paper_l, paper_r, paper_p = Paper_data.find_table6 program in
+        List.map2
+          (fun tool (paper : Paper_data.row) ->
+            let c = E.find_cell cells ~program ~tool in
+            [
+              program;
+              T.kind_name tool;
+              Printf.sprintf "%d | %d" c.E.counts.E.crash paper.Paper_data.crash;
+              Printf.sprintf "%d | %d" c.E.counts.E.soc paper.Paper_data.soc;
+              Printf.sprintf "%d | %d" c.E.counts.E.benign paper.Paper_data.benign;
+            ])
+          tools
+          [ paper_l; paper_r; paper_p ])
+      programs
+  in
+  Buffer.add_string buf
+    (Tbl.render
+       ~align:[ Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right ]
+       ~header:[ "program"; "tool"; "crash"; "SOC"; "benign" ]
+       rows);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* ---- Figure 5: campaign time normalized to PINFI ---------------------- *)
+
+let figure5 (cells : E.cell list) programs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Figure 5 — campaign execution time normalized to PINFI (measured | paper)\n";
+  let norm program tool =
+    let c = E.find_cell cells ~program ~tool in
+    let p = E.find_cell cells ~program ~tool:T.Pinfi in
+    Int64.to_float c.E.injection_cost /. Int64.to_float (max 1L p.E.injection_cost |> fun x -> x)
+  in
+  let total tool =
+    let sum t =
+      List.fold_left
+        (fun acc program ->
+          Int64.add acc (E.find_cell cells ~program ~tool:t).E.injection_cost)
+        0L programs
+    in
+    Int64.to_float (sum tool) /. Int64.to_float (sum T.Pinfi)
+  in
+  let rows =
+    List.map
+      (fun program ->
+        let pl, pr = List.assoc program Paper_data.figure5 in
+        [
+          program;
+          Printf.sprintf "%.1f | %.1f" (norm program T.Llfi) pl;
+          Printf.sprintf "%.1f | %.1f" (norm program T.Refine) pr;
+        ])
+      programs
+    @ [
+        (let pl, pr = Paper_data.figure5_total in
+         [
+           "Total";
+           Printf.sprintf "%.1f | %.1f" (total T.Llfi) pl;
+           Printf.sprintf "%.1f | %.1f" (total T.Refine) pr;
+         ]);
+      ]
+  in
+  Buffer.add_string buf
+    (Tbl.render ~align:[ Tbl.Left; Tbl.Right; Tbl.Right ]
+       ~header:[ "program"; "LLFI"; "REFINE" ] rows);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

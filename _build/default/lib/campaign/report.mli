@@ -1,0 +1,37 @@
+(** Rendering of campaign results in the shape of the paper's tables and
+    figure series (text form), used by bench/main.exe, the examples and the
+    refinec CLI. *)
+
+val pct : int -> int -> float
+
+val tools : Refine_core.Tool.kind list
+(** The comparison set, in the paper's plotting order: LLFI, REFINE,
+    PINFI. *)
+
+val figure4_program : Experiment.cell list -> string -> string
+(** One program's panel of Figure 4: sampled outcome probabilities per tool
+    with 95% Wald confidence intervals. *)
+
+val figure4_pmf : Experiment.cell list -> string -> string
+(** The PMF stacked-bar panel of Figure 4 ([#] crash, [*] SOC, [.] benign):
+    visually similar bars = similar tools, the paper's §5.4.1 reading. *)
+
+val contingency_table : Experiment.cell -> Experiment.cell -> string
+(** A Table 4-style 2x3 contingency table with margins. *)
+
+type chi2_row = {
+  program : string;
+  llfi_vs_pinfi : Refine_stats.Chi2.test_result;
+  refine_vs_pinfi : Refine_stats.Chi2.test_result;
+}
+
+val chi2_rows : Experiment.cell list -> string list -> chi2_row list
+val table5 : chi2_row list -> string
+(** The paper's Table 5: per-program chi-squared verdicts against PINFI. *)
+
+val table6 : Experiment.cell list -> string list -> string
+(** Complete outcome counts, measured side-by-side with the paper's
+    published 1068-sample counts. *)
+
+val figure5 : Experiment.cell list -> string list -> string
+(** Campaign execution time normalized to PINFI, measured | paper. *)

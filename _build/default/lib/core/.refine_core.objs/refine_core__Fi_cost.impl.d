@@ -1,0 +1,1 @@
+lib/core/fi_cost.ml:

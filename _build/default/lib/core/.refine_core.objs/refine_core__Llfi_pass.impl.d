@@ -1,0 +1,1 @@
+lib/core/llfi_pass.ml: Hashtbl Int64 List Refine_ir Selection

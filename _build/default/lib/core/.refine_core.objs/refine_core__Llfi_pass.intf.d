@@ -1,0 +1,1 @@
+lib/core/llfi_pass.mli: Refine_ir Selection

@@ -1,0 +1,1 @@
+lib/core/opcode_fi.ml: Array Fault Fi_cost Int64 List Printf Refine_backend Refine_ir Refine_machine Refine_mir Refine_support Runtime

@@ -1,0 +1,1 @@
+lib/core/opcode_fi.mli: Fault Refine_backend Refine_machine Refine_mir Refine_support Runtime

@@ -1,0 +1,1 @@
+lib/core/pinfi.ml: Array Fault Fi_cost Hashtbl Int64 List Refine_backend Refine_machine Refine_mir Refine_support Runtime Selection

@@ -1,0 +1,1 @@
+lib/core/pinfi.mli: Fault Refine_machine Runtime Selection

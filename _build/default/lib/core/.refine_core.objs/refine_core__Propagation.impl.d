@@ -1,0 +1,1 @@
+lib/core/propagation.ml: Hashtbl List Queue Refine_ir

@@ -1,0 +1,1 @@
+lib/core/refine_pass.ml: Int64 List Refine_ir Refine_mir Selection

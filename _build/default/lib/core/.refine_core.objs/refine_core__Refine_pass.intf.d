@@ -1,0 +1,1 @@
+lib/core/refine_pass.mli: Refine_mir Selection

@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Array Fault Fi_cost Int64 Refine_machine Refine_mir Refine_support

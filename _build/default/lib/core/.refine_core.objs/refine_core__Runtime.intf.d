@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Fault Refine_machine Refine_support

@@ -1,0 +1,1 @@
+lib/core/selection.ml: List Refine_ir Refine_mir

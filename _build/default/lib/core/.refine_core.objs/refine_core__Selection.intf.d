@@ -1,0 +1,1 @@
+lib/core/selection.mli: Refine_ir Refine_mir

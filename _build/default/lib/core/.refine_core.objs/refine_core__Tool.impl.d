@@ -1,0 +1,1 @@
+lib/core/tool.ml: Fault Fi_cost Int64 List Llfi_pass Pinfi Printf Refine_backend Refine_ir Refine_machine Refine_minic Refine_pass Refine_support Runtime Selection

@@ -1,0 +1,1 @@
+lib/core/tool.mli: Fault Refine_backend Refine_ir Refine_machine Refine_support Selection

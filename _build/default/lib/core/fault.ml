@@ -1,0 +1,46 @@
+(* Fault records and outcome classification (paper §4.3.2, Figure 3b).
+
+   A fault log entry records which dynamic instruction, output operand and
+   bit were hit — "for reference and repeatability".  Outcomes:
+
+   - Crash: the run trapped (segfault, illegal pc, ...), returned a nonzero
+     exit code, or exceeded 10x the profiled execution time (timeout);
+   - SOC (silent output corruption): final output differs from the golden
+     output of the fault-free profiling run;
+   - Benign: the fault had no observable effect. *)
+
+type record = {
+  dyn_index : int64; (* 1-based dynamic index of the faulted instruction *)
+  op_index : int; (* which output operand *)
+  reg_name : string;
+  bit : int;
+}
+
+type outcome = Crash | Soc | Benign
+
+let string_of_outcome = function Crash -> "crash" | Soc -> "SOC" | Benign -> "benign"
+
+let string_of_record r =
+  Printf.sprintf "dyn=%Ld op=%d reg=%s bit=%d" r.dyn_index r.op_index r.reg_name r.bit
+
+type profile = {
+  golden_output : string;
+  golden_exit : int;
+  dyn_count : int64; (* size of the tool's injection population *)
+  profile_cost : int64; (* modeled time of the profiling run *)
+}
+
+type experiment = {
+  outcome : outcome;
+  run_cost : int64;
+  fault : record option; (* None when the target was never reached *)
+}
+
+let classify (p : profile) (r : Refine_machine.Exec.result) : outcome =
+  match r.status with
+  | Refine_machine.Exec.Trapped _ | Refine_machine.Exec.Timed_out -> Crash
+  | Refine_machine.Exec.Exited code ->
+    if code <> p.golden_exit then Crash
+    else if r.output <> p.golden_output then Soc
+    else Benign
+  | Refine_machine.Exec.Running -> Crash

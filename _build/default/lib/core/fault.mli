@@ -1,0 +1,36 @@
+(** Fault records, outcome classification and profiling data — the paper's
+    §4.3 workflow vocabulary. *)
+
+type record = {
+  dyn_index : int64;  (** 1-based dynamic index of the faulted instruction *)
+  op_index : int;  (** which output operand was flipped *)
+  reg_name : string;  (** register name, or a placeholder for IR values *)
+  bit : int;  (** flipped bit, 0 = least significant *)
+}
+(** One line of the fault log of Figure 3b: which dynamic instruction,
+    operand and bit were hit — "for reference and repeatability". *)
+
+type outcome =
+  | Crash  (** trap, nonzero exit code, or 10x-profiling timeout *)
+  | Soc  (** silent output corruption: output differs from the golden run *)
+  | Benign  (** no observable effect *)
+
+val string_of_outcome : outcome -> string
+val string_of_record : record -> string
+
+type profile = {
+  golden_output : string;  (** output of the fault-free profiling run *)
+  golden_exit : int;
+  dyn_count : int64;  (** size of the tool's dynamic injection population *)
+  profile_cost : int64;  (** modeled time of the profiling run *)
+}
+(** Result of the profiling phase (Figure 3a). *)
+
+type experiment = {
+  outcome : outcome;
+  run_cost : int64;  (** modeled time of this injection run *)
+  fault : record option;  (** [None] if the target instance never executed *)
+}
+
+val classify : profile -> Refine_machine.Exec.result -> outcome
+(** Outcome classification of §4.3.2 against the golden profile. *)

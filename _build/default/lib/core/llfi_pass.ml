@@ -1,0 +1,88 @@
+(* LLFI-style IR instrumentation (paper §3.3.2, Listing 2a).
+
+   After the IR optimization pipeline has run, every selected
+   value-producing IR instruction gets a call
+
+       fi = call @llfi_inject_<ty>(id, value)
+
+   inserted after it, and all other uses of the value are rewritten to the
+   call's result.  This is faithful to how LLFI/KULFI/VULFI/FlipIt
+   instrument: and it is exactly what triggers the paper's two problems —
+
+   (1) the injection population is IR values only: no prologue/epilogue,
+       no spills/reloads, no flag writes, no ABI marshaling;
+   (2) the inserted calls interfere with code generation: each one clobbers
+       the caller-saved registers, so the register allocator must place
+       crossing live ranges in callee-saved registers or spill them, and
+       compare/branch fusion and addressing-mode folding break because the
+       value now flows through a call. *)
+
+module I = Refine_ir.Ir
+
+(* Returns the number of instrumented instructions (static). *)
+let run ?(sel = Selection.default) (m : I.modul) : int =
+  let next_id = ref 0 in
+  let total = ref 0 in
+  List.iter
+    (fun (fn : I.func) ->
+      if Selection.func_selected sel fn.fname then begin
+        let repl : (I.value, I.value) Hashtbl.t = Hashtbl.create 32 in
+        (* insert calls and record the value renaming *)
+        List.iter
+          (fun (b : I.block) ->
+            let new_body =
+              List.concat_map
+                (fun i ->
+                  if Selection.ir_instr_selected sel i then begin
+                    match I.instr_def i with
+                    | Some d ->
+                      let ty = I.value_ty fn d in
+                      let fd = fn.vnext in
+                      fn.vnext <- fd + 1;
+                      Hashtbl.add fn.vtypes fd ty;
+                      Hashtbl.replace repl d fd;
+                      incr total;
+                      let id = !next_id in
+                      incr next_id;
+                      (* LLVM type widths matter: comparison results are i1,
+                         so a fault in them always inverts the decision *)
+                      let callee =
+                        match (ty, i) with
+                        | _, (I.Icmp _ | I.Fcmp _) -> "llfi_inject_i1"
+                        | I.I64, _ -> "llfi_inject_i64"
+                        | I.F64, _ -> "llfi_inject_f64"
+                      in
+                      [
+                        i;
+                        I.Call (Some fd, ty, callee, [ I.ICst (Int64.of_int id); I.Var d ]);
+                      ]
+                    | None -> [ i ]
+                  end
+                  else [ i ])
+                b.body
+            in
+            b.body <- new_body)
+          fn.blocks;
+        (* rewrite uses (the inject calls keep the raw value) *)
+        let is_inject = function
+          | I.Call (_, _, ("llfi_inject_i64" | "llfi_inject_f64" | "llfi_inject_i1"), _) -> true
+          | _ -> false
+        in
+        let subst o =
+          match o with
+          | I.Var v -> ( match Hashtbl.find_opt repl v with Some fd -> I.Var fd | None -> o)
+          | _ -> o
+        in
+        List.iter
+          (fun (b : I.block) ->
+            b.body <-
+              List.map (fun i -> if is_inject i then i else I.map_instr_uses subst i) b.body;
+            b.term <- I.map_term_uses subst b.term;
+            List.iter
+              (fun (p : I.phi) ->
+                p.incoming <- List.map (fun (l, o) -> (l, subst o)) p.incoming)
+              b.phis)
+          fn.blocks
+      end)
+    m.funcs;
+  !total

@@ -1,0 +1,13 @@
+(** LLFI-style IR instrumentation (paper §3.3.2, Listing 2a): after IR
+    optimization, every selected value-producing instruction gets an
+    [injectFault]-style runtime call appended, and all other uses of the
+    value are rewritten to the call's result.
+
+    This pass exists to reproduce the two problems the paper identifies
+    with IR-level FI: the restricted injection population and the
+    code-generation interference of the inserted calls (register spilling,
+    broken compare/branch fusion). *)
+
+val run : ?sel:Selection.t -> Refine_ir.Ir.modul -> int
+(** Instruments the module in place; returns the number of static
+    instrumentation sites.  The output passes [Refine_ir.Verify]. *)

@@ -1,0 +1,119 @@
+(* Opcode-corruption fault injection — the extension sketched in the
+   paper's §4.5 Discussion.
+
+   REFINE's compile-time instrumentation can only produce *valid* opcodes
+   (the assembler rejects invalid encodings), and the paper proposes
+   addressing opcode faults "by extending the runtime injection library to
+   corrupt the memory addresses of OP codes".  This module implements that
+   extension on the simulator: at a uniformly chosen dynamic instance, the
+   static instruction's opcode is replaced by a *different valid opcode of
+   the same operand shape* — modelling a corrupted code byte that persists
+   for the rest of the run (code memory is not rewritten).
+
+   The mutation happens on a private copy of the code image, so prepared
+   binaries stay shareable across experiments. *)
+
+module M = Refine_mir.Minstr
+module E = Refine_machine.Exec
+module L = Refine_backend.Layout
+module P = Refine_support.Prng
+module I = Refine_ir.Ir
+
+(* Valid same-shape opcode replacements.  Instructions with no compatible
+   alternative (moves, control transfers, ...) are not corruption targets,
+   exactly as REFINE's valid-opcode restriction demands. *)
+let alternatives (i : M.t) : M.t list =
+  let ibinops = [ I.Add; I.Sub; I.Mul; I.And; I.Or; I.Xor; I.Shl; I.Lshr; I.Ashr ] in
+  let fbinops = [ I.Fadd; I.Fsub; I.Fmul; I.Fdiv ] in
+  let int_ccs = [ M.CEq; M.CNe; M.CLt; M.CLe; M.CGt; M.CGe ] in
+  let float_ccs = [ M.CFeq; M.CFne; M.CFlt; M.CFle; M.CFgt; M.CFge ] in
+  match i with
+  | M.Mbin (op, d, a, b) ->
+    List.filter_map
+      (fun op' -> if op' <> op then Some (M.Mbin (op', d, a, b)) else None)
+      ibinops
+  | M.Mfbin (op, d, a, b) ->
+    List.filter_map
+      (fun op' -> if op' <> op then Some (M.Mfbin (op', d, a, b)) else None)
+      fbinops
+  | M.Mfun (op, d, a) ->
+    List.filter_map
+      (fun op' -> if op' <> op then Some (M.Mfun (op', d, a)) else None)
+      [ I.Fneg; I.Fsqrt; I.Fabs ]
+  | M.Mjcc (cc, l) ->
+    let pool = if List.mem cc int_ccs then int_ccs else float_ccs in
+    List.filter_map (fun cc' -> if cc' <> cc then Some (M.Mjcc (cc', l)) else None) pool
+  | M.Msetcc (cc, d) ->
+    let pool = if List.mem cc int_ccs then int_ccs else float_ccs in
+    List.filter_map (fun cc' -> if cc' <> cc then Some (M.Msetcc (cc', d)) else None) pool
+  | M.Mload (d, b, off) -> [ M.Mlea (d, b, None, off) ] (* mov r,[m] -> lea r,[m] *)
+  | M.Mlea (d, b, None, off) -> [ M.Mload (d, b, off) ]
+  | _ -> []
+
+let is_target i = alternatives i <> []
+
+type ctrl = {
+  mutable count : int64;
+  mode : Runtime.mode;
+  mutable fired : bool;
+  mutable corrupted_pc : int option;
+}
+
+let create mode = { count = 0L; mode; fired = false; corrupted_pc = None }
+
+(* a fresh engine over a private copy of the code, with the corruption hook *)
+let attach (ctrl : ctrl) (image : L.image) : E.t =
+  let image = { image with L.code = Array.copy image.L.code } in
+  let eng = E.create image in
+  let hook (eng : E.t) (pc : int) (i : M.t) =
+    if is_target i then begin
+      ctrl.count <- Int64.add ctrl.count 1L;
+      match ctrl.mode with
+      | Runtime.Profile -> ()
+      | Runtime.Inject { target; rng } ->
+        if (not ctrl.fired) && ctrl.count = target then begin
+          ctrl.fired <- true;
+          let alts = alternatives i in
+          let replacement = List.nth alts (P.int rng (List.length alts)) in
+          eng.E.image.L.code.(pc) <- replacement;
+          ctrl.corrupted_pc <- Some pc;
+          eng.E.post_hook <- None;
+          eng.E.hook_cost <- 0L
+        end
+    end
+  in
+  eng.E.post_hook <- Some hook;
+  eng.E.hook_cost <- Fi_cost.pin_attach_per_instr;
+  eng
+
+(* profiling + one experiment, mirroring Tool.run_injection *)
+let profile (image : L.image) : Fault.profile =
+  let ctrl = create Runtime.Profile in
+  let eng = attach ctrl image in
+  let r = E.run ~max_steps:2_000_000_000L eng in
+  (match r.E.status with
+  | E.Exited 0 -> ()
+  | _ -> failwith "Opcode_fi.profile: fault-free run failed");
+  {
+    Fault.golden_output = r.E.output;
+    golden_exit = 0;
+    dyn_count = ctrl.count;
+    profile_cost = r.E.cost;
+  }
+
+let run_injection (image : L.image) (p : Fault.profile) (rng : P.t) : Fault.experiment =
+  if p.Fault.dyn_count = 0L then { Fault.outcome = Fault.Benign; run_cost = 0L; fault = None }
+  else begin
+    let target = Int64.add 1L (P.int64 rng p.Fault.dyn_count) in
+    let ctrl = create (Runtime.Inject { target; rng }) in
+    let eng = attach ctrl image in
+    let max_cost = Int64.mul Fi_cost.timeout_factor p.Fault.profile_cost in
+    let r = E.run ~max_cost eng in
+    let fault =
+      match ctrl.corrupted_pc with
+      | Some pc ->
+        Some { Fault.dyn_index = ctrl.count; op_index = 0; reg_name = Printf.sprintf "pc=%d" pc; bit = -1 }
+      | None -> None
+    in
+    { Fault.outcome = Fault.classify p r; run_cost = r.E.cost; fault }
+  end

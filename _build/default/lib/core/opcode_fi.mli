@@ -1,0 +1,35 @@
+(** Opcode-corruption fault injection — the extension sketched in the
+    paper's §4.5: faults in instruction OP codes, restricted to *valid*
+    opcodes (the assembler rejects invalid encodings).
+
+    At a uniformly chosen dynamic instance, the static instruction is
+    replaced by a different valid opcode of the same operand shape,
+    modelling a corrupted code byte that persists for the rest of the run.
+    Each experiment runs on a private copy of the code image. *)
+
+val alternatives : Refine_mir.Minstr.t -> Refine_mir.Minstr.t list
+(** Valid same-shape replacements (ALU opcode swaps, condition-code swaps,
+    load/lea confusion).  Empty for instructions with no compatible
+    alternative. *)
+
+val is_target : Refine_mir.Minstr.t -> bool
+
+type ctrl = {
+  mutable count : int64;
+  mode : Runtime.mode;
+  mutable fired : bool;
+  mutable corrupted_pc : int option;
+}
+
+val create : Runtime.mode -> ctrl
+
+val attach : ctrl -> Refine_backend.Layout.image -> Refine_machine.Exec.t
+(** Fresh engine over a private code copy with the corruption hook
+    installed. *)
+
+val profile : Refine_backend.Layout.image -> Fault.profile
+(** Fault-free counting run (the corruption population differs from the
+    bit-flip population: only instructions with valid alternatives). *)
+
+val run_injection :
+  Refine_backend.Layout.image -> Fault.profile -> Refine_support.Prng.t -> Fault.experiment

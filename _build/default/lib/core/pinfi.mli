@@ -1,0 +1,22 @@
+(** PINFI-style binary-level fault injection (paper §5.2): a per-
+    instruction hook on the simulator plays the role of Intel Pin over the
+    clean, uninstrumented binary.  After injecting the single fault the
+    tool {e detaches} — hook and DBI cost disappear for the rest of the
+    run, the performance optimization the paper added to PINFI. *)
+
+type ctrl = {
+  mutable count : int64;  (** dynamic instructions with register writes *)
+  mode : Runtime.mode;
+  mutable fired : bool;
+  mutable record : Fault.record option;
+  sel : Selection.t;
+  flips : int;  (** bits flipped per fault (1 = single-bit model) *)
+}
+
+val create : ?sel:Selection.t -> ?flips:int -> Runtime.mode -> ctrl
+(** [flips] extends the single-bit model to the multi-bit variants the
+    paper cites (double bit flips, Adamu-Fika & Jhumka); default 1. *)
+
+val attach : ctrl -> Refine_machine.Exec.t -> unit
+(** Installs the counting/injection hook and the attached-DBI per-
+    instruction cost ({!Fi_cost.pin_attach_per_instr}). *)

@@ -1,0 +1,154 @@
+(* Static error-propagation analysis over the IR.
+
+   The paper's §1 argues that a key advantage of compiler-based FI is
+   "close integration with error-propagation analysis as both classes of
+   analysis operate in the same software layer".  This module provides that
+   integration point: a forward data-flow slice from any SSA value to the
+   program's observable sinks, usable to predict which fault-injection
+   targets are crash-prone (reach memory addresses or control flow),
+   SDC-prone (reach output), or likely benign (reach nothing).
+
+   The analysis is intraprocedural and flow-insensitive on the def-use
+   graph: conservative but cheap, in the spirit of the detector-placement
+   studies built on LLFI that the paper cites ([18] IPAS, [35]). *)
+
+module I = Refine_ir.Ir
+
+type influence = {
+  reaches_address : bool; (* flows into a load/store address: crash-prone *)
+  reaches_output : bool; (* flows into print/extern arguments or return *)
+  reaches_control : bool; (* flows into a branch/select condition *)
+  reaches_memory : bool; (* flows into a stored value (may propagate further) *)
+  fanout : int; (* number of transitively dependent values *)
+}
+
+let none =
+  {
+    reaches_address = false;
+    reaches_output = false;
+    reaches_control = false;
+    reaches_memory = false;
+    fanout = 0;
+  }
+
+(* sinks touched directly by one instruction, for each used value *)
+let direct_sinks (i : I.instr) (v : I.value) =
+  let uses o = o = I.Var v in
+  match i with
+  | I.Load (_, _, a) -> { none with reaches_address = uses a }
+  | I.Store (_, value, a) ->
+    { none with reaches_address = uses a; reaches_memory = uses value }
+  | I.Select (_, _, c, _, _) -> { none with reaches_control = uses c }
+  | I.Call (_, _, _, args) -> { none with reaches_output = List.exists uses args }
+  | _ -> none
+
+let merge a b =
+  {
+    reaches_address = a.reaches_address || b.reaches_address;
+    reaches_output = a.reaches_output || b.reaches_output;
+    reaches_control = a.reaches_control || b.reaches_control;
+    reaches_memory = a.reaches_memory || b.reaches_memory;
+    fanout = a.fanout + b.fanout;
+  }
+
+(* forward slice of [root] within [fn] *)
+let analyze (fn : I.func) (root : I.value) : influence =
+  (* value -> instructions using it, and value -> values defined from it *)
+  let users : (I.value, I.instr list ref) Hashtbl.t = Hashtbl.create 64 in
+  let term_users : (I.value, unit) Hashtbl.t = Hashtbl.create 16 in
+  let ret_users : (I.value, unit) Hashtbl.t = Hashtbl.create 16 in
+  let phi_succs : (I.value, I.value list ref) Hashtbl.t = Hashtbl.create 16 in
+  let add tbl v x =
+    let cell =
+      match Hashtbl.find_opt tbl v with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.add tbl v c;
+        c
+    in
+    cell := x :: !cell
+  in
+  List.iter
+    (fun (b : I.block) ->
+      List.iter
+        (fun (p : I.phi) ->
+          List.iter
+            (fun (_, o) -> match o with I.Var v -> add phi_succs v p.I.pdst | _ -> ())
+            p.I.incoming)
+        b.I.phis;
+      List.iter
+        (fun i ->
+          List.iter
+            (fun o -> match o with I.Var v -> add users v i | _ -> ())
+            (I.instr_uses i))
+        b.I.body;
+      List.iter
+        (fun o ->
+          match (o, b.I.term) with
+          | I.Var v, I.Cbr _ -> Hashtbl.replace term_users v ()
+          | I.Var v, I.Ret _ -> Hashtbl.replace ret_users v ()
+          | _ -> ())
+        (I.term_uses b.I.term))
+    fn.I.blocks;
+  let visited : (I.value, unit) Hashtbl.t = Hashtbl.create 32 in
+  let acc = ref none in
+  let work = Queue.create () in
+  let push v =
+    if not (Hashtbl.mem visited v) then begin
+      Hashtbl.add visited v ();
+      Queue.add v work
+    end
+  in
+  push root;
+  while not (Queue.is_empty work) do
+    let v = Queue.pop work in
+    if v <> root then acc := { !acc with fanout = !acc.fanout + 1 };
+    if Hashtbl.mem term_users v then acc := { !acc with reaches_control = true };
+    if Hashtbl.mem ret_users v then acc := { !acc with reaches_output = true };
+    (match Hashtbl.find_opt phi_succs v with
+    | Some cell -> List.iter push !cell
+    | None -> ());
+    match Hashtbl.find_opt users v with
+    | None -> ()
+    | Some is ->
+      List.iter
+        (fun i ->
+          acc := merge !acc (direct_sinks i v);
+          match I.instr_def i with Some d -> push d | None -> ())
+        !is
+  done;
+  !acc
+
+(* Predicted dominant outcome for a fault in this value, in the spirit of
+   SDC-detector placement heuristics. *)
+type prediction = Predict_crash | Predict_sdc | Predict_benign
+
+let predict (inf : influence) =
+  if inf.reaches_address then Predict_crash
+  else if inf.reaches_output || inf.reaches_memory || inf.reaches_control then Predict_sdc
+  else Predict_benign
+
+let string_of_prediction = function
+  | Predict_crash -> "crash-prone"
+  | Predict_sdc -> "SDC-prone"
+  | Predict_benign -> "benign-prone"
+
+(* Per-function summary: how many value-producing instructions fall in each
+   prediction class. *)
+let summarize (fn : I.func) =
+  let crash = ref 0 and sdc = ref 0 and benign = ref 0 in
+  List.iter
+    (fun (b : I.block) ->
+      List.iter
+        (fun i ->
+          match I.instr_def i with
+          | Some d -> (
+            match predict (analyze fn d) with
+            | Predict_crash -> incr crash
+            | Predict_sdc -> incr sdc
+            | Predict_benign -> incr benign)
+          | None -> ())
+        b.I.body)
+    fn.I.blocks;
+  (!crash, !sdc, !benign)

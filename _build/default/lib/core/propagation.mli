@@ -1,0 +1,32 @@
+(** Static error-propagation analysis over the IR — the integration the
+    paper's introduction motivates for compiler-based FI ("close
+    integration with error-propagation analysis").
+
+    A conservative, flow-insensitive forward slice on the def-use graph
+    classifies each SSA value by the sinks a fault in it can reach. *)
+
+type influence = {
+  reaches_address : bool;  (** flows into a load/store address: crash-prone *)
+  reaches_output : bool;  (** flows into call arguments or the return value *)
+  reaches_control : bool;  (** flows into a branch/select condition *)
+  reaches_memory : bool;  (** flows into a stored value *)
+  fanout : int;  (** transitively dependent values *)
+}
+
+val none : influence
+val merge : influence -> influence -> influence
+
+val analyze : Refine_ir.Ir.func -> Refine_ir.Ir.value -> influence
+(** Forward slice of one value within its function. *)
+
+type prediction = Predict_crash | Predict_sdc | Predict_benign
+
+val predict : influence -> prediction
+(** Dominant-outcome heuristic in the spirit of SDC-detector placement
+    studies (IPAS et al.). *)
+
+val string_of_prediction : prediction -> string
+
+val summarize : Refine_ir.Ir.func -> int * int * int
+(** (crash-prone, SDC-prone, benign-prone) counts over the function's
+    value-producing instructions. *)

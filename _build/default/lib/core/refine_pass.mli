@@ -1,0 +1,26 @@
+(** The REFINE compiler pass (paper §4.2): basic-block instrumentation of
+    the final machine code, after register allocation, frame lowering and
+    peephole optimization — right before emission.
+
+    For every candidate instruction the pass splices the Figure 2 pattern
+    after it: PreFI (save clobbered state, call [selInstr]), SetupFI (call
+    [setupFI] with the operand count and bit widths, decode the returned
+    <operand, bit>), one FI block per output operand (the XOR flip), and
+    PostFI (restore, continue).  Application instructions are never
+    modified — the elimination of code-generation interference claimed in
+    §4.2.2. *)
+
+val candidate : Selection.t -> Refine_mir.Minstr.t -> bool
+(** Is this instruction instrumented?  Requires at least one output
+    register, a selection match, and an insertion point (returns have
+    none). *)
+
+val run : ?sel:Selection.t -> ?save_flags:bool -> Refine_mir.Mfunc.t -> int
+(** Instruments the function in place; returns the number of static
+    instrumentation sites.  Functions not matching [sel] are untouched and
+    report 0.
+
+    [save_flags] (default [true]) is an ablation switch: with [false] the
+    PreFI/PostFI blocks do not preserve FLAGS, so the instrumentation's own
+    compare corrupts application branches — a negative control showing why
+    the paper's PreFI saves "any flag register". *)

@@ -1,0 +1,133 @@
+(* Fault-injection control runtime — the user-provided library of the
+   paper's Figure 2/3.  The instrumented binary calls into it at run time:
+
+   REFINE:  [fi_sel_instr] after every instrumented machine instruction
+            (dynamic counting; returns 1 exactly at the target instance)
+            and [fi_setup_fi] on the injection path (receives the operand
+            count and their bit widths, returns <operand, bit>).
+   LLFI:    [llfi_inject_i64]/[llfi_inject_f64] after every instrumented IR
+            instruction (value in, possibly-flipped value out).
+
+   In [Profile] mode the library only counts and never triggers — the same
+   binary serves both phases, as in the paper ("the FI binary produced by
+   compile-time instrumentation is used unmodified during profiling"). *)
+
+module E = Refine_machine.Exec
+module R = Refine_mir.Reg
+module P = Refine_support.Prng
+
+type mode =
+  | Profile
+  | Inject of { target : int64; rng : P.t }
+
+type ctrl = {
+  mutable count : int64;
+  mode : mode;
+  mutable fired : bool;
+  mutable record : Fault.record option;
+}
+
+let create mode = { count = 0L; mode; fired = false; record = None }
+
+let should_fire ctrl =
+  match ctrl.mode with
+  | Profile -> false
+  | Inject { target; _ } -> (not ctrl.fired) && ctrl.count = target
+
+(* --- REFINE control library ------------------------------------------- *)
+
+(* selInstr(): count the dynamic instrumented instruction; result 1 in r0
+   iff this is the instance to inject into. *)
+let refine_sel_instr ctrl (eng : E.t) =
+  ctrl.count <- Int64.add ctrl.count 1L;
+  eng.E.regs.(R.ret_gpr) <- (if should_fire ctrl then 1L else 0L)
+
+(* setupFI(nOps in r1, sizes packed per byte in r2): choose the operand and
+   bit uniformly; result (op << 6) | bit in r0. *)
+let refine_setup_fi ctrl (eng : E.t) =
+  match ctrl.mode with
+  | Profile -> eng.E.regs.(R.ret_gpr) <- 0L
+  | Inject { rng; _ } ->
+    ctrl.fired <- true;
+    let nops = Int64.to_int eng.E.regs.(R.gpr 1) in
+    let sizes = eng.E.regs.(R.gpr 2) in
+    let op = P.int rng (max 1 nops) in
+    let size =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical sizes (8 * op)) 0xFFL)
+    in
+    let bit = P.int rng (max 1 size) in
+    ctrl.record <-
+      Some { Fault.dyn_index = ctrl.count; op_index = op; reg_name = "<refine>"; bit };
+    eng.E.regs.(R.ret_gpr) <- Int64.of_int ((op lsl 6) lor bit)
+
+let refine_handlers ctrl : (string * int64 * (E.t -> unit)) list =
+  [
+    ("fi_sel_instr", Fi_cost.refine_lib_call, refine_sel_instr ctrl);
+    ("fi_setup_fi", Fi_cost.refine_lib_call, refine_setup_fi ctrl);
+  ]
+
+(* --- LLFI control library ---------------------------------------------- *)
+
+(* injectFault(id in r1, value in r2/f1): count, flip a uniform bit of the
+   64-bit value at the target instance, return it in r0/f0. *)
+let llfi_inject_int ctrl (eng : E.t) =
+  ctrl.count <- Int64.add ctrl.count 1L;
+  let v = eng.E.regs.(R.gpr 2) in
+  let v' =
+    if should_fire ctrl then begin
+      match ctrl.mode with
+      | Inject { rng; _ } ->
+        ctrl.fired <- true;
+        let bit = P.int rng 64 in
+        ctrl.record <-
+          Some { Fault.dyn_index = ctrl.count; op_index = 0; reg_name = "<ir-value>"; bit };
+        Refine_support.Bitops.flip_bit v bit
+      | Profile -> v
+    end
+    else v
+  in
+  eng.E.regs.(R.ret_gpr) <- v'
+
+let llfi_inject_float ctrl (eng : E.t) =
+  ctrl.count <- Int64.add ctrl.count 1L;
+  let v = eng.E.regs.(R.fpr 1) in
+  let v' =
+    if should_fire ctrl then begin
+      match ctrl.mode with
+      | Inject { rng; _ } ->
+        ctrl.fired <- true;
+        let bit = P.int rng 64 in
+        ctrl.record <-
+          Some { Fault.dyn_index = ctrl.count; op_index = 0; reg_name = "<ir-value>"; bit };
+        Refine_support.Bitops.flip_bit v bit
+      | Profile -> v
+    end
+    else v
+  in
+  eng.E.regs.(R.ret_fpr) <- v'
+
+(* i1 values (comparison results) have a single architecturally meaningful
+   bit: any fault in them inverts the decision *)
+let llfi_inject_bool ctrl (eng : E.t) =
+  ctrl.count <- Int64.add ctrl.count 1L;
+  let v = eng.E.regs.(R.gpr 2) in
+  let v' =
+    if should_fire ctrl then begin
+      match ctrl.mode with
+      | Inject _ ->
+        ctrl.fired <- true;
+        ctrl.record <-
+          Some { Fault.dyn_index = ctrl.count; op_index = 0; reg_name = "<ir-bool>"; bit = 0 };
+        Refine_support.Bitops.flip_bit v 0
+      | Profile -> v
+    end
+    else v
+  in
+  eng.E.regs.(R.ret_gpr) <- v'
+
+let llfi_handlers ctrl : (string * int64 * (E.t -> unit)) list =
+  [
+    ("llfi_inject_i64", Fi_cost.llfi_lib_call, llfi_inject_int ctrl);
+    ("llfi_inject_f64", Fi_cost.llfi_lib_call, llfi_inject_float ctrl);
+    ("llfi_inject_i1", Fi_cost.llfi_lib_call, llfi_inject_bool ctrl);
+  ]

@@ -1,0 +1,30 @@
+(** Fault-injection control runtime — the "user-provided library" of the
+    paper's Figures 2 and 3 that the instrumented binary calls at run
+    time.
+
+    In [Profile] mode the library only counts dynamic targets and never
+    triggers; in [Inject] mode it fires exactly once at the chosen dynamic
+    instance.  The same binary serves both phases. *)
+
+type mode =
+  | Profile
+  | Inject of { target : int64; rng : Refine_support.Prng.t }
+
+type ctrl = {
+  mutable count : int64;  (** dynamic instrumented-instruction counter *)
+  mode : mode;
+  mutable fired : bool;
+  mutable record : Fault.record option;
+}
+
+val create : mode -> ctrl
+
+val refine_handlers : ctrl -> (string * int64 * (Refine_machine.Exec.t -> unit)) list
+(** The REFINE control library: [fi_sel_instr] (the paper's selInstr) and
+    [fi_setup_fi] (setupFI), as engine extern handlers with their modeled
+    call cost. *)
+
+val llfi_handlers : ctrl -> (string * int64 * (Refine_machine.Exec.t -> unit)) list
+(** The LLFI-style injectFault callbacks: [llfi_inject_i64],
+    [llfi_inject_f64] and [llfi_inject_i1] (comparison results flip within
+    their 1-bit width, as LLVM i1 values do). *)

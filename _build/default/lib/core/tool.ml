@@ -1,0 +1,123 @@
+(* Per-tool compile/profile/inject drivers — the experiment workflow of the
+   paper's Figure 3 for each of the three compared injectors.
+
+   [prepare] builds the tool's binary from MinC source and runs the
+   profiling phase once (dynamic instruction count + golden output);
+   [run_injection] performs one fault-injection experiment and classifies
+   its outcome.  The profiling binary and the injection binary are the same
+   artifact; only the control library's mode differs. *)
+
+module E = Refine_machine.Exec
+module P = Refine_support.Prng
+module Pipeline = Refine_ir.Pipeline
+
+type kind = Refine | Llfi | Pinfi
+
+let kind_name = function Refine -> "REFINE" | Llfi -> "LLFI" | Pinfi -> "PINFI"
+
+type prepared = {
+  kind : kind;
+  sel : Selection.t;
+  image : Refine_backend.Layout.image;
+  profile : Fault.profile;
+  static_instrumented : int; (* instrumented sites (REFINE/LLFI); 0 for PINFI *)
+}
+
+exception Prepare_error of string
+
+let build_ir ?(opt = Pipeline.O2) src =
+  let m = Refine_minic.Frontend.compile src in
+  Pipeline.optimize opt m;
+  m
+
+let finish_profile kind sel image static_instrumented (count : int64) (r : E.result) =
+  (match r.status with
+  | E.Exited 0 -> ()
+  | E.Exited c -> raise (Prepare_error (Printf.sprintf "profiling run exited with code %d" c))
+  | E.Trapped tr -> raise (Prepare_error ("profiling run trapped: " ^ E.string_of_trap tr))
+  | E.Timed_out | E.Running -> raise (Prepare_error "profiling run did not finish"));
+  {
+    kind;
+    sel;
+    image;
+    static_instrumented;
+    profile =
+      {
+        Fault.golden_output = r.output;
+        golden_exit = 0;
+        dyn_count = count;
+        profile_cost = r.cost;
+      };
+  }
+
+let prepare ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps = 2_000_000_000L)
+    (kind : kind) (src : string) : prepared =
+  match kind with
+  | Refine ->
+    let m = build_ir ~opt src in
+    let funcs, _ = Refine_backend.Compile.to_mir m in
+    let static_n = List.fold_left (fun acc mf -> acc + Refine_pass.run ~sel mf) 0 funcs in
+    let image = Refine_backend.Compile.emit m funcs in
+    let ctrl = Runtime.create Runtime.Profile in
+    let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) image in
+    let r = E.run ~max_steps eng in
+    finish_profile kind sel image static_n ctrl.Runtime.count r
+  | Llfi ->
+    let m = build_ir ~opt src in
+    let static_n = Llfi_pass.run ~sel m in
+    let image = Refine_backend.Compile.compile m in
+    let ctrl = Runtime.create Runtime.Profile in
+    let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) image in
+    let r = E.run ~max_steps eng in
+    finish_profile kind sel image static_n ctrl.Runtime.count r
+  | Pinfi ->
+    let m = build_ir ~opt src in
+    let image = Refine_backend.Compile.compile m in
+    let ctrl = Pinfi.create ~sel Runtime.Profile in
+    let eng = E.create image in
+    Pinfi.attach ctrl eng;
+    let r = E.run ~max_steps eng in
+    finish_profile kind sel image 0 ctrl.Pinfi.count r
+
+(* One fault-injection experiment: pick a uniform dynamic target, run,
+   classify against the golden output, with the 10x-profiling timeout. *)
+let run_injection (p : prepared) (rng : P.t) : Fault.experiment =
+  if p.profile.Fault.dyn_count = 0L then
+    { Fault.outcome = Fault.Benign; run_cost = 0L; fault = None }
+  else begin
+    let target = Int64.add 1L (P.int64 rng p.profile.Fault.dyn_count) in
+    let max_cost = Int64.mul Fi_cost.timeout_factor p.profile.Fault.profile_cost in
+    let mode = Runtime.Inject { target; rng } in
+    match p.kind with
+    | Refine ->
+      let ctrl = Runtime.create mode in
+      let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) p.image in
+      let r = E.run ~max_cost eng in
+      { Fault.outcome = Fault.classify p.profile r; run_cost = r.cost; fault = ctrl.Runtime.record }
+    | Llfi ->
+      let ctrl = Runtime.create mode in
+      let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) p.image in
+      let r = E.run ~max_cost eng in
+      { Fault.outcome = Fault.classify p.profile r; run_cost = r.cost; fault = ctrl.Runtime.record }
+    | Pinfi ->
+      let ctrl = Pinfi.create ~sel:p.sel mode in
+      let eng = E.create p.image in
+      Pinfi.attach ctrl eng;
+      let r = E.run ~max_cost eng in
+      { Fault.outcome = Fault.classify p.profile r; run_cost = r.cost; fault = ctrl.Pinfi.record }
+  end
+
+(* Fault-free run of the prepared binary (used by tests and examples). *)
+let run_clean (p : prepared) : E.result =
+  match p.kind with
+  | Refine ->
+    let ctrl = Runtime.create Runtime.Profile in
+    let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) p.image in
+    E.run eng
+  | Llfi ->
+    let ctrl = Runtime.create Runtime.Profile in
+    let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) p.image in
+    E.run eng
+  | Pinfi ->
+    let eng = E.create p.image in
+    E.run eng

@@ -1,0 +1,45 @@
+(** Per-tool compile / profile / inject drivers — the experiment workflow
+    of the paper's Figure 3 for each of the three compared fault
+    injectors. *)
+
+type kind =
+  | Refine  (** backend machine-code instrumentation (this paper) *)
+  | Llfi  (** IR-level call instrumentation (LLFI/KULFI/VULFI/FlipIt style) *)
+  | Pinfi  (** binary-level dynamic instrumentation with detach *)
+
+val kind_name : kind -> string
+
+type prepared = {
+  kind : kind;
+  sel : Selection.t;
+  image : Refine_backend.Layout.image;  (** the (instrumented) binary *)
+  profile : Fault.profile;  (** golden output + dynamic target count *)
+  static_instrumented : int;  (** instrumentation sites; 0 for PINFI *)
+}
+(** A tool's binary after compilation and one profiling run.  The same
+    binary serves profiling and injection, as in the paper. *)
+
+exception Prepare_error of string
+(** Raised when the profiling run fails (the program itself is broken). *)
+
+val build_ir : ?opt:Refine_ir.Pipeline.level -> string -> Refine_ir.Ir.modul
+(** Front end + IR optimization only (shared by all tools). *)
+
+val prepare :
+  ?sel:Selection.t ->
+  ?opt:Refine_ir.Pipeline.level ->
+  ?max_steps:int64 ->
+  kind ->
+  string ->
+  prepared
+(** [prepare kind source] compiles MinC [source] with [kind]'s
+    instrumentation strategy and runs the profiling phase. *)
+
+val run_injection : prepared -> Refine_support.Prng.t -> Fault.experiment
+(** One fault-injection experiment: selects a uniform dynamic target
+    instruction / output operand / bit from the tool's population, runs to
+    completion (or the 10x-profiling timeout) and classifies the outcome
+    against the golden output. *)
+
+val run_clean : prepared -> Refine_machine.Exec.result
+(** Fault-free run of the prepared binary (injection disabled). *)

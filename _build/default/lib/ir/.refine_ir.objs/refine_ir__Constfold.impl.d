@@ -1,0 +1,1 @@
+lib/ir/constfold.ml: Hashtbl Int64 Interp Ir List

@@ -1,0 +1,1 @@
+lib/ir/cse.ml: Array Cfg Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/ir/dce.ml: Hashtbl Ir List Queue

@@ -1,0 +1,1 @@
+lib/ir/externs.ml: Array Buffer Float Int64 Ir Printf

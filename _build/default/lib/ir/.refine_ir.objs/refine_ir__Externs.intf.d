@@ -1,0 +1,1 @@
+lib/ir/externs.mli: Buffer Ir

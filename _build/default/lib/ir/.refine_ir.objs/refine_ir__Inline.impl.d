@@ -1,0 +1,1 @@
+lib/ir/inline.ml: Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Buffer Bytes Externs Float Int64 Ir List Memlayout Printf String

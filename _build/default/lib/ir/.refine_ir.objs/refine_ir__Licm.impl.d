@@ -1,0 +1,1 @@
+lib/ir/licm.ml: Cfg Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/ir/mem2reg.ml: Array Cfg Hashtbl Ir List Queue

@@ -1,0 +1,1 @@
+lib/ir/memlayout.ml: Hashtbl Ir List

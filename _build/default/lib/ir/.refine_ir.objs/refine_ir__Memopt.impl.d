@@ -1,0 +1,1 @@
+lib/ir/memopt.ml: Array Hashtbl Ir List

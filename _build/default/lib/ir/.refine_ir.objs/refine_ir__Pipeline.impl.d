@@ -1,0 +1,1 @@
+lib/ir/pipeline.ml: Constfold Cse Dce Inline Ir Licm List Mem2reg Memopt Sccp Simplifycfg Verify

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Buffer Int64 Ir List Printf String

@@ -1,0 +1,1 @@
+lib/ir/sccp.ml: Constfold Hashtbl Ir List Queue

@@ -1,0 +1,1 @@
+lib/ir/simplifycfg.ml: Cfg Hashtbl Ir List

@@ -1,0 +1,115 @@
+(* Incremental construction of IR functions.  Used by the MinC front end
+   (Irgen), by tests and by random-program generators. *)
+
+open Ir
+
+type t = {
+  func : func;
+  mutable cur : block;
+  mutable lnext : int;
+}
+
+let create ~name ~params ~ret =
+  let vtypes = Hashtbl.create 64 in
+  let pvals = List.mapi (fun i ty -> Hashtbl.add vtypes i ty; (i, ty)) params in
+  let entry = { lbl = 0; phis = []; body = []; term = Unreachable } in
+  let func =
+    { fname = name; params = pvals; fret = ret; blocks = [ entry ];
+      vnext = List.length params; vtypes }
+  in
+  ({ func; cur = entry; lnext = 1 }, List.map fst pvals)
+
+let func b = b.func
+
+let fresh b ty =
+  let v = b.func.vnext in
+  b.func.vnext <- v + 1;
+  Hashtbl.add b.func.vtypes v ty;
+  v
+
+let block b =
+  let lbl = b.lnext in
+  b.lnext <- lbl + 1;
+  let blk = { lbl; phis = []; body = []; term = Unreachable } in
+  b.func.blocks <- b.func.blocks @ [ blk ];
+  lbl
+
+let switch_to b lbl = b.cur <- find_block b.func lbl
+let cur_label b = b.cur.lbl
+let terminated b = b.cur.term <> Unreachable
+
+let emit b i =
+  if terminated b then invalid_arg "Builder.emit: block already terminated";
+  b.cur.body <- b.cur.body @ [ i ]
+
+let terminate b t = if not (terminated b) then b.cur.term <- t
+
+(* Convenience wrappers returning the result operand. *)
+
+let ibinop b op x y =
+  let d = fresh b I64 in
+  emit b (Ibinop (d, op, x, y));
+  Var d
+
+let fbinop b op x y =
+  let d = fresh b F64 in
+  emit b (Fbinop (d, op, x, y));
+  Var d
+
+let icmp b op x y =
+  let d = fresh b I64 in
+  emit b (Icmp (d, op, x, y));
+  Var d
+
+let fcmp b op x y =
+  let d = fresh b I64 in
+  emit b (Fcmp (d, op, x, y));
+  Var d
+
+let funop b op x =
+  let d = fresh b F64 in
+  emit b (Funop (d, op, x));
+  Var d
+
+let cast b op x =
+  let ty = match op with Sitofp -> F64 | Fptosi -> I64 in
+  let d = fresh b ty in
+  emit b (Cast (d, op, x));
+  Var d
+
+let select b ty c x y =
+  let d = fresh b ty in
+  emit b (Select (d, ty, c, x, y));
+  Var d
+
+let load b ty addr =
+  let d = fresh b ty in
+  emit b (Load (d, ty, addr));
+  Var d
+
+let store b ty v addr = emit b (Store (ty, v, addr))
+
+let alloca b size =
+  let d = fresh b I64 in
+  emit b (Alloca (d, size));
+  Var d
+
+let gaddr b g =
+  let d = fresh b I64 in
+  emit b (Gaddr (d, g));
+  Var d
+
+let gep b base idx =
+  let d = fresh b I64 in
+  emit b (Gep (d, base, idx));
+  Var d
+
+let call b ret name args =
+  match ret with
+  | Some ty ->
+    let d = fresh b ty in
+    emit b (Call (Some d, ty, name, args));
+    Some (Var d)
+  | None ->
+    emit b (Call (None, I64, name, args));
+    None

@@ -1,0 +1,152 @@
+(* Control-flow graph analyses over [Ir.func]: predecessors/successors,
+   reverse postorder, immediate dominators (Cooper–Harvey–Kennedy), dominance
+   frontiers and natural-loop detection.  These feed mem2reg (phi placement),
+   LICM (loop bodies) and the verifier (SSA dominance checks). *)
+
+open Ir
+
+type t = {
+  func : func;
+  order : label array; (* reverse postorder, entry first, reachable only *)
+  index : (label, int) Hashtbl.t; (* label -> position in [order] *)
+  succs : (label, label list) Hashtbl.t;
+  preds : (label, label list) Hashtbl.t;
+  idom : (label, label) Hashtbl.t; (* absent for the entry block *)
+}
+
+let successors t l = try Hashtbl.find t.succs l with Not_found -> []
+let predecessors t l = try Hashtbl.find t.preds l with Not_found -> []
+let reachable t l = Hashtbl.mem t.index l
+let rpo t = t.order
+
+let compute_order f =
+  let visited = Hashtbl.create 16 in
+  let post = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.add visited l ();
+      List.iter dfs (term_succs (find_block f l).term);
+      post := l :: !post
+    end
+  in
+  dfs (entry_block f).lbl;
+  Array.of_list !post
+
+let build f =
+  let order = compute_order f in
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i l -> Hashtbl.add index l i) order;
+  let succs = Hashtbl.create 16 in
+  let preds = Hashtbl.create 16 in
+  Array.iter
+    (fun l ->
+      let ss = term_succs (find_block f l).term in
+      Hashtbl.replace succs l ss;
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find preds s with Not_found -> [] in
+          Hashtbl.replace preds s (cur @ [ l ]))
+        ss)
+    order;
+  (* Cooper-Harvey-Kennedy iterative dominator algorithm on RPO numbers. *)
+  let n = Array.length order in
+  let idom_arr = Array.make n (-1) in
+  idom_arr.(0) <- 0;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while !a > !b do a := idom_arr.(!a) done;
+      while !b > !a do b := idom_arr.(!b) done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 1 to n - 1 do
+      let l = order.(i) in
+      let ps =
+        (try Hashtbl.find preds l with Not_found -> [])
+        |> List.filter_map (fun p -> Hashtbl.find_opt index p)
+      in
+      let processed = List.filter (fun p -> idom_arr.(p) >= 0) ps in
+      match processed with
+      | [] -> ()
+      | first :: rest ->
+        let new_idom = List.fold_left intersect first rest in
+        if idom_arr.(i) <> new_idom then begin
+          idom_arr.(i) <- new_idom;
+          changed := true
+        end
+    done
+  done;
+  let idom = Hashtbl.create 16 in
+  for i = 1 to n - 1 do
+    if idom_arr.(i) >= 0 then Hashtbl.add idom order.(i) order.(idom_arr.(i))
+  done;
+  { func = f; order; index; succs; preds; idom }
+
+let idom t l = Hashtbl.find_opt t.idom l
+
+(* [dominates t a b]: every path from entry to [b] passes through [a]. *)
+let dominates t a b =
+  if a = b then true
+  else
+    let rec walk l = match idom t l with None -> false | Some d -> d = a || walk d in
+    walk b
+
+let dominance_frontiers t =
+  let df = Hashtbl.create 16 in
+  let add l x =
+    let cur = try Hashtbl.find df l with Not_found -> [] in
+    if not (List.mem x cur) then Hashtbl.replace df l (x :: cur)
+  in
+  Array.iter
+    (fun b ->
+      let ps = predecessors t b in
+      if List.length ps >= 2 then
+        List.iter
+          (fun p ->
+            if reachable t p then begin
+              let runner = ref p in
+              let stop = match idom t b with Some d -> d | None -> b in
+              while !runner <> stop do
+                add !runner b;
+                match idom t !runner with
+                | Some d -> runner := d
+                | None -> runner := stop
+              done
+            end)
+          ps)
+    t.order;
+  fun l -> (try Hashtbl.find df l with Not_found -> [])
+
+type loop = { header : label; body : label list (* includes header *) }
+
+(* Natural loops from back edges (t -> h where h dominates t); loops sharing
+   a header are merged. *)
+let natural_loops t =
+  let loops = Hashtbl.create 8 in
+  Array.iter
+    (fun b ->
+      List.iter
+        (fun s -> if dominates t s b then begin
+           let body = try Hashtbl.find loops s with Not_found -> [ s ] in
+           (* walk predecessors backwards from the back-edge source *)
+           let members = ref body in
+           let work = ref [ b ] in
+           while !work <> [] do
+             match !work with
+             | [] -> ()
+             | x :: rest ->
+               work := rest;
+               if not (List.mem x !members) then begin
+                 members := x :: !members;
+                 work := predecessors t x @ !work
+               end
+           done;
+           Hashtbl.replace loops s !members
+         end)
+        (successors t b))
+    t.order;
+  Hashtbl.fold (fun header body acc -> { header; body } :: acc) loops []

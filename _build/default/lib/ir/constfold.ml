@@ -1,0 +1,89 @@
+(* Constant folding and algebraic simplification.
+
+   Folded instructions are deleted and their uses rewritten through a
+   replacement map; conditional branches on constants become unconditional
+   (Simplifycfg later removes the dead blocks).  Folding of trapping integer
+   division/remainder by a constant zero is left in place so the runtime
+   trap is preserved. *)
+
+open Ir
+
+let fold_instr i =
+  match i with
+  | Ibinop (_, (Div | Rem), _, ICst 0L) -> None (* keep the trap *)
+  | Ibinop (_, op, ICst a, ICst b) -> Some (ICst (Interp.eval_ibinop op a b))
+  | Fbinop (_, op, FCst a, FCst b) -> Some (FCst (Interp.eval_fbinop op a b))
+  | Icmp (_, op, ICst a, ICst b) -> Some (ICst (Interp.eval_icmp op a b))
+  | Fcmp (_, op, FCst a, FCst b) -> Some (ICst (Interp.eval_fcmp op a b))
+  | Funop (_, op, FCst a) -> Some (FCst (Interp.eval_funop op a))
+  | Cast (_, Sitofp, ICst a) -> Some (FCst (Int64.to_float a))
+  | Cast (_, Fptosi, FCst a) -> Some (ICst (Interp.fptosi a))
+  | Select (_, _, ICst c, a, b) -> Some (if c <> 0L then a else b)
+  (* algebraic identities; float identities are restricted to ones valid
+     under IEEE-754 for all inputs *)
+  | Ibinop (_, Add, x, ICst 0L) | Ibinop (_, Add, ICst 0L, x) -> Some x
+  | Ibinop (_, Sub, x, ICst 0L) -> Some x
+  | Ibinop (_, Mul, x, ICst 1L) | Ibinop (_, Mul, ICst 1L, x) -> Some x
+  | Ibinop (_, Mul, _, ICst 0L) | Ibinop (_, Mul, ICst 0L, _) -> Some (ICst 0L)
+  | Ibinop (_, Div, x, ICst 1L) -> Some x
+  | Ibinop (_, (And | Or), x, y) when x = y -> Some x
+  | Ibinop (_, And, _, ICst 0L) | Ibinop (_, And, ICst 0L, _) -> Some (ICst 0L)
+  | Ibinop (_, Or, x, ICst 0L) | Ibinop (_, Or, ICst 0L, x) -> Some x
+  | Ibinop (_, Xor, x, ICst 0L) | Ibinop (_, Xor, ICst 0L, x) -> Some x
+  | Ibinop (_, Xor, Var x, Var y) when x = y -> Some (ICst 0L)
+  | Ibinop (_, (Shl | Lshr | Ashr), x, ICst 0L) -> Some x
+  | Gep (_, x, ICst 0L) -> Some x
+  | _ -> None
+
+let run (fn : func) =
+  let repl : (value, operand) Hashtbl.t = Hashtbl.create 32 in
+  let rec chase o =
+    match o with
+    | Var v -> ( match Hashtbl.find_opt repl v with Some o' -> chase o' | None -> o)
+    | _ -> o
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        let new_body =
+          List.filter_map
+            (fun i ->
+              let i = map_instr_uses chase i in
+              match (instr_def i, fold_instr i) with
+              | Some d, Some folded ->
+                Hashtbl.replace repl d (chase folded);
+                changed := true;
+                None
+              | _ -> Some i)
+            b.body
+        in
+        b.body <- new_body;
+        b.term <- map_term_uses chase b.term;
+        (match b.term with
+        | Cbr (ICst c, t, e) ->
+          b.term <- Br (if c <> 0L then t else e);
+          changed := true
+        | Cbr (_c, t, e) when t = e ->
+          b.term <- Br t;
+          changed := true
+        | _ -> ());
+        List.iter
+          (fun p -> p.incoming <- List.map (fun (l, o) -> (l, chase o)) p.incoming)
+          b.phis;
+        (* single-incoming or all-same phis become copies *)
+        List.iter
+          (fun p ->
+            let non_self =
+              List.filter (fun o -> o <> Var p.pdst) (List.map snd p.incoming)
+            in
+            match List.sort_uniq compare non_self with
+            | [ only ] when only <> Var p.pdst ->
+              Hashtbl.replace repl p.pdst only;
+              changed := true
+            | _ -> ())
+          b.phis;
+        b.phis <- List.filter (fun p -> not (Hashtbl.mem repl p.pdst)) b.phis)
+      fn.blocks
+  done

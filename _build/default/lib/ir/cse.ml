@@ -1,0 +1,89 @@
+(* Dominator-scoped common-subexpression elimination (value numbering).
+
+   Pure instructions (no memory access, no calls) with identical opcode and
+   operands are available along the dominator tree; later occurrences are
+   replaced with the earlier value.  Division/remainder are treated as pure:
+   two identical divisions trap identically, so sharing the first result is
+   behaviour-preserving. *)
+
+open Ir
+
+type key =
+  | KI of ibinop * operand * operand
+  | KF of fbinop * operand * operand
+  | KIC of icmp * operand * operand
+  | KFC of fcmp * operand * operand
+  | KU of funop * operand
+  | KC of cast * operand
+  | KS of ty * operand * operand * operand
+  | KG of operand * operand
+  | KGA of string
+
+(* Commutative operations get a canonical operand order. *)
+let key_of = function
+  | Ibinop (_, op, a, b) ->
+    let a, b = match op with (Add | Mul | And | Or | Xor) when b < a -> (b, a) | _ -> (a, b) in
+    Some (KI (op, a, b))
+  | Fbinop (_, op, a, b) -> Some (KF (op, a, b))
+  | Icmp (_, op, a, b) -> Some (KIC (op, a, b))
+  | Fcmp (_, op, a, b) -> Some (KFC (op, a, b))
+  | Funop (_, op, a) -> Some (KU (op, a))
+  | Cast (_, op, a) -> Some (KC (op, a))
+  | Select (_, t, c, a, b) -> Some (KS (t, c, a, b))
+  | Gep (_, b, i) -> Some (KG (b, i))
+  | Gaddr (_, g) -> Some (KGA g)
+  | Load _ | Store _ | Alloca _ | Call _ -> None
+
+let run (fn : func) =
+  let cfg = Cfg.build fn in
+  let children = Hashtbl.create 16 in
+  Array.iter
+    (fun l ->
+      match Cfg.idom cfg l with
+      | Some d ->
+        let cur = try Hashtbl.find children d with Not_found -> [] in
+        Hashtbl.replace children d (cur @ [ l ])
+      | None -> ())
+    (Cfg.rpo cfg);
+  let repl : (value, operand) Hashtbl.t = Hashtbl.create 32 in
+  let rec chase o =
+    match o with
+    | Var v -> ( match Hashtbl.find_opt repl v with Some o' -> chase o' | None -> o)
+    | _ -> o
+  in
+  let available : (key, value) Hashtbl.t = Hashtbl.create 64 in
+  let rec walk lbl =
+    let blk = find_block fn lbl in
+    let added = ref [] in
+    List.iter (fun p -> p.incoming <- List.map (fun (l, o) -> (l, chase o)) p.incoming) blk.phis;
+    let new_body =
+      List.filter_map
+        (fun i ->
+          let i = map_instr_uses chase i in
+          match (instr_def i, key_of i) with
+          | Some d, Some k -> (
+            match Hashtbl.find_opt available k with
+            | Some earlier ->
+              Hashtbl.replace repl d (Var earlier);
+              None
+            | None ->
+              Hashtbl.add available k d;
+              added := k :: !added;
+              Some i)
+          | _ -> Some i)
+        blk.body
+    in
+    blk.body <- new_body;
+    blk.term <- map_term_uses chase blk.term;
+    List.iter walk (try Hashtbl.find children lbl with Not_found -> []);
+    List.iter (Hashtbl.remove available) !added
+  in
+  walk (entry_block fn).lbl;
+  (* rewrite any remaining stale uses (e.g. phis filled before the def was
+     replaced deeper in the walk) *)
+  List.iter
+    (fun b ->
+      b.body <- List.map (map_instr_uses chase) b.body;
+      b.term <- map_term_uses chase b.term;
+      List.iter (fun p -> p.incoming <- List.map (fun (l, o) -> (l, chase o)) p.incoming) b.phis)
+    fn.blocks

@@ -1,0 +1,57 @@
+(* Dead-code elimination.
+
+   A value is live if it is (transitively) used by an instruction with side
+   effects (store, call), by a terminator, or by a live phi.  Pure
+   instructions defining dead values are deleted.  Calls are conservatively
+   kept even when their result is unused (they may print or trap). *)
+
+open Ir
+
+let has_side_effects = function
+  | Store _ | Call _ -> true
+  | Ibinop (_, (Div | Rem), _, _) -> true (* may trap *)
+  | Alloca _ -> false
+  | _ -> false
+
+let run (fn : func) =
+  let live : (value, unit) Hashtbl.t = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let mark o =
+    match o with
+    | Var v ->
+      if not (Hashtbl.mem live v) then begin
+        Hashtbl.add live v ();
+        Queue.add v work
+      end
+    | ICst _ | FCst _ -> ()
+  in
+  (* map each value to the operands its defining instruction uses *)
+  let def_uses : (value, operand list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      List.iter (fun p -> Hashtbl.replace def_uses p.pdst (List.map snd p.incoming)) b.phis;
+      List.iter
+        (fun i ->
+          (match instr_def i with
+          | Some d -> Hashtbl.replace def_uses d (instr_uses i)
+          | None -> ());
+          if has_side_effects i then List.iter mark (instr_uses i))
+        b.body;
+      List.iter mark (term_uses b.term))
+    fn.blocks;
+  while not (Queue.is_empty work) do
+    let v = Queue.pop work in
+    match Hashtbl.find_opt def_uses v with
+    | Some uses -> List.iter mark uses
+    | None -> ()
+  done;
+  List.iter
+    (fun b ->
+      b.phis <- List.filter (fun p -> Hashtbl.mem live p.pdst) b.phis;
+      b.body <-
+        List.filter
+          (fun i ->
+            has_side_effects i
+            || match instr_def i with Some d -> Hashtbl.mem live d | None -> true)
+          b.body)
+    fn.blocks

@@ -1,0 +1,86 @@
+(* Runtime library visible to simulated programs ("libc/libm" of the
+   platform).  The IR interpreter and the machine simulator both dispatch
+   external calls here so their observable behaviour is identical.
+
+   Arguments and results are raw 64-bit register images; each entry knows its
+   own typing (used by the MinC type checker and the IR verifier). *)
+
+open Ir
+
+type env = {
+  out : Buffer.t; (* program standard output *)
+  read_byte : int -> char; (* memory access for print_str *)
+  alloc : int -> int; (* heap bump allocation; returns an 8-aligned address *)
+  mutable exited : int option; (* set by the [exit] extern *)
+}
+
+exception Extern_trap of string
+
+let signature = function
+  | "print_int" -> Some ([ I64 ], None)
+  | "print_float" | "print_float_full" -> Some ([ F64 ], None)
+  | "print_str" -> Some ([ I64; I64 ], None) (* address, length *)
+  | "alloc" -> Some ([ I64 ], Some I64)
+  | "exit" -> Some ([ I64 ], None)
+  | "sin" | "cos" | "tan" | "exp" | "log" | "floor" -> Some ([ F64 ], Some F64)
+  | "pow" | "fmin" | "fmax" -> Some ([ F64; F64 ], Some F64)
+  (* LLFI-style IR instrumentation callbacks (instruction id, value);
+     implemented by the fault-injection runtime, not by this module *)
+  | "llfi_inject_i64" -> Some ([ I64; I64 ], Some I64)
+  | "llfi_inject_i1" -> Some ([ I64; I64 ], Some I64) (* boolean-valued results *)
+  | "llfi_inject_f64" -> Some ([ I64; F64 ], Some F64)
+  | _ -> None
+
+let is_extern name = signature name <> None
+
+let f = Int64.float_of_bits
+let fb = Int64.bits_of_float
+
+(* Fixed-format float printing.  [print_float] rounds to 6 significant
+   digits (typical scientific output; masks low-mantissa corruption, as real
+   applications printing "%.6g" do); [print_float_full] prints a full
+   round-trip image so every mantissa bit is output-visible. *)
+let format_float6 x = Printf.sprintf "%.6g" x
+let format_float_full x = Printf.sprintf "%.17g" x
+
+let call (env : env) name (args : int64 array) : int64 =
+  let arg i = args.(i) in
+  let unary_f g = fb (g (f (arg 0))) in
+  let binary_f g = fb (g (f (arg 0)) (f (arg 1))) in
+  match name with
+  | "print_int" ->
+    Buffer.add_string env.out (Int64.to_string (arg 0));
+    Buffer.add_char env.out '\n';
+    0L
+  | "print_float" ->
+    Buffer.add_string env.out (format_float6 (f (arg 0)));
+    Buffer.add_char env.out '\n';
+    0L
+  | "print_float_full" ->
+    Buffer.add_string env.out (format_float_full (f (arg 0)));
+    Buffer.add_char env.out '\n';
+    0L
+  | "print_str" ->
+    let addr = Int64.to_int (arg 0) and len = Int64.to_int (arg 1) in
+    if len < 0 || len > 1_000_000 then raise (Extern_trap "print_str: bad length");
+    for i = 0 to len - 1 do
+      Buffer.add_char env.out (env.read_byte (addr + i))
+    done;
+    0L
+  | "alloc" ->
+    let n = Int64.to_int (arg 0) in
+    if n < 0 then raise (Extern_trap "alloc: negative size");
+    Int64.of_int (env.alloc n)
+  | "exit" ->
+    env.exited <- Some (Int64.to_int (arg 0));
+    0L
+  | "sin" -> unary_f sin
+  | "cos" -> unary_f cos
+  | "tan" -> unary_f tan
+  | "exp" -> unary_f exp
+  | "log" -> unary_f log
+  | "floor" -> unary_f floor
+  | "pow" -> binary_f ( ** )
+  | "fmin" -> binary_f Float.min
+  | "fmax" -> binary_f Float.max
+  | _ -> raise (Extern_trap ("unknown extern: " ^ name))

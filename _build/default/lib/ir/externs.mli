@@ -1,0 +1,30 @@
+(** Runtime library visible to simulated programs (the platform's
+    libc/libm).  The IR interpreter and the machine simulator both dispatch
+    external calls here, so their observable behaviour is identical. *)
+
+type env = {
+  out : Buffer.t;  (** program standard output *)
+  read_byte : int -> char;  (** memory access for print_str *)
+  alloc : int -> int;  (** heap bump allocation; 8-aligned address *)
+  mutable exited : int option;  (** set by the [exit] extern *)
+}
+
+exception Extern_trap of string
+
+val signature : string -> (Ir.ty list * Ir.ty option) option
+(** Argument and result types per extern; [None] for unknown names.  Also
+    declares the LLFI instrumentation callbacks ([llfi_inject_*]), whose
+    implementations live in the fault-injection runtime. *)
+
+val is_extern : string -> bool
+
+val format_float6 : float -> string
+(** ["%.6g"] — the [print_float] format (masks low-mantissa corruption). *)
+
+val format_float_full : float -> string
+(** ["%.17g"] — the [print_float_full] format (round-trip exact). *)
+
+val call : env -> string -> int64 array -> int64
+(** Executes one extern; arguments and result are raw 64-bit register
+    images.  Raises {!Extern_trap} on misuse and for the [llfi_inject_*]
+    names (those are handled by the FI runtime, not here). *)

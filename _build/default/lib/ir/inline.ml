@@ -1,0 +1,222 @@
+(* Function inlining.
+
+   Small non-recursive callees are cloned into their call sites: parameters
+   substitute to argument operands, cloned returns branch to the
+   continuation block, and the call's result becomes a phi over the cloned
+   return values.  Cloned allocas are hoisted to the caller's entry block
+   (they are static slots, as after LLVM's inliner).
+
+   Inlining matters to the fault-injection study beyond performance: it
+   removes most dynamic call/ret instructions, giving the optimized
+   binaries the low call density of the paper's -O3 builds — without it,
+   the call/ret handling differences between backend-level and
+   binary-level injection get amplified far beyond realistic proportions. *)
+
+open Ir
+
+let size_of (fn : func) =
+  List.fold_left (fun acc b -> acc + List.length b.phis + List.length b.body + 1) 0 fn.blocks
+
+let is_self_recursive (fn : func) =
+  List.exists
+    (fun b -> List.exists (function Call (_, _, n, _) -> n = fn.fname | _ -> false) b.body)
+    fn.blocks
+
+let default_threshold = 60
+
+(* Clone [callee] into [caller], replacing the call instruction.
+   [head_term_target] wiring:
+     head block (original block up to the call)      -> Br entry-clone
+     cloned Ret o                                    -> Br cont, phi edge o
+     cont block (rest of the original block + term)  -> phi defines call dst *)
+let inline_call (caller : func) (callee : func) ~(at_block : block)
+    ~(before : instr list) ~(call_dst : value option) ~(args : operand list)
+    ~(after : instr list) ~(orig_term : terminator) ~fresh_label =
+  (* value renaming: callee value -> caller operand (params) or fresh value *)
+  let vmap : (value, operand) Hashtbl.t = Hashtbl.create 32 in
+  List.iter2 (fun (p, _) a -> Hashtbl.replace vmap p a) callee.params args;
+  let fresh_value ty =
+    let v = caller.vnext in
+    caller.vnext <- v + 1;
+    Hashtbl.add caller.vtypes v ty;
+    v
+  in
+  let map_def v =
+    match Hashtbl.find_opt vmap v with
+    | Some (Var v') -> v'
+    | Some _ | None ->
+      let v' = fresh_value (Hashtbl.find callee.vtypes v) in
+      Hashtbl.replace vmap v (Var v');
+      v'
+  in
+  (* pre-register every definition so forward references (loops) resolve *)
+  List.iter
+    (fun (b : block) ->
+      List.iter (fun p -> ignore (map_def p.pdst)) b.phis;
+      List.iter
+        (fun i -> match instr_def i with Some d -> ignore (map_def d) | None -> ())
+        b.body)
+    callee.blocks;
+  let map_use o =
+    match o with
+    | Var v -> (
+      match Hashtbl.find_opt vmap v with
+      | Some o' -> o'
+      | None -> o (* impossible for well-formed SSA *))
+    | _ -> o
+  in
+  let def_of v = match Hashtbl.find vmap v with Var v' -> v' | _ -> assert false in
+  (* label renaming *)
+  let lmap : (label, label) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (b : block) -> Hashtbl.replace lmap b.lbl (fresh_label ())) callee.blocks;
+  let map_lbl l = Hashtbl.find lmap l in
+  let cont_lbl = fresh_label () in
+  (* clone blocks *)
+  let ret_edges = ref [] in
+  let hoisted_allocas = ref [] in
+  let cloned =
+    List.map
+      (fun (b : block) ->
+        let phis =
+          List.map
+            (fun p ->
+              {
+                pdst = def_of p.pdst;
+                pty = p.pty;
+                incoming = List.map (fun (l, o) -> (map_lbl l, map_use o)) p.incoming;
+              })
+            b.phis
+        in
+        let body =
+          List.filter_map
+            (fun i ->
+              match i with
+              | Alloca (d, n) ->
+                (* hoist to the caller's entry: static stack slot *)
+                hoisted_allocas := Alloca (def_of d, n) :: !hoisted_allocas;
+                None
+              | _ ->
+                let i = map_instr_uses map_use i in
+                let i =
+                  match instr_def i with
+                  | Some d -> (
+                    (* rewrite the defined value *)
+                    match i with
+                    | Ibinop (_, op, a, b2) -> Ibinop (def_of d, op, a, b2)
+                    | Fbinop (_, op, a, b2) -> Fbinop (def_of d, op, a, b2)
+                    | Icmp (_, op, a, b2) -> Icmp (def_of d, op, a, b2)
+                    | Fcmp (_, op, a, b2) -> Fcmp (def_of d, op, a, b2)
+                    | Funop (_, op, a) -> Funop (def_of d, op, a)
+                    | Cast (_, op, a) -> Cast (def_of d, op, a)
+                    | Select (_, t, c, a, b2) -> Select (def_of d, t, c, a, b2)
+                    | Load (_, t, a) -> Load (def_of d, t, a)
+                    | Gep (_, a, ix) -> Gep (def_of d, a, ix)
+                    | Gaddr (_, g) -> Gaddr (def_of d, g)
+                    | Call (_, t, n, a) -> Call (Some (def_of d), t, n, a)
+                    | Alloca _ | Store _ -> i)
+                  | None -> i
+                in
+                Some i)
+            b.body
+        in
+        let term =
+          match b.term with
+          | Ret o ->
+            ret_edges := (map_lbl b.lbl, Option.map map_use o) :: !ret_edges;
+            Br cont_lbl
+          | Br l -> Br (map_lbl l)
+          | Cbr (c, t, e) -> Cbr (map_use c, map_lbl t, map_lbl e)
+          | Unreachable -> Unreachable
+        in
+        { lbl = map_lbl b.lbl; phis; body; term })
+      callee.blocks
+  in
+  (* continuation block: phi for the return value + the rest of the body *)
+  let cont_phis =
+    match call_dst with
+    | Some d ->
+      let ty = Hashtbl.find caller.vtypes d in
+      let incoming =
+        List.map
+          (fun (l, o) ->
+            match o with
+            | Some o -> (l, o)
+            | None -> (l, match ty with I64 -> ICst 0L | F64 -> FCst 0.0))
+          !ret_edges
+      in
+      [ { pdst = d; pty = ty; incoming } ]
+    | None -> []
+  in
+  let cont = { lbl = cont_lbl; phis = cont_phis; body = after; term = orig_term } in
+  (* head: original block keeps its label, branches into the clone *)
+  at_block.body <- before;
+  at_block.term <- Br (map_lbl (entry_block callee).lbl);
+  (* successors' phi edges that referenced at_block now come from cont *)
+  List.iter
+    (fun (b : block) ->
+      List.iter
+        (fun p ->
+          p.incoming <-
+            List.map
+              (fun (l, o) -> ((if l = at_block.lbl then cont_lbl else l), o))
+              p.incoming)
+        b.phis)
+    caller.blocks;
+  (* entry gets the hoisted allocas *)
+  let entry = entry_block caller in
+  entry.body <- !hoisted_allocas @ entry.body;
+  caller.blocks <- caller.blocks @ cloned @ [ cont ]
+
+(* returns the number of call sites inlined *)
+let run ?(threshold = default_threshold) (m : modul) : int =
+  let inlined = ref 0 in
+  let inlinable = Hashtbl.create 16 in
+  List.iter
+    (fun fn ->
+      if fn.fname <> "main" && (not (is_self_recursive fn)) && size_of fn <= threshold then
+        Hashtbl.replace inlinable fn.fname fn)
+    m.funcs;
+  (* avoid mutual recursion blow-up: an inlinable callee's own calls are
+     only inlined if they were processed before it — process in dependency
+     rounds with a hard cap *)
+  List.iter
+    (fun caller ->
+      let next_label =
+        ref (List.fold_left (fun acc b -> max acc b.lbl) 0 caller.blocks + 1)
+      in
+      let fresh_label () =
+        let l = !next_label in
+        incr next_label;
+        l
+      in
+      (* one site per iteration; the cap bounds pathological nested
+         expansion (e.g. mutually recursive small functions) *)
+      let sites = ref 0 in
+      let changed = ref true in
+      while !changed && !sites < 200 do
+        changed := false;
+        incr sites;
+        let rec find_site = function
+          | [] -> None
+          | (b : block) :: rest -> (
+            let rec split before = function
+              | [] -> None
+              | Call (d, _, name, args) :: after
+                when Hashtbl.mem inlinable name && name <> caller.fname ->
+                Some (b, List.rev before, d, name, args, after)
+              | i :: after -> split (i :: before) after
+            in
+            match split [] b.body with Some s -> Some s | None -> find_site rest)
+        in
+        match find_site caller.blocks with
+        | Some (at_block, before, call_dst, name, args, after) ->
+          let callee = Hashtbl.find inlinable name in
+          let orig_term = at_block.term in
+          inline_call caller callee ~at_block ~before ~call_dst ~args ~after ~orig_term
+            ~fresh_label;
+          incr inlined;
+          changed := true
+        | None -> ()
+      done)
+    m.funcs;
+  !inlined

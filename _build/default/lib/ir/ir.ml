@@ -1,0 +1,169 @@
+(* The intermediate representation.
+
+   This is the analogue of the LLVM IR in the paper (§3.2): a RISC-like,
+   load/store, SSA-form representation with an unbounded supply of virtual
+   registers ("values").  Every first-class value is 64 bits wide — either an
+   integer/pointer ([I64]) or an IEEE-754 double ([F64]) — which matches the
+   paper's fault model of whole-register bit flips and keeps the memory model
+   uniform (every load/store moves 8 bytes).
+
+   IR-level fault injection (the LLFI pass) operates on this representation
+   and therefore cannot see anything the backend introduces later: function
+   prologues/epilogues, register spills/reloads, flag writes.  That asymmetry
+   is the core phenomenon the paper studies, so the IR deliberately contains
+   no such instructions. *)
+
+type ty = I64 | F64
+
+type value = int
+(* SSA value id, unique within a function. *)
+
+type label = int
+(* Basic block id, unique within a function. *)
+
+type operand =
+  | Var of value
+  | ICst of int64
+  | FCst of float
+
+type ibinop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Lshr | Ashr
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+type icmp = Ieq | Ine | Ilt | Ile | Igt | Ige
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+type funop = Fneg | Fsqrt | Fabs
+type cast = Sitofp | Fptosi
+
+type instr =
+  | Ibinop of value * ibinop * operand * operand
+  | Fbinop of value * fbinop * operand * operand
+  | Icmp of value * icmp * operand * operand (* result: i64, 0 or 1 *)
+  | Fcmp of value * fcmp * operand * operand
+  | Funop of value * funop * operand
+  | Cast of value * cast * operand
+  | Select of value * ty * operand * operand * operand (* cond, if-true, if-false *)
+  | Load of value * ty * operand (* address *)
+  | Store of ty * operand * operand (* value, address *)
+  | Alloca of value * int (* size in bytes; result is the address *)
+  | Gep of value * operand * operand (* base, index; address = base + 8*index *)
+  | Gaddr of value * string (* address of a module global *)
+  | Call of value option * ty * string * operand list
+      (* [Call (Some d, ty, f, args)] binds the result; [ty] is the result
+         type (ignored when the destination is [None]). *)
+
+type terminator =
+  | Ret of operand option
+  | Br of label
+  | Cbr of operand * label * label (* nonzero -> first target *)
+  | Unreachable
+
+type phi = { pdst : value; pty : ty; mutable incoming : (label * operand) list }
+
+type block = {
+  lbl : label;
+  mutable phis : phi list;
+  mutable body : instr list;
+  mutable term : terminator;
+}
+
+type func = {
+  fname : string;
+  params : (value * ty) list;
+  fret : ty option;
+  mutable blocks : block list; (* entry block first *)
+  mutable vnext : value;
+  vtypes : (value, ty) Hashtbl.t;
+}
+
+type global = {
+  gname : string;
+  gsize : int; (* bytes *)
+  gbytes : string option; (* optional initializer, length <= gsize *)
+}
+
+type modul = { globals : global list; funcs : func list }
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let value_ty f v =
+  match Hashtbl.find_opt f.vtypes v with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ir.value_ty: unknown value v%d in %s" v f.fname)
+
+let operand_ty f = function
+  | Var v -> value_ty f v
+  | ICst _ -> I64
+  | FCst _ -> F64
+
+let instr_def = function
+  | Ibinop (d, _, _, _)
+  | Fbinop (d, _, _, _)
+  | Icmp (d, _, _, _)
+  | Fcmp (d, _, _, _)
+  | Funop (d, _, _)
+  | Cast (d, _, _)
+  | Select (d, _, _, _, _)
+  | Load (d, _, _)
+  | Alloca (d, _)
+  | Gep (d, _, _)
+  | Gaddr (d, _) -> Some d
+  | Call (d, _, _, _) -> d
+  | Store _ -> None
+
+let instr_uses = function
+  | Ibinop (_, _, a, b) | Fbinop (_, _, a, b) | Icmp (_, _, a, b) | Fcmp (_, _, a, b) ->
+    [ a; b ]
+  | Funop (_, _, a) | Cast (_, _, a) | Load (_, _, a) -> [ a ]
+  | Alloca _ | Gaddr _ -> []
+  | Select (_, _, c, a, b) -> [ c; a; b ]
+  | Store (_, v, a) -> [ v; a ]
+  | Gep (_, b, i) -> [ b; i ]
+  | Call (_, _, _, args) -> args
+
+let term_uses = function
+  | Ret (Some o) -> [ o ]
+  | Ret None | Br _ | Unreachable -> []
+  | Cbr (c, _, _) -> [ c ]
+
+let term_succs = function
+  | Ret _ | Unreachable -> []
+  | Br l -> [ l ]
+  | Cbr (_, a, b) -> if a = b then [ a ] else [ a; b ]
+
+(* Rewrite every operand of an instruction with [f]. *)
+let map_instr_uses f = function
+  | Ibinop (d, op, a, b) -> Ibinop (d, op, f a, f b)
+  | Fbinop (d, op, a, b) -> Fbinop (d, op, f a, f b)
+  | Icmp (d, op, a, b) -> Icmp (d, op, f a, f b)
+  | Fcmp (d, op, a, b) -> Fcmp (d, op, f a, f b)
+  | Funop (d, op, a) -> Funop (d, op, f a)
+  | Cast (d, op, a) -> Cast (d, op, f a)
+  | Select (d, t, c, a, b) -> Select (d, t, f c, f a, f b)
+  | Load (d, t, a) -> Load (d, t, f a)
+  | Store (t, v, a) -> Store (t, f v, f a)
+  | Alloca (d, n) -> Alloca (d, n)
+  | Gaddr (d, g) -> Gaddr (d, g)
+  | Gep (d, b, i) -> Gep (d, f b, f i)
+  | Call (d, t, name, args) -> Call (d, t, name, List.map f args)
+
+let map_term_uses f = function
+  | Ret (Some o) -> Ret (Some (f o))
+  | Ret None -> Ret None
+  | Br l -> Br l
+  | Cbr (c, a, b) -> Cbr (f c, a, b)
+  | Unreachable -> Unreachable
+
+let find_block f lbl =
+  match List.find_opt (fun b -> b.lbl = lbl) f.blocks with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Ir.find_block: no block L%d in %s" lbl f.fname)
+
+let entry_block f =
+  match f.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg (Printf.sprintf "Ir.entry_block: %s has no blocks" f.fname)
+
+let find_func m name =
+  match List.find_opt (fun f -> f.fname = name) m.funcs with
+  | Some f -> f
+  | None -> raise Not_found

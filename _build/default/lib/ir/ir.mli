@@ -1,0 +1,109 @@
+(** The intermediate representation — the analogue of the LLVM IR in the
+    paper (§3.2): a RISC-like, load/store, SSA-form representation with an
+    unbounded supply of virtual registers ("values").
+
+    Every first-class value is 64 bits wide: an integer/pointer ([I64]) or
+    an IEEE-754 double ([F64]).  IR-level fault injection (the LLFI pass)
+    operates here and therefore cannot see anything the backend introduces
+    later — function prologues/epilogues, register spills/reloads, flag
+    writes.  That asymmetry is the core phenomenon the paper studies, so
+    the IR deliberately contains no such instructions. *)
+
+type ty = I64 | F64
+
+type value = int
+(** SSA value id, unique within a function. *)
+
+type label = int
+(** Basic block id, unique within a function. *)
+
+type operand =
+  | Var of value
+  | ICst of int64
+  | FCst of float
+
+type ibinop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Lshr | Ashr
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Ieq | Ine | Ilt | Ile | Igt | Ige
+(** Signed comparisons; results are [I64] 0/1. *)
+
+type fcmp = Feq | Fne | Flt | Fle | Fgt | Fge
+(** C-style: [Fne] is true on NaN, the rest are ordered. *)
+
+type funop = Fneg | Fsqrt | Fabs
+type cast = Sitofp | Fptosi
+
+type instr =
+  | Ibinop of value * ibinop * operand * operand
+  | Fbinop of value * fbinop * operand * operand
+  | Icmp of value * icmp * operand * operand
+  | Fcmp of value * fcmp * operand * operand
+  | Funop of value * funop * operand
+  | Cast of value * cast * operand
+  | Select of value * ty * operand * operand * operand
+      (** condition (nonzero = first), then-value, else-value *)
+  | Load of value * ty * operand  (** destination, type, address *)
+  | Store of ty * operand * operand  (** type, value, address *)
+  | Alloca of value * int  (** stack slot of n bytes; result is its address *)
+  | Gep of value * operand * operand  (** address = base + 8 * index *)
+  | Gaddr of value * string  (** address of a module global *)
+  | Call of value option * ty * string * operand list
+      (** optional result (with its type), callee name, arguments *)
+
+type terminator =
+  | Ret of operand option
+  | Br of label
+  | Cbr of operand * label * label  (** nonzero -> first target *)
+  | Unreachable
+
+type phi = { pdst : value; pty : ty; mutable incoming : (label * operand) list }
+
+type block = {
+  lbl : label;
+  mutable phis : phi list;
+  mutable body : instr list;
+  mutable term : terminator;
+}
+
+type func = {
+  fname : string;
+  params : (value * ty) list;
+  fret : ty option;
+  mutable blocks : block list;  (** entry block first *)
+  mutable vnext : value;  (** next fresh value id *)
+  vtypes : (value, ty) Hashtbl.t;
+}
+
+type global = {
+  gname : string;
+  gsize : int;  (** bytes *)
+  gbytes : string option;  (** optional initializer, length <= gsize *)
+}
+
+type modul = { globals : global list; funcs : func list }
+
+(** {1 Accessors} *)
+
+val value_ty : func -> value -> ty
+val operand_ty : func -> operand -> ty
+
+val instr_def : instr -> value option
+(** The value an instruction defines, if any. *)
+
+val instr_uses : instr -> operand list
+val term_uses : terminator -> operand list
+
+val term_succs : terminator -> label list
+(** Successor labels, deduplicated. *)
+
+val map_instr_uses : (operand -> operand) -> instr -> instr
+val map_term_uses : (operand -> operand) -> terminator -> terminator
+
+val find_block : func -> label -> block
+(** Raises [Invalid_argument] for unknown labels. *)
+
+val entry_block : func -> block
+
+val find_func : modul -> string -> func
+(** Raises [Not_found]. *)

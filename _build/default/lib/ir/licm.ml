@@ -1,0 +1,112 @@
+(* Loop-invariant code motion.
+
+   Pure, non-trapping instructions in a natural loop whose operands are all
+   defined outside the loop are hoisted to a preheader block inserted on the
+   sole outside edge into the header.  Loads and trapping divisions are not
+   hoisted (a load may depend on in-loop stores; a hoisted trap would fire on
+   iterations that never execute). *)
+
+open Ir
+
+let hoistable = function
+  | Ibinop (_, (Div | Rem), _, _) -> false
+  | Ibinop _ | Fbinop _ | Icmp _ | Fcmp _ | Funop _ | Cast _ | Select _ | Gep _ | Gaddr _ -> true
+  | Load _ | Store _ | Alloca _ | Call _ -> false
+
+let run (fn : func) =
+  let cfg = Cfg.build fn in
+  let loops = Cfg.natural_loops cfg in
+  (* Process outer loops first (larger bodies). *)
+  let loops = List.sort (fun a b -> compare (List.length b.Cfg.body) (List.length a.Cfg.body)) loops in
+  let next_label = ref (List.fold_left (fun acc b -> max acc b.lbl) 0 fn.blocks + 1) in
+  List.iter
+    (fun { Cfg.header; body } ->
+      (* definitions inside the loop *)
+      let defs_inside = Hashtbl.create 32 in
+      List.iter
+        (fun l ->
+          let b = find_block fn l in
+          List.iter (fun p -> Hashtbl.replace defs_inside p.pdst ()) b.phis;
+          List.iter
+            (fun i -> match instr_def i with Some d -> Hashtbl.replace defs_inside d () | None -> ())
+            b.body)
+        body;
+      let invariant_op = function
+        | Var v -> not (Hashtbl.mem defs_inside v)
+        | ICst _ | FCst _ -> true
+      in
+      (* collect hoistable instructions whose operands are loop-invariant;
+         iterate to a fixpoint so chains hoist together *)
+      let hoisted = ref [] in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun l ->
+            let b = find_block fn l in
+            let keep, lift =
+              List.partition
+                (fun i ->
+                  not (hoistable i && List.for_all invariant_op (instr_uses i)))
+                b.body
+            in
+            if lift <> [] then begin
+              b.body <- keep;
+              List.iter
+                (fun i ->
+                  (match instr_def i with
+                  | Some d -> Hashtbl.remove defs_inside d
+                  | None -> ());
+                  hoisted := !hoisted @ [ i ])
+                lift;
+              changed := true
+            end)
+            body
+      done;
+      if !hoisted <> [] then begin
+        (* build/locate the preheader: outside predecessors of the header *)
+        let outside_preds =
+          List.filter (fun p -> not (List.mem p body)) (Cfg.predecessors cfg header)
+        in
+        match outside_preds with
+        | [] -> (* dead loop; put instructions back in the header *)
+          let h = find_block fn header in
+          h.body <- !hoisted @ h.body
+        | preds ->
+          let pre = { lbl = !next_label; phis = []; body = !hoisted; term = Br header } in
+          incr next_label;
+          fn.blocks <- fn.blocks @ [ pre ];
+          let hblk = find_block fn header in
+          (* redirect outside predecessors to the preheader *)
+          List.iter
+            (fun plbl ->
+              let p = find_block fn plbl in
+              let retarget l = if l = header then pre.lbl else l in
+              p.term <-
+                (match p.term with
+                | Br l -> Br (retarget l)
+                | Cbr (c, a, b) -> Cbr (c, retarget a, retarget b)
+                | t -> t))
+            preds;
+          (* split header phis: outside edges move to new phis in the
+             preheader, header keeps one edge from the preheader *)
+          List.iter
+            (fun (ph : phi) ->
+              let outside, inside =
+                List.partition (fun (l, _) -> List.mem l preds) ph.incoming
+              in
+              match outside with
+              | [] -> ()
+              | [ (_, single) ] -> ph.incoming <- (pre.lbl, single) :: inside
+              | _ ->
+                let d = fn.vnext in
+                fn.vnext <- d + 1;
+                Hashtbl.add fn.vtypes d ph.pty;
+                let newphi =
+                  { pdst = d; pty = ph.pty; incoming = outside }
+                in
+                pre.phis <- pre.phis @ [ newphi ];
+                ph.incoming <- (pre.lbl, Var d) :: inside)
+            hblk.phis
+      end)
+    loops

@@ -1,0 +1,185 @@
+(* Promotion of stack slots to SSA values (LLVM's mem2reg).
+
+   The front end produces one 8-byte alloca per local variable and
+   loads/stores it on every access, like clang -O0.  This pass rewrites
+   promotable slots into SSA form with phi nodes placed on the iterated
+   dominance frontier, then renames via a dominator-tree walk.  After this
+   pass the IR looks like the paper's Listing 1a: values in virtual
+   registers, no stack traffic for scalars — which is precisely the code
+   LLFI-style IR instrumentation sees, and which misses the spills the
+   backend later re-introduces. *)
+
+open Ir
+
+type slot_info = { ty : ty; mutable promotable : bool }
+
+let run (fn : func) =
+  let cfg = Cfg.build fn in
+  (* --- find promotable allocas: 8-byte slots whose address is used only as
+     the direct address operand of loads and stores. *)
+  let slots : (value, slot_info) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Alloca (d, 8) -> Hashtbl.replace slots d { ty = I64; promotable = true }
+          | _ -> ())
+        b.body)
+    fn.blocks;
+  let demote v = match Hashtbl.find_opt slots v with Some s -> s.promotable <- false | None -> () in
+  let demote_op = function Var v -> demote v | _ -> () in
+  let note_access v ty =
+    match Hashtbl.find_opt slots v with
+    | Some s -> if s.promotable && Hashtbl.mem slots v then Hashtbl.replace slots v { s with ty }
+    | None -> ()
+  in
+  (* A slot accessed with both i64 and f64 is demoted (cannot pick one phi
+     type); track the last seen type and compare. *)
+  let seen_ty : (value, ty) Hashtbl.t = Hashtbl.create 16 in
+  let record_ty v ty =
+    match Hashtbl.find_opt seen_ty v with
+    | None -> Hashtbl.replace seen_ty v ty; note_access v ty
+    | Some t -> if t <> ty then demote v
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Load (_, ty, Var a) -> record_ty a ty
+          | Store (ty, v, Var a) ->
+            demote_op v; (* storing a slot address anywhere demotes it *)
+            record_ty a ty
+          | Alloca _ -> ()
+          | other -> List.iter demote_op (instr_uses other))
+        b.body;
+      List.iter demote_op (term_uses b.term);
+      List.iter (fun p -> List.iter (fun (_, o) -> demote_op o) p.incoming) b.phis)
+    fn.blocks;
+  let promotable = Hashtbl.create 16 in
+  Hashtbl.iter (fun v s -> if s.promotable then Hashtbl.replace promotable v s.ty) slots;
+  if Hashtbl.length promotable = 0 then ()
+  else begin
+    (* --- phi placement on the iterated dominance frontier of store blocks *)
+    let df = Cfg.dominance_frontiers cfg in
+    let zero_of = function I64 -> ICst 0L | F64 -> FCst 0.0 in
+    (* (block label, slot) -> phi record *)
+    let placed : (label * value, phi) Hashtbl.t = Hashtbl.create 32 in
+    Hashtbl.iter
+      (fun slot ty ->
+        let def_blocks =
+          List.filter_map
+            (fun b ->
+              let defines =
+                List.exists (function Store (_, _, Var a) -> a = slot | _ -> false) b.body
+              in
+              if defines then Some b.lbl else None)
+            fn.blocks
+        in
+        let work = Queue.create () in
+        List.iter (fun l -> Queue.add l work) def_blocks;
+        let has_phi = Hashtbl.create 8 in
+        while not (Queue.is_empty work) do
+          let x = Queue.pop work in
+          List.iter
+            (fun y ->
+              if not (Hashtbl.mem has_phi y) then begin
+                Hashtbl.add has_phi y ();
+                let dst = fn.vnext in
+                fn.vnext <- dst + 1;
+                Hashtbl.add fn.vtypes dst ty;
+                let p = { pdst = dst; pty = ty; incoming = [] } in
+                Hashtbl.replace placed (y, slot) p;
+                let blk = find_block fn y in
+                blk.phis <- blk.phis @ [ p ];
+                Queue.add y work
+              end)
+            (df x)
+        done)
+      promotable;
+    (* --- renaming along the dominator tree *)
+    let children = Hashtbl.create 16 in
+    Array.iter
+      (fun l ->
+        match Cfg.idom cfg l with
+        | Some d ->
+          let cur = try Hashtbl.find children d with Not_found -> [] in
+          Hashtbl.replace children d (cur @ [ l ])
+        | None -> ())
+      (Cfg.rpo cfg);
+    (* replacement of deleted load results *)
+    let repl : (value, operand) Hashtbl.t = Hashtbl.create 32 in
+    let rec chase o =
+      match o with
+      | Var v -> ( match Hashtbl.find_opt repl v with Some o' -> chase o' | None -> o)
+      | _ -> o
+    in
+    (* current[slot] along the walk; save/restore per subtree *)
+    let current : (value, operand) Hashtbl.t = Hashtbl.create 16 in
+    let cur_val slot =
+      match Hashtbl.find_opt current slot with
+      | Some o -> o
+      | None -> zero_of (Hashtbl.find promotable slot)
+    in
+    (* end-of-block slot environment, to fill phi incomings afterwards *)
+    let at_end : (label, (value * operand) list) Hashtbl.t = Hashtbl.create 16 in
+    let rec walk lbl =
+      let blk = find_block fn lbl in
+      let saved = Hashtbl.fold (fun k v acc -> (k, v) :: acc) current [] in
+      (* phis placed in this block define their slot *)
+      Hashtbl.iter
+        (fun (l, slot) (p : phi) -> if l = lbl then Hashtbl.replace current slot (Var p.pdst))
+        placed;
+      let new_body =
+        List.filter_map
+          (fun i ->
+            match i with
+            | Alloca (d, _) when Hashtbl.mem promotable d -> None
+            | Load (d, _, Var a) when Hashtbl.mem promotable a ->
+              Hashtbl.replace repl d (cur_val a);
+              None
+            | Store (_, v, Var a) when Hashtbl.mem promotable a ->
+              Hashtbl.replace current a (chase v);
+              None
+            | other -> Some (map_instr_uses chase other))
+          blk.body
+      in
+      blk.body <- new_body;
+      blk.term <- map_term_uses chase blk.term;
+      (* rewrite non-slot phi operands too *)
+      List.iter (fun p -> p.incoming <- List.map (fun (l, o) -> (l, chase o)) p.incoming) blk.phis;
+      Hashtbl.replace at_end lbl (Hashtbl.fold (fun k v acc -> (k, v) :: acc) current []);
+      List.iter walk (try Hashtbl.find children lbl with Not_found -> []);
+      Hashtbl.reset current;
+      List.iter (fun (k, v) -> Hashtbl.replace current k v) saved;
+      (* re-apply this block's own defs are NOT kept: dominator-tree scoping *)
+      ()
+    in
+    walk (entry_block fn).lbl;
+    (* --- fill phi incomings from each predecessor's end environment *)
+    Hashtbl.iter
+      (fun (lbl, slot) (p : phi) ->
+        let preds = Cfg.predecessors cfg lbl in
+        p.incoming <-
+          List.map
+            (fun pred ->
+              let env = try Hashtbl.find at_end pred with Not_found -> [] in
+              let v =
+                match List.assoc_opt slot env with
+                | Some o -> chase o
+                | None -> zero_of p.pty
+              in
+              (pred, v))
+            (List.sort_uniq compare preds))
+      placed;
+    (* chase any replacement chains that went through phis placed later *)
+    List.iter
+      (fun b ->
+        b.body <- List.map (map_instr_uses chase) b.body;
+        b.term <- map_term_uses chase b.term;
+        List.iter
+          (fun p -> p.incoming <- List.map (fun (l, o) -> (l, chase o)) p.incoming)
+          b.phis)
+      fn.blocks
+  end

@@ -1,0 +1,74 @@
+(* Local memory optimization: store-to-load forwarding and dead-store
+   elimination within basic blocks.
+
+   Addresses are compared as SSA operands — two occurrences of the same
+   value are provably the same address, different values may alias.  The
+   pass is therefore conservative:
+
+   - forwarding: a load from the operand of the latest store to that same
+     operand yields the stored value; a store to a *different* operand
+     kills all available entries (it may alias them), and calls kill
+     everything (the callee may write);
+   - dead stores: a store to A followed by another store to A with no
+     intervening load or call is dead (stores never read; only loads and
+     calls observe memory).
+
+   Replacements are collected function-wide and applied in a final rewrite:
+   a forwarded load's value may be used in other blocks. *)
+
+open Ir
+
+let run (fn : func) =
+  (* function-level replacement map and per-(block,index) deadness *)
+  let repl : (value, operand) Hashtbl.t = Hashtbl.create 16 in
+  let rec chase o =
+    match o with
+    | Var v -> ( match Hashtbl.find_opt repl v with Some o' -> chase o' | None -> o)
+    | _ -> o
+  in
+  let new_bodies =
+    List.map
+      (fun (b : block) ->
+        let avail : (operand, operand) Hashtbl.t = Hashtbl.create 8 in
+        let pending : (operand, int) Hashtbl.t = Hashtbl.create 8 in
+        let body = Array.of_list b.body in
+        let dead = Hashtbl.create 8 in
+        Array.iteri
+          (fun idx i ->
+            (* resolve operands through earlier forwardings before keying *)
+            let i = map_instr_uses chase i in
+            match i with
+            | Store (_, v, addr) ->
+              (match Hashtbl.find_opt pending addr with
+              | Some j -> Hashtbl.replace dead j ()
+              | None -> ());
+              Hashtbl.reset avail;
+              Hashtbl.replace avail addr v;
+              Hashtbl.replace pending addr idx
+            | Load (d, _, addr) -> (
+              Hashtbl.reset pending;
+              match Hashtbl.find_opt avail addr with
+              | Some v ->
+                Hashtbl.replace repl d (chase v);
+                Hashtbl.replace dead idx ()
+              | None -> Hashtbl.replace avail addr (Var d))
+            | Call _ ->
+              Hashtbl.reset avail;
+              Hashtbl.reset pending
+            | _ -> ())
+          body;
+        (b, body, dead))
+      fn.blocks
+  in
+  (* final rewrite: drop dead instructions, chase every use everywhere *)
+  List.iter
+    (fun ((b : block), body, dead) ->
+      b.body <-
+        Array.to_list body
+        |> List.filteri (fun idx _ -> not (Hashtbl.mem dead idx))
+        |> List.map (map_instr_uses chase);
+      b.term <- map_term_uses chase b.term;
+      List.iter
+        (fun (p : phi) -> p.incoming <- List.map (fun (l, o) -> (l, chase o)) p.incoming)
+        b.phis)
+    new_bodies

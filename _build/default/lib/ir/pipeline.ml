@@ -1,0 +1,61 @@
+(* IR pass manager.  [optimize] is what the compiler drivers use: O0 leaves
+   the front-end output untouched (clang -O0 style: every local in a stack
+   slot), O1 promotes to SSA and cleans up, O2 additionally runs LICM and a
+   second clean-up round.  The evaluation compiles every benchmark at O2,
+   matching the paper's use of -O3 application builds. *)
+
+open Ir
+
+type level = O0 | O1 | O2
+
+let level_of_string = function
+  | "O0" | "0" -> O0
+  | "O1" | "1" -> O1
+  | "O2" | "2" -> O2
+  | s -> invalid_arg ("Pipeline.level_of_string: " ^ s)
+
+let string_of_level = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2"
+
+let clean fn =
+  Constfold.run fn;
+  Simplifycfg.run fn;
+  Cse.run fn;
+  Memopt.run fn;
+  Dce.run fn;
+  Constfold.run fn;
+  Simplifycfg.run fn
+
+let optimize_func level fn =
+  match level with
+  | O0 -> ()
+  | O1 ->
+    Mem2reg.run fn;
+    clean fn
+  | O2 ->
+    Mem2reg.run fn;
+    clean fn;
+    Sccp.run fn;
+    Simplifycfg.run fn;
+    Licm.run fn;
+    clean fn;
+    Cse.run fn;
+    Dce.run fn;
+    Simplifycfg.run fn
+
+(* [verify] re-checks module well-formedness after the passes; it is on in
+   tests and off in campaigns for speed. *)
+let optimize ?(verify = false) level (m : modul) =
+  List.iter (optimize_func level) m.funcs;
+  (* O2 inlines small functions after per-function clean-up (call density
+     then matches -O3 binaries), and re-optimizes the enlarged callers *)
+  if level = O2 then begin
+    let inlined = Inline.run m in
+    if inlined > 0 then
+      List.iter
+        (fun fn ->
+          clean fn;
+          Licm.run fn;
+          clean fn)
+        m.funcs
+  end;
+  if verify then Verify.check_module m

@@ -1,0 +1,24 @@
+(** IR pass manager.
+
+    - [O0] leaves the front-end output untouched (clang -O0 style: every
+      local in a stack slot);
+    - [O1] promotes to SSA (mem2reg) and runs the clean-up pipeline
+      (constant folding, CFG simplification, CSE, local memory
+      optimization, DCE);
+    - [O2] additionally runs SCCP, LICM, inlining of small functions, and a
+      second clean-up round — the analogue of the -O3 application builds of
+      the paper's evaluation. *)
+
+type level = O0 | O1 | O2
+
+val level_of_string : string -> level
+val string_of_level : level -> string
+
+val clean : Ir.func -> unit
+(** One round of the clean-up pipeline on a single function. *)
+
+val optimize_func : level -> Ir.func -> unit
+
+val optimize : ?verify:bool -> level -> Ir.modul -> unit
+(** Optimizes every function in place.  [verify] re-checks module
+    well-formedness afterwards (on in tests, off in campaigns). *)

@@ -1,0 +1,100 @@
+(* Human-readable IR listings, in the spirit of the paper's Listing 1a/2a.
+   The format is stable so tests can assert on it. *)
+
+open Ir
+
+let string_of_ty = function I64 -> "i64" | F64 -> "f64"
+
+let string_of_operand = function
+  | Var v -> Printf.sprintf "v%d" v
+  | ICst i -> Int64.to_string i
+  | FCst f -> Printf.sprintf "%h" f
+
+let string_of_ibinop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let string_of_fbinop = function Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv"
+
+let string_of_icmp = function
+  | Ieq -> "eq" | Ine -> "ne" | Ilt -> "lt" | Ile -> "le" | Igt -> "gt" | Ige -> "ge"
+
+let string_of_fcmp = function
+  | Feq -> "oeq" | Fne -> "one" | Flt -> "olt" | Fle -> "ole" | Fgt -> "ogt" | Fge -> "oge"
+
+let string_of_funop = function Fneg -> "fneg" | Fsqrt -> "fsqrt" | Fabs -> "fabs"
+let string_of_cast = function Sitofp -> "sitofp" | Fptosi -> "fptosi"
+
+let string_of_instr i =
+  let op = string_of_operand in
+  match i with
+  | Ibinop (d, o, a, b) -> Printf.sprintf "v%d = %s %s, %s" d (string_of_ibinop o) (op a) (op b)
+  | Fbinop (d, o, a, b) -> Printf.sprintf "v%d = %s %s, %s" d (string_of_fbinop o) (op a) (op b)
+  | Icmp (d, o, a, b) -> Printf.sprintf "v%d = icmp %s %s, %s" d (string_of_icmp o) (op a) (op b)
+  | Fcmp (d, o, a, b) -> Printf.sprintf "v%d = fcmp %s %s, %s" d (string_of_fcmp o) (op a) (op b)
+  | Funop (d, o, a) -> Printf.sprintf "v%d = %s %s" d (string_of_funop o) (op a)
+  | Cast (d, o, a) -> Printf.sprintf "v%d = %s %s" d (string_of_cast o) (op a)
+  | Select (d, t, c, a, b) ->
+    Printf.sprintf "v%d = select %s %s, %s, %s" d (string_of_ty t) (op c) (op a) (op b)
+  | Load (d, t, a) -> Printf.sprintf "v%d = load %s, %s" d (string_of_ty t) (op a)
+  | Store (t, v, a) -> Printf.sprintf "store %s %s, %s" (string_of_ty t) (op v) (op a)
+  | Alloca (d, n) -> Printf.sprintf "v%d = alloca %d" d n
+  | Gep (d, b, ix) -> Printf.sprintf "v%d = gep %s, %s" d (op b) (op ix)
+  | Gaddr (d, g) -> Printf.sprintf "v%d = gaddr @%s" d g
+  | Call (Some d, t, f, args) ->
+    Printf.sprintf "v%d = call %s @%s(%s)" d (string_of_ty t) f
+      (String.concat ", " (List.map op args))
+  | Call (None, _, f, args) ->
+    Printf.sprintf "call void @%s(%s)" f (String.concat ", " (List.map op args))
+
+let string_of_term = function
+  | Ret None -> "ret void"
+  | Ret (Some o) -> Printf.sprintf "ret %s" (string_of_operand o)
+  | Br l -> Printf.sprintf "br L%d" l
+  | Cbr (c, a, b) -> Printf.sprintf "cbr %s, L%d, L%d" (string_of_operand c) a b
+  | Unreachable -> "unreachable"
+
+let string_of_phi p =
+  Printf.sprintf "v%d = phi %s %s" p.pdst (string_of_ty p.pty)
+    (String.concat ", "
+       (List.map (fun (l, o) -> Printf.sprintf "[L%d: %s]" l (string_of_operand o)) p.incoming))
+
+let string_of_block b =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "L%d:\n" b.lbl);
+  List.iter (fun p -> Buffer.add_string buf ("  " ^ string_of_phi p ^ "\n")) b.phis;
+  List.iter (fun i -> Buffer.add_string buf ("  " ^ string_of_instr i ^ "\n")) b.body;
+  Buffer.add_string buf ("  " ^ string_of_term b.term ^ "\n");
+  Buffer.contents buf
+
+let string_of_func f =
+  let buf = Buffer.create 1024 in
+  let params =
+    String.concat ", "
+      (List.map (fun (v, t) -> Printf.sprintf "%s v%d" (string_of_ty t) v) f.params)
+  in
+  let ret = match f.fret with None -> "void" | Some t -> string_of_ty t in
+  Buffer.add_string buf (Printf.sprintf "define %s @%s(%s) {\n" ret f.fname params);
+  List.iter (fun b -> Buffer.add_string buf (string_of_block b)) f.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let string_of_module m =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf "global @%s : %d bytes%s\n" g.gname g.gsize
+           (match g.gbytes with None -> "" | Some _ -> " (initialized)")))
+    m.globals;
+  if m.globals <> [] then Buffer.add_char buf '\n';
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (string_of_func f);
+      Buffer.add_char buf '\n')
+    m.funcs;
+  Buffer.contents buf
+
+(* Static instruction count, used in reports. *)
+let count_instrs f =
+  List.fold_left (fun acc b -> acc + List.length b.phis + List.length b.body + 1) 0 f.blocks

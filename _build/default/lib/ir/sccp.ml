@@ -1,0 +1,174 @@
+(* Sparse conditional constant propagation (Wegman–Zadeck).
+
+   Tracks a three-level lattice per SSA value (unknown / constant /
+   varying) together with edge executability, so constants propagate
+   through phis whose non-constant incoming edges are unreachable — cases
+   plain constant folding cannot see.  After the fixpoint, constant values
+   replace their uses, conditional branches on constants become jumps, and
+   Simplifycfg removes the dead regions. *)
+
+open Ir
+
+type lattice = Top | Const of operand | Bottom
+
+let meet a b =
+  match (a, b) with
+  | Top, x | x, Top -> x
+  | Const x, Const y when x = y -> Const x
+  | _ -> Bottom
+
+let run (fn : func) =
+  let state : (value, lattice) Hashtbl.t = Hashtbl.create 64 in
+  let get v = try Hashtbl.find state v with Not_found -> Top in
+  let lat_of = function
+    | Var v -> get v
+    | (ICst _ | FCst _) as c -> Const c
+  in
+  (* params vary *)
+  List.iter (fun (v, _) -> Hashtbl.replace state v Bottom) fn.params;
+  (* users: value -> blocks that must be re-evaluated when it lowers *)
+  let users : (value, label list ref) Hashtbl.t = Hashtbl.create 64 in
+  let add_user v lbl =
+    let cell =
+      match Hashtbl.find_opt users v with
+      | Some c -> c
+      | None ->
+        let c = ref [] in
+        Hashtbl.add users v c;
+        c
+    in
+    if not (List.mem lbl !cell) then cell := lbl :: !cell
+  in
+  List.iter
+    (fun (b : block) ->
+      List.iter
+        (fun p -> List.iter (fun (_, o) -> match o with Var v -> add_user v b.lbl | _ -> ()) p.incoming)
+        b.phis;
+      List.iter
+        (fun i ->
+          List.iter (fun o -> match o with Var v -> add_user v b.lbl | _ -> ()) (instr_uses i))
+        b.body;
+      List.iter (fun o -> match o with Var v -> add_user v b.lbl | _ -> ()) (term_uses b.term))
+    fn.blocks;
+  (* executability *)
+  let edge_exec : (label * label, unit) Hashtbl.t = Hashtbl.create 16 in
+  let block_exec : (label, unit) Hashtbl.t = Hashtbl.create 16 in
+  let block_work = Queue.create () in
+  let pending_blocks : (label, unit) Hashtbl.t = Hashtbl.create 16 in
+  let schedule lbl =
+    if not (Hashtbl.mem pending_blocks lbl) then begin
+      Hashtbl.replace pending_blocks lbl ();
+      Queue.add lbl block_work
+    end
+  in
+  let mark_edge from target =
+    if not (Hashtbl.mem edge_exec (from, target)) then begin
+      Hashtbl.replace edge_exec (from, target) ();
+      schedule target
+    end
+  in
+  (* lowering a value re-evaluates its user blocks *)
+  let lower v l =
+    let old = get v in
+    let merged = meet old l in
+    if merged <> old then begin
+      Hashtbl.replace state v merged;
+      match Hashtbl.find_opt users v with
+      | Some cell -> List.iter schedule !cell
+      | None -> ()
+    end
+  in
+  (* evaluate one pure instruction under the current state *)
+  let eval_instr (i : instr) =
+    match instr_def i with
+    | None -> ()
+    | Some d -> (
+      match i with
+      | Load _ | Call _ | Alloca _ | Gaddr _ -> lower d Bottom
+      | _ -> (
+        (* substitute constant operands, then try folding *)
+        let subst o = match lat_of o with Const c -> c | _ -> o in
+        let all_known =
+          List.for_all (fun o -> match lat_of o with Top -> false | _ -> true) (instr_uses i)
+        in
+        let any_varying =
+          List.exists (fun o -> lat_of o = Bottom) (instr_uses i)
+        in
+        if not all_known then () (* stay Top: operands may still become constants *)
+        else if any_varying then
+          (* identities can still fold (x * 0, x & 0, ...) *)
+          match Constfold.fold_instr (map_instr_uses subst i) with
+          | Some ((ICst _ | FCst _) as c) -> lower d (Const c)
+          | _ -> lower d Bottom
+        else
+          match Constfold.fold_instr (map_instr_uses subst i) with
+          | Some ((ICst _ | FCst _) as c) -> lower d (Const c)
+          | Some _ | None -> lower d Bottom))
+  in
+  let eval_phi (b : block) (p : phi) =
+    let incoming_lat =
+      List.filter_map
+        (fun (l, o) -> if Hashtbl.mem edge_exec (l, b.lbl) then Some (lat_of o) else None)
+        p.incoming
+    in
+    match incoming_lat with
+    | [] -> () (* no executable edge yet *)
+    | l :: rest -> lower p.pdst (List.fold_left meet l rest)
+  in
+  let eval_term (b : block) =
+    match b.term with
+    | Br l -> mark_edge b.lbl l
+    | Cbr (c, t, e) -> (
+      match lat_of c with
+      | Const (ICst v) -> mark_edge b.lbl (if v <> 0L then t else e)
+      | Const (FCst _ | Var _) | Bottom ->
+        mark_edge b.lbl t;
+        mark_edge b.lbl e
+      | Top -> ())
+    | Ret _ | Unreachable -> ()
+  in
+  let eval_block lbl =
+    Hashtbl.replace block_exec lbl ();
+    let b = find_block fn lbl in
+    List.iter (eval_phi b) b.phis;
+    List.iter eval_instr b.body;
+    eval_term b
+  in
+  schedule (entry_block fn).lbl;
+  while not (Queue.is_empty block_work) do
+    let lbl = Queue.pop block_work in
+    Hashtbl.remove pending_blocks lbl;
+    eval_block lbl
+  done;
+  (* ---- apply: substitute constants, fold branches, drop const defs ---- *)
+  let subst o = match lat_of o with Const c -> c | _ -> o in
+  List.iter
+    (fun (b : block) ->
+      if Hashtbl.mem block_exec b.lbl then begin
+        b.phis <-
+          List.filter_map
+            (fun p ->
+              match get p.pdst with
+              | Const _ -> None (* all uses substituted below *)
+              | _ ->
+                p.incoming <- List.map (fun (l, o) -> (l, subst o)) p.incoming;
+                Some p)
+            b.phis;
+        b.body <-
+          List.filter_map
+            (fun i ->
+              match instr_def i with
+              | Some d when (match get d with Const _ -> true | _ -> false) -> (
+                (* keep instructions with side effects even if their result
+                   is constant *)
+                match i with
+                | Call _ | Load _ | Store _ -> Some (map_instr_uses subst i)
+                | _ -> None)
+              | _ -> Some (map_instr_uses subst i))
+            b.body;
+        b.term <- map_term_uses subst b.term;
+        match b.term with
+        | Cbr (ICst v, t, e) -> b.term <- Br (if v <> 0L then t else e)
+        | _ -> ()
+      end)
+    fn.blocks

@@ -1,0 +1,186 @@
+(* IR well-formedness checks, run between passes in tests and by the
+   pipeline in debug mode.  Catches the classic SSA bugs: double definition,
+   use before definition, phi/predecessor mismatches and type errors. *)
+
+open Ir
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let check_func (m : modul) (fn : func) =
+  (* --- block structure first: CFG construction needs resolvable targets *)
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem labels b.lbl then fail "%s: duplicate label L%d" fn.fname b.lbl;
+      Hashtbl.add labels b.lbl ())
+    fn.blocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s -> if not (Hashtbl.mem labels s) then fail "%s: branch to missing L%d" fn.fname s)
+        (term_succs b.term))
+    fn.blocks;
+  let cfg = Cfg.build fn in
+  (* --- single assignment and definition map: value -> defining label *)
+  let def_block : (value, label) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (v, _) -> Hashtbl.replace def_block v (-1) (* params: pseudo-entry *)) fn.params;
+  let define lbl v =
+    if Hashtbl.mem def_block v then fail "%s: v%d defined twice" fn.fname v;
+    if not (Hashtbl.mem fn.vtypes v) then fail "%s: v%d has no recorded type" fn.fname v;
+    Hashtbl.replace def_block v lbl
+  in
+  List.iter
+    (fun b ->
+      List.iter (fun p -> define b.lbl p.pdst) b.phis;
+      List.iter (fun i -> match instr_def i with Some v -> define b.lbl v | None -> ()) b.body)
+    fn.blocks;
+  if (entry_block fn).phis <> [] then fail "%s: entry block has phis" fn.fname;
+  (* --- operand type checking *)
+  let ty_of = operand_ty fn in
+  let expect what want got =
+    if want <> got then
+      fail "%s: %s expects %s, got %s" fn.fname what (Printer.string_of_ty want)
+        (Printer.string_of_ty got)
+  in
+  let check_instr i =
+    match i with
+    | Ibinop (d, _, a, b) ->
+      expect "ibinop lhs" I64 (ty_of a); expect "ibinop rhs" I64 (ty_of b);
+      expect "ibinop dst" I64 (value_ty fn d)
+    | Fbinop (d, _, a, b) ->
+      expect "fbinop lhs" F64 (ty_of a); expect "fbinop rhs" F64 (ty_of b);
+      expect "fbinop dst" F64 (value_ty fn d)
+    | Icmp (d, _, a, b) ->
+      expect "icmp lhs" I64 (ty_of a); expect "icmp rhs" I64 (ty_of b);
+      expect "icmp dst" I64 (value_ty fn d)
+    | Fcmp (d, _, a, b) ->
+      expect "fcmp lhs" F64 (ty_of a); expect "fcmp rhs" F64 (ty_of b);
+      expect "fcmp dst" I64 (value_ty fn d)
+    | Funop (d, _, a) -> expect "funop src" F64 (ty_of a); expect "funop dst" F64 (value_ty fn d)
+    | Cast (d, Sitofp, a) -> expect "sitofp src" I64 (ty_of a); expect "sitofp dst" F64 (value_ty fn d)
+    | Cast (d, Fptosi, a) -> expect "fptosi src" F64 (ty_of a); expect "fptosi dst" I64 (value_ty fn d)
+    | Select (d, t, c, a, b) ->
+      expect "select cond" I64 (ty_of c); expect "select lhs" t (ty_of a);
+      expect "select rhs" t (ty_of b); expect "select dst" t (value_ty fn d)
+    | Load (d, t, a) -> expect "load addr" I64 (ty_of a); expect "load dst" t (value_ty fn d)
+    | Store (t, v, a) -> expect "store value" t (ty_of v); expect "store addr" I64 (ty_of a)
+    | Alloca (d, n) ->
+      if n <= 0 then fail "%s: alloca of %d bytes" fn.fname n;
+      expect "alloca dst" I64 (value_ty fn d)
+    | Gep (d, b, ix) ->
+      expect "gep base" I64 (ty_of b); expect "gep index" I64 (ty_of ix);
+      expect "gep dst" I64 (value_ty fn d)
+    | Gaddr (d, g) ->
+      if not (List.exists (fun gl -> gl.gname = g) m.globals) then
+        fail "%s: gaddr of unknown global @%s" fn.fname g;
+      expect "gaddr dst" I64 (value_ty fn d)
+    | Call (d, rty, name, args) -> (
+      let sigs =
+        match Externs.signature name with
+        | Some (ats, rt) -> Some (ats, rt)
+        | None -> (
+          match List.find_opt (fun g -> g.fname = name) m.funcs with
+          | Some g -> Some (List.map snd g.params, g.fret)
+          | None -> None)
+      in
+      match sigs with
+      | None -> fail "%s: call to unknown function @%s" fn.fname name
+      | Some (ats, rt) ->
+        if List.length ats <> List.length args then
+          fail "%s: call @%s arity %d, expected %d" fn.fname name (List.length args)
+            (List.length ats);
+        List.iteri (fun i (want, a) -> expect (Printf.sprintf "call @%s arg %d" name i) want (ty_of a))
+          (List.combine ats args);
+        (match (d, rt) with
+        | Some dv, Some want ->
+          expect ("call @" ^ name ^ " result") want (value_ty fn dv);
+          if rty <> want then fail "%s: call @%s annotated %s" fn.fname name (Printer.string_of_ty rty)
+        | Some _, None -> fail "%s: call @%s binds void result" fn.fname name
+        | None, _ -> ()))
+  in
+  List.iter (fun b -> List.iter check_instr b.body) fn.blocks;
+  (* --- phi incoming lists match predecessors, types agree *)
+  List.iter
+    (fun b ->
+      if Cfg.reachable cfg b.lbl then begin
+        let preds = List.sort_uniq compare (Cfg.predecessors cfg b.lbl) in
+        List.iter
+          (fun p ->
+            let ins = List.sort_uniq compare (List.map fst p.incoming) in
+            if ins <> preds then
+              fail "%s: phi v%d in L%d has incoming %s but preds %s" fn.fname p.pdst b.lbl
+                (String.concat "," (List.map string_of_int ins))
+                (String.concat "," (List.map string_of_int preds));
+            List.iter (fun (_, o) -> expect "phi incoming" p.pty (ty_of o)) p.incoming)
+          b.phis
+      end)
+    fn.blocks;
+  (* --- return types *)
+  List.iter
+    (fun b ->
+      match (b.term, fn.fret) with
+      | Ret (Some o), Some t -> expect "return value" t (ty_of o)
+      | Ret (Some _), None -> fail "%s: returns a value from void function" fn.fname
+      | Ret None, Some _ ->
+        if Cfg.reachable cfg b.lbl then fail "%s: missing return value" fn.fname
+      | _ -> ())
+    fn.blocks;
+  (* --- SSA dominance: every use is dominated by its definition *)
+  let check_use ~user_lbl ?(at_end_of = None) o =
+    match o with
+    | Var v -> (
+      match Hashtbl.find_opt def_block v with
+      | None -> fail "%s: use of undefined v%d in L%d" fn.fname v user_lbl
+      | Some (-1) -> () (* parameter *)
+      | Some dl ->
+        let use_lbl = match at_end_of with Some l -> l | None -> user_lbl in
+        if Cfg.reachable cfg use_lbl && Cfg.reachable cfg dl then
+          if not (Cfg.dominates cfg dl use_lbl) then
+            fail "%s: v%d (def L%d) does not dominate use in L%d" fn.fname v dl use_lbl)
+    | ICst _ | FCst _ -> ()
+  in
+  (* Block-local ordering: a value defined later in the same block must not
+     be used earlier.  Track position of defs within each block. *)
+  List.iter
+    (fun b ->
+      let seen = Hashtbl.create 16 in
+      List.iter (fun p -> Hashtbl.replace seen p.pdst ()) b.phis;
+      List.iter
+        (fun i ->
+          List.iter
+            (fun o ->
+              match o with
+              | Var v when Hashtbl.find_opt def_block v = Some b.lbl && not (Hashtbl.mem seen v)
+                -> fail "%s: v%d used before its definition in L%d" fn.fname v b.lbl
+              | _ -> check_use ~user_lbl:b.lbl o)
+            (instr_uses i);
+          (match instr_def i with Some v -> Hashtbl.replace seen v () | None -> ()))
+        b.body;
+      List.iter (fun o -> check_use ~user_lbl:b.lbl o) (term_uses b.term);
+      (* phi operands must dominate the end of the incoming predecessor *)
+      List.iter
+        (fun p ->
+          List.iter (fun (l, o) -> check_use ~user_lbl:b.lbl ~at_end_of:(Some l) o) p.incoming)
+        b.phis)
+    fn.blocks
+
+let check_module (m : modul) =
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem names f.fname then fail "duplicate function @%s" f.fname;
+      if Externs.is_extern f.fname then fail "@%s shadows an extern" f.fname;
+      Hashtbl.add names f.fname ())
+    m.funcs;
+  let gnames = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      if Hashtbl.mem gnames g.gname then fail "duplicate global @%s" g.gname;
+      (match g.gbytes with
+      | Some s when String.length s > g.gsize -> fail "global @%s initializer too large" g.gname
+      | _ -> ());
+      Hashtbl.add gnames g.gname ())
+    m.globals;
+  List.iter (check_func m) m.funcs

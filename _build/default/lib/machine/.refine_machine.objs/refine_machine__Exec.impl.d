@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Array Buffer Bytes Float Hashtbl Int64 List Printf Refine_backend Refine_ir Refine_mir String

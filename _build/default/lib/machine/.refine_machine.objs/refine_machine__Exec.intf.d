@@ -1,0 +1,1 @@
+lib/machine/exec.mli: Bytes Hashtbl Refine_backend Refine_ir Refine_mir

@@ -1,0 +1,1 @@
+lib/machine/trace.ml: Array Buffer Exec Int64 List Printf Refine_backend Refine_mir

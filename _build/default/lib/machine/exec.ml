@@ -1,0 +1,311 @@
+(* Architectural simulator for SX64 images.
+
+   This is the substitute for the paper's physical Xeon nodes: it executes
+   the machine code produced by the backend against an architectural state
+   (register file, FLAGS, byte-addressable memory, downward stack) and
+   reports the observable outcome — output, exit code, or a trap.  Faults
+   injected into this state propagate, mask, or crash the run exactly as
+   the paper's fault model intends.
+
+   Integer/float operation semantics are shared with the IR reference
+   interpreter ([Refine_ir.Interp]) so the two cannot drift; the semantic
+   property tests compare them on random programs.
+
+   Cost model (DESIGN.md §6): 1 unit per instruction, [ext_call_cost] units
+   per runtime-library call, plus [hook_cost] per instruction while a
+   dynamic-instrumentation hook (PINFI) is attached. *)
+
+module M = Refine_mir.Minstr
+module R = Refine_mir.Reg
+module L = Refine_backend.Layout
+module Mem = Refine_ir.Memlayout
+
+let ext_call_cost = 25L
+
+type trap =
+  | Mem_fault of int
+  | Div_by_zero
+  | Bad_pc of int
+  | Stack_overflow
+  | Out_of_memory
+  | Extern_fault of string
+
+let string_of_trap = function
+  | Mem_fault a -> Printf.sprintf "memory fault at 0x%x" a
+  | Div_by_zero -> "integer division by zero"
+  | Bad_pc a -> Printf.sprintf "illegal instruction address %d" a
+  | Stack_overflow -> "stack overflow"
+  | Out_of_memory -> "out of heap memory"
+  | Extern_fault m -> "extern fault: " ^ m
+
+type status = Running | Exited of int | Trapped of trap | Timed_out
+
+type t = {
+  image : L.image;
+  regs : int64 array; (* R.num_regs entries; raw bits for GPR/FPR/FLAGS *)
+  mem : Bytes.t;
+  mutable pc : int;
+  mutable steps : int64;
+  mutable cost : int64;
+  mutable status : status;
+  mutable heap : int;
+  env : Refine_ir.Externs.env;
+  ext_extra : (string, int64 * (t -> unit)) Hashtbl.t;
+      (* FI runtime library: name -> (modeled cost, handler) *)
+  mutable post_hook : (t -> int -> M.t -> unit) option; (* PINFI-style DBI *)
+  mutable hook_cost : int64;
+}
+
+type result = { status : status; output : string; steps : int64; cost : int64 }
+
+(* sentinel return address that terminates the program when popped *)
+let sentinel = -1L
+
+let create ?(ext_extra = []) (image : L.image) : t =
+  let mem = Bytes.make Mem.mem_size '\000' in
+  List.iter
+    (fun (g : Refine_ir.Ir.global) ->
+      match g.gbytes with
+      | Some s -> Bytes.blit_string s 0 mem (image.L.global_addr g.gname) (String.length s)
+      | None -> ())
+    image.L.globals;
+  let self = ref None in
+  let env =
+    {
+      Refine_ir.Externs.out = Buffer.create 1024;
+      read_byte =
+        (fun a ->
+          if a < Mem.null_guard || a >= Mem.mem_size then
+            raise (Refine_ir.Externs.Extern_trap (Printf.sprintf "print_str read at 0x%x" a))
+          else Bytes.get mem a);
+      alloc =
+        (fun n ->
+          match !self with
+          | None -> assert false
+          | Some t ->
+            let addr = t.heap in
+            t.heap <- t.heap + Mem.align8 n;
+            if t.heap > Mem.mem_size - Mem.stack_limit then
+              raise (Refine_ir.Externs.Extern_trap "out of heap memory")
+            else addr);
+      exited = None;
+    }
+  in
+  let t =
+    {
+      image;
+      regs = Array.make R.num_regs 0L;
+      mem;
+      pc = image.L.entry;
+      steps = 0L;
+      cost = 0L;
+      status = Running;
+      heap = image.L.heap_base;
+      env;
+      ext_extra = Hashtbl.create 8;
+      post_hook = None;
+      hook_cost = 0L;
+    }
+  in
+  self := Some t;
+  List.iter (fun (name, cost, fn) -> Hashtbl.replace t.ext_extra name (cost, fn)) ext_extra;
+  (* initial stack: rsp at top of memory holding the sentinel return
+     address, as if the loader had called main *)
+  t.regs.(R.rsp) <- Int64.of_int (Mem.mem_size - 8);
+  Bytes.set_int64_le t.mem (Mem.mem_size - 8) sentinel;
+  t
+
+(* --- flags ----------------------------------------------------------- *)
+
+let zf_bit = 0
+let lt_bit = 1
+let unord_bit = 2
+
+let set_flags t ~zf ~lt ~unord =
+  let v = ref 0L in
+  if zf then v := Int64.logor !v 1L;
+  if lt then v := Int64.logor !v 2L;
+  if unord then v := Int64.logor !v 4L;
+  t.regs.(R.flags) <- !v
+
+let flag t bit = Int64.logand (Int64.shift_right_logical t.regs.(R.flags) bit) 1L = 1L
+
+let eval_cc t (cc : M.cc) =
+  let zf = flag t zf_bit and lt = flag t lt_bit and unord = flag t unord_bit in
+  match cc with
+  | M.CEq -> zf
+  | M.CNe -> not zf
+  | M.CLt -> lt
+  | M.CLe -> lt || zf
+  | M.CGt -> not (lt || zf)
+  | M.CGe -> not lt
+  | M.CFeq -> zf && not unord
+  | M.CFne -> (not zf) || unord
+  | M.CFlt -> lt && not unord
+  | M.CFle -> (lt || zf) && not unord
+  | M.CFgt -> (not (lt || zf)) && not unord
+  | M.CFge -> (not lt) && not unord
+
+(* --- memory ----------------------------------------------------------- *)
+
+exception Halt_trap of trap
+
+let check_addr addr =
+  if addr < Mem.null_guard || addr + 8 > Mem.mem_size then raise (Halt_trap (Mem_fault addr))
+
+let load64 t addr =
+  check_addr addr;
+  Bytes.get_int64_le t.mem addr
+
+let store64 t addr v =
+  check_addr addr;
+  Bytes.set_int64_le t.mem addr v
+
+let push t v =
+  let sp = Int64.to_int t.regs.(R.rsp) - 8 in
+  if sp < Mem.mem_size - Mem.stack_limit then raise (Halt_trap Stack_overflow);
+  t.regs.(R.rsp) <- Int64.of_int sp;
+  store64 t sp v
+
+let pop t =
+  let sp = Int64.to_int t.regs.(R.rsp) in
+  let v = load64 t sp in
+  t.regs.(R.rsp) <- Int64.of_int (sp + 8);
+  v
+
+(* --- extern calls ------------------------------------------------------ *)
+
+let f64 = Int64.float_of_bits
+let b64 = Int64.bits_of_float
+
+let do_callext (t : t) name =
+  match Hashtbl.find_opt t.ext_extra name with
+  | Some (cost, fn) ->
+    t.cost <- Int64.add t.cost cost;
+    fn t
+  | None -> (
+    t.cost <- Int64.add t.cost ext_call_cost;
+    match Refine_ir.Externs.signature name with
+    | None -> raise (Halt_trap (Extern_fault ("unknown extern " ^ name)))
+    | Some (tys, ret) ->
+      let gp = ref R.arg_gprs and fp = ref R.arg_fprs in
+      let args =
+        Array.of_list
+          (List.map
+             (fun ty ->
+               let cell = match ty with Refine_ir.Ir.I64 -> gp | Refine_ir.Ir.F64 -> fp in
+               match !cell with
+               | r :: rest ->
+                 cell := rest;
+                 t.regs.(r)
+               | [] -> raise (Halt_trap (Extern_fault (name ^ ": too many arguments"))))
+             tys)
+      in
+      let r =
+        try Refine_ir.Externs.call t.env name args
+        with Refine_ir.Externs.Extern_trap m -> raise (Halt_trap (Extern_fault m))
+      in
+      (match t.env.exited with
+      | Some code -> t.status <- Exited code
+      | None -> (
+        match ret with
+        | Some Refine_ir.Ir.I64 -> t.regs.(R.ret_gpr) <- r
+        | Some Refine_ir.Ir.F64 -> t.regs.(R.ret_fpr) <- r
+        | None -> ())))
+
+(* --- single step -------------------------------------------------------- *)
+
+let opd (t : t) = function M.Reg r -> t.regs.(r) | M.Imm v -> v
+
+let step (t : t) =
+  let code = t.image.L.code in
+  if t.pc < 0 || t.pc >= Array.length code then begin
+    t.status <- Trapped (Bad_pc t.pc)
+  end
+  else begin
+    let pc0 = t.pc in
+    let i = code.(pc0) in
+    t.steps <- Int64.add t.steps 1L;
+    t.cost <- Int64.add (Int64.add t.cost 1L) t.hook_cost;
+    t.pc <- pc0 + 1;
+    (try
+       (match i with
+       | M.Mmov (d, s) -> t.regs.(d) <- opd t s
+       | M.Mload (d, b, off) -> t.regs.(d) <- load64 t (Int64.to_int t.regs.(b) + off)
+       | M.Mstore (s, b, off) -> store64 t (Int64.to_int t.regs.(b) + off) t.regs.(s)
+       | M.Mloadidx (d, b, ix, off) ->
+         t.regs.(d) <-
+           load64 t (Int64.to_int t.regs.(b) + (8 * Int64.to_int t.regs.(ix)) + off)
+       | M.Mstoreidx (s, b, ix, off) ->
+         store64 t (Int64.to_int t.regs.(b) + (8 * Int64.to_int t.regs.(ix)) + off) t.regs.(s)
+       | M.Mlea (d, b, ix, off) ->
+         let base = t.regs.(b) in
+         let idx = match ix with Some r -> Int64.mul 8L t.regs.(r) | None -> 0L in
+         t.regs.(d) <- Int64.add (Int64.add base idx) (Int64.of_int off)
+       | M.Mbin (op, d, a, b) ->
+         let va = t.regs.(a) and vb = opd t b in
+         let r =
+           try Refine_ir.Interp.eval_ibinop op va vb
+           with Refine_ir.Interp.Trap _ -> raise (Halt_trap Div_by_zero)
+         in
+         t.regs.(d) <- r;
+         set_flags t ~zf:(r = 0L) ~lt:(Int64.compare r 0L < 0) ~unord:false
+       | M.Mfbin (op, d, a, b) ->
+         t.regs.(d) <- b64 (Refine_ir.Interp.eval_fbinop op (f64 t.regs.(a)) (f64 t.regs.(b)))
+       | M.Mfun (op, d, a) -> t.regs.(d) <- b64 (Refine_ir.Interp.eval_funop op (f64 t.regs.(a)))
+       | M.Mcvt (Sitofp, d, a) -> t.regs.(d) <- b64 (Int64.to_float t.regs.(a))
+       | M.Mcvt (Fptosi, d, a) -> t.regs.(d) <- Refine_ir.Interp.fptosi (f64 t.regs.(a))
+       | M.Mcmp (a, b) ->
+         let va = t.regs.(a) and vb = opd t b in
+         let c = Int64.compare va vb in
+         set_flags t ~zf:(c = 0) ~lt:(c < 0) ~unord:false
+       | M.Mfcmp (a, b) ->
+         let va = f64 t.regs.(a) and vb = f64 t.regs.(b) in
+         if Float.is_nan va || Float.is_nan vb then set_flags t ~zf:false ~lt:false ~unord:true
+         else set_flags t ~zf:(va = vb) ~lt:(va < vb) ~unord:false
+       | M.Msetcc (cc, d) -> t.regs.(d) <- (if eval_cc t cc then 1L else 0L)
+       | M.Mjcc (cc, target) -> if eval_cc t cc then t.pc <- target
+       | M.Mjmp target -> t.pc <- target
+       | M.Mpush r -> push t t.regs.(r)
+       | M.Mpop r -> t.regs.(r) <- pop t
+       | M.Mpushf -> push t t.regs.(R.flags)
+       | M.Mpopf -> t.regs.(R.flags) <- pop t
+       | M.Mcalli target ->
+         push t (Int64.of_int t.pc);
+         t.pc <- target
+       | M.Mcall name -> raise (Halt_trap (Extern_fault ("unresolved call " ^ name)))
+       | M.Mcallext name -> do_callext t name
+       | M.Mret ->
+         let ra = pop t in
+         if ra = sentinel then t.status <- Exited (Int64.to_int t.regs.(R.ret_gpr))
+         else begin
+           let target = Int64.to_int ra in
+           if target < 0 || target >= Array.length code then raise (Halt_trap (Bad_pc target))
+           else t.pc <- target
+         end
+       | M.Mxorbit (d, s) ->
+         t.regs.(d) <-
+           Int64.logxor t.regs.(d) (Int64.shift_left 1L (Int64.to_int (Int64.logand t.regs.(s) 63L)))
+       | M.Mxorbitmem (b, off, s) ->
+         let addr = Int64.to_int t.regs.(b) + off in
+         let v = load64 t addr in
+         store64 t addr
+           (Int64.logxor v (Int64.shift_left 1L (Int64.to_int (Int64.logand t.regs.(s) 63L))))
+       | M.Mhalt -> t.status <- Exited (Int64.to_int t.regs.(R.ret_gpr)));
+       match t.post_hook with Some h -> h t pc0 i | None -> ()
+     with Halt_trap tr -> t.status <- Trapped tr)
+  end
+
+(* [max_cost]: modeled-time budget (the 10x-profiling timeout of the
+   paper's classification); [max_steps]: hard safety bound. *)
+let run ?(max_steps = Int64.max_int) ?(max_cost = Int64.max_int) (t : t) : result =
+  while
+    t.status = Running
+    && Int64.compare t.steps max_steps < 0
+    && Int64.compare t.cost max_cost < 0
+  do
+    step t
+  done;
+  let status = if t.status = Running then Timed_out else t.status in
+  t.status <- status;
+  { status; output = Buffer.contents t.env.out; steps = t.steps; cost = t.cost }

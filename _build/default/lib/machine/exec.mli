@@ -1,0 +1,58 @@
+(** Architectural simulator for SX64 images — the substitute for the
+    paper's physical Xeon nodes.
+
+    Executes machine code against an architectural state (register file,
+    FLAGS, byte-addressable memory, downward stack) and reports the
+    observable outcome: output, exit code, or a trap.  Injected faults land
+    in this state and propagate, mask, or crash exactly as the paper's
+    fault model intends.
+
+    Cost model (DESIGN.md §6): 1 unit per instruction, per-extern call
+    costs, plus {!field:hook_cost} per instruction while a DBI-style hook
+    is attached. *)
+
+val ext_call_cost : int64
+(** Default modeled cost of a libc/libm extern call (25 units). *)
+
+type trap =
+  | Mem_fault of int
+  | Div_by_zero
+  | Bad_pc of int
+  | Stack_overflow
+  | Out_of_memory
+  | Extern_fault of string
+
+val string_of_trap : trap -> string
+
+type status = Running | Exited of int | Trapped of trap | Timed_out
+
+type t = {
+  image : Refine_backend.Layout.image;
+  regs : int64 array;  (** [Reg.num_regs] raw images: GPRs, FPRs, FLAGS *)
+  mem : Bytes.t;
+  mutable pc : int;
+  mutable steps : int64;
+  mutable cost : int64;
+  mutable status : status;
+  mutable heap : int;
+  env : Refine_ir.Externs.env;
+  ext_extra : (string, int64 * (t -> unit)) Hashtbl.t;
+      (** FI runtime library: name -> (modeled cost, handler) *)
+  mutable post_hook : (t -> int -> Refine_mir.Minstr.t -> unit) option;
+      (** PINFI-style DBI: called after every executed instruction with the
+          pre-execution pc and the instruction *)
+  mutable hook_cost : int64;  (** extra cost per instruction while attached *)
+}
+
+type result = { status : status; output : string; steps : int64; cost : int64 }
+
+val create : ?ext_extra:(string * int64 * (t -> unit)) list -> Refine_backend.Layout.image -> t
+(** Fresh machine state: globals initialized, stack holding the sentinel
+    return address, pc at the image entry. *)
+
+val step : t -> unit
+(** Execute one instruction (or set a trap status). *)
+
+val run : ?max_steps:int64 -> ?max_cost:int64 -> t -> result
+(** Run to completion, trap, or budget exhaustion ([Timed_out]).
+    [max_cost] is the paper's 10x-profiling timeout measure. *)

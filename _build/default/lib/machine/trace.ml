@@ -1,0 +1,53 @@
+(* Execution tracing: a fixed-size ring buffer of the most recently
+   executed instructions, attached through the engine's post-instruction
+   hook.  Used by `refinec run --trace` to print the tail of a crashed
+   run — invaluable when diagnosing why a particular bit flip trapped. *)
+
+module M = Refine_mir.Minstr
+
+type entry = { pc : int; instr : M.t; func : string }
+
+type t = {
+  ring : entry option array;
+  mutable next : int;
+  mutable total : int64;
+}
+
+let create ?(capacity = 32) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity <= 0";
+  { ring = Array.make capacity None; next = 0; total = 0L }
+
+(* Installs the tracer; composes with an existing hook (e.g. PINFI) by
+   chaining to it. *)
+let attach (t : t) (eng : Exec.t) =
+  let prev = eng.Exec.post_hook in
+  let hook (eng : Exec.t) pc instr =
+    t.ring.(t.next) <-
+      Some { pc; instr; func = eng.Exec.image.Refine_backend.Layout.func_of_pc.(pc) };
+    t.next <- (t.next + 1) mod Array.length t.ring;
+    t.total <- Int64.add t.total 1L;
+    match prev with Some h -> h eng pc instr | None -> ()
+  in
+  eng.Exec.post_hook <- Some hook
+
+(* Most recent entries, oldest first. *)
+let entries (t : t) : entry list =
+  let n = Array.length t.ring in
+  let out = ref [] in
+  for k = 0 to n - 1 do
+    match t.ring.((t.next + k) mod n) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  List.rev !out
+
+let render (t : t) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "last %d of %Ld executed instructions:\n" (List.length (entries t)) t.total);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %6d  [%-12s]  %s\n" e.pc e.func (Refine_mir.Mprinter.to_string e.instr)))
+    (entries t);
+  Buffer.contents buf

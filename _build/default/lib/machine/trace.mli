@@ -1,0 +1,23 @@
+(** Execution tracing: a ring buffer of the most recently executed
+    instructions, for diagnosing why a run (or an injected fault)
+    trapped.  Used by [refinec run --trace]. *)
+
+type entry = { pc : int; instr : Refine_mir.Minstr.t; func : string }
+
+type t = {
+  ring : entry option array;
+  mutable next : int;
+  mutable total : int64;  (** total instructions observed *)
+}
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 32 entries. *)
+
+val attach : t -> Exec.t -> unit
+(** Installs the tracer via the engine's post-instruction hook; composes
+    with an already-installed hook (e.g. PINFI) by chaining to it. *)
+
+val entries : t -> entry list
+(** Most recent entries, oldest first. *)
+
+val render : t -> string

@@ -1,0 +1,1 @@
+lib/minic/frontend.ml: Irgen Lexer Parser Printf Refine_ir Typecheck

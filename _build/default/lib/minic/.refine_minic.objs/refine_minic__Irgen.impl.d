@@ -1,0 +1,1 @@
+lib/minic/irgen.ml: Ast Builtins Bytes Hashtbl Int64 List Option Printf Refine_ir String

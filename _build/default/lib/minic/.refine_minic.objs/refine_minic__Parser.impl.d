@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Int64 Lexer List Printf

@@ -1,0 +1,64 @@
+(* Abstract syntax of MinC, the small C-like language the benchmark
+   programs are written in.  MinC stands in for the C/C++ sources of the
+   paper's 14 HPC programs: scalars are 64-bit ints and doubles, arrays are
+   flat, control flow is structured.  Everything lowers to the IR through
+   [Irgen]. *)
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tarr of ty (* array of int/float; represented as an address at run time *)
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Beq | Bne | Blt | Ble | Bgt | Bge
+  | Band | Bor (* short-circuit logical *)
+  | Bbitand | Bbitor | Bbitxor | Bshl | Bshr
+
+type unop = Uneg | Unot
+
+type expr = { edesc : edesc; eloc : int (* source line *) }
+
+and edesc =
+  | Eint of int64
+  | Efloat of float
+  | Evar of string
+  | Eindex of string * expr (* a[i] *)
+  | Ebin of binop * expr * expr
+  | Eun of unop * expr
+  | Ecall of string * expr list
+  | Estr of string (* string literal; only as a call argument *)
+
+type stmt = { sdesc : sdesc; sloc : int }
+
+and sdesc =
+  | Sdecl of ty * string * expr option (* int x; / int x = e; *)
+  | Sarrdecl of ty * string * int (* int a[16]; — local array *)
+  | Sassign of string * expr
+  | Sstore of string * expr * expr (* a[i] = e *)
+  | Sexpr of expr (* call for effect *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr * stmt option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+
+type gdecl =
+  | Gscalar of ty * string * expr option (* global int n = 3; *)
+  | Garray of ty * string * int (* global float x[512]; *)
+
+type fdef = {
+  fret : ty option; (* None = void *)
+  fname : string;
+  fparams : (ty * string) list;
+  fbody : stmt list;
+  floc : int;
+}
+
+type program = { pglobals : gdecl list; pfuncs : fdef list }
+
+let rec string_of_ty = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tarr t -> string_of_ty t ^ "[]"

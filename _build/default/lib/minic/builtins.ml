@@ -1,0 +1,23 @@
+(* MinC built-in functions: I/O, heap allocation, conversions and libm.
+   These lower to IR [Cast] instructions (tofloat/toint), [Funop]s
+   (sqrt/fabs) or extern calls handled by [Ir.Externs]. *)
+
+open Ast
+
+(* name -> (parameter types, result) *)
+let signature = function
+  | "print_int" -> Some ([ Tint ], None)
+  | "print_float" | "print_float_full" -> Some ([ Tfloat ], None)
+  | "exit" -> Some ([ Tint ], None)
+  | "alloc_int" -> Some ([ Tint ], Some (Tarr Tint))
+  | "alloc_float" -> Some ([ Tint ], Some (Tarr Tfloat))
+  | "tofloat" -> Some ([ Tint ], Some Tfloat)
+  | "toint" -> Some ([ Tfloat ], Some Tint)
+  | "sqrt" | "fabs" | "sin" | "cos" | "tan" | "exp" | "log" | "floor" ->
+    Some ([ Tfloat ], Some Tfloat)
+  | "pow" | "fmin" | "fmax" -> Some ([ Tfloat; Tfloat ], Some Tfloat)
+  | _ -> None
+
+(* print_str takes a string literal and is handled specially everywhere. *)
+let is_print_str name = name = "print_str"
+let is_builtin name = is_print_str name || signature name <> None

@@ -1,0 +1,21 @@
+(* One-call front end: MinC source text -> verified IR module. *)
+
+exception Compile_error of string
+
+let compile ?(verify = true) (src : string) : Refine_ir.Ir.modul =
+  let wrap phase f =
+    try f () with
+    | Lexer.Error (m, l) -> raise (Compile_error (Printf.sprintf "%s: line %d: %s" phase l m))
+    | Parser.Error (m, l) -> raise (Compile_error (Printf.sprintf "%s: line %d: %s" phase l m))
+    | Typecheck.Error (m, l) -> raise (Compile_error (Printf.sprintf "%s: line %d: %s" phase l m))
+    | Irgen.Error (m, l) -> raise (Compile_error (Printf.sprintf "%s: line %d: %s" phase l m))
+  in
+  let prog = wrap "parse" (fun () -> Parser.parse_program src) in
+  wrap "typecheck" (fun () -> Typecheck.check_program prog);
+  let m = wrap "irgen" (fun () -> Irgen.gen_program prog) in
+  if verify then begin
+    try Refine_ir.Verify.check_module m
+    with Refine_ir.Verify.Invalid msg ->
+      raise (Compile_error ("internal error: irgen produced invalid IR: " ^ msg))
+  end;
+  m

@@ -1,0 +1,8 @@
+(** One-call MinC front end: source text to verified IR. *)
+
+exception Compile_error of string
+(** Carries the phase and source line of the first error. *)
+
+val compile : ?verify:bool -> string -> Refine_ir.Ir.modul
+(** Lexes, parses, type-checks and lowers a MinC program.  [verify]
+    (default true) re-checks the generated IR with [Refine_ir.Verify]. *)

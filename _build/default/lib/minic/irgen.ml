@@ -1,0 +1,358 @@
+(* Lowering of type-checked MinC to IR.
+
+   The output is deliberately clang -O0 shaped: every local variable lives
+   in an 8-byte alloca that is loaded/stored on each access, parameters are
+   copied into allocas, and short-circuit operators become control flow
+   through a stack slot.  [Ir.Pipeline] (mem2reg + clean-up) then produces
+   optimized SSA — giving the two-stage structure the paper's analysis of
+   IR-level FI depends on. *)
+
+open Ast
+module I = Refine_ir.Ir
+module B = Refine_ir.Builder
+
+exception Error of string * int
+
+let fail loc fmt = Printf.ksprintf (fun s -> raise (Error (s, loc))) fmt
+
+let ir_ty = function Tint | Tarr _ -> I.I64 | Tfloat -> I.F64
+
+type var =
+  | Vslot of I.value * ty (* address of the local's stack slot *)
+  | Vglobal of string * ty
+
+type scope = { mutable vars : (string * var) list; parent : scope option }
+
+let rec lookup scope name =
+  match List.assoc_opt name scope.vars with
+  | Some v -> Some v
+  | None -> ( match scope.parent with Some p -> lookup p name | None -> None)
+
+type genv = {
+  prog : program;
+  strings : (string, string) Hashtbl.t; (* literal -> global name *)
+  mutable str_count : int;
+  mutable extra_globals : I.global list;
+}
+
+let string_global genv s =
+  match Hashtbl.find_opt genv.strings s with
+  | Some g -> g
+  | None ->
+    let g = Printf.sprintf "str.%d" genv.str_count in
+    genv.str_count <- genv.str_count + 1;
+    Hashtbl.add genv.strings s g;
+    genv.extra_globals <-
+      genv.extra_globals @ [ { I.gname = g; gsize = max 1 (String.length s); gbytes = Some s } ];
+    g
+
+(* All allocas are hoisted to the entry block (as clang does): a
+   declaration inside a loop must not consume fresh stack space per
+   iteration, and the slot must dominate every use. *)
+let entry_alloca b size =
+  let v = B.fresh b I.I64 in
+  let entry = I.entry_block (B.func b) in
+  entry.I.body <- I.Alloca (v, size) :: entry.I.body;
+  v
+
+(* If the current block is already terminated (code after return), emit the
+   rest into a fresh unreachable block; Simplifycfg deletes it later. *)
+let ensure_open b = if B.terminated b then B.switch_to b (B.block b)
+
+let rec gen_expr genv b scope (e : expr) : I.operand =
+  ensure_open b;
+  match e.edesc with
+  | Eint i -> I.ICst i
+  | Efloat f -> I.FCst f
+  | Estr _ -> fail e.eloc "string literal outside print_str"
+  | Evar name -> (
+    match lookup scope name with
+    | Some (Vslot (slot, ty)) -> B.load b (ir_ty ty) (I.Var slot)
+    | Some (Vglobal (g, Tarr _)) ->
+      (* a global array's value is its address (C array decay) *)
+      B.gaddr b g
+    | Some (Vglobal (g, ty)) ->
+      let addr = B.gaddr b g in
+      B.load b (ir_ty ty) addr
+    | None -> fail e.eloc "undeclared variable %s" name)
+  | Eindex (name, ix) ->
+    let elt_ty, addr = gen_index_addr genv b scope e.eloc name ix in
+    B.load b (ir_ty elt_ty) addr
+  | Eun (Uneg, a) -> (
+    let va = gen_expr genv b scope a in
+    match I.operand_ty (B.func b) va with
+    | I.I64 -> B.ibinop b I.Sub (I.ICst 0L) va
+    | I.F64 -> B.funop b I.Fneg va)
+  | Eun (Unot, a) ->
+    let va = gen_expr genv b scope a in
+    B.icmp b I.Ieq va (I.ICst 0L)
+  | Ebin ((Band | Bor) as op, a, c) -> gen_shortcircuit genv b scope op a c
+  | Ebin (op, a, c) -> (
+    let va = gen_expr genv b scope a in
+    let vc = gen_expr genv b scope c in
+    let fty = I.operand_ty (B.func b) va in
+    match (op, fty) with
+    | Badd, I.I64 -> B.ibinop b I.Add va vc
+    | Bsub, I.I64 -> B.ibinop b I.Sub va vc
+    | Bmul, I.I64 -> B.ibinop b I.Mul va vc
+    | Bdiv, I.I64 -> B.ibinop b I.Div va vc
+    | Bmod, I.I64 -> B.ibinop b I.Rem va vc
+    | Bbitand, I.I64 -> B.ibinop b I.And va vc
+    | Bbitor, I.I64 -> B.ibinop b I.Or va vc
+    | Bbitxor, I.I64 -> B.ibinop b I.Xor va vc
+    | Bshl, I.I64 -> B.ibinop b I.Shl va vc
+    | Bshr, I.I64 -> B.ibinop b I.Ashr va vc
+    | Badd, I.F64 -> B.fbinop b I.Fadd va vc
+    | Bsub, I.F64 -> B.fbinop b I.Fsub va vc
+    | Bmul, I.F64 -> B.fbinop b I.Fmul va vc
+    | Bdiv, I.F64 -> B.fbinop b I.Fdiv va vc
+    | Beq, I.I64 -> B.icmp b I.Ieq va vc
+    | Bne, I.I64 -> B.icmp b I.Ine va vc
+    | Blt, I.I64 -> B.icmp b I.Ilt va vc
+    | Ble, I.I64 -> B.icmp b I.Ile va vc
+    | Bgt, I.I64 -> B.icmp b I.Igt va vc
+    | Bge, I.I64 -> B.icmp b I.Ige va vc
+    | Beq, I.F64 -> B.fcmp b I.Feq va vc
+    | Bne, I.F64 -> B.fcmp b I.Fne va vc
+    | Blt, I.F64 -> B.fcmp b I.Flt va vc
+    | Ble, I.F64 -> B.fcmp b I.Fle va vc
+    | Bgt, I.F64 -> B.fcmp b I.Fgt va vc
+    | Bge, I.F64 -> B.fcmp b I.Fge va vc
+    | _ -> fail e.eloc "ill-typed binary operation survived typechecking")
+  | Ecall (name, args) -> (
+    match gen_call genv b scope e.eloc name args with
+    | Some v -> v
+    | None -> fail e.eloc "void call %s used as a value" name)
+
+and gen_index_addr genv b scope loc name ix =
+  let vix = gen_expr genv b scope ix in
+  match lookup scope name with
+  | Some (Vslot (slot, Tarr elt)) ->
+    (* the slot holds either the array base itself (local Sarrdecl stores the
+       alloca address) or an address-valued variable (param / alloc result) *)
+    let base = B.load b I.I64 (I.Var slot) in
+    (ir_ty elt |> fun _ -> ());
+    (elt, B.gep b base vix)
+  | Some (Vglobal (g, Tarr elt)) ->
+    let base = B.gaddr b g in
+    (elt, B.gep b base vix)
+  | Some _ -> fail loc "%s is not an array" name
+  | None -> fail loc "undeclared array %s" name
+
+and gen_shortcircuit genv b scope op lhs rhs =
+  let slot = entry_alloca b 8 in
+  let vl = gen_expr genv b scope lhs in
+  let cl = B.icmp b I.Ine vl (I.ICst 0L) in
+  (* default value if the rhs is skipped: 0 for &&, 1 for || *)
+  let default = match op with Band -> 0L | _ -> 1L in
+  B.store b I.I64 (I.ICst default) (I.Var slot);
+  let eval_rhs = B.block b in
+  let merge = B.block b in
+  (match op with
+  | Band -> B.terminate b (I.Cbr (cl, eval_rhs, merge))
+  | _ -> B.terminate b (I.Cbr (cl, merge, eval_rhs)));
+  B.switch_to b eval_rhs;
+  let vr = gen_expr genv b scope rhs in
+  let cr = B.icmp b I.Ine vr (I.ICst 0L) in
+  B.store b I.I64 cr (I.Var slot);
+  B.terminate b (I.Br merge);
+  B.switch_to b merge;
+  B.load b I.I64 (I.Var slot)
+
+and gen_call genv b scope loc name args : I.operand option =
+  if Builtins.is_print_str name then begin
+    match args with
+    | [ { edesc = Estr s; _ } ] ->
+      let g = string_global genv s in
+      let addr = B.gaddr b g in
+      ignore (B.call b None "print_str" [ addr; I.ICst (Int64.of_int (String.length s)) ]);
+      None
+    | _ -> fail loc "print_str takes one string literal"
+  end
+  else
+    let vargs () = List.map (gen_expr genv b scope) args in
+    match name with
+    | "tofloat" -> Some (B.cast b I.Sitofp (List.hd (vargs ())))
+    | "toint" -> Some (B.cast b I.Fptosi (List.hd (vargs ())))
+    | "sqrt" -> Some (B.funop b I.Fsqrt (List.hd (vargs ())))
+    | "fabs" -> Some (B.funop b I.Fabs (List.hd (vargs ())))
+    | "alloc_int" | "alloc_float" ->
+      let n = List.hd (vargs ()) in
+      let bytes = B.ibinop b I.Mul n (I.ICst 8L) in
+      B.call b (Some I.I64) "alloc" [ bytes ]
+    | "sin" | "cos" | "tan" | "exp" | "log" | "floor" | "pow" | "fmin" | "fmax" ->
+      B.call b (Some I.F64) name (vargs ())
+    | "print_int" | "print_float" | "print_float_full" | "exit" ->
+      ignore (B.call b None name (vargs ()));
+      None
+    | _ -> (
+      (* user function *)
+      match List.find_opt (fun f -> f.fname = name) genv.prog.pfuncs with
+      | None -> fail loc "call to unknown function %s" name
+      | Some f -> (
+        let va = vargs () in
+        match f.fret with
+        | Some rty -> B.call b (Some (ir_ty rty)) name va
+        | None ->
+          ignore (B.call b None name va);
+          None))
+
+let rec gen_stmts genv b scope ~brk ~cont stmts =
+  let scope = { vars = []; parent = Some scope } in
+  List.iter (gen_stmt genv b scope ~brk ~cont) stmts
+
+and gen_stmt genv b scope ~brk ~cont (s : stmt) =
+  ensure_open b;
+  match s.sdesc with
+  | Sdecl (ty, name, init) ->
+    let slot = entry_alloca b 8 in
+    scope.vars <- (name, Vslot (slot, ty)) :: scope.vars;
+    let v =
+      match init with
+      | Some e -> gen_expr genv b scope e
+      | None -> ( match ty with Tfloat -> I.FCst 0.0 | _ -> I.ICst 0L)
+    in
+    ensure_open b;
+    B.store b (ir_ty ty) v (I.Var slot)
+  | Sarrdecl (base, name, size) ->
+    let arr = entry_alloca b (8 * size) in
+    let slot = entry_alloca b 8 in
+    B.store b I.I64 (I.Var arr) (I.Var slot);
+    scope.vars <- (name, Vslot (slot, Tarr base)) :: scope.vars
+  | Sassign (name, e) -> (
+    let v = gen_expr genv b scope e in
+    ensure_open b;
+    match lookup scope name with
+    | Some (Vslot (slot, ty)) -> B.store b (ir_ty ty) v (I.Var slot)
+    | Some (Vglobal (_, Tarr _)) -> fail s.sloc "cannot assign to global array %s" name
+    | Some (Vglobal (g, ty)) ->
+      let addr = B.gaddr b g in
+      B.store b (ir_ty ty) v addr
+    | None -> fail s.sloc "undeclared variable %s" name)
+  | Sstore (name, ix, e) ->
+    let v = gen_expr genv b scope e in
+    ensure_open b;
+    let elt, addr = gen_index_addr genv b scope s.sloc name ix in
+    B.store b (ir_ty elt) v addr
+  | Sexpr e -> (
+    match e.edesc with
+    | Ecall (name, args) -> ignore (gen_call genv b scope e.eloc name args)
+    | _ -> fail s.sloc "expression statement must be a call")
+  | Sif (c, then_, else_) ->
+    let vc = gen_expr genv b scope c in
+    let lt = B.block b in
+    let lf = B.block b in
+    let lm = B.block b in
+    B.terminate b (I.Cbr (vc, lt, lf));
+    B.switch_to b lt;
+    gen_stmts genv b scope ~brk ~cont then_;
+    B.terminate b (I.Br lm);
+    B.switch_to b lf;
+    gen_stmts genv b scope ~brk ~cont else_;
+    B.terminate b (I.Br lm);
+    B.switch_to b lm
+  | Swhile (c, body) ->
+    let lcond = B.block b in
+    let lbody = B.block b in
+    let lexit = B.block b in
+    B.terminate b (I.Br lcond);
+    B.switch_to b lcond;
+    let vc = gen_expr genv b scope c in
+    B.terminate b (I.Cbr (vc, lbody, lexit));
+    B.switch_to b lbody;
+    gen_stmts genv b scope ~brk:(Some lexit) ~cont:(Some lcond) body;
+    B.terminate b (I.Br lcond);
+    B.switch_to b lexit
+  | Sfor (init, cond, step, body) ->
+    let scope = { vars = []; parent = Some scope } in
+    (match init with Some s0 -> gen_stmt genv b scope ~brk ~cont s0 | None -> ());
+    let lcond = B.block b in
+    let lbody = B.block b in
+    let lstep = B.block b in
+    let lexit = B.block b in
+    B.terminate b (I.Br lcond);
+    B.switch_to b lcond;
+    let vc = gen_expr genv b scope cond in
+    B.terminate b (I.Cbr (vc, lbody, lexit));
+    B.switch_to b lbody;
+    gen_stmts genv b scope ~brk:(Some lexit) ~cont:(Some lstep) body;
+    B.terminate b (I.Br lstep);
+    B.switch_to b lstep;
+    (match step with Some s0 -> gen_stmt genv b scope ~brk ~cont s0 | None -> ());
+    B.terminate b (I.Br lcond);
+    B.switch_to b lexit
+  | Sreturn e -> (
+    match e with
+    | None -> B.terminate b (I.Ret None)
+    | Some e ->
+      let v = gen_expr genv b scope e in
+      ensure_open b;
+      B.terminate b (I.Ret (Some v)))
+  | Sbreak -> (
+    match brk with
+    | Some l -> B.terminate b (I.Br l)
+    | None -> fail s.sloc "break outside loop")
+  | Scontinue -> (
+    match cont with
+    | Some l -> B.terminate b (I.Br l)
+    | None -> fail s.sloc "continue outside loop")
+
+let encode_int64 (v : int64) : string =
+  let bs = Bytes.create 8 in
+  Bytes.set_int64_le bs 0 v;
+  Bytes.to_string bs
+
+let gen_func genv globals_scope (f : fdef) : I.func =
+  let b, params = B.create ~name:f.fname ~params:(List.map (fun (t, _) -> ir_ty t) f.fparams)
+      ~ret:(Option.map ir_ty f.fret)
+  in
+  let scope = { vars = []; parent = Some globals_scope } in
+  (* copy parameters into stack slots (clang -O0 style) *)
+  List.iter2
+    (fun (ty, name) pval ->
+      let slot = entry_alloca b 8 in
+      B.store b (ir_ty ty) (I.Var pval) (I.Var slot);
+      scope.vars <- (name, Vslot (slot, ty)) :: scope.vars)
+    f.fparams params;
+  gen_stmts genv b scope ~brk:None ~cont:None f.fbody;
+  (* implicit return when control falls off the end *)
+  (match f.fret with
+  | None -> B.terminate b (I.Ret None)
+  | Some Tfloat -> B.terminate b (I.Ret (Some (I.FCst 0.0)))
+  | Some _ -> B.terminate b (I.Ret (Some (I.ICst 0L))));
+  (* any open auxiliary block must be closed for well-formedness *)
+  List.iter
+    (fun blk -> if blk.I.term = I.Unreachable then blk.I.term <- (match f.fret with
+       | None -> I.Ret None
+       | Some Tfloat -> I.Ret (Some (I.FCst 0.0))
+       | Some _ -> I.Ret (Some (I.ICst 0L))))
+    (B.func b).I.blocks;
+  B.func b
+
+let gen_program (p : program) : I.modul =
+  let genv = { prog = p; strings = Hashtbl.create 16; str_count = 0; extra_globals = [] } in
+  let globals_scope = { vars = []; parent = None } in
+  let globals =
+    List.map
+      (fun g ->
+        match g with
+        | Gscalar (ty, name, init) ->
+          globals_scope.vars <- (name, Vglobal (name, ty)) :: globals_scope.vars;
+          let bytes =
+            match init with
+            | Some { edesc = Eint i; _ } -> Some (encode_int64 i)
+            | Some { edesc = Efloat f; _ } -> Some (encode_int64 (Int64.bits_of_float f))
+            | Some { edesc = Eun (Uneg, { edesc = Eint i; _ }); _ } ->
+              Some (encode_int64 (Int64.neg i))
+            | Some { edesc = Eun (Uneg, { edesc = Efloat f; _ }); _ } ->
+              Some (encode_int64 (Int64.bits_of_float (-.f)))
+            | _ -> None
+          in
+          { I.gname = name; gsize = 8; gbytes = bytes }
+        | Garray (base, name, size) ->
+          globals_scope.vars <- (name, Vglobal (name, Tarr base)) :: globals_scope.vars;
+          { I.gname = name; gsize = 8 * size; gbytes = None })
+      p.pglobals
+  in
+  let funcs = List.map (gen_func genv globals_scope) p.pfuncs in
+  { I.globals = globals @ genv.extra_globals; funcs }

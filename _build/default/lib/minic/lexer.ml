@@ -1,0 +1,125 @@
+(* Hand-written lexer for MinC.  Tracks line numbers for error messages. *)
+
+type token =
+  | INT of int64
+  | FLOAT of float
+  | IDENT of string
+  | STRING of string
+  | KW of string (* int, float, void, if, else, while, for, return, break, continue, global *)
+  | PUNCT of string (* operators and delimiters *)
+  | EOF
+
+type lexed = { tok : token; line : int }
+
+exception Error of string * int (* message, line *)
+
+let keywords =
+  [ "int"; "float"; "void"; "if"; "else"; "while"; "for"; "return"; "break"; "continue"; "global" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek off = if !pos + off < n then Some src.[!pos + off] else None in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin incr line; incr pos end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let fin = ref false in
+      while not !fin do
+        if !pos + 1 >= n then raise (Error ("unterminated comment", !line));
+        if src.[!pos] = '\n' then incr line;
+        if src.[!pos] = '*' && src.[!pos + 1] = '/' then begin
+          pos := !pos + 2;
+          fin := true
+        end
+        else incr pos
+      done
+    end
+    else if is_digit c || (c = '.' && (match peek 1 with Some d -> is_digit d | None -> false))
+    then begin
+      let start = !pos in
+      let is_float = ref false in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        pos := !pos + 2;
+        while !pos < n && (is_digit src.[!pos] || (Char.lowercase_ascii src.[!pos] >= 'a' && Char.lowercase_ascii src.[!pos] <= 'f')) do incr pos done;
+        let text = String.sub src start (!pos - start) in
+        emit (INT (Int64.of_string text))
+      end
+      else begin
+        while !pos < n && is_digit src.[!pos] do incr pos done;
+        if !pos < n && src.[!pos] = '.' then begin
+          is_float := true;
+          incr pos;
+          while !pos < n && is_digit src.[!pos] do incr pos done
+        end;
+        if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+          is_float := true;
+          incr pos;
+          if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+          while !pos < n && is_digit src.[!pos] do incr pos done
+        end;
+        let text = String.sub src start (!pos - start) in
+        if !is_float then emit (FLOAT (float_of_string text))
+        else
+          match Int64.of_string_opt text with
+          | Some v -> emit (INT v)
+          | None -> raise (Error ("bad integer literal " ^ text, !line))
+      end
+    end
+    else if is_alpha c then begin
+      let start = !pos in
+      while !pos < n && is_alnum src.[!pos] do incr pos done;
+      let text = String.sub src start (!pos - start) in
+      if List.mem text keywords then emit (KW text) else emit (IDENT text)
+    end
+    else if c = '"' then begin
+      incr pos;
+      let buf = Buffer.create 16 in
+      let fin = ref false in
+      while not !fin do
+        if !pos >= n then raise (Error ("unterminated string", !line));
+        match src.[!pos] with
+        | '"' -> incr pos; fin := true
+        | '\\' ->
+          if !pos + 1 >= n then raise (Error ("bad escape", !line));
+          (match src.[!pos + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '"' -> Buffer.add_char buf '"'
+          | e -> raise (Error (Printf.sprintf "bad escape \\%c" e, !line)));
+          pos := !pos + 2
+        | '\n' -> raise (Error ("newline in string", !line))
+        | ch -> Buffer.add_char buf ch; incr pos
+      done;
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      let multi = [ "&&"; "||"; "=="; "!="; "<="; ">="; "<<"; ">>" ] in
+      if List.mem two multi then begin
+        emit (PUNCT two);
+        pos := !pos + 2
+      end
+      else
+        match c with
+        | '+' | '-' | '*' | '/' | '%' | '<' | '>' | '=' | '!' | '&' | '|' | '^' | '(' | ')'
+        | '{' | '}' | '[' | ']' | ';' | ',' ->
+          emit (PUNCT (String.make 1 c));
+          incr pos
+        | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  List.rev ({ tok = EOF; line = !line } :: !toks)

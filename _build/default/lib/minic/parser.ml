@@ -1,0 +1,417 @@
+(* Recursive-descent parser for MinC with standard C operator precedence. *)
+
+open Ast
+
+exception Error of string * int
+
+type st = { mutable toks : Lexer.lexed list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | l :: _ -> l.tok
+let line st = match st.toks with [] -> 0 | l :: _ -> l.line
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let fail st msg = raise (Error (msg, line st))
+
+let describe = function
+  | Lexer.INT i -> Printf.sprintf "integer %Ld" i
+  | Lexer.FLOAT f -> Printf.sprintf "float %g" f
+  | Lexer.IDENT s -> Printf.sprintf "identifier %s" s
+  | Lexer.STRING _ -> "string literal"
+  | Lexer.KW k -> Printf.sprintf "keyword %s" k
+  | Lexer.PUNCT p -> Printf.sprintf "'%s'" p
+  | Lexer.EOF -> "end of input"
+
+let expect_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | t -> fail st (Printf.sprintf "expected '%s', found %s" p (describe t))
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st; true
+  | _ -> false
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | t -> fail st ("expected identifier, found " ^ describe t)
+
+(* type syntax: int | float | int[] | float[] *)
+let parse_base_ty st =
+  match peek st with
+  | Lexer.KW "int" -> advance st; Tint
+  | Lexer.KW "float" -> advance st; Tfloat
+  | t -> fail st ("expected type, found " ^ describe t)
+
+let parse_ty st =
+  let base = parse_base_ty st in
+  if accept_punct st "[" then begin
+    expect_punct st "]";
+    Tarr base
+  end
+  else base
+
+(* ---- expressions ---- *)
+
+let rec parse_expr st = parse_or st
+
+and mk st d = { edesc = d; eloc = line st }
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek st = Lexer.PUNCT "||" do
+    advance st;
+    let rhs = parse_and st in
+    lhs := { edesc = Ebin (Bor, !lhs, rhs); eloc = !lhs.eloc }
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_bitor st) in
+  while peek st = Lexer.PUNCT "&&" do
+    advance st;
+    let rhs = parse_bitor st in
+    lhs := { edesc = Ebin (Band, !lhs, rhs); eloc = !lhs.eloc }
+  done;
+  !lhs
+
+and parse_bitor st =
+  let lhs = ref (parse_bitxor st) in
+  while peek st = Lexer.PUNCT "|" do
+    advance st;
+    let rhs = parse_bitxor st in
+    lhs := { edesc = Ebin (Bbitor, !lhs, rhs); eloc = !lhs.eloc }
+  done;
+  !lhs
+
+and parse_bitxor st =
+  let lhs = ref (parse_bitand st) in
+  while peek st = Lexer.PUNCT "^" do
+    advance st;
+    let rhs = parse_bitand st in
+    lhs := { edesc = Ebin (Bbitxor, !lhs, rhs); eloc = !lhs.eloc }
+  done;
+  !lhs
+
+and parse_bitand st =
+  let lhs = ref (parse_equality st) in
+  while peek st = Lexer.PUNCT "&" do
+    advance st;
+    let rhs = parse_equality st in
+    lhs := { edesc = Ebin (Bbitand, !lhs, rhs); eloc = !lhs.eloc }
+  done;
+  !lhs
+
+and parse_equality st =
+  let lhs = ref (parse_relational st) in
+  let rec loop () =
+    match peek st with
+    | Lexer.PUNCT ("==" as p) | Lexer.PUNCT ("!=" as p) ->
+      advance st;
+      let rhs = parse_relational st in
+      let op = if p = "==" then Beq else Bne in
+      lhs := { edesc = Ebin (op, !lhs, rhs); eloc = !lhs.eloc };
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_relational st =
+  let lhs = ref (parse_shift st) in
+  let rec loop () =
+    match peek st with
+    | Lexer.PUNCT ("<" as p) | Lexer.PUNCT (">" as p) | Lexer.PUNCT ("<=" as p)
+    | Lexer.PUNCT (">=" as p) ->
+      advance st;
+      let rhs = parse_shift st in
+      let op = match p with "<" -> Blt | ">" -> Bgt | "<=" -> Ble | _ -> Bge in
+      lhs := { edesc = Ebin (op, !lhs, rhs); eloc = !lhs.eloc };
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_shift st =
+  let lhs = ref (parse_additive st) in
+  let rec loop () =
+    match peek st with
+    | Lexer.PUNCT ("<<" as p) | Lexer.PUNCT (">>" as p) ->
+      advance st;
+      let rhs = parse_additive st in
+      let op = if p = "<<" then Bshl else Bshr in
+      lhs := { edesc = Ebin (op, !lhs, rhs); eloc = !lhs.eloc };
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let rec loop () =
+    match peek st with
+    | Lexer.PUNCT ("+" as p) | Lexer.PUNCT ("-" as p) ->
+      advance st;
+      let rhs = parse_multiplicative st in
+      let op = if p = "+" then Badd else Bsub in
+      lhs := { edesc = Ebin (op, !lhs, rhs); eloc = !lhs.eloc };
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let rec loop () =
+    match peek st with
+    | Lexer.PUNCT ("*" as p) | Lexer.PUNCT ("/" as p) | Lexer.PUNCT ("%" as p) ->
+      advance st;
+      let rhs = parse_unary st in
+      let op = match p with "*" -> Bmul | "/" -> Bdiv | _ -> Bmod in
+      lhs := { edesc = Ebin (op, !lhs, rhs); eloc = !lhs.eloc };
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    let l = line st in
+    advance st;
+    let e = parse_unary st in
+    { edesc = Eun (Uneg, e); eloc = l }
+  | Lexer.PUNCT "!" ->
+    let l = line st in
+    advance st;
+    let e = parse_unary st in
+    { edesc = Eun (Unot, e); eloc = l }
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let l = line st in
+  match peek st with
+  | Lexer.INT i -> advance st; { edesc = Eint i; eloc = l }
+  | Lexer.FLOAT f -> advance st; { edesc = Efloat f; eloc = l }
+  | Lexer.STRING s -> advance st; { edesc = Estr s; eloc = l }
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.PUNCT "(" ->
+      advance st;
+      let args = ref [] in
+      if not (accept_punct st ")") then begin
+        args := [ parse_expr st ];
+        while accept_punct st "," do
+          args := parse_expr st :: !args
+        done;
+        expect_punct st ")"
+      end;
+      { edesc = Ecall (name, List.rev !args); eloc = l }
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let ix = parse_expr st in
+      expect_punct st "]";
+      { edesc = Eindex (name, ix); eloc = l }
+    | _ -> { edesc = Evar name; eloc = l })
+  | t -> fail st ("expected expression, found " ^ describe t)
+
+(* ---- statements ---- *)
+
+let rec parse_stmt st : stmt =
+  let l = line st in
+  match peek st with
+  | Lexer.KW "int" | Lexer.KW "float" -> (
+    let base = parse_base_ty st in
+    let is_arr_param = accept_punct st "[" in
+    if is_arr_param then begin
+      expect_punct st "]";
+      let name = expect_ident st in
+      let init = if accept_punct st "=" then Some (parse_expr st) else None in
+      expect_punct st ";";
+      { sdesc = Sdecl (Tarr base, name, init); sloc = l }
+    end
+    else
+      let name = expect_ident st in
+      if accept_punct st "[" then begin
+        let size =
+          match peek st with
+          | Lexer.INT i -> advance st; Int64.to_int i
+          | t -> fail st ("expected array size, found " ^ describe t)
+        in
+        expect_punct st "]";
+        expect_punct st ";";
+        { sdesc = Sarrdecl (base, name, size); sloc = l }
+      end
+      else
+        let init = if accept_punct st "=" then Some (parse_expr st) else None in
+        let () = expect_punct st ";" in
+        { sdesc = Sdecl (base, name, init); sloc = l })
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_block_or_stmt st in
+    let else_ =
+      if peek st = Lexer.KW "else" then begin
+        advance st;
+        parse_block_or_stmt st
+      end
+      else []
+    in
+    { sdesc = Sif (cond, then_, else_); sloc = l }
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let body = parse_block_or_stmt st in
+    { sdesc = Swhile (cond, body); sloc = l }
+  | Lexer.KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init = if peek st = Lexer.PUNCT ";" then None else Some (parse_simple_stmt st) in
+    expect_punct st ";";
+    let cond =
+      if peek st = Lexer.PUNCT ";" then { edesc = Eint 1L; eloc = l } else parse_expr st
+    in
+    expect_punct st ";";
+    let step = if peek st = Lexer.PUNCT ")" then None else Some (parse_simple_stmt st) in
+    expect_punct st ")";
+    let body = parse_block_or_stmt st in
+    { sdesc = Sfor (init, cond, step, body); sloc = l }
+  | Lexer.KW "return" ->
+    advance st;
+    let e = if peek st = Lexer.PUNCT ";" then None else Some (parse_expr st) in
+    expect_punct st ";";
+    { sdesc = Sreturn e; sloc = l }
+  | Lexer.KW "break" ->
+    advance st;
+    expect_punct st ";";
+    { sdesc = Sbreak; sloc = l }
+  | Lexer.KW "continue" ->
+    advance st;
+    expect_punct st ";";
+    { sdesc = Scontinue; sloc = l }
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect_punct st ";";
+    s
+
+(* assignment / array store / call — the statements allowed in for-headers *)
+and parse_simple_stmt st : stmt =
+  let l = line st in
+  match peek st with
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.PUNCT "=" ->
+      advance st;
+      let e = parse_expr st in
+      { sdesc = Sassign (name, e); sloc = l }
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let ix = parse_expr st in
+      expect_punct st "]";
+      if accept_punct st "=" then
+        let e = parse_expr st in
+        { sdesc = Sstore (name, ix, e); sloc = l }
+      else fail st "expected '=' after array index"
+    | Lexer.PUNCT "(" ->
+      advance st;
+      let args = ref [] in
+      if not (accept_punct st ")") then begin
+        args := [ parse_expr st ];
+        while accept_punct st "," do
+          args := parse_expr st :: !args
+        done;
+        expect_punct st ")"
+      end;
+      { sdesc = Sexpr { edesc = Ecall (name, List.rev !args); eloc = l }; sloc = l }
+    | t -> fail st ("expected '=', '[' or '(', found " ^ describe t))
+  | t -> fail st ("expected statement, found " ^ describe t)
+
+and parse_block st : stmt list =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while peek st <> Lexer.PUNCT "}" do
+    if peek st = Lexer.EOF then fail st "unterminated block";
+    stmts := parse_stmt st :: !stmts
+  done;
+  expect_punct st "}";
+  List.rev !stmts
+
+and parse_block_or_stmt st =
+  if peek st = Lexer.PUNCT "{" then parse_block st else [ parse_stmt st ]
+
+(* ---- top level ---- *)
+
+let parse_param st =
+  let ty = parse_ty st in
+  let name = expect_ident st in
+  (ty, name)
+
+let parse_program (src : string) : program =
+  let st = { toks = Lexer.tokenize src } in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec loop () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.KW "global" ->
+      advance st;
+      let base = parse_base_ty st in
+      let name = expect_ident st in
+      if accept_punct st "[" then begin
+        let size =
+          match peek st with
+          | Lexer.INT i -> advance st; Int64.to_int i
+          | t -> fail st ("expected array size, found " ^ describe t)
+        in
+        expect_punct st "]";
+        expect_punct st ";";
+        globals := Garray (base, name, size) :: !globals
+      end
+      else begin
+        let init = if accept_punct st "=" then Some (parse_expr st) else None in
+        expect_punct st ";";
+        globals := Gscalar (base, name, init) :: !globals
+      end;
+      loop ()
+    | Lexer.KW "void" ->
+      advance st;
+      let name = expect_ident st in
+      parse_func None name;
+      loop ()
+    | Lexer.KW "int" | Lexer.KW "float" ->
+      let ty = parse_ty st in
+      let name = expect_ident st in
+      parse_func (Some ty) name;
+      loop ()
+    | t -> fail st ("expected declaration, found " ^ describe t)
+  and parse_func fret fname =
+    let l = line st in
+    expect_punct st "(";
+    let params = ref [] in
+    if not (accept_punct st ")") then begin
+      params := [ parse_param st ];
+      while accept_punct st "," do
+        params := parse_param st :: !params
+      done;
+      expect_punct st ")"
+    end;
+    let body = parse_block st in
+    funcs := { fret; fname; fparams = List.rev !params; fbody = body; floc = l } :: !funcs
+  in
+  loop ();
+  { pglobals = List.rev !globals; pfuncs = List.rev !funcs }

@@ -1,0 +1,210 @@
+(* MinC type checker.  No implicit conversions: int/float mixing requires
+   explicit tofloat/toint, which keeps both this checker and the IR
+   generator small and makes benchmark sources unambiguous. *)
+
+open Ast
+
+exception Error of string * int
+
+let fail loc fmt = Printf.ksprintf (fun s -> raise (Error (s, loc))) fmt
+
+type fenv = (string, ty option * ty list) Hashtbl.t (* name -> ret, params *)
+
+type scope = { mutable vars : (string * ty) list; parent : scope option }
+
+let rec lookup scope name =
+  match List.assoc_opt name scope.vars with
+  | Some t -> Some t
+  | None -> ( match scope.parent with Some p -> lookup p name | None -> None)
+
+let declare loc scope name ty =
+  if List.mem_assoc name scope.vars then fail loc "redeclaration of %s" name;
+  scope.vars <- (name, ty) :: scope.vars
+
+let rec check_expr fenv scope (e : expr) : ty =
+  match e.edesc with
+  | Eint _ -> Tint
+  | Efloat _ -> Tfloat
+  | Estr _ -> fail e.eloc "string literal outside print_str"
+  | Evar name -> (
+    match lookup scope name with
+    | Some t -> t
+    | None -> fail e.eloc "undeclared variable %s" name)
+  | Eindex (name, ix) -> (
+    (match check_expr fenv scope ix with
+    | Tint -> ()
+    | t -> fail ix.eloc "array index must be int, got %s" (string_of_ty t));
+    match lookup scope name with
+    | Some (Tarr elt) -> elt
+    | Some t -> fail e.eloc "%s has type %s, cannot be indexed" name (string_of_ty t)
+    | None -> fail e.eloc "undeclared array %s" name)
+  | Eun (Uneg, a) -> (
+    match check_expr fenv scope a with
+    | (Tint | Tfloat) as t -> t
+    | t -> fail e.eloc "cannot negate %s" (string_of_ty t))
+  | Eun (Unot, a) -> (
+    match check_expr fenv scope a with
+    | Tint -> Tint
+    | t -> fail e.eloc "'!' requires int, got %s" (string_of_ty t))
+  | Ebin (op, a, b) -> (
+    let ta = check_expr fenv scope a in
+    let tb = check_expr fenv scope b in
+    if ta <> tb then
+      fail e.eloc "operand type mismatch: %s vs %s (use tofloat/toint)" (string_of_ty ta)
+        (string_of_ty tb);
+    match op with
+    | Badd | Bsub | Bmul | Bdiv -> (
+      match ta with
+      | Tint | Tfloat -> ta
+      | t -> fail e.eloc "arithmetic on %s" (string_of_ty t))
+    | Bmod | Bbitand | Bbitor | Bbitxor | Bshl | Bshr | Band | Bor -> (
+      match ta with
+      | Tint -> Tint
+      | t -> fail e.eloc "integer operator on %s" (string_of_ty t))
+    | Beq | Bne | Blt | Ble | Bgt | Bge -> (
+      match ta with
+      | Tint | Tfloat -> Tint
+      | t -> fail e.eloc "comparison on %s" (string_of_ty t)))
+  | Ecall (name, args) -> (
+    match check_call fenv scope e.eloc name args with
+    | Some t -> t
+    | None -> fail e.eloc "void function %s used as a value" name)
+
+and check_call fenv scope loc name args : ty option =
+  if Builtins.is_print_str name then begin
+    (match args with
+    | [ { edesc = Estr _; _ } ] -> ()
+    | _ -> fail loc "print_str takes exactly one string literal");
+    None
+  end
+  else
+    let params, ret =
+      match Builtins.signature name with
+      | Some (p, r) -> (p, r)
+      | None -> (
+        match Hashtbl.find_opt fenv name with
+        | Some (r, p) -> (p, r)
+        | None -> fail loc "call to undefined function %s" name)
+    in
+    if List.length params <> List.length args then
+      fail loc "%s expects %d arguments, got %d" name (List.length params) (List.length args);
+    List.iteri
+      (fun i (want, arg) ->
+        let got = check_expr fenv scope arg in
+        if got <> want then
+          fail arg.eloc "argument %d of %s: expected %s, got %s" (i + 1) name
+            (string_of_ty want) (string_of_ty got))
+      (List.combine params args);
+    ret
+
+let rec check_stmts fenv scope ~fret ~in_loop stmts =
+  let scope = { vars = []; parent = Some scope } in
+  List.iter (check_stmt fenv scope ~fret ~in_loop) stmts
+
+and check_stmt fenv scope ~fret ~in_loop (s : stmt) =
+  match s.sdesc with
+  | Sdecl (ty, name, init) ->
+    (match init with
+    | Some e ->
+      let t = check_expr fenv scope e in
+      if t <> ty then
+        fail s.sloc "initializer of %s: expected %s, got %s" name (string_of_ty ty)
+          (string_of_ty t)
+    | None -> ());
+    declare s.sloc scope name ty
+  | Sarrdecl (base, name, size) ->
+    if size <= 0 then fail s.sloc "array %s has non-positive size" name;
+    declare s.sloc scope name (Tarr base)
+  | Sassign (name, e) -> (
+    match lookup scope name with
+    | None -> fail s.sloc "assignment to undeclared variable %s" name
+    | Some want ->
+      let got = check_expr fenv scope e in
+      if got <> want then
+        fail s.sloc "assignment to %s: expected %s, got %s" name (string_of_ty want)
+          (string_of_ty got))
+  | Sstore (name, ix, e) -> (
+    (match check_expr fenv scope ix with
+    | Tint -> ()
+    | t -> fail ix.eloc "array index must be int, got %s" (string_of_ty t));
+    match lookup scope name with
+    | Some (Tarr elt) ->
+      let got = check_expr fenv scope e in
+      if got <> elt then
+        fail s.sloc "store to %s[]: expected %s, got %s" name (string_of_ty elt)
+          (string_of_ty got)
+    | Some t -> fail s.sloc "%s has type %s, cannot be indexed" name (string_of_ty t)
+    | None -> fail s.sloc "undeclared array %s" name)
+  | Sexpr e -> (
+    match e.edesc with
+    | Ecall (name, args) -> ignore (check_call fenv scope e.eloc name args)
+    | _ -> fail s.sloc "expression statement must be a call")
+  | Sif (c, t, f) ->
+    (match check_expr fenv scope c with
+    | Tint -> ()
+    | ty -> fail c.eloc "condition must be int, got %s" (string_of_ty ty));
+    check_stmts fenv scope ~fret ~in_loop t;
+    check_stmts fenv scope ~fret ~in_loop f
+  | Swhile (c, body) ->
+    (match check_expr fenv scope c with
+    | Tint -> ()
+    | ty -> fail c.eloc "condition must be int, got %s" (string_of_ty ty));
+    check_stmts fenv scope ~fret ~in_loop:true body
+  | Sfor (init, cond, step, body) ->
+    let scope = { vars = []; parent = Some scope } in
+    (match init with Some s0 -> check_stmt fenv scope ~fret ~in_loop s0 | None -> ());
+    (match check_expr fenv scope cond with
+    | Tint -> ()
+    | ty -> fail cond.eloc "condition must be int, got %s" (string_of_ty ty));
+    (match step with Some s0 -> check_stmt fenv scope ~fret ~in_loop:true s0 | None -> ());
+    check_stmts fenv scope ~fret ~in_loop:true body
+  | Sreturn e -> (
+    match (e, fret) with
+    | None, None -> ()
+    | Some _, None -> fail s.sloc "void function returns a value"
+    | None, Some _ -> fail s.sloc "missing return value"
+    | Some e, Some want ->
+      let got = check_expr fenv scope e in
+      if got <> want then
+        fail s.sloc "return: expected %s, got %s" (string_of_ty want) (string_of_ty got))
+  | Sbreak -> if not in_loop then fail s.sloc "break outside loop"
+  | Scontinue -> if not in_loop then fail s.sloc "continue outside loop"
+
+let check_program (p : program) =
+  let fenv : fenv = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Builtins.is_builtin f.fname then fail f.floc "%s shadows a builtin" f.fname;
+      if Hashtbl.mem fenv f.fname then fail f.floc "redefinition of %s" f.fname;
+      Hashtbl.add fenv f.fname (f.fret, List.map fst f.fparams))
+    p.pfuncs;
+  let globals = { vars = []; parent = None } in
+  List.iter
+    (fun g ->
+      match g with
+      | Gscalar (ty, name, init) ->
+        (match ty with
+        | Tarr _ -> fail 0 "global %s: array globals use the [] form" name
+        | _ -> ());
+        (match init with
+        | Some { edesc = Eint _; _ } when ty = Tint -> ()
+        | Some { edesc = Efloat _; _ } when ty = Tfloat -> ()
+        | Some { edesc = Eun (Uneg, { edesc = Eint _; _ }); _ } when ty = Tint -> ()
+        | Some { edesc = Eun (Uneg, { edesc = Efloat _; _ }); _ } when ty = Tfloat -> ()
+        | Some e -> fail e.eloc "global initializer of %s must be a literal of type %s" name (string_of_ty ty)
+        | None -> ());
+        declare 0 globals name ty
+      | Garray (base, name, size) ->
+        if size <= 0 then fail 0 "global array %s has non-positive size" name;
+        declare 0 globals name (Tarr base))
+    p.pglobals;
+  (match Hashtbl.find_opt fenv "main" with
+  | Some (Some Tint, []) -> ()
+  | Some _ -> fail 0 "main must have signature: int main()"
+  | None -> fail 0 "missing function main");
+  List.iter
+    (fun f ->
+      let scope = { vars = []; parent = Some globals } in
+      List.iter (fun (ty, name) -> declare f.floc scope name ty) f.fparams;
+      check_stmts fenv scope ~fret:f.fret ~in_loop:false f.fbody)
+    p.pfuncs

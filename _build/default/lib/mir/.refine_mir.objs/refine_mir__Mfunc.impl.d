@@ -1,0 +1,1 @@
+lib/mir/mfunc.ml: Hashtbl List Minstr Printf Refine_ir Reg

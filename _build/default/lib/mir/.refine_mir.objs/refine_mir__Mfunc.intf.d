@@ -1,0 +1,1 @@
+lib/mir/mfunc.mli: Hashtbl Minstr Reg

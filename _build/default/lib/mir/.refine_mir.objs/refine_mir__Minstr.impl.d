@@ -1,0 +1,1 @@
+lib/mir/minstr.ml: Option Refine_ir Reg

@@ -1,0 +1,1 @@
+lib/mir/minstr.mli: Refine_ir Reg

@@ -1,0 +1,1 @@
+lib/mir/mprinter.ml: Buffer Int64 List Mfunc Minstr Printf Refine_ir Reg

@@ -1,0 +1,1 @@
+lib/mir/mverify.ml: Hashtbl List Mfunc Minstr Mprinter Printf Reg

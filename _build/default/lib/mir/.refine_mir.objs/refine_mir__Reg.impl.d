@@ -1,0 +1,1 @@
+lib/mir/reg.ml: List Printf

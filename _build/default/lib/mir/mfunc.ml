@@ -1,0 +1,61 @@
+(* Machine-level function: ordered basic blocks of SX64 instructions plus
+   frame bookkeeping filled in by the backend passes. *)
+
+type mblock = { mlbl : Minstr.label; mutable code : Minstr.t list }
+
+type t = {
+  mname : string;
+  mutable blocks : mblock list; (* entry first; layout order *)
+  mutable next_label : int;
+  mutable next_vreg : int;
+  vreg_class : (int, Reg.rclass) Hashtbl.t;
+  mutable frame_bytes : int; (* allocas + spill slots, below rbp *)
+  mutable used_callee_saved : Reg.t list; (* filled by register allocation *)
+}
+
+let create name =
+  {
+    mname = name;
+    blocks = [];
+    next_label = 0;
+    next_vreg = Reg.vreg_base;
+    vreg_class = Hashtbl.create 64;
+    frame_bytes = 0;
+    used_callee_saved = [];
+  }
+
+let fresh_vreg t cls =
+  let v = t.next_vreg in
+  t.next_vreg <- v + 1;
+  Hashtbl.replace t.vreg_class v cls;
+  v
+
+let reg_class t r =
+  if Reg.is_virtual r then
+    match Hashtbl.find_opt t.vreg_class r with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "Mfunc.reg_class: unknown vreg %s" (Reg.name r))
+  else Reg.class_of_phys r
+
+let add_block t lbl =
+  let b = { mlbl = lbl; code = [] } in
+  t.blocks <- t.blocks @ [ b ];
+  if lbl >= t.next_label then t.next_label <- lbl + 1;
+  b
+
+let fresh_label t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  l
+
+let find_block t lbl =
+  match List.find_opt (fun b -> b.mlbl = lbl) t.blocks with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Mfunc.find_block: no block L%d in %s" lbl t.mname)
+
+(* Allocate a fresh 8-byte frame slot; returns its rbp-relative offset. *)
+let alloc_slot t bytes =
+  t.frame_bytes <- t.frame_bytes + Refine_ir.Memlayout.align8 bytes;
+  -t.frame_bytes
+
+let instr_count t = List.fold_left (fun acc b -> acc + List.length b.code) 0 t.blocks

@@ -1,0 +1,27 @@
+(** Machine-level function: ordered basic blocks of SX64 instructions plus
+    frame bookkeeping filled in by the backend passes. *)
+
+type mblock = { mlbl : Minstr.label; mutable code : Minstr.t list }
+
+type t = {
+  mname : string;
+  mutable blocks : mblock list;  (** entry first; layout order *)
+  mutable next_label : int;
+  mutable next_vreg : int;
+  vreg_class : (int, Reg.rclass) Hashtbl.t;
+  mutable frame_bytes : int;  (** allocas + spill slots, below rbp *)
+  mutable used_callee_saved : Reg.t list;  (** filled by register allocation *)
+}
+
+val create : string -> t
+val fresh_vreg : t -> Reg.rclass -> int
+val reg_class : t -> Reg.t -> Reg.rclass
+val add_block : t -> Minstr.label -> mblock
+val fresh_label : t -> Minstr.label
+val find_block : t -> Minstr.label -> mblock
+
+val alloc_slot : t -> int -> int
+(** Allocate a frame slot of the given byte size; returns its rbp-relative
+    (negative) offset. *)
+
+val instr_count : t -> int

@@ -1,0 +1,145 @@
+(* SX64 machine instructions.
+
+   This is the analogue of LLVM's MachineInstr layer: target-shaped
+   instructions over (virtual or physical) registers, organized in basic
+   blocks.  The REFINE pass instruments this representation after register
+   allocation and frame lowering, so every instruction below — including
+   prologue pushes, spill loads and flag-writing compares — is a fault
+   injection candidate, unlike at the IR level.
+
+   Jump/call targets are block labels until [Backend.Layout] resolves them
+   to absolute code indices (the [Mcalli] form). *)
+
+type label = int
+type mopd = Reg of Reg.t | Imm of int64
+
+(* condition codes read from FLAGS: integer codes use ZF/LT; float codes
+   additionally require the UNORD bit clear (except CFne, true on NaN) *)
+type cc = CEq | CNe | CLt | CLe | CGt | CGe | CFeq | CFne | CFlt | CFle | CFgt | CFge
+
+type t =
+  | Mmov of Reg.t * mopd (* dst <- src (bits; class-agnostic) *)
+  | Mload of Reg.t * Reg.t * int (* dst <- [base + off] *)
+  | Mstore of Reg.t * Reg.t * int (* [base + off] <- src *)
+  | Mloadidx of Reg.t * Reg.t * Reg.t * int (* dst <- [base + 8*idx + off] *)
+  | Mstoreidx of Reg.t * Reg.t * Reg.t * int (* [base + 8*idx + off] <- src *)
+  | Mlea of Reg.t * Reg.t * Reg.t option * int (* dst <- base + 8*idx + off *)
+  | Mbin of Refine_ir.Ir.ibinop * Reg.t * Reg.t * mopd (* dst = a OP b; writes FLAGS *)
+  | Mfbin of Refine_ir.Ir.fbinop * Reg.t * Reg.t * Reg.t
+  | Mfun of Refine_ir.Ir.funop * Reg.t * Reg.t
+  | Mcvt of Refine_ir.Ir.cast * Reg.t * Reg.t
+  | Mcmp of Reg.t * mopd (* FLAGS <- compare ints *)
+  | Mfcmp of Reg.t * Reg.t (* FLAGS <- compare floats (sets UNORD on NaN) *)
+  | Msetcc of cc * Reg.t (* dst <- 0/1 *)
+  | Mjcc of cc * label
+  | Mjmp of label
+  | Mpush of Reg.t
+  | Mpop of Reg.t
+  | Mpushf (* push FLAGS *)
+  | Mpopf
+  | Mcall of string (* direct call, resolved to Mcalli by layout *)
+  | Mcalli of int (* call to absolute code index *)
+  | Mcallext of string (* runtime library call (libc/libm/FI library) *)
+  | Mret
+  | Mxorbit of Reg.t * Reg.t (* dst ^= 1 << (src & 63) — the FI flip *)
+  | Mxorbitmem of Reg.t * int * Reg.t (* [base+off] ^= 1 << (src & 63) *)
+  | Mhalt (* terminate program; exit code in r0 *)
+
+(* --- register effects ------------------------------------------------ *)
+
+let opd_reg = function Reg r -> [ r ] | Imm _ -> []
+
+(* Registers read by the instruction (register operands only). *)
+let inputs = function
+  | Mmov (_, s) -> opd_reg s
+  | Mload (_, b, _) -> [ b ]
+  | Mstore (s, b, _) -> [ s; b ]
+  | Mloadidx (_, b, i, _) -> [ b; i ]
+  | Mstoreidx (s, b, i, _) -> [ s; b; i ]
+  | Mlea (_, b, i, _) -> ( match i with Some i -> [ b; i ] | None -> [ b ])
+  | Mbin (_, _, a, b) -> a :: opd_reg b
+  | Mfbin (_, _, a, b) -> [ a; b ]
+  | Mfun (_, _, a) | Mcvt (_, _, a) -> [ a ]
+  | Mcmp (a, b) -> a :: opd_reg b
+  | Mfcmp (a, b) -> [ a; b ]
+  | Msetcc _ -> [ Reg.flags ]
+  | Mjcc _ -> [ Reg.flags ]
+  | Mjmp _ -> []
+  | Mpush r -> [ r; Reg.rsp ]
+  | Mpop _ -> [ Reg.rsp ]
+  | Mpushf -> [ Reg.flags; Reg.rsp ]
+  | Mpopf -> [ Reg.rsp ]
+  | Mcall _ | Mcalli _ -> [ Reg.rsp ]
+  | Mcallext _ -> []
+  | Mret -> [ Reg.rsp ]
+  | Mxorbit (d, s) -> [ d; s ]
+  | Mxorbitmem (b, _, s) -> [ b; s ]
+  | Mhalt -> [ Reg.ret_gpr ]
+
+(* Registers written by the instruction — the fault-injection targets of
+   the paper's model (§3.1): "an instruction may have multiple output
+   registers", e.g. an ALU op writes its destination and FLAGS. *)
+let outputs = function
+  | Mmov (d, _) | Mload (d, _, _) | Mloadidx (d, _, _, _) | Mlea (d, _, _, _) -> [ d ]
+  | Mbin (_, d, _, _) -> [ d; Reg.flags ]
+  | Mfbin (_, d, _, _) | Mfun (_, d, _) | Mcvt (_, d, _) -> [ d ]
+  | Mcmp _ | Mfcmp _ -> [ Reg.flags ]
+  | Msetcc (_, d) -> [ d ]
+  | Mstore _ | Mstoreidx _ | Mjcc _ | Mjmp _ -> []
+  | Mpush _ | Mpushf -> [ Reg.rsp ]
+  | Mpop (d) -> [ d; Reg.rsp ]
+  | Mpopf -> [ Reg.flags; Reg.rsp ]
+  | Mcall _ | Mcalli _ -> [ Reg.rsp ]
+  | Mcallext _ -> [] (* the engine writes the ABI result register directly *)
+  | Mret -> [ Reg.rsp ]
+  | Mxorbit (d, _) -> [ d ]
+  | Mxorbitmem _ -> []
+  | Mhalt -> []
+
+(* Allocation-free test used in the per-instruction DBI hook: does the
+   instruction write at least one register?  Must agree with [outputs]. *)
+let writes_register = function
+  | Mmov _ | Mload _ | Mloadidx _ | Mlea _ | Mbin _ | Mfbin _ | Mfun _ | Mcvt _ | Mcmp _
+  | Mfcmp _ | Msetcc _ | Mpush _ | Mpushf | Mpop _ | Mpopf | Mcall _ | Mcalli _ | Mret
+  | Mxorbit _ -> true
+  | Mstore _ | Mstoreidx _ | Mjcc _ | Mjmp _ | Mcallext _ | Mxorbitmem _ | Mhalt -> false
+
+(* Instruction classes for the -fi-instrs compiler flag (Table 2). *)
+type iclass = Cstack | Carith | Cmem | Ccontrol | Cother
+
+let classify = function
+  | Mpush _ | Mpop _ | Mpushf | Mpopf -> Cstack
+  | Mbin _ | Mfbin _ | Mfun _ | Mcvt _ | Mcmp _ | Mfcmp _ | Msetcc _ | Mxorbit _ | Mxorbitmem _
+    -> Carith
+  | Mload _ | Mstore _ | Mloadidx _ | Mstoreidx _ | Mlea _ | Mmov _ -> Cmem
+  | Mjcc _ | Mjmp _ | Mcall _ | Mcalli _ | Mcallext _ | Mret | Mhalt -> Ccontrol
+
+let is_terminator = function
+  | Mjmp _ | Mret | Mhalt -> true
+  | _ -> false
+
+(* Rewrite the register operands of an instruction. *)
+let map_regs f i =
+  let fo = function Reg r -> Reg (f r) | Imm v -> Imm v in
+  match i with
+  | Mmov (d, s) -> Mmov (f d, fo s)
+  | Mload (d, b, o) -> Mload (f d, f b, o)
+  | Mstore (s, b, o) -> Mstore (f s, f b, o)
+  | Mloadidx (d, b, i, o) -> Mloadidx (f d, f b, f i, o)
+  | Mstoreidx (s, b, i, o) -> Mstoreidx (f s, f b, f i, o)
+  | Mlea (d, b, i, o) -> Mlea (f d, f b, Option.map f i, o)
+  | Mbin (op, d, a, b) -> Mbin (op, f d, f a, fo b)
+  | Mfbin (op, d, a, b) -> Mfbin (op, f d, f a, f b)
+  | Mfun (op, d, a) -> Mfun (op, f d, f a)
+  | Mcvt (op, d, a) -> Mcvt (op, f d, f a)
+  | Mcmp (a, b) -> Mcmp (f a, fo b)
+  | Mfcmp (a, b) -> Mfcmp (f a, f b)
+  | Msetcc (c, d) -> Msetcc (c, f d)
+  | Mxorbit (d, s) -> Mxorbit (f d, f s)
+  | Mxorbitmem (b, o, s) -> Mxorbitmem (f b, o, f s)
+  | (Mjcc _ | Mjmp _ | Mpush _ | Mpop _ | Mpushf | Mpopf | Mcall _ | Mcalli _ | Mcallext _
+    | Mret | Mhalt) as other -> (
+    match other with
+    | Mpush r -> Mpush (f r)
+    | Mpop r -> Mpop (f r)
+    | o -> o)

@@ -1,0 +1,58 @@
+(** SX64 machine instructions — the analogue of LLVM's MachineInstr layer
+    that the REFINE pass instruments after register allocation and frame
+    lowering.  Every instruction below, including prologue pushes, spill
+    loads and flag-writing compares, is a fault-injection candidate;
+    none of them exist at the IR level. *)
+
+type label = int
+type mopd = Reg of Reg.t | Imm of int64
+
+(** Condition codes read from FLAGS; integer codes use ZF/LT, float codes
+    additionally require the UNORD bit clear (except [CFne], true on
+    NaN). *)
+type cc = CEq | CNe | CLt | CLe | CGt | CGe | CFeq | CFne | CFlt | CFle | CFgt | CFge
+
+type t =
+  | Mmov of Reg.t * mopd  (** dst <- src (raw bits; class-agnostic) *)
+  | Mload of Reg.t * Reg.t * int  (** dst <- [base + off] *)
+  | Mstore of Reg.t * Reg.t * int  (** [base + off] <- src *)
+  | Mloadidx of Reg.t * Reg.t * Reg.t * int  (** dst <- [base + 8*idx + off] *)
+  | Mstoreidx of Reg.t * Reg.t * Reg.t * int
+  | Mlea of Reg.t * Reg.t * Reg.t option * int  (** address materialization *)
+  | Mbin of Refine_ir.Ir.ibinop * Reg.t * Reg.t * mopd  (** writes dst and FLAGS *)
+  | Mfbin of Refine_ir.Ir.fbinop * Reg.t * Reg.t * Reg.t
+  | Mfun of Refine_ir.Ir.funop * Reg.t * Reg.t
+  | Mcvt of Refine_ir.Ir.cast * Reg.t * Reg.t
+  | Mcmp of Reg.t * mopd  (** FLAGS <- integer compare *)
+  | Mfcmp of Reg.t * Reg.t  (** FLAGS <- float compare; UNORD on NaN *)
+  | Msetcc of cc * Reg.t
+  | Mjcc of cc * label
+  | Mjmp of label
+  | Mpush of Reg.t
+  | Mpop of Reg.t
+  | Mpushf  (** push FLAGS *)
+  | Mpopf
+  | Mcall of string  (** direct call; resolved to [Mcalli] by layout *)
+  | Mcalli of int
+  | Mcallext of string  (** runtime library call (libc/libm/FI library) *)
+  | Mret
+  | Mxorbit of Reg.t * Reg.t  (** dst ^= 1 << (src & 63) — the FI flip *)
+  | Mxorbitmem of Reg.t * int * Reg.t  (** [base+off] ^= 1 << (src & 63) *)
+  | Mhalt  (** terminate; exit code in r0 *)
+
+val inputs : t -> Reg.t list
+(** Registers read (register operands only). *)
+
+val outputs : t -> Reg.t list
+(** Registers written — the fault-injection target operands of the paper's
+    model (an ALU op writes its destination {e and} FLAGS). *)
+
+val writes_register : t -> bool
+(** Allocation-free [outputs i <> []], for the per-instruction DBI hook. *)
+
+(** Instruction classes for the [-fi-instrs] flag (paper Table 2). *)
+type iclass = Cstack | Carith | Cmem | Ccontrol | Cother
+
+val classify : t -> iclass
+val is_terminator : t -> bool
+val map_regs : (Reg.t -> Reg.t) -> t -> t

@@ -1,0 +1,78 @@
+(* Assembly-style listings of machine code, used by the codegen_tour
+   example to reproduce the paper's Listing 1b/2b/2c comparisons. *)
+
+open Minstr
+
+let string_of_opd = function
+  | Reg r -> Reg.name r
+  | Imm i -> Int64.to_string i
+
+let string_of_cc = function
+  | CEq -> "eq" | CNe -> "ne" | CLt -> "lt" | CLe -> "le" | CGt -> "gt" | CGe -> "ge"
+  | CFeq -> "feq" | CFne -> "fne" | CFlt -> "flt" | CFle -> "fle" | CFgt -> "fgt" | CFge -> "fge"
+
+let ibinop_mnemonic (op : Refine_ir.Ir.ibinop) =
+  match op with
+  | Add -> "add" | Sub -> "sub" | Mul -> "imul" | Div -> "idiv" | Rem -> "irem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Lshr -> "shr" | Ashr -> "sar"
+
+let fbinop_mnemonic (op : Refine_ir.Ir.fbinop) =
+  match op with Fadd -> "addsd" | Fsub -> "subsd" | Fmul -> "mulsd" | Fdiv -> "divsd"
+
+let funop_mnemonic (op : Refine_ir.Ir.funop) =
+  match op with Fneg -> "negsd" | Fsqrt -> "sqrtsd" | Fabs -> "abssd"
+
+let mem base off =
+  if off = 0 then Printf.sprintf "[%s]" (Reg.name base)
+  else if off > 0 then Printf.sprintf "[%s + %d]" (Reg.name base) off
+  else Printf.sprintf "[%s - %d]" (Reg.name base) (-off)
+
+let memidx base idx off =
+  if off = 0 then Printf.sprintf "[%s + 8*%s]" (Reg.name base) (Reg.name idx)
+  else Printf.sprintf "[%s + 8*%s + %d]" (Reg.name base) (Reg.name idx) off
+
+let to_string (i : t) =
+  match i with
+  | Mmov (d, s) -> Printf.sprintf "mov %s, %s" (Reg.name d) (string_of_opd s)
+  | Mload (d, b, o) -> Printf.sprintf "mov %s, qword ptr %s" (Reg.name d) (mem b o)
+  | Mstore (s, b, o) -> Printf.sprintf "mov qword ptr %s, %s" (mem b o) (Reg.name s)
+  | Mloadidx (d, b, ix, o) -> Printf.sprintf "mov %s, qword ptr %s" (Reg.name d) (memidx b ix o)
+  | Mstoreidx (s, b, ix, o) -> Printf.sprintf "mov qword ptr %s, %s" (memidx b ix o) (Reg.name s)
+  | Mlea (d, b, None, o) -> Printf.sprintf "lea %s, %s" (Reg.name d) (mem b o)
+  | Mlea (d, b, Some ix, o) -> Printf.sprintf "lea %s, %s" (Reg.name d) (memidx b ix o)
+  | Mbin (op, d, a, b) ->
+    Printf.sprintf "%s %s, %s, %s" (ibinop_mnemonic op) (Reg.name d) (Reg.name a)
+      (string_of_opd b)
+  | Mfbin (op, d, a, b) ->
+    Printf.sprintf "%s %s, %s, %s" (fbinop_mnemonic op) (Reg.name d) (Reg.name a) (Reg.name b)
+  | Mfun (op, d, a) -> Printf.sprintf "%s %s, %s" (funop_mnemonic op) (Reg.name d) (Reg.name a)
+  | Mcvt (Sitofp, d, a) -> Printf.sprintf "cvtsi2sd %s, %s" (Reg.name d) (Reg.name a)
+  | Mcvt (Fptosi, d, a) -> Printf.sprintf "cvttsd2si %s, %s" (Reg.name d) (Reg.name a)
+  | Mcmp (a, b) -> Printf.sprintf "cmp %s, %s" (Reg.name a) (string_of_opd b)
+  | Mfcmp (a, b) -> Printf.sprintf "ucomisd %s, %s" (Reg.name a) (Reg.name b)
+  | Msetcc (c, d) -> Printf.sprintf "set%s %s" (string_of_cc c) (Reg.name d)
+  | Mjcc (c, l) -> Printf.sprintf "j%s L%d" (string_of_cc c) l
+  | Mjmp l -> Printf.sprintf "jmp L%d" l
+  | Mpush r -> Printf.sprintf "push %s" (Reg.name r)
+  | Mpop r -> Printf.sprintf "pop %s" (Reg.name r)
+  | Mpushf -> "pushf"
+  | Mpopf -> "popf"
+  | Mcall f -> Printf.sprintf "call _%s" f
+  | Mcalli a -> Printf.sprintf "call %d" a
+  | Mcallext f -> Printf.sprintf "call ext:%s" f
+  | Mret -> "ret"
+  | Mxorbit (d, s) -> Printf.sprintf "btc %s, %s" (Reg.name d) (Reg.name s)
+  | Mxorbitmem (b, o, s) -> Printf.sprintf "btc qword ptr %s, %s" (mem b o) (Reg.name s)
+  | Mhalt -> "hlt"
+
+let string_of_block (b : Mfunc.mblock) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "L%d:\n" b.mlbl);
+  List.iter (fun i -> Buffer.add_string buf ("  " ^ to_string i ^ "\n")) b.code;
+  Buffer.contents buf
+
+let string_of_func (f : Mfunc.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "_%s:  ; frame=%d bytes\n" f.mname f.frame_bytes);
+  List.iter (fun b -> Buffer.add_string buf (string_of_block b)) f.blocks;
+  Buffer.contents buf

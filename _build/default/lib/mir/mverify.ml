@@ -1,0 +1,67 @@
+(* Machine-code well-formedness checks, run after register allocation and
+   frame lowering (and after FI instrumentation in tests).  Catches backend
+   bugs the IR verifier cannot see: leftover virtual registers, unresolved
+   labels, scratch-register conflicts and unterminated final blocks. *)
+
+open Minstr
+
+exception Invalid of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+(* [allow_virtual] checks pre-RA code (after instruction selection). *)
+let check_func ?(allow_virtual = false) (mf : Mfunc.t) =
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Mfunc.mblock) ->
+      if Hashtbl.mem labels b.Mfunc.mlbl then
+        fail "%s: duplicate machine label L%d" mf.Mfunc.mname b.Mfunc.mlbl;
+      Hashtbl.add labels b.Mfunc.mlbl ())
+    mf.Mfunc.blocks;
+  let check_reg what r =
+    if Reg.is_physical r then ()
+    else if Reg.is_virtual r then begin
+      if not allow_virtual then fail "%s: virtual register %s survived allocation in %s"
+          mf.Mfunc.mname (Reg.name r) what;
+      match Hashtbl.find_opt mf.Mfunc.vreg_class r with
+      | Some _ -> ()
+      | None -> fail "%s: vreg %s has no class" mf.Mfunc.mname (Reg.name r)
+    end
+    else fail "%s: invalid register id %d in %s" mf.Mfunc.mname r what
+  in
+  let check_label what l =
+    if not (Hashtbl.mem labels l) then
+      fail "%s: %s targets missing label L%d" mf.Mfunc.mname what l
+  in
+  List.iter
+    (fun (b : Mfunc.mblock) ->
+      List.iter
+        (fun i ->
+          let what = Mprinter.to_string i in
+          List.iter (check_reg what) (inputs i);
+          List.iter (check_reg what) (outputs i);
+          match i with
+          | Mjmp l | Mjcc (_, l) -> check_label what l
+          | Mcalli _ -> fail "%s: resolved call before layout" mf.Mfunc.mname
+          | _ -> ())
+        b.Mfunc.code)
+    mf.Mfunc.blocks;
+  (* the last block must not fall off the end of the function *)
+  (match List.rev mf.Mfunc.blocks with
+  | last :: _ -> (
+    match List.rev last.Mfunc.code with
+    | i :: _ ->
+      if not (is_terminator i) then
+        fail "%s: final block L%d falls off the function (%s)" mf.Mfunc.mname last.Mfunc.mlbl
+          (Mprinter.to_string i)
+    | [] -> fail "%s: final block L%d is empty" mf.Mfunc.mname last.Mfunc.mlbl)
+  | [] -> fail "%s: no blocks" mf.Mfunc.mname);
+  (* frame sanity *)
+  if mf.Mfunc.frame_bytes < 0 then fail "%s: negative frame size" mf.Mfunc.mname;
+  List.iter
+    (fun r ->
+      if not (Reg.is_callee_saved r) then
+        fail "%s: %s recorded as used callee-saved" mf.Mfunc.mname (Reg.name r))
+    mf.Mfunc.used_callee_saved
+
+let check_funcs ?allow_virtual funcs = List.iter (check_func ?allow_virtual) funcs

@@ -1,0 +1,76 @@
+(* Register model of the simulated SX64 target.
+
+   SX64 is an x64-flavoured load/store ISA: 16 general-purpose 64-bit
+   registers, 16 floating-point 64-bit registers and a FLAGS register
+   written by integer ALU and compare instructions.  Physical registers are
+   small ints so the execution engine indexes one flat int64 array; virtual
+   registers (used between instruction selection and register allocation)
+   live at [vreg_base] and above.
+
+   Calling convention (SysV-like):
+     r0 / f0        integer / float return value
+     r1..r5, f1..f6 arguments, in order, per class
+     r0..r8, f0..f8, f14, f15   caller-saved
+     r9..r13, f9..f13           callee-saved
+     r14 = rbp (frame pointer), r15 = rsp (stack pointer)
+     r6, r7, r8, f7, f8 reserved as spill/reload scratch (never allocated;
+     a store with indexed addressing has three integer register inputs,
+     hence three integer scratches)
+
+   The caller/callee split is what lets IR-level FI instrumentation degrade
+   code quality exactly as in the paper's Listing 2: live ranges crossing
+   the inserted calls cannot use the 9+ caller-saved registers. *)
+
+type t = int
+
+type rclass = GPR | FPR
+
+let num_gpr = 16
+let num_fpr = 16
+let gpr i = if i < 0 || i >= num_gpr then invalid_arg "Reg.gpr" else i
+let fpr i = if i < 0 || i >= num_fpr then invalid_arg "Reg.fpr" else num_gpr + i
+let flags = num_gpr + num_fpr (* 32 *)
+let num_regs = flags + 1
+
+let rsp = gpr 15
+let rbp = gpr 14
+let ret_gpr = gpr 0
+let ret_fpr = fpr 0
+let arg_gprs = [ gpr 1; gpr 2; gpr 3; gpr 4; gpr 5 ]
+let arg_fprs = [ fpr 1; fpr 2; fpr 3; fpr 4; fpr 5; fpr 6 ]
+let scratch_gpr0 = gpr 7
+let scratch_gpr1 = gpr 8
+let scratch_gpr2 = gpr 6
+let scratch_fpr0 = fpr 7
+let scratch_fpr1 = fpr 8
+
+let caller_saved_gprs = [ gpr 0; gpr 1; gpr 2; gpr 3; gpr 4; gpr 5 ]
+let callee_saved_gprs = [ gpr 9; gpr 10; gpr 11; gpr 12; gpr 13 ]
+let caller_saved_fprs = [ fpr 0; fpr 1; fpr 2; fpr 3; fpr 4; fpr 5; fpr 6; fpr 14; fpr 15 ]
+let callee_saved_fprs = [ fpr 9; fpr 10; fpr 11; fpr 12; fpr 13 ]
+
+let is_callee_saved r = List.mem r callee_saved_gprs || List.mem r callee_saved_fprs
+
+(* Virtual registers *)
+let vreg_base = 64
+let is_virtual r = r >= vreg_base
+let is_physical r = r >= 0 && r < num_regs
+
+let class_of_phys r =
+  if r < num_gpr then GPR
+  else if r < num_gpr + num_fpr then FPR
+  else GPR (* FLAGS is bit-flipped like a GPR *)
+
+(* Architectural width in bits, for the fault model: GPR/FPR are 64-bit;
+   FLAGS has 4 architecturally meaningful bits (ZF, LT, UNORD, CF). *)
+let flags_bits = 4
+let width_bits r = if r = flags then flags_bits else 64
+
+let name r =
+  if r = flags then "flags"
+  else if r = rsp then "rsp"
+  else if r = rbp then "rbp"
+  else if r < num_gpr then Printf.sprintf "r%d" r
+  else if r < num_gpr + num_fpr then Printf.sprintf "f%d" (r - num_gpr)
+  else if is_virtual r then Printf.sprintf "v%d" (r - vreg_base)
+  else Printf.sprintf "?%d" r

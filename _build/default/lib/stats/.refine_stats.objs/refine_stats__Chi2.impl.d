@@ -1,0 +1,1 @@
+lib/stats/chi2.ml: Array List Special

@@ -1,0 +1,67 @@
+(* Chi-squared distribution and Pearson's test of homogeneity on
+   contingency tables — the inference method of the paper's §5.4.2 /
+   Table 5: outcome frequencies of tool A vs tool B, H0 = the tool has no
+   effect on the frequencies, significance level alpha = 0.05. *)
+
+(* CDF of the chi-squared distribution with [df] degrees of freedom *)
+let cdf ~df x =
+  if df <= 0 then invalid_arg "Chi2.cdf: df <= 0";
+  if x <= 0.0 then 0.0 else Special.gamma_p (float_of_int df /. 2.0) (x /. 2.0)
+
+(* upper tail probability (the p-value of a test statistic) *)
+let survival ~df x =
+  if df <= 0 then invalid_arg "Chi2.survival: df <= 0";
+  if x <= 0.0 then 1.0 else Special.gamma_q (float_of_int df /. 2.0) (x /. 2.0)
+
+type test_result = {
+  statistic : float;
+  df : int;
+  p_value : float;
+  significant : bool; (* p < alpha: reject H0, the tools differ *)
+}
+
+(* Pearson chi-squared test on an r x c table of observed counts.
+   Columns whose total is zero carry no information (e.g. a program with
+   zero SOC outcomes under every tool) and are dropped, with the degrees of
+   freedom reduced accordingly — the standard treatment. *)
+let test ?(alpha = 0.05) (table : int array array) : test_result =
+  let r = Array.length table in
+  if r < 2 then invalid_arg "Chi2.test: need at least two rows";
+  let c = Array.length table.(0) in
+  Array.iter (fun row -> if Array.length row <> c then invalid_arg "Chi2.test: ragged table") table;
+  let col_tot = Array.make c 0 in
+  let row_tot = Array.make r 0 in
+  let grand = ref 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          if v < 0 then invalid_arg "Chi2.test: negative count";
+          col_tot.(j) <- col_tot.(j) + v;
+          row_tot.(i) <- row_tot.(i) + v;
+          grand := !grand + v)
+        row)
+    table;
+  if !grand = 0 then invalid_arg "Chi2.test: empty table";
+  let live_cols = Array.to_list (Array.init c (fun j -> j)) |> List.filter (fun j -> col_tot.(j) > 0) in
+  let c_eff = List.length live_cols in
+  if c_eff < 2 then
+    (* all mass in one column: the distributions are trivially identical *)
+    { statistic = 0.0; df = 1; p_value = 1.0; significant = false }
+  else begin
+    let stat = ref 0.0 in
+    Array.iteri
+      (fun i _ ->
+        List.iter
+          (fun j ->
+            let expected = float_of_int row_tot.(i) *. float_of_int col_tot.(j) /. float_of_int !grand in
+            if expected > 0.0 then begin
+              let d = float_of_int table.(i).(j) -. expected in
+              stat := !stat +. (d *. d /. expected)
+            end)
+          live_cols)
+      table;
+    let df = (r - 1) * (c_eff - 1) in
+    let p = survival ~df !stat in
+    { statistic = !stat; df; p_value = p; significant = p < alpha }
+  end

@@ -1,0 +1,23 @@
+(** Chi-squared distribution and Pearson's test of homogeneity — the
+    statistical inference of the paper's §5.4.2 / Table 5. *)
+
+val cdf : df:int -> float -> float
+(** CDF of the chi-squared distribution with [df] degrees of freedom. *)
+
+val survival : df:int -> float -> float
+(** Upper-tail probability: the p-value of a test statistic. *)
+
+type test_result = {
+  statistic : float;
+  df : int;
+  p_value : float;
+  significant : bool;  (** p < alpha: reject H0, the tools differ *)
+}
+
+val test : ?alpha:float -> int array array -> test_result
+(** Pearson chi-squared test on an r x c contingency table of observed
+    counts (rows = tools, columns = outcome categories).  H0: the row
+    distributions are homogeneous.  Columns with zero total carry no
+    information and are dropped with the degrees of freedom reduced (e.g. a
+    program with zero SOC outcomes under every tool, like the paper's CG).
+    Default [alpha] is 0.05, the paper's significance level. *)

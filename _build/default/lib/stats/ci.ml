@@ -1,0 +1,31 @@
+(* Confidence intervals for outcome proportions (the error bars of the
+   paper's Figure 4). *)
+
+type interval = { p : float; low : float; high : float }
+
+let clamp01 v = Float.max 0.0 (Float.min 1.0 v)
+
+(* Normal-approximation (Wald) interval *)
+let wald ~count ~total ?(confidence = 0.95) () =
+  if total <= 0 then invalid_arg "Ci.wald: total <= 0";
+  let z = Samplesize.z_of_confidence confidence in
+  let p = float_of_int count /. float_of_int total in
+  let half = z *. sqrt (p *. (1.0 -. p) /. float_of_int total) in
+  { p; low = clamp01 (p -. half); high = clamp01 (p +. half) }
+
+(* Wilson score interval: better behaved at extreme proportions (e.g. the
+   0-SOC rows of CG) *)
+let wilson ~count ~total ?(confidence = 0.95) () =
+  if total <= 0 then invalid_arg "Ci.wilson: total <= 0";
+  let z = Samplesize.z_of_confidence confidence in
+  let n = float_of_int total in
+  let p = float_of_int count /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom in
+  { p; low = clamp01 (center -. half); high = clamp01 (center +. half) }
+
+(* Do two sampled proportions overlap within their intervals?  The "rule of
+   thumb" visual check of §5.4.1. *)
+let overlaps a b = not (a.high < b.low || b.high < a.low)

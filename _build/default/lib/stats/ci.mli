@@ -1,0 +1,15 @@
+(** Confidence intervals for outcome proportions — the error bars of the
+    paper's Figure 4 and the "rule of thumb" similarity check of §5.4.1. *)
+
+type interval = { p : float; low : float; high : float }
+
+val wald : count:int -> total:int -> ?confidence:float -> unit -> interval
+(** Normal-approximation interval [p ± z sqrt(p(1-p)/n)], clamped to
+    [0, 1].  Default confidence 0.95. *)
+
+val wilson : count:int -> total:int -> ?confidence:float -> unit -> interval
+(** Wilson score interval; better behaved at extreme proportions (the
+    zero-SOC rows of CG). *)
+
+val overlaps : interval -> interval -> bool
+(** Do two sampled proportions overlap within their intervals? *)

@@ -1,0 +1,20 @@
+(** Statistical fault-injection sample sizing after Leveugle et al.
+    (DATE'09) — the method the paper cites for its 1,068 experiments per
+    (program, tool) cell. *)
+
+val z_of_confidence : float -> float
+(** Normal quantile for confidence level 0.90, 0.95 or 0.99. *)
+
+val finite : population:int -> margin:float -> confidence:float -> ?p:float -> unit -> int
+(** Sample count for a finite fault-space population:
+    [n = N / (1 + e^2 (N-1) / (t^2 p (1-p)))]. *)
+
+val infinite : margin:float -> confidence:float -> ?p:float -> unit -> int
+(** Infinite-population limit [t^2 p (1-p) / e^2]; at e = 3%, 95% and
+    p = 0.5 this is the paper's 1,068. *)
+
+val paper_sample_count : int
+(** [infinite ~margin:0.03 ~confidence:0.95 ()] = 1068. *)
+
+val margin_of : samples:int -> confidence:float -> ?p:float -> unit -> float
+(** Achieved margin of error for a given sample count. *)

@@ -1,0 +1,15 @@
+(** Special functions backing the statistics: log-gamma (Lanczos) and the
+    regularized incomplete gamma functions (series + continued fraction),
+    which give the chi-squared CDF. *)
+
+val lgamma : float -> float
+(** [log (Gamma x)] for [x > 0] (reflection formula below 0.5). *)
+
+val gamma_p : float -> float -> float
+(** Regularized lower incomplete gamma [P(a, x)], for [a > 0], [x >= 0]. *)
+
+val gamma_q : float -> float -> float
+(** Regularized upper incomplete gamma [Q(a, x) = 1 - P(a, x)]. *)
+
+val erf : float -> float
+(** Error function, via [P(1/2, x^2)]. *)

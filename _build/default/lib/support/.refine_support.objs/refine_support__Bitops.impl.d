@@ -1,0 +1,1 @@
+lib/support/bitops.ml: Int64 Printf

@@ -1,0 +1,1 @@
+lib/support/parallel.ml: Array Atomic Domain

@@ -1,0 +1,25 @@
+let check_index i =
+  if i < 0 || i > 63 then invalid_arg (Printf.sprintf "Bitops: bit index %d out of [0,63]" i)
+
+let flip_bit v i =
+  check_index i;
+  Int64.logxor v (Int64.shift_left 1L i)
+
+let test_bit v i =
+  check_index i;
+  Int64.logand (Int64.shift_right_logical v i) 1L = 1L
+
+let set_bit v i =
+  check_index i;
+  Int64.logor v (Int64.shift_left 1L i)
+
+let clear_bit v i =
+  check_index i;
+  Int64.logand v (Int64.lognot (Int64.shift_left 1L i))
+
+let popcount v =
+  let rec loop v acc = if v = 0L then acc else loop (Int64.logand v (Int64.sub v 1L)) (acc + 1) in
+  loop v 0
+
+let float_bits = Int64.bits_of_float
+let bits_float = Int64.float_of_bits

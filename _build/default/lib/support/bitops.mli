@@ -1,0 +1,23 @@
+(** Bit-level manipulation of 64-bit values.
+
+    The machine simulator stores every architectural register (integer,
+    floating point and FLAGS) as raw [int64] bits, so that the single-bit-flip
+    fault model of the paper is a uniform XOR regardless of register class. *)
+
+val flip_bit : int64 -> int -> int64
+(** [flip_bit v i] inverts bit [i] (0 = least significant).  Raises
+    [Invalid_argument] unless [0 <= i < 64]. *)
+
+val test_bit : int64 -> int -> bool
+
+val set_bit : int64 -> int -> int64
+
+val clear_bit : int64 -> int -> int64
+
+val popcount : int64 -> int
+(** Number of set bits. *)
+
+val float_bits : float -> int64
+(** IEEE-754 bit image (same as [Int64.bits_of_float]). *)
+
+val bits_float : int64 -> float

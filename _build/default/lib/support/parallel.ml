@@ -1,0 +1,47 @@
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+exception Worker_failure of exn
+
+(* Dynamic load balancing: workers repeatedly claim the next unprocessed
+   index from a shared atomic counter.  Each claimed index is processed and
+   written into the (pre-allocated) result slot, so order is preserved
+   without any sorting. *)
+let run_indexed ~domains n (f : int -> unit) =
+  if n = 0 then ()
+  else begin
+    let domains = max 1 (min domains n) in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (try f i
+           with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    if domains = 1 then worker ()
+    else begin
+      let handles = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join handles
+    end;
+    match Atomic.get failure with None -> () | Some e -> raise (Worker_failure e)
+  end
+
+let init ?domains n f =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  if n = 0 then [||]
+  else begin
+    (* Pre-fill with the first element so the array is fully initialized
+       before workers race on the remaining slots. *)
+    let first = f 0 in
+    let out = Array.make n first in
+    run_indexed ~domains (n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    out
+  end
+
+let map_array ?domains f arr = init ?domains (Array.length arr) (fun i -> f arr.(i))

@@ -1,0 +1,21 @@
+(** Multicore work distribution for fault-injection campaigns.
+
+    The paper runs 44,856 single-threaded experiments on a cluster, fully
+    subscribing each node (artifact §A.4).  Here the unit of work is one
+    simulated execution; campaigns distribute experiments over OCaml 5
+    domains with dynamic (atomic-counter) load balancing, since experiment
+    durations vary wildly — a crash terminates a run early. *)
+
+val default_domains : unit -> int
+(** Number of worker domains to use by default: the recommended domain count
+    of the runtime, at least 1. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array f arr] applies [f] to every element, distributing elements
+    over [domains] workers (default {!default_domains}).  Result order is
+    preserved.  [f] must be safe to run concurrently (campaign experiments
+    carry their own split PRNG, see {!Prng.split}).  Exceptions raised by [f]
+    are re-raised in the caller. *)
+
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init]. *)

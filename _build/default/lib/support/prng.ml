@@ -1,0 +1,69 @@
+(* xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.  All state is
+   local to [t]; no global mutable state. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (next_int64 t) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+(* Rejection sampling over the top of the 63-bit non-negative range keeps the
+   result exactly uniform for any bound: draws above the largest multiple of
+   [bound] that fits in 2^63 are discarded. *)
+let int64 t bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Prng.int64: bound <= 0";
+  let mask = Int64.max_int in
+  (* 2^63 mod bound, computed without overflowing: (mask mod bound + 1) mod bound *)
+  let excess = Int64.rem (Int64.add (Int64.rem mask bound) 1L) bound in
+  let max_ok = Int64.sub mask excess in
+  let rec loop () =
+    let r = Int64.logand (next_int64 t) mask in
+    if Int64.compare r max_ok > 0 then loop () else Int64.rem r bound
+  in
+  loop ()
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  Int64.to_int (int64 t (Int64.of_int bound))
+
+let float t =
+  let bits53 = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits53 *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L

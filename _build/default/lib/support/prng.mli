@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    The fault-injection experiments of the paper rely on uniform random
+    selection of a dynamic instruction, an output operand and a bit
+    (paper §3.1).  Reproducibility of a campaign requires a seedable,
+    splittable generator that does not depend on global state, so this module
+    implements xoshiro256** seeded through SplitMix64 rather than using
+    [Stdlib.Random]. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator deterministically from [seed] by
+    expanding it with SplitMix64. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream.  Used to give
+    each experiment of a campaign its own generator so that parallel
+    execution order does not change results. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive.
+    Uses rejection sampling, so the distribution is exactly uniform. *)
+
+val int64 : t -> int64 -> int64
+(** Same as {!int} for 64-bit bounds. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] with 53 bits of precision. *)
+
+val bool : t -> bool

@@ -1,0 +1,36 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let trim_right s =
+  let n = ref (String.length s) in
+  while !n > 0 && s.[!n - 1] = ' ' do decr n done;
+  String.sub s 0 !n
+
+let render ?(align = []) ~header rows =
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) (List.length header) rows in
+  let fill r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map fill (header :: rows) in
+  let widths = Array.make ncols 0 in
+  List.iter (List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c))) all;
+  let aligns =
+    Array.init ncols (fun i -> match List.nth_opt align i with Some a -> a | None -> Left)
+  in
+  let line r =
+    r
+    |> List.mapi (fun i c -> pad aligns.(i) widths.(i) c)
+    |> String.concat "  "
+    |> trim_right
+  in
+  let rule = String.concat "--" (Array.to_list (Array.map (fun w -> String.make w '-') widths)) in
+  match all with
+  | [] -> ""
+  | h :: rest -> String.concat "\n" (line h :: rule :: List.map line rest)
+
+let print ?align ~header rows = print_endline (render ?align ~header rows)

@@ -1,0 +1,15 @@
+(** Plain-text aligned tables for the benchmark harness output.
+
+    The harness regenerates the paper's tables and figure series as text;
+    this module handles column alignment so every reproduction prints through
+    the same code path. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays out [header] and [rows] as an aligned table
+    with a separator rule under the header.  [align] gives per-column
+    alignment (default all [Left]; shorter lists are padded with [Left]).
+    Rows shorter than the header are padded with empty cells. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit

@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Int64 List Printf Refine_backend Refine_bench_progs Refine_ir Refine_machine Refine_minic String

@@ -1,0 +1,1 @@
+test/test_campaign.ml: Alcotest List Refine_campaign Refine_core String

@@ -1,0 +1,1 @@
+test/test_fi.ml: Alcotest Hashtbl Int64 List Printf Refine_backend Refine_core Refine_ir Refine_machine Refine_minic Refine_mir Refine_support

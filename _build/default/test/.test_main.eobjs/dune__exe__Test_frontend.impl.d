@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest List Refine_ir Refine_minic String

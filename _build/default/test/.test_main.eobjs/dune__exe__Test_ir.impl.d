@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Float Int64 List Refine_ir String

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Float Int64 List Refine_backend Refine_ir Refine_machine Refine_mir

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest List Printf Refine_ir Refine_minic Refine_mir String

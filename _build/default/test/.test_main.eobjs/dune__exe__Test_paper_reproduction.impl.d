@@ -1,0 +1,1 @@
+test/test_paper_reproduction.ml: Alcotest List Printf Refine_campaign Refine_stats

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest List Refine_bench_progs Refine_ir Refine_minic

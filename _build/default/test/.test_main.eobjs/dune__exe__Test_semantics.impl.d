@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Buffer Format List Printf Refine_backend Refine_core Refine_ir Refine_machine Refine_minic Refine_support String

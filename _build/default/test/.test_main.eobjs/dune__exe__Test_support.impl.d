@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Int64 List Printf QCheck QCheck_alcotest Refine_support String

@@ -1,0 +1,105 @@
+(* Benchmark-program tests: all 14 programs of Table 3 compile at O0/O2,
+   interpreter and machine agree, the runs are deterministic and their
+   golden outputs are pinned against regressions. *)
+
+module Reg = Refine_bench_progs.Registry
+module F = Refine_minic.Frontend
+module In = Refine_ir.Interp
+module E = Refine_machine.Exec
+
+let machine_run source =
+  let m = F.compile source in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+  let image = Refine_backend.Compile.compile m in
+  let eng = E.create image in
+  E.run ~max_steps:100_000_000L eng
+
+let test_registry () =
+  Alcotest.(check int) "14 programs" 14 (List.length Reg.all);
+  List.iter
+    (fun name -> Alcotest.(check string) "find works" name (Reg.find name).Reg.name)
+    Reg.names;
+  Alcotest.(check bool) "unknown rejected" true
+    (try ignore (Reg.find "nope"); false with Invalid_argument _ -> true)
+
+let test_paper_names () =
+  (* all 14 of the paper's Table 3 programs are present *)
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " present") true (List.mem n Reg.names))
+    [
+      "AMG2013"; "CoMD"; "HPCCG-1.0"; "lulesh"; "XSBench"; "miniFE"; "BT"; "CG"; "DC"; "EP";
+      "FT"; "LU"; "SP"; "UA";
+    ]
+
+let agreement (b : Reg.bench) () =
+  let m0 = F.compile b.Reg.source in
+  let i0 = In.run ~fuel:100_000_000 m0 in
+  Alcotest.(check int) "exit 0 at O0" 0 i0.In.exit_code;
+  Alcotest.(check bool) "produces output" true (String.length i0.In.output > 0);
+  let m2 = F.compile b.Reg.source in
+  Refine_ir.Pipeline.optimize ~verify:true Refine_ir.Pipeline.O2 m2;
+  let i2 = In.run ~fuel:100_000_000 m2 in
+  Alcotest.(check string) "O0 = O2 output" i0.In.output i2.In.output;
+  let r = machine_run b.Reg.source in
+  (match r.E.status with
+  | E.Exited 0 -> ()
+  | E.Exited c -> Alcotest.fail (Printf.sprintf "machine exit %d" c)
+  | E.Trapped tr -> Alcotest.fail (E.string_of_trap tr)
+  | _ -> Alcotest.fail "machine did not finish");
+  Alcotest.(check string) "interp = machine output" i0.In.output r.E.output;
+  (* determinism *)
+  let r2 = machine_run b.Reg.source in
+  Alcotest.(check string) "deterministic" r.E.output r2.E.output
+
+(* Golden output prefixes, pinned so numerical regressions are caught.
+   (First line of each program's output.) *)
+let golden_first_lines =
+  [
+    ("AMG2013", "6.74428");
+    ("CoMD", "-42.3895");
+    ("HPCCG-1.0", "11.5915");
+    ("lulesh", "0.615584");
+    ("XSBench", "1981.0829658340804");
+    ("miniFE", "1.8640515052385485");
+    ("BT", "76.664644186297394");
+    ("CG", "2017");
+    ("DC", "53635.599999999991");
+    ("EP", "1165");
+    ("FT", "16.4656");
+    ("LU", "0.70764275786080777");
+    ("SP", "11.904456863088315");
+    ("UA", "72");
+  ]
+
+let test_golden_first_lines () =
+  List.iter
+    (fun (name, expected) ->
+      let b = Reg.find name in
+      let r = machine_run b.Reg.source in
+      let first = List.hd (String.split_on_char '\n' r.E.output) in
+      Alcotest.(check string) (name ^ " first output line") expected first)
+    golden_first_lines
+
+let test_dynamic_sizes_reasonable () =
+  (* programs must be big enough for meaningful FI populations and small
+     enough for 1068-sample campaigns *)
+  List.iter
+    (fun (b : Reg.bench) ->
+      let r = machine_run b.Reg.source in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s steps %Ld in range" b.Reg.name r.E.steps)
+        true
+        (Int64.compare r.E.steps 20_000L > 0 && Int64.compare r.E.steps 2_000_000L < 0))
+    Reg.all
+
+let tests =
+  [
+    Alcotest.test_case "registry" `Quick test_registry;
+    Alcotest.test_case "paper program names" `Quick test_paper_names;
+    Alcotest.test_case "golden first lines" `Slow test_golden_first_lines;
+    Alcotest.test_case "dynamic sizes" `Slow test_dynamic_sizes_reasonable;
+  ]
+  @ List.map
+      (fun (b : Reg.bench) ->
+        Alcotest.test_case ("agreement: " ^ b.Reg.name) `Slow (agreement b))
+      Reg.all

@@ -1,0 +1,103 @@
+(* Campaign-level tests: determinism, aggregation invariants and report
+   rendering. *)
+
+module E = Refine_campaign.Experiment
+module Rep = Refine_campaign.Report
+module T = Refine_core.Tool
+
+let src =
+  {|
+int main() {
+  int i; float s = 0.0;
+  for (i = 0; i < 40; i = i + 1) { s = s + tofloat(i * i) * 0.125; }
+  print_float(s);
+  return 0;
+}
+|}
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let run_cell tool = E.run_cell ~samples:40 ~seed:5 tool ~program:"tiny" ~source:src ()
+
+let test_counts_sum () =
+  let c = run_cell T.Refine in
+  Alcotest.(check int) "outcomes sum to samples" c.E.samples (E.total c.E.counts)
+
+let test_determinism () =
+  let a = run_cell T.Pinfi and b = run_cell T.Pinfi in
+  Alcotest.(check bool) "same seed same counts" true (a.E.counts = b.E.counts);
+  Alcotest.(check int64) "same cost" a.E.injection_cost b.E.injection_cost
+
+let test_seed_changes_results () =
+  let a = E.run_cell ~samples:60 ~seed:1 T.Pinfi ~program:"tiny" ~source:src () in
+  let b = E.run_cell ~samples:60 ~seed:2 T.Pinfi ~program:"tiny" ~source:src () in
+  (* not a hard guarantee, but with 60 samples identical tallies for
+     different seeds would be suspicious across all three categories AND
+     identical total cost *)
+  Alcotest.(check bool) "different seeds differ somewhere" true
+    (a.E.counts <> b.E.counts || a.E.injection_cost <> b.E.injection_cost)
+
+let test_matrix_and_reports () =
+  let cells = E.run_matrix ~samples:25 ~seed:9 [ ("tiny", src) ] Rep.tools in
+  Alcotest.(check int) "3 cells" 3 (List.length cells);
+  let fig4 = Rep.figure4_program cells "tiny" in
+  Alcotest.(check bool) "figure4 mentions tools" true
+    (contains fig4 "LLFI" && contains fig4 "REFINE" && contains fig4 "PINFI");
+  let rows = Rep.chi2_rows cells [ "tiny" ] in
+  Alcotest.(check int) "one chi2 row" 1 (List.length rows);
+  let t5 = Rep.table5 rows in
+  Alcotest.(check bool) "table5 rendered" true (contains t5 "tiny");
+  let a = E.find_cell cells ~program:"tiny" ~tool:T.Llfi in
+  let b = E.find_cell cells ~program:"tiny" ~tool:T.Pinfi in
+  let t4 = Rep.contingency_table a b in
+  Alcotest.(check bool) "table4 has totals" true (contains t4 "Total")
+
+let test_paper_data_complete () =
+  let module PD = Refine_campaign.Paper_data in
+  Alcotest.(check int) "table6 has 14 programs" 14 (List.length PD.table6);
+  Alcotest.(check int) "figure5 has 14 programs" 14 (List.length PD.figure5);
+  (* paper rows each sum to 1068 experiments *)
+  List.iter
+    (fun (name, (l, r, p)) ->
+      List.iter
+        (fun (row : PD.row) ->
+          Alcotest.(check int)
+            (name ^ " row sums to 1068")
+            1068
+            (row.PD.crash + row.PD.soc + row.PD.benign))
+        [ l; r; p ])
+    PD.table6
+
+let test_pmf_bars () =
+  let cells = E.run_matrix ~samples:20 ~seed:4 [ ("tiny", src) ] Rep.tools in
+  let pmf = Rep.figure4_pmf cells "tiny" in
+  let lines = String.split_on_char '\n' pmf |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + three bars" 4 (List.length lines);
+  (* each bar is exactly 50 cells wide between the brackets *)
+  List.iteri
+    (fun i l ->
+      if i > 0 then begin
+        let open_b = String.index l '[' in
+        let close_b = String.index l ']' in
+        Alcotest.(check int) "bar width" 50 (close_b - open_b - 1)
+      end)
+    lines
+
+let test_parallel_matches_sequential () =
+  let a = E.run_cell ~domains:1 ~samples:30 ~seed:3 T.Refine ~program:"tiny" ~source:src () in
+  let b = E.run_cell ~domains:4 ~samples:30 ~seed:3 T.Refine ~program:"tiny" ~source:src () in
+  Alcotest.(check bool) "domain count does not change results" true (a.E.counts = b.E.counts)
+
+let tests =
+  [
+    Alcotest.test_case "counts sum" `Quick test_counts_sum;
+    Alcotest.test_case "deterministic" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_results;
+    Alcotest.test_case "matrix + reports" `Quick test_matrix_and_reports;
+    Alcotest.test_case "paper data complete" `Quick test_paper_data_complete;
+    Alcotest.test_case "PMF stacked bars" `Quick test_pmf_bars;
+    Alcotest.test_case "parallel = sequential" `Quick test_parallel_matches_sequential;
+  ]

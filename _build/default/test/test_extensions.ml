@@ -1,0 +1,238 @@
+(* Tests for the extension features: error-propagation analysis, opcode
+   corruption (paper §4.5 future work), and the multi-bit fault model. *)
+
+module T = Refine_core.Tool
+module F = Refine_core.Fault
+module Prop = Refine_core.Propagation
+module Op = Refine_core.Opcode_fi
+module I = Refine_ir.Ir
+module M = Refine_mir.Minstr
+module R = Refine_mir.Reg
+module P = Refine_support.Prng
+
+(* ---- propagation ---- *)
+
+let prop_src =
+  {|
+global float sink[8];
+int main() {
+  int i;
+  float dead = 123.0;         // reaches nothing
+  float live = 1.0;
+  int idx = 0;
+  for (i = 0; i < 8; i = i + 1) {
+    idx = (i * 3) % 8;        // feeds an address
+    live = live + tofloat(i); // feeds output via sink
+    sink[idx] = live;
+  }
+  print_float(sink[5]);
+  dead = dead * 2.0;
+  return 0;
+}
+|}
+
+(* mem2reg only: O1's clean-up would DCE the benign-prone values the test
+   needs to observe *)
+let ssa_module src =
+  let m = Refine_minic.Frontend.compile src in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  m
+
+let test_propagation_classes () =
+  let m = ssa_module prop_src in
+  let main = I.find_func m "main" in
+  (* find specific defining instructions by shape *)
+  let find p =
+    List.concat_map (fun (b : I.block) -> b.I.body) main.I.blocks
+    |> List.find_map (fun i -> if p i then I.instr_def i else None)
+  in
+  (* the (i*3)%8 remainder feeds the store address *)
+  let idx_def = find (function I.Ibinop (_, I.Rem, _, I.ICst 8L) -> true | _ -> false) in
+  (match idx_def with
+  | Some v ->
+    let inf = Prop.analyze main v in
+    Alcotest.(check bool) "index reaches an address" true inf.Prop.reaches_address;
+    Alcotest.(check bool) "index is crash-prone" true (Prop.predict inf = Prop.Predict_crash)
+  | None -> Alcotest.fail "no index instruction found");
+  (* the dead multiply reaches nothing *)
+  let dead_def = find (function I.Fbinop (_, I.Fmul, _, I.FCst 2.0) -> true | _ -> false) in
+  match dead_def with
+  | Some v ->
+    let inf = Prop.analyze main v in
+    Alcotest.(check bool) "dead value is benign-prone" true
+      (Prop.predict inf = Prop.Predict_benign)
+  | None -> Alcotest.fail "no dead instruction found"
+
+let test_propagation_fanout () =
+  let m = ssa_module prop_src in
+  let main = I.find_func m "main" in
+  (* a loop-carried accumulator has a larger slice than a terminal value *)
+  let sums =
+    List.concat_map (fun (b : I.block) -> b.I.body) main.I.blocks
+    |> List.filter_map (fun i ->
+           match I.instr_def i with Some d -> Some (Prop.analyze main d) | None -> None)
+  in
+  Alcotest.(check bool) "some values have nonzero fanout" true
+    (List.exists (fun inf -> inf.Prop.fanout > 0) sums)
+
+let test_propagation_summary () =
+  let m = ssa_module prop_src in
+  let main = I.find_func m "main" in
+  let c, s, b = Prop.summarize main in
+  Alcotest.(check bool) "all classes populated" true (c > 0 && s > 0 && b > 0)
+
+(* ---- opcode corruption ---- *)
+
+let test_opcode_alternatives_valid () =
+  let add = M.Mbin (I.Add, R.gpr 1, R.gpr 2, M.Imm 3L) in
+  let alts = Op.alternatives add in
+  Alcotest.(check bool) "several alternatives" true (List.length alts >= 5);
+  Alcotest.(check bool) "original excluded" true (not (List.mem add alts));
+  (* alternatives keep the operand shape: same outputs *)
+  List.iter
+    (fun a -> Alcotest.(check bool) "same outputs" true (M.outputs a = M.outputs add))
+    alts;
+  (* a mov has no same-shape alternative: not a target *)
+  Alcotest.(check bool) "mov not a target" false (Op.is_target (M.Mmov (R.gpr 1, M.Imm 0L)));
+  Alcotest.(check bool) "load <-> lea" true (Op.is_target (M.Mload (R.gpr 1, R.gpr 2, 8)))
+
+let opcode_src =
+  {|
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 50; i = i + 1) { s = s + i * 3; }
+  print_int(s);
+  return 0;
+}
+|}
+
+let prepare_image src =
+  let m = Refine_minic.Frontend.compile src in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+  Refine_backend.Compile.compile m
+
+let test_opcode_profile_transparent () =
+  let image = prepare_image opcode_src in
+  let p = Op.profile image in
+  Alcotest.(check string) "golden output" "3675\n" p.F.golden_output;
+  Alcotest.(check bool) "targets exist" true (Int64.compare p.F.dyn_count 0L > 0)
+
+let test_opcode_injection () =
+  let image = prepare_image opcode_src in
+  let p = Op.profile image in
+  let non_benign = ref 0 in
+  let fired = ref 0 in
+  for seed = 1 to 30 do
+    let e = Op.run_injection image p (P.create seed) in
+    if e.F.fault <> None then incr fired;
+    if e.F.outcome <> F.Benign then incr non_benign
+  done;
+  Alcotest.(check bool) "most corruptions fire" true (!fired >= 28);
+  (* replacing an opcode in a 50-iteration loop is almost never harmless *)
+  Alcotest.(check bool) "opcode corruption usually visible" true (!non_benign > 20)
+
+let test_opcode_image_not_shared () =
+  (* corruption must not leak into later experiments on the same image *)
+  let image = prepare_image opcode_src in
+  let p = Op.profile image in
+  ignore (Op.run_injection image p (P.create 1));
+  let eng = Refine_machine.Exec.create image in
+  let r = Refine_machine.Exec.run eng in
+  Alcotest.(check string) "image intact after corruption run" p.F.golden_output
+    r.Refine_machine.Exec.output
+
+(* ---- multi-bit faults ---- *)
+
+let test_multibit_flips () =
+  let src = opcode_src in
+  let image = prepare_image src in
+  (* run one injection with flips=2 and check it behaves like a fault *)
+  let ctrl2 =
+    Refine_core.Pinfi.create ~flips:2 (Refine_core.Runtime.Profile)
+  in
+  Alcotest.(check int) "flips recorded" 2 ctrl2.Refine_core.Pinfi.flips;
+  Alcotest.(check bool) "flips validated" true
+    (try ignore (Refine_core.Pinfi.create ~flips:0 Refine_core.Runtime.Profile); false
+     with Invalid_argument _ -> true);
+  (* a double flip of the same register differs from a single flip for the
+     same seed: outcome streams must be reproducible per configuration *)
+  let outcome flips seed =
+    let ctrl =
+      Refine_core.Pinfi.create ~flips
+        (Refine_core.Runtime.Inject { target = 20L; rng = P.create seed })
+    in
+    let eng = Refine_machine.Exec.create image in
+    Refine_core.Pinfi.attach ctrl eng;
+    let r = Refine_machine.Exec.run ~max_cost:10_000_000L eng in
+    (r.Refine_machine.Exec.output, ctrl.Refine_core.Pinfi.record)
+  in
+  let o1a, r1a = outcome 1 5 in
+  let o1b, r1b = outcome 1 5 in
+  Alcotest.(check bool) "deterministic per config" true (o1a = o1b && r1a = r1b);
+  let _, r2 = outcome 2 5 in
+  Alcotest.(check bool) "double-bit fires too" true (r2 <> None)
+
+(* ---- trace ---- *)
+
+let test_trace_ring () =
+  let image = prepare_image opcode_src in
+  let eng = Refine_machine.Exec.create image in
+  let t = Refine_machine.Trace.create ~capacity:8 () in
+  Refine_machine.Trace.attach t eng;
+  let r = Refine_machine.Exec.run eng in
+  Alcotest.(check bool) "ran" true (r.Refine_machine.Exec.status = Refine_machine.Exec.Exited 0);
+  let es = Refine_machine.Trace.entries t in
+  Alcotest.(check int) "ring holds capacity" 8 (List.length es);
+  Alcotest.(check int64) "total counted" r.Refine_machine.Exec.steps t.Refine_machine.Trace.total;
+  (* the last executed instruction of a clean run is the final ret *)
+  let last = List.nth es 7 in
+  Alcotest.(check bool) "ends with ret" true
+    (last.Refine_machine.Trace.instr = Refine_mir.Minstr.Mret);
+  Alcotest.(check string) "owner" "main" last.Refine_machine.Trace.func
+
+let test_trace_composes_with_hook () =
+  let image = prepare_image opcode_src in
+  let eng = Refine_machine.Exec.create image in
+  let count = ref 0 in
+  eng.Refine_machine.Exec.post_hook <- Some (fun _ _ _ -> incr count);
+  let t = Refine_machine.Trace.create () in
+  Refine_machine.Trace.attach t eng;
+  let r = Refine_machine.Exec.run eng in
+  Alcotest.(check bool) "previous hook still called" true
+    (Int64.of_int !count = r.Refine_machine.Exec.steps)
+
+(* ---- CSV ---- *)
+
+let test_csv_roundtrip () =
+  let cells =
+    Refine_campaign.Experiment.run_matrix ~samples:10 ~seed:2
+      [ ("tiny", "int main() { print_int(7); return 0; }") ]
+      Refine_campaign.Report.tools
+  in
+  let s = Refine_campaign.Csv.to_string cells in
+  let back = Refine_campaign.Csv.of_string s in
+  Alcotest.(check int) "3 rows" 3 (List.length back);
+  List.iter2
+    (fun (a : Refine_campaign.Experiment.cell) (b : Refine_campaign.Experiment.cell) ->
+      Alcotest.(check bool) "counts preserved" true (a.counts = b.counts);
+      Alcotest.(check bool) "tool preserved" true (a.tool = b.tool);
+      Alcotest.(check int64) "cost preserved" a.injection_cost b.injection_cost)
+    cells back;
+  Alcotest.(check bool) "bad header rejected" true
+    (try ignore (Refine_campaign.Csv.of_string "nope\n1,2"); false
+     with Refine_campaign.Csv.Parse_error _ -> true)
+
+let tests =
+  [
+    Alcotest.test_case "propagation classes" `Quick test_propagation_classes;
+    Alcotest.test_case "propagation fanout" `Quick test_propagation_fanout;
+    Alcotest.test_case "propagation summary" `Quick test_propagation_summary;
+    Alcotest.test_case "opcode alternatives" `Quick test_opcode_alternatives_valid;
+    Alcotest.test_case "opcode profiling transparent" `Quick test_opcode_profile_transparent;
+    Alcotest.test_case "opcode injection" `Quick test_opcode_injection;
+    Alcotest.test_case "opcode image isolation" `Quick test_opcode_image_not_shared;
+    Alcotest.test_case "multi-bit model" `Quick test_multibit_flips;
+    Alcotest.test_case "trace ring buffer" `Quick test_trace_ring;
+    Alcotest.test_case "trace composes with hooks" `Quick test_trace_composes_with_hook;
+    Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+  ]

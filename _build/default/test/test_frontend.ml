@@ -1,0 +1,221 @@
+(* MinC front-end tests: lexer, parser, type checker and IR generation. *)
+
+module L = Refine_minic.Lexer
+module Pr = Refine_minic.Parser
+module Tc = Refine_minic.Typecheck
+module F = Refine_minic.Frontend
+module I = Refine_ir.Ir
+
+(* ---- lexer ---- *)
+
+let toks src = List.map (fun l -> l.L.tok) (L.tokenize src)
+
+let test_lexer_numbers () =
+  Alcotest.(check bool) "ints" true
+    (toks "42 0 0x1F" = [ L.INT 42L; L.INT 0L; L.INT 31L; L.EOF ]);
+  Alcotest.(check bool) "floats" true
+    (toks "1.5 2e3 0.25e-2" = [ L.FLOAT 1.5; L.FLOAT 2000.0; L.FLOAT 0.0025; L.EOF ])
+
+let test_lexer_idents_keywords () =
+  Alcotest.(check bool) "mix" true
+    (toks "int foo while_x" = [ L.KW "int"; L.IDENT "foo"; L.IDENT "while_x"; L.EOF ])
+
+let test_lexer_operators () =
+  Alcotest.(check bool) "multi-char" true
+    (toks "<= == && >> |" =
+       [ L.PUNCT "<="; L.PUNCT "=="; L.PUNCT "&&"; L.PUNCT ">>"; L.PUNCT "|"; L.EOF ])
+
+let test_lexer_comments () =
+  Alcotest.(check bool) "line+block" true
+    (toks "a // comment\n /* multi\n line */ b" = [ L.IDENT "a"; L.IDENT "b"; L.EOF ])
+
+let test_lexer_strings () =
+  Alcotest.(check bool) "escapes" true
+    (toks {|"a\nb\"c"|} = [ L.STRING "a\nb\"c"; L.EOF ])
+
+let test_lexer_line_numbers () =
+  let l = L.tokenize "a\nb\n\nc" in
+  let lines = List.filter_map (fun t -> match t.L.tok with L.IDENT _ -> Some t.L.line | _ -> None) l in
+  Alcotest.(check (list int)) "lines" [ 1; 2; 4 ] lines
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "bad char" true
+    (try ignore (L.tokenize "a $ b"); false with L.Error _ -> true);
+  Alcotest.(check bool) "unterminated string" true
+    (try ignore (L.tokenize "\"abc"); false with L.Error _ -> true);
+  Alcotest.(check bool) "unterminated comment" true
+    (try ignore (L.tokenize "/* abc"); false with L.Error _ -> true)
+
+(* ---- parser ---- *)
+
+let parse src = Pr.parse_program src
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  let p = parse "int main() { int x = 1 + 2 * 3; return x; }" in
+  let open Refine_minic.Ast in
+  match p.pfuncs with
+  | [ { fbody = [ { sdesc = Sdecl (_, _, Some e); _ }; _ ]; _ } ] -> (
+    match e.edesc with
+    | Ebin (Badd, { edesc = Eint 1L; _ }, { edesc = Ebin (Bmul, _, _); _ }) -> ()
+    | _ -> Alcotest.fail "wrong precedence tree")
+  | _ -> Alcotest.fail "unexpected program shape"
+
+let test_parser_logical_precedence () =
+  (* a || b && c parses as a || (b && c) *)
+  let p = parse "int main() { int x = 1 || 0 && 0; return x; }" in
+  let open Refine_minic.Ast in
+  match p.pfuncs with
+  | [ { fbody = [ { sdesc = Sdecl (_, _, Some { edesc = Ebin (Bor, _, _); _ }); _ }; _ ]; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "|| should be outermost"
+
+let test_parser_statements () =
+  let src =
+    {|
+global int g = 3;
+global float arr[8];
+void f(int a, float[] xs) {
+  int i;
+  for (i = 0; i < a; i = i + 1) {
+    if (i % 2 == 0) { xs[i] = 1.0; } else { continue; }
+  }
+  while (i > 0) { i = i - 1; break; }
+  return;
+}
+int main() { f(4, arr); return 0; }
+|}
+  in
+  let p = parse src in
+  Alcotest.(check int) "globals" 2 (List.length p.Refine_minic.Ast.pglobals);
+  Alcotest.(check int) "funcs" 2 (List.length p.Refine_minic.Ast.pfuncs)
+
+let test_parser_errors () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) ("rejects: " ^ src) true
+        (try ignore (parse src); false with Pr.Error _ -> true))
+    [
+      "int main() { return 0 }";
+      "int main( { return 0; }";
+      "int main() { int x = ; }";
+      "int main() { if 1 { } }";
+      "garbage";
+    ]
+
+(* ---- typecheck ---- *)
+
+let typecheck_ok src =
+  try Tc.check_program (parse src); true with Tc.Error _ -> false
+
+let test_typecheck_accepts () =
+  Alcotest.(check bool) "valid program" true
+    (typecheck_ok
+       {|
+global float t;
+float addmul(float a, float b) { return a * b + t; }
+int main() {
+  float[] h = alloc_float(4);
+  h[0] = addmul(2.0, 3.0);
+  print_float(h[0]);
+  return 0;
+}
+|})
+
+let test_typecheck_rejects () =
+  List.iter
+    (fun (what, src) ->
+      Alcotest.(check bool) ("rejects " ^ what) false (typecheck_ok src))
+    [
+      ("int+float mix", "int main() { int x = 1 + 1.0; return 0; }");
+      ("float condition", "int main() { if (1.0) { } return 0; }");
+      ("undeclared var", "int main() { return y; }");
+      ("redeclaration", "int main() { int x; int x; return 0; }");
+      ("wrong arity", "int f(int a) { return a; } int main() { return f(1, 2); }");
+      ("wrong arg type", "int f(int a) { return a; } int main() { return f(1.0); }");
+      ("void as value", "void f() { return; } int main() { int x = f(); return 0; }");
+      ("break outside loop", "int main() { break; return 0; }");
+      ("missing main", "int f() { return 0; }");
+      ("wrong main sig", "int main(int x) { return x; }");
+      ("index non-array", "int main() { int x; x[0] = 1; return 0; }");
+      ("float index", "int main() { int a[4]; a[1.0] = 1; return 0; }");
+      ("mod on float", "int main() { float x = 1.5; float y = x % 2.0; return 0; }");
+      ("shift on float", "int main() { float x = 1.5 << 2.0; return 0; }");
+      ("logical on float", "int main() { if (1.0 && 2.0) { } return 0; }");
+      ("string outside print_str", "int main() { print_int(\"x\"); return 0; }");
+      ("return type mismatch", "float f() { return 1; } int main() { return 0; }");
+      ("builtin shadowing", "int sqrt(int x) { return x; } int main() { return 0; }");
+    ]
+
+(* ---- irgen / full frontend ---- *)
+
+let test_frontend_verifies () =
+  let m =
+    F.compile
+      {|
+global int n = 4;
+int fact(int k) { if (k <= 1) { return 1; } return k * fact(k - 1); }
+int main() { print_int(fact(n)); return 0; }
+|}
+  in
+  Alcotest.(check int) "two functions" 2 (List.length m.I.funcs);
+  let r = Refine_ir.Interp.run m in
+  Alcotest.(check string) "24" "24\n" r.Refine_ir.Interp.output
+
+let test_frontend_string_globals () =
+  let m = F.compile {|int main() { print_str("hi"); print_str("hi"); print_str("yo"); return 0; }|} in
+  (* identical literals are deduplicated *)
+  let strs = List.filter (fun g -> String.length g.I.gname > 4 && String.sub g.I.gname 0 4 = "str.") m.I.globals in
+  Alcotest.(check int) "two string globals" 2 (List.length strs);
+  let r = Refine_ir.Interp.run m in
+  Alcotest.(check string) "output" "hihiyo" r.Refine_ir.Interp.output
+
+let test_frontend_short_circuit () =
+  (* the right operand must not evaluate when the left decides: division by
+     zero would trap *)
+  let m =
+    F.compile
+      {|
+int main() {
+  int zero = 0;
+  if (0 && 1 / zero) { print_int(1); } else { print_int(2); }
+  if (1 || 1 / zero) { print_int(3); }
+  return 0;
+}
+|}
+  in
+  let r = Refine_ir.Interp.run m in
+  Alcotest.(check string) "2 then 3" "2\n3\n" r.Refine_ir.Interp.output
+
+let test_frontend_compile_error_message () =
+  Alcotest.(check bool) "error carries line" true
+    (try ignore (F.compile "int main() {\n  return y;\n}"); false
+     with F.Compile_error msg ->
+       (* mentions line 2 *)
+       let contains hay needle =
+         let nh = String.length hay and nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+         go 0
+       in
+       contains msg "line 2")
+
+let tests =
+  [
+    Alcotest.test_case "lexer numbers" `Quick test_lexer_numbers;
+    Alcotest.test_case "lexer idents/keywords" `Quick test_lexer_idents_keywords;
+    Alcotest.test_case "lexer operators" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer strings" `Quick test_lexer_strings;
+    Alcotest.test_case "lexer line numbers" `Quick test_lexer_line_numbers;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser logical precedence" `Quick test_parser_logical_precedence;
+    Alcotest.test_case "parser statements" `Quick test_parser_statements;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "typecheck accepts" `Quick test_typecheck_accepts;
+    Alcotest.test_case "typecheck rejects" `Quick test_typecheck_rejects;
+    Alcotest.test_case "frontend verifies" `Quick test_frontend_verifies;
+    Alcotest.test_case "string global dedup" `Quick test_frontend_string_globals;
+    Alcotest.test_case "short circuit" `Quick test_frontend_short_circuit;
+    Alcotest.test_case "compile error has line" `Quick test_frontend_compile_error_message;
+  ]

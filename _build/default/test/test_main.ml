@@ -1,0 +1,21 @@
+(* Test-suite entry point: one alcotest run over every module's cases. *)
+
+let () =
+  Alcotest.run "refine"
+    [
+      ("support", Test_support.tests);
+      ("stats", Test_stats.tests);
+      ("frontend", Test_frontend.tests);
+      ("ir", Test_ir.tests);
+      ("passes", Test_passes.tests);
+      ("backend", Test_backend.tests);
+      ("machine", Test_machine.tests);
+      ("fi", Test_fi.tests);
+      ("semantics", Test_semantics.tests);
+      ("benchmarks", Test_benchmarks.tests);
+      ("campaign", Test_campaign.tests);
+      ("extensions", Test_extensions.tests);
+      ("paper", Test_paper_reproduction.tests);
+      ("integration", Test_integration.tests);
+      ("misc", Test_misc.tests);
+    ]

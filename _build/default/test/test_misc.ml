@@ -1,0 +1,105 @@
+(* Small-surface unit tests: memory layout, extern formatting, assembly
+   printing and the inliner's size heuristics. *)
+
+module ML = Refine_ir.Memlayout
+module Ext = Refine_ir.Externs
+module M = Refine_mir.Minstr
+module R = Refine_mir.Reg
+module MP = Refine_mir.Mprinter
+
+let test_memlayout_constants () =
+  Alcotest.(check bool) "null guard below globals" true (ML.null_guard <= ML.globals_base);
+  Alcotest.(check bool) "stack fits" true (ML.stack_limit < ML.mem_size);
+  Alcotest.(check int) "align8 rounds up" 16 (ML.align8 9);
+  Alcotest.(check int) "align8 keeps aligned" 16 (ML.align8 16);
+  Alcotest.(check int) "align8 zero" 0 (ML.align8 0)
+
+let test_memlayout_placement () =
+  let globals =
+    [
+      { Refine_ir.Ir.gname = "a"; gsize = 8; gbytes = None };
+      { Refine_ir.Ir.gname = "b"; gsize = 20; gbytes = None }; (* padded to 24 *)
+      { Refine_ir.Ir.gname = "c"; gsize = 8; gbytes = None };
+    ]
+  in
+  let addr, heap_base = ML.place_globals globals in
+  Alcotest.(check int) "first at base" ML.globals_base (addr "a");
+  Alcotest.(check int) "second follows" (ML.globals_base + 8) (addr "b");
+  Alcotest.(check int) "third after padding" (ML.globals_base + 8 + 24) (addr "c");
+  Alcotest.(check int) "heap after all" (ML.globals_base + 8 + 24 + 8) heap_base;
+  Alcotest.(check bool) "unknown rejected" true
+    (try ignore (addr "nope"); false with Invalid_argument _ -> true)
+
+let test_extern_signatures () =
+  Alcotest.(check bool) "print_int known" true (Ext.is_extern "print_int");
+  Alcotest.(check bool) "llfi callbacks declared" true (Ext.is_extern "llfi_inject_i1");
+  Alcotest.(check bool) "unknown unknown" false (Ext.is_extern "bogus_fn");
+  match Ext.signature "pow" with
+  | Some ([ Refine_ir.Ir.F64; Refine_ir.Ir.F64 ], Some Refine_ir.Ir.F64) -> ()
+  | _ -> Alcotest.fail "pow signature"
+
+let test_extern_float_formats () =
+  Alcotest.(check string) "six digits" "3.14159" (Ext.format_float6 3.14159265);
+  Alcotest.(check string) "full roundtrip" "0.10000000000000001" (Ext.format_float_full 0.1);
+  Alcotest.(check (float 0.0)) "full format roundtrips" 0.1
+    (float_of_string (Ext.format_float_full 0.1))
+
+let test_mprinter () =
+  let check i expected = Alcotest.(check string) expected expected (MP.to_string i) in
+  check (M.Mmov (R.gpr 1, M.Imm 5L)) "mov r1, 5";
+  check (M.Mload (R.gpr 2, R.rbp, -16)) "mov r2, qword ptr [rbp - 16]";
+  check (M.Mbin (Refine_ir.Ir.Add, R.gpr 0, R.gpr 1, M.Reg (R.gpr 2))) "add r0, r1, r2";
+  check (M.Mpush R.rbp) "push rbp";
+  check (M.Mjcc (M.CFge, 7)) "jfge L7";
+  check (M.Mcallext "sin") "call ext:sin";
+  check (M.Mxorbit (R.fpr 3, R.gpr 0)) "btc f3, r0"
+
+let test_inline_size_gate () =
+  (* a function above the size threshold is not inlined *)
+  let big_body =
+    String.concat "\n"
+      (List.init 80 (fun i -> Printf.sprintf "  acc = acc + %d;" i))
+  in
+  let src =
+    Printf.sprintf
+      {|
+int big(int x) {
+  int acc = x;
+%s
+  return acc;
+}
+int main() { print_int(big(1)); return 0; }
+|}
+      big_body
+  in
+  let m = Refine_minic.Frontend.compile src in
+  Refine_ir.Pipeline.optimize ~verify:true Refine_ir.Pipeline.O2 m;
+  (* constant folding may shrink it; check against the inliner directly *)
+  let m2 = Refine_minic.Frontend.compile src in
+  List.iter Refine_ir.Mem2reg.run m2.Refine_ir.Ir.funcs;
+  let inlined = Refine_ir.Inline.run ~threshold:10 m2 in
+  Alcotest.(check int) "nothing inlined under a tiny threshold" 0 inlined;
+  ignore m
+
+let test_inline_once_called_small () =
+  let m =
+    Refine_minic.Frontend.compile
+      "int tiny(int x) { return x + 1; } int main() { print_int(tiny(41)); return 0; }"
+  in
+  List.iter Refine_ir.Mem2reg.run m.Refine_ir.Ir.funcs;
+  let n = Refine_ir.Inline.run m in
+  Alcotest.(check int) "one site inlined" 1 n;
+  Refine_ir.Verify.check_module m;
+  let r = Refine_ir.Interp.run m in
+  Alcotest.(check string) "42" "42\n" r.Refine_ir.Interp.output
+
+let tests =
+  [
+    Alcotest.test_case "memlayout constants" `Quick test_memlayout_constants;
+    Alcotest.test_case "memlayout placement" `Quick test_memlayout_placement;
+    Alcotest.test_case "extern signatures" `Quick test_extern_signatures;
+    Alcotest.test_case "extern float formats" `Quick test_extern_float_formats;
+    Alcotest.test_case "assembly printing" `Quick test_mprinter;
+    Alcotest.test_case "inline size gate" `Quick test_inline_size_gate;
+    Alcotest.test_case "inline small callee" `Quick test_inline_once_called_small;
+  ]

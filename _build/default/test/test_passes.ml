@@ -1,0 +1,423 @@
+(* Optimization pass tests: structural assertions plus semantic
+   preservation (interpreter output unchanged by every pass). *)
+
+module I = Refine_ir.Ir
+module In = Refine_ir.Interp
+module F = Refine_minic.Frontend
+module P = Refine_ir.Pipeline
+
+let sample_src =
+  {|
+global int n = 12;
+global float out[12];
+float kernel(float a, float b) { return a * b + a / (b + 1.0); }
+int main() {
+  int i;
+  float acc = 0.0;
+  for (i = 0; i < n; i = i + 1) {
+    float x = tofloat(i) * 0.5;
+    float y = tofloat(n - i);
+    out[i] = kernel(x, y) + kernel(x, y);   // CSE fodder
+    acc = acc + out[i] * 2.0 + 0.0;          // constfold fodder
+  }
+  if (1 == 1) { print_float(acc); } else { print_float(0.0); }
+  int j = 0;
+  while (j < 5) {
+    float invariant = tofloat(n) * 3.0;      // LICM fodder
+    acc = acc + invariant;
+    j = j + 1;
+  }
+  print_float(acc);
+  print_int(j);
+  return 0;
+}
+|}
+
+let compile () = F.compile sample_src
+
+let run m = (In.run m).In.output
+
+let count_instrs m =
+  List.fold_left (fun acc f -> acc + Refine_ir.Printer.count_instrs f) 0 m.I.funcs
+
+let count_matching m p =
+  List.fold_left
+    (fun acc (f : I.func) ->
+      List.fold_left
+        (fun acc (b : I.block) -> acc + List.length (List.filter p b.I.body))
+        acc f.I.blocks)
+    0 m.I.funcs
+
+let preserve name pass =
+  let m = compile () in
+  let before = run m in
+  List.iter pass m.I.funcs;
+  Refine_ir.Verify.check_module m;
+  let after = run m in
+  Alcotest.(check string) (name ^ " preserves semantics") before after
+
+let test_mem2reg_semantics () = preserve "mem2reg" Refine_ir.Mem2reg.run
+
+let test_mem2reg_promotes () =
+  let m = compile () in
+  let before = count_matching m (function I.Alloca _ -> true | _ -> false) in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  let after = count_matching m (function I.Alloca _ -> true | _ -> false) in
+  (* every scalar slot goes; the array alloca pattern stays only for local
+     arrays (this program has none, arrays are global) *)
+  Alcotest.(check bool) "allocas promoted" true (after < before);
+  Alcotest.(check int) "all scalar slots promoted" 0 after
+
+let test_mem2reg_inserts_phis () =
+  let m = compile () in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  let phis =
+    List.fold_left
+      (fun acc (f : I.func) ->
+        List.fold_left (fun acc b -> acc + List.length b.I.phis) acc f.I.blocks)
+      0 m.I.funcs
+  in
+  Alcotest.(check bool) "phis exist at joins" true (phis > 0)
+
+let test_mem2reg_keeps_escaping_slot () =
+  (* a local array's alloca must not be promoted: its address is used *)
+  let m = F.compile "int main() { int a[4]; a[2] = 7; print_int(a[2]); return 0; }" in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  let arrays = count_matching m (function I.Alloca (_, 32) -> true | _ -> false) in
+  Alcotest.(check int) "array alloca kept" 1 arrays;
+  Alcotest.(check string) "still works" "7\n" (run m)
+
+let test_constfold_semantics () = preserve "constfold" Refine_ir.Constfold.run
+
+let test_constfold_folds () =
+  let m = F.compile "int main() { int x = 2 + 3 * 4; print_int(x * 1 + 0); return 0; }" in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  List.iter Refine_ir.Constfold.run m.I.funcs;
+  List.iter Refine_ir.Dce.run m.I.funcs;
+  let arith = count_matching m (function I.Ibinop _ -> true | _ -> false) in
+  Alcotest.(check int) "all arithmetic folded away" 0 arith;
+  Alcotest.(check string) "value" "14\n" (run m)
+
+let test_constfold_keeps_trap () =
+  (* 1/0 must not be folded away: the runtime trap is the semantics *)
+  let m = F.compile "int main() { int z = 0; print_int(1 / z); return 0; }" in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  List.iter Refine_ir.Constfold.run m.I.funcs;
+  Alcotest.(check bool) "still traps" true
+    (try ignore (In.run m); false with In.Trap _ -> true)
+
+let test_constfold_branch () =
+  let m = F.compile "int main() { if (2 > 1) { print_int(1); } else { print_int(0); } return 0; }" in
+  let before = run m in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  List.iter Refine_ir.Constfold.run m.I.funcs;
+  List.iter Refine_ir.Simplifycfg.run m.I.funcs;
+  Refine_ir.Verify.check_module m;
+  Alcotest.(check string) "same output" before (run m);
+  let cbrs =
+    List.fold_left
+      (fun acc (f : I.func) ->
+        List.fold_left
+          (fun acc (b : I.block) -> acc + (match b.I.term with I.Cbr _ -> 1 | _ -> 0))
+          acc f.I.blocks)
+      0 m.I.funcs
+  in
+  Alcotest.(check int) "branch folded" 0 cbrs
+
+let test_cse_semantics () =
+  preserve "cse" (fun f -> Refine_ir.Mem2reg.run f; Refine_ir.Cse.run f)
+
+let test_cse_eliminates () =
+  let m =
+    F.compile
+      "int main() { int a = 5; int b = a * 7 + 1; int c = a * 7 + 1; print_int(b + c); return 0; }"
+  in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  let before = count_instrs m in
+  List.iter Refine_ir.Cse.run m.I.funcs;
+  List.iter Refine_ir.Dce.run m.I.funcs;
+  Refine_ir.Verify.check_module m;
+  Alcotest.(check bool) "fewer instructions" true (count_instrs m < before);
+  Alcotest.(check string) "value" "72\n" (run m)
+
+let test_cse_commutative () =
+  let m =
+    F.compile
+      "int main() { int a = 6; int b = 7; print_int(a * b + b * a); return 0; }"
+  in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  List.iter Refine_ir.Cse.run m.I.funcs;
+  List.iter Refine_ir.Dce.run m.I.funcs;
+  let muls = count_matching m (function I.Ibinop (_, I.Mul, _, _) -> true | _ -> false) in
+  Alcotest.(check int) "one multiply" 1 muls;
+  Alcotest.(check string) "value" "84\n" (run m)
+
+let test_cse_does_not_merge_loads () =
+  (* loads may not be merged across a store *)
+  let m =
+    F.compile
+      "global int g = 1; int main() { int a = g; g = 5; int b = g; print_int(a + b); return 0; }"
+  in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  List.iter Refine_ir.Cse.run m.I.funcs;
+  Alcotest.(check string) "6" "6\n" (run m)
+
+let test_dce_semantics () = preserve "dce" (fun f -> Refine_ir.Mem2reg.run f; Refine_ir.Dce.run f)
+
+let test_dce_removes_dead () =
+  let m = F.compile "int main() { int dead = 3 * 14; print_int(9); return 0; }" in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  List.iter Refine_ir.Dce.run m.I.funcs;
+  let arith = count_matching m (function I.Ibinop _ -> true | _ -> false) in
+  Alcotest.(check int) "dead mul removed" 0 arith
+
+let test_dce_keeps_calls () =
+  let m = F.compile "int f() { print_int(1); return 2; } int main() { int unused = f(); return 0; }" in
+  let before = run m in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  List.iter Refine_ir.Dce.run m.I.funcs;
+  Alcotest.(check string) "side effect kept" before (run m)
+
+let test_simplifycfg_semantics () =
+  preserve "simplifycfg" (fun f -> Refine_ir.Mem2reg.run f; Refine_ir.Simplifycfg.run f)
+
+let test_simplifycfg_merges () =
+  let m = compile () in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  List.iter Refine_ir.Constfold.run m.I.funcs;
+  let count_blocks () =
+    List.fold_left (fun acc (f : I.func) -> acc + List.length f.I.blocks) 0 m.I.funcs
+  in
+  let before = count_blocks () in
+  List.iter Refine_ir.Simplifycfg.run m.I.funcs;
+  Refine_ir.Verify.check_module m;
+  Alcotest.(check bool) "fewer blocks" true (count_blocks () < before)
+
+let test_licm_semantics () =
+  preserve "licm" (fun f ->
+      Refine_ir.Mem2reg.run f;
+      Refine_ir.Constfold.run f;
+      Refine_ir.Simplifycfg.run f;
+      Refine_ir.Licm.run f)
+
+let test_licm_hoists () =
+  let m =
+    F.compile
+      {|
+global int n = 50;
+int main() {
+  int i; int acc = 0;
+  int a = 13;
+  for (i = 0; i < n; i = i + 1) { acc = acc + a * a * a; }
+  print_int(acc);
+  return 0;
+}
+|}
+  in
+  let before_out = run m in
+  List.iter
+    (fun f ->
+      Refine_ir.Mem2reg.run f;
+      Refine_ir.Constfold.run f;
+      Refine_ir.Simplifycfg.run f)
+    m.I.funcs;
+  (* steps with the invariant multiply still in the loop *)
+  let steps_before = (In.run m).In.steps in
+  List.iter Refine_ir.Licm.run m.I.funcs;
+  Refine_ir.Verify.check_module m;
+  let r = In.run m in
+  Alcotest.(check string) "same output" before_out r.In.output;
+  Alcotest.(check bool) "fewer dynamic steps after hoisting" true (r.In.steps < steps_before)
+
+let test_full_pipeline_levels () =
+  List.iter
+    (fun level ->
+      let m = F.compile sample_src in
+      let before = run m in
+      P.optimize ~verify:true level m;
+      Alcotest.(check string)
+        (P.string_of_level level ^ " preserves semantics")
+        before (run m))
+    [ P.O0; P.O1; P.O2 ]
+
+let test_pipeline_reduces_steps () =
+  let m0 = F.compile sample_src in
+  let m2 = F.compile sample_src in
+  P.optimize P.O2 m2;
+  let s0 = (In.run m0).In.steps in
+  let s2 = (In.run m2).In.steps in
+  Alcotest.(check bool) "O2 runs fewer steps than O0" true (s2 < s0)
+
+let test_inline_semantics () =
+  (* module-level pass: run the inliner on the sample and compare outputs *)
+  let m = compile () in
+  let before = run m in
+  List.iter Refine_ir.Mem2reg.run m.I.funcs;
+  let n = Refine_ir.Inline.run m in
+  Refine_ir.Verify.check_module m;
+  Alcotest.(check bool) "inlined at least one site" true (n > 0);
+  Alcotest.(check string) "inline preserves semantics" before (run m)
+
+let test_inline_removes_calls () =
+  let m =
+    F.compile
+      {|
+float sq(float x) { return x * x; }
+int main() {
+  int i; float s = 0.0;
+  for (i = 0; i < 10; i = i + 1) { s = s + sq(tofloat(i)); }
+  print_float(s);
+  return 0;
+}
+|}
+  in
+  P.optimize ~verify:true P.O2 m;
+  let main = I.find_func m "main" in
+  let calls =
+    List.fold_left
+      (fun acc (b : I.block) ->
+        acc
+        + List.length
+            (List.filter (function I.Call (_, _, "sq", _) -> true | _ -> false) b.I.body))
+      0 main.I.blocks
+  in
+  Alcotest.(check int) "sq fully inlined" 0 calls;
+  Alcotest.(check string) "value" "285\n" (run m)
+
+let test_inline_skips_recursion () =
+  let m =
+    F.compile
+      {|
+int fib(int k) { if (k < 2) { return k; } return fib(k - 1) + fib(k - 2); }
+int main() { print_int(fib(12)); return 0; }
+|}
+  in
+  P.optimize ~verify:true P.O2 m;
+  Alcotest.(check int) "two functions remain" 2 (List.length m.I.funcs);
+  Alcotest.(check string) "value" "144\n" (run m)
+
+let test_sccp_semantics () =
+  preserve "sccp" (fun f ->
+      Refine_ir.Mem2reg.run f;
+      Refine_ir.Sccp.run f;
+      Refine_ir.Simplifycfg.run f)
+
+let test_sccp_through_phi () =
+  (* a constant reaching a phi only over executable edges: plain constant
+     folding cannot see this, SCCP can *)
+  let m =
+    F.compile
+      {|
+int main() {
+  int flag = 1;
+  int x;
+  if (flag == 1) { x = 7; } else { x = 1000; }
+  // x is provably 7: the else edge is unreachable
+  if (x == 7) { print_int(42); } else { print_int(0); }
+  return 0;
+}
+|}
+  in
+  List.iter
+    (fun f ->
+      Refine_ir.Mem2reg.run f;
+      Refine_ir.Sccp.run f;
+      Refine_ir.Simplifycfg.run f;
+      Refine_ir.Dce.run f)
+    m.I.funcs;
+  Refine_ir.Verify.check_module m;
+  Alcotest.(check string) "output" "42\n" (run m);
+  let main = I.find_func m "main" in
+  let cbrs =
+    List.fold_left
+      (fun acc (b : I.block) -> acc + (match b.I.term with I.Cbr _ -> 1 | _ -> 0))
+      0 main.I.blocks
+  in
+  Alcotest.(check int) "all branches resolved" 0 cbrs
+
+let test_memopt_semantics () =
+  preserve "memopt" (fun f ->
+      Refine_ir.Mem2reg.run f;
+      Refine_ir.Memopt.run f)
+
+let test_memopt_forwards () =
+  (* store x @g; load @g  ->  the load disappears *)
+  let m =
+    F.compile
+      "global int g; int main() { g = 41; int x = g + 1; print_int(x); return 0; }"
+  in
+  List.iter (fun f -> Refine_ir.Mem2reg.run f; Refine_ir.Cse.run f; Refine_ir.Memopt.run f)
+    m.I.funcs;
+  Refine_ir.Verify.check_module m;
+  Alcotest.(check string) "42" "42\n" (run m);
+  let loads = count_matching m (function I.Load _ -> true | _ -> false) in
+  Alcotest.(check int) "load forwarded away" 0 loads
+
+let test_memopt_dead_store () =
+  let m =
+    F.compile
+      "global int g; int main() { g = 1; g = 2; print_int(g); return 0; }"
+  in
+  List.iter (fun f -> Refine_ir.Mem2reg.run f; Refine_ir.Cse.run f; Refine_ir.Memopt.run f)
+    m.I.funcs;
+  Refine_ir.Verify.check_module m;
+  Alcotest.(check string) "2" "2\n" (run m);
+  let stores = count_matching m (function I.Store _ -> true | _ -> false) in
+  Alcotest.(check int) "first store dead" 1 stores
+
+let test_memopt_respects_calls () =
+  (* a call may write memory: no forwarding across it *)
+  let m =
+    F.compile
+      {|
+global int g;
+void touch() { g = 9; }
+int main() { g = 1; touch(); print_int(g); return 0; }
+|}
+  in
+  List.iter (fun f -> Refine_ir.Mem2reg.run f; Refine_ir.Cse.run f; Refine_ir.Memopt.run f)
+    m.I.funcs;
+  Refine_ir.Verify.check_module m;
+  Alcotest.(check string) "9" "9\n" (run m)
+
+let test_benchmarks_optimize_and_verify () =
+  List.iter
+    (fun (b : Refine_bench_progs.Registry.bench) ->
+      let m = F.compile b.Refine_bench_progs.Registry.source in
+      P.optimize ~verify:true P.O2 m)
+    Refine_bench_progs.Registry.all
+
+let tests =
+  [
+    Alcotest.test_case "mem2reg semantics" `Quick test_mem2reg_semantics;
+    Alcotest.test_case "mem2reg promotes" `Quick test_mem2reg_promotes;
+    Alcotest.test_case "mem2reg inserts phis" `Quick test_mem2reg_inserts_phis;
+    Alcotest.test_case "mem2reg keeps arrays" `Quick test_mem2reg_keeps_escaping_slot;
+    Alcotest.test_case "constfold semantics" `Quick test_constfold_semantics;
+    Alcotest.test_case "constfold folds" `Quick test_constfold_folds;
+    Alcotest.test_case "constfold keeps traps" `Quick test_constfold_keeps_trap;
+    Alcotest.test_case "constfold folds branches" `Quick test_constfold_branch;
+    Alcotest.test_case "cse semantics" `Quick test_cse_semantics;
+    Alcotest.test_case "cse eliminates" `Quick test_cse_eliminates;
+    Alcotest.test_case "cse commutative" `Quick test_cse_commutative;
+    Alcotest.test_case "cse respects stores" `Quick test_cse_does_not_merge_loads;
+    Alcotest.test_case "dce semantics" `Quick test_dce_semantics;
+    Alcotest.test_case "dce removes dead code" `Quick test_dce_removes_dead;
+    Alcotest.test_case "dce keeps calls" `Quick test_dce_keeps_calls;
+    Alcotest.test_case "simplifycfg semantics" `Quick test_simplifycfg_semantics;
+    Alcotest.test_case "simplifycfg merges blocks" `Quick test_simplifycfg_merges;
+    Alcotest.test_case "licm semantics" `Quick test_licm_semantics;
+    Alcotest.test_case "licm hoists invariants" `Quick test_licm_hoists;
+    Alcotest.test_case "pipeline levels preserve semantics" `Quick test_full_pipeline_levels;
+    Alcotest.test_case "O2 reduces dynamic steps" `Quick test_pipeline_reduces_steps;
+    Alcotest.test_case "inline semantics" `Quick test_inline_semantics;
+    Alcotest.test_case "inline removes calls" `Quick test_inline_removes_calls;
+    Alcotest.test_case "inline skips recursion" `Quick test_inline_skips_recursion;
+    Alcotest.test_case "sccp semantics" `Quick test_sccp_semantics;
+    Alcotest.test_case "sccp through phi" `Quick test_sccp_through_phi;
+    Alcotest.test_case "memopt semantics" `Quick test_memopt_semantics;
+    Alcotest.test_case "memopt forwards loads" `Quick test_memopt_forwards;
+    Alcotest.test_case "memopt dead stores" `Quick test_memopt_dead_store;
+    Alcotest.test_case "memopt respects calls" `Quick test_memopt_respects_calls;
+    Alcotest.test_case "benchmarks optimize+verify" `Quick test_benchmarks_optimize_and_verify;
+  ]

@@ -1,0 +1,226 @@
+(* Semantic-preservation property tests: randomly generated MinC programs
+   must behave identically under (a) the IR reference interpreter at O0,
+   (b) the interpreter at O2, (c) the compiled machine code at O0 and
+   (d) at O2.  This pins the whole compiler + simulator stack to one
+   semantics and guards every optimization and backend pass at once. *)
+
+module P = Refine_support.Prng
+module F = Refine_minic.Frontend
+module In = Refine_ir.Interp
+module E = Refine_machine.Exec
+
+(* --- random program generator -------------------------------------------
+   Generates terminating, trap-free programs: loops are bounded counters,
+   divisors are forced nonzero, array indices are taken modulo the length. *)
+
+type genv = {
+  rng : P.t;
+  mutable ints : string list;
+  mutable floats : string list;
+  mutable depth : int;
+}
+
+let pick g l = List.nth l (P.int g.rng (List.length l))
+
+let rec gen_int_expr g =
+  g.depth <- g.depth + 1;
+  let leaf () =
+    match P.int g.rng 3 with
+    | 0 -> string_of_int (P.int g.rng 100 - 50)
+    | 1 when g.ints <> [] -> pick g g.ints
+    | _ -> string_of_int (P.int g.rng 10)
+  in
+  let e =
+    if g.depth > 4 then leaf ()
+    else
+      match P.int g.rng 9 with
+      | 0 | 1 -> leaf ()
+      | 8 -> Printf.sprintf "helper_i(%s, %s)" (gen_int_expr g) (gen_int_expr g)
+      | 2 -> Printf.sprintf "(%s + %s)" (gen_int_expr g) (gen_int_expr g)
+      | 3 -> Printf.sprintf "(%s - %s)" (gen_int_expr g) (gen_int_expr g)
+      | 4 -> Printf.sprintf "(%s * %s)" (gen_int_expr g) (gen_int_expr g)
+      | 5 -> Printf.sprintf "(%s / ((%s & 7) + 1))" (gen_int_expr g) (gen_int_expr g)
+      | 6 -> Printf.sprintf "(%s %% ((%s & 15) + 1))" (gen_int_expr g) (gen_int_expr g)
+      | _ -> (
+        match P.int g.rng 4 with
+        | 0 -> Printf.sprintf "(%s & %s)" (gen_int_expr g) (gen_int_expr g)
+        | 1 -> Printf.sprintf "(%s ^ %s)" (gen_int_expr g) (gen_int_expr g)
+        | 2 -> Printf.sprintf "(%s << (%s & 7))" (gen_int_expr g) (gen_int_expr g)
+        | _ -> Printf.sprintf "(%s > %s)" (gen_int_expr g) (gen_int_expr g))
+  in
+  g.depth <- g.depth - 1;
+  e
+
+let rec gen_float_expr g =
+  g.depth <- g.depth + 1;
+  let leaf () =
+    match P.int g.rng 3 with
+    | 0 -> Printf.sprintf "%.3f" (P.float g.rng *. 8.0 -. 4.0)
+    | 1 when g.floats <> [] -> pick g g.floats
+    | _ -> Printf.sprintf "tofloat(%s)" (gen_int_expr g)
+  in
+  let e =
+    if g.depth > 4 then leaf ()
+    else
+      match P.int g.rng 9 with
+      | 0 | 1 -> leaf ()
+      | 7 -> Printf.sprintf "helper_f(%s, %s)" (gen_float_expr g) (gen_float_expr g)
+      | 8 -> Printf.sprintf "use_arr(arr, %s)" (gen_int_expr g)
+      | 2 -> Printf.sprintf "(%s + %s)" (gen_float_expr g) (gen_float_expr g)
+      | 3 -> Printf.sprintf "(%s - %s)" (gen_float_expr g) (gen_float_expr g)
+      | 4 -> Printf.sprintf "(%s * %s)" (gen_float_expr g) (gen_float_expr g)
+      | 5 -> Printf.sprintf "fabs(%s)" (gen_float_expr g)
+      | _ -> Printf.sprintf "(%s * 0.5 + 1.25)" (gen_float_expr g)
+  in
+  g.depth <- g.depth - 1;
+  e
+
+let gen_cond g =
+  Printf.sprintf "(%s %s %s)" (gen_int_expr g)
+    (pick g [ "<"; ">"; "=="; "!="; "<="; ">=" ])
+    (gen_int_expr g)
+
+let rec gen_stmt g ~indent ~loop_depth buf =
+  let pad = String.make indent ' ' in
+  match P.int g.rng 10 with
+  | 0 | 1 when g.ints <> [] ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s = %s;\n" pad (pick g g.ints) (gen_int_expr g))
+  | 2 | 3 when g.floats <> [] ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s = %s;\n" pad (pick g g.floats) (gen_float_expr g))
+  | 4 | 5 ->
+    Buffer.add_string buf (Printf.sprintf "%sif %s {\n" pad (gen_cond g));
+    gen_stmt g ~indent:(indent + 2) ~loop_depth buf;
+    if P.bool g.rng then begin
+      Buffer.add_string buf (Printf.sprintf "%s} else {\n" pad);
+      gen_stmt g ~indent:(indent + 2) ~loop_depth buf
+    end;
+    Buffer.add_string buf (Printf.sprintf "%s}\n" pad)
+  | 6 when loop_depth < 2 ->
+    let v = Printf.sprintf "it%d_%d" indent loop_depth in
+    Buffer.add_string buf
+      (Printf.sprintf "%sfor (%s = 0; %s < %d; %s = %s + 1) {\n" pad v v
+         (2 + P.int g.rng 6) v v);
+    gen_stmt g ~indent:(indent + 2) ~loop_depth:(loop_depth + 1) buf;
+    Buffer.add_string buf (Printf.sprintf "%s}\n" pad)
+  | 7 ->
+    (* ((e % 8) + 8) % 8 is always a valid index, even for negative e *)
+    let ix = gen_int_expr g in
+    Buffer.add_string buf
+      (Printf.sprintf "%sarr[((%s) %% 8 + 8) %% 8] = %s;\n" pad ix (gen_float_expr g))
+  | _ when g.ints <> [] ->
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s = %s + %s;\n" pad (pick g g.ints) (pick g g.ints) (gen_int_expr g))
+  | _ -> Buffer.add_string buf (Printf.sprintf "%sprint_int(%s);\n" pad (gen_int_expr g))
+
+let gen_program seed =
+  let g = { rng = P.create seed; ints = []; floats = []; depth = 0 } in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "global float arr[8];\n";
+  (* helper functions: exercise call marshaling, callee-saved registers and
+     the inliner in the agreement property *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "int helper_i(int a, int b) { int t = a * %d + b; if (t > %d) { t = t - b * 2; } return t; }\n"
+       (1 + P.int g.rng 9) (P.int g.rng 50));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "float helper_f(float x, float y) { float t = x * %.2f + y; return t - x; }\n"
+       (0.5 +. P.float g.rng));
+  Buffer.add_string buf
+    "float use_arr(float[] a, int k) { return a[((k) % 8 + 8) % 8] * 0.75; }\n";
+  Buffer.add_string buf "int main() {\n";
+  (* loop counters used by for statements; declared up front *)
+  List.iter
+    (fun indent ->
+      List.iter
+        (fun depth ->
+          Buffer.add_string buf (Printf.sprintf "  int it%d_%d = 0;\n" indent depth))
+        [ 0; 1 ])
+    [ 2; 4; 6; 8; 10; 12; 14; 16; 18 ];
+  let n_ints = 2 + P.int g.rng 3 in
+  for i = 0 to n_ints - 1 do
+    let v = Printf.sprintf "x%d" i in
+    Buffer.add_string buf (Printf.sprintf "  int %s = %s;\n" v (gen_int_expr g));
+    g.ints <- v :: g.ints
+  done;
+  let n_floats = 2 + P.int g.rng 2 in
+  for i = 0 to n_floats - 1 do
+    let v = Printf.sprintf "f%d" i in
+    Buffer.add_string buf (Printf.sprintf "  float %s = %s;\n" v (gen_float_expr g));
+    g.floats <- v :: g.floats
+  done;
+  let n_stmts = 4 + P.int g.rng 8 in
+  for _ = 1 to n_stmts do
+    gen_stmt g ~indent:2 ~loop_depth:0 buf
+  done;
+  (* observable footprint: all variables and the array *)
+  List.iter (fun v -> Buffer.add_string buf (Printf.sprintf "  print_int(%s);\n" v)) g.ints;
+  List.iter (fun v -> Buffer.add_string buf (Printf.sprintf "  print_float(%s);\n" v)) g.floats;
+  Buffer.add_string buf "  int k;\n  for (k = 0; k < 8; k = k + 1) { print_float(arr[k]); }\n";
+  Buffer.add_string buf "  return 0;\n}\n";
+  Buffer.contents buf
+
+(* --- the four-way agreement check --- *)
+
+type obs = { out : string; code : int }
+
+let interp_obs m =
+  let r = In.run ~fuel:50_000_000 m in
+  { out = r.In.output; code = r.In.exit_code }
+
+let machine_obs m =
+  let image = Refine_backend.Compile.compile m in
+  let eng = E.create image in
+  let r = E.run ~max_steps:100_000_000L eng in
+  match r.E.status with
+  | E.Exited c -> { out = r.E.output; code = c }
+  | E.Trapped tr -> Alcotest.fail ("machine trapped: " ^ E.string_of_trap tr)
+  | _ -> Alcotest.fail "machine did not finish"
+
+let check_agreement ~what src =
+  let obs = Alcotest.testable (fun fmt o -> Format.fprintf fmt "exit=%d out=%S" o.code o.out) ( = ) in
+  let m0 = F.compile src in
+  let o_i0 = interp_obs m0 in
+  let m2 = F.compile src in
+  Refine_ir.Pipeline.optimize ~verify:true Refine_ir.Pipeline.O2 m2;
+  let o_i2 = interp_obs m2 in
+  Alcotest.check obs (what ^ ": interp O0 = interp O2") o_i0 o_i2;
+  let o_m0 = machine_obs (F.compile src) in
+  Alcotest.check obs (what ^ ": interp O0 = machine O0") o_i0 o_m0;
+  let m2b = F.compile src in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m2b;
+  let o_m2 = machine_obs m2b in
+  Alcotest.check obs (what ^ ": interp O0 = machine O2") o_i0 o_m2
+
+let test_random_programs () =
+  for seed = 1 to 60 do
+    let src = gen_program seed in
+    try check_agreement ~what:(Printf.sprintf "seed %d" seed) src
+    with
+    | F.Compile_error msg ->
+      Alcotest.fail (Printf.sprintf "seed %d failed to compile: %s\n%s" seed msg src)
+    | In.Trap msg ->
+      Alcotest.fail (Printf.sprintf "seed %d trapped: %s\n%s" seed msg src)
+  done
+
+(* the instrumented REFINE binary in profile mode also agrees (paper:
+   "the FI binary ... is used unmodified during profiling") *)
+let test_random_programs_refine_transparent () =
+  for seed = 1 to 20 do
+    let src = gen_program (1000 + seed) in
+    let m = F.compile src in
+    let o = interp_obs m in
+    let p = Refine_core.Tool.prepare Refine_core.Tool.Refine src in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d refine-transparent" seed)
+      o.out p.Refine_core.Tool.profile.Refine_core.Fault.golden_output
+  done
+
+let tests =
+  [
+    Alcotest.test_case "random programs: 4-way agreement" `Slow test_random_programs;
+    Alcotest.test_case "random programs: REFINE transparency" `Slow
+      test_random_programs_refine_transparent;
+  ]

@@ -1,0 +1,152 @@
+(* Statistical machinery tests: special functions against known values,
+   chi-squared critical values, the paper's own sample-size and Table 4/5
+   numbers. *)
+
+module S = Refine_stats.Special
+module C = Refine_stats.Chi2
+module N = Refine_stats.Samplesize
+module Ci = Refine_stats.Ci
+
+let close ?(eps = 1e-6) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+let test_lgamma () =
+  (* Gamma(5) = 24, Gamma(0.5) = sqrt(pi) *)
+  close "lgamma 5" (log 24.0) (S.lgamma 5.0);
+  close "lgamma 0.5" (0.5 *. log Float.pi) (S.lgamma 0.5);
+  close "lgamma 1" 0.0 (S.lgamma 1.0);
+  close "lgamma 10" (log 362880.0) (S.lgamma 10.0)
+
+let test_gamma_pq_complementary () =
+  List.iter
+    (fun (a, x) -> close ~eps:1e-9 "P + Q = 1" 1.0 (S.gamma_p a x +. S.gamma_q a x))
+    [ (0.5, 0.3); (1.0, 1.0); (2.5, 7.0); (10.0, 3.0); (3.0, 30.0) ]
+
+let test_gamma_p_exponential () =
+  (* P(1, x) = 1 - e^-x *)
+  List.iter
+    (fun x -> close ~eps:1e-9 "P(1,x)" (1.0 -. exp (-.x)) (S.gamma_p 1.0 x))
+    [ 0.1; 0.5; 1.0; 2.0; 5.0 ]
+
+let test_erf () =
+  close ~eps:1e-6 "erf 1" 0.8427007929497149 (S.erf 1.0);
+  close ~eps:1e-6 "erf -1" (-0.8427007929497149) (S.erf (-1.0));
+  close "erf 0" 0.0 (S.erf 0.0)
+
+let test_chi2_critical_values () =
+  (* standard table: chi2_{0.95, df} *)
+  close ~eps:1e-3 "df=1" 0.95 (C.cdf ~df:1 3.841458820694124);
+  close ~eps:1e-3 "df=2" 0.95 (C.cdf ~df:2 5.991464547107979);
+  close ~eps:1e-3 "df=5" 0.95 (C.cdf ~df:5 11.070497693516351)
+
+let test_chi2_survival () =
+  close ~eps:1e-9 "sf(0)" 1.0 (C.survival ~df:2 0.0);
+  close ~eps:1e-3 "sf at critical" 0.05 (C.survival ~df:2 5.991464547107979)
+
+let test_chi2_paper_table4 () =
+  (* the paper's Table 4: LLFI vs PINFI on AMG2013 must reject H0 *)
+  let r = C.test [| [| 395; 168; 505 |]; [| 269; 70; 729 |] |] in
+  Alcotest.(check bool) "significant" true r.C.significant;
+  Alcotest.(check bool) "p ~ 0" true (r.C.p_value < 1e-10);
+  Alcotest.(check int) "df = 2" 2 r.C.df
+
+let test_chi2_paper_refine_rows () =
+  (* REFINE vs PINFI from the paper's Table 6 counts must fail to reject *)
+  List.iter
+    (fun (name, refine, pinfi) ->
+      let r = C.test [| refine; pinfi |] in
+      Alcotest.(check bool) (name ^ " not significant") false r.C.significant)
+    [
+      ("AMG2013", [| 254; 87; 727 |], [| 269; 70; 729 |]);
+      ("HPCCG", [| 159; 68; 841 |], [| 162; 77; 829 |]);
+      ("lulesh", [| 76; 2; 990 |], [| 76; 4; 988 |]);
+      ("SP", [| 45; 612; 411 |], [| 42; 626; 400 |]);
+    ]
+
+let test_chi2_zero_column_dropped () =
+  (* CG in the paper: SOC = 0 for both tools; the test must still work *)
+  let r = C.test [| [| 201; 0; 867 |]; [| 175; 0; 893 |] |] in
+  Alcotest.(check int) "df reduced to 1" 1 r.C.df;
+  Alcotest.(check bool) "runs" true (r.C.p_value >= 0.0 && r.C.p_value <= 1.0)
+
+let test_chi2_identical_rows () =
+  let r = C.test [| [| 10; 20; 30 |]; [| 10; 20; 30 |] |] in
+  close ~eps:1e-9 "statistic 0" 0.0 r.C.statistic;
+  Alcotest.(check bool) "not significant" false r.C.significant
+
+let test_chi2_invalid () =
+  Alcotest.(check bool) "single row rejected" true
+    (try ignore (C.test [| [| 1; 2 |] |]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative rejected" true
+    (try ignore (C.test [| [| 1; -2 |]; [| 3; 4 |] |]); false
+     with Invalid_argument _ -> true)
+
+let test_samplesize_paper () =
+  (* the paper's 1,068 samples at e=3%, 95% confidence *)
+  Alcotest.(check int) "n = 1068" 1068 N.paper_sample_count
+
+let test_samplesize_finite () =
+  (* finite population: n <= infinite-population n, approaches it as N grows *)
+  let inf = N.infinite ~margin:0.03 ~confidence:0.95 () in
+  let small = N.finite ~population:2000 ~margin:0.03 ~confidence:0.95 () in
+  let big = N.finite ~population:100_000_000 ~margin:0.03 ~confidence:0.95 () in
+  Alcotest.(check bool) "finite smaller" true (small < inf);
+  Alcotest.(check int) "large N converges" inf big
+
+let test_samplesize_margin () =
+  let m = N.margin_of ~samples:1068 ~confidence:0.95 () in
+  Alcotest.(check bool) "margin <= 3%" true (m <= 0.03);
+  Alcotest.(check bool) "margin > 2.9%" true (m > 0.029)
+
+let test_ci_wald () =
+  let iv = Ci.wald ~count:50 ~total:100 () in
+  close ~eps:1e-9 "p" 0.5 iv.Ci.p;
+  close ~eps:1e-3 "half width" 0.098 (iv.Ci.high -. iv.Ci.p)
+
+let test_ci_wilson_extremes () =
+  let iv = Ci.wilson ~count:0 ~total:100 () in
+  close ~eps:1e-9 "p = 0" 0.0 iv.Ci.p;
+  Alcotest.(check bool) "upper > 0" true (iv.Ci.high > 0.0);
+  Alcotest.(check bool) "lower ~ 0" true (iv.Ci.low < 1e-9)
+
+let test_ci_overlap () =
+  let a = Ci.wald ~count:50 ~total:100 () in
+  let b = Ci.wald ~count:55 ~total:100 () in
+  let c = Ci.wald ~count:90 ~total:100 () in
+  Alcotest.(check bool) "near proportions overlap" true (Ci.overlaps a b);
+  Alcotest.(check bool) "far proportions do not" false (Ci.overlaps a c)
+
+(* property: chi2 on two multinomial samples drawn from the SAME
+   distribution should rarely reject; from very different ones, often *)
+let prop_chi2_monotone_in_difference =
+  QCheck.Test.make ~name:"chi2 statistic grows with row divergence" ~count:100
+    QCheck.(int_range 1 140)
+    (fun k ->
+      let base = [| 300; 300; 300 |] in
+      let shifted = [| 300 + k; 300 - k; 300 |] in
+      let more_shifted = [| 300 + (2 * k); 300 - (2 * k); 300 |] in
+      let r1 = C.test [| base; shifted |] in
+      let r2 = C.test [| base; more_shifted |] in
+      r2.C.statistic >= r1.C.statistic)
+
+let tests =
+  [
+    Alcotest.test_case "lgamma known values" `Quick test_lgamma;
+    Alcotest.test_case "gamma P+Q=1" `Quick test_gamma_pq_complementary;
+    Alcotest.test_case "gamma P(1,x)" `Quick test_gamma_p_exponential;
+    Alcotest.test_case "erf" `Quick test_erf;
+    Alcotest.test_case "chi2 critical values" `Quick test_chi2_critical_values;
+    Alcotest.test_case "chi2 survival" `Quick test_chi2_survival;
+    Alcotest.test_case "chi2 rejects paper Table 4" `Quick test_chi2_paper_table4;
+    Alcotest.test_case "chi2 accepts paper REFINE rows" `Quick test_chi2_paper_refine_rows;
+    Alcotest.test_case "chi2 drops zero columns" `Quick test_chi2_zero_column_dropped;
+    Alcotest.test_case "chi2 identical rows" `Quick test_chi2_identical_rows;
+    Alcotest.test_case "chi2 invalid input" `Quick test_chi2_invalid;
+    Alcotest.test_case "sample size 1068" `Quick test_samplesize_paper;
+    Alcotest.test_case "sample size finite population" `Quick test_samplesize_finite;
+    Alcotest.test_case "achieved margin" `Quick test_samplesize_margin;
+    Alcotest.test_case "wald interval" `Quick test_ci_wald;
+    Alcotest.test_case "wilson at extremes" `Quick test_ci_wilson_extremes;
+    Alcotest.test_case "interval overlap" `Quick test_ci_overlap;
+    QCheck_alcotest.to_alcotest prop_chi2_monotone_in_difference;
+  ]
