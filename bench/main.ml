@@ -10,7 +10,15 @@
                       pass — the full default run takes ~20 minutes)
      REFINE_SEED      master PRNG seed (default 20170712)
      REFINE_PROGRAMS  comma-separated program filter (default: all 14)
-     REFINE_BECHAMEL  set to 0 to skip the Bechamel micro-benchmarks *)
+     REFINE_BECHAMEL  set to 0 to skip the Bechamel micro-benchmarks
+     REFINE_JOURNAL   checkpoint/resume journal path: every resolved sample
+                      is recorded (atomic tmp-rename flushes) and an
+                      interrupted run resumes from it bit-identically
+     REFINE_RETRIES   extra attempts per failing sample before it degrades
+                      to a ToolError tally entry (default 1)
+     REFINE_SAMPLE_TIMEOUT
+                      per-sample modeled-cost watchdog cap (default: none,
+                      i.e. only the paper's 10x-profiling timeout) *)
 
 module T = Refine_core.Tool
 module E = Refine_campaign.Experiment
@@ -99,11 +107,29 @@ let print_listings () =
 
 let run_campaign () =
   let progs = List.map (fun n -> (n, (Reg.find n).Reg.source)) programs in
+  let journal =
+    match Sys.getenv_opt "REFINE_JOURNAL" with
+    | Some path when path <> "" ->
+      let resume = Sys.file_exists path in
+      let j = Refine_campaign.Journal.create ~resume path in
+      if resume then
+        Printf.printf "[journal: resuming from %s, %d samples already resolved]\n" path
+          (Refine_campaign.Journal.length j);
+      Some j
+    | _ -> None
+  in
+  let retries = int_of_string (getenv_default "REFINE_RETRIES" "1") in
+  let cost_cap =
+    match Sys.getenv_opt "REFINE_SAMPLE_TIMEOUT" with
+    | Some v when v <> "" -> Some (Int64.of_string v)
+    | _ -> None
+  in
   let t0 = Unix.gettimeofday () in
-  let cells = E.run_matrix ~samples ~seed progs Rep.tools in
+  let cells = E.run_matrix ?journal ~retries ?cost_cap ~samples ~seed progs Rep.tools in
   Printf.printf "\n[campaign: %d experiments in %.1fs]\n"
     (List.length programs * 3 * samples)
     (Unix.gettimeofday () -. t0);
+  List.iter print_endline (Rep.degradation cells);
   cells
 
 let print_figure4 cells =
@@ -236,7 +262,8 @@ let extensions_section () =
     (match e.Refine_core.Fault.outcome with
     | Refine_core.Fault.Crash -> tally.(0) <- tally.(0) + 1
     | Refine_core.Fault.Soc -> tally.(1) <- tally.(1) + 1
-    | Refine_core.Fault.Benign -> tally.(2) <- tally.(2) + 1)
+    | Refine_core.Fault.Benign -> tally.(2) <- tally.(2) + 1
+    | Refine_core.Fault.Tool_error -> ())
   done;
   Printf.printf
     "opcode corruption on EP (%Ld corruptible dynamic instrs, n=%d):\n  crash %d  SOC %d  benign %d\n"
@@ -262,6 +289,7 @@ let extensions_section () =
       | Refine_core.Fault.Crash -> t.(0) <- t.(0) + 1
       | Refine_core.Fault.Soc -> t.(1) <- t.(1) + 1
       | Refine_core.Fault.Benign -> t.(2) <- t.(2) + 1
+      | Refine_core.Fault.Tool_error -> ()
     done;
     t
   in

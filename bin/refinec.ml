@@ -139,6 +139,7 @@ let fi_cmd =
         | Refine_core.Fault.Crash -> incr c
         | Refine_core.Fault.Soc -> incr so
         | Refine_core.Fault.Benign -> incr b
+        | Refine_core.Fault.Tool_error -> ()
       done;
       Printf.printf "tool: OPCODE (valid-opcode corruption)   program: %s\n" src;
       Printf.printf "corruptible dynamic instructions: %Ld\n" p.Refine_core.Fault.dyn_count;
@@ -170,6 +171,9 @@ let fi_cmd =
       (100.0 *. Refine_stats.Samplesize.margin_of ~samples ~confidence:0.95 ());
     Printf.printf "crash: %d   SOC: %d   benign: %d\n" cell.E.counts.E.crash cell.E.counts.E.soc
       cell.E.counts.E.benign;
+    if cell.E.counts.E.tool_error > 0 then
+      Printf.printf "tool errors (excluded from contingency rows): %d\n"
+        cell.E.counts.E.tool_error;
     Printf.printf "campaign cost: %Ld units\n" cell.E.injection_cost
   in
   Cmd.v
@@ -207,7 +211,36 @@ let campaign_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the cells to a CSV file.")
   in
-  let action programs samples seed csv =
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Checkpoint every resolved sample to FILE (atomic tmp-rename flushes), so an \
+                   interrupted campaign can be resumed with $(b,--resume).")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Resume from an existing $(b,--journal) file: samples already recorded are \
+                   loaded instead of re-run.  Counts are bit-identical to an uninterrupted run \
+                   with the same seed.")
+  in
+  let retries =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry a failing sample up to N extra times with a fresh deterministic PRNG \
+                   split before recording it as a tool error.")
+  in
+  let sample_timeout =
+    Arg.(value & opt (some int64) None
+         & info [ "sample-timeout" ] ~docv:"COST"
+             ~doc:"Watchdog: kill any sample exceeding COST modeled-cost units (below the \
+                   paper's 10x timeout) and record it as a tool error after the retry budget.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (default: cores - 1).")
+  in
+  let action programs samples seed csv journal resume retries sample_timeout domains =
     let names =
       if programs = "all" then Refine_bench_progs.Registry.names
       else String.split_on_char ',' programs |> List.map String.trim
@@ -215,12 +248,19 @@ let campaign_cmd =
     let srcs =
       List.map (fun n -> (n, (Refine_bench_progs.Registry.find n).Refine_bench_progs.Registry.source)) names
     in
+    let journal = Option.map (fun path -> Refine_campaign.Journal.create ~resume path) journal in
     let cells =
-      Refine_campaign.Experiment.run_matrix ~samples ~seed srcs Refine_campaign.Report.tools
+      Refine_campaign.Experiment.run_matrix ?domains ?journal ~retries
+        ?cost_cap:sample_timeout ~samples ~seed srcs Refine_campaign.Report.tools
     in
     List.iter (fun p -> print_string (Refine_campaign.Report.figure4_program cells p)) names;
     print_string (Refine_campaign.Report.table5 (Refine_campaign.Report.chi2_rows cells names));
     print_string (Refine_campaign.Report.figure5 cells names);
+    List.iter print_endline (Refine_campaign.Report.degradation cells);
+    (match journal with
+    | Some j ->
+      Printf.printf "[journal: %d samples checkpointed]\n" (Refine_campaign.Journal.length j)
+    | None -> ());
     match csv with
     | Some path ->
       Refine_campaign.Csv.save path cells;
@@ -229,8 +269,11 @@ let campaign_cmd =
   in
   Cmd.v
     (Cmd.info "campaign"
-       ~doc:"Run the evaluation matrix on benchmark programs and print Figure 4/Table 5/Figure 5.")
-    Term.(const action $ programs $ samples $ seed $ csv)
+       ~doc:"Run the evaluation matrix on benchmark programs and print Figure 4/Table 5/Figure 5. \
+             Supports checkpoint/resume ($(b,--journal)/$(b,--resume)), bounded retries and a \
+             per-sample watchdog for campaign-scale robustness.")
+    Term.(const action $ programs $ samples $ seed $ csv $ journal $ resume $ retries
+          $ sample_timeout $ domains)
 
 let main =
   let doc = "REFINE: realistic fault injection via compiler-based instrumentation (SC'17 reproduction)" in

@@ -82,6 +82,7 @@ let () =
     | F.Crash -> incr c
     | F.Soc -> incr s
     | F.Benign -> incr b
+    | F.Tool_error -> ()
   done;
   Printf.printf "\nmeasured LLFI outcomes over %d dynamic injections:\n" samples;
   let pctm x = 100.0 *. float_of_int x /. float_of_int samples in

@@ -57,7 +57,8 @@ let run_config name sel =
       (match e.F.outcome with
       | F.Crash -> (c + 1, s, b)
       | F.Soc -> (c, s + 1, b)
-      | F.Benign -> (c, s, b + 1))
+      | F.Benign -> (c, s, b + 1)
+      | F.Tool_error -> (c, s, b))
   done;
   let c, s, b = !tally in
   [

@@ -6,13 +6,13 @@ module E = Experiment
 module T = Refine_core.Tool
 
 let header =
-  "program,tool,samples,crash,soc,benign,dyn_count,profile_cost,injection_cost,static_sites"
+  "program,tool,samples,crash,soc,benign,tool_error,dyn_count,profile_cost,injection_cost,static_sites"
 
 let row_of_cell (c : E.cell) =
-  Printf.sprintf "%s,%s,%d,%d,%d,%d,%Ld,%Ld,%Ld,%d" c.E.program (T.kind_name c.E.tool)
+  Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%Ld,%Ld,%Ld,%d" c.E.program (T.kind_name c.E.tool)
     c.E.samples c.E.counts.E.crash c.E.counts.E.soc c.E.counts.E.benign
-    c.E.profile.Refine_core.Fault.dyn_count c.E.profile.Refine_core.Fault.profile_cost
-    c.E.injection_cost c.E.static_instrumented
+    c.E.counts.E.tool_error c.E.profile.Refine_core.Fault.dyn_count
+    c.E.profile.Refine_core.Fault.profile_cost c.E.injection_cost c.E.static_instrumented
 
 let to_string (cells : E.cell list) =
   String.concat "\n" (header :: List.map row_of_cell cells) ^ "\n"
@@ -42,7 +42,8 @@ let of_string (s : string) : E.cell list =
     List.map
       (fun line ->
         match String.split_on_char ',' line with
-        | [ program; tool; samples; crash; soc; benign; dyn; pcost; icost; sites ] ->
+        | [ program; tool; samples; crash; soc; benign; tool_error; dyn; pcost; icost; sites ]
+          ->
           {
             E.program;
             tool = tool_of_name tool;
@@ -52,6 +53,7 @@ let of_string (s : string) : E.cell list =
                 E.crash = int_of_string crash;
                 soc = int_of_string soc;
                 benign = int_of_string benign;
+                tool_error = int_of_string tool_error;
               };
             injection_cost = Int64.of_string icost;
             profile =
@@ -62,6 +64,7 @@ let of_string (s : string) : E.cell list =
                 profile_cost = Int64.of_string pcost;
               };
             static_instrumented = int_of_string sites;
+            failures = [];
           }
         | _ -> raise (Parse_error ("bad CSV row: " ^ line)))
       rows

@@ -5,22 +5,29 @@
 
    Each experiment owns a split of the master PRNG, so results are
    deterministic for a given seed regardless of how work is distributed
-   over domains. *)
+   over domains, which samples are replayed from a checkpoint journal, or
+   how often a flaky sample was retried. *)
 
 module T = Refine_core.Tool
 module F = Refine_core.Fault
 module P = Refine_support.Prng
+module S = Refine_support.Supervisor
 
-type counts = { crash : int; soc : int; benign : int }
+type counts = { crash : int; soc : int; benign : int; tool_error : int }
 
+(* the statistical n: harness failures degrade the sample size, they do
+   not enter the contingency rows *)
 let total c = c.crash + c.soc + c.benign
+
+let attempted c = total c + c.tool_error
 
 let add_outcome c = function
   | F.Crash -> { c with crash = c.crash + 1 }
   | F.Soc -> { c with soc = c.soc + 1 }
   | F.Benign -> { c with benign = c.benign + 1 }
+  | F.Tool_error -> { c with tool_error = c.tool_error + 1 }
 
-let zero = { crash = 0; soc = 0; benign = 0 }
+let zero = { crash = 0; soc = 0; benign = 0; tool_error = 0 }
 
 type cell = {
   program : string;
@@ -30,21 +37,99 @@ type cell = {
   injection_cost : int64; (* summed modeled time of all injection runs *)
   profile : F.profile;
   static_instrumented : int;
+  failures : S.failure list; (* samples that exhausted the retry budget *)
 }
 
+(* Stable seed derivation: FNV-1a over the cell identity instead of
+   [Hashtbl.hash], whose output may change between OCaml releases.  The
+   NUL separator keeps ("ab","c") and ("a","bc") distinct. *)
+let cell_seed ~seed ~program tool =
+  seed lxor P.hash_string (program ^ "\000" ^ T.kind_name tool)
+
+(* Attempt [a] of a sample re-draws from a fresh deterministic split of the
+   sample's own base generator, so retries (after e.g. a watchdog kill)
+   stay reproducible without replaying the failed draw. *)
+let rng_for_attempt base a =
+  let r = P.copy base in
+  if a = 0 then r
+  else begin
+    for _ = 1 to a do
+      ignore (P.next_int64 r)
+    done;
+    P.split r
+  end
+
 (* One (program, tool) cell: prepare (compile + profile) once, then run
-   [samples] injections. *)
-let run_cell ?domains ?(sel = Refine_core.Selection.default) ~samples ~seed
-    (tool : T.kind) ~program ~source () : cell =
-  let prepared = T.prepare ~sel tool source in
-  let master = P.create (seed lxor Hashtbl.hash (program, T.kind_name tool)) in
-  let rngs = Array.init samples (fun _ -> P.split master) in
-  let outcomes =
-    Refine_support.Parallel.map_array ?domains (fun rng -> T.run_injection prepared rng) rngs
+   [samples] supervised injections, skipping samples already resolved in
+   [journal] and recording each newly resolved one. *)
+let run_cell ?domains ?(sel = Refine_core.Selection.default) ?journal ?(retries = 0)
+    ?cost_cap ?token ?watchdog ~samples ~seed (tool : T.kind) ~program ~source () : cell =
+  let domains =
+    match domains with Some d -> d | None -> Refine_support.Parallel.default_domains ()
   in
-  let counts = Array.fold_left (fun acc e -> add_outcome acc e.F.outcome) zero outcomes in
-  let injection_cost =
-    Array.fold_left (fun acc e -> Int64.add acc e.F.run_cost) 0L outcomes
+  let prepared = T.prepare ~sel tool source in
+  let master = P.create (cell_seed ~seed ~program tool) in
+  let bases = Array.init samples (fun _ -> P.split master) in
+  let tool_name = T.kind_name tool in
+  let results : F.experiment option array = Array.make samples None in
+  (match journal with
+  | Some j ->
+    let resolved = Journal.completed j ~program ~tool:tool_name in
+    Hashtbl.iter
+      (fun i (e : Journal.entry) ->
+        if i >= 0 && i < samples then
+          results.(i) <-
+            Some { F.outcome = e.Journal.outcome; run_cost = e.Journal.cost; fault = None })
+      resolved
+  | None -> ());
+  let todo = ref [] in
+  for i = samples - 1 downto 0 do
+    if results.(i) = None then todo := i :: !todo
+  done;
+  let todo = Array.of_list !todo in
+  let token = match token with Some t -> t | None -> S.Cancel.create () in
+  let poll () = S.check token in
+  let policy = { S.default_policy with S.max_retries = retries } in
+  let outcomes =
+    S.run ~token ~policy ?watchdog ~domains (Array.length todo) (fun ~attempt k ->
+        T.run_injection ?cost_cap ~poll prepared (rng_for_attempt bases.(todo.(k)) attempt))
+  in
+  let failures = ref [] in
+  let checkpoint i (e : F.experiment) attempts =
+    results.(i) <- Some e;
+    match journal with
+    | Some j ->
+      Journal.record j
+        {
+          Journal.program;
+          tool = tool_name;
+          sample = i;
+          outcome = e.F.outcome;
+          cost = e.F.run_cost;
+          attempts;
+        }
+    | None -> ()
+  in
+  Array.iteri
+    (fun k out ->
+      let i = todo.(k) in
+      match out with
+      | S.Done (e, attempts) -> checkpoint i e attempts
+      | S.Failed f ->
+        (* graceful degradation: the sample becomes a ToolError tally
+           entry; the budget burned by a watchdog kill still counts
+           toward campaign time *)
+        let cost = match f.S.exn with T.Sample_budget_exceeded c -> c | _ -> 0L in
+        checkpoint i { F.outcome = F.Tool_error; run_cost = cost; fault = None } f.S.attempts;
+        failures := { f with S.index = i } :: !failures
+      | S.Skipped -> ())
+    outcomes;
+  let counts, injection_cost =
+    Array.fold_left
+      (fun (c, cost) -> function
+        | Some (e : F.experiment) -> (add_outcome c e.F.outcome, Int64.add cost e.F.run_cost)
+        | None -> (c, cost))
+      (zero, 0L) results
   in
   {
     program;
@@ -54,20 +139,41 @@ let run_cell ?domains ?(sel = Refine_core.Selection.default) ~samples ~seed
     injection_cost;
     profile = prepared.T.profile;
     static_instrumented = prepared.T.static_instrumented;
+    failures = List.rev !failures;
   }
 
-(* The full evaluation matrix: every program x every tool. *)
-let run_matrix ?domains ?sel ~samples ~seed (programs : (string * string) list)
-    (tools : T.kind list) : cell list =
+(* A cell whose preparation (compile/profile) failed outright: every
+   sample is a ToolError, the campaign continues. *)
+let degraded_cell ~program ~tool ~samples exn =
+  {
+    program;
+    tool;
+    samples;
+    counts = { zero with tool_error = samples };
+    injection_cost = 0L;
+    profile = { F.golden_output = ""; golden_exit = 0; dyn_count = 0L; profile_cost = 0L };
+    static_instrumented = 0;
+    failures = [ { S.index = -1; attempts = 1; exn; backtrace = "" } ];
+  }
+
+(* The full evaluation matrix: every program x every tool.  A cell that
+   fails to prepare degrades to all-ToolError instead of aborting the
+   remaining cells. *)
+let run_matrix ?domains ?sel ?journal ?retries ?cost_cap ?token ?watchdog ~samples ~seed
+    (programs : (string * string) list) (tools : T.kind list) : cell list =
   List.concat_map
     (fun (program, source) ->
       List.map
-        (fun tool -> run_cell ?domains ?sel ~samples ~seed tool ~program ~source ())
+        (fun tool ->
+          try
+            run_cell ?domains ?sel ?journal ?retries ?cost_cap ?token ?watchdog ~samples
+              ~seed tool ~program ~source ()
+          with e -> degraded_cell ~program ~tool ~samples e)
         tools)
     programs
 
 let find_cell cells ~program ~tool =
   List.find (fun c -> c.program = program && c.tool = tool) cells
 
-(* contingency row for the chi-squared tests *)
+(* contingency row for the chi-squared tests; ToolError is excluded *)
 let row c = [| c.counts.crash; c.counts.soc; c.counts.benign |]

@@ -1,26 +1,48 @@
 (** Campaign orchestration: statistically-sized batches of fault-injection
-    experiments per (program, tool) cell, as in the paper's §5.3. *)
+    experiments per (program, tool) cell, as in the paper's §5.3 — now with
+    supervised workers, bounded retry, watchdog kills and checkpoint/resume
+    through {!Journal}. *)
 
-type counts = { crash : int; soc : int; benign : int }
+type counts = { crash : int; soc : int; benign : int; tool_error : int }
 
 val total : counts -> int
+(** The statistical n: [crash + soc + benign].  Harness failures
+    ([tool_error]) degrade the achieved sample size; they never enter the
+    contingency rows. *)
+
+val attempted : counts -> int
+(** [total c + c.tool_error]: every resolved sample. *)
+
 val zero : counts
 val add_outcome : counts -> Refine_core.Fault.outcome -> counts
 
 type cell = {
   program : string;
   tool : Refine_core.Tool.kind;
-  samples : int;
+  samples : int;  (** requested sample count *)
   counts : counts;
   injection_cost : int64;  (** summed modeled time of all injection runs —
                                the campaign-time measure of Figure 5 *)
   profile : Refine_core.Fault.profile;
   static_instrumented : int;
+  failures : Refine_support.Supervisor.failure list;
+      (** samples that exhausted their retry budget (tallied as
+          [tool_error]); index -1 marks a cell whose preparation failed *)
 }
+
+val cell_seed : seed:int -> program:string -> Refine_core.Tool.kind -> int
+(** Stable per-cell seed: [seed] xor the FNV-1a hash of the cell identity.
+    Unlike the previous [Hashtbl.hash] derivation this is reproducible
+    across OCaml versions. *)
 
 val run_cell :
   ?domains:int ->
   ?sel:Refine_core.Selection.t ->
+  ?journal:Journal.t ->
+  ?retries:int ->
+  ?cost_cap:int64 ->
+  ?token:Refine_support.Supervisor.Cancel.t ->
+  ?watchdog:(unit -> bool) ->
   samples:int ->
   seed:int ->
   Refine_core.Tool.kind ->
@@ -28,21 +50,37 @@ val run_cell :
   source:string ->
   unit ->
   cell
-(** Compile + profile once, then run [samples] injections.  Each experiment
-    owns a split of the master PRNG: results are deterministic in [seed]
-    and independent of the number of domains. *)
+(** Compile + profile once, then run [samples] supervised injections.  Each
+    sample owns a deterministic split of the master PRNG — results are
+    bit-identical in [seed] regardless of domain count, retries, or
+    journal-based resumption.  Samples already resolved in [journal] are
+    loaded instead of re-run; newly resolved samples are checkpointed.
+    A sample that keeps failing after [retries] extra attempts (each with a
+    fresh deterministic split) resolves as {!Refine_core.Fault.Tool_error}.
+    [cost_cap] is the per-sample modeled-cost watchdog
+    ({!Refine_core.Tool.run_injection}); [token]/[watchdog] cancel the
+    remaining work cooperatively — cancelled samples stay unresolved so a
+    resume completes them. *)
 
 val run_matrix :
   ?domains:int ->
   ?sel:Refine_core.Selection.t ->
+  ?journal:Journal.t ->
+  ?retries:int ->
+  ?cost_cap:int64 ->
+  ?token:Refine_support.Supervisor.Cancel.t ->
+  ?watchdog:(unit -> bool) ->
   samples:int ->
   seed:int ->
   (string * string) list ->
   Refine_core.Tool.kind list ->
   cell list
-(** The full evaluation grid: every (program, source) under every tool. *)
+(** The full evaluation grid: every (program, source) under every tool.  A
+    cell whose preparation fails degrades to an all-[tool_error] cell; the
+    remaining cells still run. *)
 
 val find_cell : cell list -> program:string -> tool:Refine_core.Tool.kind -> cell
 
 val row : cell -> int array
-(** [crash; soc; benign] contingency row for {!Refine_stats.Chi2.test}. *)
+(** [crash; soc; benign] contingency row for {!Refine_stats.Chi2.test};
+    [tool_error] samples are excluded by construction. *)

@@ -1,0 +1,101 @@
+(* Checkpoint/resume journal for fault-injection campaigns.
+
+   An append-only, line-oriented record of every resolved
+   (program, tool, sample-index) experiment — outcome, modeled cost and
+   attempts used — so an interrupted campaign can resume without re-running
+   completed samples.  Because every sample owns its own deterministic PRNG
+   split (Experiment), summing journaled outcomes with freshly-run ones is
+   bit-identical to an uninterrupted run with the same seed, whatever the
+   crash/resume interleaving.
+
+   Durability: each flush writes the full log to [path ^ ".tmp"] and
+   renames it over [path].  The rename is atomic at the filesystem level,
+   so a reader (or a resuming campaign) never observes a torn file — the
+   journal is either the previous complete state or the new one. *)
+
+module F = Refine_core.Fault
+
+type entry = {
+  program : string;
+  tool : string; (* Tool.kind_name *)
+  sample : int; (* 0-based index within the cell *)
+  outcome : F.outcome;
+  cost : int64;
+  attempts : int;
+}
+
+type t = {
+  path : string;
+  mutable entries : entry list; (* newest first *)
+  lock : Mutex.t;
+}
+
+let magic = "# refine-journal v1"
+
+let render e =
+  Printf.sprintf "%s\t%s\t%d\t%s\t%Ld\t%d" e.program e.tool e.sample
+    (F.string_of_outcome e.outcome)
+    e.cost e.attempts
+
+(* Tolerant parse: a line that does not decode (e.g. written by a newer
+   version) is skipped rather than aborting the resume — losing one
+   checkpoint costs one re-run, losing the journal costs the campaign. *)
+let parse line =
+  match String.split_on_char '\t' line with
+  | [ program; tool; sample; outcome; cost; attempts ] -> (
+    try
+      Some
+        {
+          program;
+          tool;
+          sample = int_of_string sample;
+          outcome = F.outcome_of_string outcome;
+          cost = Int64.of_string cost;
+          attempts = int_of_string attempts;
+        }
+    with _ -> None)
+  | _ -> None
+
+let flush t =
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (magic ^ "\n");
+  List.iter (fun e -> output_string oc (render e ^ "\n")) (List.rev t.entries);
+  close_out oc;
+  Sys.rename tmp t.path
+
+let load_entries path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  |> List.filter_map parse
+
+let create ?(resume = false) path =
+  let entries = if resume && Sys.file_exists path then load_entries path else [] in
+  let t = { path; entries = List.rev entries; lock = Mutex.create () } in
+  flush t;
+  t
+
+let record t e =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      t.entries <- e :: t.entries;
+      flush t)
+
+let entries t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> List.rev t.entries)
+
+let length t = List.length (entries t)
+
+let completed t ~program ~tool =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e -> if e.program = program && e.tool = tool then Hashtbl.replace tbl e.sample e)
+    (entries t);
+  tbl

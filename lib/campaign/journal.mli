@@ -1,0 +1,38 @@
+(** Checkpoint/resume journal for fault-injection campaigns.
+
+    Append-only, line-oriented log of every resolved
+    (program, tool, sample-index) experiment.  Every flush rewrites the
+    file through an atomic tmp-rename, so a crash at any instant leaves
+    either the previous complete journal or the new one — never a torn
+    file.  Combined with per-sample deterministic PRNG splits
+    ({!Experiment.run_cell}), resuming from a journal is bit-identical to
+    an uninterrupted run with the same seed. *)
+
+type entry = {
+  program : string;
+  tool : string;  (** {!Refine_core.Tool.kind_name} *)
+  sample : int;  (** 0-based sample index within the cell *)
+  outcome : Refine_core.Fault.outcome;
+  cost : int64;  (** modeled cost of the run (budget burned, for tool errors) *)
+  attempts : int;  (** attempts used to resolve the sample *)
+}
+
+type t
+
+val create : ?resume:bool -> string -> t
+(** [create path] opens a journal at [path].  With [~resume:true] existing
+    entries are loaded (unparseable lines are skipped, costing only their
+    re-run); otherwise the journal starts empty.  The file is immediately
+    (re)written in canonical form. *)
+
+val record : t -> entry -> unit
+(** Append one entry and flush atomically.  Safe to call from any domain. *)
+
+val entries : t -> entry list
+(** All entries, oldest first. *)
+
+val length : t -> int
+
+val completed : t -> program:string -> tool:string -> (int, entry) Hashtbl.t
+(** The resolved samples of one (program, tool) cell, keyed by sample
+    index (latest entry wins on duplicates). *)

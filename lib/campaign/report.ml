@@ -20,9 +20,13 @@ let figure4_program (cells : E.cell list) program =
         let c = E.find_cell cells ~program ~tool in
         let n = E.total c.E.counts in
         let ci count =
-          let iv = Refine_stats.Ci.wald ~count ~total:n () in
-          Printf.sprintf "%5.1f ±%.1f" (100.0 *. iv.Refine_stats.Ci.p)
-            (100.0 *. (iv.Refine_stats.Ci.high -. iv.Refine_stats.Ci.p))
+          (* a fully degraded cell (every sample a tool error) has no
+             statistical n; render a placeholder instead of aborting *)
+          if n = 0 then "--"
+          else
+            let iv = Refine_stats.Ci.wald ~count ~total:n () in
+            Printf.sprintf "%5.1f ±%.1f" (100.0 *. iv.Refine_stats.Ci.p)
+              (100.0 *. (iv.Refine_stats.Ci.high -. iv.Refine_stats.Ci.p))
         in
         [ T.kind_name tool; ci c.E.counts.E.crash; ci c.E.counts.E.soc; ci c.E.counts.E.benign ])
       tools
@@ -100,7 +104,15 @@ let chi2_rows (cells : E.cell list) programs : chi2_row list =
   List.map
     (fun program ->
       let cell tool = E.find_cell cells ~program ~tool in
-      let test a b = Refine_stats.Chi2.test [| E.row (cell a); E.row (cell b) |] in
+      let test a b =
+        let ra = E.row (cell a) and rb = E.row (cell b) in
+        let tot = Array.fold_left ( + ) 0 in
+        (* both cells fully degraded: no observations, no evidence of a
+           difference — report the trivial verdict rather than aborting *)
+        if tot ra = 0 && tot rb = 0 then
+          { Refine_stats.Chi2.statistic = 0.0; df = 1; p_value = 1.0; significant = false }
+        else Refine_stats.Chi2.test [| ra; rb |]
+      in
       { program; llfi_vs_pinfi = test T.Llfi T.Pinfi; refine_vs_pinfi = test T.Refine T.Pinfi })
     programs
 
@@ -159,6 +171,39 @@ let table6 (cells : E.cell list) programs =
        rows);
   Buffer.add_char buf '\n';
   Buffer.contents buf
+
+(* ---- Campaign robustness: degradation warnings ------------------------ *)
+
+(* Samplesize-aware warnings when harness failures (ToolError) or an
+   interrupted run drop the achieved n below the requested one: the margin
+   of error of every affected cell is recomputed so the operator sees what
+   statistical power the degradation actually cost. *)
+let degradation ?(confidence = 0.95) (cells : E.cell list) =
+  List.filter_map
+    (fun (c : E.cell) ->
+      let n_eff = E.total c.E.counts in
+      if c.E.counts.E.tool_error = 0 && n_eff >= c.E.samples then None
+      else
+        let requested =
+          Refine_stats.Samplesize.margin_of ~samples:c.E.samples ~confidence ()
+        in
+        let achieved =
+          if n_eff = 0 then 1.0
+          else Refine_stats.Samplesize.margin_of ~samples:n_eff ~confidence ()
+        in
+        let causes =
+          match c.E.failures with
+          | [] -> ""
+          | fs ->
+            "\n    " ^ String.concat "\n    " (List.map Refine_support.Supervisor.string_of_failure fs)
+        in
+        Some
+          (Printf.sprintf
+             "WARNING %s/%s: %d of %d samples resolved (%d tool errors) — margin of error \
+              ±%.1f%% vs ±%.1f%% requested at %.0f%% confidence%s"
+             c.E.program (T.kind_name c.E.tool) n_eff c.E.samples c.E.counts.E.tool_error
+             (100.0 *. achieved) (100.0 *. requested) (100.0 *. confidence) causes))
+    cells
 
 (* ---- Figure 5: campaign time normalized to PINFI ---------------------- *)
 

@@ -35,3 +35,9 @@ val table6 : Experiment.cell list -> string list -> string
 
 val figure5 : Experiment.cell list -> string list -> string
 (** Campaign execution time normalized to PINFI, measured | paper. *)
+
+val degradation : ?confidence:float -> Experiment.cell list -> string list
+(** One warning line per cell whose achieved sample size dropped below the
+    requested one (harness [tool_error]s or an interrupted run), with the
+    achieved vs requested margin of error and the underlying failures.
+    Empty when the campaign was healthy. *)

@@ -16,9 +16,24 @@ type record = {
   bit : int;
 }
 
-type outcome = Crash | Soc | Benign
+(* Tool_error is not part of the paper's outcome taxonomy: it marks a
+   harness-side failure (worker exception, retry exhaustion, watchdog
+   kill), so the sample degrades the achieved n instead of polluting the
+   crash/SOC/benign contingency rows. *)
+type outcome = Crash | Soc | Benign | Tool_error
 
-let string_of_outcome = function Crash -> "crash" | Soc -> "SOC" | Benign -> "benign"
+let string_of_outcome = function
+  | Crash -> "crash"
+  | Soc -> "SOC"
+  | Benign -> "benign"
+  | Tool_error -> "tool-error"
+
+let outcome_of_string = function
+  | "crash" -> Crash
+  | "SOC" -> Soc
+  | "benign" -> Benign
+  | "tool-error" -> Tool_error
+  | s -> invalid_arg ("Fault.outcome_of_string: " ^ s)
 
 let string_of_record r =
   Printf.sprintf "dyn=%Ld op=%d reg=%s bit=%d" r.dyn_index r.op_index r.reg_name r.bit

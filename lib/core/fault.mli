@@ -14,8 +14,19 @@ type outcome =
   | Crash  (** trap, nonzero exit code, or 10x-profiling timeout *)
   | Soc  (** silent output corruption: output differs from the golden run *)
   | Benign  (** no observable effect *)
+  | Tool_error
+      (** harness-side failure (worker exception after retry exhaustion,
+          watchdog kill): the sample is tallied and reported but excluded
+          from the paper's crash/SOC/benign contingency rows — graceful
+          degradation of the achieved sample size, never of the campaign.
+          {!classify} never returns this. *)
 
 val string_of_outcome : outcome -> string
+
+(** [outcome_of_string] is the inverse of {!string_of_outcome};
+    [Invalid_argument] on unknown names.  Used by the campaign journal and
+    CSV loaders. *)
+val outcome_of_string : string -> outcome
 val string_of_record : record -> string
 
 type profile = {

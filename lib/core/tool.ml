@@ -79,32 +79,51 @@ let prepare ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps = 2_000_
     let r = E.run ~max_steps eng in
     finish_profile kind sel image 0 ctrl.Pinfi.count r
 
+exception Sample_budget_exceeded of int64
+
 (* One fault-injection experiment: pick a uniform dynamic target, run,
-   classify against the golden output, with the 10x-profiling timeout. *)
-let run_injection (p : prepared) (rng : P.t) : Fault.experiment =
+   classify against the golden output, with the 10x-profiling timeout.
+
+   [cost_cap] is the harness watchdog: a modeled-cost budget below the
+   paper's 10x timeout at which the sample is killed and reported as a
+   harness failure ([Sample_budget_exceeded]) rather than classified as a
+   Crash — exceeding the paper's own timeout is an experimental outcome,
+   exceeding the operator's budget is not.  [poll] is forwarded to the
+   simulator (called every 2048 instructions) so a cancellation token can
+   abort in-flight samples. *)
+let run_injection ?cost_cap ?poll (p : prepared) (rng : P.t) : Fault.experiment =
   if p.profile.Fault.dyn_count = 0L then
     { Fault.outcome = Fault.Benign; run_cost = 0L; fault = None }
   else begin
     let target = Int64.add 1L (P.int64 rng p.profile.Fault.dyn_count) in
-    let max_cost = Int64.mul Fi_cost.timeout_factor p.profile.Fault.profile_cost in
+    let timeout = Int64.mul Fi_cost.timeout_factor p.profile.Fault.profile_cost in
+    let max_cost, capped =
+      match cost_cap with
+      | Some c when Int64.compare c timeout < 0 -> (c, true)
+      | _ -> (timeout, false)
+    in
     let mode = Runtime.Inject { target; rng } in
-    match p.kind with
-    | Refine ->
-      let ctrl = Runtime.create mode in
-      let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) p.image in
-      let r = E.run ~max_cost eng in
-      { Fault.outcome = Fault.classify p.profile r; run_cost = r.cost; fault = ctrl.Runtime.record }
-    | Llfi ->
-      let ctrl = Runtime.create mode in
-      let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) p.image in
-      let r = E.run ~max_cost eng in
-      { Fault.outcome = Fault.classify p.profile r; run_cost = r.cost; fault = ctrl.Runtime.record }
-    | Pinfi ->
-      let ctrl = Pinfi.create ~sel:p.sel mode in
-      let eng = E.create p.image in
-      Pinfi.attach ctrl eng;
-      let r = E.run ~max_cost eng in
-      { Fault.outcome = Fault.classify p.profile r; run_cost = r.cost; fault = ctrl.Pinfi.record }
+    let r, record =
+      match p.kind with
+      | Refine ->
+        let ctrl = Runtime.create mode in
+        let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) p.image in
+        let r = E.run ~max_cost ?poll eng in
+        (r, ctrl.Runtime.record)
+      | Llfi ->
+        let ctrl = Runtime.create mode in
+        let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) p.image in
+        let r = E.run ~max_cost ?poll eng in
+        (r, ctrl.Runtime.record)
+      | Pinfi ->
+        let ctrl = Pinfi.create ~sel:p.sel mode in
+        let eng = E.create p.image in
+        Pinfi.attach ctrl eng;
+        let r = E.run ~max_cost ?poll eng in
+        (r, ctrl.Pinfi.record)
+    in
+    if capped && r.E.status = E.Timed_out then raise (Sample_budget_exceeded r.E.cost);
+    { Fault.outcome = Fault.classify p.profile r; run_cost = r.E.cost; fault = record }
   end
 
 (* Fault-free run of the prepared binary (used by tests and examples). *)

@@ -35,11 +35,24 @@ val prepare :
 (** [prepare kind source] compiles MinC [source] with [kind]'s
     instrumentation strategy and runs the profiling phase. *)
 
-val run_injection : prepared -> Refine_support.Prng.t -> Fault.experiment
+exception Sample_budget_exceeded of int64
+(** A sample exceeded the harness watchdog's modeled-cost budget (the
+    [cost_cap] of {!run_injection}); the payload is the cost burned.  This
+    is a harness disposition, not one of the paper's outcomes: the
+    supervisor retries it with a fresh PRNG split and, on exhaustion, the
+    sample surfaces as {!Fault.Tool_error}. *)
+
+val run_injection :
+  ?cost_cap:int64 -> ?poll:(unit -> unit) -> prepared -> Refine_support.Prng.t -> Fault.experiment
 (** One fault-injection experiment: selects a uniform dynamic target
     instruction / output operand / bit from the tool's population, runs to
     completion (or the 10x-profiling timeout) and classifies the outcome
-    against the golden output. *)
+    against the golden output.  [cost_cap] kills the sample with
+    {!Sample_budget_exceeded} if it burns that much modeled cost before the
+    paper's own 10x timeout fires (caps at or above the 10x timeout are
+    inert: hitting the 10x timeout stays a Crash, the paper's semantics).
+    [poll] is invoked every 2048 simulated instructions, letting a
+    cancellation token abort in-flight samples. *)
 
 val run_clean : prepared -> Refine_machine.Exec.result
 (** Fault-free run of the prepared binary (injection disabled). *)

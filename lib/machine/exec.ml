@@ -298,13 +298,16 @@ let step (t : t) =
 
 (* [max_cost]: modeled-time budget (the 10x-profiling timeout of the
    paper's classification); [max_steps]: hard safety bound. *)
-let run ?(max_steps = Int64.max_int) ?(max_cost = Int64.max_int) (t : t) : result =
+let run ?(max_steps = Int64.max_int) ?(max_cost = Int64.max_int) ?poll (t : t) : result =
   while
     t.status = Running
     && Int64.compare t.steps max_steps < 0
     && Int64.compare t.cost max_cost < 0
   do
-    step t
+    step t;
+    match poll with
+    | Some p when Int64.logand t.steps 2047L = 0L -> p ()
+    | _ -> ()
   done;
   let status = if t.status = Running then Timed_out else t.status in
   t.status <- status;

@@ -53,6 +53,10 @@ val create : ?ext_extra:(string * int64 * (t -> unit)) list -> Refine_backend.La
 val step : t -> unit
 (** Execute one instruction (or set a trap status). *)
 
-val run : ?max_steps:int64 -> ?max_cost:int64 -> t -> result
+val run : ?max_steps:int64 -> ?max_cost:int64 -> ?poll:(unit -> unit) -> t -> result
 (** Run to completion, trap, or budget exhaustion ([Timed_out]).
-    [max_cost] is the paper's 10x-profiling timeout measure. *)
+    [max_cost] is the paper's 10x-profiling timeout measure.  [poll] is
+    called every 2048 executed instructions; an exception it raises (e.g.
+    {!Refine_support.Supervisor.Cancelled} from a cancellation token)
+    propagates to the caller, aborting the run — the cooperative kill
+    mechanism used by campaign watchdogs. *)

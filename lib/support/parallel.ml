@@ -5,20 +5,33 @@ exception Worker_failure of exn
 (* Dynamic load balancing: workers repeatedly claim the next unprocessed
    index from a shared atomic counter.  Each claimed index is processed and
    written into the (pre-allocated) result slot, so order is preserved
-   without any sorting. *)
-let run_indexed ~domains n (f : int -> unit) =
+   without any sorting.
+
+   This is the fail-fast primitive: the first worker exception cancels the
+   shared token so siblings stop claiming (and, if the task body polls the
+   token, abort in-flight work too), then re-raises as [Worker_failure]
+   with the original backtrace.  Campaigns that must survive individual
+   task failures use [Supervisor.run] instead. *)
+let run_indexed ?token ~domains n (f : int -> unit) =
   if n = 0 then ()
   else begin
+    let external_token = token <> None in
+    let token = match token with Some t -> t | None -> Supervisor.Cancel.create () in
     let domains = max 1 (min domains n) in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
     let worker () =
       let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n && Atomic.get failure = None then begin
-          (try f i
-           with e -> ignore (Atomic.compare_and_set failure None (Some e)));
-          loop ()
+        if not (Supervisor.Cancel.cancelled token) then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (try f i
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               if Atomic.compare_and_set failure None (Some (e, bt)) then
+                 Supervisor.Cancel.cancel ~reason:(Printexc.to_string e) token);
+            loop ()
+          end
         end
       in
       loop ()
@@ -29,19 +42,23 @@ let run_indexed ~domains n (f : int -> unit) =
       worker ();
       Array.iter Domain.join handles
     end;
-    match Atomic.get failure with None -> () | Some e -> raise (Worker_failure e)
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace (Worker_failure e) bt
+    | None -> if external_token then Supervisor.check token
   end
 
-let init ?domains n f =
+(* All n elements go through the worker pool, so f 0 gets the same error
+   surface (Worker_failure, preserved backtrace) as every other index. *)
+let init ?token ?domains n f =
   let domains = match domains with Some d -> d | None -> default_domains () in
   if n = 0 then [||]
   else begin
-    (* Pre-fill with the first element so the array is fully initialized
-       before workers race on the remaining slots. *)
-    let first = f 0 in
-    let out = Array.make n first in
-    run_indexed ~domains (n - 1) (fun i -> out.(i + 1) <- f (i + 1));
-    out
+    let out = Array.make n None in
+    run_indexed ?token ~domains n (fun i -> out.(i) <- Some (f i));
+    Array.map
+      (function Some v -> v | None -> invalid_arg "Parallel.init: slot not filled")
+      out
   end
 
-let map_array ?domains f arr = init ?domains (Array.length arr) (fun i -> f arr.(i))
+let map_array ?token ?domains f arr =
+  init ?token ?domains (Array.length arr) (fun i -> f arr.(i))

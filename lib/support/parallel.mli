@@ -4,18 +4,38 @@
     subscribing each node (artifact §A.4).  Here the unit of work is one
     simulated execution; campaigns distribute experiments over OCaml 5
     domains with dynamic (atomic-counter) load balancing, since experiment
-    durations vary wildly — a crash terminates a run early. *)
+    durations vary wildly — a crash terminates a run early.
+
+    This module is the {e fail-fast} primitive: the first worker exception
+    cancels the pool and is re-raised in the caller.  Campaigns that must
+    survive individual task failures use {!Supervisor.run}, which isolates,
+    retries and aggregates failures instead. *)
 
 val default_domains : unit -> int
 (** Number of worker domains to use by default: the recommended domain count
     of the runtime, at least 1. *)
 
-val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+exception Worker_failure of exn
+(** Wraps the first exception raised by any task — including index 0 — and
+    is re-raised in the caller with the original backtrace preserved
+    ([Printexc.raise_with_backtrace]). *)
+
+val run_indexed :
+  ?token:Supervisor.Cancel.t -> domains:int -> int -> (int -> unit) -> unit
+(** [run_indexed ~domains n f] runs [f i] for [i] in [0..n-1] over worker
+    domains.  On the first task exception the shared cancellation token is
+    cancelled, so sibling workers stop claiming new indices (and task
+    bodies that poll the token abort in-flight work); the exception is then
+    re-raised as {!Worker_failure}.  If a caller-supplied [token] is
+    cancelled externally, raises {!Supervisor.Cancelled}. *)
+
+val map_array : ?token:Supervisor.Cancel.t -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array f arr] applies [f] to every element, distributing elements
     over [domains] workers (default {!default_domains}).  Result order is
     preserved.  [f] must be safe to run concurrently (campaign experiments
     carry their own split PRNG, see {!Prng.split}).  Exceptions raised by [f]
-    are re-raised in the caller. *)
+    surface as {!Worker_failure} in the caller. *)
 
-val init : ?domains:int -> int -> (int -> 'a) -> 'a array
-(** Parallel [Array.init]. *)
+val init : ?token:Supervisor.Cancel.t -> ?domains:int -> int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init].  Unlike a plain [Array.init], index 0 runs under
+    the same supervision as every other index. *)

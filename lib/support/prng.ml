@@ -11,6 +11,19 @@ let splitmix64_next state =
   let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
   logxor z (shift_right_logical z 31)
 
+(* FNV-1a 64-bit: a stable string hash for seed derivation.  [Hashtbl.hash]
+   is free to change between OCaml releases; campaign seeds derived here
+   reproduce across compiler versions.  The result is folded to OCaml's
+   non-negative 63-bit int range. *)
+let hash_string s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  (* fold to OCaml's native int range (63-bit, max 2^62 - 1) *)
+  Int64.to_int (Int64.logand !h 0x3FFFFFFFFFFFFFFFL)
+
 let create seed =
   let state = ref (Int64.of_int seed) in
   let s0 = splitmix64_next state in

@@ -10,6 +10,12 @@
 type t
 (** Mutable generator state. *)
 
+val hash_string : string -> int
+(** FNV-1a 64-bit hash of a string, folded to a non-negative OCaml [int].
+    Unlike [Hashtbl.hash] this is specified and stable across OCaml
+    versions, so campaign seeds derived from (program, tool) names are
+    reproducible anywhere. *)
+
 val create : int -> t
 (** [create seed] builds a generator deterministically from [seed] by
     expanding it with SplitMix64. *)

@@ -1,0 +1,60 @@
+(* Forced mid-run kill + resume smoke test for the campaign engine.
+
+   A 2-program x 2-tool matrix is interrupted partway through by a
+   watchdog (the in-process stand-in for kill -9: remaining samples are
+   abandoned, only the journal survives), resumed from that journal, and
+   the resulting cells must be bit-identical — counts and modeled campaign
+   cost — to an uninterrupted run with the same seed.
+
+   Run via:  dune build @campaign-smoke *)
+
+module E = Refine_campaign.Experiment
+module J = Refine_campaign.Journal
+module Rep = Refine_campaign.Report
+module T = Refine_core.Tool
+module Reg = Refine_bench_progs.Registry
+
+let () =
+  let programs = [ "DC"; "EP" ] in
+  let tools = [ T.Refine; T.Pinfi ] in
+  let samples = 20 and seed = 11 in
+  let total = List.length programs * List.length tools * samples in
+  let srcs = List.map (fun n -> (n, (Reg.find n).Reg.source)) programs in
+  let path = Filename.temp_file "refine_smoke" ".journal" in
+
+  (* phase 1: campaign killed mid-run by a watchdog *)
+  let j = J.create path in
+  let polls = ref 0 in
+  let watchdog () = incr polls; !polls > 8 in
+  ignore (E.run_matrix ~journal:j ~watchdog ~samples ~seed srcs tools);
+  Printf.printf "[smoke] interrupted: %d/%d samples checkpointed to %s\n%!" (J.length j)
+    total path;
+  if J.length j >= total then begin
+    print_endline "[smoke] FAIL: watchdog never fired, nothing was interrupted";
+    exit 1
+  end;
+
+  (* phase 2: resume from the journal *)
+  let j2 = J.create ~resume:true path in
+  let resumed = E.run_matrix ~journal:j2 ~samples ~seed srcs tools in
+  Printf.printf "[smoke] resumed: %d/%d samples checkpointed\n%!" (J.length j2) total;
+
+  (* phase 3: uninterrupted reference run *)
+  let fresh = E.run_matrix ~samples ~seed srcs tools in
+  let ok =
+    List.for_all2
+      (fun (a : E.cell) (b : E.cell) ->
+        a.E.counts = b.E.counts && a.E.injection_cost = b.E.injection_cost)
+      resumed fresh
+  in
+  let healthy =
+    List.for_all (fun (c : E.cell) -> E.total c.E.counts = samples) fresh
+    && Rep.degradation fresh = []
+  in
+  Sys.remove path;
+  if ok && healthy then
+    print_endline "[smoke] PASS: resumed campaign bit-identical to uninterrupted run"
+  else begin
+    print_endline "[smoke] FAIL: resumed campaign differs from uninterrupted run";
+    exit 1
+  end

@@ -14,6 +14,7 @@ let () =
       ("semantics", Test_semantics.tests);
       ("benchmarks", Test_benchmarks.tests);
       ("campaign", Test_campaign.tests);
+      ("robustness", Test_robustness.tests);
       ("extensions", Test_extensions.tests);
       ("paper", Test_paper_reproduction.tests);
       ("integration", Test_integration.tests);

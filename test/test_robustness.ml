@@ -1,0 +1,323 @@
+(* Robustness tests for the fault-tolerant campaign engine: supervised
+   workers, bounded retry, watchdog kills, checkpoint/resume journal and
+   ToolError graceful degradation. *)
+
+module P = Refine_support.Prng
+module Par = Refine_support.Parallel
+module S = Refine_support.Supervisor
+module E = Refine_campaign.Experiment
+module J = Refine_campaign.Journal
+module Rep = Refine_campaign.Report
+module T = Refine_core.Tool
+module F = Refine_core.Fault
+
+let src =
+  {|
+int main() {
+  int i; float s = 0.0;
+  for (i = 0; i < 40; i = i + 1) { s = s + tofloat(i * i) * 0.125; }
+  print_float(s);
+  return 0;
+}
+|}
+
+let tmpfile () = Filename.temp_file "refine_journal" ".log"
+
+(* ---- stable seed derivation (replaces Hashtbl.hash) -------------------- *)
+
+let test_fnv1a_pinned () =
+  (* FNV-1a 64 offset basis / known vectors, folded to 63 bits; pinned so a
+     change in the hash (or a return to Hashtbl.hash) fails loudly *)
+  Alcotest.(check int) "fnv1a(\"\")" 860922984064492325 (P.hash_string "");
+  Alcotest.(check int) "fnv1a(HPCCG-1.0)" 404067949972785624 (P.hash_string "HPCCG-1.0");
+  Alcotest.(check int) "cell seed pinned" 4201135180414618005
+    (E.cell_seed ~seed:1 ~program:"tiny" T.Refine);
+  Alcotest.(check int) "cell seed pinned (DC/PINFI)" 2999991401370769998
+    (E.cell_seed ~seed:20170712 ~program:"DC" T.Pinfi)
+
+(* ---- supervisor: isolation, retry, watchdog ---------------------------- *)
+
+let test_retry_then_success () =
+  let tries = Array.make 4 0 in
+  let out =
+    S.run ~policy:{ S.default_policy with S.max_retries = 3 } ~domains:1 4
+      (fun ~attempt i ->
+        tries.(i) <- tries.(i) + 1;
+        if i = 2 && attempt < 2 then failwith "flaky";
+        i * 10)
+  in
+  (match out.(2) with
+  | S.Done (v, attempts) ->
+    Alcotest.(check int) "value" 20 v;
+    Alcotest.(check int) "attempts used" 3 attempts
+  | _ -> Alcotest.fail "task 2 should succeed after retries");
+  Alcotest.(check int) "task 2 ran 3 times" 3 tries.(2);
+  Alcotest.(check int) "task 0 ran once" 1 tries.(0)
+
+let test_retry_exhaustion () =
+  let out =
+    S.run ~policy:{ S.default_policy with S.max_retries = 2 } ~domains:2 6
+      (fun ~attempt:_ i -> if i = 3 then failwith "always broken" else i)
+  in
+  (match out.(3) with
+  | S.Failed f ->
+    Alcotest.(check int) "attempts" 3 f.S.attempts;
+    Alcotest.(check bool) "error captured" true
+      (match f.S.exn with Failure m -> m = "always broken" | _ -> false)
+  | _ -> Alcotest.fail "task 3 should exhaust retries");
+  (* sibling tasks are unaffected: one failure no longer aborts the pool *)
+  List.iter
+    (fun i ->
+      match out.(i) with
+      | S.Done (v, 1) -> Alcotest.(check int) "sibling done" i v
+      | _ -> Alcotest.fail (Printf.sprintf "task %d should be Done" i))
+    [ 0; 1; 2; 4; 5 ];
+  Alcotest.(check int) "one aggregated failure" 1 (List.length (S.failures out))
+
+let test_watchdog_skips_remaining () =
+  let polls = ref 0 in
+  let out =
+    S.run ~domains:1 ~watchdog:(fun () -> incr polls; !polls > 3) 10
+      (fun ~attempt:_ i -> i)
+  in
+  let done_n =
+    Array.fold_left (fun n -> function S.Done _ -> n + 1 | _ -> n) 0 out
+  in
+  let skipped_n =
+    Array.fold_left (fun n -> function S.Skipped -> n + 1 | _ -> n) 0 out
+  in
+  Alcotest.(check int) "watchdog stopped after 3 tasks" 3 done_n;
+  Alcotest.(check int) "rest skipped, not failed" 7 skipped_n
+
+let test_cancelled_inflight () =
+  (* a task that polls the token aborts mid-flight and lands as Skipped *)
+  let token = S.Cancel.create () in
+  let out =
+    S.run ~token ~domains:1 3 (fun ~attempt:_ i ->
+        if i = 1 then begin
+          S.Cancel.cancel ~reason:"test kill" token;
+          S.check token
+        end;
+        i)
+  in
+  (match (out.(0), out.(1), out.(2)) with
+  | S.Done (0, 1), S.Skipped, S.Skipped -> ()
+  | _ -> Alcotest.fail "expected Done/Skipped/Skipped");
+  Alcotest.(check (option string)) "reason kept" (Some "test kill") (S.Cancel.reason token)
+
+(* ---- parallel: unified error surface, cooperative cancellation --------- *)
+
+let test_init_first_element_supervised () =
+  (* an exception in f 0 used to escape raw (f 0 ran on the caller); it must
+     arrive wrapped like every other index *)
+  Alcotest.(check bool) "f 0 failure wrapped" true
+    (try
+       ignore (Par.init ~domains:2 4 (fun i -> if i = 0 then failwith "boom0" else i));
+       false
+     with Par.Worker_failure (Failure m) -> m = "boom0")
+
+let test_parallel_external_cancel () =
+  let token = S.Cancel.create () in
+  let ran = Atomic.make 0 in
+  Alcotest.(check bool) "external cancel raises Cancelled" true
+    (try
+       ignore
+         (Par.init ~token ~domains:1 100 (fun i ->
+              ignore (Atomic.fetch_and_add ran 1);
+              if i = 4 then S.Cancel.cancel ~reason:"stop" token;
+              i));
+       false
+     with S.Cancelled _ -> true);
+  (* sibling tasks after the cancellation point were never claimed *)
+  Alcotest.(check bool) "stopped early" true (Atomic.get ran < 100)
+
+(* ---- per-sample watchdog (modeled-cost budget) ------------------------- *)
+
+let prepared = lazy (T.prepare T.Refine src)
+
+let test_sample_budget_exceeded () =
+  let p = Lazy.force prepared in
+  let rng = P.create 7 in
+  Alcotest.(check bool) "tiny budget kills the sample" true
+    (try
+       ignore (T.run_injection ~cost_cap:1L p (P.split rng));
+       false
+     with T.Sample_budget_exceeded _ -> true);
+  (* a cap at/above the paper's 10x timeout is inert: never raises *)
+  let r2 = P.create 7 in
+  ignore (T.run_injection ~cost_cap:Int64.max_int p (P.split r2))
+
+let test_watchdog_expiry_degrades_to_tool_error () =
+  let c =
+    E.run_cell ~domains:2 ~retries:1 ~cost_cap:1L ~samples:8 ~seed:5 T.Refine
+      ~program:"tiny" ~source:src ()
+  in
+  Alcotest.(check int) "all samples are tool errors" 8 c.E.counts.E.tool_error;
+  Alcotest.(check int) "contingency n is zero" 0 (E.total c.E.counts);
+  Alcotest.(check int) "attempted includes tool errors" 8 (E.attempted c.E.counts);
+  Alcotest.(check (array int)) "chi2 row excludes tool errors" [| 0; 0; 0 |] (E.row c);
+  Alcotest.(check int) "failures aggregated" 8 (List.length c.E.failures);
+  List.iter
+    (fun f -> Alcotest.(check int) "retry budget honoured" 2 f.S.attempts)
+    c.E.failures;
+  (* watchdog kills still bill their burned budget to campaign time *)
+  Alcotest.(check bool) "burned cost accounted" true (c.E.injection_cost > 0L);
+  match Rep.degradation [ c ] with
+  | [ w ] ->
+    Alcotest.(check bool) "warning names the cell" true
+      (let has s sub =
+         let n = String.length s and m = String.length sub in
+         let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+         go 0
+       in
+       has w "tiny" && has w "margin of error")
+  | ws -> Alcotest.fail (Printf.sprintf "expected 1 warning, got %d" (List.length ws))
+
+(* ---- graceful degradation across the matrix ---------------------------- *)
+
+let test_matrix_survives_broken_cell () =
+  (* a program whose profiling run exits nonzero: prepare fails, the cell
+     degrades, the rest of the matrix completes *)
+  let bad = "int main() { return 1; }" in
+  let cells =
+    E.run_matrix ~domains:2 ~samples:10 ~seed:3
+      [ ("bad", bad); ("tiny", src) ]
+      [ T.Refine; T.Pinfi ]
+  in
+  Alcotest.(check int) "all four cells present" 4 (List.length cells);
+  let b = E.find_cell cells ~program:"bad" ~tool:T.Refine in
+  Alcotest.(check int) "broken cell fully degraded" 10 b.E.counts.E.tool_error;
+  Alcotest.(check bool) "prepare failure recorded" true
+    (match b.E.failures with [ { S.index = -1; _ } ] -> true | _ -> false);
+  let g = E.find_cell cells ~program:"tiny" ~tool:T.Pinfi in
+  Alcotest.(check int) "healthy cell complete" 10 (E.total g.E.counts);
+  Alcotest.(check int) "healthy cell has no tool errors" 0 g.E.counts.E.tool_error;
+  Alcotest.(check int) "two warnings (bad cells only)" 2
+    (List.length (Rep.degradation cells))
+
+let test_reports_survive_degraded_matrix () =
+  (* every sample killed by the cost cap: the CI, chi-squared and timing
+     reports must render placeholders / trivial verdicts, not abort *)
+  let cells =
+    E.run_matrix ~domains:2 ~retries:0 ~cost_cap:1L ~samples:4 ~seed:2
+      [ ("tiny", src) ] Rep.tools
+  in
+  List.iter
+    (fun (c : E.cell) ->
+      Alcotest.(check int) "cell fully degraded" 4 c.E.counts.E.tool_error)
+    cells;
+  let fig4 = Rep.figure4_program cells "tiny" in
+  Alcotest.(check bool) "figure 4 renders placeholder" true
+    (String.length fig4 > 0
+    && (let n = String.length fig4 in
+        let rec go i = i + 2 <= n && (String.sub fig4 i 2 = "--" || go (i + 1)) in
+        go 0));
+  (match Rep.chi2_rows cells [ "tiny" ] with
+  | [ r ] ->
+    Alcotest.(check bool) "empty-vs-empty chi2 is the trivial verdict" false
+      r.Rep.refine_vs_pinfi.Refine_stats.Chi2.significant;
+    Alcotest.(check (float 1e-9)) "p-value is 1" 1.0
+      r.Rep.refine_vs_pinfi.Refine_stats.Chi2.p_value
+  | rs -> Alcotest.fail (Printf.sprintf "expected 1 chi2 row, got %d" (List.length rs)));
+  ignore (Rep.table5 (Rep.chi2_rows cells [ "tiny" ]));
+  Alcotest.(check int) "one warning per cell" (List.length Rep.tools)
+    (List.length (Rep.degradation cells))
+
+(* ---- journal ----------------------------------------------------------- *)
+
+let entry sample outcome cost =
+  { J.program = "p"; tool = "REFINE"; sample; outcome; cost; attempts = 1 }
+
+let test_journal_roundtrip () =
+  let path = tmpfile () in
+  let j = J.create path in
+  J.record j (entry 0 F.Crash 100L);
+  J.record j (entry 1 F.Benign 200L);
+  J.record j (entry 2 F.Tool_error 5L);
+  let j2 = J.create ~resume:true path in
+  Alcotest.(check int) "entries survive reopen" 3 (J.length j2);
+  let tbl = J.completed j2 ~program:"p" ~tool:"REFINE" in
+  Alcotest.(check int) "completed keyed by sample" 3 (Hashtbl.length tbl);
+  Alcotest.(check bool) "outcome preserved" true
+    ((Hashtbl.find tbl 2).J.outcome = F.Tool_error);
+  Alcotest.(check int64) "cost preserved" 200L (Hashtbl.find tbl 1).J.cost;
+  let j3 = J.create path in
+  Alcotest.(check int) "non-resume truncates" 0 (J.length j3);
+  Sys.remove path
+
+let test_journal_skips_garbage () =
+  let path = tmpfile () in
+  let oc = open_out path in
+  output_string oc "# refine-journal v1\np\tREFINE\t0\tcrash\t42\t1\nnot a valid line\n";
+  close_out oc;
+  let j = J.create ~resume:true path in
+  Alcotest.(check int) "good line kept, torn line dropped" 1 (J.length j);
+  Sys.remove path
+
+(* ---- kill / resume determinism ----------------------------------------- *)
+
+let counts_equal (a : E.cell) (b : E.cell) =
+  a.E.counts = b.E.counts && a.E.injection_cost = b.E.injection_cost
+
+let test_watchdog_kill_then_resume () =
+  let samples = 12 and seed = 3 in
+  let run ?journal ?watchdog ~domains () =
+    E.run_cell ~domains ?journal ?watchdog ~samples ~seed T.Pinfi ~program:"tiny"
+      ~source:src ()
+  in
+  let path = tmpfile () in
+  let j = J.create path in
+  let polls = ref 0 in
+  let partial = run ~journal:j ~watchdog:(fun () -> incr polls; !polls > 5) ~domains:2 () in
+  Alcotest.(check bool) "interrupted run is partial" true
+    (E.attempted partial.E.counts < samples);
+  let j2 = J.create ~resume:true path in
+  let resumed = run ~journal:j2 ~domains:2 () in
+  let fresh = run ~domains:1 () in
+  Alcotest.(check bool) "resume == uninterrupted (counts + cost)" true
+    (counts_equal resumed fresh);
+  Sys.remove path
+
+let prop_resume_deterministic =
+  QCheck.Test.make ~name:"resume from any k-sample prefix is bit-identical" ~count:8
+    QCheck.(triple (int_bound 1000) (int_bound 9) (int_range 1 3))
+    (fun (seed, k, domains) ->
+      let samples = 10 in
+      let path_full = tmpfile () and path_part = tmpfile () in
+      let j_full = J.create path_full in
+      let full =
+        E.run_cell ~domains ~journal:j_full ~samples ~seed T.Refine ~program:"tiny"
+          ~source:src ()
+      in
+      (* simulate a crash after k checkpoints: keep only a k-entry prefix *)
+      let kept = List.filteri (fun i _ -> i < k) (J.entries j_full) in
+      let j_part = J.create path_part in
+      List.iter (J.record j_part) kept;
+      let j_resumed = J.create ~resume:true path_part in
+      let resumed =
+        E.run_cell ~domains:1 ~journal:j_resumed ~samples ~seed T.Refine ~program:"tiny"
+          ~source:src ()
+      in
+      Sys.remove path_full;
+      Sys.remove path_part;
+      counts_equal full resumed)
+
+let tests =
+  [
+    Alcotest.test_case "stable seed pinned" `Quick test_fnv1a_pinned;
+    Alcotest.test_case "retry then success" `Quick test_retry_then_success;
+    Alcotest.test_case "retry exhaustion" `Quick test_retry_exhaustion;
+    Alcotest.test_case "watchdog skips remaining" `Quick test_watchdog_skips_remaining;
+    Alcotest.test_case "in-flight cancellation" `Quick test_cancelled_inflight;
+    Alcotest.test_case "init f0 supervised" `Quick test_init_first_element_supervised;
+    Alcotest.test_case "parallel external cancel" `Quick test_parallel_external_cancel;
+    Alcotest.test_case "sample budget watchdog" `Quick test_sample_budget_exceeded;
+    Alcotest.test_case "watchdog -> ToolError" `Quick test_watchdog_expiry_degrades_to_tool_error;
+    Alcotest.test_case "matrix survives broken cell" `Quick test_matrix_survives_broken_cell;
+    Alcotest.test_case "reports survive degraded matrix" `Quick
+      test_reports_survive_degraded_matrix;
+    Alcotest.test_case "journal roundtrip" `Quick test_journal_roundtrip;
+    Alcotest.test_case "journal skips garbage" `Quick test_journal_skips_garbage;
+    Alcotest.test_case "kill + resume determinism" `Quick test_watchdog_kill_then_resume;
+    QCheck_alcotest.to_alcotest prop_resume_deterministic;
+  ]
