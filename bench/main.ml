@@ -18,13 +18,18 @@
                       to a ToolError tally entry (default 1)
      REFINE_SAMPLE_TIMEOUT
                       per-sample modeled-cost watchdog cap (default: none,
-                      i.e. only the paper's 10x-profiling timeout) *)
+                      i.e. only the paper's 10x-profiling timeout)
+     REFINE_OBS       set to 0 to disable the observability layer (metrics
+                      registry + span accounting); when enabled (default)
+                      the harness writes a BENCH_obs.json trajectory point
+                      with per-tool overhead totals and key counters *)
 
 module T = Refine_core.Tool
 module E = Refine_campaign.Experiment
 module Rep = Refine_campaign.Report
 module Reg = Refine_bench_progs.Registry
 module Tbl = Refine_support.Table
+module Obs = Refine_obs
 
 let getenv_default name default =
   match Sys.getenv_opt name with Some v when v <> "" -> v | _ -> default
@@ -126,11 +131,12 @@ let run_campaign () =
   in
   let t0 = Unix.gettimeofday () in
   let cells = E.run_matrix ?journal ~retries ?cost_cap ~samples ~seed progs Rep.tools in
+  let wall = Unix.gettimeofday () -. t0 in
   Printf.printf "\n[campaign: %d experiments in %.1fs]\n"
     (List.length programs * 3 * samples)
-    (Unix.gettimeofday () -. t0);
+    wall;
   List.iter print_endline (Rep.degradation cells);
-  cells
+  (cells, wall)
 
 let print_figure4 cells =
   section "Figure 4 - fault-injection outcome distributions";
@@ -173,6 +179,89 @@ let print_table6 cells =
 let print_figure5 cells =
   section "Figure 5 - experimentation time";
   print_string (Rep.figure5 cells programs)
+
+(* ---- Figures 8/9: measured wall-clock overhead --------------------------
+   Unlike Figure 5's modeled cost units, these are Unix.gettimeofday
+   measurements bucketed by Experiment/Tool into the instrument / compile /
+   execute / harness phases, with each tool's total normalized to PINFI's
+   (the paper's time-overhead presentation). *)
+
+let tool_timing cells tool =
+  List.fold_left
+    (fun acc program ->
+      let t = (E.find_cell cells ~program ~tool).E.timing in
+      {
+        E.instrument_s = acc.E.instrument_s +. t.E.instrument_s;
+        compile_s = acc.E.compile_s +. t.E.compile_s;
+        execute_s = acc.E.execute_s +. t.E.execute_s;
+        harness_s = acc.E.harness_s +. t.E.harness_s;
+      })
+    E.zero_timing programs
+
+let print_overhead cells =
+  section "Figures 8/9 - wall-clock overhead breakdown";
+  print_string (Rep.overhead_table cells programs);
+  let pinfi = Rep.timing_total (tool_timing cells T.Pinfi) in
+  List.iter
+    (fun tool ->
+      let total = Rep.timing_total (tool_timing cells tool) in
+      Printf.printf "%-7s total %8.3fs  = %.2fx PINFI\n" (T.kind_name tool) total
+        (if pinfi > 0.0 then total /. pinfi else nan))
+    Rep.tools
+
+(* ---- BENCH_obs.json: one observability trajectory point ------------------ *)
+
+let sum_counter name =
+  List.fold_left
+    (fun acc (n, _, v) ->
+      match v with Obs.Metrics.Counter c when n = name -> Int64.add acc c | _ -> acc)
+    0L (Obs.Metrics.snapshot ())
+
+let write_obs_json cells campaign_wall =
+  let buf = Buffer.create 1024 in
+  let pinfi = Rep.timing_total (tool_timing cells T.Pinfi) in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"samples_per_cell\": %d,\n" samples);
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" seed);
+  Buffer.add_string buf (Printf.sprintf "  \"programs\": %d,\n" (List.length programs));
+  Buffer.add_string buf (Printf.sprintf "  \"campaign_wall_s\": %.6f,\n" campaign_wall);
+  Buffer.add_string buf "  \"tools\": {\n";
+  List.iteri
+    (fun i tool ->
+      let t = tool_timing cells tool in
+      let total = Rep.timing_total t in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    \"%s\": { \"instrument_s\": %.6f, \"compile_s\": %.6f, \"execute_s\": %.6f, \
+            \"harness_s\": %.6f, \"total_s\": %.6f, \"ratio_vs_pinfi\": %.4f }%s\n"
+           (T.kind_name tool) t.E.instrument_s t.E.compile_s t.E.execute_s t.E.harness_s total
+           (if pinfi > 0.0 then total /. pinfi else 0.0)
+           (if i < List.length Rep.tools - 1 then "," else "")))
+    Rep.tools;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"counters\": {\n";
+  let counters =
+    [
+      "refine_campaign_samples_total";
+      "refine_campaign_cells_total";
+      "refine_exec_steps_total";
+      "refine_fi_site_hits_total";
+      "refine_supervisor_tasks_total";
+      "refine_supervisor_retries_total";
+      "refine_journal_records_total";
+    ]
+  in
+  List.iteri
+    (fun i name ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %Ld%s\n" name (sum_counter name)
+           (if i < List.length counters - 1 then "," else "")))
+    counters;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "[observability trajectory written to BENCH_obs.json]\n"
 
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
@@ -325,15 +414,19 @@ let () =
   Printf.printf
     "REFINE reproduction - evaluation harness (paper: SC'17, 10.1145/3126908.3126972)\n";
   Printf.printf "programs: %s\n" (String.concat ", " programs);
+  let obs = getenv_default "REFINE_OBS" "1" <> "0" in
+  if obs then Obs.Control.enable ();
   print_table3 ();
   print_setting ();
   print_listings ();
-  let cells = run_campaign () in
+  let cells, campaign_wall = run_campaign () in
   print_figure4 cells;
   print_table4 cells;
   print_table5 cells;
   print_table6 cells;
   print_figure5 cells;
+  print_overhead cells;
+  if obs then write_obs_json cells campaign_wall;
   if getenv_default "REFINE_EXTENSIONS" "1" <> "0" then extensions_section ();
   if getenv_default "REFINE_BECHAMEL" "1" <> "0" then bechamel_section ();
   print_newline ()

@@ -240,7 +240,24 @@ let campaign_cmd =
     Arg.(value & opt (some int) None
          & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (default: cores - 1).")
   in
-  let action programs samples seed csv journal resume retries sample_timeout domains =
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Enable observability and write the merged metrics registry to FILE in \
+                   Prometheus text exposition format when the campaign finishes.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Enable observability and stream span/phase trace events to FILE as \
+                   append-only JSONL (one event object per line).")
+  in
+  let action programs samples seed csv journal resume retries sample_timeout domains
+      metrics_out trace_out =
+    if metrics_out <> None || trace_out <> None then Refine_obs.Control.enable ();
+    (match trace_out with
+    | Some path -> Refine_obs.Span.set_file_sink path
+    | None -> ());
     let names =
       if programs = "all" then Refine_bench_progs.Registry.names
       else String.split_on_char ',' programs |> List.map String.trim
@@ -256,24 +273,36 @@ let campaign_cmd =
     List.iter (fun p -> print_string (Refine_campaign.Report.figure4_program cells p)) names;
     print_string (Refine_campaign.Report.table5 (Refine_campaign.Report.chi2_rows cells names));
     print_string (Refine_campaign.Report.figure5 cells names);
+    print_string (Refine_campaign.Report.overhead_table cells names);
     List.iter print_endline (Refine_campaign.Report.degradation cells);
     (match journal with
     | Some j ->
       Printf.printf "[journal: %d samples checkpointed]\n" (Refine_campaign.Journal.length j)
     | None -> ());
-    match csv with
+    (match csv with
     | Some path ->
       Refine_campaign.Csv.save path cells;
       Printf.printf "[cells written to %s]\n" path
+    | None -> ());
+    (match metrics_out with
+    | Some path ->
+      Refine_obs.Metrics.save path;
+      Printf.printf "[metrics written to %s]\n" path
+    | None -> ());
+    match trace_out with
+    | Some path ->
+      Refine_obs.Span.close_sink ();
+      Printf.printf "[trace written to %s]\n" path
     | None -> ()
   in
   Cmd.v
     (Cmd.info "campaign"
-       ~doc:"Run the evaluation matrix on benchmark programs and print Figure 4/Table 5/Figure 5. \
-             Supports checkpoint/resume ($(b,--journal)/$(b,--resume)), bounded retries and a \
-             per-sample watchdog for campaign-scale robustness.")
+       ~doc:"Run the evaluation matrix on benchmark programs and print Figure 4/Table 5/Figure 5 \
+             plus the Figure 8/9 overhead breakdown. Supports checkpoint/resume \
+             ($(b,--journal)/$(b,--resume)), bounded retries, a per-sample watchdog, and \
+             observability exports ($(b,--metrics-out)/$(b,--trace-out)).")
     Term.(const action $ programs $ samples $ seed $ csv $ journal $ resume $ retries
-          $ sample_timeout $ domains)
+          $ sample_timeout $ domains $ metrics_out $ trace_out)
 
 let main =
   let doc = "REFINE: realistic fault injection via compiler-based instrumentation (SC'17 reproduction)" in

@@ -6,13 +6,15 @@ module E = Experiment
 module T = Refine_core.Tool
 
 let header =
-  "program,tool,samples,crash,soc,benign,tool_error,dyn_count,profile_cost,injection_cost,static_sites"
+  "program,tool,samples,crash,soc,benign,tool_error,dyn_count,profile_cost,injection_cost,static_sites,instrument_s,compile_s,execute_s,harness_s"
 
 let row_of_cell (c : E.cell) =
-  Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%Ld,%Ld,%Ld,%d" c.E.program (T.kind_name c.E.tool)
-    c.E.samples c.E.counts.E.crash c.E.counts.E.soc c.E.counts.E.benign
+  Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%Ld,%Ld,%Ld,%d,%.6f,%.6f,%.6f,%.6f" c.E.program
+    (T.kind_name c.E.tool) c.E.samples c.E.counts.E.crash c.E.counts.E.soc c.E.counts.E.benign
     c.E.counts.E.tool_error c.E.profile.Refine_core.Fault.dyn_count
     c.E.profile.Refine_core.Fault.profile_cost c.E.injection_cost c.E.static_instrumented
+    c.E.timing.E.instrument_s c.E.timing.E.compile_s c.E.timing.E.execute_s
+    c.E.timing.E.harness_s
 
 let to_string (cells : E.cell list) =
   String.concat "\n" (header :: List.map row_of_cell cells) ^ "\n"
@@ -42,8 +44,23 @@ let of_string (s : string) : E.cell list =
     List.map
       (fun line ->
         match String.split_on_char ',' line with
-        | [ program; tool; samples; crash; soc; benign; tool_error; dyn; pcost; icost; sites ]
-          ->
+        | [
+            program;
+            tool;
+            samples;
+            crash;
+            soc;
+            benign;
+            tool_error;
+            dyn;
+            pcost;
+            icost;
+            sites;
+            instr_s;
+            comp_s;
+            exec_s;
+            harn_s;
+          ] ->
           {
             E.program;
             tool = tool_of_name tool;
@@ -65,6 +82,13 @@ let of_string (s : string) : E.cell list =
               };
             static_instrumented = int_of_string sites;
             failures = [];
+            timing =
+              {
+                E.instrument_s = float_of_string instr_s;
+                compile_s = float_of_string comp_s;
+                execute_s = float_of_string exec_s;
+                harness_s = float_of_string harn_s;
+              };
           }
         | _ -> raise (Parse_error ("bad CSV row: " ^ line)))
       rows

@@ -12,6 +12,7 @@ module T = Refine_core.Tool
 module F = Refine_core.Fault
 module P = Refine_support.Prng
 module S = Refine_support.Supervisor
+module Obs = Refine_obs
 
 type counts = { crash : int; soc : int; benign : int; tool_error : int }
 
@@ -29,6 +30,45 @@ let add_outcome c = function
 
 let zero = { crash = 0; soc = 0; benign = 0; tool_error = 0 }
 
+(* Wall-clock overhead attribution per cell, the Figure 8/9-shape columns
+   of Report.overhead_table.  [execute_s] sums the profiling run and every
+   sample's wall time *across worker domains*, so with D domains it can
+   legitimately exceed the cell's elapsed wall time (it is CPU-time-like);
+   [harness_s] is the residual elapsed time not attributed to a measured
+   phase (supervisor scheduling, journaling, classification), clamped at
+   zero when domain parallelism makes the attribution exceed elapsed. *)
+type timing = {
+  instrument_s : float;
+  compile_s : float;
+  execute_s : float;
+  harness_s : float;
+}
+
+let zero_timing = { instrument_s = 0.0; compile_s = 0.0; execute_s = 0.0; harness_s = 0.0 }
+
+let m_samples outcome =
+  Obs.Metrics.counter ~help:"resolved campaign samples by outcome"
+    ~labels:[ ("outcome", outcome) ]
+    "refine_campaign_samples_total"
+
+let m_crash = m_samples "crash"
+let m_soc = m_samples "SOC"
+let m_benign = m_samples "benign"
+let m_tool_error = m_samples "tool-error"
+
+let m_outcome = function
+  | F.Crash -> m_crash
+  | F.Soc -> m_soc
+  | F.Benign -> m_benign
+  | F.Tool_error -> m_tool_error
+
+let m_cells =
+  Obs.Metrics.counter ~help:"completed (program, tool) campaign cells" "refine_campaign_cells_total"
+
+let m_resumed =
+  Obs.Metrics.counter ~help:"samples loaded from a resume journal instead of re-run"
+    "refine_campaign_resumed_samples_total"
+
 type cell = {
   program : string;
   tool : T.kind;
@@ -38,6 +78,7 @@ type cell = {
   profile : F.profile;
   static_instrumented : int;
   failures : S.failure list; (* samples that exhausted the retry budget *)
+  timing : timing; (* wall-clock overhead attribution (zero for loaded cells) *)
 }
 
 (* Stable seed derivation: FNV-1a over the cell identity instead of
@@ -67,19 +108,26 @@ let run_cell ?domains ?(sel = Refine_core.Selection.default) ?journal ?(retries 
   let domains =
     match domains with Some d -> d | None -> Refine_support.Parallel.default_domains ()
   in
-  let prepared = T.prepare ~sel tool source in
+  let tool_name = T.kind_name tool in
+  let span_attrs = [ ("program", program); ("tool", tool_name) ] in
+  let phases = Obs.Phase.create () in
+  let cell_t0 = Obs.Control.now () in
+  let prepared =
+    Obs.Span.with_ ~attrs:span_attrs "prepare" (fun () -> T.prepare ~phases ~sel tool source)
+  in
   let master = P.create (cell_seed ~seed ~program tool) in
   let bases = Array.init samples (fun _ -> P.split master) in
-  let tool_name = T.kind_name tool in
   let results : F.experiment option array = Array.make samples None in
   (match journal with
   | Some j ->
     let resolved = Journal.completed j ~program ~tool:tool_name in
     Hashtbl.iter
       (fun i (e : Journal.entry) ->
-        if i >= 0 && i < samples then
+        if i >= 0 && i < samples then begin
+          Obs.Metrics.inc m_resumed;
           results.(i) <-
-            Some { F.outcome = e.Journal.outcome; run_cost = e.Journal.cost; fault = None })
+            Some { F.outcome = e.Journal.outcome; run_cost = e.Journal.cost; fault = None }
+        end)
       resolved
   | None -> ());
   let todo = ref [] in
@@ -90,12 +138,29 @@ let run_cell ?domains ?(sel = Refine_core.Selection.default) ?journal ?(retries 
   let token = match token with Some t -> t | None -> S.Cancel.create () in
   let poll () = S.check token in
   let policy = { S.default_policy with S.max_retries = retries } in
+  (* one injection, with its wall time billed to the execute column even
+     when it ends in a watchdog kill or cancellation *)
+  let timed_injection rng =
+    let t0 = Obs.Control.now () in
+    match T.run_injection ?cost_cap ~poll prepared rng with
+    | e ->
+      let dt = Obs.Control.now () -. t0 in
+      Obs.Phase.add phases "execute" dt;
+      Obs.Span.emit ~attrs:span_attrs ~cost:e.F.run_cost ~name:"sample" ~dur_s:dt ();
+      e
+    | exception ex ->
+      let bt = Printexc.get_raw_backtrace () in
+      Obs.Phase.add phases "execute" (Obs.Control.now () -. t0);
+      Printexc.raise_with_backtrace ex bt
+  in
   let outcomes =
-    S.run ~token ~policy ?watchdog ~domains (Array.length todo) (fun ~attempt k ->
-        T.run_injection ?cost_cap ~poll prepared (rng_for_attempt bases.(todo.(k)) attempt))
+    Obs.Span.with_ ~attrs:span_attrs "inject" (fun () ->
+        S.run ~token ~policy ?watchdog ~domains (Array.length todo) (fun ~attempt k ->
+            timed_injection (rng_for_attempt bases.(todo.(k)) attempt)))
   in
   let failures = ref [] in
   let checkpoint i (e : F.experiment) attempts =
+    Obs.Metrics.inc (m_outcome e.F.outcome);
     results.(i) <- Some e;
     match journal with
     | Some j ->
@@ -131,6 +196,19 @@ let run_cell ?domains ?(sel = Refine_core.Selection.default) ?journal ?(retries 
         | None -> (c, cost))
       (zero, 0L) results
   in
+  let timing =
+    let wall = Obs.Control.now () -. cell_t0 in
+    let instrument_s = Obs.Phase.get phases "instrument" in
+    let compile_s = Obs.Phase.get phases "compile" in
+    let execute_s = Obs.Phase.get phases "execute" in
+    {
+      instrument_s;
+      compile_s;
+      execute_s;
+      harness_s = Float.max 0.0 (wall -. instrument_s -. compile_s -. execute_s);
+    }
+  in
+  Obs.Metrics.inc m_cells;
   {
     program;
     tool;
@@ -140,6 +218,7 @@ let run_cell ?domains ?(sel = Refine_core.Selection.default) ?journal ?(retries 
     profile = prepared.T.profile;
     static_instrumented = prepared.T.static_instrumented;
     failures = List.rev !failures;
+    timing;
   }
 
 (* A cell whose preparation (compile/profile) failed outright: every
@@ -154,6 +233,7 @@ let degraded_cell ~program ~tool ~samples exn =
     profile = { F.golden_output = ""; golden_exit = 0; dyn_count = 0L; profile_cost = 0L };
     static_instrumented = 0;
     failures = [ { S.index = -1; attempts = 1; exn; backtrace = "" } ];
+    timing = zero_timing;
   }
 
 (* The full evaluation matrix: every program x every tool.  A cell that

@@ -16,6 +16,22 @@ val attempted : counts -> int
 val zero : counts
 val add_outcome : counts -> Refine_core.Fault.outcome -> counts
 
+type timing = {
+  instrument_s : float;  (** FI pass / DBI attach wall time *)
+  compile_s : float;  (** frontend + IR opt + codegen wall time *)
+  execute_s : float;
+      (** profiling run + every sample's wall time, summed {e across worker
+          domains} — CPU-time-like, may exceed elapsed wall time *)
+  harness_s : float;
+      (** residual elapsed cell time not attributed to a measured phase
+          (scheduling, journaling, classification); clamped at 0 when
+          domain parallelism makes attribution exceed elapsed time *)
+}
+(** Wall-clock overhead attribution per cell — the columns of
+    {!Report.overhead_table} (the paper's Fig. 8/9 time-overhead shape). *)
+
+val zero_timing : timing
+
 type cell = {
   program : string;
   tool : Refine_core.Tool.kind;
@@ -28,6 +44,9 @@ type cell = {
   failures : Refine_support.Supervisor.failure list;
       (** samples that exhausted their retry budget (tallied as
           [tool_error]); index -1 marks a cell whose preparation failed *)
+  timing : timing;
+      (** wall-clock overhead attribution; {!zero_timing} for degraded or
+          CSV-loaded cells *)
 }
 
 val cell_seed : seed:int -> program:string -> Refine_core.Tool.kind -> int

@@ -79,13 +79,25 @@ let create ?(resume = false) path =
   flush t;
   t
 
+let m_records =
+  Refine_obs.Metrics.counter ~help:"samples checkpointed to the resume journal"
+    "refine_journal_records_total"
+
+let m_flush_seconds =
+  Refine_obs.Metrics.histogram ~help:"journal flush (write + atomic rename) wall time"
+    ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 |]
+    "refine_journal_flush_seconds"
+
 let record t e =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
       t.entries <- e :: t.entries;
-      flush t)
+      let t0 = Refine_obs.Control.now () in
+      flush t;
+      Refine_obs.Metrics.inc m_records;
+      Refine_obs.Metrics.observe m_flush_seconds (Refine_obs.Control.now () -. t0))
 
 let entries t =
   Mutex.lock t.lock;

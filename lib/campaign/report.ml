@@ -205,6 +205,84 @@ let degradation ?(confidence = 0.95) (cells : E.cell list) =
              (100.0 *. achieved) (100.0 *. requested) (100.0 *. confidence) causes))
     cells
 
+(* ---- Figures 8/9: wall-clock overhead breakdown ------------------------
+   The paper's instrumentation/compilation/execution time-overhead figures:
+   per (program, tool), where the harness actually spent its wall time, and
+   the per-tool total normalized to PINFI.  Unlike Figure 5 (modeled cost
+   units) this table reports measured seconds from Experiment.timing. *)
+
+let timing_total (t : E.timing) =
+  t.E.instrument_s +. t.E.compile_s +. t.E.execute_s +. t.E.harness_s
+
+let overhead_table (cells : E.cell list) programs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "Figures 8/9 — wall-clock overhead breakdown (seconds; ratio vs PINFI total)\n";
+  let s v = Printf.sprintf "%.3f" v in
+  let ratio tool_total pinfi_total =
+    if pinfi_total <= 0.0 then "--" else Printf.sprintf "%.2fx" (tool_total /. pinfi_total)
+  in
+  let per_program =
+    List.concat_map
+      (fun program ->
+        let cell tool = E.find_cell cells ~program ~tool in
+        let pinfi_total = timing_total (cell T.Pinfi).E.timing in
+        List.map
+          (fun tool ->
+            let t = (cell tool).E.timing in
+            [
+              program;
+              T.kind_name tool;
+              s t.E.instrument_s;
+              s t.E.compile_s;
+              s t.E.execute_s;
+              s t.E.harness_s;
+              s (timing_total t);
+              ratio (timing_total t) pinfi_total;
+            ])
+          tools)
+      programs
+  in
+  (* Total block: each tool's timing summed over every program *)
+  let sum_tool tool =
+    List.fold_left
+      (fun acc program ->
+        let t = (E.find_cell cells ~program ~tool).E.timing in
+        {
+          E.instrument_s = acc.E.instrument_s +. t.E.instrument_s;
+          compile_s = acc.E.compile_s +. t.E.compile_s;
+          execute_s = acc.E.execute_s +. t.E.execute_s;
+          harness_s = acc.E.harness_s +. t.E.harness_s;
+        })
+      E.zero_timing programs
+  in
+  let pinfi_grand = timing_total (sum_tool T.Pinfi) in
+  let totals =
+    List.map
+      (fun tool ->
+        let t = sum_tool tool in
+        [
+          "Total";
+          T.kind_name tool;
+          s t.E.instrument_s;
+          s t.E.compile_s;
+          s t.E.execute_s;
+          s t.E.harness_s;
+          s (timing_total t);
+          ratio (timing_total t) pinfi_grand;
+        ])
+      tools
+  in
+  Buffer.add_string buf
+    (Tbl.render
+       ~align:
+         [ Tbl.Left; Tbl.Left; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right; Tbl.Right ]
+       ~header:
+         [ "program"; "tool"; "instrument"; "compile"; "execute"; "harness"; "total"; "vs PINFI" ]
+       (per_program @ totals));
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
 (* ---- Figure 5: campaign time normalized to PINFI ---------------------- *)
 
 let figure5 (cells : E.cell list) programs =

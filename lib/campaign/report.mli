@@ -36,6 +36,16 @@ val table6 : Experiment.cell list -> string list -> string
 val figure5 : Experiment.cell list -> string list -> string
 (** Campaign execution time normalized to PINFI, measured | paper. *)
 
+val timing_total : Experiment.timing -> float
+(** Sum of every overhead column of a cell's timing. *)
+
+val overhead_table : Experiment.cell list -> string list -> string
+(** The paper's Figures 8/9 shape: per (program, tool) wall-clock seconds
+    split into instrument / compile / execute / harness columns, plus each
+    tool's total normalized to PINFI's, with a Total block summed over all
+    programs.  Reports measured seconds ({!Experiment.timing}), unlike
+    {!figure5}'s modeled cost units. *)
+
 val degradation : ?confidence:float -> Experiment.cell list -> string list
 (** One warning line per cell whose achieved sample size dropped below the
     requested one (harness [tool_error]s or an interrupted run), with the

@@ -10,10 +10,74 @@
 module E = Refine_machine.Exec
 module P = Refine_support.Prng
 module Pipeline = Refine_ir.Pipeline
+module Obs = Refine_obs
+module M = Refine_mir.Minstr
 
 type kind = Refine | Llfi | Pinfi
 
 let kind_name = function Refine -> "REFINE" | Llfi -> "LLFI" | Pinfi -> "PINFI"
+
+(* ---- observability (DESIGN.md §12) ------------------------------------
+
+   Executor profiling and FI-site accounting, flushed into the metrics
+   registry after each run.  All handles are pre-created per (tool, class)
+   so the per-run flush never pays the registry's creation lookup; with
+   observability disabled the whole block is one boolean branch per run. *)
+
+let kind_index = function Refine -> 0 | Llfi -> 1 | Pinfi -> 2
+let kind_names = [| "REFINE"; "LLFI"; "PINFI" |]
+
+let m_exec_steps =
+  Array.init 3 (fun t ->
+      Array.init M.num_iclasses (fun k ->
+          Obs.Metrics.counter ~help:"simulated instructions by opcode class"
+            ~labels:[ ("tool", kind_names.(t)); ("class", M.iclass_name M.iclasses.(k)) ]
+            "refine_exec_steps_total"))
+
+let m_ext_calls =
+  Array.init 3 (fun t ->
+      Obs.Metrics.counter ~help:"runtime-library/libc calls made by simulated code"
+        ~labels:[ ("tool", kind_names.(t)) ]
+        "refine_exec_ext_calls_total")
+
+let m_ext_cost =
+  Array.init 3 (fun t ->
+      Obs.Metrics.counter ~help:"modeled cost charged by extern calls"
+        ~labels:[ ("tool", kind_names.(t)) ]
+        "refine_exec_ext_cost_units_total")
+
+let m_fi_hits =
+  Array.init 3 (fun t ->
+      Obs.Metrics.counter
+        ~help:"dynamic visits to FI-instrumented sites (control-library calls or DBI hook hits)"
+        ~labels:[ ("tool", kind_names.(t)) ]
+        "refine_fi_site_hits_total")
+
+let m_run_cost =
+  Array.init 3 (fun t ->
+      Obs.Metrics.counter ~help:"modeled cost of completed simulator runs"
+        ~labels:[ ("tool", kind_names.(t)) ]
+        "refine_run_cost_units_total")
+
+(* Attach an executor profile iff observability is on; [flush_obs] mirrors
+   it (and the control library's dynamic site count) into the registry. *)
+let maybe_profile (eng : E.t) = if Obs.Control.enabled () then ignore (E.enable_profiling eng)
+
+let flush_obs kind (eng : E.t) ~fi_hits ~run_cost =
+  if Obs.Control.enabled () then begin
+    let t = kind_index kind in
+    (match eng.E.prof with
+    | Some p ->
+      Array.iteri
+        (fun k n -> if n <> 0L then Obs.Metrics.add64 m_exec_steps.(t).(k) n)
+        p.E.class_steps;
+      Obs.Metrics.add64 m_ext_calls.(t) p.E.ext_calls;
+      Obs.Metrics.add64 m_ext_cost.(t) p.E.ext_cost
+    | None -> ());
+    Obs.Metrics.add64 m_fi_hits.(t) fi_hits;
+    Obs.Metrics.add64 m_run_cost.(t) run_cost;
+    Obs.Span.add_cost run_cost
+  end
 
 type prepared = {
   kind : kind;
@@ -50,33 +114,47 @@ let finish_profile kind sel image static_instrumented (count : int64) (r : E.res
       };
   }
 
-let prepare ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps = 2_000_000_000L)
+(* [phases] buckets wall-clock time into the overhead-breakdown columns
+   (instrument / compile / execute); the profiling run counts as execute.
+   Omitted (the common library-use case), only the modeled costs remain. *)
+let prepare ?phases ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps = 2_000_000_000L)
     (kind : kind) (src : string) : prepared =
+  let time name f = match phases with None -> f () | Some p -> Obs.Phase.time p name f in
   match kind with
   | Refine ->
-    let m = build_ir ~opt src in
-    let funcs, _ = Refine_backend.Compile.to_mir m in
-    let static_n = List.fold_left (fun acc mf -> acc + Refine_pass.run ~sel mf) 0 funcs in
-    let image = Refine_backend.Compile.emit m funcs in
+    let m = time "compile" (fun () -> build_ir ~opt src) in
+    let funcs, _ = time "compile" (fun () -> Refine_backend.Compile.to_mir m) in
+    let static_n =
+      time "instrument" (fun () ->
+          List.fold_left (fun acc mf -> acc + Refine_pass.run ~sel mf) 0 funcs)
+    in
+    let image = time "compile" (fun () -> Refine_backend.Compile.emit m funcs) in
     let ctrl = Runtime.create Runtime.Profile in
     let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) image in
-    let r = E.run ~max_steps eng in
+    maybe_profile eng;
+    let r = time "execute" (fun () -> E.run ~max_steps eng) in
+    flush_obs kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
     finish_profile kind sel image static_n ctrl.Runtime.count r
   | Llfi ->
-    let m = build_ir ~opt src in
-    let static_n = Llfi_pass.run ~sel m in
-    let image = Refine_backend.Compile.compile m in
+    let m = time "compile" (fun () -> build_ir ~opt src) in
+    let static_n = time "instrument" (fun () -> Llfi_pass.run ~sel m) in
+    let image = time "compile" (fun () -> Refine_backend.Compile.compile m) in
     let ctrl = Runtime.create Runtime.Profile in
     let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) image in
-    let r = E.run ~max_steps eng in
+    maybe_profile eng;
+    let r = time "execute" (fun () -> E.run ~max_steps eng) in
+    flush_obs kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
     finish_profile kind sel image static_n ctrl.Runtime.count r
   | Pinfi ->
-    let m = build_ir ~opt src in
-    let image = Refine_backend.Compile.compile m in
+    let m = time "compile" (fun () -> build_ir ~opt src) in
+    let image = time "compile" (fun () -> Refine_backend.Compile.compile m) in
     let ctrl = Pinfi.create ~sel Runtime.Profile in
     let eng = E.create image in
-    Pinfi.attach ctrl eng;
-    let r = E.run ~max_steps eng in
+    (* attaching the DBI hook is PINFI's (tiny) instrumentation phase *)
+    time "instrument" (fun () -> Pinfi.attach ctrl eng);
+    maybe_profile eng;
+    let r = time "execute" (fun () -> E.run ~max_steps eng) in
+    flush_obs kind eng ~fi_hits:ctrl.Pinfi.count ~run_cost:r.E.cost;
     finish_profile kind sel image 0 ctrl.Pinfi.count r
 
 exception Sample_budget_exceeded of int64
@@ -108,18 +186,24 @@ let run_injection ?cost_cap ?poll (p : prepared) (rng : P.t) : Fault.experiment 
       | Refine ->
         let ctrl = Runtime.create mode in
         let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) p.image in
+        maybe_profile eng;
         let r = E.run ~max_cost ?poll eng in
+        flush_obs p.kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
         (r, ctrl.Runtime.record)
       | Llfi ->
         let ctrl = Runtime.create mode in
         let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) p.image in
+        maybe_profile eng;
         let r = E.run ~max_cost ?poll eng in
+        flush_obs p.kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
         (r, ctrl.Runtime.record)
       | Pinfi ->
         let ctrl = Pinfi.create ~sel:p.sel mode in
         let eng = E.create p.image in
         Pinfi.attach ctrl eng;
+        maybe_profile eng;
         let r = E.run ~max_cost ?poll eng in
+        flush_obs p.kind eng ~fi_hits:ctrl.Pinfi.count ~run_cost:r.E.cost;
         (r, ctrl.Pinfi.record)
     in
     if capped && r.E.status = E.Timed_out then raise (Sample_budget_exceeded r.E.cost);

@@ -26,6 +26,7 @@ val build_ir : ?opt:Refine_ir.Pipeline.level -> string -> Refine_ir.Ir.modul
 (** Front end + IR optimization only (shared by all tools). *)
 
 val prepare :
+  ?phases:Refine_obs.Phase.t ->
   ?sel:Selection.t ->
   ?opt:Refine_ir.Pipeline.level ->
   ?max_steps:int64 ->
@@ -33,7 +34,14 @@ val prepare :
   string ->
   prepared
 (** [prepare kind source] compiles MinC [source] with [kind]'s
-    instrumentation strategy and runs the profiling phase. *)
+    instrumentation strategy and runs the profiling phase.  [phases]
+    buckets the wall-clock time into the overhead-breakdown columns
+    ("compile" / "instrument" / "execute", the profiling run counting as
+    execute) for {!Refine_campaign.Report}'s Figure 8/9-shape table.  When
+    observability is enabled ({!Refine_obs.Control.enable}), every
+    simulator run additionally streams executor-profile counters
+    (per-opcode-class steps, extern calls, FI-site hits, modeled cost)
+    into the metrics registry. *)
 
 exception Sample_budget_exceeded of int64
 (** A sample exceeded the harness watchdog's modeled-cost budget (the

@@ -40,6 +40,16 @@ let string_of_trap = function
 
 type status = Running | Exited of int | Trapped of trap | Timed_out
 
+(* Executor profile: per-opcode-class step counts plus extern-call tallies,
+   accumulated into plain machine-local cells so the per-instruction cost
+   is one [None] match when profiling is off and two array writes when on;
+   the owner (Tool) flushes it into the metrics registry after the run. *)
+type profile = {
+  class_steps : int64 array; (* Minstr.num_iclasses slots, Minstr.iclass_index order *)
+  mutable ext_calls : int64;
+  mutable ext_cost : int64;
+}
+
 type t = {
   image : L.image;
   regs : int64 array; (* R.num_regs entries; raw bits for GPR/FPR/FLAGS *)
@@ -54,6 +64,7 @@ type t = {
       (* FI runtime library: name -> (modeled cost, handler) *)
   mutable post_hook : (t -> int -> M.t -> unit) option; (* PINFI-style DBI *)
   mutable hook_cost : int64;
+  mutable prof : profile option; (* executor profiling; None = zero-cost path *)
 }
 
 type result = { status : status; output : string; steps : int64; cost : int64 }
@@ -105,6 +116,7 @@ let create ?(ext_extra = []) (image : L.image) : t =
       ext_extra = Hashtbl.create 8;
       post_hook = None;
       hook_cost = 0L;
+      prof = None;
     }
   in
   self := Some t;
@@ -178,13 +190,22 @@ let pop t =
 let f64 = Int64.float_of_bits
 let b64 = Int64.bits_of_float
 
+let count_ext t cost =
+  match t.prof with
+  | None -> ()
+  | Some p ->
+    p.ext_calls <- Int64.add p.ext_calls 1L;
+    p.ext_cost <- Int64.add p.ext_cost cost
+
 let do_callext (t : t) name =
   match Hashtbl.find_opt t.ext_extra name with
   | Some (cost, fn) ->
     t.cost <- Int64.add t.cost cost;
+    count_ext t cost;
     fn t
   | None -> (
     t.cost <- Int64.add t.cost ext_call_cost;
+    count_ext t ext_call_cost;
     match Refine_ir.Externs.signature name with
     | None -> raise (Halt_trap (Extern_fault ("unknown extern " ^ name)))
     | Some (tys, ret) ->
@@ -227,6 +248,11 @@ let step (t : t) =
     let i = code.(pc0) in
     t.steps <- Int64.add t.steps 1L;
     t.cost <- Int64.add (Int64.add t.cost 1L) t.hook_cost;
+    (match t.prof with
+    | None -> ()
+    | Some p ->
+      let k = M.iclass_index (M.classify i) in
+      p.class_steps.(k) <- Int64.add p.class_steps.(k) 1L);
     t.pc <- pc0 + 1;
     (try
        (match i with
@@ -295,6 +321,16 @@ let step (t : t) =
        match t.post_hook with Some h -> h t pc0 i | None -> ()
      with Halt_trap tr -> t.status <- Trapped tr)
   end
+
+let enable_profiling t =
+  match t.prof with
+  | Some p -> p
+  | None ->
+    let p =
+      { class_steps = Array.make M.num_iclasses 0L; ext_calls = 0L; ext_cost = 0L }
+    in
+    t.prof <- Some p;
+    p
 
 (* [max_cost]: modeled-time budget (the 10x-profiling timeout of the
    paper's classification); [max_steps]: hard safety bound. *)

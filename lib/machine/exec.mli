@@ -26,6 +26,18 @@ val string_of_trap : trap -> string
 
 type status = Running | Exited of int | Trapped of trap | Timed_out
 
+type profile = {
+  class_steps : int64 array;
+      (** executed instructions per opcode class, indexed by
+          {!Refine_mir.Minstr.iclass_index} *)
+  mutable ext_calls : int64;  (** extern (runtime-library/libc) calls made *)
+  mutable ext_cost : int64;  (** modeled cost charged by those calls *)
+}
+(** Executor profile, attached by {!enable_profiling}.  Plain machine-local
+    cells: the per-instruction overhead is one [option] match when off and
+    two array writes when on; the owner flushes the totals into the
+    observability registry after the run (DESIGN.md §12). *)
+
 type t = {
   image : Refine_backend.Layout.image;
   regs : int64 array;  (** [Reg.num_regs] raw images: GPRs, FPRs, FLAGS *)
@@ -42,6 +54,7 @@ type t = {
       (** PINFI-style DBI: called after every executed instruction with the
           pre-execution pc and the instruction *)
   mutable hook_cost : int64;  (** extra cost per instruction while attached *)
+  mutable prof : profile option;  (** executor profiling; [None] = zero-cost path *)
 }
 
 type result = { status : status; output : string; steps : int64; cost : int64 }
@@ -52,6 +65,10 @@ val create : ?ext_extra:(string * int64 * (t -> unit)) list -> Refine_backend.La
 
 val step : t -> unit
 (** Execute one instruction (or set a trap status). *)
+
+val enable_profiling : t -> profile
+(** Attach (or return the already-attached) executor profile.  The record
+    is updated in place as the machine runs. *)
 
 val run : ?max_steps:int64 -> ?max_cost:int64 -> ?poll:(unit -> unit) -> t -> result
 (** Run to completion, trap, or budget exhaustion ([Timed_out]).

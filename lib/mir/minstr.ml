@@ -114,6 +114,20 @@ let classify = function
   | Mload _ | Mstore _ | Mloadidx _ | Mstoreidx _ | Mlea _ | Mmov _ -> Cmem
   | Mjcc _ | Mjmp _ | Mcall _ | Mcalli _ | Mcallext _ | Mret | Mhalt -> Ccontrol
 
+let num_iclasses = 5
+
+let iclass_index = function Cstack -> 0 | Carith -> 1 | Cmem -> 2 | Ccontrol -> 3 | Cother -> 4
+
+(* every class, at its own [iclass_index] *)
+let iclasses = [| Cstack; Carith; Cmem; Ccontrol; Cother |]
+
+let iclass_name = function
+  | Cstack -> "stack"
+  | Carith -> "arith"
+  | Cmem -> "mem"
+  | Ccontrol -> "control"
+  | Cother -> "other"
+
 let is_terminator = function
   | Mjmp _ | Mret | Mhalt -> true
   | _ -> false

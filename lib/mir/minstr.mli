@@ -54,5 +54,16 @@ val writes_register : t -> bool
 type iclass = Cstack | Carith | Cmem | Ccontrol | Cother
 
 val classify : t -> iclass
+
+val num_iclasses : int
+val iclass_index : iclass -> int
+(** Dense 0-based index, for the executor's per-class step profile. *)
+
+val iclass_name : iclass -> string
+(** Lower-case label used in metric labels ("stack", "arith", ...). *)
+
+val iclasses : iclass array
+(** Every class, positioned at its own {!iclass_index}. *)
+
 val is_terminator : t -> bool
 val map_regs : (Reg.t -> Reg.t) -> t -> t

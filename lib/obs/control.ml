@@ -1,0 +1,19 @@
+(* Global observability switch and clock.
+
+   Every recording entry point in this library (counter increments,
+   histogram observations, span emission) is gated on [enabled], a plain
+   boolean read, so a campaign with observability off pays one predictable
+   branch per call site and nothing else — the < 2% overhead budget of
+   DESIGN.md §12.  The flag is set once at startup (CLI flag, bench env
+   knob, test setup) before any domains are spawned; it is not meant to be
+   toggled mid-campaign. *)
+
+let flag = ref false
+
+let enable () = flag := true
+let disable () = flag := false
+let enabled () = !flag
+
+(* Wall-clock source shared by spans, phase timers and the supervisor's
+   cancellation-latency probe. *)
+let now = Unix.gettimeofday

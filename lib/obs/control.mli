@@ -1,0 +1,14 @@
+(** Global observability switch and wall clock (DESIGN.md §12).
+
+    Every recording entry point in {!Metrics} and {!Span} is gated on
+    {!enabled} — a plain boolean read — so a campaign with observability
+    off pays one predictable branch per call site.  Set once at startup
+    (CLI flag, bench env knob, test setup), before worker domains spawn. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val now : unit -> float
+(** [Unix.gettimeofday], the wall-clock source shared by spans, phase
+    timers and the supervisor's cancellation-latency probe. *)

@@ -1,0 +1,292 @@
+(* Lock-free-per-domain metrics registry (DESIGN.md §12).
+
+   Recording never takes a lock on the hot path: each metric hands every
+   domain its own accumulation cell through [Domain.DLS], so an increment
+   is a domain-local mutable write.  The registry mutex is touched only on
+   the cold paths — metric creation, a domain's first use of a metric, and
+   report-time merges — which is what lets the executor and the FI control
+   libraries record per-sample counts without serializing the campaign's
+   worker domains.
+
+   Merging is a sum over per-domain cells, so reported totals are
+   independent of how samples were scheduled across domains (the
+   cross-domain determinism property pinned by test_obs).  Values read
+   while domains are still recording are monotonic snapshots. *)
+
+type labels = (string * string) list
+
+type kind = Kcounter | Kgauge | Khistogram
+
+(* per-domain cells *)
+type ccell = { mutable n : int }
+
+type hcell = {
+  hc_counts : int array; (* one slot per bound, plus the +Inf overflow slot *)
+  mutable hc_sum : float;
+  mutable hc_nobs : int;
+}
+
+type counter = {
+  c_name : string;
+  c_labels : labels;
+  c_cells : ccell list ref;
+  c_key : ccell Domain.DLS.key;
+}
+
+type gauge = { g_name : string; g_labels : labels; g_v : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_labels : labels;
+  h_bounds : float array; (* strictly increasing upper bounds *)
+  h_cells : hcell list ref;
+  h_key : hcell Domain.DLS.key;
+}
+
+type metric = Mcounter of counter | Mgauge of gauge | Mhistogram of histogram
+
+(* ---- registry -------------------------------------------------------- *)
+
+let mutex = Mutex.create ()
+let metrics : (string * labels, metric) Hashtbl.t = Hashtbl.create 64
+let kinds : (string, kind * string) Hashtbl.t = Hashtbl.create 64 (* name -> kind, help *)
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let check_kind name kind help =
+  match Hashtbl.find_opt kinds name with
+  | Some (k, _) when k <> kind -> invalid_arg ("Metrics: " ^ name ^ " re-registered with a different kind")
+  | Some _ -> ()
+  | None -> Hashtbl.replace kinds name (kind, help)
+
+(* Creation is idempotent: the same (name, labels) returns the same handle,
+   so call sites may create handles lazily without double counting. *)
+let counter ?(help = "") ?(labels = []) name : counter =
+  locked (fun () ->
+      check_kind name Kcounter help;
+      match Hashtbl.find_opt metrics (name, labels) with
+      | Some (Mcounter c) -> c
+      | Some _ -> invalid_arg ("Metrics: " ^ name ^ " is not a counter")
+      | None ->
+        let cells = ref [] in
+        let key =
+          Domain.DLS.new_key (fun () ->
+              let cell = { n = 0 } in
+              locked (fun () -> cells := cell :: !cells);
+              cell)
+        in
+        let c = { c_name = name; c_labels = labels; c_cells = cells; c_key = key } in
+        Hashtbl.replace metrics (name, labels) (Mcounter c);
+        c)
+
+let gauge ?(help = "") ?(labels = []) name : gauge =
+  locked (fun () ->
+      check_kind name Kgauge help;
+      match Hashtbl.find_opt metrics (name, labels) with
+      | Some (Mgauge g) -> g
+      | Some _ -> invalid_arg ("Metrics: " ^ name ^ " is not a gauge")
+      | None ->
+        let g = { g_name = name; g_labels = labels; g_v = Atomic.make 0.0 } in
+        Hashtbl.replace metrics (name, labels) (Mgauge g);
+        g)
+
+let histogram ?(help = "") ?(labels = []) ~buckets name : histogram =
+  if Array.length buckets = 0 then invalid_arg "Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b -> if i > 0 && b <= buckets.(i - 1) then invalid_arg "Metrics.histogram: buckets not increasing")
+    buckets;
+  locked (fun () ->
+      check_kind name Khistogram help;
+      match Hashtbl.find_opt metrics (name, labels) with
+      | Some (Mhistogram h) -> h
+      | Some _ -> invalid_arg ("Metrics: " ^ name ^ " is not a histogram")
+      | None ->
+        let cells = ref [] in
+        let key =
+          Domain.DLS.new_key (fun () ->
+              let cell =
+                { hc_counts = Array.make (Array.length buckets + 1) 0; hc_sum = 0.0; hc_nobs = 0 }
+              in
+              locked (fun () -> cells := cell :: !cells);
+              cell)
+        in
+        let h =
+          { h_name = name; h_labels = labels; h_bounds = Array.copy buckets; h_cells = cells;
+            h_key = key }
+        in
+        Hashtbl.replace metrics (name, labels) (Mhistogram h);
+        h)
+
+(* ---- recording (hot path, gated on the global switch) ---------------- *)
+
+let add c k =
+  if Control.enabled () && k <> 0 then begin
+    let cell = Domain.DLS.get c.c_key in
+    cell.n <- cell.n + k
+  end
+
+let inc c = add c 1
+
+let add64 c k = add c (Int64.to_int k)
+
+let set g v = if Control.enabled () then Atomic.set g.g_v v
+
+(* Prometheus [le] semantics: an observation lands in the first bucket
+   whose upper bound is >= the value; above every bound it lands in the
+   implicit +Inf slot. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let i = ref 0 in
+  while !i < n && v > bounds.(!i) do
+    incr i
+  done;
+  !i
+
+let observe h v =
+  if Control.enabled () then begin
+    let cell = Domain.DLS.get h.h_key in
+    let i = bucket_index h.h_bounds v in
+    cell.hc_counts.(i) <- cell.hc_counts.(i) + 1;
+    cell.hc_sum <- cell.hc_sum +. v;
+    cell.hc_nobs <- cell.hc_nobs + 1
+  end
+
+(* ---- merged reads ----------------------------------------------------- *)
+
+type hist_value = {
+  bounds : float array;
+  counts : int64 array; (* per-bucket (not cumulative); last slot is +Inf *)
+  sum : float;
+  count : int64;
+}
+
+type value = Counter of int64 | Gauge of float | Histogram of hist_value
+
+let counter_value c =
+  locked (fun () -> List.fold_left (fun acc cell -> acc + cell.n) 0 !(c.c_cells))
+  |> Int64.of_int
+
+let gauge_value g = Atomic.get g.g_v
+
+let histogram_value h =
+  locked (fun () ->
+      let counts = Array.make (Array.length h.h_bounds + 1) 0L in
+      let sum = ref 0.0 and nobs = ref 0 in
+      List.iter
+        (fun cell ->
+          Array.iteri (fun i k -> counts.(i) <- Int64.add counts.(i) (Int64.of_int k)) cell.hc_counts;
+          sum := !sum +. cell.hc_sum;
+          nobs := !nobs + cell.hc_nobs)
+        !(h.h_cells);
+      { bounds = Array.copy h.h_bounds; counts; sum = !sum; count = Int64.of_int !nobs })
+
+let value_of = function
+  | Mcounter c -> Counter (counter_value c)
+  | Mgauge g -> Gauge (gauge_value g)
+  | Mhistogram h -> Histogram (histogram_value h)
+
+let name_of = function Mcounter c -> c.c_name | Mgauge g -> g.g_name | Mhistogram h -> h.h_name
+let labels_of = function Mcounter c -> c.c_labels | Mgauge g -> g.g_labels | Mhistogram h -> h.h_labels
+
+let sorted_metrics () =
+  let all = locked (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) metrics []) in
+  List.sort (fun a b ->
+      match compare (name_of a) (name_of b) with 0 -> compare (labels_of a) (labels_of b) | c -> c)
+    all
+
+let snapshot () = List.map (fun m -> (name_of m, labels_of m, value_of m)) (sorted_metrics ())
+
+let find name labels =
+  List.find_map
+    (fun (n, l, v) -> if n = name && l = labels then Some v else None)
+    (snapshot ())
+
+(* ---- Prometheus text exposition --------------------------------------- *)
+
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
+    ^ "}"
+
+let render_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let dump () =
+  let buf = Buffer.create 4096 in
+  let last_name = ref "" in
+  List.iter
+    (fun m ->
+      let name = name_of m in
+      if name <> !last_name then begin
+        last_name := name;
+        let kind, help =
+          match Hashtbl.find_opt kinds name with Some kh -> kh | None -> (Kcounter, "")
+        in
+        if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" name
+             (match kind with Kcounter -> "counter" | Kgauge -> "gauge" | Khistogram -> "histogram"))
+      end;
+      let labels = labels_of m in
+      match value_of m with
+      | Counter v -> Buffer.add_string buf (Printf.sprintf "%s%s %Ld\n" name (render_labels labels) v)
+      | Gauge v ->
+        Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name (render_labels labels) (render_float v))
+      | Histogram h ->
+        let cum = ref 0L in
+        Array.iteri
+          (fun i bound ->
+            cum := Int64.add !cum h.counts.(i);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %Ld\n" name
+                 (render_labels (labels @ [ ("le", render_float bound) ]))
+                 !cum))
+          h.bounds;
+        let total = Int64.add !cum h.counts.(Array.length h.bounds) in
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %Ld\n" name (render_labels (labels @ [ ("le", "+Inf") ])) total);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" name (render_labels labels) (render_float h.sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count%s %Ld\n" name (render_labels labels) total))
+    (sorted_metrics ());
+  Buffer.contents buf
+
+let save path =
+  let oc = open_out path in
+  output_string oc (dump ());
+  close_out oc
+
+(* Zero every cell (all domains') without dropping registrations — test
+   isolation between alcotest cases that share the process-global registry. *)
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | Mcounter c -> List.iter (fun cell -> cell.n <- 0) !(c.c_cells)
+          | Mgauge g -> Atomic.set g.g_v 0.0
+          | Mhistogram h ->
+            List.iter
+              (fun cell ->
+                Array.fill cell.hc_counts 0 (Array.length cell.hc_counts) 0;
+                cell.hc_sum <- 0.0;
+                cell.hc_nobs <- 0)
+              !(h.h_cells))
+        metrics)

@@ -1,0 +1,69 @@
+(** Lock-free-per-domain metrics registry (DESIGN.md §12).
+
+    Counters, gauges and fixed-bucket histograms whose hot-path recording
+    is a domain-local mutable write — no lock, no atomic RMW — merged
+    across OCaml 5 domains only at report time.  All recording is gated on
+    {!Control.enabled}; with observability off every entry point is a
+    single boolean branch.
+
+    Merged totals are schedule-independent: however samples were
+    distributed over domains, the report-time sum is the same (pinned by
+    [test_obs]'s cross-domain determinism property). *)
+
+type labels = (string * string) list
+
+type counter
+type gauge
+type histogram
+
+val counter : ?help:string -> ?labels:labels -> string -> counter
+(** Idempotent: the same (name, labels) pair always returns the same
+    underlying metric.  Raises [Invalid_argument] if [name] is already
+    registered with a different metric kind. *)
+
+val gauge : ?help:string -> ?labels:labels -> string -> gauge
+
+val histogram : ?help:string -> ?labels:labels -> buckets:float array -> string -> histogram
+(** [buckets] are strictly increasing upper bounds; an implicit +Inf
+    bucket is always appended.  Raises [Invalid_argument] on an empty or
+    non-increasing bucket array. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val add64 : counter -> int64 -> unit
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+(** Prometheus [le] semantics: the observation lands in the first bucket
+    whose upper bound is >= the value, or in +Inf above every bound. *)
+
+val bucket_index : float array -> float -> int
+(** Exposed for the bucket-edge tests: index of the bucket [observe]
+    would record into ([Array.length bounds] = the +Inf slot). *)
+
+(** {1 Report-time merged reads} *)
+
+type hist_value = {
+  bounds : float array;
+  counts : int64 array;  (** per-bucket, not cumulative; last slot is +Inf *)
+  sum : float;
+  count : int64;
+}
+
+type value = Counter of int64 | Gauge of float | Histogram of hist_value
+
+val snapshot : unit -> (string * labels * value) list
+(** Every registered metric, merged across domains, sorted by (name,
+    labels) — deterministic output for a deterministic set of updates. *)
+
+val find : string -> labels -> value option
+
+val dump : unit -> string
+(** Prometheus text exposition format ([# TYPE] / [# HELP] headers,
+    cumulative [_bucket{le=...}] / [_sum] / [_count] histogram series). *)
+
+val save : string -> unit
+(** [save path] writes {!dump} to [path]. *)
+
+val reset : unit -> unit
+(** Zero every cell without dropping registrations (test isolation). *)

@@ -1,0 +1,56 @@
+(* Per-cell wall-clock phase accounting for the overhead-breakdown report
+   (the paper's Figure 8/9 shape: instrument / compile / execute / harness
+   columns per tool).
+
+   Unlike the metrics registry and the span sink, a [Phase.t] collector is
+   *always* live: the overhead table must render even when observability
+   is off, and its cost is a couple of [gettimeofday] calls per phase.
+   [add] is mutex-protected because injection runs accumulate their
+   "execute" time from several worker domains at once; everything else in
+   a cell (frontend, instrumentation, codegen) runs on the calling domain.
+
+   When observability *is* enabled, [time] additionally emits a span event
+   so the trace log carries the same phase boundaries the table reports. *)
+
+type t = {
+  mutex : Mutex.t;
+  mutable phases : (string * float) list; (* insertion order of first add *)
+}
+
+let create () = { mutex = Mutex.create (); phases = [] }
+
+let add t name seconds =
+  Mutex.lock t.mutex;
+  (if List.mem_assoc name t.phases then
+     t.phases <- List.map (fun (n, s) -> if n = name then (n, s +. seconds) else (n, s)) t.phases
+   else t.phases <- t.phases @ [ (name, seconds) ]);
+  Mutex.unlock t.mutex
+
+let time t name f =
+  let t0 = Control.now () in
+  match f () with
+  | v ->
+    let dt = Control.now () -. t0 in
+    add t name dt;
+    Span.emit ~name ~dur_s:dt ();
+    v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    let dt = Control.now () -. t0 in
+    add t name dt;
+    Span.emit ~ok:false ~name ~dur_s:dt ();
+    Printexc.raise_with_backtrace e bt
+
+let get t name =
+  Mutex.lock t.mutex;
+  let v = Option.value ~default:0.0 (List.assoc_opt name t.phases) in
+  Mutex.unlock t.mutex;
+  v
+
+let to_list t =
+  Mutex.lock t.mutex;
+  let l = t.phases in
+  Mutex.unlock t.mutex;
+  l
+
+let total t = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 (to_list t)

@@ -1,0 +1,28 @@
+(** Per-cell wall-clock phase accounting (instrument / compile / execute /
+    harness) feeding the overhead-breakdown table of {!Refine_campaign.Report}.
+
+    A collector is always live — the overhead table renders even with
+    observability disabled — and costs a couple of [gettimeofday] calls per
+    phase.  [add] is thread-safe: worker domains accumulate their samples'
+    execute time concurrently.  With observability enabled, [time] also
+    emits a {!Span} event per timed phase. *)
+
+type t
+
+val create : unit -> t
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk, accumulating its wall-clock duration under the phase
+    name (summing across calls).  Exceptions propagate with their original
+    backtrace; the elapsed time is still recorded. *)
+
+val add : t -> string -> float -> unit
+(** Accumulate externally measured seconds under a phase name. *)
+
+val get : t -> string -> float
+(** Accumulated seconds for a phase; 0 if never recorded. *)
+
+val to_list : t -> (string * float) list
+(** All phases in first-recorded order. *)
+
+val total : t -> float

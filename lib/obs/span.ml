@@ -1,0 +1,181 @@
+(* Span-based phase tracing (DESIGN.md §12).
+
+   [with_ "regalloc" f] measures the wall-clock extent of [f], attributes
+   modeled cost charged via [add_cost] to the innermost open span, and
+   emits one JSONL event per closed span to the configured sink — an
+   append-only event log next to the campaign's resume journal.  Spans
+   nest through a per-domain stack (no cross-domain locking until the
+   emit), and a span closed by an exception is still emitted, with
+   ["ok":false], before the exception continues unwinding.
+
+   Every closed span also feeds the metrics registry: a per-name duration
+   histogram ([refine_span_duration_seconds{span=...}]) and a modeled-cost
+   counter, so the Prometheus dump carries the phase breakdown even when
+   no trace file was requested. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  t_start : float; (* unix epoch seconds *)
+  dur_s : float;
+  depth : int; (* 0 = top-level *)
+  domain : int;
+  cost : int64; (* modeled-cost attribution, 0 if none charged *)
+  ok : bool; (* false when the span was closed by an exception *)
+}
+
+(* ---- JSON rendering --------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json (e : event) =
+  let attrs =
+    match e.attrs with
+    | [] -> ""
+    | kvs ->
+      Printf.sprintf ",\"attrs\":{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) kvs))
+  in
+  Printf.sprintf
+    "{\"ts\":%.6f,\"dur_s\":%.6f,\"name\":\"%s\",\"depth\":%d,\"domain\":%d,\"cost\":%Ld,\"ok\":%b%s}"
+    e.t_start e.dur_s (json_escape e.name) e.depth e.domain e.cost e.ok attrs
+
+(* ---- sink ------------------------------------------------------------- *)
+
+type sink = Null | File of out_channel | Memory of event list ref
+
+let sink = ref Null
+let sink_mutex = Mutex.create ()
+
+let close_sink () =
+  Mutex.lock sink_mutex;
+  (match !sink with File oc -> close_out oc | Null | Memory _ -> ());
+  sink := Null;
+  Mutex.unlock sink_mutex
+
+let set_file_sink path =
+  close_sink ();
+  let oc = open_out path in
+  Mutex.lock sink_mutex;
+  sink := File oc;
+  Mutex.unlock sink_mutex
+
+let set_memory_sink () =
+  close_sink ();
+  Mutex.lock sink_mutex;
+  sink := Memory (ref []);
+  Mutex.unlock sink_mutex
+
+(* Memory-sink events in chronological (emit) order. *)
+let drain () =
+  Mutex.lock sink_mutex;
+  let evs = match !sink with Memory r -> let e = !r in r := []; List.rev e | _ -> [] in
+  Mutex.unlock sink_mutex;
+  evs
+
+let duration_buckets = [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 100.0 |]
+
+let emit_event (e : event) =
+  Metrics.observe
+    (Metrics.histogram ~help:"wall-clock span durations" ~labels:[ ("span", e.name) ]
+       ~buckets:duration_buckets "refine_span_duration_seconds")
+    e.dur_s;
+  if e.cost <> 0L then
+    Metrics.add64
+      (Metrics.counter ~help:"modeled cost attributed to spans" ~labels:[ ("span", e.name) ]
+         "refine_span_cost_units_total")
+      e.cost;
+  Mutex.lock sink_mutex;
+  (match !sink with
+  | Null -> ()
+  | File oc ->
+    output_string oc (to_json e);
+    output_char oc '\n'
+  | Memory r -> r := e :: !r);
+  Mutex.unlock sink_mutex
+
+(* ---- per-domain span stack -------------------------------------------- *)
+
+type frame = { f_name : string; mutable f_cost : int64 }
+
+let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let depth () = List.length !(Domain.DLS.get stack_key)
+
+let add_cost c =
+  if Control.enabled () && c <> 0L then
+    match !(Domain.DLS.get stack_key) with
+    | [] -> ()
+    | f :: _ -> f.f_cost <- Int64.add f.f_cost c
+
+(* Emit a leaf event at the current nesting depth without opening a span —
+   used by Phase.time, whose duration was measured externally. *)
+let emit ?(attrs = []) ?(cost = 0L) ?(ok = true) ~name ~dur_s () =
+  if Control.enabled () then
+    emit_event
+      {
+        name;
+        attrs;
+        t_start = Control.now () -. dur_s;
+        dur_s;
+        depth = depth ();
+        domain = (Domain.self () :> int);
+        cost;
+        ok;
+      }
+
+let with_ ?(attrs = []) ?(cost = 0L) name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let d = List.length !stack in
+    let frame = { f_name = name; f_cost = cost } in
+    let t0 = Control.now () in
+    stack := frame :: !stack;
+    let finish ok =
+      (match !stack with
+      | f :: rest when f == frame -> stack := rest
+      | _ ->
+        (* a nested span leaked (impossible through this API, possible if a
+           callee tampered with the stack): drop down to our frame *)
+        let rec unwind = function
+          | f :: rest when f == frame -> rest
+          | _ :: rest -> unwind rest
+          | [] -> []
+        in
+        stack := unwind !stack);
+      emit_event
+        {
+          name = frame.f_name;
+          attrs;
+          t_start = t0;
+          dur_s = Control.now () -. t0;
+          depth = d;
+          domain = (Domain.self () :> int);
+          cost = frame.f_cost;
+          ok;
+        }
+    in
+    match f () with
+    | v ->
+      finish true;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      finish false;
+      Printexc.raise_with_backtrace e bt
+  end

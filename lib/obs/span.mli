@@ -1,0 +1,54 @@
+(** Span-based phase tracing with JSONL emission (DESIGN.md §12).
+
+    [with_ "phase" f] measures the wall-clock extent of [f] and emits one
+    JSON event per closed span to the configured sink (an append-only
+    [*.trace.jsonl] log next to the campaign journal).  Spans nest through
+    a per-domain stack; a span closed by an exception is still emitted
+    (["ok":false]) before the exception continues unwinding, and modeled
+    cost charged through {!add_cost} is attributed to the innermost open
+    span.  All of it is inert while {!Control.enabled} is false. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  t_start : float;  (** unix epoch seconds *)
+  dur_s : float;
+  depth : int;  (** nesting depth on the emitting domain; 0 = top level *)
+  domain : int;
+  cost : int64;  (** modeled cost attributed via {!add_cost}; 0 if none *)
+  ok : bool;  (** [false] when the span unwound on an exception *)
+}
+
+val to_json : event -> string
+(** One-line JSON object (the JSONL schema of DESIGN.md §12). *)
+
+val with_ : ?attrs:(string * string) list -> ?cost:int64 -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a named span.  Exceptions propagate with their
+    original backtrace after the span event is emitted. *)
+
+val add_cost : int64 -> unit
+(** Attribute modeled-cost units to the innermost open span on this
+    domain; no-op outside any span or when disabled. *)
+
+val emit :
+  ?attrs:(string * string) list -> ?cost:int64 -> ?ok:bool -> name:string -> dur_s:float -> unit -> unit
+(** Emit a leaf event whose duration was measured externally (used by
+    {!Phase.time}); recorded at the current nesting depth. *)
+
+val depth : unit -> int
+(** Current span-stack depth on this domain (for tests). *)
+
+(** {1 Sinks} *)
+
+val set_file_sink : string -> unit
+(** Route events to [path] as JSON lines (truncates; closes any previous
+    sink). *)
+
+val set_memory_sink : unit -> unit
+(** Route events to an in-memory buffer, read back with {!drain}. *)
+
+val drain : unit -> event list
+(** Memory-sink events in emission order; clears the buffer. *)
+
+val close_sink : unit -> unit
+(** Flush and close the active sink (always safe to call). *)

@@ -9,21 +9,28 @@
    tasks that poll, abort work already in flight.  All failures are
    aggregated instead of first-wins. *)
 
-module Cancel = struct
-  type t = { flag : bool Atomic.t; why : string Atomic.t }
+module Obs = Refine_obs
 
-  let create () = { flag = Atomic.make false; why = Atomic.make "" }
+module Cancel = struct
+  type t = { flag : bool Atomic.t; why : string Atomic.t; since : float Atomic.t }
+
+  let create () = { flag = Atomic.make false; why = Atomic.make ""; since = Atomic.make 0.0 }
 
   let cancel ?(reason = "cancelled") t =
     (* first cancellation wins the reason slot *)
     if not (Atomic.get t.flag) then begin
       ignore (Atomic.compare_and_set t.why "" reason);
+      Atomic.set t.since (Obs.Control.now ());
       Atomic.set t.flag true
     end
 
   let cancelled t = Atomic.get t.flag
 
   let reason t = if cancelled t then Some (Atomic.get t.why) else None
+
+  (* Seconds between the token firing and a worker noticing; meaningful
+     only once [cancelled t] holds. *)
+  let latency t = Obs.Control.now () -. Atomic.get t.since
 end
 
 exception Cancelled of string
@@ -62,6 +69,36 @@ let default_policy =
     backoff_base = 64;
   }
 
+(* PR-1 added retries, watchdog kills and cancellation, but they were
+   invisible at runtime; these registry metrics (inert until
+   [Obs.Control.enable]) make the supervisor's behavior under load a
+   first-class measured quantity (DESIGN.md §12). *)
+let m_tasks outcome =
+  Obs.Metrics.counter ~help:"supervised tasks by final disposition" ~labels:[ ("outcome", outcome) ]
+    "refine_supervisor_tasks_total"
+
+(* pre-created handles: the per-task increment must not pay the registry's
+   creation/dedup lookup *)
+let m_tasks_done = m_tasks "done"
+let m_tasks_failed = m_tasks "failed"
+let m_tasks_cancelled = m_tasks "cancelled"
+
+let m_retries =
+  Obs.Metrics.counter ~help:"task retry attempts after a retryable failure"
+    "refine_supervisor_retries_total"
+
+let m_watchdog =
+  Obs.Metrics.counter ~help:"watchdog deadline expirations that cancelled the pool"
+    "refine_supervisor_watchdog_fires_total"
+
+let m_cancel_latency =
+  Obs.Metrics.histogram ~help:"seconds between a cancellation firing and a worker observing it"
+    ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+    "refine_supervisor_cancel_latency_seconds"
+
+let note_cancel_seen token =
+  if Obs.Control.enabled () then Obs.Metrics.observe m_cancel_latency (Cancel.latency token)
+
 (* Exponential backoff between retries.  Campaign time is modeled, not
    wall-clock, so backoff is a bounded busy-wait: it yields the core to
    sibling domains without adding a dependency on Unix or Thread. *)
@@ -82,23 +119,32 @@ let run ?token ?(policy = default_policy) ?watchdog ~domains n
     let poll_watchdog () =
       match watchdog with
       | Some expired when (not (Cancel.cancelled token)) && expired () ->
+        Obs.Metrics.inc m_watchdog;
         Cancel.cancel ~reason:"watchdog deadline exceeded" token
       | _ -> ()
     in
     let run_task i =
       let rec attempt a =
         match f ~attempt:a i with
-        | v -> results.(i) <- Done (v, a + 1)
-        | exception Cancelled _ -> results.(i) <- Skipped
+        | v ->
+          Obs.Metrics.inc m_tasks_done;
+          results.(i) <- Done (v, a + 1)
+        | exception Cancelled _ ->
+          (* in-flight abort: the poll noticed the token *)
+          Obs.Metrics.inc m_tasks_cancelled;
+          note_cancel_seen token;
+          results.(i) <- Skipped
         | exception e ->
           let bt = Printexc.get_raw_backtrace () in
           if a < policy.max_retries && policy.retryable e
              && not (Cancel.cancelled token)
           then begin
+            Obs.Metrics.inc m_retries;
             backoff policy a;
             attempt (a + 1)
           end
-          else
+          else begin
+            Obs.Metrics.inc m_tasks_failed;
             results.(i) <-
               Failed
                 {
@@ -107,6 +153,7 @@ let run ?token ?(policy = default_policy) ?watchdog ~domains n
                   exn = e;
                   backtrace = Printexc.raw_backtrace_to_string bt;
                 }
+          end
       in
       attempt 0
     in
@@ -120,6 +167,10 @@ let run ?token ?(policy = default_policy) ?watchdog ~domains n
             loop ()
           end
         end
+        else
+          (* between-task cancellation: how long after the token fired did
+             this worker stop claiming work *)
+          note_cancel_seen token
       in
       loop ()
     in

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "refine"
     [
       ("support", Test_support.tests);
+      ("obs", Test_obs.tests);
       ("stats", Test_stats.tests);
       ("frontend", Test_frontend.tests);
       ("ir", Test_ir.tests);

@@ -1,0 +1,228 @@
+(* Tests for the observability layer: histogram bucket edges, cross-domain
+   counter merge determinism, span nesting and unwind-on-exception, phase
+   accounting, enable-gating, Prometheus dump shape. *)
+
+module Obs = Refine_obs
+module M = Obs.Metrics
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* each test starts from a clean, enabled registry *)
+let with_obs f () =
+  Obs.Control.enable ();
+  M.reset ();
+  Obs.Span.set_memory_sink ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.close_sink ();
+      M.reset ();
+      Obs.Control.disable ())
+    f
+
+(* ---- histogram bucketing ---- *)
+
+let test_bucket_edges () =
+  let bounds = [| 1.0; 2.0; 5.0 |] in
+  (* Prometheus le semantics: value lands in the first bucket whose upper
+     bound is >= v; above every bound, in the +Inf slot *)
+  Alcotest.(check int) "below first" 0 (M.bucket_index bounds 0.5);
+  Alcotest.(check int) "exactly on an edge is inclusive" 0 (M.bucket_index bounds 1.0);
+  Alcotest.(check int) "between edges" 1 (M.bucket_index bounds 1.5);
+  Alcotest.(check int) "on the last finite edge" 2 (M.bucket_index bounds 5.0);
+  Alcotest.(check int) "above all bounds -> +Inf slot" 3 (M.bucket_index bounds 5.00001);
+  Alcotest.(check int) "negative" 0 (M.bucket_index bounds (-1.0))
+
+let test_histogram_observe () =
+  let h = M.histogram ~buckets:[| 1.0; 2.0; 5.0 |] "t_hist_observe" in
+  List.iter (M.observe h) [ 0.5; 1.0; 1.5; 5.0; 9.0 ];
+  match M.find "t_hist_observe" [] with
+  | Some (M.Histogram hv) ->
+    Alcotest.(check (array int64)) "per-bucket counts" [| 2L; 1L; 1L; 1L |] hv.M.counts;
+    Alcotest.(check int64) "count" 5L hv.M.count;
+    Alcotest.(check (float 1e-9)) "sum" 17.0 hv.M.sum
+  | _ -> Alcotest.fail "histogram not found"
+
+let test_histogram_bad_buckets () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Metrics.histogram: buckets not increasing") (fun () ->
+      ignore (M.histogram ~buckets:[| 1.0; 1.0 |] "t_hist_bad"))
+
+(* ---- counters: dedup, kind clash, disabled gating ---- *)
+
+let test_counter_dedup () =
+  let a = M.counter ~labels:[ ("k", "v") ] "t_dedup" in
+  let b = M.counter ~labels:[ ("k", "v") ] "t_dedup" in
+  M.inc a;
+  M.inc b;
+  match M.find "t_dedup" [ ("k", "v") ] with
+  | Some (M.Counter 2L) -> ()
+  | Some (M.Counter n) -> Alcotest.failf "expected 2, got %Ld" n
+  | _ -> Alcotest.fail "counter not found"
+
+let test_kind_clash () =
+  ignore (M.counter "t_clash");
+  (try
+     ignore (M.gauge "t_clash");
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ())
+
+let test_disabled_gating () =
+  let c = M.counter "t_gated" in
+  M.inc c;
+  Obs.Control.disable ();
+  M.inc c;
+  M.add c 10;
+  Obs.Control.enable ();
+  match M.find "t_gated" [] with
+  | Some (M.Counter 1L) -> ()
+  | Some (M.Counter n) -> Alcotest.failf "disabled increments leaked: %Ld" n
+  | _ -> Alcotest.fail "counter not found"
+
+(* ---- cross-domain merge determinism ---- *)
+
+let test_cross_domain_merge () =
+  let c = M.counter "t_domains" in
+  let h = M.histogram ~buckets:[| 10.0; 100.0 |] "t_domains_hist" in
+  let worker k () =
+    for i = 1 to 1000 do
+      M.inc c;
+      M.observe h (float_of_int ((i + k) mod 150))
+    done
+  in
+  let ds = List.init 4 (fun k -> Domain.spawn (worker k)) in
+  worker 4 ();
+  List.iter Domain.join ds;
+  (match M.find "t_domains" [] with
+  | Some (M.Counter n) -> Alcotest.(check int64) "merged count" 5000L n
+  | _ -> Alcotest.fail "counter not found");
+  match M.find "t_domains_hist" [] with
+  | Some (M.Histogram hv) ->
+    Alcotest.(check int64) "merged observations" 5000L hv.M.count;
+    Alcotest.(check int64) "bucket sum matches total" 5000L
+      (Array.fold_left Int64.add 0L hv.M.counts)
+  | _ -> Alcotest.fail "histogram not found"
+
+(* merged totals must not depend on which domain recorded what: two runs
+   with different work distributions agree *)
+let test_merge_schedule_independent () =
+  let run split =
+    M.reset ();
+    let c = M.counter "t_sched" in
+    let d = Domain.spawn (fun () -> for _ = 1 to split do M.inc c done) in
+    for _ = 1 to 2000 - split do
+      M.inc c
+    done;
+    Domain.join d;
+    match M.find "t_sched" [] with Some (M.Counter n) -> n | _ -> -1L
+  in
+  Alcotest.(check int64) "distribution-independent" (run 1) (run 1999)
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  let v =
+    Obs.Span.with_ "outer" (fun () ->
+        Obs.Span.with_ "inner" (fun () ->
+            Alcotest.(check int) "depth inside" 2 (Obs.Span.depth ());
+            Obs.Span.add_cost 7L;
+            41)
+        + 1)
+  in
+  Alcotest.(check int) "value threaded" 42 v;
+  Alcotest.(check int) "depth unwound" 0 (Obs.Span.depth ());
+  let events = Obs.Span.drain () in
+  let names = List.map (fun (e : Obs.Span.event) -> e.Obs.Span.name) events in
+  (* inner closes before outer *)
+  Alcotest.(check (list string)) "emission order" [ "inner"; "outer" ] names;
+  let inner = List.hd events in
+  Alcotest.(check int) "inner depth" 1 inner.Obs.Span.depth;
+  Alcotest.(check int64) "cost attributed to innermost" 7L inner.Obs.Span.cost;
+  Alcotest.(check bool) "ok" true inner.Obs.Span.ok
+
+let test_span_unwind_on_exception () =
+  (try Obs.Span.with_ "boom" (fun () -> failwith "no") with Failure _ -> ());
+  Alcotest.(check int) "stack unwound" 0 (Obs.Span.depth ());
+  match Obs.Span.drain () with
+  | [ e ] ->
+    Alcotest.(check string) "event still emitted" "boom" e.Obs.Span.name;
+    Alcotest.(check bool) "marked not-ok" false e.Obs.Span.ok
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l)
+
+let test_span_json () =
+  ignore (Obs.Span.with_ ~attrs:[ ("tool", "REFINE\"x") ] "p" (fun () -> ()));
+  match Obs.Span.drain () with
+  | [ e ] ->
+    let j = Obs.Span.to_json e in
+    Alcotest.(check bool) "one line" false (String.contains j '\n');
+    Alcotest.(check bool) "name present" true (contains j "\"name\":\"p\"");
+    (* the quote inside the attr value must be escaped *)
+    Alcotest.(check bool) "attrs escaped" true (contains j "REFINE\\\"x")
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l)
+
+let test_span_disabled () =
+  Obs.Control.disable ();
+  let v = Obs.Span.with_ "off" (fun () -> 9) in
+  Obs.Control.enable ();
+  Alcotest.(check int) "thunk still runs" 9 v;
+  Alcotest.(check int) "no events" 0 (List.length (Obs.Span.drain ()))
+
+(* ---- phases ---- *)
+
+let test_phase_accumulates () =
+  let p = Obs.Phase.create () in
+  Obs.Phase.add p "compile" 1.0;
+  Obs.Phase.add p "execute" 2.0;
+  Obs.Phase.add p "compile" 0.5;
+  Alcotest.(check (float 1e-9)) "summed" 1.5 (Obs.Phase.get p "compile");
+  Alcotest.(check (float 1e-9)) "other" 2.0 (Obs.Phase.get p "execute");
+  Alcotest.(check (float 1e-9)) "missing is 0" 0.0 (Obs.Phase.get p "instrument");
+  Alcotest.(check (float 1e-9)) "total" 3.5 (Obs.Phase.total p);
+  Alcotest.(check (list string)) "insertion order" [ "compile"; "execute" ]
+    (List.map fst (Obs.Phase.to_list p))
+
+let test_phase_time_on_exception () =
+  let p = Obs.Phase.create () in
+  (try Obs.Phase.time p "x" (fun () -> failwith "no") with Failure _ -> ());
+  Alcotest.(check bool) "elapsed still recorded" true (Obs.Phase.get p "x" >= 0.0);
+  Alcotest.(check (list string)) "phase registered" [ "x" ] (List.map fst (Obs.Phase.to_list p))
+
+(* ---- Prometheus dump ---- *)
+
+let test_prometheus_dump () =
+  let c = M.counter ~help:"a counter" ~labels:[ ("tool", "REFINE") ] "t_dump_total" in
+  M.add c 3;
+  let h = M.histogram ~buckets:[| 0.1; 1.0 |] "t_dump_seconds" in
+  M.observe h 0.05;
+  M.observe h 5.0;
+  let d = M.dump () in
+  Alcotest.(check bool) "TYPE line" true (contains d "# TYPE t_dump_total counter");
+  Alcotest.(check bool) "HELP line" true (contains d "# HELP t_dump_total a counter");
+  Alcotest.(check bool) "labeled sample" true (contains d "t_dump_total{tool=\"REFINE\"} 3");
+  (* histogram buckets are cumulative and end with +Inf = _count *)
+  Alcotest.(check bool) "le=0.1" true (contains d "t_dump_seconds_bucket{le=\"0.1\"} 1");
+  Alcotest.(check bool) "le=+Inf" true (contains d "t_dump_seconds_bucket{le=\"+Inf\"} 2");
+  Alcotest.(check bool) "count" true (contains d "t_dump_seconds_count 2")
+
+let tests =
+  [
+    Alcotest.test_case "histogram bucket edges" `Quick (with_obs test_bucket_edges);
+    Alcotest.test_case "histogram observe" `Quick (with_obs test_histogram_observe);
+    Alcotest.test_case "histogram rejects bad buckets" `Quick (with_obs test_histogram_bad_buckets);
+    Alcotest.test_case "counter dedup by (name, labels)" `Quick (with_obs test_counter_dedup);
+    Alcotest.test_case "kind clash rejected" `Quick (with_obs test_kind_clash);
+    Alcotest.test_case "disabled recording is inert" `Quick (with_obs test_disabled_gating);
+    Alcotest.test_case "cross-domain merge" `Quick (with_obs test_cross_domain_merge);
+    Alcotest.test_case "merge is schedule-independent" `Quick
+      (with_obs test_merge_schedule_independent);
+    Alcotest.test_case "span nesting and cost attribution" `Quick (with_obs test_span_nesting);
+    Alcotest.test_case "span unwinds on exception" `Quick (with_obs test_span_unwind_on_exception);
+    Alcotest.test_case "span JSON shape" `Quick (with_obs test_span_json);
+    Alcotest.test_case "spans inert when disabled" `Quick (with_obs test_span_disabled);
+    Alcotest.test_case "phase accumulation" `Quick (with_obs test_phase_accumulates);
+    Alcotest.test_case "phase time survives exceptions" `Quick
+      (with_obs test_phase_time_on_exception);
+    Alcotest.test_case "prometheus dump" `Quick (with_obs test_prometheus_dump);
+  ]
