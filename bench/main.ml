@@ -22,7 +22,12 @@
      REFINE_OBS       set to 0 to disable the observability layer (metrics
                       registry + span accounting); when enabled (default)
                       the harness writes a BENCH_obs.json trajectory point
-                      with per-tool overhead totals and key counters *)
+                      with per-tool overhead totals and key counters
+     REFINE_QUOTAS    set to 0 to skip the sandbox-quota overhead probe;
+                      when enabled (default) a small REFINE cell is run
+                      once with quotas off and once with the default
+                      sandbox (derived output cap + livelock detector) and
+                      the wall-time ratio is written to BENCH_quotas.json *)
 
 module T = Refine_core.Tool
 module E = Refine_campaign.Experiment
@@ -263,6 +268,44 @@ let write_obs_json cells campaign_wall =
   close_out oc;
   Printf.printf "[observability trajectory written to BENCH_obs.json]\n"
 
+(* ---- BENCH_quotas.json: sandbox-quota overhead probe ---------------------
+   The adversarial-input sandbox (DESIGN.md §13) adds a quota check every
+   1024 simulated steps plus a fingerprint ring when the livelock detector
+   is armed.  This probe measures what that costs: the same small REFINE
+   cell (same seed, so the same faults) once with quotas off and once with
+   the derived output cap + a livelock window, wall-clock compared. *)
+
+let quotas_section () =
+  section "Sandbox quota overhead (quota-off vs quota-on wall time)";
+  let program = List.hd programs in
+  let src = (Reg.find program).Reg.source in
+  let probe_samples = min samples 120 in
+  let run quotas =
+    let t0 = Unix.gettimeofday () in
+    let cell =
+      E.run_cell ~quotas ~samples:probe_samples ~seed T.Refine ~program ~source:src ()
+    in
+    (Unix.gettimeofday () -. t0, cell)
+  in
+  let off_s, off_cell = run T.no_quotas in
+  let on_s, on_cell =
+    run { T.default_quotas with T.livelock_window = Some 65536 }
+  in
+  let overhead_pct = if off_s > 0.0 then 100.0 *. ((on_s /. off_s) -. 1.0) else 0.0 in
+  Printf.printf "%s, %d samples: quotas off %.3fs, on %.3fs (%+.1f%%)\n" program probe_samples
+    off_s on_s overhead_pct;
+  if off_cell.E.counts <> on_cell.E.counts then
+    Printf.printf "note: quota trips changed %d sample outcome(s) (runaways now crash early)\n"
+      (abs (off_cell.E.counts.E.crash - on_cell.E.counts.E.crash));
+  let oc = open_out "BENCH_quotas.json" in
+  Printf.fprintf oc
+    "{\n  \"program\": \"%s\",\n  \"samples\": %d,\n  \"seed\": %d,\n  \
+     \"quota_off_wall_s\": %.6f,\n  \"quota_on_wall_s\": %.6f,\n  \
+     \"overhead_pct\": %.2f\n}\n"
+    program probe_samples seed off_s on_s overhead_pct;
+  close_out oc;
+  Printf.printf "[quota overhead written to BENCH_quotas.json]\n"
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let bechamel_section () =
@@ -292,6 +335,7 @@ let bechamel_section () =
                     output = p_pinfi.T.profile.Refine_core.Fault.golden_output;
                     steps = 0L;
                     cost = 0L;
+                    truncated = false;
                   })));
       Test.make ~name:"figure5 compile-pipeline(DC)"
         (Staged.stage (fun () ->
@@ -427,6 +471,7 @@ let () =
   print_figure5 cells;
   print_overhead cells;
   if obs then write_obs_json cells campaign_wall;
+  if getenv_default "REFINE_QUOTAS" "1" <> "0" then quotas_section ();
   if getenv_default "REFINE_EXTENSIONS" "1" <> "0" then extensions_section ();
   if getenv_default "REFINE_BECHAMEL" "1" <> "0" then bechamel_section ();
   print_newline ()

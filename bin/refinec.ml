@@ -252,8 +252,32 @@ let campaign_cmd =
              ~doc:"Enable observability and stream span/phase trace events to FILE as \
                    append-only JSONL (one event object per line).")
   in
+  let output_quota =
+    Arg.(value & opt (some int) None
+         & info [ "output-quota" ] ~docv:"BYTES"
+             ~doc:"Sandbox: absolute per-sample output cap in bytes (default: 16x the golden \
+                   output, 4 KiB floor).  A tripped quota classifies as a crash.")
+  in
+  let wall_clock =
+    Arg.(value & opt (some float) None
+         & info [ "wall-clock" ] ~docv:"SECONDS"
+             ~doc:"Sandbox: real-time deadline per sample in seconds.  A tripped deadline \
+                   classifies as a crash.")
+  in
+  let livelock =
+    Arg.(value & opt (some int) None
+         & info [ "livelock" ] ~docv:"STEPS"
+             ~doc:"Sandbox: fingerprint the architectural state every STEPS simulated \
+                   instructions and classify an exact repeat (a livelock orbit) as a crash.")
+  in
+  let no_verify_mir =
+    Arg.(value & flag
+         & info [ "no-verify-mir" ]
+             ~doc:"Skip the post-instrumentation machine-code verifier (cells whose \
+                   instrumented code fails verification are normally quarantined).")
+  in
   let action programs samples seed csv journal resume retries sample_timeout domains
-      metrics_out trace_out =
+      metrics_out trace_out output_quota wall_clock livelock no_verify_mir =
     if metrics_out <> None || trace_out <> None then Refine_obs.Control.enable ();
     (match trace_out with
     | Some path -> Refine_obs.Span.set_file_sink path
@@ -266,15 +290,29 @@ let campaign_cmd =
       List.map (fun n -> (n, (Refine_bench_progs.Registry.find n).Refine_bench_progs.Registry.source)) names
     in
     let journal = Option.map (fun path -> Refine_campaign.Journal.create ~resume path) journal in
+    (match journal with Some j -> Refine_campaign.Journal.note_skipped_metric j | None -> ());
+    let quotas =
+      {
+        Refine_core.Tool.default_quotas with
+        Refine_core.Tool.output_bytes = output_quota;
+        wall_clock_s = wall_clock;
+        livelock_window = livelock;
+      }
+    in
     let cells =
       Refine_campaign.Experiment.run_matrix ?domains ?journal ~retries
-        ?cost_cap:sample_timeout ~samples ~seed srcs Refine_campaign.Report.tools
+        ?cost_cap:sample_timeout ~quotas ~verify_mir:(not no_verify_mir) ~samples ~seed srcs
+        Refine_campaign.Report.tools
     in
     List.iter (fun p -> print_string (Refine_campaign.Report.figure4_program cells p)) names;
     print_string (Refine_campaign.Report.table5 (Refine_campaign.Report.chi2_rows cells names));
     print_string (Refine_campaign.Report.figure5 cells names);
     print_string (Refine_campaign.Report.overhead_table cells names);
-    List.iter print_endline (Refine_campaign.Report.degradation cells);
+    print_string (Refine_campaign.Report.quarantine_report cells);
+    let journal_skipped =
+      match journal with Some j -> Refine_campaign.Journal.skipped j | None -> 0
+    in
+    List.iter print_endline (Refine_campaign.Report.degradation ~journal_skipped cells);
     (match journal with
     | Some j ->
       Printf.printf "[journal: %d samples checkpointed]\n" (Refine_campaign.Journal.length j)
@@ -299,10 +337,12 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:"Run the evaluation matrix on benchmark programs and print Figure 4/Table 5/Figure 5 \
              plus the Figure 8/9 overhead breakdown. Supports checkpoint/resume \
-             ($(b,--journal)/$(b,--resume)), bounded retries, a per-sample watchdog, and \
-             observability exports ($(b,--metrics-out)/$(b,--trace-out)).")
+             ($(b,--journal)/$(b,--resume)), bounded retries, a per-sample watchdog, \
+             observability exports ($(b,--metrics-out)/$(b,--trace-out)), and sandbox quotas \
+             ($(b,--output-quota)/$(b,--wall-clock)/$(b,--livelock)).")
     Term.(const action $ programs $ samples $ seed $ csv $ journal $ resume $ retries
-          $ sample_timeout $ domains $ metrics_out $ trace_out)
+          $ sample_timeout $ domains $ metrics_out $ trace_out $ output_quota $ wall_clock
+          $ livelock $ no_verify_mir)
 
 let main =
   let doc = "REFINE: realistic fault injection via compiler-based instrumentation (SC'17 reproduction)" in

@@ -6,15 +6,22 @@ module E = Experiment
 module T = Refine_core.Tool
 
 let header =
-  "program,tool,samples,crash,soc,benign,tool_error,dyn_count,profile_cost,injection_cost,static_sites,instrument_s,compile_s,execute_s,harness_s"
+  "program,tool,samples,crash,soc,benign,tool_error,dyn_count,profile_cost,injection_cost,static_sites,instrument_s,compile_s,execute_s,harness_s,quarantined,quarantine_reason"
+
+(* reasons must stay a single CSV field; Journal.record_quarantine already
+   sanitized journaled ones, but cells can also arrive directly *)
+let sanitize_reason s =
+  String.map (function ',' | '\n' | '\r' | '\t' -> ' ' | c -> c) s
 
 let row_of_cell (c : E.cell) =
-  Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%Ld,%Ld,%Ld,%d,%.6f,%.6f,%.6f,%.6f" c.E.program
+  Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%Ld,%Ld,%Ld,%d,%.6f,%.6f,%.6f,%.6f,%d,%s" c.E.program
     (T.kind_name c.E.tool) c.E.samples c.E.counts.E.crash c.E.counts.E.soc c.E.counts.E.benign
     c.E.counts.E.tool_error c.E.profile.Refine_core.Fault.dyn_count
     c.E.profile.Refine_core.Fault.profile_cost c.E.injection_cost c.E.static_instrumented
     c.E.timing.E.instrument_s c.E.timing.E.compile_s c.E.timing.E.execute_s
     c.E.timing.E.harness_s
+    (match c.E.quarantined with Some _ -> 1 | None -> 0)
+    (match c.E.quarantined with Some r -> sanitize_reason r | None -> "")
 
 let to_string (cells : E.cell list) =
   String.concat "\n" (header :: List.map row_of_cell cells) ^ "\n"
@@ -60,6 +67,8 @@ let of_string (s : string) : E.cell list =
             comp_s;
             exec_s;
             harn_s;
+            quarantined;
+            reason;
           ] ->
           {
             E.program;
@@ -89,6 +98,7 @@ let of_string (s : string) : E.cell list =
                 execute_s = float_of_string exec_s;
                 harness_s = float_of_string harn_s;
               };
+            quarantined = (if int_of_string quarantined <> 0 then Some reason else None);
           }
         | _ -> raise (Parse_error ("bad CSV row: " ^ line)))
       rows

@@ -69,6 +69,19 @@ let m_resumed =
   Obs.Metrics.counter ~help:"samples loaded from a resume journal instead of re-run"
     "refine_campaign_resumed_samples_total"
 
+(* quarantine reasons are bounded categories (Tool.Quarantine) *)
+let m_quarantined reason =
+  Obs.Metrics.counter ~help:"campaign cells quarantined instead of sampled"
+    ~labels:[ ("reason", reason) ]
+    "refine_quarantined_cells_total"
+
+let m_quarantined_verifier = m_quarantined "mir-verifier"
+let m_quarantined_golden = m_quarantined "nondeterministic-golden"
+
+let m_quarantine_reason = function
+  | "nondeterministic-golden" -> m_quarantined_golden
+  | _ -> m_quarantined_verifier
+
 type cell = {
   program : string;
   tool : T.kind;
@@ -79,6 +92,10 @@ type cell = {
   static_instrumented : int;
   failures : S.failure list; (* samples that exhausted the retry budget *)
   timing : timing; (* wall-clock overhead attribution (zero for loaded cells) *)
+  quarantined : string option;
+      (* "category: detail" when the cell was quarantined (DESIGN.md §13):
+         zero samples ran, the cell is reported but excluded from the
+         contingency rows *)
 }
 
 (* Stable seed derivation: FNV-1a over the cell identity instead of
@@ -100,21 +117,67 @@ let rng_for_attempt base a =
     P.split r
   end
 
+(* A quarantined (program, tool) cell: no samples ran and none will — the
+   cell is structurally unfit for injection (failed MIR verification, or a
+   nondeterministic golden run).  Reported, excluded from chi-squared. *)
+let quarantined_cell ~program ~tool ~samples reason =
+  {
+    program;
+    tool;
+    samples;
+    counts = zero;
+    injection_cost = 0L;
+    profile = { F.golden_output = ""; golden_exit = 0; dyn_count = 0L; profile_cost = 0L };
+    static_instrumented = 0;
+    failures = [];
+    timing = zero_timing;
+    quarantined = Some reason;
+  }
+
 (* One (program, tool) cell: prepare (compile + profile) once, then run
    [samples] supervised injections, skipping samples already resolved in
-   [journal] and recording each newly resolved one. *)
+   [journal] and recording each newly resolved one.  A [Tool.Quarantine]
+   during preparation resolves the whole cell as quarantined — journaled
+   so a resume never re-prepares it. *)
 let run_cell ?domains ?(sel = Refine_core.Selection.default) ?journal ?(retries = 0)
-    ?cost_cap ?token ?watchdog ~samples ~seed (tool : T.kind) ~program ~source () : cell =
+    ?cost_cap ?(quotas = T.default_quotas) ?verify_mir ?chaos ?token ?watchdog ~samples ~seed
+    (tool : T.kind) ~program ~source () : cell =
   let domains =
     match domains with Some d -> d | None -> Refine_support.Parallel.default_domains ()
   in
   let tool_name = T.kind_name tool in
+  let quarantine reason =
+    Obs.Metrics.inc
+      (m_quarantine_reason
+         (match String.index_opt reason ':' with
+         | Some i -> String.sub reason 0 i
+         | None -> reason));
+    (match journal with
+    | Some j -> Journal.record_quarantine j ~program ~tool:tool_name ~reason
+    | None -> ());
+    quarantined_cell ~program ~tool ~samples reason
+  in
+  match
+    Option.bind journal (fun j -> Journal.quarantine_reason j ~program ~tool:tool_name)
+  with
+  | Some reason ->
+    (* journaled quarantine: deterministic, so don't re-prepare on resume *)
+    Obs.Metrics.inc
+      (m_quarantine_reason
+         (match String.index_opt reason ':' with
+         | Some i -> String.sub reason 0 i
+         | None -> reason));
+    quarantined_cell ~program ~tool ~samples reason
+  | None -> (
   let span_attrs = [ ("program", program); ("tool", tool_name) ] in
   let phases = Obs.Phase.create () in
   let cell_t0 = Obs.Control.now () in
-  let prepared =
-    Obs.Span.with_ ~attrs:span_attrs "prepare" (fun () -> T.prepare ~phases ~sel tool source)
-  in
+  match
+    Obs.Span.with_ ~attrs:span_attrs "prepare" (fun () ->
+        T.prepare ~phases ~sel ?verify_mir ?chaos tool source)
+  with
+  | exception T.Quarantine (category, detail) -> quarantine (category ^ ": " ^ detail)
+  | prepared ->
   let master = P.create (cell_seed ~seed ~program tool) in
   let bases = Array.init samples (fun _ -> P.split master) in
   let results : F.experiment option array = Array.make samples None in
@@ -137,12 +200,20 @@ let run_cell ?domains ?(sel = Refine_core.Selection.default) ?journal ?(retries 
   let todo = Array.of_list !todo in
   let token = match token with Some t -> t | None -> S.Cancel.create () in
   let poll () = S.check token in
-  let policy = { S.default_policy with S.max_retries = retries } in
+  let policy =
+    {
+      S.default_policy with
+      S.max_retries = retries;
+      (* a Quarantine is a deterministic property of the cell; retrying the
+         sample would only reproduce it *)
+      retryable = (function T.Quarantine _ -> false | e -> S.default_policy.S.retryable e);
+    }
+  in
   (* one injection, with its wall time billed to the execute column even
      when it ends in a watchdog kill or cancellation *)
   let timed_injection rng =
     let t0 = Obs.Control.now () in
-    match T.run_injection ?cost_cap ~poll prepared rng with
+    match T.run_injection ?cost_cap ~quotas ~poll prepared rng with
     | e ->
       let dt = Obs.Control.now () -. t0 in
       Obs.Phase.add phases "execute" dt;
@@ -219,7 +290,8 @@ let run_cell ?domains ?(sel = Refine_core.Selection.default) ?journal ?(retries 
     static_instrumented = prepared.T.static_instrumented;
     failures = List.rev !failures;
     timing;
-  }
+    quarantined = None;
+  })
 
 (* A cell whose preparation (compile/profile) failed outright: every
    sample is a ToolError, the campaign continues. *)
@@ -234,20 +306,23 @@ let degraded_cell ~program ~tool ~samples exn =
     static_instrumented = 0;
     failures = [ { S.index = -1; attempts = 1; exn; backtrace = "" } ];
     timing = zero_timing;
+    quarantined = None;
   }
 
 (* The full evaluation matrix: every program x every tool.  A cell that
    fails to prepare degrades to all-ToolError instead of aborting the
-   remaining cells. *)
-let run_matrix ?domains ?sel ?journal ?retries ?cost_cap ?token ?watchdog ~samples ~seed
-    (programs : (string * string) list) (tools : T.kind list) : cell list =
+   remaining cells (a [Tool.Quarantine] already resolved inside
+   [run_cell] as a quarantined cell). *)
+let run_matrix ?domains ?sel ?journal ?retries ?cost_cap ?quotas ?verify_mir ?chaos ?token
+    ?watchdog ~samples ~seed (programs : (string * string) list) (tools : T.kind list) :
+    cell list =
   List.concat_map
     (fun (program, source) ->
       List.map
         (fun tool ->
           try
-            run_cell ?domains ?sel ?journal ?retries ?cost_cap ?token ?watchdog ~samples
-              ~seed tool ~program ~source ()
+            run_cell ?domains ?sel ?journal ?retries ?cost_cap ?quotas ?verify_mir ?chaos
+              ?token ?watchdog ~samples ~seed tool ~program ~source ()
           with e -> degraded_cell ~program ~tool ~samples e)
         tools)
     programs

@@ -47,6 +47,11 @@ type cell = {
   timing : timing;
       (** wall-clock overhead attribution; {!zero_timing} for degraded or
           CSV-loaded cells *)
+  quarantined : string option;
+      (** ["category: detail"] when the cell was quarantined (DESIGN.md
+          §13): preparation raised {!Refine_core.Tool.Quarantine} (failed
+          MIR verification, or a nondeterministic golden run), zero samples
+          ran, and the cell is excluded from the contingency rows *)
 }
 
 val cell_seed : seed:int -> program:string -> Refine_core.Tool.kind -> int
@@ -60,6 +65,9 @@ val run_cell :
   ?journal:Journal.t ->
   ?retries:int ->
   ?cost_cap:int64 ->
+  ?quotas:Refine_core.Tool.quotas ->
+  ?verify_mir:bool ->
+  ?chaos:Refine_core.Tool.chaos ->
   ?token:Refine_support.Supervisor.Cancel.t ->
   ?watchdog:(unit -> bool) ->
   samples:int ->
@@ -79,7 +87,15 @@ val run_cell :
     [cost_cap] is the per-sample modeled-cost watchdog
     ({!Refine_core.Tool.run_injection}); [token]/[watchdog] cancel the
     remaining work cooperatively — cancelled samples stay unresolved so a
-    resume completes them. *)
+    resume completes them.
+
+    Hardening (DESIGN.md §13): every injection runs inside the [quotas]
+    sandbox (default {!Refine_core.Tool.default_quotas}, the golden-derived
+    output cap) — tripped quotas classify as Crash.  A
+    {!Refine_core.Tool.Quarantine} during preparation (see [verify_mir] /
+    the double golden run) resolves the whole cell as quarantined: zero
+    samples, [quarantined = Some reason], journaled so a resume
+    short-circuits without re-preparing. *)
 
 val run_matrix :
   ?domains:int ->
@@ -87,6 +103,9 @@ val run_matrix :
   ?journal:Journal.t ->
   ?retries:int ->
   ?cost_cap:int64 ->
+  ?quotas:Refine_core.Tool.quotas ->
+  ?verify_mir:bool ->
+  ?chaos:Refine_core.Tool.chaos ->
   ?token:Refine_support.Supervisor.Cancel.t ->
   ?watchdog:(unit -> bool) ->
   samples:int ->
@@ -95,8 +114,9 @@ val run_matrix :
   Refine_core.Tool.kind list ->
   cell list
 (** The full evaluation grid: every (program, source) under every tool.  A
-    cell whose preparation fails degrades to an all-[tool_error] cell; the
-    remaining cells still run. *)
+    cell whose preparation fails degrades to an all-[tool_error] cell (or a
+    quarantined cell for {!Refine_core.Tool.Quarantine}); the remaining
+    cells still run. *)
 
 val find_cell : cell list -> program:string -> tool:Refine_core.Tool.kind -> cell
 

@@ -8,6 +8,10 @@
    bit-identical to an uninterrupted run with the same seed, whatever the
    crash/resume interleaving.
 
+   Quarantined cells (DESIGN.md §13) are journaled too, as "Q"-tagged
+   lines with a different field count: an older loader's tolerant parse
+   skips them silently, so journals stay forward- and backward-compatible.
+
    Durability: each flush writes the full log to [path ^ ".tmp"] and
    renames it over [path].  The rename is atomic at the filesystem level,
    so a reader (or a resuming campaign) never observes a torn file — the
@@ -27,19 +31,32 @@ type entry = {
 type t = {
   path : string;
   mutable entries : entry list; (* newest first *)
+  mutable quarantines : (string * string * string) list; (* (program, tool, reason) *)
+  mutable skipped : int; (* undecodable lines dropped at load *)
   lock : Mutex.t;
 }
 
 let magic = "# refine-journal v1"
+
+(* reasons travel on one journal/CSV line; field and line separators are
+   squashed to spaces *)
+let sanitize s =
+  String.map (function '\t' | '\n' | '\r' | ',' -> ' ' | c -> c) s
 
 let render e =
   Printf.sprintf "%s\t%s\t%d\t%s\t%Ld\t%d" e.program e.tool e.sample
     (F.string_of_outcome e.outcome)
     e.cost e.attempts
 
-(* Tolerant parse: a line that does not decode (e.g. written by a newer
-   version) is skipped rather than aborting the resume — losing one
-   checkpoint costs one re-run, losing the journal costs the campaign. *)
+let render_quarantine (program, tool, reason) =
+  Printf.sprintf "Q\t%s\t%s\t%s" program tool (sanitize reason)
+
+(* Tolerant parse: a line that does not decode (e.g. an outcome name or
+   record shape written by a newer version) is skipped rather than
+   aborting the resume — losing one checkpoint costs one re-run, losing
+   the journal costs the campaign.  [Fault.outcome_of_string] raises on
+   unknown names; the try-with turns that into a skip, and the caller
+   counts skips so the degradation report can surface them. *)
 let parse line =
   match String.split_on_char '\t' line with
   | [ program; tool; sample; outcome; cost; attempts ] -> (
@@ -56,10 +73,16 @@ let parse line =
     with _ -> None)
   | _ -> None
 
+let parse_quarantine line =
+  match String.split_on_char '\t' line with
+  | [ "Q"; program; tool; reason ] -> Some (program, tool, reason)
+  | _ -> None
+
 let flush t =
   let tmp = t.path ^ ".tmp" in
   let oc = open_out tmp in
   output_string oc (magic ^ "\n");
+  List.iter (fun q -> output_string oc (render_quarantine q ^ "\n")) (List.rev t.quarantines);
   List.iter (fun e -> output_string oc (render e ^ "\n")) (List.rev t.entries);
   close_out oc;
   Sys.rename tmp t.path
@@ -69,13 +92,37 @@ let load_entries path =
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  String.split_on_char '\n' s
-  |> List.filter (fun l -> String.trim l <> "" && not (String.length l > 0 && l.[0] = '#'))
-  |> List.filter_map parse
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.trim l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let entries = ref [] and quarantines = ref [] and skipped = ref 0 in
+  List.iter
+    (fun l ->
+      match parse_quarantine l with
+      | Some q -> quarantines := q :: !quarantines
+      | None -> (
+        match parse l with
+        | Some e -> entries := e :: !entries
+        | None ->
+          incr skipped;
+          Printf.eprintf "journal %s: skipping undecodable line: %s\n%!" path l))
+    lines;
+  (List.rev !entries, List.rev !quarantines, !skipped)
 
 let create ?(resume = false) path =
-  let entries = if resume && Sys.file_exists path then load_entries path else [] in
-  let t = { path; entries = List.rev entries; lock = Mutex.create () } in
+  let entries, quarantines, skipped =
+    if resume && Sys.file_exists path then load_entries path else ([], [], 0)
+  in
+  let t =
+    {
+      path;
+      entries = List.rev entries;
+      quarantines = List.rev quarantines;
+      skipped;
+      lock = Mutex.create ();
+    }
+  in
   flush t;
   t
 
@@ -88,20 +135,49 @@ let m_flush_seconds =
     ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 |]
     "refine_journal_flush_seconds"
 
-let record t e =
+let m_skipped =
+  Refine_obs.Metrics.counter ~help:"undecodable journal lines dropped at resume"
+    "refine_journal_skipped_lines_total"
+
+let locked t f =
   Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let record t e =
+  locked t (fun () ->
       t.entries <- e :: t.entries;
       let t0 = Refine_obs.Control.now () in
       flush t;
       Refine_obs.Metrics.inc m_records;
       Refine_obs.Metrics.observe m_flush_seconds (Refine_obs.Control.now () -. t0))
 
-let entries t =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> List.rev t.entries)
+let record_quarantine t ~program ~tool ~reason =
+  locked t (fun () ->
+      (* idempotent per cell: a resumed campaign re-quarantines the same
+         cell with the same reason *)
+      if
+        not
+          (List.exists (fun (p, tl, _) -> p = program && tl = tool) t.quarantines)
+      then begin
+        t.quarantines <- (program, tool, reason) :: t.quarantines;
+        flush t
+      end)
+
+let quarantine_reason t ~program ~tool =
+  locked t (fun () ->
+      List.find_map
+        (fun (p, tl, r) -> if p = program && tl = tool then Some r else None)
+        t.quarantines)
+
+let quarantines t = locked t (fun () -> List.rev t.quarantines)
+
+let skipped t = locked t (fun () -> t.skipped)
+
+let note_skipped_metric t =
+  let n = skipped t in
+  if n > 0 then Refine_obs.Metrics.add m_skipped n
+
+let entries t = locked t (fun () -> List.rev t.entries)
 
 let length t = List.length (entries t)
 

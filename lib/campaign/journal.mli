@@ -21,12 +21,32 @@ type t
 
 val create : ?resume:bool -> string -> t
 (** [create path] opens a journal at [path].  With [~resume:true] existing
-    entries are loaded (unparseable lines are skipped, costing only their
-    re-run); otherwise the journal starts empty.  The file is immediately
-    (re)written in canonical form. *)
+    entries are loaded (unparseable lines — e.g. an unknown outcome name
+    written by a newer version — are skipped with a warning and counted in
+    {!skipped}, costing only their re-run); otherwise the journal starts
+    empty.  The file is immediately (re)written in canonical form. *)
 
 val record : t -> entry -> unit
 (** Append one entry and flush atomically.  Safe to call from any domain. *)
+
+val record_quarantine : t -> program:string -> tool:string -> reason:string -> unit
+(** Journal a quarantined cell (DESIGN.md §13).  Idempotent per
+    (program, tool).  Written as a tagged line an older loader's tolerant
+    parse skips silently; [reason] is sanitized to one field. *)
+
+val quarantine_reason : t -> program:string -> tool:string -> string option
+(** The journaled quarantine reason of a cell, if any — a resuming
+    campaign short-circuits such cells without re-preparing them. *)
+
+val quarantines : t -> (string * string * string) list
+(** All journaled [(program, tool, reason)] quarantines, oldest first. *)
+
+val skipped : t -> int
+(** Undecodable lines dropped while loading with [~resume:true]. *)
+
+val note_skipped_metric : t -> unit
+(** Mirror {!skipped} into [refine_journal_skipped_lines_total] (call once
+    per campaign, after observability is enabled). *)
 
 val entries : t -> entry list
 (** All entries, oldest first. *)

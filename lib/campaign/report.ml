@@ -98,6 +98,10 @@ type chi2_row = {
   program : string;
   llfi_vs_pinfi : Refine_stats.Chi2.test_result;
   refine_vs_pinfi : Refine_stats.Chi2.test_result;
+  quarantined_tools : (string * string) list;
+      (* (tool, reason) of this program's quarantined cells: their rows are
+         all-zero by construction, so the verdict is trivial — the
+         annotation tells the reader why *)
 }
 
 let chi2_rows (cells : E.cell list) programs : chi2_row list =
@@ -107,13 +111,27 @@ let chi2_rows (cells : E.cell list) programs : chi2_row list =
       let test a b =
         let ra = E.row (cell a) and rb = E.row (cell b) in
         let tot = Array.fold_left ( + ) 0 in
-        (* both cells fully degraded: no observations, no evidence of a
-           difference — report the trivial verdict rather than aborting *)
+        (* both cells fully degraded or quarantined: no observations, no
+           evidence of a difference — report the trivial verdict rather
+           than aborting *)
         if tot ra = 0 && tot rb = 0 then
           { Refine_stats.Chi2.statistic = 0.0; df = 1; p_value = 1.0; significant = false }
         else Refine_stats.Chi2.test [| ra; rb |]
       in
-      { program; llfi_vs_pinfi = test T.Llfi T.Pinfi; refine_vs_pinfi = test T.Refine T.Pinfi })
+      let quarantined_tools =
+        List.filter_map
+          (fun tool ->
+            match (cell tool).E.quarantined with
+            | Some r -> Some (T.kind_name tool, r)
+            | None -> None)
+          tools
+      in
+      {
+        program;
+        llfi_vs_pinfi = test T.Llfi T.Pinfi;
+        refine_vs_pinfi = test T.Refine T.Pinfi;
+        quarantined_tools;
+      })
     programs
 
 let table5 (rows : chi2_row list) =
@@ -129,7 +147,8 @@ let table5 (rows : chi2_row list) =
       (fun r ->
         let lp, ls = fmt r.llfi_vs_pinfi in
         let rp, rs = fmt r.refine_vs_pinfi in
-        [ r.program; lp; ls; rp; rs ])
+        let mark s = if r.quarantined_tools = [] then s else s ^ " [q]" in
+        [ mark r.program; lp; ls; rp; rs ])
       rows
   in
   Buffer.add_string buf
@@ -138,8 +157,38 @@ let table5 (rows : chi2_row list) =
        ~header:
          [ "program"; "LLFI p-value"; "signif.diff?"; "REFINE p-value"; "signif.diff?" ]
        trows);
+  (* footnotes: quarantined cells contribute all-zero rows, so their
+     verdicts above are trivial — say why *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (tool, reason) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  [q] %s/%s quarantined (excluded): %s\n" r.program tool reason))
+        r.quarantined_tools)
+    rows;
   Buffer.add_char buf '\n';
   Buffer.contents buf
+
+(* ---- Quarantine report (DESIGN.md §13) -------------------------------- *)
+
+let quarantines (cells : E.cell list) =
+  List.filter_map
+    (fun (c : E.cell) ->
+      Option.map (fun r -> (c.E.program, T.kind_name c.E.tool, r)) c.E.quarantined)
+    cells
+
+let quarantine_report (cells : E.cell list) =
+  match quarantines cells with
+  | [] -> ""
+  | qs ->
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "Quarantined cells (no samples ran; excluded from all statistics)\n";
+    List.iter
+      (fun (p, t, r) -> Buffer.add_string buf (Printf.sprintf "  %s/%s: %s\n" p t r))
+      qs;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
 
 (* ---- Table 6: complete outcome counts, paper side-by-side ------------- *)
 
@@ -174,13 +223,32 @@ let table6 (cells : E.cell list) programs =
 
 (* ---- Campaign robustness: degradation warnings ------------------------ *)
 
-(* Samplesize-aware warnings when harness failures (ToolError) or an
-   interrupted run drop the achieved n below the requested one: the margin
-   of error of every affected cell is recomputed so the operator sees what
-   statistical power the degradation actually cost. *)
-let degradation ?(confidence = 0.95) (cells : E.cell list) =
-  List.filter_map
+(* Samplesize-aware warnings when harness failures (ToolError), a
+   quarantine, or an interrupted run drop the achieved n below the
+   requested one: the margin of error of every affected cell is recomputed
+   so the operator sees what statistical power the degradation actually
+   cost.  [journal_skipped] adds a line for resume-journal rows that
+   failed to decode (each cost one re-run). *)
+let degradation ?(confidence = 0.95) ?(journal_skipped = 0) (cells : E.cell list) =
+  let skipped_line =
+    if journal_skipped = 0 then []
+    else
+      [
+        Printf.sprintf
+          "WARNING resume journal: %d undecodable line%s skipped (each cost one re-run)"
+          journal_skipped
+          (if journal_skipped = 1 then "" else "s");
+      ]
+  in
+  skipped_line
+  @ List.filter_map
     (fun (c : E.cell) ->
+      match c.E.quarantined with
+      | Some reason ->
+        Some
+          (Printf.sprintf "QUARANTINED %s/%s: 0 of %d samples ran — %s" c.E.program
+             (T.kind_name c.E.tool) c.E.samples reason)
+      | None ->
       let n_eff = E.total c.E.counts in
       if c.E.counts.E.tool_error = 0 && n_eff >= c.E.samples then None
       else

@@ -23,11 +23,24 @@ type chi2_row = {
   program : string;
   llfi_vs_pinfi : Refine_stats.Chi2.test_result;
   refine_vs_pinfi : Refine_stats.Chi2.test_result;
+  quarantined_tools : (string * string) list;
+      (** (tool, reason) for this program's quarantined cells — their
+          contingency rows are all-zero (excluded), so their verdicts are
+          the trivial p=1 *)
 }
 
 val chi2_rows : Experiment.cell list -> string list -> chi2_row list
 val table5 : chi2_row list -> string
-(** The paper's Table 5: per-program chi-squared verdicts against PINFI. *)
+(** The paper's Table 5: per-program chi-squared verdicts against PINFI.
+    Programs with quarantined cells are marked [q] with a footnote giving
+    the reason. *)
+
+val quarantines : Experiment.cell list -> (string * string * string) list
+(** All quarantined [(program, tool, reason)] cells. *)
+
+val quarantine_report : Experiment.cell list -> string
+(** Rendered block listing every quarantined cell and its reason; [""]
+    when none. *)
 
 val table6 : Experiment.cell list -> string list -> string
 (** Complete outcome counts, measured side-by-side with the paper's
@@ -46,8 +59,11 @@ val overhead_table : Experiment.cell list -> string list -> string
     programs.  Reports measured seconds ({!Experiment.timing}), unlike
     {!figure5}'s modeled cost units. *)
 
-val degradation : ?confidence:float -> Experiment.cell list -> string list
+val degradation :
+  ?confidence:float -> ?journal_skipped:int -> Experiment.cell list -> string list
 (** One warning line per cell whose achieved sample size dropped below the
     requested one (harness [tool_error]s or an interrupted run), with the
-    achieved vs requested margin of error and the underlying failures.
+    achieved vs requested margin of error and the underlying failures; one
+    QUARANTINED line per quarantined cell; and, when [journal_skipped] is
+    nonzero, one line for the resume-journal rows that failed to decode.
     Empty when the campaign was healthy. *)

@@ -51,11 +51,18 @@ type experiment = {
   fault : record option; (* None when the target was never reached *)
 }
 
+(* Quota traps (Output_quota/Heap_quota/Wall_clock/Livelock) fall under
+   Trapped and classify as Crash deterministically, like the paper's own
+   10x timeout.  A truncated output can never certify a golden match:
+   even if the run somehow exits cleanly after the cut, the sample is a
+   Crash (the sandbox, not the program, ended its output). *)
 let classify (p : profile) (r : Refine_machine.Exec.result) : outcome =
-  match r.status with
-  | Refine_machine.Exec.Trapped _ | Refine_machine.Exec.Timed_out -> Crash
-  | Refine_machine.Exec.Exited code ->
-    if code <> p.golden_exit then Crash
-    else if r.output <> p.golden_output then Soc
-    else Benign
-  | Refine_machine.Exec.Running -> Crash
+  if r.truncated then Crash
+  else
+    match r.status with
+    | Refine_machine.Exec.Trapped _ | Refine_machine.Exec.Timed_out -> Crash
+    | Refine_machine.Exec.Exited code ->
+      if code <> p.golden_exit then Crash
+      else if r.output <> p.golden_output then Soc
+      else Benign
+    | Refine_machine.Exec.Running -> Crash

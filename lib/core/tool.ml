@@ -79,6 +79,62 @@ let flush_obs kind (eng : E.t) ~fi_hits ~run_cost =
     Obs.Span.add_cost run_cost
   end
 
+(* ---- sandbox quotas (DESIGN.md §13) -----------------------------------
+
+   Per-run resource envelopes forwarded to [Exec.run].  A tripped quota is
+   an experimental outcome — the run ends [Trapped (Output_quota _)] etc.
+   and classifies as Crash — never a harness exception, so the supervisor
+   burns no retries on adversarial samples. *)
+
+type quotas = {
+  output_bytes : int option; (* absolute cap; overrides derivation *)
+  heap_bytes : int option; (* heap growth above the image's heap base *)
+  wall_clock_s : float option; (* real-time deadline per run *)
+  livelock_window : int option; (* fingerprint cadence in steps *)
+  derive_output : bool; (* derive the output cap from the golden run *)
+}
+
+let no_quotas =
+  {
+    output_bytes = None;
+    heap_bytes = None;
+    wall_clock_s = None;
+    livelock_window = None;
+    derive_output = false;
+  }
+
+let default_quotas = { no_quotas with derive_output = true }
+
+(* 16x the golden output with a 4 KiB floor: generous enough that any
+   legitimate corruption (SOC) fits, tight enough that a fault turning the
+   program into an output firehose trips long before the 10x cost
+   timeout's worth of bytes accumulate. *)
+let derived_output_quota (profile : Fault.profile) =
+  max 4096 (16 * String.length profile.Fault.golden_output)
+
+let effective_output_quota q (profile : Fault.profile) =
+  match q.output_bytes with
+  | Some _ as c -> c
+  | None -> if q.derive_output then Some (derived_output_quota profile) else None
+
+let quota_kind_names = [| "output"; "heap"; "wall-clock"; "livelock" |]
+
+let m_quota_trips =
+  Array.map
+    (fun k ->
+      Obs.Metrics.counter ~help:"sandbox quota trips by kind" ~labels:[ ("kind", k) ]
+        "refine_quota_trips_total")
+    quota_kind_names
+
+let note_quota_trip (r : E.result) =
+  if Obs.Control.enabled () then
+    match r.E.status with
+    | E.Trapped (E.Output_quota _) -> Obs.Metrics.inc m_quota_trips.(0)
+    | E.Trapped (E.Heap_quota _) -> Obs.Metrics.inc m_quota_trips.(1)
+    | E.Trapped (E.Wall_clock _) -> Obs.Metrics.inc m_quota_trips.(2)
+    | E.Trapped E.Livelock -> Obs.Metrics.inc m_quota_trips.(3)
+    | _ -> ()
+
 type prepared = {
   kind : kind;
   sel : Selection.t;
@@ -88,6 +144,43 @@ type prepared = {
 }
 
 exception Prepare_error of string
+
+exception Quarantine of string * string
+(* (category, detail): the cell must not be sampled — "mir-verifier" when
+   the instrumented machine code fails [Mverify.check_instrumented],
+   "nondeterministic-golden" when two independent profiling runs disagree.
+   Deterministic by construction, hence never retried. *)
+
+(* Test-only failure injection for the hardening paths themselves:
+   [break_mir] corrupts one spliced SetupFI block after instrumentation
+   (so the verifier must catch it), [flaky_golden] perturbs the second
+   profiling run's output (so the golden integrity check must catch it). *)
+type chaos = { break_mir : bool; flaky_golden : bool }
+
+let no_chaos = { break_mir = false; flaky_golden = false }
+
+let break_one_splice funcs =
+  let module F = Refine_mir.Mfunc in
+  let module R = Refine_mir.Reg in
+  let broke = ref false in
+  List.iter
+    (fun (mf : F.t) ->
+      if not !broke then
+        mf.F.blocks <-
+          List.map
+            (fun (b : F.mblock) ->
+              if
+                (not !broke)
+                && List.exists
+                     (function M.Mcallext "fi_setup_fi" -> true | _ -> false)
+                     b.F.code
+              then begin
+                broke := true;
+                { b with F.code = M.Mmov (R.gpr 5, M.Imm 0xBADL) :: b.F.code }
+              end
+              else b)
+            mf.F.blocks)
+    funcs
 
 let build_ir ?(opt = Pipeline.O2) src =
   let m = Refine_minic.Frontend.compile src in
@@ -115,47 +208,101 @@ let finish_profile kind sel image static_instrumented (count : int64) (r : E.res
   }
 
 (* [phases] buckets wall-clock time into the overhead-breakdown columns
-   (instrument / compile / execute); the profiling run counts as execute.
-   Omitted (the common library-use case), only the modeled costs remain. *)
+   (instrument / compile / execute); the profiling runs count as execute.
+   Omitted (the common library-use case), only the modeled costs remain.
+
+   Profiling runs TWICE with independent machine and control-library
+   state: a program whose golden output, exit code or dynamic population
+   varies between fault-free runs cannot classify faults (every
+   comparison against "the" golden run would be noise), so the cell is
+   [Quarantine]d instead of sampled.  [verify_mir] additionally re-checks
+   the instrumented machine code ([Mverify.check_instrumented] for the
+   REFINE splices, [Mverify.check_funcs] for LLFI's recompiled functions)
+   and quarantines on any structural violation. *)
 let prepare ?phases ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps = 2_000_000_000L)
-    (kind : kind) (src : string) : prepared =
+    ?(verify_mir = true) ?(chaos = no_chaos) (kind : kind) (src : string) : prepared =
   let time name f = match phases with None -> f () | Some p -> Obs.Phase.time p name f in
+  let quarantine_invalid f =
+    try f () with Refine_mir.Mverify.Invalid msg -> raise (Quarantine ("mir-verifier", msg))
+  in
+  (* first run becomes the golden profile; the second must agree with it *)
+  let finish_and_check static_n image profile_once =
+    let count1, r1 = profile_once () in
+    let p = finish_profile kind sel image static_n count1 r1 in
+    let count2, r2 = profile_once () in
+    let out2 = if chaos.flaky_golden then r2.E.output ^ "#chaos" else r2.E.output in
+    let exit2 = match r2.E.status with E.Exited c -> c | _ -> min_int in
+    if
+      out2 <> p.profile.Fault.golden_output
+      || exit2 <> p.profile.Fault.golden_exit
+      || count2 <> p.profile.Fault.dyn_count
+    then
+      raise
+        (Quarantine
+           ( "nondeterministic-golden",
+             Printf.sprintf
+               "independent profiling runs disagree: output %dB/%dB exit %d/%d dyn %Ld/%Ld"
+               (String.length p.profile.Fault.golden_output)
+               (String.length out2) p.profile.Fault.golden_exit exit2
+               p.profile.Fault.dyn_count count2 ));
+    p
+  in
   match kind with
   | Refine ->
     let m = time "compile" (fun () -> build_ir ~opt src) in
     let funcs, _ = time "compile" (fun () -> Refine_backend.Compile.to_mir m) in
+    let frames = List.map (fun mf -> (mf, mf.Refine_mir.Mfunc.frame_bytes)) funcs in
     let static_n =
       time "instrument" (fun () ->
           List.fold_left (fun acc mf -> acc + Refine_pass.run ~sel mf) 0 funcs)
     in
+    if chaos.break_mir then break_one_splice funcs;
+    if verify_mir then
+      time "instrument" (fun () ->
+          quarantine_invalid (fun () ->
+              List.iter
+                (fun (mf, fb) ->
+                  ignore (Refine_mir.Mverify.check_instrumented ~expect_frame_bytes:fb mf))
+                frames));
     let image = time "compile" (fun () -> Refine_backend.Compile.emit m funcs) in
-    let ctrl = Runtime.create Runtime.Profile in
-    let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) image in
-    maybe_profile eng;
-    let r = time "execute" (fun () -> E.run ~max_steps eng) in
-    flush_obs kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
-    finish_profile kind sel image static_n ctrl.Runtime.count r
+    let profile_once () =
+      let ctrl = Runtime.create Runtime.Profile in
+      let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) image in
+      maybe_profile eng;
+      let r = time "execute" (fun () -> E.run ~max_steps eng) in
+      flush_obs kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
+      (ctrl.Runtime.count, r)
+    in
+    finish_and_check static_n image profile_once
   | Llfi ->
     let m = time "compile" (fun () -> build_ir ~opt src) in
     let static_n = time "instrument" (fun () -> Llfi_pass.run ~sel m) in
-    let image = time "compile" (fun () -> Refine_backend.Compile.compile m) in
-    let ctrl = Runtime.create Runtime.Profile in
-    let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) image in
-    maybe_profile eng;
-    let r = time "execute" (fun () -> E.run ~max_steps eng) in
-    flush_obs kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
-    finish_profile kind sel image static_n ctrl.Runtime.count r
+    let funcs, _ = time "compile" (fun () -> Refine_backend.Compile.to_mir m) in
+    if verify_mir then quarantine_invalid (fun () -> Refine_mir.Mverify.check_funcs funcs);
+    let image = time "compile" (fun () -> Refine_backend.Compile.emit m funcs) in
+    let profile_once () =
+      let ctrl = Runtime.create Runtime.Profile in
+      let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) image in
+      maybe_profile eng;
+      let r = time "execute" (fun () -> E.run ~max_steps eng) in
+      flush_obs kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
+      (ctrl.Runtime.count, r)
+    in
+    finish_and_check static_n image profile_once
   | Pinfi ->
     let m = time "compile" (fun () -> build_ir ~opt src) in
     let image = time "compile" (fun () -> Refine_backend.Compile.compile m) in
-    let ctrl = Pinfi.create ~sel Runtime.Profile in
-    let eng = E.create image in
-    (* attaching the DBI hook is PINFI's (tiny) instrumentation phase *)
-    time "instrument" (fun () -> Pinfi.attach ctrl eng);
-    maybe_profile eng;
-    let r = time "execute" (fun () -> E.run ~max_steps eng) in
-    flush_obs kind eng ~fi_hits:ctrl.Pinfi.count ~run_cost:r.E.cost;
-    finish_profile kind sel image 0 ctrl.Pinfi.count r
+    let profile_once () =
+      let ctrl = Pinfi.create ~sel Runtime.Profile in
+      let eng = E.create image in
+      (* attaching the DBI hook is PINFI's (tiny) instrumentation phase *)
+      time "instrument" (fun () -> Pinfi.attach ctrl eng);
+      maybe_profile eng;
+      let r = time "execute" (fun () -> E.run ~max_steps eng) in
+      flush_obs kind eng ~fi_hits:ctrl.Pinfi.count ~run_cost:r.E.cost;
+      (ctrl.Pinfi.count, r)
+    in
+    finish_and_check 0 image profile_once
 
 exception Sample_budget_exceeded of int64
 
@@ -167,9 +314,15 @@ exception Sample_budget_exceeded of int64
    harness failure ([Sample_budget_exceeded]) rather than classified as a
    Crash — exceeding the paper's own timeout is an experimental outcome,
    exceeding the operator's budget is not.  [poll] is forwarded to the
-   simulator (called every 2048 instructions) so a cancellation token can
-   abort in-flight samples. *)
-let run_injection ?cost_cap ?poll (p : prepared) (rng : P.t) : Fault.experiment =
+   simulator (called every 1024 instructions) so a cancellation token can
+   abort in-flight samples.
+
+   [quotas] (default [no_quotas]) is the adversarial-input sandbox
+   (DESIGN.md §13): tripped quotas end the run [Trapped] and classify as
+   Crash — an outcome, never an exception, so the supervisor burns no
+   retries on them. *)
+let run_injection ?cost_cap ?(quotas = no_quotas) ?poll (p : prepared) (rng : P.t) :
+    Fault.experiment =
   if p.profile.Fault.dyn_count = 0L then
     { Fault.outcome = Fault.Benign; run_cost = 0L; fault = None }
   else begin
@@ -180,6 +333,12 @@ let run_injection ?cost_cap ?poll (p : prepared) (rng : P.t) : Fault.experiment 
       | Some c when Int64.compare c timeout < 0 -> (c, true)
       | _ -> (timeout, false)
     in
+    let sandboxed_run eng =
+      E.run ~max_cost
+        ?output_quota:(effective_output_quota quotas p.profile)
+        ?heap_quota:quotas.heap_bytes ?wall_clock:quotas.wall_clock_s ~clock:Obs.Control.now
+        ?livelock:quotas.livelock_window ?poll eng
+    in
     let mode = Runtime.Inject { target; rng } in
     let r, record =
       match p.kind with
@@ -187,14 +346,14 @@ let run_injection ?cost_cap ?poll (p : prepared) (rng : P.t) : Fault.experiment 
         let ctrl = Runtime.create mode in
         let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) p.image in
         maybe_profile eng;
-        let r = E.run ~max_cost ?poll eng in
+        let r = sandboxed_run eng in
         flush_obs p.kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
         (r, ctrl.Runtime.record)
       | Llfi ->
         let ctrl = Runtime.create mode in
         let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) p.image in
         maybe_profile eng;
-        let r = E.run ~max_cost ?poll eng in
+        let r = sandboxed_run eng in
         flush_obs p.kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
         (r, ctrl.Runtime.record)
       | Pinfi ->
@@ -202,10 +361,11 @@ let run_injection ?cost_cap ?poll (p : prepared) (rng : P.t) : Fault.experiment 
         let eng = E.create p.image in
         Pinfi.attach ctrl eng;
         maybe_profile eng;
-        let r = E.run ~max_cost ?poll eng in
+        let r = sandboxed_run eng in
         flush_obs p.kind eng ~fi_hits:ctrl.Pinfi.count ~run_cost:r.E.cost;
         (r, ctrl.Pinfi.record)
     in
+    note_quota_trip r;
     if capped && r.E.status = E.Timed_out then raise (Sample_budget_exceeded r.E.cost);
     { Fault.outcome = Fault.classify p.profile r; run_cost = r.E.cost; fault = record }
   end

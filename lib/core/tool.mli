@@ -9,6 +9,35 @@ type kind =
 
 val kind_name : kind -> string
 
+type quotas = {
+  output_bytes : int option;
+      (** absolute output cap in bytes; overrides [derive_output] *)
+  heap_bytes : int option;  (** cap on heap growth above the image's heap base *)
+  wall_clock_s : float option;  (** real-time deadline per run, in seconds *)
+  livelock_window : int option;
+      (** architectural-state fingerprint cadence in simulated steps *)
+  derive_output : bool;
+      (** derive the output cap from the golden run (16x, 4 KiB floor) *)
+}
+(** Per-run sandbox resource envelope (DESIGN.md §13), forwarded to
+    {!Refine_machine.Exec.run}.  A tripped quota ends the run [Trapped] and
+    classifies as {!Fault.Crash} — an experimental outcome, never a harness
+    exception, so the supervisor burns no retries on adversarial samples.
+    Trips are counted in the [refine_quota_trips_total{kind}] metric when
+    observability is enabled. *)
+
+val no_quotas : quotas
+(** Everything unlimited (the pre-sandbox behavior). *)
+
+val default_quotas : quotas
+(** Paper-faithful default: only the golden-run-derived output cap; cost
+    (the 10x timeout) already bounds runtime, and heap is bounded by the
+    image's memory size. *)
+
+val derived_output_quota : Fault.profile -> int
+(** [max 4096 (16 * length golden_output)] — the cap [derive_output]
+    computes for a prepared program. *)
+
 type prepared = {
   kind : kind;
   sel : Selection.t;
@@ -22,6 +51,24 @@ type prepared = {
 exception Prepare_error of string
 (** Raised when the profiling run fails (the program itself is broken). *)
 
+exception Quarantine of string * string
+(** [(category, detail)]: the cell must not be sampled.  Categories:
+    ["mir-verifier"] — the instrumented machine code failed
+    {!Refine_mir.Mverify.check_instrumented} (REFINE) or
+    {!Refine_mir.Mverify.check_funcs} (LLFI); ["nondeterministic-golden"]
+    — two independent profiling runs disagreed on output, exit code or
+    dynamic population, so no golden baseline exists to classify against.
+    Both are deterministic properties of the (program, tool) cell: the
+    campaign records the cell as quarantined instead of retrying. *)
+
+type chaos = { break_mir : bool; flaky_golden : bool }
+(** Test-only failure injection for the hardening paths themselves:
+    [break_mir] corrupts one spliced SetupFI block after instrumentation,
+    [flaky_golden] perturbs the second profiling run's output — each must
+    surface as the corresponding {!Quarantine}. *)
+
+val no_chaos : chaos
+
 val build_ir : ?opt:Refine_ir.Pipeline.level -> string -> Refine_ir.Ir.modul
 (** Front end + IR optimization only (shared by all tools). *)
 
@@ -30,18 +77,26 @@ val prepare :
   ?sel:Selection.t ->
   ?opt:Refine_ir.Pipeline.level ->
   ?max_steps:int64 ->
+  ?verify_mir:bool ->
+  ?chaos:chaos ->
   kind ->
   string ->
   prepared
 (** [prepare kind source] compiles MinC [source] with [kind]'s
     instrumentation strategy and runs the profiling phase.  [phases]
     buckets the wall-clock time into the overhead-breakdown columns
-    ("compile" / "instrument" / "execute", the profiling run counting as
+    ("compile" / "instrument" / "execute", the profiling runs counting as
     execute) for {!Refine_campaign.Report}'s Figure 8/9-shape table.  When
     observability is enabled ({!Refine_obs.Control.enable}), every
     simulator run additionally streams executor-profile counters
     (per-opcode-class steps, extern calls, FI-site hits, modeled cost)
-    into the metrics registry. *)
+    into the metrics registry.
+
+    Hardening (DESIGN.md §13): profiling executes TWICE with independent
+    machine and control-library state and raises {!Quarantine} if the runs
+    disagree; [verify_mir] (default [true]) structurally re-verifies the
+    instrumented machine code before emission and raises {!Quarantine} on
+    any violation. *)
 
 exception Sample_budget_exceeded of int64
 (** A sample exceeded the harness watchdog's modeled-cost budget (the
@@ -51,7 +106,12 @@ exception Sample_budget_exceeded of int64
     sample surfaces as {!Fault.Tool_error}. *)
 
 val run_injection :
-  ?cost_cap:int64 -> ?poll:(unit -> unit) -> prepared -> Refine_support.Prng.t -> Fault.experiment
+  ?cost_cap:int64 ->
+  ?quotas:quotas ->
+  ?poll:(unit -> unit) ->
+  prepared ->
+  Refine_support.Prng.t ->
+  Fault.experiment
 (** One fault-injection experiment: selects a uniform dynamic target
     instruction / output operand / bit from the tool's population, runs to
     completion (or the 10x-profiling timeout) and classifies the outcome
@@ -59,8 +119,9 @@ val run_injection :
     {!Sample_budget_exceeded} if it burns that much modeled cost before the
     paper's own 10x timeout fires (caps at or above the 10x timeout are
     inert: hitting the 10x timeout stays a Crash, the paper's semantics).
-    [poll] is invoked every 2048 simulated instructions, letting a
-    cancellation token abort in-flight samples. *)
+    [quotas] (default {!no_quotas}) is the sandbox envelope; tripped quotas
+    classify as Crash.  [poll] is invoked every 1024 simulated
+    instructions, letting a cancellation token abort in-flight samples. *)
 
 val run_clean : prepared -> Refine_machine.Exec.result
 (** Fault-free run of the prepared binary (injection disabled). *)

@@ -29,6 +29,10 @@ type trap =
   | Stack_overflow
   | Out_of_memory
   | Extern_fault of string
+  | Output_quota of int
+  | Heap_quota of int
+  | Wall_clock of float
+  | Livelock
 
 let string_of_trap = function
   | Mem_fault a -> Printf.sprintf "memory fault at 0x%x" a
@@ -37,8 +41,14 @@ let string_of_trap = function
   | Stack_overflow -> "stack overflow"
   | Out_of_memory -> "out of heap memory"
   | Extern_fault m -> "extern fault: " ^ m
+  | Output_quota q -> Printf.sprintf "output quota exceeded (%d bytes)" q
+  | Heap_quota q -> Printf.sprintf "heap quota exceeded (%d bytes)" q
+  | Wall_clock s -> Printf.sprintf "wall-clock deadline exceeded (%.3fs)" s
+  | Livelock -> "livelock: architectural state repeated"
 
 type status = Running | Exited of int | Trapped of trap | Timed_out
+
+exception Halt_trap of trap
 
 (* Executor profile: per-opcode-class step counts plus extern-call tallies,
    accumulated into plain machine-local cells so the per-instruction cost
@@ -65,9 +75,16 @@ type t = {
   mutable post_hook : (t -> int -> M.t -> unit) option; (* PINFI-style DBI *)
   mutable hook_cost : int64;
   mutable prof : profile option; (* executor profiling; None = zero-cost path *)
+  mutable heap_quota : int; (* max heap bytes above heap_base; max_int = off *)
 }
 
-type result = { status : status; output : string; steps : int64; cost : int64 }
+type result = {
+  status : status;
+  output : string;
+  steps : int64;
+  cost : int64;
+  truncated : bool; (* output was cut at the quota; never a golden match *)
+}
 
 (* sentinel return address that terminates the program when popped *)
 let sentinel = -1L
@@ -98,6 +115,10 @@ let create ?(ext_extra = []) (image : L.image) : t =
             t.heap <- t.heap + Mem.align8 n;
             if t.heap > Mem.mem_size - Mem.stack_limit then
               raise (Refine_ir.Externs.Extern_trap "out of heap memory")
+            else if t.heap - t.image.L.heap_base > t.heap_quota then
+              (* sandbox quota, tighter than physical memory: Halt_trap skips
+                 the Extern_fault wrapper so the trap keeps its own kind *)
+              raise (Halt_trap (Heap_quota t.heap_quota))
             else addr);
       exited = None;
     }
@@ -117,6 +138,7 @@ let create ?(ext_extra = []) (image : L.image) : t =
       post_hook = None;
       hook_cost = 0L;
       prof = None;
+      heap_quota = max_int;
     }
   in
   self := Some t;
@@ -159,8 +181,6 @@ let eval_cc t (cc : M.cc) =
   | M.CFge -> (not lt) && not unord
 
 (* --- memory ----------------------------------------------------------- *)
-
-exception Halt_trap of trap
 
 let check_addr addr =
   if addr < Mem.null_guard || addr + 8 > Mem.mem_size then raise (Halt_trap (Mem_fault addr))
@@ -332,19 +352,108 @@ let enable_profiling t =
     t.prof <- Some p;
     p
 
+(* --- livelock detection -------------------------------------------------
+
+   A fault that lands in a loop counter or a branch decision can leave the
+   machine cycling through the same architectural states forever, burning
+   the whole modeled-cost budget before the timeout classifies it.  The
+   detector fingerprints the register-visible state (pc, register file,
+   heap cursor, output length) every [window] steps and keeps a bounded
+   ring of recent snapshots: an exact repeat proves the machine is in a
+   cycle whose period is invisible to the step/cost counters, and traps
+   [Livelock] immediately.  Memory-only progress with an identical
+   register file is not observable by the fingerprint — the cost budget
+   remains the backstop for that (rare) shape. *)
+
+type fingerprint = { fp_hash : int; fp_pc : int; fp_heap : int; fp_out : int; fp_regs : int64 array }
+
+let fp_ring_size = 256
+
+let fingerprint (t : t) =
+  let h = ref 0x811c9dc5 in
+  let mix v =
+    h := (!h lxor v) * 0x01000193 land max_int
+  in
+  mix t.pc;
+  mix t.heap;
+  Array.iter (fun r -> mix (Int64.to_int r land max_int)) t.regs;
+  {
+    fp_hash = !h;
+    fp_pc = t.pc;
+    fp_heap = t.heap;
+    fp_out = Buffer.length t.env.out;
+    fp_regs = Array.copy t.regs;
+  }
+
+let fp_equal a b =
+  a.fp_hash = b.fp_hash && a.fp_pc = b.fp_pc && a.fp_heap = b.fp_heap && a.fp_out = b.fp_out
+  && a.fp_regs = b.fp_regs
+
 (* [max_cost]: modeled-time budget (the 10x-profiling timeout of the
-   paper's classification); [max_steps]: hard safety bound. *)
-let run ?(max_steps = Int64.max_int) ?(max_cost = Int64.max_int) ?poll (t : t) : result =
+   paper's classification); [max_steps]: hard safety bound.
+
+   Sandbox quotas (DESIGN.md §13) bound what an injected run can consume
+   beyond its modeled budget:
+   - [output_quota]: max output bytes; the returned output is truncated to
+     the quota and flagged so classification can never match a truncated
+     prefix against the golden run;
+   - [heap_quota]: max heap bytes above the image's heap base;
+   - [wall_clock]: real-time deadline in seconds, measured with [clock]
+     (default [Sys.time]; campaign callers pass a gettimeofday-backed
+     clock) from the start of this [run] call;
+   - [livelock]: fingerprint the architectural state every that many steps
+     (rounded up to a multiple of the 1024-step check interval) and trap
+     on an exact repeat.
+   All quota trips surface as [Trapped] with their own constructor, so
+   outcome classification maps them to Crash deterministically. *)
+let run ?(max_steps = Int64.max_int) ?(max_cost = Int64.max_int) ?output_quota ?heap_quota
+    ?wall_clock ?(clock = Sys.time) ?livelock ?poll (t : t) : result =
+  (match heap_quota with Some q -> t.heap_quota <- q | None -> ());
+  let oq = match output_quota with Some q -> max 0 q | None -> max_int in
+  let deadline, wall_s =
+    match wall_clock with Some s -> (clock () +. s, s) | None -> (infinity, 0.0)
+  in
+  let ll_window =
+    match livelock with
+    | Some n when n > 0 -> Int64.of_int (((n + 1023) / 1024) * 1024)
+    | _ -> 0L
+  in
+  let ring = Array.make fp_ring_size None in
+  let ring_next = ref 0 in
+  let check_quotas () =
+    (match poll with Some p -> p () | None -> ());
+    if oq <> max_int && Buffer.length t.env.out > oq then t.status <- Trapped (Output_quota oq);
+    if deadline < infinity && t.status = Running && clock () > deadline then
+      t.status <- Trapped (Wall_clock wall_s);
+    if ll_window > 0L && t.status = Running && Int64.rem t.steps ll_window = 0L then begin
+      let fp = fingerprint t in
+      let repeat =
+        Array.exists (function Some p -> fp_equal p fp | None -> false) ring
+      in
+      if repeat then t.status <- Trapped Livelock
+      else begin
+        ring.(!ring_next) <- Some fp;
+        ring_next := (!ring_next + 1) mod fp_ring_size
+      end
+    end
+  in
   while
     t.status = Running
     && Int64.compare t.steps max_steps < 0
     && Int64.compare t.cost max_cost < 0
   do
     step t;
-    match poll with
-    | Some p when Int64.logand t.steps 2047L = 0L -> p ()
-    | _ -> ()
+    if Int64.logand t.steps 1023L = 0L then check_quotas ()
   done;
   let status = if t.status = Running then Timed_out else t.status in
+  let output = Buffer.contents t.env.out in
+  let truncated = String.length output > oq in
+  let output = if truncated then String.sub output 0 oq else output in
+  (* overflow noticed only at the end (quota crossed between checks, or on
+     the run's last instruction) is still a quota trap, not a clean exit *)
+  let status =
+    if truncated then match status with Trapped _ -> status | _ -> Trapped (Output_quota oq)
+    else status
+  in
   t.status <- status;
-  { status; output = Buffer.contents t.env.out; steps = t.steps; cost = t.cost }
+  { status; output; steps = t.steps; cost = t.cost; truncated }

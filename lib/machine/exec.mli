@@ -21,6 +21,10 @@ type trap =
   | Stack_overflow
   | Out_of_memory
   | Extern_fault of string
+  | Output_quota of int  (** sandbox: output exceeded the byte quota *)
+  | Heap_quota of int  (** sandbox: heap grew past the byte quota *)
+  | Wall_clock of float  (** sandbox: real-time deadline (seconds) expired *)
+  | Livelock  (** sandbox: architectural state fingerprint repeated *)
 
 val string_of_trap : trap -> string
 
@@ -55,9 +59,20 @@ type t = {
           pre-execution pc and the instruction *)
   mutable hook_cost : int64;  (** extra cost per instruction while attached *)
   mutable prof : profile option;  (** executor profiling; [None] = zero-cost path *)
+  mutable heap_quota : int;
+      (** sandbox heap quota in bytes above the image's heap base;
+          [max_int] = unlimited.  Set by {!run}'s [heap_quota] argument. *)
 }
 
-type result = { status : status; output : string; steps : int64; cost : int64 }
+type result = {
+  status : status;
+  output : string;
+  steps : int64;
+  cost : int64;
+  truncated : bool;
+      (** the output was cut at the output quota — classification must
+          never report it as a golden match *)
+}
 
 val create : ?ext_extra:(string * int64 * (t -> unit)) list -> Refine_backend.Layout.image -> t
 (** Fresh machine state: globals initialized, stack holding the sentinel
@@ -70,10 +85,31 @@ val enable_profiling : t -> profile
 (** Attach (or return the already-attached) executor profile.  The record
     is updated in place as the machine runs. *)
 
-val run : ?max_steps:int64 -> ?max_cost:int64 -> ?poll:(unit -> unit) -> t -> result
+val run :
+  ?max_steps:int64 ->
+  ?max_cost:int64 ->
+  ?output_quota:int ->
+  ?heap_quota:int ->
+  ?wall_clock:float ->
+  ?clock:(unit -> float) ->
+  ?livelock:int ->
+  ?poll:(unit -> unit) ->
+  t ->
+  result
 (** Run to completion, trap, or budget exhaustion ([Timed_out]).
     [max_cost] is the paper's 10x-profiling timeout measure.  [poll] is
-    called every 2048 executed instructions; an exception it raises (e.g.
+    called every 1024 executed instructions; an exception it raises (e.g.
     {!Refine_support.Supervisor.Cancelled} from a cancellation token)
     propagates to the caller, aborting the run — the cooperative kill
-    mechanism used by campaign watchdogs. *)
+    mechanism used by campaign watchdogs.
+
+    Sandbox quotas (DESIGN.md §13), all unlimited by default:
+    [output_quota] caps output bytes (the returned output is truncated to
+    the quota and [truncated] set, and the run ends [Trapped (Output_quota
+    _)]); [heap_quota] caps heap growth above the image's heap base
+    ([Trapped (Heap_quota _)]); [wall_clock] is a real-time deadline in
+    seconds measured with [clock] (default [Sys.time]) from the start of
+    the call ([Trapped (Wall_clock _)]); [livelock] fingerprints the
+    architectural state every that many steps (rounded up to a multiple of
+    1024) and traps [Livelock] on an exact repeat within the last 256
+    fingerprints. *)

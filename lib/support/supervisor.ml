@@ -35,6 +35,12 @@ end
 
 exception Cancelled of string
 
+(* Wrapper for failures known to be deterministic: a retry would only
+   reproduce them (a quarantined cell, a structurally invalid binary).
+   [default_policy] refuses to retry it; the recorded [failure.exn] is the
+   unwrapped payload. *)
+exception Non_retryable of exn
+
 let check token =
   if Cancel.cancelled token then
     raise (Cancelled (Option.value ~default:"cancelled" (Cancel.reason token)))
@@ -65,7 +71,7 @@ type policy = {
 let default_policy =
   {
     max_retries = 0;
-    retryable = (function Cancelled _ -> false | _ -> true);
+    retryable = (function Cancelled _ | Non_retryable _ -> false | _ -> true);
     backoff_base = 64;
   }
 
@@ -145,6 +151,7 @@ let run ?token ?(policy = default_policy) ?watchdog ~domains n
           end
           else begin
             Obs.Metrics.inc m_tasks_failed;
+            let e = match e with Non_retryable e -> e | e -> e in
             results.(i) <-
               Failed
                 {

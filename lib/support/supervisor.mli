@@ -24,6 +24,12 @@ end
 exception Cancelled of string
 (** Raised by {!check} (and by {!Parallel} runs) when the token fires. *)
 
+exception Non_retryable of exn
+(** Wrap a task exception to mark it deterministic: {!default_policy}
+    refuses to retry it (a retry would only reproduce the failure — e.g. a
+    quarantined cell or a structurally invalid instrumented binary).  The
+    recorded {!failure.exn} is the unwrapped payload. *)
+
 val check : Cancel.t -> unit
 (** Poll point for task bodies: raises {!Cancelled} if the token is set.
     Suitable as an [Exec.run ~poll] callback to abort in-flight samples. *)
@@ -51,7 +57,8 @@ type policy = {
 }
 
 val default_policy : policy
-(** No retries; everything except {!Cancelled} counts as retryable. *)
+(** No retries; everything except {!Cancelled} and {!Non_retryable} counts
+    as retryable. *)
 
 val run :
   ?token:Cancel.t ->

@@ -1,0 +1,141 @@
+(* Adversarial-input hardening smoke test (DESIGN.md §13).
+
+   A fault-amplified output loop runs a small campaign under tight,
+   deterministic sandbox quotas (absolute output cap + livelock window; no
+   wall-clock, so the run is bit-reproducible).  A second program is
+   chaos-quarantined (corrupted splice -> MIR verifier).  The campaign is
+   killed mid-run by a watchdog, resumed from the journal, and must:
+
+   - complete every non-quarantined cell at full sample size (quota trips
+     are Crash outcomes, never harness failures),
+   - trip the output quota at least once (counter nonzero),
+   - quarantine the chaos cell, short-circuit it on resume, and count it,
+   - exclude the quarantined cell from the chi-squared rows,
+   - produce a CSV bit-identical to an uninterrupted run (modulo the
+     wall-clock timing columns, which are zeroed before comparison).
+
+   Run via:  dune build @quota-smoke *)
+
+module E = Refine_campaign.Experiment
+module J = Refine_campaign.Journal
+module Csv = Refine_campaign.Csv
+module Rep = Refine_campaign.Report
+module T = Refine_core.Tool
+module Obs = Refine_obs
+module M = Obs.Metrics
+
+let fail fmt = Printf.ksprintf (fun s -> print_endline ("[quota-smoke] FAIL: " ^ s); exit 1) fmt
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let counter_total name =
+  List.fold_left
+    (fun acc (n, _, v) ->
+      match v with M.Counter c when n = name -> Int64.add acc c | _ -> acc)
+    0L (M.snapshot ())
+
+(* output amplification: a flipped bit in the loop bound or counter makes
+   the program print orders of magnitude more than its golden run *)
+let amp_src =
+  {|
+int main() {
+  int i;
+  int n;
+  n = 48;
+  for (i = 0; i < n; i = i + 1) { print_int(i); }
+  return 0;
+}
+|}
+
+let programs = [ ("AMP", amp_src) ]
+let adv = ("ADV", amp_src)
+let tools = [ T.Llfi; T.Refine; T.Pinfi ]
+let samples = 24
+let seed = 3
+let break_mir = { T.break_mir = true; flaky_golden = false }
+
+(* deterministic quotas only: absolute output cap (a few x golden) and a
+   livelock window in simulated steps *)
+let quotas =
+  { T.no_quotas with T.output_bytes = Some 512; livelock_window = Some 65536 }
+
+let zero_timing (c : E.cell) = { c with E.timing = E.zero_timing }
+
+let run_adv ?journal ?chaos () =
+  let program, source = adv in
+  [
+    E.run_cell ?journal ?chaos ~quotas ~samples ~seed T.Refine ~program ~source ();
+    E.run_cell ?journal ~quotas ~samples ~seed T.Llfi ~program ~source ();
+    E.run_cell ?journal ~quotas ~samples ~seed T.Pinfi ~program ~source ();
+  ]
+
+let () =
+  Obs.Control.enable ();
+  let path = Filename.temp_file "refine_quota_smoke" ".journal" in
+  let total = List.length programs * List.length tools * samples in
+
+  (* phase 1: quarantine the chaos cell, then kill the campaign mid-run *)
+  let j = J.create path in
+  let qcells = run_adv ~journal:j ~chaos:break_mir () in
+  (match (List.hd qcells).E.quarantined with
+  | Some r when contains r "mir-verifier" -> ()
+  | _ -> fail "chaos cell was not quarantined");
+  let polls = ref 0 in
+  let watchdog () = incr polls; !polls > 6 in
+  ignore (E.run_matrix ~journal:j ~watchdog ~quotas ~samples ~seed programs tools);
+  Printf.printf "[quota-smoke] interrupted: %d/%d samples checkpointed\n%!" (J.length j) total;
+  if J.length j >= total then fail "watchdog never fired, nothing was interrupted";
+
+  (* phase 2: resume — the quarantined cell must short-circuit from the
+     journal (no chaos this time), the rest must complete *)
+  let j2 = J.create ~resume:true path in
+  if J.skipped j2 <> 0 then fail "clean journal reported %d skipped lines" (J.skipped j2);
+  let adv_resumed = run_adv ~journal:j2 () in
+  (match (List.hd adv_resumed).E.quarantined with
+  | Some _ -> ()
+  | None -> fail "journaled quarantine did not short-circuit the resume");
+  let resumed = E.run_matrix ~journal:j2 ~quotas ~samples ~seed programs tools in
+  Printf.printf "[quota-smoke] resumed: %d/%d samples checkpointed\n%!" (J.length j2) total;
+
+  (* phase 3: uninterrupted reference; CSVs must match byte-for-byte once
+     the wall-clock timing attribution columns are zeroed *)
+  let fresh = E.run_matrix ~quotas ~samples ~seed programs tools in
+  let adv_fresh = run_adv ~chaos:break_mir () in
+  let csv cells = Csv.to_string (List.map zero_timing cells) in
+  if csv (resumed @ adv_resumed) <> csv (fresh @ adv_fresh) then
+    fail "resumed CSV differs from uninterrupted run";
+  ignore (Csv.of_string (csv (resumed @ adv_resumed)));
+
+  (* every non-quarantined cell resolved every sample: quota trips are
+     experimental Crash outcomes, not harness failures *)
+  let all = fresh @ adv_fresh in
+  List.iter
+    (fun (c : E.cell) ->
+      if c.E.quarantined = None && E.total c.E.counts <> samples then
+        fail "%s/%s resolved %d of %d samples" c.E.program (T.kind_name c.E.tool)
+          (E.total c.E.counts) samples)
+    all;
+
+  (* the sandbox actually fired, and the quarantine was counted *)
+  let trips = counter_total "refine_quota_trips_total" in
+  if trips <= 0L then fail "no quota trips recorded under a 512-byte output cap";
+  Printf.printf "[quota-smoke] quota trips = %Ld\n%!" trips;
+  let quarantined = counter_total "refine_quarantined_cells_total" in
+  if quarantined <= 0L then fail "quarantine counter is zero";
+  Printf.printf "[quota-smoke] quarantined cells = %Ld\n%!" quarantined;
+
+  (* chi-squared excludes the quarantined cell and the reports flag it *)
+  let rows = Rep.chi2_rows all [ "AMP"; "ADV" ] in
+  let adv_row = List.find (fun (r : Rep.chi2_row) -> r.Rep.program = "ADV") rows in
+  if not (List.mem_assoc "REFINE" adv_row.Rep.quarantined_tools) then
+    fail "chi2 row does not exclude the quarantined REFINE cell";
+  if not (contains (Rep.table5 rows) "[q]") then fail "table5 lacks the [q] mark";
+  if not (contains (String.concat "\n" (Rep.degradation all)) "QUARANTINED") then
+    fail "degradation report lacks the QUARANTINED line";
+
+  Sys.remove path;
+  print_endline
+    "[quota-smoke] PASS: quotas tripped, quarantine journaled + resumed, CSV bit-identical"

@@ -16,6 +16,7 @@ let () =
       ("benchmarks", Test_benchmarks.tests);
       ("campaign", Test_campaign.tests);
       ("robustness", Test_robustness.tests);
+      ("hardening", Test_hardening.tests);
       ("extensions", Test_extensions.tests);
       ("paper", Test_paper_reproduction.tests);
       ("integration", Test_integration.tests);
