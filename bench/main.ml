@@ -27,7 +27,20 @@
                       when enabled (default) a small REFINE cell is run
                       once with quotas off and once with the default
                       sandbox (derived output cap + livelock detector) and
-                      the wall-time ratio is written to BENCH_quotas.json *)
+                      the wall-time ratio is written to BENCH_quotas.json
+     REFINE_FASTPATH  set to 0 to force the legacy allocate-per-sample
+                      engine path for the whole harness and skip the
+                      fast-path probe; when enabled (default) the probe
+                      measures samples/sec legacy vs fast, simulated
+                      instr/sec and engines/sec, checks outcome-table
+                      bit-identity, and writes BENCH_fastpath.json
+     REFINE_BASELINE_SPS
+                      pre-fast-path end-to-end campaign throughput
+                      (samples/sec) to compare against in
+                      BENCH_fastpath.json; the default is the recorded
+                      pre-fast-path executor on the reference campaign
+                      (DC+EP x 3 tools x 300 samples, interleaved runs
+                      on the same host) *)
 
 module T = Refine_core.Tool
 module E = Refine_campaign.Experiment
@@ -306,6 +319,104 @@ let quotas_section () =
   close_out oc;
   Printf.printf "[quota overhead written to BENCH_quotas.json]\n"
 
+(* ---- BENCH_fastpath.json: executor fast-path throughput -------------------
+   The fast path (DESIGN.md §14) replaces per-sample engine allocation with
+   snapshot-blit reset, boxed int64 hot counters with unboxed ints, and
+   string-hashed extern dispatch with a pre-resolved handler table.  The
+   probe measures: end-to-end samples/sec on the same cell with the legacy
+   path vs the fast path (outcome tables must be bit-identical), raw
+   simulated instructions/sec on a spin loop, and engine acquisition rates
+   (fresh create vs snapshot reset).  [campaign_sps] is the whole harness
+   run's end-to-end throughput, compared against the recorded pre-PR
+   baseline (REFINE_BASELINE_SPS). *)
+
+let fastpath_section ~campaign_sps () =
+  section "Executor fast path (DESIGN.md par. 14) - throughput probe";
+  let program = List.hd programs in
+  let src = (Reg.find program).Reg.source in
+  let probe_samples = min samples 150 in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (Unix.gettimeofday () -. t0, v)
+  in
+  let cell_summary (c : E.cell) =
+    Printf.sprintf "crash=%d soc=%d benign=%d err=%d cost=%Ld" c.E.counts.E.crash
+      c.E.counts.E.soc c.E.counts.E.benign c.E.counts.E.tool_error c.E.injection_cost
+  in
+  let run_probe () =
+    timed (fun () -> E.run_cell ~samples:probe_samples ~seed T.Refine ~program ~source:src ())
+  in
+  T.use_fast_path := false;
+  let legacy_s, legacy_cell = run_probe () in
+  T.use_fast_path := true;
+  let fast_s, fast_cell = run_probe () in
+  let identical = cell_summary legacy_cell = cell_summary fast_cell in
+  let legacy_sps = float_of_int probe_samples /. legacy_s in
+  let fast_sps = float_of_int probe_samples /. fast_s in
+  Printf.printf "%s, %d REFINE samples: legacy %.1f samples/s, fast %.1f samples/s (%.2fx)\n"
+    program probe_samples legacy_sps fast_sps (fast_sps /. legacy_sps);
+  Printf.printf "outcome table: %s\n"
+    (if identical then "bit-identical legacy vs fast" else "MISMATCH legacy vs fast");
+  (* raw simulator speed: a spin loop of allocation-free instructions *)
+  let module M = Refine_mir.Minstr in
+  let module R = Refine_mir.Reg in
+  let module MF = Refine_mir.Mfunc in
+  let module Ex = Refine_machine.Exec in
+  let spin_image =
+    let mf = MF.create "main" in
+    List.iteri
+      (fun k i ->
+        let b = MF.add_block mf k in
+        b.MF.code <- [ i ])
+      [
+        M.Mmov (R.gpr 1, M.Imm 7L);
+        M.Mcmp (R.gpr 1, M.Imm 0L);
+        M.Mjcc (M.CEq, 4);
+        M.Mjmp 1;
+        M.Mhalt;
+      ];
+    Refine_backend.Layout.build ~globals:[] [ mf ]
+  in
+  let spin_steps = 20_000_000 in
+  let sim_s, () =
+    timed (fun () ->
+        let eng = Ex.create spin_image in
+        ignore (Ex.run ~max_steps:(Int64.of_int spin_steps) eng))
+  in
+  let sim_ips = float_of_int spin_steps /. sim_s in
+  Printf.printf "simulated instructions/sec: %.2fM\n" (sim_ips /. 1e6);
+  (* engine acquisition: fresh allocation vs snapshot reset *)
+  let m = Refine_minic.Frontend.compile src in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+  let image = Refine_backend.Compile.compile m in
+  let n_eng = 300 in
+  let create_s, () = timed (fun () -> for _ = 1 to n_eng do ignore (Ex.create image) done) in
+  let snap = Ex.snapshot image in
+  let reused = Ex.create_from_snapshot snap in
+  let reset_s, () = timed (fun () -> for _ = 1 to n_eng do Ex.reset reused done) in
+  let create_eps = float_of_int n_eng /. create_s in
+  let reset_eps = float_of_int n_eng /. reset_s in
+  Printf.printf "engines/sec: create %.0f, snapshot-reset %.0f (%.1fx)\n" create_eps reset_eps
+    (reset_eps /. create_eps);
+  let baseline_sps = float_of_string (getenv_default "REFINE_BASELINE_SPS" "59.0") in
+  Printf.printf "end-to-end campaign: %.1f samples/s (pre-PR baseline %.1f, %.2fx)\n"
+    campaign_sps baseline_sps (campaign_sps /. baseline_sps);
+  let oc = open_out "BENCH_fastpath.json" in
+  Printf.fprintf oc
+    "{\n  \"program\": \"%s\",\n  \"samples\": %d,\n  \"seed\": %d,\n  \
+     \"legacy_wall_s\": %.6f,\n  \"fast_wall_s\": %.6f,\n  \
+     \"legacy_samples_per_s\": %.2f,\n  \"fast_samples_per_s\": %.2f,\n  \
+     \"outcome_table_identical\": %b,\n  \"sim_instr_per_s\": %.0f,\n  \
+     \"engines_create_per_s\": %.1f,\n  \"engines_reset_per_s\": %.1f,\n  \
+     \"campaign_samples_per_s\": %.2f,\n  \"baseline_samples_per_s\": %.2f,\n  \
+     \"campaign_speedup_vs_baseline\": %.2f\n}\n"
+    program probe_samples seed legacy_s fast_s legacy_sps fast_sps identical sim_ips create_eps
+    reset_eps campaign_sps baseline_sps
+    (campaign_sps /. baseline_sps);
+  close_out oc;
+  Printf.printf "[fast-path throughput written to BENCH_fastpath.json]\n"
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let bechamel_section () =
@@ -409,7 +520,8 @@ let extensions_section () =
     for _ = 1 to n do
       let r = Refine_support.Prng.split rng in
       let target =
-        Int64.add 1L (Refine_support.Prng.int64 r prepared.T.profile.Refine_core.Fault.dyn_count)
+        Int64.to_int
+          (Int64.add 1L (Refine_support.Prng.int64 r prepared.T.profile.Refine_core.Fault.dyn_count))
       in
       let ctrl = Refine_core.Pinfi.create ~flips (Refine_core.Runtime.Inject { target; rng = r }) in
       let eng = Refine_machine.Exec.create prepared.T.image in
@@ -460,6 +572,8 @@ let () =
   Printf.printf "programs: %s\n" (String.concat ", " programs);
   let obs = getenv_default "REFINE_OBS" "1" <> "0" in
   if obs then Obs.Control.enable ();
+  let fastpath = getenv_default "REFINE_FASTPATH" "1" <> "0" in
+  T.use_fast_path := fastpath;
   print_table3 ();
   print_setting ();
   print_listings ();
@@ -472,6 +586,13 @@ let () =
   print_overhead cells;
   if obs then write_obs_json cells campaign_wall;
   if getenv_default "REFINE_QUOTAS" "1" <> "0" then quotas_section ();
+  if fastpath then begin
+    let experiments = List.length programs * 3 * samples in
+    let campaign_sps =
+      if campaign_wall > 0.0 then float_of_int experiments /. campaign_wall else 0.0
+    in
+    fastpath_section ~campaign_sps ()
+  end;
   if getenv_default "REFINE_EXTENSIONS" "1" <> "0" then extensions_section ();
   if getenv_default "REFINE_BECHAMEL" "1" <> "0" then bechamel_section ();
   print_newline ()

@@ -14,6 +14,17 @@ type image = {
   globals : Refine_ir.Ir.global list;
   global_addr : string -> int;
   heap_base : int;
+  ext_names : string array; (* unique extern names called by the image *)
+  ext_slot_of_pc : int array;
+      (* per pc: index into [ext_names] when code.(pc) is Mcallext, else -1
+         — lets the simulator resolve extern dispatch once per engine
+         instead of hashing the name on every call *)
+  class_of_pc : int array;
+      (* per pc: [Minstr.iclass_index (Minstr.classify code.(pc))],
+         precomputed so the executor's profiling branch is one table read
+         instead of two variant matches per instruction.  Stays exact under
+         opcode corruption: [Opcode_fi.alternatives] only substitutes
+         same-shape opcodes, which never change the instruction class *)
 }
 
 exception Layout_error of string
@@ -34,6 +45,18 @@ let build ~(globals : Refine_ir.Ir.global list) (funcs : F.t list) : image =
   in
   let code = Array.make (max 1 !total) M.Mhalt in
   let func_of_pc = Array.make (max 1 !total) "" in
+  let ext_slot_of_pc = Array.make (max 1 !total) (-1) in
+  let ext_slots = Hashtbl.create 8 in
+  let ext_names_rev = ref [] in
+  let ext_slot name =
+    match Hashtbl.find_opt ext_slots name with
+    | Some k -> k
+    | None ->
+      let k = Hashtbl.length ext_slots in
+      Hashtbl.replace ext_slots name k;
+      ext_names_rev := name :: !ext_names_rev;
+      k
+  in
   List.iter
     (fun (mf : F.t) ->
       (* label -> absolute address within this function *)
@@ -65,6 +88,9 @@ let build ~(globals : Refine_ir.Ir.global list) (funcs : F.t list) : image =
                   | None -> raise (Layout_error ("call to unknown function " ^ name)))
                 | other -> other
               in
+              (match resolved with
+              | M.Mcallext name -> ext_slot_of_pc.(!pos) <- ext_slot name
+              | _ -> ());
               code.(!pos) <- resolved;
               func_of_pc.(!pos) <- mf.F.mname;
               incr pos)
@@ -76,4 +102,15 @@ let build ~(globals : Refine_ir.Ir.global list) (funcs : F.t list) : image =
     | Some a -> a
     | None -> raise (Layout_error "no main function")
   in
-  { code; entry; func_of_pc; func_starts; globals; global_addr; heap_base }
+  {
+    code;
+    entry;
+    func_of_pc;
+    func_starts;
+    globals;
+    global_addr;
+    heap_base;
+    ext_names = Array.of_list (List.rev !ext_names_rev);
+    ext_slot_of_pc;
+    class_of_pc = Array.map (fun i -> M.iclass_index (M.classify i)) code;
+  }

@@ -10,6 +10,17 @@ type image = {
   globals : Refine_ir.Ir.global list;
   global_addr : string -> int;
   heap_base : int;
+  ext_names : string array;  (** unique extern names called by the image *)
+  ext_slot_of_pc : int array;
+      (** per pc: index into [ext_names] when the instruction is [Mcallext],
+          else -1.  The simulator uses this to resolve extern dispatch once
+          per engine instead of hashing the name on every call; -1 (e.g.
+          for code arrays mutated after layout) falls back to the by-name
+          path. *)
+  class_of_pc : int array;
+      (** per pc: the instruction's [Minstr.iclass_index], precomputed for
+          the executor's profiling branch.  Exact even under opcode
+          corruption, which only substitutes same-class opcodes. *)
 }
 
 exception Layout_error of string

@@ -19,13 +19,13 @@
    PINFI, LLFI ~3-9x). *)
 
 (* tiny leaf call of the REFINE control library (selInstr / setupFI) *)
-let refine_lib_call = 6L
+let refine_lib_call = 6
 
 (* generic instrumentation callback of LLFI's injectFault *)
-let llfi_lib_call = 40L
+let llfi_lib_call = 40
 
 (* extra cost per instruction while a Pin-style DBI tool is attached *)
-let pin_attach_per_instr = 12L
+let pin_attach_per_instr = 12
 
 (* timeout factor for outcome classification (paper §4.3.2: 10x the
    execution time of the profiling step) *)

@@ -53,13 +53,13 @@ let alternatives (i : M.t) : M.t list =
 let is_target i = alternatives i <> []
 
 type ctrl = {
-  mutable count : int64;
+  mutable count : int;
   mode : Runtime.mode;
   mutable fired : bool;
   mutable corrupted_pc : int option;
 }
 
-let create mode = { count = 0L; mode; fired = false; corrupted_pc = None }
+let create mode = { count = 0; mode; fired = false; corrupted_pc = None }
 
 (* a fresh engine over a private copy of the code, with the corruption hook *)
 let attach (ctrl : ctrl) (image : L.image) : E.t =
@@ -67,7 +67,7 @@ let attach (ctrl : ctrl) (image : L.image) : E.t =
   let eng = E.create image in
   let hook (eng : E.t) (pc : int) (i : M.t) =
     if is_target i then begin
-      ctrl.count <- Int64.add ctrl.count 1L;
+      ctrl.count <- ctrl.count + 1;
       match ctrl.mode with
       | Runtime.Profile -> ()
       | Runtime.Inject { target; rng } ->
@@ -78,7 +78,7 @@ let attach (ctrl : ctrl) (image : L.image) : E.t =
           eng.E.image.L.code.(pc) <- replacement;
           ctrl.corrupted_pc <- Some pc;
           eng.E.post_hook <- None;
-          eng.E.hook_cost <- 0L
+          eng.E.hook_cost <- 0
         end
     end
   in
@@ -97,14 +97,14 @@ let profile (image : L.image) : Fault.profile =
   {
     Fault.golden_output = r.E.output;
     golden_exit = 0;
-    dyn_count = ctrl.count;
+    dyn_count = Int64.of_int ctrl.count;
     profile_cost = r.E.cost;
   }
 
 let run_injection (image : L.image) (p : Fault.profile) (rng : P.t) : Fault.experiment =
   if p.Fault.dyn_count = 0L then { Fault.outcome = Fault.Benign; run_cost = 0L; fault = None }
   else begin
-    let target = Int64.add 1L (P.int64 rng p.Fault.dyn_count) in
+    let target = Int64.to_int (Int64.add 1L (P.int64 rng p.Fault.dyn_count)) in
     let ctrl = create (Runtime.Inject { target; rng }) in
     let eng = attach ctrl image in
     let max_cost = Int64.mul Fi_cost.timeout_factor p.Fault.profile_cost in
@@ -112,7 +112,7 @@ let run_injection (image : L.image) (p : Fault.profile) (rng : P.t) : Fault.expe
     let fault =
       match ctrl.corrupted_pc with
       | Some pc ->
-        Some { Fault.dyn_index = ctrl.count; op_index = 0; reg_name = Printf.sprintf "pc=%d" pc; bit = -1 }
+        Some { Fault.dyn_index = Int64.of_int ctrl.count; op_index = 0; reg_name = Printf.sprintf "pc=%d" pc; bit = -1 }
       | None -> None
     in
     { Fault.outcome = Fault.classify p r; run_cost = r.E.cost; fault }

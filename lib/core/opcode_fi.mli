@@ -15,7 +15,7 @@ val alternatives : Refine_mir.Minstr.t -> Refine_mir.Minstr.t list
 val is_target : Refine_mir.Minstr.t -> bool
 
 type ctrl = {
-  mutable count : int64;
+  mutable count : int;
   mode : Runtime.mode;
   mutable fired : bool;
   mutable corrupted_pc : int option;

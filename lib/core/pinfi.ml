@@ -14,7 +14,7 @@ module R = Refine_mir.Reg
 module P = Refine_support.Prng
 
 type ctrl = {
-  mutable count : int64;
+  mutable count : int; (* native int: incremented once per hooked instruction *)
   mode : Runtime.mode;
   mutable fired : bool;
   mutable record : Fault.record option;
@@ -25,7 +25,7 @@ type ctrl = {
 
 let create ?(sel = Selection.default) ?(flips = 1) mode =
   if flips < 1 || flips > 64 then invalid_arg "Pinfi.create: flips out of [1,64]";
-  { count = 0L; mode; fired = false; record = None; sel; flips }
+  { count = 0; mode; fired = false; record = None; sel; flips }
 
 let attach (ctrl : ctrl) (eng : E.t) =
   let all_funcs = List.mem "*" ctrl.sel.Selection.funcs in
@@ -35,7 +35,7 @@ let attach (ctrl : ctrl) (eng : E.t) =
       && (all_funcs
          || Selection.func_selected ctrl.sel eng.E.image.Refine_backend.Layout.func_of_pc.(pc))
     then begin
-      ctrl.count <- Int64.add ctrl.count 1L;
+      ctrl.count <- ctrl.count + 1;
       match ctrl.mode with
       | Runtime.Profile -> ()
       | Runtime.Inject { target; rng } ->
@@ -58,11 +58,11 @@ let attach (ctrl : ctrl) (eng : E.t) =
             chosen;
           ctrl.record <-
             Some
-              { Fault.dyn_index = ctrl.count; op_index = op; reg_name = R.name reg;
+              { Fault.dyn_index = Int64.of_int ctrl.count; op_index = op; reg_name = R.name reg;
                 bit = !first_bit };
           (* detach: drop the hook and the DBI per-instruction tax *)
           eng.E.post_hook <- None;
-          eng.E.hook_cost <- 0L
+          eng.E.hook_cost <- 0
         end
     end
   in

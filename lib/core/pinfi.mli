@@ -5,7 +5,7 @@
     run, the performance optimization the paper added to PINFI. *)
 
 type ctrl = {
-  mutable count : int64;  (** dynamic instructions with register writes *)
+  mutable count : int;  (** dynamic instructions with register writes *)
   mode : Runtime.mode;
   mutable fired : bool;
   mutable record : Fault.record option;

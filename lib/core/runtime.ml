@@ -16,18 +16,21 @@ module E = Refine_machine.Exec
 module R = Refine_mir.Reg
 module P = Refine_support.Prng
 
+(* [count]/[target] are native ints: the trigger test below runs once per
+   instrumented dynamic instruction, so it must be a word compare, not a
+   boxed [Int64] allocation plus structural equality. *)
 type mode =
   | Profile
-  | Inject of { target : int64; rng : P.t }
+  | Inject of { target : int; rng : P.t }
 
 type ctrl = {
-  mutable count : int64;
+  mutable count : int;
   mode : mode;
   mutable fired : bool;
   mutable record : Fault.record option;
 }
 
-let create mode = { count = 0L; mode; fired = false; record = None }
+let create mode = { count = 0; mode; fired = false; record = None }
 
 let should_fire ctrl =
   match ctrl.mode with
@@ -39,7 +42,7 @@ let should_fire ctrl =
 (* selInstr(): count the dynamic instrumented instruction; result 1 in r0
    iff this is the instance to inject into. *)
 let refine_sel_instr ctrl (eng : E.t) =
-  ctrl.count <- Int64.add ctrl.count 1L;
+  ctrl.count <- ctrl.count + 1;
   eng.E.regs.(R.ret_gpr) <- (if should_fire ctrl then 1L else 0L)
 
 (* setupFI(nOps in r1, sizes packed per byte in r2): choose the operand and
@@ -57,10 +60,10 @@ let refine_setup_fi ctrl (eng : E.t) =
     in
     let bit = P.int rng (max 1 size) in
     ctrl.record <-
-      Some { Fault.dyn_index = ctrl.count; op_index = op; reg_name = "<refine>"; bit };
+      Some { Fault.dyn_index = Int64.of_int ctrl.count; op_index = op; reg_name = "<refine>"; bit };
     eng.E.regs.(R.ret_gpr) <- Int64.of_int ((op lsl 6) lor bit)
 
-let refine_handlers ctrl : (string * int64 * (E.t -> unit)) list =
+let refine_handlers ctrl : (string * int * (E.t -> unit)) list =
   [
     ("fi_sel_instr", Fi_cost.refine_lib_call, refine_sel_instr ctrl);
     ("fi_setup_fi", Fi_cost.refine_lib_call, refine_setup_fi ctrl);
@@ -71,7 +74,7 @@ let refine_handlers ctrl : (string * int64 * (E.t -> unit)) list =
 (* injectFault(id in r1, value in r2/f1): count, flip a uniform bit of the
    64-bit value at the target instance, return it in r0/f0. *)
 let llfi_inject_int ctrl (eng : E.t) =
-  ctrl.count <- Int64.add ctrl.count 1L;
+  ctrl.count <- ctrl.count + 1;
   let v = eng.E.regs.(R.gpr 2) in
   let v' =
     if should_fire ctrl then begin
@@ -80,7 +83,7 @@ let llfi_inject_int ctrl (eng : E.t) =
         ctrl.fired <- true;
         let bit = P.int rng 64 in
         ctrl.record <-
-          Some { Fault.dyn_index = ctrl.count; op_index = 0; reg_name = "<ir-value>"; bit };
+          Some { Fault.dyn_index = Int64.of_int ctrl.count; op_index = 0; reg_name = "<ir-value>"; bit };
         Refine_support.Bitops.flip_bit v bit
       | Profile -> v
     end
@@ -89,7 +92,7 @@ let llfi_inject_int ctrl (eng : E.t) =
   eng.E.regs.(R.ret_gpr) <- v'
 
 let llfi_inject_float ctrl (eng : E.t) =
-  ctrl.count <- Int64.add ctrl.count 1L;
+  ctrl.count <- ctrl.count + 1;
   let v = eng.E.regs.(R.fpr 1) in
   let v' =
     if should_fire ctrl then begin
@@ -98,7 +101,7 @@ let llfi_inject_float ctrl (eng : E.t) =
         ctrl.fired <- true;
         let bit = P.int rng 64 in
         ctrl.record <-
-          Some { Fault.dyn_index = ctrl.count; op_index = 0; reg_name = "<ir-value>"; bit };
+          Some { Fault.dyn_index = Int64.of_int ctrl.count; op_index = 0; reg_name = "<ir-value>"; bit };
         Refine_support.Bitops.flip_bit v bit
       | Profile -> v
     end
@@ -109,7 +112,7 @@ let llfi_inject_float ctrl (eng : E.t) =
 (* i1 values (comparison results) have a single architecturally meaningful
    bit: any fault in them inverts the decision *)
 let llfi_inject_bool ctrl (eng : E.t) =
-  ctrl.count <- Int64.add ctrl.count 1L;
+  ctrl.count <- ctrl.count + 1;
   let v = eng.E.regs.(R.gpr 2) in
   let v' =
     if should_fire ctrl then begin
@@ -117,7 +120,7 @@ let llfi_inject_bool ctrl (eng : E.t) =
       | Inject _ ->
         ctrl.fired <- true;
         ctrl.record <-
-          Some { Fault.dyn_index = ctrl.count; op_index = 0; reg_name = "<ir-bool>"; bit = 0 };
+          Some { Fault.dyn_index = Int64.of_int ctrl.count; op_index = 0; reg_name = "<ir-bool>"; bit = 0 };
         Refine_support.Bitops.flip_bit v 0
       | Profile -> v
     end
@@ -125,7 +128,7 @@ let llfi_inject_bool ctrl (eng : E.t) =
   in
   eng.E.regs.(R.ret_gpr) <- v'
 
-let llfi_handlers ctrl : (string * int64 * (E.t -> unit)) list =
+let llfi_handlers ctrl : (string * int * (E.t -> unit)) list =
   [
     ("llfi_inject_i64", Fi_cost.llfi_lib_call, llfi_inject_int ctrl);
     ("llfi_inject_f64", Fi_cost.llfi_lib_call, llfi_inject_float ctrl);

@@ -8,10 +8,13 @@
 
 type mode =
   | Profile
-  | Inject of { target : int64; rng : Refine_support.Prng.t }
+  | Inject of { target : int; rng : Refine_support.Prng.t }
+      (** [target] is the 1-based dynamic instance to fire at.  A native
+          [int] so the per-call trigger test in the control library is a
+          word compare — dynamic populations are bounded far below 2^62. *)
 
 type ctrl = {
-  mutable count : int64;  (** dynamic instrumented-instruction counter *)
+  mutable count : int;  (** dynamic instrumented-instruction counter *)
   mode : mode;
   mutable fired : bool;
   mutable record : Fault.record option;
@@ -19,12 +22,12 @@ type ctrl = {
 
 val create : mode -> ctrl
 
-val refine_handlers : ctrl -> (string * int64 * (Refine_machine.Exec.t -> unit)) list
+val refine_handlers : ctrl -> (string * int * (Refine_machine.Exec.t -> unit)) list
 (** The REFINE control library: [fi_sel_instr] (the paper's selInstr) and
     [fi_setup_fi] (setupFI), as engine extern handlers with their modeled
     call cost. *)
 
-val llfi_handlers : ctrl -> (string * int64 * (Refine_machine.Exec.t -> unit)) list
+val llfi_handlers : ctrl -> (string * int * (Refine_machine.Exec.t -> unit)) list
 (** The LLFI-style injectFault callbacks: [llfi_inject_i64],
     [llfi_inject_f64] and [llfi_inject_i1] (comparison results flip within
     their 1-bit width, as LLVM i1 values do). *)

@@ -69,12 +69,12 @@ let flush_obs kind (eng : E.t) ~fi_hits ~run_cost =
     (match eng.E.prof with
     | Some p ->
       Array.iteri
-        (fun k n -> if n <> 0L then Obs.Metrics.add64 m_exec_steps.(t).(k) n)
+        (fun k n -> if n <> 0 then Obs.Metrics.add64 m_exec_steps.(t).(k) (Int64.of_int n))
         p.E.class_steps;
-      Obs.Metrics.add64 m_ext_calls.(t) p.E.ext_calls;
-      Obs.Metrics.add64 m_ext_cost.(t) p.E.ext_cost
+      Obs.Metrics.add64 m_ext_calls.(t) (Int64.of_int p.E.ext_calls);
+      Obs.Metrics.add64 m_ext_cost.(t) (Int64.of_int p.E.ext_cost)
     | None -> ());
-    Obs.Metrics.add64 m_fi_hits.(t) fi_hits;
+    Obs.Metrics.add64 m_fi_hits.(t) (Int64.of_int fi_hits);
     Obs.Metrics.add64 m_run_cost.(t) run_cost;
     Obs.Span.add_cost run_cost
   end
@@ -135,10 +135,44 @@ let note_quota_trip (r : E.result) =
     | E.Trapped E.Livelock -> Obs.Metrics.inc m_quota_trips.(3)
     | _ -> ()
 
+(* ---- engine fast path (DESIGN.md §14) ---------------------------------
+
+   The initialized memory image (globals + sentinel stack) is computed once
+   per prepared binary and every simulator run acquires a snapshot-backed
+   engine from a per-domain cache: one [Bytes.blit] reset per sample
+   instead of a [Mem.mem_size] allocation.  The cache is keyed by a unique
+   per-prepared id, so a domain that moves to another cell (or a fresh
+   supervisor worker domain) transparently clones a new arena.  Settable
+   off to run the legacy allocate-per-sample path; results are
+   bit-identical either way (asserted by the fast-path test suite). *)
+
+let use_fast_path = ref true
+
+let next_snap_id = Atomic.make 0
+
+let engine_cache : (int * E.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let acquire ?(ext_extra = []) ~image ~snap ~snap_id () =
+  if not !use_fast_path then E.create ~ext_extra image
+  else begin
+    let cell = Domain.DLS.get engine_cache in
+    match !cell with
+    | Some (id, eng) when id = snap_id ->
+      E.reset ~ext_extra eng;
+      eng
+    | _ ->
+      let eng = E.create_from_snapshot ~ext_extra snap in
+      cell := Some (snap_id, eng);
+      eng
+  end
+
 type prepared = {
   kind : kind;
   sel : Selection.t;
   image : Refine_backend.Layout.image;
+  snap : E.snapshot; (* initialized memory, computed once per binary *)
+  snap_id : int; (* unique id keying the per-domain engine cache *)
   profile : Fault.profile;
   static_instrumented : int; (* instrumented sites (REFINE/LLFI); 0 for PINFI *)
 }
@@ -187,7 +221,8 @@ let build_ir ?(opt = Pipeline.O2) src =
   Pipeline.optimize opt m;
   m
 
-let finish_profile kind sel image static_instrumented (count : int64) (r : E.result) =
+let finish_profile kind sel image snap snap_id static_instrumented (count : int) (r : E.result)
+    =
   (match r.status with
   | E.Exited 0 -> ()
   | E.Exited c -> raise (Prepare_error (Printf.sprintf "profiling run exited with code %d" c))
@@ -197,12 +232,14 @@ let finish_profile kind sel image static_instrumented (count : int64) (r : E.res
     kind;
     sel;
     image;
+    snap;
+    snap_id;
     static_instrumented;
     profile =
       {
         Fault.golden_output = r.output;
         golden_exit = 0;
-        dyn_count = count;
+        dyn_count = Int64.of_int count;
         profile_cost = r.cost;
       };
   }
@@ -226,16 +263,16 @@ let prepare ?phases ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps 
     try f () with Refine_mir.Mverify.Invalid msg -> raise (Quarantine ("mir-verifier", msg))
   in
   (* first run becomes the golden profile; the second must agree with it *)
-  let finish_and_check static_n image profile_once =
+  let finish_and_check static_n image snap snap_id profile_once =
     let count1, r1 = profile_once () in
-    let p = finish_profile kind sel image static_n count1 r1 in
+    let p = finish_profile kind sel image snap snap_id static_n count1 r1 in
     let count2, r2 = profile_once () in
     let out2 = if chaos.flaky_golden then r2.E.output ^ "#chaos" else r2.E.output in
     let exit2 = match r2.E.status with E.Exited c -> c | _ -> min_int in
     if
       out2 <> p.profile.Fault.golden_output
       || exit2 <> p.profile.Fault.golden_exit
-      || count2 <> p.profile.Fault.dyn_count
+      || Int64.of_int count2 <> p.profile.Fault.dyn_count
     then
       raise
         (Quarantine
@@ -244,7 +281,7 @@ let prepare ?phases ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps 
                "independent profiling runs disagree: output %dB/%dB exit %d/%d dyn %Ld/%Ld"
                (String.length p.profile.Fault.golden_output)
                (String.length out2) p.profile.Fault.golden_exit exit2
-               p.profile.Fault.dyn_count count2 ));
+               p.profile.Fault.dyn_count (Int64.of_int count2) ));
     p
   in
   match kind with
@@ -265,36 +302,39 @@ let prepare ?phases ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps 
                   ignore (Refine_mir.Mverify.check_instrumented ~expect_frame_bytes:fb mf))
                 frames));
     let image = time "compile" (fun () -> Refine_backend.Compile.emit m funcs) in
+    let snap = E.snapshot image and snap_id = Atomic.fetch_and_add next_snap_id 1 in
     let profile_once () =
       let ctrl = Runtime.create Runtime.Profile in
-      let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) image in
+      let eng = acquire ~ext_extra:(Runtime.refine_handlers ctrl) ~image ~snap ~snap_id () in
       maybe_profile eng;
       let r = time "execute" (fun () -> E.run ~max_steps eng) in
       flush_obs kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
       (ctrl.Runtime.count, r)
     in
-    finish_and_check static_n image profile_once
+    finish_and_check static_n image snap snap_id profile_once
   | Llfi ->
     let m = time "compile" (fun () -> build_ir ~opt src) in
     let static_n = time "instrument" (fun () -> Llfi_pass.run ~sel m) in
     let funcs, _ = time "compile" (fun () -> Refine_backend.Compile.to_mir m) in
     if verify_mir then quarantine_invalid (fun () -> Refine_mir.Mverify.check_funcs funcs);
     let image = time "compile" (fun () -> Refine_backend.Compile.emit m funcs) in
+    let snap = E.snapshot image and snap_id = Atomic.fetch_and_add next_snap_id 1 in
     let profile_once () =
       let ctrl = Runtime.create Runtime.Profile in
-      let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) image in
+      let eng = acquire ~ext_extra:(Runtime.llfi_handlers ctrl) ~image ~snap ~snap_id () in
       maybe_profile eng;
       let r = time "execute" (fun () -> E.run ~max_steps eng) in
       flush_obs kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
       (ctrl.Runtime.count, r)
     in
-    finish_and_check static_n image profile_once
+    finish_and_check static_n image snap snap_id profile_once
   | Pinfi ->
     let m = time "compile" (fun () -> build_ir ~opt src) in
     let image = time "compile" (fun () -> Refine_backend.Compile.compile m) in
+    let snap = E.snapshot image and snap_id = Atomic.fetch_and_add next_snap_id 1 in
     let profile_once () =
       let ctrl = Pinfi.create ~sel Runtime.Profile in
-      let eng = E.create image in
+      let eng = acquire ~image ~snap ~snap_id () in
       (* attaching the DBI hook is PINFI's (tiny) instrumentation phase *)
       time "instrument" (fun () -> Pinfi.attach ctrl eng);
       maybe_profile eng;
@@ -302,7 +342,7 @@ let prepare ?phases ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps 
       flush_obs kind eng ~fi_hits:ctrl.Pinfi.count ~run_cost:r.E.cost;
       (ctrl.Pinfi.count, r)
     in
-    finish_and_check 0 image profile_once
+    finish_and_check 0 image snap snap_id profile_once
 
 exception Sample_budget_exceeded of int64
 
@@ -326,7 +366,7 @@ let run_injection ?cost_cap ?(quotas = no_quotas) ?poll (p : prepared) (rng : P.
   if p.profile.Fault.dyn_count = 0L then
     { Fault.outcome = Fault.Benign; run_cost = 0L; fault = None }
   else begin
-    let target = Int64.add 1L (P.int64 rng p.profile.Fault.dyn_count) in
+    let target = Int64.to_int (Int64.add 1L (P.int64 rng p.profile.Fault.dyn_count)) in
     let timeout = Int64.mul Fi_cost.timeout_factor p.profile.Fault.profile_cost in
     let max_cost, capped =
       match cost_cap with
@@ -344,21 +384,27 @@ let run_injection ?cost_cap ?(quotas = no_quotas) ?poll (p : prepared) (rng : P.
       match p.kind with
       | Refine ->
         let ctrl = Runtime.create mode in
-        let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) p.image in
+        let eng =
+          acquire ~ext_extra:(Runtime.refine_handlers ctrl) ~image:p.image ~snap:p.snap
+            ~snap_id:p.snap_id ()
+        in
         maybe_profile eng;
         let r = sandboxed_run eng in
         flush_obs p.kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
         (r, ctrl.Runtime.record)
       | Llfi ->
         let ctrl = Runtime.create mode in
-        let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) p.image in
+        let eng =
+          acquire ~ext_extra:(Runtime.llfi_handlers ctrl) ~image:p.image ~snap:p.snap
+            ~snap_id:p.snap_id ()
+        in
         maybe_profile eng;
         let r = sandboxed_run eng in
         flush_obs p.kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
         (r, ctrl.Runtime.record)
       | Pinfi ->
         let ctrl = Pinfi.create ~sel:p.sel mode in
-        let eng = E.create p.image in
+        let eng = acquire ~image:p.image ~snap:p.snap ~snap_id:p.snap_id () in
         Pinfi.attach ctrl eng;
         maybe_profile eng;
         let r = sandboxed_run eng in
@@ -375,12 +421,18 @@ let run_clean (p : prepared) : E.result =
   match p.kind with
   | Refine ->
     let ctrl = Runtime.create Runtime.Profile in
-    let eng = E.create ~ext_extra:(Runtime.refine_handlers ctrl) p.image in
+    let eng =
+      acquire ~ext_extra:(Runtime.refine_handlers ctrl) ~image:p.image ~snap:p.snap
+        ~snap_id:p.snap_id ()
+    in
     E.run eng
   | Llfi ->
     let ctrl = Runtime.create Runtime.Profile in
-    let eng = E.create ~ext_extra:(Runtime.llfi_handlers ctrl) p.image in
+    let eng =
+      acquire ~ext_extra:(Runtime.llfi_handlers ctrl) ~image:p.image ~snap:p.snap
+        ~snap_id:p.snap_id ()
+    in
     E.run eng
   | Pinfi ->
-    let eng = E.create p.image in
+    let eng = acquire ~image:p.image ~snap:p.snap ~snap_id:p.snap_id () in
     E.run eng

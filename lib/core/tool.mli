@@ -38,10 +38,21 @@ val derived_output_quota : Fault.profile -> int
 (** [max 4096 (16 * length golden_output)] — the cap [derive_output]
     computes for a prepared program. *)
 
+val use_fast_path : bool ref
+(** When [true] (the default), every simulator run acquires a
+    snapshot-backed engine from a per-domain cache and {!reset}s it
+    (DESIGN.md §14) instead of allocating fresh machine state per sample.
+    Set to [false] to force the legacy allocate-per-sample path; campaign
+    results are bit-identical either way (asserted by the fast-path test
+    suite). *)
+
 type prepared = {
   kind : kind;
   sel : Selection.t;
   image : Refine_backend.Layout.image;  (** the (instrumented) binary *)
+  snap : Refine_machine.Exec.snapshot;
+      (** initialized memory image, computed once per prepared binary *)
+  snap_id : int;  (** unique id keying the per-domain engine cache *)
   profile : Fault.profile;  (** golden output + dynamic target count *)
   static_instrumented : int;  (** instrumentation sites; 0 for PINFI *)
 }

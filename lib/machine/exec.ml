@@ -13,14 +13,26 @@
 
    Cost model (DESIGN.md §6): 1 unit per instruction, [ext_call_cost] units
    per runtime-library call, plus [hook_cost] per instruction while a
-   dynamic-instrumentation hook (PINFI) is attached. *)
+   dynamic-instrumentation hook (PINFI) is attached.
+
+   Fast path (DESIGN.md §14): the per-instruction execute path is
+   allocation-free when profiling is off — step/cost counters are plain
+   [int] fields (63 bits is ample for any modeled budget), FLAGS writes
+   index a preallocated table of the 8 possible flag words, condition
+   codes are evaluated with int bit tests, and extern calls dispatch
+   through a per-engine handler array resolved once from the image's
+   [ext_slot_of_pc] table instead of hashing the extern name per call.
+   Engines can be created from a memory [snapshot] and [reset] between
+   runs with a single [Bytes.blit], so a fault-injection campaign reuses
+   one arena per worker domain instead of allocating [Mem.mem_size] per
+   sample. *)
 
 module M = Refine_mir.Minstr
 module R = Refine_mir.Reg
 module L = Refine_backend.Layout
 module Mem = Refine_ir.Memlayout
 
-let ext_call_cost = 25L
+let ext_call_cost = 25
 
 type trap =
   | Mem_fault of int
@@ -51,13 +63,13 @@ type status = Running | Exited of int | Trapped of trap | Timed_out
 exception Halt_trap of trap
 
 (* Executor profile: per-opcode-class step counts plus extern-call tallies,
-   accumulated into plain machine-local cells so the per-instruction cost
-   is one [None] match when profiling is off and two array writes when on;
+   accumulated into plain unboxed int cells so the per-instruction cost is
+   one [None] match when profiling is off and two int array ops when on;
    the owner (Tool) flushes it into the metrics registry after the run. *)
 type profile = {
-  class_steps : int64 array; (* Minstr.num_iclasses slots, Minstr.iclass_index order *)
-  mutable ext_calls : int64;
-  mutable ext_cost : int64;
+  class_steps : int array; (* Minstr.num_iclasses slots, Minstr.iclass_index order *)
+  mutable ext_calls : int;
+  mutable ext_cost : int;
 }
 
 type t = {
@@ -65,17 +77,22 @@ type t = {
   regs : int64 array; (* R.num_regs entries; raw bits for GPR/FPR/FLAGS *)
   mem : Bytes.t;
   mutable pc : int;
-  mutable steps : int64;
-  mutable cost : int64;
+  mutable steps : int; (* unboxed hot counters: int, not int64 (§14) *)
+  mutable cost : int;
   mutable status : status;
   mutable heap : int;
   env : Refine_ir.Externs.env;
-  ext_extra : (string, int64 * (t -> unit)) Hashtbl.t;
+  ext_extra : (string, int * (t -> unit)) Hashtbl.t;
       (* FI runtime library: name -> (modeled cost, handler) *)
   mutable post_hook : (t -> int -> M.t -> unit) option; (* PINFI-style DBI *)
-  mutable hook_cost : int64;
+  mutable hook_cost : int;
   mutable prof : profile option; (* executor profiling; None = zero-cost path *)
   mutable heap_quota : int; (* max heap bytes above heap_base; max_int = off *)
+  mutable handlers : (t -> unit) array;
+      (* pre-resolved extern dispatch, indexed by image.ext_slot_of_pc *)
+  mutable builtins : (t -> unit) option array;
+      (* memoized libc/libm handlers per ext slot, reused across resets *)
+  snap : Bytes.t option; (* pristine memory to blit on [reset] *)
 }
 
 type result = {
@@ -89,83 +106,21 @@ type result = {
 (* sentinel return address that terminates the program when popped *)
 let sentinel = -1L
 
-let create ?(ext_extra = []) (image : L.image) : t =
-  let mem = Bytes.make Mem.mem_size '\000' in
-  List.iter
-    (fun (g : Refine_ir.Ir.global) ->
-      match g.gbytes with
-      | Some s -> Bytes.blit_string s 0 mem (image.L.global_addr g.gname) (String.length s)
-      | None -> ())
-    image.L.globals;
-  let self = ref None in
-  let env =
-    {
-      Refine_ir.Externs.out = Buffer.create 1024;
-      read_byte =
-        (fun a ->
-          if a < Mem.null_guard || a >= Mem.mem_size then
-            raise (Refine_ir.Externs.Extern_trap (Printf.sprintf "print_str read at 0x%x" a))
-          else Bytes.get mem a);
-      alloc =
-        (fun n ->
-          match !self with
-          | None -> assert false
-          | Some t ->
-            let addr = t.heap in
-            t.heap <- t.heap + Mem.align8 n;
-            if t.heap > Mem.mem_size - Mem.stack_limit then
-              raise (Refine_ir.Externs.Extern_trap "out of heap memory")
-            else if t.heap - t.image.L.heap_base > t.heap_quota then
-              (* sandbox quota, tighter than physical memory: Halt_trap skips
-                 the Extern_fault wrapper so the trap keeps its own kind *)
-              raise (Halt_trap (Heap_quota t.heap_quota))
-            else addr);
-      exited = None;
-    }
-  in
-  let t =
-    {
-      image;
-      regs = Array.make R.num_regs 0L;
-      mem;
-      pc = image.L.entry;
-      steps = 0L;
-      cost = 0L;
-      status = Running;
-      heap = image.L.heap_base;
-      env;
-      ext_extra = Hashtbl.create 8;
-      post_hook = None;
-      hook_cost = 0L;
-      prof = None;
-      heap_quota = max_int;
-    }
-  in
-  self := Some t;
-  List.iter (fun (name, cost, fn) -> Hashtbl.replace t.ext_extra name (cost, fn)) ext_extra;
-  (* initial stack: rsp at top of memory holding the sentinel return
-     address, as if the loader had called main *)
-  t.regs.(R.rsp) <- Int64.of_int (Mem.mem_size - 8);
-  Bytes.set_int64_le t.mem (Mem.mem_size - 8) sentinel;
-  t
-
 (* --- flags ----------------------------------------------------------- *)
 
-let zf_bit = 0
-let lt_bit = 1
-let unord_bit = 2
+(* The 8 possible FLAGS words (ZF|LT|UNORD), preallocated so a flag write
+   is an array index instead of a chain of boxed Int64 ops. *)
+let flag_words = Array.init 8 Int64.of_int
 
 let set_flags t ~zf ~lt ~unord =
-  let v = ref 0L in
-  if zf then v := Int64.logor !v 1L;
-  if lt then v := Int64.logor !v 2L;
-  if unord then v := Int64.logor !v 4L;
-  t.regs.(R.flags) <- !v
-
-let flag t bit = Int64.logand (Int64.shift_right_logical t.regs.(R.flags) bit) 1L = 1L
+  let i =
+    (if zf then 1 else 0) lor (if lt then 2 else 0) lor if unord then 4 else 0
+  in
+  t.regs.(R.flags) <- flag_words.(i)
 
 let eval_cc t (cc : M.cc) =
-  let zf = flag t zf_bit and lt = flag t lt_bit and unord = flag t unord_bit in
+  let fl = Int64.to_int t.regs.(R.flags) in
+  let zf = fl land 1 <> 0 and lt = fl land 2 <> 0 and unord = fl land 4 <> 0 in
   match cc with
   | M.CEq -> zf
   | M.CNe -> not zf
@@ -214,45 +169,205 @@ let count_ext t cost =
   match t.prof with
   | None -> ()
   | Some p ->
-    p.ext_calls <- Int64.add p.ext_calls 1L;
-    p.ext_cost <- Int64.add p.ext_cost cost
+    p.ext_calls <- p.ext_calls + 1;
+    p.ext_cost <- p.ext_cost + cost
 
+(* Build the memoized handler for a libc/libm extern: the signature is
+   parsed and the argument registers assigned ONCE, so a call only copies
+   registers into a reused buffer and dispatches.  [None] for names the
+   runtime library does not know (resolved to a trap-on-invoke handler, so
+   an unknown extern on a dead path still costs nothing). *)
+let builtin_handler name : (t -> unit) option =
+  match Refine_ir.Externs.signature name with
+  | None -> None
+  | Some (tys, ret) ->
+    let exception Exhausted in
+    (try
+       let gp = ref R.arg_gprs and fp = ref R.arg_fprs in
+       let arg_regs =
+         List.map
+           (fun ty ->
+             let cell = match ty with Refine_ir.Ir.I64 -> gp | Refine_ir.Ir.F64 -> fp in
+             match !cell with
+             | r :: rest ->
+               cell := rest;
+               r
+             | [] -> raise Exhausted)
+           tys
+       in
+       let arg_regs = Array.of_list arg_regs in
+       let args = Array.make (Array.length arg_regs) 0L in
+       Some
+         (fun t ->
+           t.cost <- t.cost + ext_call_cost;
+           count_ext t ext_call_cost;
+           for i = 0 to Array.length arg_regs - 1 do
+             args.(i) <- t.regs.(arg_regs.(i))
+           done;
+           let r =
+             try Refine_ir.Externs.call t.env name args
+             with Refine_ir.Externs.Extern_trap m -> raise (Halt_trap (Extern_fault m))
+           in
+           match t.env.exited with
+           | Some code -> t.status <- Exited code
+           | None -> (
+             match ret with
+             | Some Refine_ir.Ir.I64 -> t.regs.(R.ret_gpr) <- r
+             | Some Refine_ir.Ir.F64 -> t.regs.(R.ret_fpr) <- r
+             | None -> ()))
+     with Exhausted ->
+       Some
+         (fun t ->
+           t.cost <- t.cost + ext_call_cost;
+           count_ext t ext_call_cost;
+           raise (Halt_trap (Extern_fault (name ^ ": too many arguments")))))
+
+let unknown_extern name : t -> unit =
+ fun t ->
+  t.cost <- t.cost + ext_call_cost;
+  count_ext t ext_call_cost;
+  raise (Halt_trap (Extern_fault ("unknown extern " ^ name)))
+
+(* Resolve every extern slot of the image to a concrete handler: the FI
+   runtime library ([ext_extra]) takes priority, then the memoized builtin,
+   then a trap-on-invoke handler.  Called at engine construction and on
+   every [reset] (the FI control state is per-sample); builtins are reused
+   across resets, so a rebind never re-parses a signature. *)
+let bind_handlers t =
+  let names = t.image.L.ext_names in
+  Array.init (Array.length names) (fun k ->
+      let name = names.(k) in
+      match Hashtbl.find_opt t.ext_extra name with
+      | Some (cost, fn) ->
+        fun (t : t) ->
+          t.cost <- t.cost + cost;
+          count_ext t cost;
+          fn t
+      | None -> (
+        match t.builtins.(k) with Some h -> h | None -> unknown_extern name))
+
+(* Slow path for code arrays mutated after layout (ext_slot_of_pc = -1,
+   e.g. Opcode_fi's corrupted copies): the pre-fast-path by-name lookup. *)
 let do_callext (t : t) name =
   match Hashtbl.find_opt t.ext_extra name with
   | Some (cost, fn) ->
-    t.cost <- Int64.add t.cost cost;
+    t.cost <- t.cost + cost;
     count_ext t cost;
     fn t
   | None -> (
-    t.cost <- Int64.add t.cost ext_call_cost;
-    count_ext t ext_call_cost;
-    match Refine_ir.Externs.signature name with
-    | None -> raise (Halt_trap (Extern_fault ("unknown extern " ^ name)))
-    | Some (tys, ret) ->
-      let gp = ref R.arg_gprs and fp = ref R.arg_fprs in
-      let args =
-        Array.of_list
-          (List.map
-             (fun ty ->
-               let cell = match ty with Refine_ir.Ir.I64 -> gp | Refine_ir.Ir.F64 -> fp in
-               match !cell with
-               | r :: rest ->
-                 cell := rest;
-                 t.regs.(r)
-               | [] -> raise (Halt_trap (Extern_fault (name ^ ": too many arguments"))))
-             tys)
-      in
-      let r =
-        try Refine_ir.Externs.call t.env name args
-        with Refine_ir.Externs.Extern_trap m -> raise (Halt_trap (Extern_fault m))
-      in
-      (match t.env.exited with
-      | Some code -> t.status <- Exited code
-      | None -> (
-        match ret with
-        | Some Refine_ir.Ir.I64 -> t.regs.(R.ret_gpr) <- r
-        | Some Refine_ir.Ir.F64 -> t.regs.(R.ret_fpr) <- r
-        | None -> ())))
+    match builtin_handler name with
+    | Some h -> h t
+    | None -> unknown_extern name t)
+
+(* --- engine construction ------------------------------------------------ *)
+
+(* Initialized memory image: globals blitted at their layout addresses and
+   the sentinel return address at the top of the stack, as if the loader
+   had called main. *)
+let init_mem (image : L.image) : Bytes.t =
+  let mem = Bytes.make Mem.mem_size '\000' in
+  List.iter
+    (fun (g : Refine_ir.Ir.global) ->
+      match g.gbytes with
+      | Some s -> Bytes.blit_string s 0 mem (image.L.global_addr g.gname) (String.length s)
+      | None -> ())
+    image.L.globals;
+  Bytes.set_int64_le mem (Mem.mem_size - 8) sentinel;
+  mem
+
+type snapshot = { s_image : L.image; s_mem : Bytes.t }
+
+let snapshot (image : L.image) : snapshot = { s_image = image; s_mem = init_mem image }
+
+let make ~(ext_extra : (string * int * (t -> unit)) list) (image : L.image) mem snap : t =
+  let self = ref None in
+  let env =
+    {
+      Refine_ir.Externs.out = Buffer.create 1024;
+      read_byte =
+        (fun a ->
+          if a < Mem.null_guard || a >= Mem.mem_size then
+            raise (Refine_ir.Externs.Extern_trap (Printf.sprintf "print_str read at 0x%x" a))
+          else Bytes.get mem a);
+      alloc =
+        (fun n ->
+          match !self with
+          | None -> assert false
+          | Some t ->
+            let addr = t.heap in
+            t.heap <- t.heap + Mem.align8 n;
+            if t.heap > Mem.mem_size - Mem.stack_limit then
+              raise (Refine_ir.Externs.Extern_trap "out of heap memory")
+            else if t.heap - t.image.L.heap_base > t.heap_quota then
+              (* sandbox quota, tighter than physical memory: Halt_trap skips
+                 the Extern_fault wrapper so the trap keeps its own kind *)
+              raise (Halt_trap (Heap_quota t.heap_quota))
+            else addr);
+      exited = None;
+    }
+  in
+  let t =
+    {
+      image;
+      regs = Array.make R.num_regs 0L;
+      mem;
+      pc = image.L.entry;
+      steps = 0;
+      cost = 0;
+      status = Running;
+      heap = image.L.heap_base;
+      env;
+      ext_extra = Hashtbl.create 8;
+      post_hook = None;
+      hook_cost = 0;
+      prof = None;
+      heap_quota = max_int;
+      handlers = [||];
+      builtins = [||];
+      snap;
+    }
+  in
+  self := Some t;
+  List.iter (fun (name, cost, fn) -> Hashtbl.replace t.ext_extra name (cost, fn)) ext_extra;
+  t.builtins <- Array.map builtin_handler image.L.ext_names;
+  t.handlers <- bind_handlers t;
+  t.regs.(R.rsp) <- Int64.of_int (Mem.mem_size - 8);
+  t
+
+let create ?(ext_extra = []) (image : L.image) : t = make ~ext_extra image (init_mem image) None
+
+let create_from_snapshot ?(ext_extra = []) (s : snapshot) : t =
+  make ~ext_extra s.s_image (Bytes.copy s.s_mem) (Some s.s_mem)
+
+(* Restore the pristine post-loader state with one [Bytes.blit] — the
+   whole point of the snapshot API: a campaign worker reuses one arena per
+   cell instead of allocating (and GC-ing) [Mem.mem_size] per sample.
+   Every mutable piece of the machine is re-initialized, so a reset engine
+   is bit-identical to a fresh [create_from_snapshot] (the differential
+   property tests assert exactly this). *)
+let reset ?(ext_extra = []) (t : t) : unit =
+  let snap =
+    match t.snap with
+    | Some s -> s
+    | None -> invalid_arg "Exec.reset: engine was not created from a snapshot"
+  in
+  Bytes.blit snap 0 t.mem 0 (Bytes.length snap);
+  Array.fill t.regs 0 (Array.length t.regs) 0L;
+  t.regs.(R.rsp) <- Int64.of_int (Mem.mem_size - 8);
+  t.pc <- t.image.L.entry;
+  t.steps <- 0;
+  t.cost <- 0;
+  t.status <- Running;
+  t.heap <- t.image.L.heap_base;
+  Buffer.clear t.env.out;
+  t.env.exited <- None;
+  t.post_hook <- None;
+  t.hook_cost <- 0;
+  t.prof <- None;
+  t.heap_quota <- max_int;
+  Hashtbl.reset t.ext_extra;
+  List.iter (fun (name, cost, fn) -> Hashtbl.replace t.ext_extra name (cost, fn)) ext_extra;
+  t.handlers <- bind_handlers t
 
 (* --- single step -------------------------------------------------------- *)
 
@@ -265,14 +380,15 @@ let step (t : t) =
   end
   else begin
     let pc0 = t.pc in
-    let i = code.(pc0) in
-    t.steps <- Int64.add t.steps 1L;
-    t.cost <- Int64.add (Int64.add t.cost 1L) t.hook_cost;
+    (* bounds established by the guard above *)
+    let i = Array.unsafe_get code pc0 in
+    t.steps <- t.steps + 1;
+    t.cost <- t.cost + 1 + t.hook_cost;
     (match t.prof with
     | None -> ()
     | Some p ->
-      let k = M.iclass_index (M.classify i) in
-      p.class_steps.(k) <- Int64.add p.class_steps.(k) 1L);
+      let k = Array.unsafe_get t.image.L.class_of_pc pc0 in
+      p.class_steps.(k) <- p.class_steps.(k) + 1);
     t.pc <- pc0 + 1;
     (try
        (match i with
@@ -320,7 +436,10 @@ let step (t : t) =
          push t (Int64.of_int t.pc);
          t.pc <- target
        | M.Mcall name -> raise (Halt_trap (Extern_fault ("unresolved call " ^ name)))
-       | M.Mcallext name -> do_callext t name
+       | M.Mcallext name ->
+         (* pre-resolved dispatch: no string hashing on the hot path *)
+         let slot = t.image.L.ext_slot_of_pc.(pc0) in
+         if slot >= 0 then t.handlers.(slot) t else do_callext t name
        | M.Mret ->
          let ra = pop t in
          if ra = sentinel then t.status <- Exited (Int64.to_int t.regs.(R.ret_gpr))
@@ -346,9 +465,7 @@ let enable_profiling t =
   match t.prof with
   | Some p -> p
   | None ->
-    let p =
-      { class_steps = Array.make M.num_iclasses 0L; ext_calls = 0L; ext_cost = 0L }
-    in
+    let p = { class_steps = Array.make M.num_iclasses 0; ext_calls = 0; ext_cost = 0 } in
     t.prof <- Some p;
     p
 
@@ -389,6 +506,11 @@ let fp_equal a b =
   a.fp_hash = b.fp_hash && a.fp_pc = b.fp_pc && a.fp_heap = b.fp_heap && a.fp_out = b.fp_out
   && a.fp_regs = b.fp_regs
 
+(* Budgets arrive as int64 (the paper's cost model is 64-bit) but the hot
+   loop compares native ints; anything at or above [max_int] means
+   "unlimited". *)
+let int_budget v = if Int64.compare v (Int64.of_int max_int) >= 0 then max_int else Int64.to_int v
+
 (* [max_cost]: modeled-time budget (the 10x-profiling timeout of the
    paper's classification); [max_steps]: hard safety bound.
 
@@ -409,41 +531,40 @@ let fp_equal a b =
 let run ?(max_steps = Int64.max_int) ?(max_cost = Int64.max_int) ?output_quota ?heap_quota
     ?wall_clock ?(clock = Sys.time) ?livelock ?poll (t : t) : result =
   (match heap_quota with Some q -> t.heap_quota <- q | None -> ());
+  let max_steps = int_budget max_steps and max_cost = int_budget max_cost in
   let oq = match output_quota with Some q -> max 0 q | None -> max_int in
   let deadline, wall_s =
     match wall_clock with Some s -> (clock () +. s, s) | None -> (infinity, 0.0)
   in
   let ll_window =
-    match livelock with
-    | Some n when n > 0 -> Int64.of_int (((n + 1023) / 1024) * 1024)
-    | _ -> 0L
+    match livelock with Some n when n > 0 -> ((n + 1023) / 1024) * 1024 | _ -> 0
   in
-  let ring = Array.make fp_ring_size None in
-  let ring_next = ref 0 in
+  (* the 256-slot fingerprint ring exists only while the livelock detector
+     is armed — a plain sample must not pay for it *)
+  let ll_state = if ll_window > 0 then Some (Array.make fp_ring_size None, ref 0) else None in
   let check_quotas () =
     (match poll with Some p -> p () | None -> ());
     if oq <> max_int && Buffer.length t.env.out > oq then t.status <- Trapped (Output_quota oq);
     if deadline < infinity && t.status = Running && clock () > deadline then
       t.status <- Trapped (Wall_clock wall_s);
-    if ll_window > 0L && t.status = Running && Int64.rem t.steps ll_window = 0L then begin
+    match ll_state with
+    | Some (ring, ring_next) when t.status = Running && t.steps mod ll_window = 0 ->
       let fp = fingerprint t in
-      let repeat =
-        Array.exists (function Some p -> fp_equal p fp | None -> false) ring
-      in
+      let repeat = Array.exists (function Some p -> fp_equal p fp | None -> false) ring in
       if repeat then t.status <- Trapped Livelock
       else begin
         ring.(!ring_next) <- Some fp;
         ring_next := (!ring_next + 1) mod fp_ring_size
       end
-    end
+    | _ -> ()
   in
   while
-    t.status = Running
-    && Int64.compare t.steps max_steps < 0
-    && Int64.compare t.cost max_cost < 0
+    (match t.status with Running -> true | _ -> false)
+    && t.steps < max_steps && t.cost < max_cost
   do
     step t;
-    if Int64.logand t.steps 1023L = 0L then check_quotas ()
+    (* poll-slot cadence: plain int mask, no boxed arithmetic per step *)
+    if t.steps land 1023 = 0 then check_quotas ()
   done;
   let status = if t.status = Running then Timed_out else t.status in
   let output = Buffer.contents t.env.out in
@@ -456,4 +577,4 @@ let run ?(max_steps = Int64.max_int) ?(max_cost = Int64.max_int) ?output_quota ?
     else status
   in
   t.status <- status;
-  { status; output; steps = t.steps; cost = t.cost; truncated }
+  { status; output; steps = Int64.of_int t.steps; cost = Int64.of_int t.cost; truncated }

@@ -9,9 +9,16 @@
 
     Cost model (DESIGN.md §6): 1 unit per instruction, per-extern call
     costs, plus {!field:hook_cost} per instruction while a DBI-style hook
-    is attached. *)
+    is attached.
 
-val ext_call_cost : int64
+    Fast path (DESIGN.md §14): step/cost counters are plain unboxed [int]
+    fields, FLAGS writes index a preallocated table, extern calls dispatch
+    through a per-engine handler array resolved once from the image's
+    [ext_slot_of_pc] table, and engines created from a {!snapshot} are
+    {!reset} between samples with a single [Bytes.blit].  The
+    per-instruction execute path allocates nothing when profiling is off. *)
+
+val ext_call_cost : int
 (** Default modeled cost of a libc/libm extern call (25 units). *)
 
 type trap =
@@ -31,37 +38,46 @@ val string_of_trap : trap -> string
 type status = Running | Exited of int | Trapped of trap | Timed_out
 
 type profile = {
-  class_steps : int64 array;
+  class_steps : int array;
       (** executed instructions per opcode class, indexed by
           {!Refine_mir.Minstr.iclass_index} *)
-  mutable ext_calls : int64;  (** extern (runtime-library/libc) calls made *)
-  mutable ext_cost : int64;  (** modeled cost charged by those calls *)
+  mutable ext_calls : int;  (** extern (runtime-library/libc) calls made *)
+  mutable ext_cost : int;  (** modeled cost charged by those calls *)
 }
 (** Executor profile, attached by {!enable_profiling}.  Plain machine-local
-    cells: the per-instruction overhead is one [option] match when off and
-    two array writes when on; the owner flushes the totals into the
-    observability registry after the run (DESIGN.md §12). *)
+    unboxed cells: the per-instruction overhead is one [option] match when
+    off and two int array ops when on; the owner flushes the totals into
+    the observability registry after the run (DESIGN.md §12). *)
 
 type t = {
   image : Refine_backend.Layout.image;
   regs : int64 array;  (** [Reg.num_regs] raw images: GPRs, FPRs, FLAGS *)
   mem : Bytes.t;
   mutable pc : int;
-  mutable steps : int64;
-  mutable cost : int64;
+  mutable steps : int;  (** unboxed; 63 bits is ample for any modeled budget *)
+  mutable cost : int;
   mutable status : status;
   mutable heap : int;
   env : Refine_ir.Externs.env;
-  ext_extra : (string, int64 * (t -> unit)) Hashtbl.t;
+  ext_extra : (string, int * (t -> unit)) Hashtbl.t;
       (** FI runtime library: name -> (modeled cost, handler) *)
   mutable post_hook : (t -> int -> Refine_mir.Minstr.t -> unit) option;
       (** PINFI-style DBI: called after every executed instruction with the
           pre-execution pc and the instruction *)
-  mutable hook_cost : int64;  (** extra cost per instruction while attached *)
+  mutable hook_cost : int;  (** extra cost per instruction while attached *)
   mutable prof : profile option;  (** executor profiling; [None] = zero-cost path *)
   mutable heap_quota : int;
       (** sandbox heap quota in bytes above the image's heap base;
           [max_int] = unlimited.  Set by {!run}'s [heap_quota] argument. *)
+  mutable handlers : (t -> unit) array;
+      (** pre-resolved extern dispatch, indexed by the image's
+          [ext_slot_of_pc] slots; rebuilt by {!reset}.  Internal. *)
+  mutable builtins : (t -> unit) option array;
+      (** memoized libc/libm handlers per extern slot, reused across
+          {!reset}s so signatures are parsed once per engine.  Internal. *)
+  snap : Bytes.t option;
+      (** pristine memory blitted back by {!reset}; [None] for engines made
+          with {!create} *)
 }
 
 type result = {
@@ -74,9 +90,30 @@ type result = {
           never report it as a golden match *)
 }
 
-val create : ?ext_extra:(string * int64 * (t -> unit)) list -> Refine_backend.Layout.image -> t
+val create : ?ext_extra:(string * int * (t -> unit)) list -> Refine_backend.Layout.image -> t
 (** Fresh machine state: globals initialized, stack holding the sentinel
     return address, pc at the image entry. *)
+
+type snapshot
+(** Initialized memory image (globals + sentinel stack) computed once per
+    prepared program, shared read-only by every engine cloned from it. *)
+
+val snapshot : Refine_backend.Layout.image -> snapshot
+(** Compute the initialized memory image once; the [Bytes.make] +
+    global-blit cost is paid here instead of per sample. *)
+
+val create_from_snapshot :
+  ?ext_extra:(string * int * (t -> unit)) list -> snapshot -> t
+(** Like {!create}, but clones the snapshot's pristine memory and keeps a
+    reference to it so the engine supports {!reset}. *)
+
+val reset : ?ext_extra:(string * int * (t -> unit)) list -> t -> unit
+(** Restore a snapshot-backed engine to the pristine post-loader state with
+    a single [Bytes.blit]: registers zeroed, sp/pc/heap re-seated, output
+    buffer cleared, hooks/profiling/quotas dropped, and extern handlers
+    rebound against [ext_extra].  A reset engine is bit-identical to a
+    fresh {!create_from_snapshot} (asserted by the differential property
+    tests).  Raises [Invalid_argument] on engines made with {!create}. *)
 
 val step : t -> unit
 (** Execute one instruction (or set a trap status). *)
@@ -112,4 +149,5 @@ val run :
     the call ([Trapped (Wall_clock _)]); [livelock] fingerprints the
     architectural state every that many steps (rounded up to a multiple of
     1024) and traps [Livelock] on an exact repeat within the last 256
-    fingerprints. *)
+    fingerprints — the fingerprint ring is only allocated when the
+    detector is armed. *)

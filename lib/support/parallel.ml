@@ -48,16 +48,31 @@ let run_indexed ?token ~domains n (f : int -> unit) =
   end
 
 (* All n elements go through the worker pool, so f 0 gets the same error
-   surface (Worker_failure, preserved backtrace) as every other index. *)
+   surface (Worker_failure, preserved backtrace) as every other index.
+
+   The result array is seeded from the first computed element and filled in
+   place — no ['a option array] round-trip and no second mapped copy.  The
+   CAS makes the install race-free: whichever worker finishes first
+   allocates the array, everyone else writes into it.  Every index that
+   completed wrote its own slot, and [run_indexed] raises unless all of
+   them did, so unfilled seed copies can never leak out. *)
 let init ?token ?domains n f =
   let domains = match domains with Some d -> d | None -> default_domains () in
   if n = 0 then [||]
   else begin
-    let out = Array.make n None in
-    run_indexed ?token ~domains n (fun i -> out.(i) <- Some (f i));
-    Array.map
-      (function Some v -> v | None -> invalid_arg "Parallel.init: slot not filled")
-      out
+    let slot = Atomic.make [||] in
+    run_indexed ?token ~domains n (fun i ->
+        let r = f i in
+        let out =
+          let a = Atomic.get slot in
+          if Array.length a = n then a
+          else begin
+            let fresh = Array.make n r in
+            if Atomic.compare_and_set slot a fresh then fresh else Atomic.get slot
+          end
+        in
+        out.(i) <- r);
+    Atomic.get slot
   end
 
 let map_array ?token ?domains f arr =

@@ -159,7 +159,7 @@ let test_multibit_flips () =
   let outcome flips seed =
     let ctrl =
       Refine_core.Pinfi.create ~flips
-        (Refine_core.Runtime.Inject { target = 20L; rng = P.create seed })
+        (Refine_core.Runtime.Inject { target = 20; rng = P.create seed })
     in
     let eng = Refine_machine.Exec.create image in
     Refine_core.Pinfi.attach ctrl eng;

@@ -1,0 +1,239 @@
+(* Fast-path equivalence tests (DESIGN.md §14).
+
+   The executor fast path — snapshot-reset engine reuse, unboxed int
+   counters, pre-resolved extern dispatch — must be invisible in results:
+   a reset engine is bit-identical to a fresh one, a fixed-seed campaign
+   produces the same outcome table with the fast path on or off, and the
+   per-instruction execute path allocates nothing when profiling is off. *)
+
+module M = Refine_mir.Minstr
+module R = Refine_mir.Reg
+module MF = Refine_mir.Mfunc
+module E = Refine_machine.Exec
+module L = Refine_backend.Layout
+module P = Refine_support.Prng
+module T = Refine_core.Tool
+module Ex = Refine_campaign.Experiment
+
+let image_of ?(globals = []) instrs =
+  let mf = MF.create "main" in
+  List.iteri
+    (fun k i ->
+      let b = MF.add_block mf k in
+      b.MF.code <- [ i ])
+    instrs;
+  L.build ~globals [ mf ]
+
+let pp_result fmt (r : E.result) =
+  Format.fprintf fmt "status=%s out=%S steps=%Ld cost=%Ld trunc=%b"
+    (match r.E.status with
+    | E.Running -> "running"
+    | E.Exited c -> Printf.sprintf "exit %d" c
+    | E.Trapped tr -> "trap: " ^ E.string_of_trap tr
+    | E.Timed_out -> "timeout")
+    r.E.output r.E.steps r.E.cost r.E.truncated
+
+let result_t = Alcotest.testable pp_result ( = )
+
+(* --- engine-level differential: fresh vs snapshot vs reset ------------- *)
+
+let compile_image seed =
+  let m = Refine_minic.Frontend.compile (Test_semantics.gen_program seed) in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+  Refine_backend.Compile.compile m
+
+(* Deterministic single-bit register fault at a dynamic instruction
+   instance, via the DBI hook — the same fault armed on every engine
+   under comparison, so any state leaking through [reset] diverges. *)
+let arm_fault eng ~target ~reg ~bit =
+  let count = ref 0 in
+  eng.E.post_hook <-
+    Some
+      (fun (e : E.t) _ _ ->
+        incr count;
+        if !count = target then begin
+          e.E.regs.(reg) <- Refine_support.Bitops.flip_bit e.E.regs.(reg) bit;
+          e.E.post_hook <- None;
+          e.E.hook_cost <- 0
+        end);
+  eng.E.hook_cost <- 3
+
+let run_one ?fault eng =
+  (match fault with Some (target, reg, bit) -> arm_fault eng ~target ~reg ~bit | None -> ());
+  E.run ~max_cost:20_000_000L eng
+
+let prop_snapshot_reset_identical =
+  QCheck.Test.make ~name:"snapshot/reset engines bit-identical to fresh create" ~count:12
+    QCheck.(int_range 1 5000)
+    (fun seed ->
+      let image = compile_image seed in
+      let rng = P.create (seed * 7 + 1) in
+      let fault = (1 + P.int rng 4000, R.gpr (P.int rng 6), P.int rng 64) in
+      let snap = E.snapshot image in
+      let reused = E.create_from_snapshot snap in
+      let check ?fault what =
+        let r_fresh = run_one ?fault (E.create image) in
+        let r_clone = run_one ?fault (E.create_from_snapshot snap) in
+        E.reset reused;
+        let r_reset = run_one ?fault reused in
+        Alcotest.check result_t (what ^ ": fresh = snapshot clone") r_fresh r_clone;
+        Alcotest.check result_t (what ^ ": fresh = reset reuse") r_fresh r_reset
+      in
+      check "clean";
+      check ~fault "faulted";
+      (* a second faulted pass over the same reused engine: reset must also
+         erase the fault's damage, not just clean-run state *)
+      check ~fault "faulted again";
+      true)
+
+(* --- snapshot restores globals, heap, output --------------------------- *)
+
+let test_reset_restores_state () =
+  let m =
+    Refine_minic.Frontend.compile
+      "global int a = 3; int main() { a = a + 39; print_int(a); return 0; }"
+  in
+  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+  let image = Refine_backend.Compile.compile m in
+  let snap = E.snapshot image in
+  let eng = E.create_from_snapshot snap in
+  let r1 = E.run eng in
+  E.reset eng;
+  let r2 = E.run eng in
+  Alcotest.(check string) "first run" "42\n" r1.E.output;
+  Alcotest.check result_t "global mutation erased by reset" r1 r2
+
+let test_reset_requires_snapshot () =
+  let eng = E.create (image_of [ M.Mhalt ]) in
+  Alcotest.check_raises "reset on create-engine"
+    (Invalid_argument "Exec.reset: engine was not created from a snapshot") (fun () ->
+      E.reset eng)
+
+(* --- pre-resolved extern dispatch -------------------------------------- *)
+
+let test_unknown_extern_dead_path () =
+  (* an unresolvable extern on a never-executed path must not trap: slots
+     are resolved to trap-on-invoke handlers, not resolution-time errors *)
+  let r =
+    E.run
+      (E.create
+         (image_of
+            [ M.Mjmp 2; M.Mcallext "mystery_fn"; M.Mmov (R.ret_gpr, M.Imm 0L); M.Mhalt ]))
+  in
+  (match r.E.status with
+  | E.Exited 0 -> ()
+  | _ -> Alcotest.fail (Format.asprintf "expected clean exit, got %a" pp_result r));
+  let r2 = E.run (E.create (image_of [ M.Mcallext "mystery_fn"; M.Mhalt ])) in
+  match r2.E.status with
+  | E.Trapped (E.Extern_fault msg) ->
+    Alcotest.(check bool) "names the extern" true
+      (String.length msg >= 10 && String.sub msg (String.length msg - 10) 10 = "mystery_fn")
+  | _ -> Alcotest.fail "expected Extern_fault on the live path"
+
+let test_reset_rebinds_handlers () =
+  let image =
+    image_of
+      [
+        M.Mmov (R.gpr 1, M.Imm 5L);
+        M.Mcallext "print_int";
+        M.Mmov (R.ret_gpr, M.Imm 0L);
+        M.Mhalt;
+      ]
+  in
+  let snap = E.snapshot image in
+  let hits = ref 0 in
+  let eng = E.create_from_snapshot ~ext_extra:[ ("print_int", 2, fun _ -> incr hits) ] snap in
+  let r1 = E.run eng in
+  Alcotest.(check int) "custom handler hit" 1 !hits;
+  Alcotest.(check string) "custom handler suppressed output" "" r1.E.output;
+  (* 4 instructions + custom cost 2 *)
+  Alcotest.(check int64) "custom cost charged" 6L r1.E.cost;
+  E.reset eng;
+  (* no ext_extra: the builtin print_int must be rebound *)
+  let r2 = E.run eng in
+  Alcotest.(check string) "builtin rebound after reset" "5\n" r2.E.output;
+  Alcotest.(check int64) "builtin cost charged"
+    (Int64.of_int (4 + E.ext_call_cost))
+    r2.E.cost
+
+(* --- fixed-seed campaign equality: fast path vs legacy path ------------ *)
+
+let src_int =
+  "int main() { int i; int s = 0; for (i = 0; i < 40; i = i + 1) { s = s + i * 3; } \
+   print_int(s); return 0; }"
+
+let src_float =
+  "global float acc[4]; int main() { int i; float x = 1.5; for (i = 0; i < 30; i = i + 1) { x \
+   = x * 1.01 + 0.1; acc[i % 4] = x; } print_float(x); return 0; }"
+
+let matrix_summary cells =
+  String.concat "; "
+    (List.map
+       (fun (c : Ex.cell) ->
+         Printf.sprintf "%s/%s crash=%d soc=%d benign=%d err=%d cost=%Ld" c.Ex.program
+           (T.kind_name c.Ex.tool) c.Ex.counts.Ex.crash c.Ex.counts.Ex.soc c.Ex.counts.Ex.benign
+           c.Ex.counts.Ex.tool_error c.Ex.injection_cost)
+       cells)
+
+let test_campaign_equality () =
+  let programs = [ ("ints", src_int); ("floats", src_float) ] in
+  let tools = [ T.Refine; T.Pinfi ] in
+  let run_matrix () =
+    matrix_summary (Ex.run_matrix ~domains:2 ~samples:30 ~seed:7 programs tools)
+  in
+  Fun.protect
+    ~finally:(fun () -> T.use_fast_path := true)
+    (fun () ->
+      T.use_fast_path := false;
+      let legacy = run_matrix () in
+      T.use_fast_path := true;
+      let fast = run_matrix () in
+      Alcotest.(check string) "outcome table bit-identical" legacy fast)
+
+(* --- per-instruction path is allocation-free with profiling off --------- *)
+
+let test_zero_alloc_hot_path () =
+  let image =
+    image_of
+      [
+        M.Mmov (R.gpr 1, M.Imm 7L);
+        M.Mmov (R.gpr 3, M.Imm 8192L);
+        M.Mcmp (R.gpr 1, M.Imm 0L) (* pc 2: loop head *);
+        M.Mjcc (M.CEq, 8) (* never taken *);
+        M.Mstore (R.gpr 1, R.gpr 3, 0);
+        M.Msetcc (M.CNe, R.gpr 2);
+        M.Mmov (R.gpr 4, M.Reg (R.gpr 2));
+        M.Mjmp 2;
+        M.Mhalt;
+      ]
+  in
+  let eng = E.create image in
+  let steps n = for _ = 1 to n do E.step eng done in
+  steps 10_000 (* warm-up *);
+  let measure n =
+    let w0 = Gc.minor_words () in
+    steps n;
+    Gc.minor_words () -. w0
+  in
+  (* any per-instruction allocation makes the delta scale with the step
+     count; per-call constants (the measurement itself) cancel *)
+  let d_small = measure 50_000 in
+  let d_large = measure 200_000 in
+  Alcotest.(check (float 0.0)) "minor words do not scale with steps" d_small d_large;
+  Alcotest.(check bool) "still running" true (eng.E.status = E.Running)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    qcheck prop_snapshot_reset_identical;
+    Alcotest.test_case "reset restores globals/heap/output" `Quick test_reset_restores_state;
+    Alcotest.test_case "reset requires a snapshot engine" `Quick test_reset_requires_snapshot;
+    Alcotest.test_case "unknown extern traps at call, not resolution" `Quick
+      test_unknown_extern_dead_path;
+    Alcotest.test_case "reset rebinds extern handlers" `Quick test_reset_rebinds_handlers;
+    Alcotest.test_case "fixed-seed campaign: fast path = legacy path" `Slow
+      test_campaign_equality;
+    Alcotest.test_case "hot path allocation-free with profiling off" `Quick
+      test_zero_alloc_hot_path;
+  ]

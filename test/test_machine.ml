@@ -206,7 +206,7 @@ let test_extern_cost () =
     run [ M.Mmov (R.fpr 1, M.Imm (Int64.bits_of_float 1.0)); M.Mcallext "sin"; M.Mhalt ]
   in
   Alcotest.(check bool) "extern costs more than its instruction count" true
-    (Int64.compare r_ext.E.cost (Int64.add r_plain.E.cost E.ext_call_cost) >= 0)
+    (Int64.compare r_ext.E.cost (Int64.add r_plain.E.cost (Int64.of_int E.ext_call_cost)) >= 0)
 
 let test_extern_exit () =
   let r, _ =
@@ -219,7 +219,7 @@ let test_custom_handler_and_cost () =
   let image = image_of [ M.Mcallext "my_fn"; M.Mmov (R.ret_gpr, M.Imm 0L); M.Mhalt ] in
   let eng =
     E.create
-      ~ext_extra:[ ("my_fn", 7L, fun _ -> incr called) ]
+      ~ext_extra:[ ("my_fn", 7, fun _ -> incr called) ]
       image
   in
   let r = E.run eng in
@@ -237,9 +237,9 @@ let test_post_hook_and_detach () =
         incr seen;
         if !seen = 1 then begin
           e.E.post_hook <- None;
-          e.E.hook_cost <- 0L
+          e.E.hook_cost <- 0
         end);
-  eng.E.hook_cost <- 4L;
+  eng.E.hook_cost <- 4;
   let r = E.run eng in
   Alcotest.(check int) "hook detached after first instr" 1 !seen;
   (* first instruction costs 1+4, second costs 1 *)

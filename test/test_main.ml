@@ -11,6 +11,7 @@ let () =
       ("passes", Test_passes.tests);
       ("backend", Test_backend.tests);
       ("machine", Test_machine.tests);
+      ("fastpath", Test_fastpath.tests);
       ("fi", Test_fi.tests);
       ("semantics", Test_semantics.tests);
       ("benchmarks", Test_benchmarks.tests);
