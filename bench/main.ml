@@ -87,7 +87,7 @@ let print_setting () =
 (* ---- Listings 1 & 2: machine-only instructions and LLFI interference --- *)
 
 let static_counts (m : Refine_ir.Ir.modul) =
-  let funcs, _ = Refine_backend.Compile.to_mir m in
+  let funcs = Refine_passes.Pipeline.to_mir m in
   let module M = Refine_mir.Minstr in
   let count p = List.fold_left (fun acc mf ->
       List.fold_left (fun acc (b : Refine_mir.Mfunc.mblock) ->
@@ -105,15 +105,15 @@ let print_listings () =
   section "Listings 1 & 2 - machine-only instructions and codegen interference (HPCCG)";
   let src = (Reg.find "HPCCG-1.0").Reg.source in
   let clean = Refine_minic.Frontend.compile src in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 clean;
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 clean;
   let ir_instrs =
     List.fold_left (fun acc f -> acc + Refine_ir.Printer.count_instrs f) 0
       clean.Refine_ir.Ir.funcs
   in
   let t_clean, s_clean, fs_clean = static_counts clean in
   let llfi = Refine_minic.Frontend.compile src in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 llfi;
-  ignore (Refine_core.Llfi_pass.run llfi);
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 llfi;
+  ignore (Refine_passes.Pipeline.run_ir { Refine_passes.Pipeline.empty with ir = [ "llfi-fi" ] } llfi);
   let t_llfi, s_llfi, fs_llfi = static_counts llfi in
   Printf.printf
     "IR instructions (LLFI's entire view):            %4d\n" ir_instrs;
@@ -319,6 +319,70 @@ let quotas_section () =
   close_out oc;
   Printf.printf "[quota overhead written to BENCH_quotas.json]\n"
 
+(* ---- BENCH_passes.json: pass-manager prepare cost & artifact cache -------
+   DESIGN.md §15: the whole compile spine is one cross-layer pipeline, and
+   prepared artifacts are content-addressed.  The probe measures cold vs
+   cached prepare wall time on one cell, and counter-verifies the headline
+   claim: a 2-tool campaign over the same programs performs at least 2x
+   fewer front-end + IR-stage compile invocations with the cache on than
+   off (the IR tier shares the tool-independent compile across tools). *)
+
+let passes_section () =
+  section "Pass manager & artifact cache (DESIGN.md par. 15)";
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (Unix.gettimeofday () -. t0, v)
+  in
+  let program = List.hd programs in
+  let src = (Reg.find program).Reg.source in
+  T.reset_artifact_caches ();
+  let cold_s, _ = timed (fun () -> T.prepare T.Refine src) in
+  let warm_s, _ = timed (fun () -> T.prepare T.Refine src) in
+  let speedup = if warm_s > 0.0 then cold_s /. warm_s else 0.0 in
+  Printf.printf "prepare(%s, REFINE): cold %.4fs, cached %.6fs (%.0fx)\n" program cold_s warm_s
+    speedup;
+  let rate (s : Refine_passes.Artifact_cache.stats) =
+    let total = s.Refine_passes.Artifact_cache.hits + s.Refine_passes.Artifact_cache.misses in
+    if total = 0 then 0.0
+    else float_of_int s.Refine_passes.Artifact_cache.hits /. float_of_int total
+  in
+  (* sampled before the invocation probe resets the caches *)
+  let prepared_rate = rate (T.prepared_cache_stats ()) in
+  (* the reference 2-program x 2-tool grid, compile invocations counted *)
+  let two_progs = match programs with a :: b :: _ -> [ a; b ] | _ -> programs in
+  let invocations cache =
+    T.reset_artifact_caches ();
+    List.iter
+      (fun p ->
+        let s = (Reg.find p).Reg.source in
+        ignore (T.prepare ~cache T.Refine s);
+        ignore (T.prepare ~cache T.Llfi s))
+      two_progs;
+    T.compile_invocations ()
+  in
+  let uncached = invocations false in
+  let cached = invocations true in
+  let ratio = if cached > 0 then float_of_int uncached /. float_of_int cached else 0.0 in
+  let ir = T.ir_cache_stats () in
+  Printf.printf
+    "2-tool grid (%s): compile invocations %d uncached -> %d cached (%.1fx %s)\n"
+    (String.concat "+" two_progs) uncached cached ratio
+    (if ratio >= 2.0 then "- claim holds" else "- BELOW the 2x claim");
+  Printf.printf "cache hit rate: ir %.2f, prepared %.2f\n" (rate ir) prepared_rate;
+  let oc = open_out "BENCH_passes.json" in
+  Printf.fprintf oc
+    "{\n  \"program\": \"%s\",\n  \"pipeline\": \"%s\",\n  \"prepare_cold_s\": %.6f,\n  \
+     \"prepare_cached_s\": %.6f,\n  \"prepare_speedup\": %.1f,\n  \
+     \"two_tool_compile_invocations_uncached\": %d,\n  \
+     \"two_tool_compile_invocations_cached\": %d,\n  \"compile_invocation_ratio\": %.2f,\n  \
+     \"ir_cache_hit_rate\": %.4f,\n  \"prepared_cache_hit_rate\": %.4f\n}\n"
+    program
+    (Refine_passes.Pipeline.print (T.pipeline_for T.Refine T.default_pipeline))
+    cold_s warm_s speedup uncached cached ratio (rate ir) prepared_rate;
+  close_out oc;
+  Printf.printf "[pass-manager probe written to BENCH_passes.json]\n"
+
 (* ---- BENCH_fastpath.json: executor fast-path throughput -------------------
    The fast path (DESIGN.md §14) replaces per-sample engine allocation with
    snapshot-blit reset, boxed int64 hot counters with unboxed ints, and
@@ -388,8 +452,8 @@ let fastpath_section ~campaign_sps () =
   Printf.printf "simulated instructions/sec: %.2fM\n" (sim_ips /. 1e6);
   (* engine acquisition: fresh allocation vs snapshot reset *)
   let m = Refine_minic.Frontend.compile src in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-  let image = Refine_backend.Compile.compile m in
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  let image = Refine_passes.Pipeline.compile m in
   let n_eng = 300 in
   let create_s, () = timed (fun () -> for _ = 1 to n_eng do ignore (Ex.create image) done) in
   let snap = Ex.snapshot image in
@@ -451,14 +515,15 @@ let bechamel_section () =
       Test.make ~name:"figure5 compile-pipeline(DC)"
         (Staged.stage (fun () ->
              let m = Refine_minic.Frontend.compile src in
-             Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-             ignore (Refine_backend.Compile.compile m)));
+             Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+             ignore (Refine_passes.Pipeline.compile m)));
       Test.make ~name:"listing1+2 refine-backend-pass(DC)"
         (Staged.stage (fun () ->
              let m = Refine_minic.Frontend.compile src in
-             Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-             let funcs, _ = Refine_backend.Compile.to_mir m in
-             List.iter (fun mf -> ignore (Refine_core.Refine_pass.run mf)) funcs));
+             Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+             ignore
+               (Refine_passes.Pipeline.run
+                  (Refine_passes.Pipeline.parse "isel,regalloc,frame,peephole,refine-fi") m)));
     ]
   in
   let test = Test.make_grouped ~name:"refine" ~fmt:"%s %s" tests in
@@ -496,8 +561,8 @@ let extensions_section () =
   let n = min samples 200 in
   (* opcode corruption *)
   let m = Refine_minic.Frontend.compile src in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-  let image = Refine_backend.Compile.compile m in
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  let image = Refine_passes.Pipeline.compile m in
   let p = Refine_core.Opcode_fi.profile image in
   let rng = Refine_support.Prng.create seed in
   let tally = Array.make 3 0 in
@@ -544,10 +609,14 @@ let extensions_section () =
     one.(0) one.(1) one.(2) two.(0) two.(1) two.(2);
   (* PreFI flags-saving ablation: without it, even profiling diverges *)
   let m2 = Refine_minic.Frontend.compile src in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m2;
-  let funcs2, _ = Refine_backend.Compile.to_mir m2 in
-  List.iter (fun mf -> ignore (Refine_core.Refine_pass.run ~save_flags:false mf)) funcs2;
-  let image2 = Refine_backend.Compile.emit m2 funcs2 in
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m2;
+  let ctx = { Refine_passes.Pass.default_ctx with Refine_passes.Pass.save_flags = false } in
+  let image2 =
+    Option.get
+      (Refine_passes.Pipeline.run ~ctx
+         (Refine_passes.Pipeline.parse "isel,regalloc,frame,peephole,refine-fi,layout") m2)
+        .Refine_passes.Pipeline.image
+  in
   let ctrl = Refine_core.Runtime.create Refine_core.Runtime.Profile in
   let eng = Refine_machine.Exec.create ~ext_extra:(Refine_core.Runtime.refine_handlers ctrl) image2 in
   let r = Refine_machine.Exec.run ~max_cost:500_000_000L eng in
@@ -586,6 +655,7 @@ let () =
   print_overhead cells;
   if obs then write_obs_json cells campaign_wall;
   if getenv_default "REFINE_QUOTAS" "1" <> "0" then quotas_section ();
+  if getenv_default "REFINE_PASSES" "1" <> "0" then passes_section ();
   if fastpath then begin
     let experiments = List.length programs * 3 * samples in
     let campaign_sps =

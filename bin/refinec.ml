@@ -10,9 +10,11 @@
      refinec fi prog.minc --fi-tool refine \
         --fi-funcs '*' --fi-instrs all \
         --samples 100 --seed 7                      an FI campaign cell
+     refinec passes --list                          dump the pass registry
      refinec bench --list                           list Table 3 programs *)
 
 open Cmdliner
+module Pl = Refine_passes.Pipeline
 
 let read_source path =
   match Refine_bench_progs.Registry.all
@@ -34,7 +36,37 @@ let src_arg =
 let opt_arg =
   Arg.(value & opt string "O2" & info [ "O" ] ~docv:"LEVEL" ~doc:"Optimization level: O0, O1 or O2.")
 
-let parse_opt s = Refine_ir.Pipeline.level_of_string s
+let parse_opt s = Pl.level_of_string s
+
+let passes_arg =
+  Arg.(value & opt (some string) None
+       & info [ "passes" ] ~docv:"PIPELINE"
+           ~doc:"Explicit compile pipeline as a comma-separated pass list (e.g. \
+                 $(b,mem2reg,sccp,dce,isel,regalloc,frame,peephole,layout)); overrides $(b,-O).  \
+                 See $(b,refinec passes --list) for the registry.")
+
+let verify_each_arg =
+  Arg.(value & flag
+       & info [ "verify-each" ]
+           ~doc:"Interleave verification after every pipeline pass: the IR verifier after each \
+                 IR pass, the MIR verifier after each MIR pass (including the instrumented-code \
+                 check once an FI splice is in place).")
+
+let no_cache_arg =
+  Arg.(value & flag
+       & info [ "no-artifact-cache" ]
+           ~doc:"Disable the content-addressed prepared-artifact cache (every preparation \
+                 recompiles from source).  Results are bit-identical either way.")
+
+(* -O alias unless --passes overrides; parse errors are usage errors *)
+let spec_of opt passes =
+  match passes with
+  | None -> Pl.of_level (parse_opt opt)
+  | Some s -> (
+    try Pl.parse s
+    with Pl.Parse_error msg ->
+      Printf.eprintf "bad --passes: %s\n" msg;
+      exit 2)
 
 (* ---- run ---- *)
 
@@ -43,10 +75,10 @@ let run_cmd =
     Arg.(value & flag
          & info [ "trace" ] ~doc:"Keep a ring buffer of executed instructions and print it on exit.")
   in
-  let action src opt trace =
+  let action src opt passes verify_each trace =
     let m = Refine_minic.Frontend.compile (read_source src) in
-    Refine_ir.Pipeline.optimize (parse_opt opt) m;
-    let image = Refine_backend.Compile.compile m in
+    let out = Pl.run ~verify_each (Pl.ensure_layout (spec_of opt passes)) m in
+    let image = Option.get out.Pl.image in
     let eng = Refine_machine.Exec.create image in
     let tracer =
       if trace then begin
@@ -73,7 +105,7 @@ let run_cmd =
       exit 124
   in
   Cmd.v (Cmd.info "run" ~doc:"Compile a MinC program and execute it on the SX64 simulator.")
-    Term.(const action $ src_arg $ opt_arg $ trace_flag)
+    Term.(const action $ src_arg $ opt_arg $ passes_arg $ verify_each_arg $ trace_flag)
 
 (* ---- emit ---- *)
 
@@ -82,23 +114,26 @@ let emit_cmd =
     Arg.(value & opt string "asm"
          & info [ "stage" ] ~docv:"STAGE" ~doc:"What to print: ir, asm, or asm-fi (REFINE-instrumented).")
   in
-  let action src opt stage =
+  let action src opt passes verify_each stage =
     let m = Refine_minic.Frontend.compile (read_source src) in
-    Refine_ir.Pipeline.optimize (parse_opt opt) m;
+    let spec = { (spec_of opt passes) with Pl.layout = false } in
+    let mir_of spec =
+      (Pl.run ~verify_each { spec with Pl.isel = true; layout = false } m).Pl.funcs
+    in
     match stage with
-    | "ir" -> print_string (Refine_ir.Printer.string_of_module m)
+    | "ir" ->
+      ignore (Pl.run_ir ~verify_each spec m);
+      print_string (Refine_ir.Printer.string_of_module m)
     | "asm" ->
-      let funcs, _ = Refine_backend.Compile.to_mir m in
-      List.iter (fun f -> print_string (Refine_mir.Mprinter.string_of_func f)) funcs
+      List.iter (fun f -> print_string (Refine_mir.Mprinter.string_of_func f)) (mir_of spec)
     | "asm-fi" ->
-      let funcs, _ = Refine_backend.Compile.to_mir m in
-      let n = List.fold_left (fun a f -> a + Refine_core.Refine_pass.run f) 0 funcs in
-      Printf.printf "; REFINE: %d instrumented sites\n" n;
-      List.iter (fun f -> print_string (Refine_mir.Mprinter.string_of_func f)) funcs
+      let out = Pl.run ~verify_each { (Pl.append_mir spec "refine-fi") with Pl.layout = false } m in
+      Printf.printf "; REFINE: %d instrumented sites\n" out.Pl.fi_sites;
+      List.iter (fun f -> print_string (Refine_mir.Mprinter.string_of_func f)) out.Pl.funcs
     | s -> Printf.eprintf "unknown stage %s (use ir, asm, asm-fi)\n" s; exit 2
   in
   Cmd.v (Cmd.info "emit" ~doc:"Print the IR or the SX64 assembly of a program.")
-    Term.(const action $ src_arg $ opt_arg $ stage)
+    Term.(const action $ src_arg $ opt_arg $ passes_arg $ verify_each_arg $ stage)
 
 (* ---- fi ---- *)
 
@@ -122,12 +157,13 @@ let fi_cmd =
     Arg.(value & opt int 100 & info [ "samples" ] ~docv:"N" ~doc:"Number of FI experiments.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
-  let action src tool funcs instrs samples seed =
+  let action src tool funcs instrs samples seed opt passes verify_each no_cache =
+    if no_cache then Refine_passes.Artifact_cache.enabled := false;
     if String.lowercase_ascii tool = "opcode" then begin
       (* the §4.5 extension: persistent valid-opcode corruption *)
       let m = Refine_minic.Frontend.compile (read_source src) in
-      Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-      let image = Refine_backend.Compile.compile m in
+      let out = Pl.run ~verify_each (Pl.ensure_layout (spec_of opt passes)) m in
+      let image = Option.get out.Pl.image in
       let p = Refine_core.Opcode_fi.profile image in
       let rng = Refine_support.Prng.create seed in
       let c = ref 0 and so = ref 0 and b = ref 0 in
@@ -153,15 +189,16 @@ let fi_cmd =
       | "pinfi" -> Refine_core.Tool.Pinfi
       | t -> Printf.eprintf "unknown tool %s\n" t; exit 2
     in
+    let module Sel = Refine_core.Tool.Selection in
     let sel =
       {
-        Refine_core.Selection.funcs = String.split_on_char ',' funcs |> List.map String.trim;
-        instrs = Refine_core.Selection.instr_class_of_string instrs;
+        Sel.funcs = String.split_on_char ',' funcs |> List.map String.trim;
+        instrs = Sel.instr_class_of_string instrs;
       }
     in
     let cell =
-      Refine_campaign.Experiment.run_cell ~sel ~samples ~seed kind ~program:src
-        ~source:(read_source src) ()
+      Refine_campaign.Experiment.run_cell ~sel ~pipeline:(spec_of opt passes) ~verify_each
+        ~samples ~seed kind ~program:src ~source:(read_source src) ()
     in
     let module E = Refine_campaign.Experiment in
     Printf.printf "tool: %s   program: %s\n" (Refine_core.Tool.kind_name kind) src;
@@ -179,7 +216,49 @@ let fi_cmd =
   Cmd.v
     (Cmd.info "fi"
        ~doc:"Run a fault-injection campaign cell (profiling + N classified injections).")
-    Term.(const action $ src_arg $ tool $ funcs $ instrs $ samples $ seed)
+    Term.(const action $ src_arg $ tool $ funcs $ instrs $ samples $ seed $ opt_arg $ passes_arg
+          $ verify_each_arg $ no_cache_arg)
+
+(* ---- passes ---- *)
+
+let passes_cmd =
+  let list_flag =
+    Arg.(value & flag
+         & info [ "list" ]
+             ~doc:"List the registered passes and the effective pipeline of each $(b,-O) level \
+                   (the default action).")
+  in
+  let action _list =
+    print_endline "registered passes (usable in --passes):";
+    List.iter
+      (fun (p : Refine_passes.Pass.t) ->
+        Printf.printf "  %-16s %-4s %s%s\n" p.Refine_passes.Pass.name
+          (Refine_passes.Pass.layer_name p.Refine_passes.Pass.layer)
+          p.Refine_passes.Pass.descr
+          (if p.Refine_passes.Pass.fi then "  [FI]" else ""))
+      (Refine_passes.Pass.all ());
+    print_endline "  isel             --   lower IR to machine code (structural, always available)";
+    print_endline "  layout           --   emit the executable image (structural, must be last)";
+    print_endline "";
+    print_endline "effective pipeline per -O level:";
+    List.iter
+      (fun level ->
+        Printf.printf "  -%-3s %s\n" (Pl.string_of_level level) (Pl.print (Pl.of_level level)))
+      [ Pl.O0; Pl.O1; Pl.O2 ];
+    print_endline "";
+    print_endline "FI placement per tool (at -O2; paper Figure 1):";
+    List.iter
+      (fun kind ->
+        Printf.printf "  %-7s %s\n"
+          (Refine_core.Tool.kind_name kind)
+          (Pl.print (Refine_core.Tool.pipeline_for kind (Pl.of_level Pl.O2))))
+      [ Refine_core.Tool.Refine; Refine_core.Tool.Llfi; Refine_core.Tool.Pinfi ]
+  in
+  Cmd.v
+    (Cmd.info "passes"
+       ~doc:"Dump the pass registry: every registered pass with its layer and description, the \
+             effective pipeline of each $(b,-O) level, and where each tool's FI pass plugs in.")
+    Term.(const action $ list_flag)
 
 (* ---- bench ---- *)
 
@@ -277,8 +356,10 @@ let campaign_cmd =
                    instrumented code fails verification are normally quarantined).")
   in
   let action programs samples seed csv journal resume retries sample_timeout domains
-      metrics_out trace_out output_quota wall_clock livelock no_verify_mir =
+      metrics_out trace_out output_quota wall_clock livelock no_verify_mir opt passes
+      verify_each no_cache =
     if metrics_out <> None || trace_out <> None then Refine_obs.Control.enable ();
+    if no_cache then Refine_passes.Artifact_cache.enabled := false;
     (match trace_out with
     | Some path -> Refine_obs.Span.set_file_sink path
     | None -> ());
@@ -301,7 +382,8 @@ let campaign_cmd =
     in
     let cells =
       Refine_campaign.Experiment.run_matrix ?domains ?journal ~retries
-        ?cost_cap:sample_timeout ~quotas ~verify_mir:(not no_verify_mir) ~samples ~seed srcs
+        ?cost_cap:sample_timeout ~quotas ~pipeline:(spec_of opt passes)
+        ~verify_mir:(not no_verify_mir) ~verify_each ~samples ~seed srcs
         Refine_campaign.Report.tools
     in
     List.iter (fun p -> print_string (Refine_campaign.Report.figure4_program cells p)) names;
@@ -342,11 +424,11 @@ let campaign_cmd =
              ($(b,--output-quota)/$(b,--wall-clock)/$(b,--livelock)).")
     Term.(const action $ programs $ samples $ seed $ csv $ journal $ resume $ retries
           $ sample_timeout $ domains $ metrics_out $ trace_out $ output_quota $ wall_clock
-          $ livelock $ no_verify_mir)
+          $ livelock $ no_verify_mir $ opt_arg $ passes_arg $ verify_each_arg $ no_cache_arg)
 
 let main =
   let doc = "REFINE: realistic fault injection via compiler-based instrumentation (SC'17 reproduction)" in
   Cmd.group (Cmd.info "refinec" ~version:"1.0.0" ~doc)
-    [ run_cmd; emit_cmd; fi_cmd; bench_cmd; campaign_cmd ]
+    [ run_cmd; emit_cmd; fi_cmd; passes_cmd; bench_cmd; campaign_cmd ]
 
 let () = exit (Cmd.eval main)

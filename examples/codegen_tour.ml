@@ -46,16 +46,16 @@ let banner title =
 let () =
   (* ---- Listing 1: IR vs machine code ---- *)
   let m = Refine_minic.Frontend.compile source in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
   banner "Listing 1a — compute_residual, optimized IR (what LLFI sees)";
   print_string (Refine_ir.Printer.string_of_func (I.find_func m "compute_residual"));
-  let funcs, _ = Refine_backend.Compile.to_mir m in
+  let funcs = Refine_passes.Pipeline.to_mir m in
   banner "Listing 1b — compute_residual, SX64 machine code (note prologue/epilogue)";
   print_string (Refine_mir.Mprinter.string_of_func (find_mfunc funcs "compute_residual"));
   (* ---- Listing 2: codegen interference by LLFI instrumentation ---- *)
   let m2 = Refine_minic.Frontend.compile source in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m2;
-  ignore (Refine_core.Llfi_pass.run m2);
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m2;
+  ignore (Refine_passes.Pipeline.run_ir { Refine_passes.Pipeline.empty with ir = [ "llfi-fi" ] } m2);
   banner "Listing 2a — the same IR after LLFI instrumentation (excerpt)";
   let f2 = I.find_func m2 "compute_residual" in
   let listing = Refine_ir.Printer.string_of_func f2 in
@@ -63,7 +63,7 @@ let () =
   String.split_on_char '\n' listing
   |> List.filteri (fun i _ -> i < 25)
   |> List.iter print_endline;
-  let funcs2, _ = Refine_backend.Compile.to_mir m2 in
+  let funcs2 = Refine_passes.Pipeline.to_mir m2 in
   let clean = find_mfunc funcs "compute_residual" in
   let instr = find_mfunc funcs2 "compute_residual" in
   banner "Listing 2b/2c — codegen interference, by the numbers";
@@ -76,14 +76,17 @@ let () =
     (List.length instr.MF.used_callee_saved);
   (* ---- the REFINE backend pass output ---- *)
   let m3 = Refine_minic.Frontend.compile source in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m3;
-  let funcs3, _ = Refine_backend.Compile.to_mir m3 in
-  let target = find_mfunc funcs3 "compute_residual" in
-  let sites = Refine_core.Refine_pass.run target in
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m3;
+  let out3 =
+    Refine_passes.Pipeline.run
+      (Refine_passes.Pipeline.parse "isel,regalloc,frame,peephole,refine-fi") m3
+  in
+  let target = find_mfunc out3.Refine_passes.Pipeline.funcs "compute_residual" in
   banner
     (Printf.sprintf
-       "REFINE backend pass — %d sites instrumented; first PreFI/SetupFI/FI/PostFI group"
-       sites);
+       "REFINE backend pass — %d sites instrumented module-wide; first PreFI/SetupFI/FI/PostFI \
+        group"
+       out3.Refine_passes.Pipeline.fi_sites);
   let listing = Refine_mir.Mprinter.string_of_func target in
   String.split_on_char '\n' listing
   |> List.filteri (fun i _ -> i < 34)

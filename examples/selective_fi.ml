@@ -10,7 +10,7 @@
 
 module T = Refine_core.Tool
 module F = Refine_core.Fault
-module Sel = Refine_core.Selection
+module Sel = Refine_passes.Selection
 module P = Refine_support.Prng
 module Tbl = Refine_support.Table
 

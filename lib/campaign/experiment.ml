@@ -76,10 +76,12 @@ let m_quarantined reason =
     "refine_quarantined_cells_total"
 
 let m_quarantined_verifier = m_quarantined "mir-verifier"
+let m_quarantined_ir_verifier = m_quarantined "ir-verifier"
 let m_quarantined_golden = m_quarantined "nondeterministic-golden"
 
 let m_quarantine_reason = function
   | "nondeterministic-golden" -> m_quarantined_golden
+  | "ir-verifier" -> m_quarantined_ir_verifier
   | _ -> m_quarantined_verifier
 
 type cell = {
@@ -139,9 +141,9 @@ let quarantined_cell ~program ~tool ~samples reason =
    [journal] and recording each newly resolved one.  A [Tool.Quarantine]
    during preparation resolves the whole cell as quarantined — journaled
    so a resume never re-prepares it. *)
-let run_cell ?domains ?(sel = Refine_core.Selection.default) ?journal ?(retries = 0)
-    ?cost_cap ?(quotas = T.default_quotas) ?verify_mir ?chaos ?token ?watchdog ~samples ~seed
-    (tool : T.kind) ~program ~source () : cell =
+let run_cell ?domains ?(sel = T.Selection.default) ?journal ?(retries = 0) ?cost_cap
+    ?(quotas = T.default_quotas) ?pipeline ?verify_mir ?verify_each ?cache ?chaos ?token
+    ?watchdog ~samples ~seed (tool : T.kind) ~program ~source () : cell =
   let domains =
     match domains with Some d -> d | None -> Refine_support.Parallel.default_domains ()
   in
@@ -174,7 +176,7 @@ let run_cell ?domains ?(sel = Refine_core.Selection.default) ?journal ?(retries 
   let cell_t0 = Obs.Control.now () in
   match
     Obs.Span.with_ ~attrs:span_attrs "prepare" (fun () ->
-        T.prepare ~phases ~sel ?verify_mir ?chaos tool source)
+        T.prepare ~phases ~sel ?pipeline ?verify_mir ?verify_each ?chaos ?cache tool source)
   with
   | exception T.Quarantine (category, detail) -> quarantine (category ^ ": " ^ detail)
   | prepared ->
@@ -313,16 +315,17 @@ let degraded_cell ~program ~tool ~samples exn =
    fails to prepare degrades to all-ToolError instead of aborting the
    remaining cells (a [Tool.Quarantine] already resolved inside
    [run_cell] as a quarantined cell). *)
-let run_matrix ?domains ?sel ?journal ?retries ?cost_cap ?quotas ?verify_mir ?chaos ?token
-    ?watchdog ~samples ~seed (programs : (string * string) list) (tools : T.kind list) :
-    cell list =
+let run_matrix ?domains ?sel ?journal ?retries ?cost_cap ?quotas ?pipeline ?verify_mir
+    ?verify_each ?cache ?chaos ?token ?watchdog ~samples ~seed
+    (programs : (string * string) list) (tools : T.kind list) : cell list =
   List.concat_map
     (fun (program, source) ->
       List.map
         (fun tool ->
           try
-            run_cell ?domains ?sel ?journal ?retries ?cost_cap ?quotas ?verify_mir ?chaos
-              ?token ?watchdog ~samples ~seed tool ~program ~source ()
+            run_cell ?domains ?sel ?journal ?retries ?cost_cap ?quotas ?pipeline ?verify_mir
+              ?verify_each ?cache ?chaos ?token ?watchdog ~samples ~seed tool ~program ~source
+              ()
           with e -> degraded_cell ~program ~tool ~samples e)
         tools)
     programs

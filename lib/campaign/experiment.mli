@@ -61,12 +61,15 @@ val cell_seed : seed:int -> program:string -> Refine_core.Tool.kind -> int
 
 val run_cell :
   ?domains:int ->
-  ?sel:Refine_core.Selection.t ->
+  ?sel:Refine_core.Tool.Selection.t ->
   ?journal:Journal.t ->
   ?retries:int ->
   ?cost_cap:int64 ->
   ?quotas:Refine_core.Tool.quotas ->
+  ?pipeline:Refine_passes.Pipeline.spec ->
   ?verify_mir:bool ->
+  ?verify_each:bool ->
+  ?cache:bool ->
   ?chaos:Refine_core.Tool.chaos ->
   ?token:Refine_support.Supervisor.Cancel.t ->
   ?watchdog:(unit -> bool) ->
@@ -89,6 +92,13 @@ val run_cell :
     remaining work cooperatively — cancelled samples stay unresolved so a
     resume completes them.
 
+    Pipelines (DESIGN.md §15): [pipeline] selects the compile pipeline
+    (default {!Refine_core.Tool.default_pipeline}), [verify_each]
+    interleaves the IR/MIR verifiers after every pass, and [cache] (default
+    [true]) serves repeated preparations from the content-addressed
+    artifact cache — campaign results are bit-identical in [seed] whether
+    or not preparation was cached or verified per pass.
+
     Hardening (DESIGN.md §13): every injection runs inside the [quotas]
     sandbox (default {!Refine_core.Tool.default_quotas}, the golden-derived
     output cap) — tripped quotas classify as Crash.  A
@@ -99,12 +109,15 @@ val run_cell :
 
 val run_matrix :
   ?domains:int ->
-  ?sel:Refine_core.Selection.t ->
+  ?sel:Refine_core.Tool.Selection.t ->
   ?journal:Journal.t ->
   ?retries:int ->
   ?cost_cap:int64 ->
   ?quotas:Refine_core.Tool.quotas ->
+  ?pipeline:Refine_passes.Pipeline.spec ->
   ?verify_mir:bool ->
+  ?verify_each:bool ->
+  ?cache:bool ->
   ?chaos:Refine_core.Tool.chaos ->
   ?token:Refine_support.Supervisor.Cancel.t ->
   ?watchdog:(unit -> bool) ->

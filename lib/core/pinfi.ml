@@ -12,6 +12,7 @@ module E = Refine_machine.Exec
 module M = Refine_mir.Minstr
 module R = Refine_mir.Reg
 module P = Refine_support.Prng
+module Selection = Refine_passes.Selection
 
 type ctrl = {
   mutable count : int; (* native int: incremented once per hooked instruction *)

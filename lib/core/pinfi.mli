@@ -4,6 +4,8 @@
     tool {e detaches} — hook and DBI cost disappear for the rest of the
     run, the performance optimization the paper added to PINFI. *)
 
+module Selection = Refine_passes.Selection
+
 type ctrl = {
   mutable count : int;  (** dynamic instructions with register writes *)
   mode : Runtime.mode;

@@ -9,7 +9,9 @@
 
 module E = Refine_machine.Exec
 module P = Refine_support.Prng
-module Pipeline = Refine_ir.Pipeline
+module Pl = Refine_passes.Pipeline
+module Selection = Refine_passes.Selection
+module Artifact_cache = Refine_passes.Artifact_cache
 module Obs = Refine_obs
 module M = Refine_mir.Minstr
 
@@ -193,33 +195,84 @@ type chaos = { break_mir : bool; flaky_golden : bool }
 
 let no_chaos = { break_mir = false; flaky_golden = false }
 
-let break_one_splice funcs =
-  let module F = Refine_mir.Mfunc in
-  let module R = Refine_mir.Reg in
-  let broke = ref false in
-  List.iter
-    (fun (mf : F.t) ->
-      if not !broke then
-        mf.F.blocks <-
-          List.map
-            (fun (b : F.mblock) ->
-              if
-                (not !broke)
-                && List.exists
-                     (function M.Mcallext "fi_setup_fi" -> true | _ -> false)
-                     b.F.code
-              then begin
-                broke := true;
-                { b with F.code = M.Mmov (R.gpr 5, M.Imm 0xBADL) :: b.F.code }
-              end
-              else b)
-            mf.F.blocks)
-    funcs
+(* ---- pipelines & the artifact cache (DESIGN.md §15) -------------------
 
-let build_ir ?(opt = Pipeline.O2) src =
-  let m = Refine_minic.Frontend.compile src in
-  Pipeline.optimize opt m;
-  m
+   The whole compile spine — IR opts, isel, regalloc/frame/peephole, FI
+   instrumentation, layout — is one [Refine_passes.Pipeline] spec; each
+   tool's FI pass plugs in at the position that defines its accuracy
+   (paper Figure 1): REFINE as the last MIR pass before layout, LLFI as
+   the last IR pass before isel, PINFI nowhere (it attaches at run time).
+
+   Two content-addressed cache tiers sit on top:
+
+   - the IR tier keys on (source, IR-prefix pipeline) and stores the
+     optimized module *marshaled*, so every hit deserializes a fresh copy
+     — the tool-independent part of the compile is shared across REFINE /
+     LLFI / PINFI cells of the same program;
+   - the prepared tier keys on (source, full pipeline string, tool
+     configuration) and shares whole [prepared] values — image, snapshot
+     and golden profile — across repeated cells of one configuration.
+     Entries carry a fingerprint of the image's code array, re-checked on
+     every serve, so post-layout code mutation (chaos hooks, the extern
+     slot -1 fallback path of DESIGN.md §14) invalidates instead of
+     serving a corrupted binary.  Chaos runs bypass both tiers entirely. *)
+
+let default_pipeline = Pl.of_level Pl.O2
+
+let is_fi_pass name =
+  match Refine_passes.Pass.find name with Some p -> p.Refine_passes.Pass.fi | None -> false
+
+(* the tool-independent IR prefix: everything before the first FI pass *)
+let split_fi_prefix names =
+  let rec go acc = function
+    | n :: rest when not (is_fi_pass n) -> go (n :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  go [] names
+
+let pipeline_for ?(chaos = { break_mir = false; flaky_golden = false }) kind spec =
+  let spec = Pl.ensure_layout spec in
+  match kind with
+  | Refine ->
+    let spec = Pl.append_mir spec "refine-fi" in
+    if chaos.break_mir then Pl.append_mir spec "chaos-break-mir" else spec
+  | Llfi -> Pl.append_ir spec "llfi-fi"
+  | Pinfi -> spec
+
+let ir_cache : string Artifact_cache.t =
+  Artifact_cache.create ~name:"ir" ~fingerprint:Digest.string ()
+
+let compile_invocation_count = Atomic.make 0
+
+let compile_invocations () = Atomic.get compile_invocation_count
+
+let m_compile_invocations =
+  Obs.Metrics.counter ~help:"front-end + IR-stage compile executions (artifact-cache misses)"
+    "refine_compile_invocations_total"
+
+let build_ir ?(pipeline = default_pipeline) ?(cache = true) ?(verify_each = false) ?phases src =
+  let spec = { pipeline with Pl.isel = false; mir = []; layout = false } in
+  let time name f = match phases with None -> f () | Some p -> Obs.Phase.time p name f in
+  let rebuild () =
+    Atomic.incr compile_invocation_count;
+    if Obs.Control.enabled () then Obs.Metrics.inc m_compile_invocations;
+    let m = time "compile" (fun () -> Refine_minic.Frontend.compile src) in
+    ignore (Pl.run_ir ~verify_each ?phases spec m);
+    m
+  in
+  (* FI passes in the IR stage make the result tool-specific: never share *)
+  if (not (cache && !Artifact_cache.enabled)) || List.exists is_fi_pass spec.Pl.ir then rebuild ()
+  else begin
+    let key = Artifact_cache.key [ "ir"; src; Pl.print spec ] in
+    match Artifact_cache.find ir_cache key with
+    | Some bytes ->
+      (* every hit deserializes a fresh copy: callers may mutate freely *)
+      time "compile" (fun () -> (Marshal.from_string bytes 0 : Refine_ir.Ir.modul))
+    | None ->
+      let m = rebuild () in
+      Artifact_cache.add ir_cache key (Marshal.to_string m []);
+      m
+  end
 
 let finish_profile kind sel image snap snap_id static_instrumented (count : int) (r : E.result)
     =
@@ -244,6 +297,23 @@ let finish_profile kind sel image snap snap_id static_instrumented (count : int)
       };
   }
 
+(* fingerprint of the emitted code array: a prepared binary whose image
+   was mutated after caching must never be served again *)
+let image_fingerprint (p : prepared) =
+  Digest.string (Marshal.to_string p.image.Refine_backend.Layout.code [])
+
+let prepared_cache : prepared Artifact_cache.t =
+  Artifact_cache.create ~name:"prepared" ~fingerprint:image_fingerprint ()
+
+let reset_artifact_caches () =
+  Artifact_cache.clear ir_cache;
+  Artifact_cache.clear prepared_cache;
+  Atomic.set compile_invocation_count 0
+
+let ir_cache_stats () = Artifact_cache.stats ir_cache
+
+let prepared_cache_stats () = Artifact_cache.stats prepared_cache
+
 (* [phases] buckets wall-clock time into the overhead-breakdown columns
    (instrument / compile / execute); the profiling runs count as execute.
    Omitted (the common library-use case), only the modeled costs remain.
@@ -252,15 +322,19 @@ let finish_profile kind sel image snap snap_id static_instrumented (count : int)
    state: a program whose golden output, exit code or dynamic population
    varies between fault-free runs cannot classify faults (every
    comparison against "the" golden run would be noise), so the cell is
-   [Quarantine]d instead of sampled.  [verify_mir] additionally re-checks
-   the instrumented machine code ([Mverify.check_instrumented] for the
-   REFINE splices, [Mverify.check_funcs] for LLFI's recompiled functions)
-   and quarantines on any structural violation. *)
-let prepare ?phases ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps = 2_000_000_000L)
-    ?(verify_mir = true) ?(chaos = no_chaos) (kind : kind) (src : string) : prepared =
+   [Quarantine]d instead of sampled.  [verify_mir] re-checks the
+   instrumented machine code at the end of the MIR stage
+   ([Mverify.check_instrumented] for the REFINE splices,
+   [Mverify.check_funcs] for LLFI's recompiled functions); [verify_each]
+   additionally interleaves the IR/MIR verifiers after every single pass.
+   Either kind of violation quarantines the cell. *)
+let prepare_uncached ?phases ~sel ~full ~max_steps ~verify_mir ~verify_each ~cache
+    ~(chaos : chaos) (kind : kind) (src : string) : prepared =
   let time name f = match phases with None -> f () | Some p -> Obs.Phase.time p name f in
   let quarantine_invalid f =
-    try f () with Refine_mir.Mverify.Invalid msg -> raise (Quarantine ("mir-verifier", msg))
+    try f () with
+    | Refine_mir.Mverify.Invalid msg -> raise (Quarantine ("mir-verifier", msg))
+    | Refine_ir.Verify.Invalid msg -> raise (Quarantine ("ir-verifier", msg))
   in
   (* first run becomes the golden profile; the second must agree with it *)
   let finish_and_check static_n image snap snap_id profile_once =
@@ -284,55 +358,39 @@ let prepare ?phases ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps 
                p.profile.Fault.dyn_count (Int64.of_int count2) ));
     p
   in
-  match kind with
-  | Refine ->
-    let m = time "compile" (fun () -> build_ir ~opt src) in
-    let funcs, _ = time "compile" (fun () -> Refine_backend.Compile.to_mir m) in
-    let frames = List.map (fun mf -> (mf, mf.Refine_mir.Mfunc.frame_bytes)) funcs in
-    let static_n =
-      time "instrument" (fun () ->
-          List.fold_left (fun acc mf -> acc + Refine_pass.run ~sel mf) 0 funcs)
-    in
-    if chaos.break_mir then break_one_splice funcs;
-    if verify_mir then
-      time "instrument" (fun () ->
-          quarantine_invalid (fun () ->
-              List.iter
-                (fun (mf, fb) ->
-                  ignore (Refine_mir.Mverify.check_instrumented ~expect_frame_bytes:fb mf))
-                frames));
-    let image = time "compile" (fun () -> Refine_backend.Compile.emit m funcs) in
-    let snap = E.snapshot image and snap_id = Atomic.fetch_and_add next_snap_id 1 in
-    let profile_once () =
+  let ctx = { Refine_passes.Pass.sel; save_flags = true } in
+  (* tool-independent IR prefix (shared via the IR cache tier), then the
+     rest of the pipeline: IR FI passes, isel, MIR passes, layout *)
+  let prefix, ir_rest = split_fi_prefix full.Pl.ir in
+  let m = build_ir ~pipeline:{ full with Pl.ir = prefix } ~cache ~verify_each ?phases src in
+  let out =
+    quarantine_invalid (fun () ->
+        Pl.run ~ctx ~verify_each ~verify_fi:verify_mir ?phases { full with Pl.ir = ir_rest } m)
+  in
+  let image =
+    match out.Pl.image with
+    | Some image -> image
+    | None -> raise (Prepare_error "pipeline spec does not end in layout")
+  in
+  let static_n = out.Pl.fi_sites in
+  let snap = E.snapshot image and snap_id = Atomic.fetch_and_add next_snap_id 1 in
+  let profile_once () =
+    match kind with
+    | Refine ->
       let ctrl = Runtime.create Runtime.Profile in
       let eng = acquire ~ext_extra:(Runtime.refine_handlers ctrl) ~image ~snap ~snap_id () in
       maybe_profile eng;
       let r = time "execute" (fun () -> E.run ~max_steps eng) in
       flush_obs kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
       (ctrl.Runtime.count, r)
-    in
-    finish_and_check static_n image snap snap_id profile_once
-  | Llfi ->
-    let m = time "compile" (fun () -> build_ir ~opt src) in
-    let static_n = time "instrument" (fun () -> Llfi_pass.run ~sel m) in
-    let funcs, _ = time "compile" (fun () -> Refine_backend.Compile.to_mir m) in
-    if verify_mir then quarantine_invalid (fun () -> Refine_mir.Mverify.check_funcs funcs);
-    let image = time "compile" (fun () -> Refine_backend.Compile.emit m funcs) in
-    let snap = E.snapshot image and snap_id = Atomic.fetch_and_add next_snap_id 1 in
-    let profile_once () =
+    | Llfi ->
       let ctrl = Runtime.create Runtime.Profile in
       let eng = acquire ~ext_extra:(Runtime.llfi_handlers ctrl) ~image ~snap ~snap_id () in
       maybe_profile eng;
       let r = time "execute" (fun () -> E.run ~max_steps eng) in
       flush_obs kind eng ~fi_hits:ctrl.Runtime.count ~run_cost:r.E.cost;
       (ctrl.Runtime.count, r)
-    in
-    finish_and_check static_n image snap snap_id profile_once
-  | Pinfi ->
-    let m = time "compile" (fun () -> build_ir ~opt src) in
-    let image = time "compile" (fun () -> Refine_backend.Compile.compile m) in
-    let snap = E.snapshot image and snap_id = Atomic.fetch_and_add next_snap_id 1 in
-    let profile_once () =
+    | Pinfi ->
       let ctrl = Pinfi.create ~sel Runtime.Profile in
       let eng = acquire ~image ~snap ~snap_id () in
       (* attaching the DBI hook is PINFI's (tiny) instrumentation phase *)
@@ -341,8 +399,39 @@ let prepare ?phases ?(sel = Selection.default) ?(opt = Pipeline.O2) ?(max_steps 
       let r = time "execute" (fun () -> E.run ~max_steps eng) in
       flush_obs kind eng ~fi_hits:ctrl.Pinfi.count ~run_cost:r.E.cost;
       (ctrl.Pinfi.count, r)
+  in
+  finish_and_check static_n image snap snap_id profile_once
+
+let prepare ?phases ?(sel = Selection.default) ?(pipeline = default_pipeline)
+    ?(max_steps = 2_000_000_000L) ?(verify_mir = true) ?(verify_each = false)
+    ?(chaos = no_chaos) ?(cache = true) (kind : kind) (src : string) : prepared =
+  let full = pipeline_for ~chaos kind pipeline in
+  (* chaos mutates code after instrumentation: those runs must neither be
+     served from cache nor poison it *)
+  let use_cache =
+    cache && !Artifact_cache.enabled && not (chaos.break_mir || chaos.flaky_golden)
+  in
+  let pkey =
+    Artifact_cache.key
+      [
+        "prepared";
+        src;
+        Pl.print full;
+        kind_name kind;
+        Selection.to_string sel;
+        string_of_bool verify_mir;
+        Int64.to_string max_steps;
+      ]
+  in
+  match if use_cache then Artifact_cache.find prepared_cache pkey else None with
+  | Some p -> p
+  | None ->
+    let p =
+      prepare_uncached ?phases ~sel ~full ~max_steps ~verify_mir ~verify_each ~cache ~chaos kind
+        src
     in
-    finish_and_check 0 image snap snap_id profile_once
+    if use_cache then Artifact_cache.add prepared_cache pkey p;
+    p
 
 exception Sample_budget_exceeded of int64
 

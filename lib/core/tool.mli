@@ -2,6 +2,8 @@
     of the paper's Figure 3 for each of the three compared fault
     injectors. *)
 
+module Selection = Refine_passes.Selection
+
 type kind =
   | Refine  (** backend machine-code instrumentation (this paper) *)
   | Llfi  (** IR-level call instrumentation (LLFI/KULFI/VULFI/FlipIt style) *)
@@ -80,34 +82,87 @@ type chaos = { break_mir : bool; flaky_golden : bool }
 
 val no_chaos : chaos
 
-val build_ir : ?opt:Refine_ir.Pipeline.level -> string -> Refine_ir.Ir.modul
-(** Front end + IR optimization only (shared by all tools). *)
+(** {1 Pipelines & the artifact cache (DESIGN.md §15)} *)
+
+val default_pipeline : Refine_passes.Pipeline.spec
+(** [Pipeline.of_level O2] — the campaign default, matching the paper's
+    optimized application builds. *)
+
+val pipeline_for : ?chaos:chaos -> kind -> Refine_passes.Pipeline.spec -> Refine_passes.Pipeline.spec
+(** The effective pipeline for a tool: forces isel+layout, then splices
+    the tool's FI pass at the position that defines its accuracy (paper
+    Figure 1) — [refine-fi] as the last MIR pass (REFINE), [llfi-fi] as
+    the last IR pass (LLFI), nothing for PINFI (it attaches at run time).
+    [chaos.break_mir] additionally appends the test-only
+    [chaos-break-mir] corruption pass after the splice. *)
+
+val build_ir :
+  ?pipeline:Refine_passes.Pipeline.spec ->
+  ?cache:bool ->
+  ?verify_each:bool ->
+  ?phases:Refine_obs.Phase.t ->
+  string ->
+  Refine_ir.Ir.modul
+(** Front end + the IR stage of [pipeline] (shared by all tools).  Served
+    through the content-addressed IR cache tier keyed on (source,
+    IR-prefix pipeline) unless [cache:false], the global kill switch
+    {!Refine_passes.Artifact_cache.enabled} is off, or the IR stage
+    contains an FI pass (tool-specific results are never shared).  Cache
+    hits deserialize a fresh copy, so callers may mutate the module
+    freely. *)
+
+val compile_invocations : unit -> int
+(** Front-end + IR-stage compile executions so far (i.e. IR-cache misses);
+    the bench harness asserts the cached 2-tool campaign does at least 2x
+    fewer than the uncached one. *)
+
+val ir_cache_stats : unit -> Refine_passes.Artifact_cache.stats
+
+val prepared_cache_stats : unit -> Refine_passes.Artifact_cache.stats
+
+val reset_artifact_caches : unit -> unit
+(** Drop both cache tiers and zero {!compile_invocations} (test/bench
+    isolation). *)
 
 val prepare :
   ?phases:Refine_obs.Phase.t ->
   ?sel:Selection.t ->
-  ?opt:Refine_ir.Pipeline.level ->
+  ?pipeline:Refine_passes.Pipeline.spec ->
   ?max_steps:int64 ->
   ?verify_mir:bool ->
+  ?verify_each:bool ->
   ?chaos:chaos ->
+  ?cache:bool ->
   kind ->
   string ->
   prepared
-(** [prepare kind source] compiles MinC [source] with [kind]'s
-    instrumentation strategy and runs the profiling phase.  [phases]
-    buckets the wall-clock time into the overhead-breakdown columns
-    ("compile" / "instrument" / "execute", the profiling runs counting as
-    execute) for {!Refine_campaign.Report}'s Figure 8/9-shape table.  When
-    observability is enabled ({!Refine_obs.Control.enable}), every
-    simulator run additionally streams executor-profile counters
-    (per-opcode-class steps, extern calls, FI-site hits, modeled cost)
-    into the metrics registry.
+(** [prepare kind source] compiles MinC [source] through
+    [pipeline_for kind pipeline] (default {!default_pipeline}) and runs
+    the profiling phase.  [phases] buckets the wall-clock time into the
+    overhead-breakdown columns ("compile" / "instrument" / "execute", the
+    profiling runs counting as execute) for {!Refine_campaign.Report}'s
+    Figure 8/9-shape table.  When observability is enabled
+    ({!Refine_obs.Control.enable}), every simulator run additionally
+    streams executor-profile counters (per-opcode-class steps, extern
+    calls, FI-site hits, modeled cost) into the metrics registry, and
+    every pipeline pass records a [refine_pass_seconds{pass,layer}]
+    histogram sample plus a span.
+
+    Caching (DESIGN.md §15): unless [cache:false] (or the global kill
+    switch is off, or chaos is active) the whole [prepared] value is
+    served from the content-addressed prepared tier keyed on (source,
+    pipeline string, tool configuration); the underlying IR-stage compile
+    is shared across tools through the IR tier.  Entries carry a
+    fingerprint of the emitted code, re-checked on every serve, so a
+    binary mutated after caching is invalidated, never served.
 
     Hardening (DESIGN.md §13): profiling executes TWICE with independent
     machine and control-library state and raises {!Quarantine} if the runs
     disagree; [verify_mir] (default [true]) structurally re-verifies the
-    instrumented machine code before emission and raises {!Quarantine} on
-    any violation. *)
+    instrumented machine code at the end of the MIR stage and raises
+    {!Quarantine} on any violation; [verify_each] (default [false])
+    additionally interleaves the IR/MIR verifiers after every pipeline
+    pass. *)
 
 exception Sample_budget_exceeded of int64
 (** A sample exceeded the harness watchdog's modeled-cost budget (the

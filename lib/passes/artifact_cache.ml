@@ -1,0 +1,98 @@
+(* Content-addressed prepared-artifact cache (DESIGN.md §15).
+
+   Keys are digests of the inputs that determine an artifact (source text,
+   pipeline string, tool configuration); values carry a content
+   fingerprint taken at insertion.  [find] re-fingerprints the stored
+   value before serving it: an artifact whose content was mutated after
+   caching (a chaos hook, the post-layout code-mutation path of DESIGN.md
+   §14) is dropped and counted as an invalidation, never served.
+
+   Hit/miss/invalidation counters are plain atomics — readable by tests
+   and the bench harness with observability off — mirrored into the
+   metrics registry ([refine_artifact_cache_{hits,misses,invalidations}_
+   total{cache}]) when it is enabled.  [enabled] is the global kill switch
+   behind refinec's --no-artifact-cache. *)
+
+module Obs = Refine_obs
+
+let enabled = ref true
+
+type 'v t = {
+  name : string;
+  tbl : (string, 'v * string) Hashtbl.t;  (* key -> (value, fingerprint) *)
+  mutex : Mutex.t;
+  fingerprint : 'v -> string;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  invalidations : int Atomic.t;
+  m_hits : Obs.Metrics.counter;
+  m_misses : Obs.Metrics.counter;
+  m_invalidations : Obs.Metrics.counter;
+}
+
+let create ~name ~fingerprint () =
+  let m what =
+    Obs.Metrics.counter ~help:("artifact cache " ^ what) ~labels:[ ("cache", name) ]
+      ("refine_artifact_cache_" ^ what ^ "_total")
+  in
+  {
+    name;
+    tbl = Hashtbl.create 16;
+    mutex = Mutex.create ();
+    fingerprint;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    invalidations = Atomic.make 0;
+    m_hits = m "hits";
+    m_misses = m "misses";
+    m_invalidations = m "invalidations";
+  }
+
+let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let count plain metric =
+  Atomic.incr plain;
+  if Obs.Control.enabled () then Obs.Metrics.inc metric
+
+let locked c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+let find c k =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.tbl k with
+      | None ->
+        count c.misses c.m_misses;
+        None
+      | Some (v, fp) ->
+        if String.equal (c.fingerprint v) fp then begin
+          count c.hits c.m_hits;
+          Some v
+        end
+        else begin
+          (* content mutated since insertion: never serve it *)
+          Hashtbl.remove c.tbl k;
+          count c.invalidations c.m_invalidations;
+          count c.misses c.m_misses;
+          None
+        end)
+
+let add c k v = locked c (fun () -> Hashtbl.replace c.tbl k (v, c.fingerprint v))
+
+type stats = { hits : int; misses : int; invalidations : int; entries : int }
+
+let stats c =
+  locked c (fun () ->
+      {
+        hits = Atomic.get c.hits;
+        misses = Atomic.get c.misses;
+        invalidations = Atomic.get c.invalidations;
+        entries = Hashtbl.length c.tbl;
+      })
+
+let clear c =
+  locked c (fun () ->
+      Hashtbl.reset c.tbl;
+      Atomic.set c.hits 0;
+      Atomic.set c.misses 0;
+      Atomic.set c.invalidations 0)

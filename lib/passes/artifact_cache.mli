@@ -1,0 +1,35 @@
+(** Content-addressed prepared-artifact cache (DESIGN.md §15).
+
+    Keys are digests of the inputs that determine an artifact (source
+    text, pipeline string, tool configuration); values carry a content
+    fingerprint taken at insertion, re-checked before every serve so a
+    mutated artifact (chaos hooks, post-layout code mutation) is dropped —
+    counted as an invalidation — instead of served. *)
+
+val enabled : bool ref
+(** Global kill switch (refinec's [--no-artifact-cache]).  Checked by the
+    cache's users, not by the cache itself. *)
+
+type 'v t
+
+val create : name:string -> fingerprint:('v -> string) -> unit -> 'v t
+(** [name] labels the metrics
+    ([refine_artifact_cache_{hits,misses,invalidations}_total{cache=name}]). *)
+
+val key : string list -> string
+(** Digest of the concatenated key components (NUL-separated, so
+    [["ab";"c"]] and [["a";"bc"]] stay distinct). *)
+
+val find : 'v t -> string -> 'v option
+(** Serve a cached value after re-verifying its content fingerprint; a
+    mismatch removes the entry and counts as invalidation + miss. *)
+
+val add : 'v t -> string -> 'v -> unit
+
+type stats = { hits : int; misses : int; invalidations : int; entries : int }
+
+val stats : 'v t -> stats
+(** Plain-atomic counters — readable with observability off. *)
+
+val clear : 'v t -> unit
+(** Drop entries and zero the counters (test isolation). *)

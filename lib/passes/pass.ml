@@ -1,0 +1,169 @@
+(* The cross-layer pass registry (DESIGN.md §15).
+
+   One table for every transformation the compile spine can run, at either
+   layer: IR module passes (frontend output -> optimized IR, including the
+   LLFI instrumentation pass) and MIR passes (post-instruction-selection
+   machine functions, including the REFINE instrumentation pass).  The
+   pipeline manager looks passes up here by name; `refinec passes --list`
+   dumps the table — the living version of the paper's Figure 1 position
+   diagram.
+
+   "isel" and "layout" are not registry entries: they are the structural
+   layer transitions of a pipeline spec (IR -> MIR and MIR -> image) and
+   are handled by the runner itself. *)
+
+module I = Refine_ir.Ir
+module F = Refine_mir.Mfunc
+module M = Refine_mir.Minstr
+module R = Refine_mir.Reg
+
+type layer = IR | MIR
+
+let layer_name = function IR -> "IR" | MIR -> "MIR"
+
+(* Instrumentation parameters threaded to the FI passes by the runner; the
+   optimization passes ignore them.  [save_flags] is the PreFI-ablation
+   switch of the REFINE pass. *)
+type ctx = { sel : Selection.t; save_flags : bool }
+
+let default_ctx = { sel = Selection.default; save_flags = true }
+
+type impl =
+  | Ir_impl of (ctx -> I.modul -> int)
+      (** mutates the module in place; returns static FI sites (0 for
+          optimization passes) *)
+  | Mir_impl of (ctx -> I.modul -> F.t list -> int)
+      (** mutates the machine functions in place; same return contract *)
+
+type t = {
+  name : string;
+  layer : layer;
+  descr : string;
+  fi : bool;  (* instrumentation pass: wall time bills to "instrument" *)
+  removes_vregs : bool;  (* flips the interleaved verifier to post-RA mode *)
+  impl : impl;
+}
+
+let reserved = [ "isel"; "layout" ]
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let order : string list ref = ref []
+
+let register ?(fi = false) ?(removes_vregs = false) ~layer ~descr name impl =
+  if List.mem name reserved then
+    invalid_arg ("Pass.register: " ^ name ^ " is a reserved pipeline step");
+  if Hashtbl.mem table name then invalid_arg ("Pass.register: duplicate pass " ^ name);
+  (match (layer, impl) with
+  | IR, Ir_impl _ | MIR, Mir_impl _ -> ()
+  | _ -> invalid_arg ("Pass.register: layer/impl mismatch for " ^ name));
+  Hashtbl.add table name { name; layer; descr; fi; removes_vregs; impl };
+  order := name :: !order
+
+let find name = Hashtbl.find_opt table name
+
+let all () = List.rev_map (Hashtbl.find table) !order
+
+(* ---- built-in IR optimization passes ---------------------------------- *)
+
+let ir_opt run = Ir_impl (fun _ctx m -> List.iter run m.I.funcs; 0)
+
+(* the clean-up round shared by the -O1/-O2 aliases and post-inline reopt *)
+let clean_func fn =
+  Refine_ir.Constfold.run fn;
+  Refine_ir.Simplifycfg.run fn;
+  Refine_ir.Cse.run fn;
+  Refine_ir.Memopt.run fn;
+  Refine_ir.Dce.run fn;
+  Refine_ir.Constfold.run fn;
+  Refine_ir.Simplifycfg.run fn
+
+let () =
+  register ~layer:IR ~descr:"promote stack slots to SSA values" "mem2reg"
+    (ir_opt Refine_ir.Mem2reg.run);
+  register ~layer:IR ~descr:"constant folding and algebraic simplification" "constfold"
+    (ir_opt Refine_ir.Constfold.run);
+  register ~layer:IR ~descr:"CFG simplification (merge/thread/drop blocks)" "simplifycfg"
+    (ir_opt Refine_ir.Simplifycfg.run);
+  register ~layer:IR ~descr:"common subexpression elimination" "cse" (ir_opt Refine_ir.Cse.run);
+  register ~layer:IR ~descr:"local load/store forwarding" "memopt" (ir_opt Refine_ir.Memopt.run);
+  register ~layer:IR ~descr:"dead code elimination" "dce" (ir_opt Refine_ir.Dce.run);
+  register ~layer:IR ~descr:"sparse conditional constant propagation" "sccp"
+    (ir_opt Refine_ir.Sccp.run);
+  register ~layer:IR ~descr:"loop-invariant code motion" "licm" (ir_opt Refine_ir.Licm.run);
+  register ~layer:IR
+    ~descr:"inline small functions and re-optimize enlarged callers (clean+licm+clean)" "inline"
+    (Ir_impl
+       (fun _ctx m ->
+         let inlined = Refine_ir.Inline.run m in
+         if inlined > 0 then
+           List.iter
+             (fun fn ->
+               clean_func fn;
+               Refine_ir.Licm.run fn;
+               clean_func fn)
+             m.I.funcs;
+         0))
+
+(* ---- built-in MIR (backend) passes ------------------------------------ *)
+
+let mir_opt run = Mir_impl (fun _ctx _m funcs -> List.iter run funcs; 0)
+
+let () =
+  register ~layer:MIR ~removes_vregs:true
+    ~descr:"linear-scan register allocation (spills to frame slots)" "regalloc"
+    (mir_opt Refine_backend.Regalloc.run);
+  register ~layer:MIR ~descr:"frame lowering: prologue/epilogue, slot addressing" "frame"
+    (mir_opt Refine_backend.Frame.run);
+  register ~layer:MIR ~descr:"peephole cleanup of the selected code" "peephole"
+    (mir_opt Refine_backend.Peephole.run)
+
+(* ---- FI instrumentation passes (pluggable, paper Figure 1) ------------ *)
+
+let () =
+  register ~layer:MIR ~fi:true
+    ~descr:"REFINE: splice PreFI/SetupFI/FI_k/PostFI into final machine code (paper §4.2)"
+    "refine-fi"
+    (Mir_impl
+       (fun ctx _m funcs ->
+         List.fold_left
+           (fun acc mf -> acc + Refine_pass.run ~sel:ctx.sel ~save_flags:ctx.save_flags mf)
+           0 funcs));
+  register ~layer:IR ~fi:true
+    ~descr:"LLFI: append injectFault calls to selected IR values (paper §3.3.2)" "llfi-fi"
+    (Ir_impl (fun ctx m -> Llfi_pass.run ~sel:ctx.sel m))
+
+(* ---- chaos pass (test-only) -------------------------------------------
+
+   Deliberately corrupts one spliced SetupFI block, clobbering a
+   non-clique register: the interleaved MIR verifier must catch it and the
+   campaign must quarantine the cell instead of trusting the binary.  Kept
+   in the registry so the pipeline-level hardening tests exercise the same
+   path an adversarial pass would. *)
+
+let break_one_splice funcs =
+  let broke = ref false in
+  List.iter
+    (fun (mf : F.t) ->
+      if not !broke then
+        mf.F.blocks <-
+          List.map
+            (fun (b : F.mblock) ->
+              if
+                (not !broke)
+                && List.exists
+                     (function M.Mcallext "fi_setup_fi" -> true | _ -> false)
+                     b.F.code
+              then begin
+                broke := true;
+                { b with F.code = M.Mmov (R.gpr 5, M.Imm 0xBADL) :: b.F.code }
+              end
+              else b)
+            mf.F.blocks)
+    funcs
+
+let () =
+  register ~layer:MIR
+    ~descr:"test-only chaos: corrupt one FI splice (must be caught by the MIR verifier)"
+    "chaos-break-mir"
+    (Mir_impl (fun _ctx _m funcs -> break_one_splice funcs; 0))

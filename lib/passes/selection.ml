@@ -53,3 +53,8 @@ let ir_instr_selected t (i : I.instr) =
     | Mem, (I.Load _ | I.Gep _ | I.Gaddr _) -> true
     | Stack, _ -> false (* the IR has no stack-management instructions *)
     | _ -> false)
+
+(* Canonical text form, used as an artifact-cache key component: two
+   selections with the same meaning must print identically. *)
+let to_string t =
+  Printf.sprintf "funcs=%s;instrs=%s" (String.concat "," t.funcs) (string_of_instr_class t.instrs)

@@ -31,3 +31,7 @@ val ir_instr_selected : t -> Refine_ir.Ir.instr -> bool
 (** IR-level candidate test used by the LLFI pass.  Note the structural
     gaps that are the paper's point: [Stack] selects nothing (the IR has no
     stack-management instructions) and allocas are never targets. *)
+
+val to_string : t -> string
+(** Canonical text form ["funcs=a,b;instrs=all"] — stable across runs, used
+    as an artifact-cache key component. *)

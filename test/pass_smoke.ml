@@ -1,0 +1,60 @@
+(* Pass-manager smoke test (DESIGN.md §15): a tiny 2-program x 2-tool
+   campaign with interleaved verification AND the artifact cache on.
+
+   Asserts end-to-end that
+     - the campaign completes healthy (every sample resolved, no
+       degradation) with --verify-each semantics on every pipeline pass,
+     - the artifact cache was actually exercised (hits > 0: the IR tier
+       shares the tool-independent compile across tools, and a repeated
+       matrix is served from the prepared tier),
+     - zero verifier trips: no cell quarantined, no invalidations, and
+     - the cached rerun is bit-identical to the first run.
+
+   Run via:  dune build @pass-smoke *)
+
+module E = Refine_campaign.Experiment
+module T = Refine_core.Tool
+module AC = Refine_passes.Artifact_cache
+module Reg = Refine_bench_progs.Registry
+
+let () =
+  let programs = [ "DC"; "EP" ] in
+  let tools = [ T.Refine; T.Llfi ] in
+  let samples = 12 and seed = 23 in
+  let srcs = List.map (fun n -> (n, (Reg.find n).Reg.source)) programs in
+  T.reset_artifact_caches ();
+
+  let run () = E.run_matrix ~verify_each:true ~samples ~seed srcs tools in
+  let first = run () in
+  let rerun = run () in
+
+  let fail msg =
+    print_endline ("[pass-smoke] FAIL: " ^ msg);
+    exit 1
+  in
+  let healthy cells =
+    List.for_all
+      (fun (c : E.cell) -> E.total c.E.counts = samples && c.E.quarantined = None)
+      cells
+  in
+  if not (healthy first) then fail "first run degraded or quarantined under --verify-each";
+
+  let identical =
+    List.for_all2
+      (fun (a : E.cell) (b : E.cell) ->
+        a.E.counts = b.E.counts && a.E.injection_cost = b.E.injection_cost)
+      first rerun
+  in
+  if not identical then fail "cached rerun differs from first run";
+
+  let ir = T.ir_cache_stats () and prepared = T.prepared_cache_stats () in
+  Printf.printf "[pass-smoke] ir cache: %d hits / %d misses; prepared: %d hits / %d misses\n%!"
+    ir.AC.hits ir.AC.misses prepared.AC.hits prepared.AC.misses;
+  if ir.AC.hits + prepared.AC.hits = 0 then fail "artifact cache was never hit";
+  if ir.AC.invalidations + prepared.AC.invalidations > 0 then
+    fail "verifier/fingerprint trips during a clean campaign";
+  if T.compile_invocations () > List.length programs then
+    fail "IR tier did not share compiles across tools";
+
+  print_endline
+    "[pass-smoke] PASS: verified pipeline campaign healthy, cache hit, zero verifier trips"

@@ -5,13 +5,13 @@ module I = Refine_ir.Ir
 module M = Refine_mir.Minstr
 module R = Refine_mir.Reg
 module MF = Refine_mir.Mfunc
-module BK = Refine_backend.Compile
+module BK = Refine_passes.Pipeline
 module F = Refine_minic.Frontend
 
-let compile_mir ?(opt = Refine_ir.Pipeline.O2) src =
+let compile_mir ?(opt = Refine_passes.Pipeline.O2) src =
   let m = F.compile src in
-  Refine_ir.Pipeline.optimize opt m;
-  let funcs, _ = BK.to_mir m in
+  Refine_passes.Pipeline.optimize opt m;
+  let funcs = BK.to_mir m in
   (m, funcs)
 
 let all_instrs (funcs : MF.t list) =
@@ -99,7 +99,7 @@ let test_gep_folding () =
 
 let test_calls_marshal_args () =
   (* O1: no inlining, the call is preserved *)
-  let _, funcs = compile_mir ~opt:Refine_ir.Pipeline.O1 simple_src in
+  let _, funcs = compile_mir ~opt:Refine_passes.Pipeline.O1 simple_src in
   (* combine takes 3 float args: the call must be preceded by moves into
      f1, f2, f3 *)
   let found = ref false in
@@ -193,7 +193,7 @@ let test_layout_resolves () =
 
 let test_layout_missing_main () =
   let m = F.compile "int main() { return 0; }" in
-  let funcs, _ = BK.to_mir m in
+  let funcs = BK.to_mir m in
   let renamed = List.map (fun (mf : MF.t) -> { mf with MF.mname = "notmain" }) funcs in
   Alcotest.(check bool) "layout requires main" true
     (try
@@ -233,7 +233,7 @@ let test_mverify_accepts_backend_output () =
   (* and the REFINE-instrumented version too *)
   let m2, funcs2 = compile_mir simple_src in
   ignore m2;
-  List.iter (fun mf -> ignore (Refine_core.Refine_pass.run mf)) funcs2;
+  List.iter (fun mf -> ignore (Refine_passes.Refine_pass.run mf)) funcs2;
   Refine_mir.Mverify.check_funcs funcs2
 
 let test_mverify_rejects_bad () =

@@ -9,8 +9,8 @@ module E = Refine_machine.Exec
 
 let machine_run source =
   let m = F.compile source in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-  let image = Refine_backend.Compile.compile m in
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  let image = Refine_passes.Pipeline.compile m in
   let eng = E.create image in
   E.run ~max_steps:100_000_000L eng
 
@@ -37,7 +37,7 @@ let agreement (b : Reg.bench) () =
   Alcotest.(check int) "exit 0 at O0" 0 i0.In.exit_code;
   Alcotest.(check bool) "produces output" true (String.length i0.In.output > 0);
   let m2 = F.compile b.Reg.source in
-  Refine_ir.Pipeline.optimize ~verify:true Refine_ir.Pipeline.O2 m2;
+  Refine_passes.Pipeline.optimize ~verify:true Refine_passes.Pipeline.O2 m2;
   let i2 = In.run ~fuel:100_000_000 m2 in
   Alcotest.(check string) "O0 = O2 output" i0.In.output i2.In.output;
   let r = machine_run b.Reg.source in

@@ -108,8 +108,8 @@ int main() {
 
 let prepare_image src =
   let m = Refine_minic.Frontend.compile src in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-  Refine_backend.Compile.compile m
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  Refine_passes.Pipeline.compile m
 
 let test_opcode_profile_transparent () =
   let image = prepare_image opcode_src in

@@ -39,8 +39,8 @@ let result_t = Alcotest.testable pp_result ( = )
 
 let compile_image seed =
   let m = Refine_minic.Frontend.compile (Test_semantics.gen_program seed) in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-  Refine_backend.Compile.compile m
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  Refine_passes.Pipeline.compile m
 
 (* Deterministic single-bit register fault at a dynamic instruction
    instance, via the DBI hook — the same fault armed on every engine
@@ -93,8 +93,8 @@ let test_reset_restores_state () =
     Refine_minic.Frontend.compile
       "global int a = 3; int main() { a = a + 39; print_int(a); return 0; }"
   in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-  let image = Refine_backend.Compile.compile m in
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  let image = Refine_passes.Pipeline.compile m in
   let snap = E.snapshot image in
   let eng = E.create_from_snapshot snap in
   let r1 = E.run eng in

@@ -4,7 +4,7 @@
 
 module T = Refine_core.Tool
 module F = Refine_core.Fault
-module Sel = Refine_core.Selection
+module Sel = Refine_passes.Selection
 module M = Refine_mir.Minstr
 module R = Refine_mir.Reg
 module I = Refine_ir.Ir
@@ -178,15 +178,15 @@ let test_outcomes_vary () =
 
 let build_mir source =
   let m = Refine_minic.Frontend.compile source in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-  (m, fst (Refine_backend.Compile.to_mir m))
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  (m, Refine_passes.Pipeline.to_mir m)
 
 let test_refine_pass_adds_blocks () =
   let _, funcs = build_mir src in
   let before =
     List.fold_left (fun acc (mf : Refine_mir.Mfunc.t) -> acc + List.length mf.Refine_mir.Mfunc.blocks) 0 funcs
   in
-  let n = List.fold_left (fun acc mf -> acc + Refine_core.Refine_pass.run mf) 0 funcs in
+  let n = List.fold_left (fun acc mf -> acc + Refine_passes.Refine_pass.run mf) 0 funcs in
   let after =
     List.fold_left (fun acc (mf : Refine_mir.Mfunc.t) -> acc + List.length mf.Refine_mir.Mfunc.blocks) 0 funcs
   in
@@ -196,7 +196,7 @@ let test_refine_pass_adds_blocks () =
 
 let test_refine_pass_calls_library () =
   let _, funcs = build_mir src in
-  List.iter (fun mf -> ignore (Refine_core.Refine_pass.run mf)) funcs;
+  List.iter (fun mf -> ignore (Refine_passes.Refine_pass.run mf)) funcs;
   let calls = ref 0 in
   List.iter
     (fun (mf : Refine_mir.Mfunc.t) ->
@@ -216,7 +216,7 @@ let test_refine_pass_respects_selection () =
   let sel = Sel.{ funcs = [ "work" ]; instrs = Sel.All } in
   List.iter
     (fun (mf : Refine_mir.Mfunc.t) ->
-      let n = Refine_core.Refine_pass.run ~sel mf in
+      let n = Refine_passes.Refine_pass.run ~sel mf in
       if mf.Refine_mir.Mfunc.mname = "work" then
         Alcotest.(check bool) "work instrumented" true (n > 0)
       else Alcotest.(check int) (mf.Refine_mir.Mfunc.mname ^ " untouched") 0 n)
@@ -226,8 +226,8 @@ let test_refine_pass_respects_selection () =
 
 let test_llfi_pass_valid_ir () =
   let m = Refine_minic.Frontend.compile src in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-  let n = Refine_core.Llfi_pass.run m in
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  let n = Refine_passes.Llfi_pass.run m in
   Alcotest.(check bool) "instrumented" true (n > 0);
   Refine_ir.Verify.check_module m
 
@@ -236,11 +236,11 @@ let test_llfi_pass_rewrites_uses () =
     Refine_minic.Frontend.compile
       "global int a = 3; int main() { print_int(a * a); return 0; }"
   in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-  ignore (Refine_core.Llfi_pass.run m);
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  ignore (Refine_passes.Llfi_pass.run m);
   Refine_ir.Verify.check_module m;
   (* semantics preserved when the runtime passes values through *)
-  let image = Refine_backend.Compile.compile m in
+  let image = Refine_passes.Pipeline.compile m in
   let ctrl = Refine_core.Runtime.create Refine_core.Runtime.Profile in
   let eng = E.create ~ext_extra:(Refine_core.Runtime.llfi_handlers ctrl) image in
   let r = E.run eng in
@@ -268,10 +268,10 @@ let test_refine_flags_save_ablation () =
      application's branches, so even the *profiling* run diverges from the
      golden output — the negative control for REFINE's state saving *)
   let m = Refine_minic.Frontend.compile src in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m;
-  let funcs, _ = Refine_backend.Compile.to_mir m in
-  List.iter (fun mf -> ignore (Refine_core.Refine_pass.run ~save_flags:false mf)) funcs;
-  let image = Refine_backend.Compile.emit m funcs in
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  let funcs = Refine_passes.Pipeline.to_mir m in
+  List.iter (fun mf -> ignore (Refine_passes.Refine_pass.run ~save_flags:false mf)) funcs;
+  let image = Refine_passes.Pipeline.emit m funcs in
   let ctrl = Refine_core.Runtime.create Refine_core.Runtime.Profile in
   let eng = E.create ~ext_extra:(Refine_core.Runtime.refine_handlers ctrl) image in
   let r = E.run ~max_cost:100_000_000L eng in

@@ -9,7 +9,7 @@ module MF = Refine_mir.Mfunc
 module MV = Refine_mir.Mverify
 module T = Refine_core.Tool
 module F = Refine_core.Fault
-module Sel = Refine_core.Selection
+module Sel = Refine_passes.Selection
 module S = Refine_support.Supervisor
 module Ex = Refine_campaign.Experiment
 module J = Refine_campaign.Journal
@@ -77,15 +77,15 @@ int main() {
 }
 |}
 
-let engine_of ?(opt = Refine_ir.Pipeline.O2) source =
+let engine_of ?(opt = Refine_passes.Pipeline.O2) source =
   let m = Refine_minic.Frontend.compile source in
-  Refine_ir.Pipeline.optimize opt m;
-  E.create (Refine_backend.Compile.compile m)
+  Refine_passes.Pipeline.optimize opt m;
+  E.create (Refine_passes.Pipeline.compile m)
 
-let build_mir ?(opt = Refine_ir.Pipeline.O2) source =
+let build_mir ?(opt = Refine_passes.Pipeline.O2) source =
   let m = Refine_minic.Frontend.compile source in
-  Refine_ir.Pipeline.optimize opt m;
-  fst (Refine_backend.Compile.to_mir m)
+  Refine_passes.Pipeline.optimize opt m;
+  Refine_passes.Pipeline.to_mir m
 
 let break_mir = { T.break_mir = true; flaky_golden = false }
 let flaky_golden = { T.break_mir = false; flaky_golden = true }
@@ -192,7 +192,7 @@ let test_verifier_accepts_instrumented () =
   let funcs = build_mir fi_src in
   let frames = List.map (fun (mf : MF.t) -> (mf, mf.MF.frame_bytes)) funcs in
   let sites =
-    List.fold_left (fun acc (mf, _) -> acc + Refine_core.Refine_pass.run mf) 0 frames
+    List.fold_left (fun acc (mf, _) -> acc + Refine_passes.Refine_pass.run mf) 0 frames
   in
   Alcotest.(check bool) "sites instrumented" true (sites > 0);
   let verified =
@@ -204,7 +204,7 @@ let test_verifier_accepts_instrumented () =
 
 let test_verifier_rejects_clique_clobber () =
   let funcs = build_mir fi_src in
-  List.iter (fun mf -> ignore (Refine_core.Refine_pass.run mf)) funcs;
+  List.iter (fun mf -> ignore (Refine_passes.Refine_pass.run mf)) funcs;
   (* plant a write to a register outside the FI clique in one SetupFI block *)
   let planted = ref false in
   List.iter
@@ -232,7 +232,7 @@ let test_verifier_rejects_frame_change () =
   match funcs with
   | [] -> Alcotest.fail "no functions"
   | mf :: _ ->
-    ignore (Refine_core.Refine_pass.run mf);
+    ignore (Refine_passes.Refine_pass.run mf);
     Alcotest.(check bool) "frame growth rejected" true
       (try
          ignore (MV.check_instrumented ~expect_frame_bytes:(mf.MF.frame_bytes + 8) mf);
@@ -400,7 +400,7 @@ let test_retryable_still_retries () =
 let qcheck t = QCheck_alcotest.to_alcotest t
 
 let sel_class = QCheck.oneofl [ Sel.All; Sel.Stack; Sel.Arith; Sel.Mem ]
-let opt_level = QCheck.oneofl Refine_ir.Pipeline.[ O0; O1; O2 ]
+let opt_level = QCheck.oneofl Refine_passes.Pipeline.[ O0; O1; O2 ]
 
 let prop_instrumented_always_valid =
   QCheck.Test.make ~name:"any selection/opt instruments to verifier-valid MIR" ~count:12
@@ -411,7 +411,7 @@ let prop_instrumented_always_valid =
       let sel = Sel.{ funcs = [ "*" ]; instrs = cls } in
       let sites =
         List.fold_left
-          (fun acc (mf, _) -> acc + Refine_core.Refine_pass.run ~sel ~save_flags mf)
+          (fun acc (mf, _) -> acc + Refine_passes.Refine_pass.run ~sel ~save_flags mf)
           0 frames
       in
       let verified =

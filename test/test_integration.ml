@@ -8,14 +8,14 @@ module E = Refine_machine.Exec
 module T = Refine_core.Tool
 module Fa = Refine_core.Fault
 
-let run ?(opt = Refine_ir.Pipeline.O2) src =
+let run ?(opt = Refine_passes.Pipeline.O2) src =
   let m = F.compile src in
-  Refine_ir.Pipeline.optimize ~verify:true opt m;
-  let image = Refine_backend.Compile.compile m in
+  Refine_passes.Pipeline.optimize ~verify:true opt m;
+  let image = Refine_passes.Pipeline.compile m in
   let eng = E.create image in
   E.run ~max_steps:200_000_000L eng
 
-let check_output ?(opt = Refine_ir.Pipeline.O2) name src expected =
+let check_output ?(opt = Refine_passes.Pipeline.O2) name src expected =
   let r = run ~opt src in
   (match r.E.status with
   | E.Exited 0 -> ()

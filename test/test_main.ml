@@ -9,6 +9,7 @@ let () =
       ("frontend", Test_frontend.tests);
       ("ir", Test_ir.tests);
       ("passes", Test_passes.tests);
+      ("pipeline", Test_pipeline.tests);
       ("backend", Test_backend.tests);
       ("machine", Test_machine.tests);
       ("fastpath", Test_fastpath.tests);

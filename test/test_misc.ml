@@ -73,7 +73,7 @@ int main() { print_int(big(1)); return 0; }
       big_body
   in
   let m = Refine_minic.Frontend.compile src in
-  Refine_ir.Pipeline.optimize ~verify:true Refine_ir.Pipeline.O2 m;
+  Refine_passes.Pipeline.optimize ~verify:true Refine_passes.Pipeline.O2 m;
   (* constant folding may shrink it; check against the inliner directly *)
   let m2 = Refine_minic.Frontend.compile src in
   List.iter Refine_ir.Mem2reg.run m2.Refine_ir.Ir.funcs;

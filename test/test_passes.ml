@@ -4,7 +4,7 @@
 module I = Refine_ir.Ir
 module In = Refine_ir.Interp
 module F = Refine_minic.Frontend
-module P = Refine_ir.Pipeline
+module P = Refine_passes.Pipeline
 
 let sample_src =
   {|

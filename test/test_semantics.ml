@@ -171,7 +171,7 @@ let interp_obs m =
   { out = r.In.output; code = r.In.exit_code }
 
 let machine_obs m =
-  let image = Refine_backend.Compile.compile m in
+  let image = Refine_passes.Pipeline.compile m in
   let eng = E.create image in
   let r = E.run ~max_steps:100_000_000L eng in
   match r.E.status with
@@ -184,13 +184,13 @@ let check_agreement ~what src =
   let m0 = F.compile src in
   let o_i0 = interp_obs m0 in
   let m2 = F.compile src in
-  Refine_ir.Pipeline.optimize ~verify:true Refine_ir.Pipeline.O2 m2;
+  Refine_passes.Pipeline.optimize ~verify:true Refine_passes.Pipeline.O2 m2;
   let o_i2 = interp_obs m2 in
   Alcotest.check obs (what ^ ": interp O0 = interp O2") o_i0 o_i2;
   let o_m0 = machine_obs (F.compile src) in
   Alcotest.check obs (what ^ ": interp O0 = machine O0") o_i0 o_m0;
   let m2b = F.compile src in
-  Refine_ir.Pipeline.optimize Refine_ir.Pipeline.O2 m2b;
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m2b;
   let o_m2 = machine_obs m2b in
   Alcotest.check obs (what ^ ": interp O0 = machine O2") o_i0 o_m2
 
