@@ -40,7 +40,13 @@
                       BENCH_fastpath.json; the default is the recorded
                       pre-fast-path executor on the reference campaign
                       (DC+EP x 3 tools x 300 samples, interleaved runs
-                      on the same host) *)
+                      on the same host)
+     REFINE_SHARD     set to 0 to skip the sharded-campaign probe: a small
+                      DC+EP matrix run with 1, 2 and 4 worker processes
+                      (throughput per configuration), plus one run where a
+                      worker is SIGKILLed mid-campaign to measure the
+                      recovery overhead; results (all bit-identical) are
+                      written to BENCH_shard.json *)
 
 module T = Refine_core.Tool
 module E = Refine_campaign.Experiment
@@ -630,7 +636,73 @@ let extensions_section () =
     "PreFI ablation (no FLAGS save/restore): fault-free run %s - Figure 2's state saving is load-bearing\n"
     (if diverged then "DIVERGES from golden output" else "unexpectedly matches")
 
+(* ---- BENCH_shard.json: sharded-campaign throughput + recovery probe ------
+   A small fixed matrix (DC+EP x 3 tools) sharded over 1, 2 and 4 worker
+   processes, plus one 2-worker run with a SIGKILL mid-campaign.  Every
+   configuration must produce identical counts (the determinism guarantee);
+   the probe reports throughput per worker count and the wall-clock cost of
+   one kill-and-reassign cycle. *)
+
+let shard_section () =
+  let module C = Refine_campaign.Coordinator in
+  section "Sharded campaign (worker processes, crash recovery)";
+  let progs = [ "DC"; "EP" ] in
+  let srcs = List.map (fun n -> (n, (Reg.find n).Reg.source)) progs in
+  let n = min samples 48 in
+  let experiments = List.length progs * 3 * n in
+  let key (c : E.cell) = (c.E.program, T.kind_name c.E.tool, c.E.counts, c.E.injection_cost) in
+  let run ?(chaos = C.no_chaos) workers =
+    let options = { C.default_options with C.workers; chaos } in
+    let t0 = Unix.gettimeofday () in
+    let cells = C.run_matrix ~options ~samples:n ~seed srcs Rep.tools in
+    (Unix.gettimeofday () -. t0, List.map key cells)
+  in
+  let counter name =
+    match Obs.Metrics.find name [] with Some (Obs.Metrics.Counter v) -> v | _ -> 0L
+  in
+  let runs = List.map (fun w -> (w, run w)) [ 1; 2; 4 ] in
+  let _, (_, reference) = List.hd runs in
+  List.iter
+    (fun (w, (wall, keys)) ->
+      Printf.printf "  workers=%d  %6.2fs  %7.0f samples/s  %s\n" w wall
+        (float_of_int experiments /. wall)
+        (if keys = reference then "bit-identical" else "MISMATCH"))
+    runs;
+  let reassigned0 = counter "refine_shard_reassigned_cells_total" in
+  let kill_wall, kill_keys =
+    run ~chaos:{ C.no_chaos with C.kill_worker = Some (0, experiments / 4) } 2
+  in
+  let reassigned = Int64.sub (counter "refine_shard_reassigned_cells_total") reassigned0 in
+  let base_wall = List.assoc 2 (List.map (fun (w, (wall, _)) -> (w, wall)) runs) in
+  Printf.printf "  kill drill (workers=2, 1 SIGKILL): %6.2fs (+%.2fs vs clean), %Ld reassigned, %s\n"
+    kill_wall (kill_wall -. base_wall) reassigned
+    (if kill_keys = reference then "bit-identical" else "MISMATCH");
+  let oc = open_out "BENCH_shard.json" in
+  Printf.fprintf oc "{\n  \"experiments\": %d,\n  \"configs\": [\n%s\n  ],\n" experiments
+    (String.concat ",\n"
+       (List.map
+          (fun (w, (wall, keys)) ->
+            Printf.sprintf
+              "    { \"workers\": %d, \"wall_s\": %.6f, \"samples_per_s\": %.1f, \"identical\": %b }"
+              w wall
+              (float_of_int experiments /. wall)
+              (keys = reference))
+          runs));
+  Printf.fprintf oc
+    "  \"kill_drill\": { \"workers\": 2, \"wall_s\": %.6f, \"overhead_s\": %.6f, \"reassigned_samples\": %Ld, \"identical\": %b }\n}\n"
+    kill_wall (kill_wall -. base_wall) reassigned (kill_keys = reference);
+  close_out oc;
+  Printf.printf "[shard probe written to BENCH_shard.json]\n";
+  if List.exists (fun (_, (_, keys)) -> keys <> reference) runs || kill_keys <> reference then begin
+    Printf.printf "[shard probe: DETERMINISM VIOLATION]\n";
+    exit 1
+  end
+
 (* ---- main ---------------------------------------------------------------- *)
+
+(* when a shard coordinator (the campaign above, or another process) spawns
+   this binary as a worker, serve frames and exit before benchmarking *)
+let () = Refine_campaign.Worker.maybe_exec ()
 
 let () =
   (* the simulator allocates small boxed values at a high rate; a larger
@@ -663,6 +735,7 @@ let () =
     in
     fastpath_section ~campaign_sps ()
   end;
+  if getenv_default "REFINE_SHARD" "1" <> "0" then shard_section ();
   if getenv_default "REFINE_EXTENSIONS" "1" <> "0" then extensions_section ();
   if getenv_default "REFINE_BECHAMEL" "1" <> "0" then bechamel_section ();
   print_newline ()

@@ -16,6 +16,10 @@
 open Cmdliner
 module Pl = Refine_passes.Pipeline
 
+(* when spawned by a shard coordinator this process IS the worker: serve
+   frames on stdin/stdout and exit before cmdliner ever parses argv *)
+let () = Refine_campaign.Worker.maybe_exec ()
+
 let read_source path =
   match Refine_bench_progs.Registry.all
         |> List.find_opt (fun b -> b.Refine_bench_progs.Registry.name = path)
@@ -319,6 +323,13 @@ let campaign_cmd =
     Arg.(value & opt (some int) None
          & info [ "domains" ] ~docv:"D" ~doc:"Worker domains (default: cores - 1).")
   in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"W"
+             ~doc:"Shard the campaign over W worker processes (this executable re-exec'd) with \
+                   heartbeats, crash recovery and work stealing instead of in-process domains.  \
+                   Results are bit-identical to $(b,--domains) for the same seed.")
+  in
   let metrics_out =
     Arg.(value & opt (some string) None
          & info [ "metrics-out" ] ~docv:"FILE"
@@ -355,7 +366,7 @@ let campaign_cmd =
              ~doc:"Skip the post-instrumentation machine-code verifier (cells whose \
                    instrumented code fails verification are normally quarantined).")
   in
-  let action programs samples seed csv journal resume retries sample_timeout domains
+  let action programs samples seed csv journal resume retries sample_timeout domains workers
       metrics_out trace_out output_quota wall_clock livelock no_verify_mir opt passes
       verify_each no_cache =
     if metrics_out <> None || trace_out <> None then Refine_obs.Control.enable ();
@@ -381,10 +392,18 @@ let campaign_cmd =
       }
     in
     let cells =
-      Refine_campaign.Experiment.run_matrix ?domains ?journal ~retries
-        ?cost_cap:sample_timeout ~quotas ~pipeline:(spec_of opt passes)
-        ~verify_mir:(not no_verify_mir) ~verify_each ~samples ~seed srcs
-        Refine_campaign.Report.tools
+      match workers with
+      | Some w when w > 0 ->
+        let options = { Refine_campaign.Coordinator.default_options with workers = w } in
+        Refine_campaign.Coordinator.run_matrix ~options ?journal ~retries
+          ?cost_cap:sample_timeout ~quotas ~pipeline:(spec_of opt passes)
+          ~verify_mir:(not no_verify_mir) ~verify_each ~cache:(not no_cache) ~samples ~seed
+          srcs Refine_campaign.Report.tools
+      | _ ->
+        Refine_campaign.Experiment.run_matrix ?domains ?journal ~retries
+          ?cost_cap:sample_timeout ~quotas ~pipeline:(spec_of opt passes)
+          ~verify_mir:(not no_verify_mir) ~verify_each ~samples ~seed srcs
+          Refine_campaign.Report.tools
     in
     List.iter (fun p -> print_string (Refine_campaign.Report.figure4_program cells p)) names;
     print_string (Refine_campaign.Report.table5 (Refine_campaign.Report.chi2_rows cells names));
@@ -423,12 +442,25 @@ let campaign_cmd =
              observability exports ($(b,--metrics-out)/$(b,--trace-out)), and sandbox quotas \
              ($(b,--output-quota)/$(b,--wall-clock)/$(b,--livelock)).")
     Term.(const action $ programs $ samples $ seed $ csv $ journal $ resume $ retries
-          $ sample_timeout $ domains $ metrics_out $ trace_out $ output_quota $ wall_clock
-          $ livelock $ no_verify_mir $ opt_arg $ passes_arg $ verify_each_arg $ no_cache_arg)
+          $ sample_timeout $ domains $ workers $ metrics_out $ trace_out $ output_quota
+          $ wall_clock $ livelock $ no_verify_mir $ opt_arg $ passes_arg $ verify_each_arg
+          $ no_cache_arg)
+
+(* hidden internal entry point: serve shard frames on stdin/stdout.  The
+   coordinator normally reaches the worker loop via the REFINE_SHARD_WORKER
+   re-exec (Worker.maybe_exec above); this subcommand exists for manual
+   debugging of the protocol. *)
+let worker_cmd =
+  let action () = Refine_campaign.Worker.main () in
+  Cmd.v
+    (Cmd.info "worker" ~docs:"INTERNAL"
+       ~doc:"Run as a shard campaign worker, speaking length-prefixed frames on stdin/stdout \
+             (internal; spawned by $(b,campaign --workers)).")
+    Term.(const action $ const ())
 
 let main =
   let doc = "REFINE: realistic fault injection via compiler-based instrumentation (SC'17 reproduction)" in
   Cmd.group (Cmd.info "refinec" ~version:"1.0.0" ~doc)
-    [ run_cmd; emit_cmd; fi_cmd; passes_cmd; bench_cmd; campaign_cmd ]
+    [ run_cmd; emit_cmd; fi_cmd; passes_cmd; bench_cmd; campaign_cmd; worker_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,79 @@
+(** Shard coordinator (DESIGN.md §16): forks {!Worker} processes, shards
+    the campaign matrix into chunks, streams resolved samples back as
+    {!Shard} frames and aggregates them online.
+
+    Fault model: a worker crash, SIGKILL, or hang (detected by heartbeat
+    silence past [deadline_s] and converted to a SIGKILL) all converge on
+    pipe EOF; the dead worker's in-flight chunk is requeued with its todo
+    list minus the acknowledged samples, and the slot is respawned after a
+    deterministic seeded backoff ({!Refine_support.Supervisor.backoff}),
+    at most [max_restarts] times.  Because every sample owns a
+    deterministic PRNG split, the merged results are bit-identical to an
+    uninterrupted single-process run with the same seed — the property the
+    shard smoke tests pin by SIGKILLing a worker mid-campaign. *)
+
+type chaos = {
+  kill_worker : (int * int) option;
+      (** [(slot, after)]: SIGKILL worker [slot] once [after] unique
+          samples have been aggregated *)
+  stop_worker : (int * int) option;
+      (** SIGSTOP instead — a hang only the heartbeat deadline can reap *)
+  abort_after : int option;
+      (** simulate a coordinator crash: kill the workers after N unique
+          samples and raise {!Aborted}; the journal then drives a resume *)
+}
+
+val no_chaos : chaos
+
+type options = {
+  workers : int;
+  chunk_samples : int option;
+      (** samples per dispatched chunk; [None] = pending / (workers * 2) *)
+  max_restarts : int;  (** respawns per worker slot before it stays dead *)
+  max_chunk_reassigns : int;
+      (** reassignments per chunk before its samples are dropped (counted
+          in [refine_shard_lost_samples_total]) *)
+  heartbeat_s : float;  (** min seconds between worker heartbeats *)
+  deadline_s : float;
+      (** silence threshold before a busy worker is SIGKILLed; must exceed
+          the worst-case prepare time, which emits no heartbeats *)
+  backoff_base : float;
+  backoff_cap : float;
+  exe : string option;
+      (** worker executable; [None] = [Sys.executable_name] (the
+          embedding binary must call {!Worker.maybe_exec} first) *)
+  chaos : chaos;
+}
+
+val default_options : options
+(** 2 workers, 3 restarts, 20ms heartbeats, 30s deadline, no chaos. *)
+
+exception Aborted of int
+(** Raised by the [abort_after] chaos hook with the number of samples
+    aggregated before the simulated coordinator crash. *)
+
+val run_matrix :
+  ?options:options ->
+  ?journal:Journal.t ->
+  ?retries:int ->
+  ?cost_cap:int64 ->
+  ?quotas:Refine_core.Tool.quotas ->
+  ?pipeline:Refine_passes.Pipeline.spec ->
+  ?verify_mir:bool ->
+  ?verify_each:bool ->
+  ?cache:bool ->
+  samples:int ->
+  seed:int ->
+  (string * string) list ->
+  Refine_core.Tool.kind list ->
+  Experiment.cell list
+(** The sharded twin of {!Experiment.run_matrix}: same matrix, same
+    journal resume semantics (resolved samples load instead of re-running;
+    journaled quarantines short-circuit), same bit-identical counts and
+    injection costs for a given [seed] — pinned by the workers-vs-domains
+    equality test.  Differences: cells carry an empty [golden_output]
+    (like CSV-loaded cells, only its length crosses the wire) and
+    [timing] sums per-chunk attributions, so repeated chunk preparations
+    legitimately inflate it relative to a single-process run.  Only the
+    [output_bytes] / [wall_clock_s] / [livelock_window] quota fields
+    travel to workers (the CLI surface); the rest stay at defaults. *)

@@ -141,11 +141,19 @@ let quarantined_cell ~program ~tool ~samples reason =
    [journal] and recording each newly resolved one.  A [Tool.Quarantine]
    during preparation resolves the whole cell as quarantined — journaled
    so a resume never re-prepares it. *)
-let run_cell ?domains ?(sel = T.Selection.default) ?journal ?(retries = 0) ?cost_cap
+let run_cell ?domains ?(sel = T.Selection.default) ?journal ?sink ?(retries = 0) ?cost_cap
     ?(quotas = T.default_quotas) ?pipeline ?verify_mir ?verify_each ?cache ?chaos ?token
-    ?watchdog ~samples ~seed (tool : T.kind) ~program ~source () : cell =
+    ?watchdog ?heartbeat ~samples ~seed (tool : T.kind) ~program ~source () : cell =
   let domains =
     match domains with Some d -> d | None -> Refine_support.Parallel.default_domains ()
+  in
+  (* all checkpoint traffic goes through one sink: a local journal file, a
+     shard worker's frame stream, or nothing *)
+  let sink =
+    match (sink, journal) with
+    | Some s, _ -> Some s
+    | None, Some j -> Some (Journal.sink j)
+    | None, None -> None
   in
   let tool_name = T.kind_name tool in
   let quarantine reason =
@@ -154,13 +162,13 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?(retries = 0) ?cost
          (match String.index_opt reason ':' with
          | Some i -> String.sub reason 0 i
          | None -> reason));
-    (match journal with
-    | Some j -> Journal.record_quarantine j ~program ~tool:tool_name ~reason
+    (match sink with
+    | Some s -> s.Journal.push_quarantine ~program ~tool:tool_name ~reason
     | None -> ());
     quarantined_cell ~program ~tool ~samples reason
   in
   match
-    Option.bind journal (fun j -> Journal.quarantine_reason j ~program ~tool:tool_name)
+    Option.bind sink (fun s -> s.Journal.find_quarantine ~program ~tool:tool_name)
   with
   | Some reason ->
     (* journaled quarantine: deterministic, so don't re-prepare on resume *)
@@ -183,9 +191,9 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?(retries = 0) ?cost
   let master = P.create (cell_seed ~seed ~program tool) in
   let bases = Array.init samples (fun _ -> P.split master) in
   let results : F.experiment option array = Array.make samples None in
-  (match journal with
-  | Some j ->
-    let resolved = Journal.completed j ~program ~tool:tool_name in
+  (match sink with
+  | Some s ->
+    let resolved = s.Journal.resolved ~program ~tool:tool_name in
     Hashtbl.iter
       (fun i (e : Journal.entry) ->
         if i >= 0 && i < samples then begin
@@ -201,7 +209,12 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?(retries = 0) ?cost
   done;
   let todo = Array.of_list !todo in
   let token = match token with Some t -> t | None -> S.Cancel.create () in
-  let poll () = S.check token in
+  let poll () =
+    (* a shard worker emits liveness heartbeats from the in-flight poll
+       slot, so a hung sample goes silent instead of heartbeating *)
+    (match heartbeat with Some h -> h () | None -> ());
+    S.check token
+  in
   let policy =
     {
       S.default_policy with
@@ -235,9 +248,9 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?(retries = 0) ?cost
   let checkpoint i (e : F.experiment) attempts =
     Obs.Metrics.inc (m_outcome e.F.outcome);
     results.(i) <- Some e;
-    match journal with
-    | Some j ->
-      Journal.record j
+    match sink with
+    | Some s ->
+      s.Journal.push
         {
           Journal.program;
           tool = tool_name;
@@ -315,7 +328,7 @@ let degraded_cell ~program ~tool ~samples exn =
    fails to prepare degrades to all-ToolError instead of aborting the
    remaining cells (a [Tool.Quarantine] already resolved inside
    [run_cell] as a quarantined cell). *)
-let run_matrix ?domains ?sel ?journal ?retries ?cost_cap ?quotas ?pipeline ?verify_mir
+let run_matrix ?domains ?sel ?journal ?sink ?retries ?cost_cap ?quotas ?pipeline ?verify_mir
     ?verify_each ?cache ?chaos ?token ?watchdog ~samples ~seed
     (programs : (string * string) list) (tools : T.kind list) : cell list =
   List.concat_map
@@ -323,9 +336,9 @@ let run_matrix ?domains ?sel ?journal ?retries ?cost_cap ?quotas ?pipeline ?veri
       List.map
         (fun tool ->
           try
-            run_cell ?domains ?sel ?journal ?retries ?cost_cap ?quotas ?pipeline ?verify_mir
-              ?verify_each ?cache ?chaos ?token ?watchdog ~samples ~seed tool ~program ~source
-              ()
+            run_cell ?domains ?sel ?journal ?sink ?retries ?cost_cap ?quotas ?pipeline
+              ?verify_mir ?verify_each ?cache ?chaos ?token ?watchdog ~samples ~seed tool
+              ~program ~source ()
           with e -> degraded_cell ~program ~tool ~samples e)
         tools)
     programs

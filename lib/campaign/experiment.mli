@@ -63,6 +63,7 @@ val run_cell :
   ?domains:int ->
   ?sel:Refine_core.Tool.Selection.t ->
   ?journal:Journal.t ->
+  ?sink:Journal.sink ->
   ?retries:int ->
   ?cost_cap:int64 ->
   ?quotas:Refine_core.Tool.quotas ->
@@ -73,6 +74,7 @@ val run_cell :
   ?chaos:Refine_core.Tool.chaos ->
   ?token:Refine_support.Supervisor.Cancel.t ->
   ?watchdog:(unit -> bool) ->
+  ?heartbeat:(unit -> unit) ->
   samples:int ->
   seed:int ->
   Refine_core.Tool.kind ->
@@ -91,6 +93,13 @@ val run_cell :
     ({!Refine_core.Tool.run_injection}); [token]/[watchdog] cancel the
     remaining work cooperatively — cancelled samples stay unresolved so a
     resume completes them.
+
+    Sharding (DESIGN.md §16): [sink] overrides [journal] as the checkpoint
+    destination — a shard worker streams resolved samples over a pipe
+    through it — and [heartbeat] is invoked from the in-flight poll slot
+    (every 1024 simulated instructions) so a worker can emit liveness
+    frames; a hung sample therefore stops heartbeating instead of
+    heartbeating through the hang.
 
     Pipelines (DESIGN.md §15): [pipeline] selects the compile pipeline
     (default {!Refine_core.Tool.default_pipeline}), [verify_each]
@@ -111,6 +120,7 @@ val run_matrix :
   ?domains:int ->
   ?sel:Refine_core.Tool.Selection.t ->
   ?journal:Journal.t ->
+  ?sink:Journal.sink ->
   ?retries:int ->
   ?cost_cap:int64 ->
   ?quotas:Refine_core.Tool.quotas ->

@@ -12,10 +12,14 @@
    lines with a different field count: an older loader's tolerant parse
    skips them silently, so journals stay forward- and backward-compatible.
 
-   Durability: each flush writes the full log to [path ^ ".tmp"] and
-   renames it over [path].  The rename is atomic at the filesystem level,
-   so a reader (or a resuming campaign) never observes a torn file — the
-   journal is either the previous complete state or the new one. *)
+   Durability: [create] writes the full canonical log to [path ^ ".tmp"]
+   and renames it over [path] (atomic at the filesystem level), then every
+   [record] appends one line and flushes — O(1) per sample instead of a
+   full rewrite.  A kill mid-append can therefore leave one torn final
+   line; the loader detects the missing trailing newline, skips the
+   partial line without attempting to parse it, counts it in [skipped]
+   (surfaced as [refine_journal_skipped_lines_total]), and resumes from
+   the previous record — one re-run, never a raised exception. *)
 
 module F = Refine_core.Fault
 
@@ -33,6 +37,7 @@ type t = {
   mutable entries : entry list; (* newest first *)
   mutable quarantines : (string * string * string) list; (* (program, tool, reason) *)
   mutable skipped : int; (* undecodable lines dropped at load *)
+  mutable chan : out_channel option; (* append channel, opened on first record *)
   lock : Mutex.t;
 }
 
@@ -78,7 +83,13 @@ let parse_quarantine line =
   | [ "Q"; program; tool; reason ] -> Some (program, tool, reason)
   | _ -> None
 
+(* full canonical rewrite — used at [create]; incremental records append *)
 let flush t =
+  (match t.chan with
+  | Some oc ->
+    close_out oc;
+    t.chan <- None
+  | None -> ());
   let tmp = t.path ^ ".tmp" in
   let oc = open_out tmp in
   output_string oc (magic ^ "\n");
@@ -87,16 +98,43 @@ let flush t =
   close_out oc;
   Sys.rename tmp t.path
 
+let append_line t line =
+  let oc =
+    match t.chan with
+    | Some oc -> oc
+    | None ->
+      let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 t.path in
+      t.chan <- Some oc;
+      oc
+  in
+  output_string oc (line ^ "\n");
+  Stdlib.flush oc
+
 let load_entries path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
+  (* A file that does not end in a newline was torn by a kill mid-append:
+     the final partial line is dropped without a parse attempt (a truncated
+     numeric field could otherwise decode to a *wrong* record) and counted
+     as skipped — resume continues from the previous complete record. *)
+  let s, torn =
+    if n = 0 || s.[n - 1] = '\n' then (s, 0)
+    else
+      match String.rindex_opt s '\n' with
+      | Some i ->
+        Printf.eprintf "journal %s: dropping torn final line (killed mid-append)\n%!" path;
+        (String.sub s 0 (i + 1), 1)
+      | None ->
+        Printf.eprintf "journal %s: dropping torn final line (killed mid-append)\n%!" path;
+        ("", 1)
+  in
   let lines =
     String.split_on_char '\n' s
     |> List.filter (fun l -> String.trim l <> "" && not (String.length l > 0 && l.[0] = '#'))
   in
-  let entries = ref [] and quarantines = ref [] and skipped = ref 0 in
+  let entries = ref [] and quarantines = ref [] and skipped = ref torn in
   List.iter
     (fun l ->
       match parse_quarantine l with
@@ -120,6 +158,7 @@ let create ?(resume = false) path =
       entries = List.rev entries;
       quarantines = List.rev quarantines;
       skipped;
+      chan = None;
       lock = Mutex.create ();
     }
   in
@@ -131,7 +170,7 @@ let m_records =
     "refine_journal_records_total"
 
 let m_flush_seconds =
-  Refine_obs.Metrics.histogram ~help:"journal flush (write + atomic rename) wall time"
+  Refine_obs.Metrics.histogram ~help:"journal record (append + flush) wall time"
     ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 |]
     "refine_journal_flush_seconds"
 
@@ -147,7 +186,7 @@ let record t e =
   locked t (fun () ->
       t.entries <- e :: t.entries;
       let t0 = Refine_obs.Control.now () in
-      flush t;
+      append_line t (render e);
       Refine_obs.Metrics.inc m_records;
       Refine_obs.Metrics.observe m_flush_seconds (Refine_obs.Control.now () -. t0))
 
@@ -160,8 +199,16 @@ let record_quarantine t ~program ~tool ~reason =
           (List.exists (fun (p, tl, _) -> p = program && tl = tool) t.quarantines)
       then begin
         t.quarantines <- (program, tool, reason) :: t.quarantines;
-        flush t
+        append_line t (render_quarantine (program, tool, reason))
       end)
+
+let close t =
+  locked t (fun () ->
+      match t.chan with
+      | Some oc ->
+        close_out oc;
+        t.chan <- None
+      | None -> ())
 
 let quarantine_reason t ~program ~tool =
   locked t (fun () ->
@@ -187,3 +234,33 @@ let completed t ~program ~tool =
     (fun e -> if e.program = program && e.tool = tool then Hashtbl.replace tbl e.sample e)
     (entries t);
   tbl
+
+(* ---- sinks: the journal as an interface -------------------------------
+   The campaign engine records resolved samples through this record, not
+   through [t] directly, so the same engine can checkpoint to a local file
+   (this module) or stream length-prefixed journal lines over a pipe to a
+   shard coordinator (Shard/Worker, DESIGN.md §16) without knowing the
+   difference. *)
+
+type sink = {
+  resolved : program:string -> tool:string -> (int, entry) Hashtbl.t;
+  push : entry -> unit;
+  push_quarantine : program:string -> tool:string -> reason:string -> unit;
+  find_quarantine : program:string -> tool:string -> string option;
+}
+
+let sink t =
+  {
+    resolved = (fun ~program ~tool -> completed t ~program ~tool);
+    push = (fun e -> record t e);
+    push_quarantine = (fun ~program ~tool ~reason -> record_quarantine t ~program ~tool ~reason);
+    find_quarantine = (fun ~program ~tool -> quarantine_reason t ~program ~tool);
+  }
+
+let null_sink =
+  {
+    resolved = (fun ~program:_ ~tool:_ -> Hashtbl.create 1);
+    push = ignore;
+    push_quarantine = (fun ~program:_ ~tool:_ ~reason:_ -> ());
+    find_quarantine = (fun ~program:_ ~tool:_ -> None);
+  }

@@ -1,12 +1,14 @@
 (** Checkpoint/resume journal for fault-injection campaigns.
 
     Append-only, line-oriented log of every resolved
-    (program, tool, sample-index) experiment.  Every flush rewrites the
-    file through an atomic tmp-rename, so a crash at any instant leaves
-    either the previous complete journal or the new one — never a torn
-    file.  Combined with per-sample deterministic PRNG splits
-    ({!Experiment.run_cell}), resuming from a journal is bit-identical to
-    an uninterrupted run with the same seed. *)
+    (program, tool, sample-index) experiment.  {!create} writes the
+    canonical file through an atomic tmp-rename; each {!record} then
+    appends one flushed line.  A kill mid-append leaves at most one torn
+    final line, which the loader drops (detected by the missing trailing
+    newline, never parsed) and counts in {!skipped} — resume continues
+    from the previous record.  Combined with per-sample deterministic PRNG
+    splits ({!Experiment.run_cell}), resuming from a journal is
+    bit-identical to an uninterrupted run with the same seed. *)
 
 type entry = {
   program : string;
@@ -27,7 +29,10 @@ val create : ?resume:bool -> string -> t
     empty.  The file is immediately (re)written in canonical form. *)
 
 val record : t -> entry -> unit
-(** Append one entry and flush atomically.  Safe to call from any domain. *)
+(** Append one entry and flush the line.  Safe to call from any domain. *)
+
+val close : t -> unit
+(** Close the append channel, if open.  Records after [close] reopen it. *)
 
 val record_quarantine : t -> program:string -> tool:string -> reason:string -> unit
 (** Journal a quarantined cell (DESIGN.md §13).  Idempotent per
@@ -56,3 +61,23 @@ val length : t -> int
 val completed : t -> program:string -> tool:string -> (int, entry) Hashtbl.t
 (** The resolved samples of one (program, tool) cell, keyed by sample
     index (latest entry wins on duplicates). *)
+
+type sink = {
+  resolved : program:string -> tool:string -> (int, entry) Hashtbl.t;
+      (** samples already resolved elsewhere, to load instead of re-run *)
+  push : entry -> unit;  (** checkpoint one newly resolved sample *)
+  push_quarantine : program:string -> tool:string -> reason:string -> unit;
+  find_quarantine : program:string -> tool:string -> string option;
+      (** a known quarantine lets the campaign skip re-preparing the cell *)
+}
+(** The journal as an interface: {!Experiment.run_cell} records through a
+    sink, so checkpoints can go to a local file ({!sink}) or be streamed
+    as wire frames to a shard coordinator ({!Worker}, DESIGN.md §16)
+    without the campaign engine knowing the difference. *)
+
+val sink : t -> sink
+(** The file-backed sink over [t] — {!completed} / {!record} /
+    {!record_quarantine} / {!quarantine_reason}. *)
+
+val null_sink : sink
+(** Discards everything and resolves nothing (no checkpointing). *)

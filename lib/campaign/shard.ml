@@ -1,0 +1,339 @@
+(* Wire protocol of the sharded campaign service (DESIGN.md §16).
+
+   The PR-1 journal promoted to a process boundary: a coordinator process
+   shards the (program, tool, sample) matrix into chunks and assigns them
+   to worker processes over pipes; workers stream each resolved sample
+   back as a length-prefixed journal-entry frame, plus liveness
+   heartbeats, quarantine notices and a per-chunk completion summary.
+   Frames are encoded with the strict [Refine_support.Wire] codec: no
+   prefix of a valid frame decodes (a worker SIGKILLed mid-write leaves a
+   torn trailing frame that is counted, never mis-decoded), and trailing
+   bytes inside a frame are rejected.
+
+   The protocol is deliberately tool-agnostic and self-contained — an
+   Assign carries the program source text, so a worker needs no shared
+   filesystem or benchmark registry, which keeps the shape multi-host
+   ready even though this repo exercises it single-host. *)
+
+module W = Refine_support.Wire
+module F = Refine_core.Fault
+module T = Refine_core.Tool
+
+let version = 1
+
+type config = {
+  seed : int;
+  retries : int;
+  cost_cap : int64 option;
+  output_quota : int option;
+  wall_clock : float option;
+  livelock : int option;
+  verify_mir : bool;
+  verify_each : bool;
+  cache : bool;
+  pipeline : string option; (* Pipeline.print form; None = tool default *)
+  heartbeat_s : float; (* min seconds between worker heartbeat frames *)
+}
+
+let default_config =
+  {
+    seed = 1;
+    retries = 0;
+    cost_cap = None;
+    output_quota = None;
+    wall_clock = None;
+    livelock = None;
+    verify_mir = true;
+    verify_each = false;
+    cache = true;
+    pipeline = None;
+    heartbeat_s = 0.02;
+  }
+
+type chunk_summary = {
+  chunk : int;
+  program : string;
+  tool : string;
+  quarantined : bool; (* preparation quarantined the cell; profile fields are zero *)
+  golden_exit : int;
+  dyn_count : int64;
+  profile_cost : int64;
+  golden_output_len : int; (* the output itself stays in the worker *)
+  static_instrumented : int;
+  instrument_s : float;
+  compile_s : float;
+  execute_s : float;
+  harness_s : float;
+  failures : (int * int * string) list; (* (sample, attempts, message) *)
+}
+
+type frame =
+  | Hello of { pid : int; version : int }
+  | Init of config
+  | Assign of {
+      chunk : int;
+      program : string;
+      source : string;
+      tool : string; (* Tool.kind_name *)
+      samples : int; (* full cell sample count — keys the PRNG splits *)
+      todo : int list; (* sample indices this chunk must resolve *)
+    }
+  | Outcome of { chunk : int; entry : Journal.entry }
+  | Quarantine of { program : string; tool : string; reason : string }
+  | Chunk_done of chunk_summary
+  | Chunk_failed of { chunk : int; message : string } (* non-quarantine prepare failure *)
+  | Heartbeat of { completed : int } (* samples resolved by this worker so far *)
+  | Shutdown
+
+let tool_of_name name =
+  match String.uppercase_ascii name with
+  | "REFINE" -> T.Refine
+  | "LLFI" -> T.Llfi
+  | "PINFI" -> T.Pinfi
+  | s -> invalid_arg ("Shard.tool_of_name: " ^ s)
+
+(* ---- encode ----------------------------------------------------------- *)
+
+let tag = function
+  | Hello _ -> 1
+  | Init _ -> 2
+  | Assign _ -> 3
+  | Outcome _ -> 4
+  | Quarantine _ -> 5
+  | Chunk_done _ -> 6
+  | Chunk_failed _ -> 7
+  | Heartbeat _ -> 8
+  | Shutdown -> 9
+
+let put_entry b (e : Journal.entry) =
+  W.put_string b e.Journal.program;
+  W.put_string b e.Journal.tool;
+  W.put_int b e.Journal.sample;
+  W.put_string b (F.string_of_outcome e.Journal.outcome);
+  W.put_i64 b e.Journal.cost;
+  W.put_int b e.Journal.attempts
+
+let encode f =
+  let b = Buffer.create 128 in
+  W.put_u8 b (tag f);
+  (match f with
+  | Hello { pid; version } ->
+    W.put_int b pid;
+    W.put_int b version
+  | Init c ->
+    W.put_int b c.seed;
+    W.put_int b c.retries;
+    W.put_option b W.put_i64 c.cost_cap;
+    W.put_option b W.put_int c.output_quota;
+    W.put_option b W.put_f64 c.wall_clock;
+    W.put_option b W.put_int c.livelock;
+    W.put_bool b c.verify_mir;
+    W.put_bool b c.verify_each;
+    W.put_bool b c.cache;
+    W.put_option b W.put_string c.pipeline;
+    W.put_f64 b c.heartbeat_s
+  | Assign { chunk; program; source; tool; samples; todo } ->
+    W.put_int b chunk;
+    W.put_string b program;
+    W.put_string b source;
+    W.put_string b tool;
+    W.put_int b samples;
+    W.put_list b W.put_int todo
+  | Outcome { chunk; entry } ->
+    W.put_int b chunk;
+    put_entry b entry
+  | Quarantine { program; tool; reason } ->
+    W.put_string b program;
+    W.put_string b tool;
+    W.put_string b reason
+  | Chunk_done s ->
+    W.put_int b s.chunk;
+    W.put_string b s.program;
+    W.put_string b s.tool;
+    W.put_bool b s.quarantined;
+    W.put_int b s.golden_exit;
+    W.put_i64 b s.dyn_count;
+    W.put_i64 b s.profile_cost;
+    W.put_int b s.golden_output_len;
+    W.put_int b s.static_instrumented;
+    W.put_f64 b s.instrument_s;
+    W.put_f64 b s.compile_s;
+    W.put_f64 b s.execute_s;
+    W.put_f64 b s.harness_s;
+    W.put_list b
+      (fun b (sample, attempts, msg) ->
+        W.put_int b sample;
+        W.put_int b attempts;
+        W.put_string b msg)
+      s.failures
+  | Chunk_failed { chunk; message } ->
+    W.put_int b chunk;
+    W.put_string b message
+  | Heartbeat { completed } -> W.put_int b completed
+  | Shutdown -> ());
+  Buffer.contents b
+
+(* ---- decode ----------------------------------------------------------- *)
+
+let get_entry c : Journal.entry =
+  let program = W.get_string c in
+  let tool = W.get_string c in
+  let sample = W.get_int c in
+  let outcome = F.outcome_of_string (W.get_string c) in
+  let cost = W.get_i64 c in
+  let attempts = W.get_int c in
+  { Journal.program; tool; sample; outcome; cost; attempts }
+
+let decode payload =
+  let c = W.cursor payload in
+  let f =
+    match W.get_u8 c with
+    | 1 ->
+      let pid = W.get_int c in
+      let version = W.get_int c in
+      Hello { pid; version }
+    | 2 ->
+      let seed = W.get_int c in
+      let retries = W.get_int c in
+      let cost_cap = W.get_option c W.get_i64 in
+      let output_quota = W.get_option c W.get_int in
+      let wall_clock = W.get_option c W.get_f64 in
+      let livelock = W.get_option c W.get_int in
+      let verify_mir = W.get_bool c in
+      let verify_each = W.get_bool c in
+      let cache = W.get_bool c in
+      let pipeline = W.get_option c W.get_string in
+      let heartbeat_s = W.get_f64 c in
+      Init
+        {
+          seed;
+          retries;
+          cost_cap;
+          output_quota;
+          wall_clock;
+          livelock;
+          verify_mir;
+          verify_each;
+          cache;
+          pipeline;
+          heartbeat_s;
+        }
+    | 3 ->
+      let chunk = W.get_int c in
+      let program = W.get_string c in
+      let source = W.get_string c in
+      let tool = W.get_string c in
+      let samples = W.get_int c in
+      let todo = W.get_list c W.get_int in
+      Assign { chunk; program; source; tool; samples; todo }
+    | 4 ->
+      let chunk = W.get_int c in
+      let entry = get_entry c in
+      Outcome { chunk; entry }
+    | 5 ->
+      let program = W.get_string c in
+      let tool = W.get_string c in
+      let reason = W.get_string c in
+      Quarantine { program; tool; reason }
+    | 6 ->
+      let chunk = W.get_int c in
+      let program = W.get_string c in
+      let tool = W.get_string c in
+      let quarantined = W.get_bool c in
+      let golden_exit = W.get_int c in
+      let dyn_count = W.get_i64 c in
+      let profile_cost = W.get_i64 c in
+      let golden_output_len = W.get_int c in
+      let static_instrumented = W.get_int c in
+      let instrument_s = W.get_f64 c in
+      let compile_s = W.get_f64 c in
+      let execute_s = W.get_f64 c in
+      let harness_s = W.get_f64 c in
+      let failures =
+        W.get_list c (fun c ->
+            let sample = W.get_int c in
+            let attempts = W.get_int c in
+            let msg = W.get_string c in
+            (sample, attempts, msg))
+      in
+      Chunk_done
+        {
+          chunk;
+          program;
+          tool;
+          quarantined;
+          golden_exit;
+          dyn_count;
+          profile_cost;
+          golden_output_len;
+          static_instrumented;
+          instrument_s;
+          compile_s;
+          execute_s;
+          harness_s;
+          failures;
+        }
+    | 7 ->
+      let chunk = W.get_int c in
+      let message = W.get_string c in
+      Chunk_failed { chunk; message }
+    | 8 ->
+      let completed = W.get_int c in
+      Heartbeat { completed }
+    | 9 -> Shutdown
+    | t -> invalid_arg (Printf.sprintf "Shard.decode: unknown frame tag %d" t)
+  in
+  W.expect_end c;
+  f
+
+let frame_name = function
+  | Hello _ -> "hello"
+  | Init _ -> "init"
+  | Assign _ -> "assign"
+  | Outcome _ -> "outcome"
+  | Quarantine _ -> "quarantine"
+  | Chunk_done _ -> "chunk-done"
+  | Chunk_failed _ -> "chunk-failed"
+  | Heartbeat _ -> "heartbeat"
+  | Shutdown -> "shutdown"
+
+(* ---- framed IO over file descriptors ---------------------------------- *)
+
+(* one write syscall loop; pipes < PIPE_BUF are atomic, larger frames are
+   only ever written from a single thread per direction *)
+let write_fd fd frame =
+  let s = W.frame (encode frame) in
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+exception Protocol_error of string
+
+type reader = { stream : W.stream; buf : Bytes.t }
+
+let reader () = { stream = W.stream (); buf = Bytes.create 65536 }
+
+(* One [Unix.read] (the caller selected the fd readable), then every
+   complete frame buffered so far.  [`Eof] reports the stream end plus any
+   torn trailing bytes — a worker killed mid-write. *)
+let drain r fd =
+  match Unix.read fd r.buf 0 (Bytes.length r.buf) with
+  | 0 ->
+    let torn = W.residue r.stream in
+    `Eof torn
+  | n ->
+    W.feed r.stream r.buf n;
+    let rec pop acc =
+      match W.next r.stream with
+      | None -> List.rev acc
+      | Some payload -> (
+        match decode payload with
+        | f -> pop (f :: acc)
+        | exception (W.Truncated | Invalid_argument _) ->
+          raise (Protocol_error "undecodable frame payload"))
+    in
+    `Frames (pop [])
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> `Frames []

@@ -1,0 +1,109 @@
+(** Wire protocol of the sharded campaign service (DESIGN.md §16).
+
+    The checkpoint journal promoted to a process boundary: the
+    {!Coordinator} shards the cell matrix into chunks, {!Worker} processes
+    resolve them and stream each sample back as a length-prefixed
+    journal-entry frame plus heartbeats, quarantines and chunk summaries.
+    Encoding uses the strict {!Refine_support.Wire} codec: every frame
+    round-trips exactly, no strict prefix of a valid frame decodes, and
+    trailing bytes are rejected (all three pinned by [test_shard]'s qcheck
+    properties). *)
+
+val version : int
+
+type config = {
+  seed : int;
+  retries : int;
+  cost_cap : int64 option;
+  output_quota : int option;
+  wall_clock : float option;
+  livelock : int option;
+  verify_mir : bool;
+  verify_each : bool;
+  cache : bool;
+  pipeline : string option;  (** [Pipeline.print] form; [None] = tool default *)
+  heartbeat_s : float;  (** min seconds between worker heartbeat frames *)
+}
+(** Campaign-wide settings, sent once per worker as the [Init] frame —
+    the worker-process mirror of {!Experiment.run_cell}'s options. *)
+
+val default_config : config
+
+type chunk_summary = {
+  chunk : int;
+  program : string;
+  tool : string;
+  quarantined : bool;
+  golden_exit : int;
+  dyn_count : int64;
+  profile_cost : int64;
+  golden_output_len : int;
+  static_instrumented : int;
+  instrument_s : float;
+  compile_s : float;
+  execute_s : float;
+  harness_s : float;
+  failures : (int * int * string) list;
+      (** (sample, attempts, message) of retry-exhausted samples *)
+}
+(** Per-chunk completion report: the cell metadata the coordinator cannot
+    derive from outcome frames alone (profile, instrumentation site count,
+    wall-clock phase attribution, failure detail). *)
+
+type frame =
+  | Hello of { pid : int; version : int }  (** worker → coordinator, once *)
+  | Init of config  (** coordinator → worker, once *)
+  | Assign of {
+      chunk : int;
+      program : string;
+      source : string;  (** program source travels inline — no shared filesystem *)
+      tool : string;  (** {!Refine_core.Tool.kind_name} *)
+      samples : int;  (** full cell sample count — keys the PRNG splits *)
+      todo : int list;  (** sample indices this chunk must resolve *)
+    }
+  | Outcome of { chunk : int; entry : Journal.entry }
+      (** one resolved sample — a journal line on the wire *)
+  | Quarantine of { program : string; tool : string; reason : string }
+  | Chunk_done of chunk_summary
+  | Chunk_failed of { chunk : int; message : string }
+      (** non-quarantine preparation failure: the cell degrades *)
+  | Heartbeat of { completed : int }
+  | Shutdown  (** coordinator → worker: exit after the current frame *)
+
+val tool_of_name : string -> Refine_core.Tool.kind
+(** Inverse of {!Refine_core.Tool.kind_name}; [Invalid_argument] on
+    unknown names. *)
+
+val encode : frame -> string
+(** Unframed payload (tag byte + fields). *)
+
+val decode : string -> frame
+(** Inverse of {!encode}.  Raises {!Refine_support.Wire.Truncated} on a
+    short buffer and [Invalid_argument] on an unknown tag, a malformed
+    field, or trailing bytes. *)
+
+val frame_name : frame -> string
+(** Stable lowercase label, used by the [refine_shard_frames_total{type}]
+    metric. *)
+
+(** {1 Framed IO over file descriptors} *)
+
+exception Protocol_error of string
+(** A peer sent bytes that deframe but do not decode. *)
+
+val write_fd : Unix.file_descr -> frame -> unit
+(** Write one length-prefixed frame, looping until fully written.  Raises
+    [Unix.Unix_error (EPIPE, _, _)] if the peer is gone (the coordinator
+    treats that as a worker death). *)
+
+type reader
+(** Per-pipe incremental deframer. *)
+
+val reader : unit -> reader
+
+val drain :
+  reader -> Unix.file_descr -> [ `Frames of frame list | `Eof of int ]
+(** One [Unix.read] (call after [select] reports the fd readable), then
+    every complete frame received so far, in order.  [`Eof torn] reports
+    end-of-stream with the byte count of a torn trailing frame (peer
+    killed mid-write) — those bytes are dropped, never mis-decoded. *)

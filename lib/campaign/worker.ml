@@ -1,0 +1,168 @@
+(* Shard worker process (DESIGN.md §16).
+
+   A worker is the same executable as its coordinator, re-exec'd with
+   [REFINE_SHARD_WORKER=1] in the environment: stdin carries coordinator
+   frames (Init, Assign, Shutdown), stdout carries worker frames (Hello,
+   Outcome, Quarantine, Heartbeat, Chunk_done / Chunk_failed).  Every
+   embedding executable calls {!maybe_exec} before doing anything else, so
+   the coordinator can spawn workers without a dedicated binary.
+
+   The worker resolves an assigned chunk with the ordinary
+   [Experiment.run_cell], wired up for streaming:
+
+   - a [Journal.sink] whose [push] writes an [Outcome] frame — the
+     checkpoint journal, promoted to the pipe;
+   - [resolved] pre-marks every sample index *outside* the chunk's [todo]
+     list as already done (with a placeholder entry the coordinator never
+     sees), so run_cell executes exactly the todo set while still building
+     the full [samples]-sized PRNG split array — the alignment that keeps
+     sharded campaigns bit-identical to single-process ones;
+   - [heartbeat] (invoked from the in-flight poll slot, every 1024
+     simulated instructions) emits time-gated [Heartbeat] frames; a hung
+     sample therefore goes silent instead of heartbeating through the
+     hang, which is exactly what the coordinator's deadline wants to see.
+
+   Chunks run with [~domains:1]: process-level sharding replaces domain
+   parallelism, and a single-threaded worker needs no write lock on its
+   pipe. *)
+
+module S = Shard
+module E = Experiment
+module J = Journal
+module F = Refine_core.Fault
+module T = Refine_core.Tool
+
+let env_var = "REFINE_SHARD_WORKER"
+
+let fds_var = "REFINE_SHARD_FDS"
+
+(* Unix.file_descr is the raw fd number on Unix; the coordinator passes
+   its pipe ends by number ([fds_var]) so the protocol never touches
+   stdout — a library printing at init (alcotest, qcheck seed lines)
+   must not be able to corrupt the frame stream *)
+let fd_of_int : int -> Unix.file_descr = Obj.magic
+let int_of_fd : Unix.file_descr -> int = Obj.magic
+
+let quotas_of_config (c : S.config) =
+  {
+    T.default_quotas with
+    T.output_bytes = c.S.output_quota;
+    wall_clock_s = c.S.wall_clock;
+    livelock_window = c.S.livelock;
+  }
+
+(* placeholder for samples outside this chunk: run_cell treats them as
+   resolved (skipping execution) but the worker discards its own counts —
+   the coordinator aggregates from Outcome frames, so the values here are
+   never observed *)
+let placeholder ~program ~tool sample =
+  { J.program; tool; sample; outcome = F.Benign; cost = 0L; attempts = 0 }
+
+let summary_of_cell ~chunk (cell : E.cell) : S.chunk_summary =
+  {
+    S.chunk;
+    program = cell.E.program;
+    tool = T.kind_name cell.E.tool;
+    quarantined = cell.E.quarantined <> None;
+    golden_exit = cell.E.profile.F.golden_exit;
+    dyn_count = cell.E.profile.F.dyn_count;
+    profile_cost = cell.E.profile.F.profile_cost;
+    golden_output_len = String.length cell.E.profile.F.golden_output;
+    static_instrumented = cell.E.static_instrumented;
+    instrument_s = cell.E.timing.E.instrument_s;
+    compile_s = cell.E.timing.E.compile_s;
+    execute_s = cell.E.timing.E.execute_s;
+    harness_s = cell.E.timing.E.harness_s;
+    failures =
+      List.map
+        (fun (f : Refine_support.Supervisor.failure) ->
+          (f.Refine_support.Supervisor.index, f.attempts, Printexc.to_string f.exn))
+        cell.E.failures;
+  }
+
+let run_assign ~(config : S.config) ~send ~completed ~chunk ~program ~source ~tool ~samples
+    ~todo =
+  let tool_kind = S.tool_of_name tool in
+  let in_todo = Hashtbl.create 64 in
+  List.iter (fun i -> Hashtbl.replace in_todo i ()) todo;
+  let resolved ~program ~tool =
+    let tbl = Hashtbl.create 64 in
+    for i = 0 to samples - 1 do
+      if not (Hashtbl.mem in_todo i) then Hashtbl.replace tbl i (placeholder ~program ~tool i)
+    done;
+    tbl
+  in
+  let sink =
+    {
+      J.resolved;
+      push =
+        (fun e ->
+          incr completed;
+          send (S.Outcome { chunk; entry = e }));
+      push_quarantine =
+        (fun ~program ~tool ~reason -> send (S.Quarantine { program; tool; reason }));
+      find_quarantine = (fun ~program:_ ~tool:_ -> None);
+    }
+  in
+  let last_hb = ref (Unix.gettimeofday ()) in
+  let heartbeat () =
+    let now = Unix.gettimeofday () in
+    if now -. !last_hb >= config.S.heartbeat_s then begin
+      last_hb := now;
+      send (S.Heartbeat { completed = !completed })
+    end
+  in
+  let pipeline = Option.map Refine_passes.Pipeline.parse config.S.pipeline in
+  match
+    E.run_cell ~domains:1 ~sink ~heartbeat ~retries:config.S.retries
+      ?cost_cap:config.S.cost_cap ~quotas:(quotas_of_config config) ?pipeline
+      ~verify_mir:config.S.verify_mir ~verify_each:config.S.verify_each ~cache:config.S.cache
+      ~samples ~seed:config.S.seed tool_kind ~program ~source ()
+  with
+  | cell -> send (S.Chunk_done (summary_of_cell ~chunk cell))
+  | exception e ->
+    (* non-quarantine preparation failure: the coordinator degrades the
+       cell; the worker itself stays up for the next chunk *)
+    send (S.Chunk_failed { chunk; message = Printexc.to_string e })
+
+let main ?(input = Unix.stdin) ?(output = Unix.stdout) () =
+  (* the coordinator closing its end must surface as EOF on read, not a
+     SIGPIPE death mid-frame *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let send frame = S.write_fd output frame in
+  send (S.Hello { pid = Unix.getpid (); version = S.version });
+  let reader = S.reader () in
+  let config = ref S.default_config in
+  let completed = ref 0 in
+  let running = ref true in
+  let handle = function
+    | S.Init c -> config := c
+    | S.Assign { chunk; program; source; tool; samples; todo } ->
+      run_assign ~config:!config ~send ~completed ~chunk ~program ~source ~tool ~samples ~todo
+    | S.Shutdown -> running := false
+    | f -> raise (S.Protocol_error ("worker: unexpected frame " ^ S.frame_name f))
+  in
+  while !running do
+    match S.drain reader input with
+    | `Eof _ -> running := false (* coordinator gone: exit quietly *)
+    | `Frames fs -> List.iter (fun f -> if !running then handle f) fs
+  done
+
+let maybe_exec () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" | Some "0" -> ()
+  | Some _ ->
+    let input, output =
+      match Sys.getenv_opt fds_var with
+      | Some s -> (
+        match String.split_on_char ',' s with
+        | [ r; w ] -> (fd_of_int (int_of_string r), fd_of_int (int_of_string w))
+        | _ -> (Unix.stdin, Unix.stdout))
+      | None -> (Unix.stdin, Unix.stdout)
+    in
+    (match main ~input ~output () with
+    | () -> exit 0
+    | exception Unix.Unix_error (Unix.EPIPE, _, _) -> exit 0
+    | exception e ->
+      Printf.eprintf "[shard-worker %d] fatal: %s\n%!" (Unix.getpid ()) (Printexc.to_string e);
+      exit 1)

@@ -1,0 +1,29 @@
+(** Shard worker process (DESIGN.md §16): the executable re-exec'd by
+    {!Coordinator} with [REFINE_SHARD_WORKER=1], speaking {!Shard} frames
+    over stdin/stdout.  Chunks run through the ordinary
+    {!Experiment.run_cell} with a streaming {!Journal.sink} (each resolved
+    sample becomes an [Outcome] frame) and a time-gated heartbeat invoked
+    from the in-flight poll slot — a hung sample stops heartbeating. *)
+
+val env_var : string
+(** ["REFINE_SHARD_WORKER"] — set (non-empty, non-["0"]) in a spawned
+    worker's environment. *)
+
+val fds_var : string
+(** ["REFINE_SHARD_FDS"] — ["<read>,<write>"], the inherited pipe fd
+    numbers the worker must speak frames on.  Keeping the protocol off
+    stdout means a library printing at init cannot corrupt it. *)
+
+val int_of_fd : Unix.file_descr -> int
+(** The raw fd number (Unix only) — how the coordinator renders
+    {!fds_var}. *)
+
+val main : ?input:Unix.file_descr -> ?output:Unix.file_descr -> unit -> unit
+(** Run the worker loop: send [Hello], then serve [Init] / [Assign] /
+    [Shutdown] frames from [input] (default stdin), streaming results to
+    [output] (default stdout).  Returns on [Shutdown] or EOF. *)
+
+val maybe_exec : unit -> unit
+(** Call first in every executable that may act as a coordinator: if
+    {!env_var} is set in the environment, runs {!main} on stdin/stdout and
+    exits the process (0 on clean shutdown).  A no-op otherwise. *)

@@ -108,11 +108,25 @@ let note_cancel_seen token =
 (* Exponential backoff between retries.  Campaign time is modeled, not
    wall-clock, so backoff is a bounded busy-wait: it yields the core to
    sibling domains without adding a dependency on Unix or Thread. *)
-let backoff policy attempt =
+let spin_backoff policy attempt =
   let spins = policy.backoff_base * (1 lsl min attempt 16) in
   for _ = 1 to spins do
     Domain.cpu_relax ()
   done
+
+(* Deterministic seeded exponential backoff with cap, in seconds — the
+   restart schedule of the shard coordinator (DESIGN.md §16) and of any
+   other supervisor that waits in wall-clock time rather than spins.
+   Deterministic jitter (FNV-1a of seed and attempt) decorrelates the
+   restart times of sibling workers without sacrificing reproducibility:
+   the same (seed, attempt) always yields the same delay, and every delay
+   lies in [base/2 * 2^attempt, cap]. *)
+let backoff ?(base = 0.05) ?(cap = 2.0) ~seed attempt =
+  if base <= 0.0 || cap < base then invalid_arg "Supervisor.backoff";
+  let expo = base *. (2.0 ** float_of_int (min attempt 32)) in
+  let h = Prng.hash_string (Printf.sprintf "backoff\000%d\000%d" seed attempt) in
+  let jitter = float_of_int (h land 0xffff) /. 65536.0 in
+  Float.min cap (expo *. (0.5 +. (0.5 *. jitter)))
 
 let run ?token ?(policy = default_policy) ?watchdog ~domains n
     (f : attempt:int -> int -> 'a) : 'a outcome array =
@@ -146,7 +160,7 @@ let run ?token ?(policy = default_policy) ?watchdog ~domains n
              && not (Cancel.cancelled token)
           then begin
             Obs.Metrics.inc m_retries;
-            backoff policy a;
+            spin_backoff policy a;
             attempt (a + 1)
           end
           else begin

@@ -60,6 +60,17 @@ val default_policy : policy
 (** No retries; everything except {!Cancelled} and {!Non_retryable} counts
     as retryable. *)
 
+val backoff : ?base:float -> ?cap:float -> seed:int -> int -> float
+(** [backoff ~seed attempt] is the wall-clock delay (seconds) before
+    restart [attempt] (0-based) of a supervised process: exponential from
+    [base] (default 0.05), capped at [cap] (default 2.0), with
+    deterministic jitter derived from [(seed, attempt)] by FNV-1a — the
+    same inputs always give the same delay, and sibling workers with
+    different seeds never restart in lockstep.  Every delay lies in
+    [\[base/2 * 2^attempt, cap\]].  [Invalid_argument] if [base <= 0] or
+    [cap < base].  Used by the shard coordinator's worker restarts
+    (DESIGN.md §16). *)
+
 val run :
   ?token:Cancel.t ->
   ?policy:policy ->

@@ -86,6 +86,39 @@ let test_pmf_bars () =
       end)
     lines
 
+(* a kill mid-append leaves at most one torn final line: the loader must
+   drop it (never parse it), count it, and resume from the previous record *)
+let test_torn_final_line () =
+  let module J = Refine_campaign.Journal in
+  let path = Filename.temp_file "refine_torn" ".journal" in
+  let j = J.create path in
+  let entry i =
+    {
+      J.program = "tiny";
+      tool = "REFINE";
+      sample = i;
+      outcome = Refine_core.Fault.Benign;
+      cost = Int64.of_int (100 + i);
+      attempts = 1;
+    }
+  in
+  List.iter (fun i -> J.record j (entry i)) [ 0; 1; 2 ];
+  J.close j;
+  (* simulate the torn write: a valid-looking record cut mid-line, no
+     trailing newline *)
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc "tiny\tREFINE\t3\tben";
+  close_out oc;
+  let j2 = J.create ~resume:true path in
+  Alcotest.(check int) "torn line counted" 1 (J.skipped j2);
+  Alcotest.(check int) "prior records intact" 3 (J.length j2);
+  let resolved = J.completed j2 ~program:"tiny" ~tool:"REFINE" in
+  Alcotest.(check bool) "torn sample not resolved" false (Hashtbl.mem resolved 3);
+  List.iter
+    (fun i -> Alcotest.(check bool) (Printf.sprintf "sample %d resolved" i) true (Hashtbl.mem resolved i))
+    [ 0; 1; 2 ];
+  Sys.remove path
+
 let test_parallel_matches_sequential () =
   let a = E.run_cell ~domains:1 ~samples:30 ~seed:3 T.Refine ~program:"tiny" ~source:src () in
   let b = E.run_cell ~domains:4 ~samples:30 ~seed:3 T.Refine ~program:"tiny" ~source:src () in
@@ -99,5 +132,6 @@ let tests =
     Alcotest.test_case "matrix + reports" `Quick test_matrix_and_reports;
     Alcotest.test_case "paper data complete" `Quick test_paper_data_complete;
     Alcotest.test_case "PMF stacked bars" `Quick test_pmf_bars;
+    Alcotest.test_case "torn final journal line" `Quick test_torn_final_line;
     Alcotest.test_case "parallel = sequential" `Quick test_parallel_matches_sequential;
   ]

@@ -1,5 +1,9 @@
 (* Test-suite entry point: one alcotest run over every module's cases. *)
 
+(* must run before alcotest touches argv: when the shard coordinator
+   re-execs this binary as a worker, serve frames and exit instead *)
+let () = Refine_campaign.Worker.maybe_exec ()
+
 let () =
   Alcotest.run "refine"
     [
@@ -17,6 +21,7 @@ let () =
       ("semantics", Test_semantics.tests);
       ("benchmarks", Test_benchmarks.tests);
       ("campaign", Test_campaign.tests);
+      ("shard", Test_shard.tests);
       ("robustness", Test_robustness.tests);
       ("hardening", Test_hardening.tests);
       ("extensions", Test_extensions.tests);

@@ -1,0 +1,203 @@
+(* Sharded campaign tests: wire-codec strictness (every frame round-trips,
+   no truncated buffer decodes, the deframer never mis-reads a torn tail)
+   and the headline determinism property — a campaign sharded over worker
+   processes is bit-identical to in-process domains and to a sequential
+   run with the same seed. *)
+
+module S = Refine_campaign.Shard
+module C = Refine_campaign.Coordinator
+module E = Refine_campaign.Experiment
+module Rep = Refine_campaign.Report
+module J = Refine_campaign.Journal
+module W = Refine_support.Wire
+module F = Refine_core.Fault
+module T = Refine_core.Tool
+
+(* ---- frame generators -------------------------------------------------- *)
+
+let gen_str = QCheck.Gen.(string_size (int_bound 40)) (* full byte range *)
+let gen_i64 = QCheck.Gen.map Int64.of_int QCheck.Gen.int
+
+(* dyadic rationals: finite, and exactly representable so structural
+   equality after an IEEE-754 round-trip is honest *)
+let gen_f = QCheck.Gen.map (fun i -> float_of_int i *. 0.0625) QCheck.Gen.(int_range (-1_000_000) 1_000_000)
+let gen_outcome = QCheck.Gen.oneofl [ F.Crash; F.Soc; F.Benign; F.Tool_error ]
+
+let gen_entry =
+  QCheck.Gen.(
+    map
+      (fun (program, tool, sample, outcome, cost, attempts) ->
+        { J.program; tool; sample; outcome; cost; attempts })
+      (tup6 gen_str gen_str small_nat gen_outcome gen_i64 small_nat))
+
+let gen_config =
+  QCheck.Gen.(
+    map
+      (fun ((seed, retries, cost_cap, output_quota, wall_clock, livelock),
+            (verify_mir, verify_each, cache, pipeline, heartbeat_s)) ->
+        {
+          S.seed;
+          retries;
+          cost_cap;
+          output_quota;
+          wall_clock;
+          livelock;
+          verify_mir;
+          verify_each;
+          cache;
+          pipeline;
+          heartbeat_s;
+        })
+      (pair
+         (tup6 int small_nat (opt gen_i64) (opt small_nat) (opt gen_f) (opt small_nat))
+         (tup5 bool bool bool (opt gen_str) gen_f)))
+
+let gen_summary =
+  QCheck.Gen.(
+    map
+      (fun ((chunk, program, tool, quarantined, golden_exit, dyn_count),
+            (profile_cost, golden_output_len, static_instrumented, instrument_s),
+            (compile_s, execute_s, harness_s, failures)) ->
+        {
+          S.chunk;
+          program;
+          tool;
+          quarantined;
+          golden_exit;
+          dyn_count;
+          profile_cost;
+          golden_output_len;
+          static_instrumented;
+          instrument_s;
+          compile_s;
+          execute_s;
+          harness_s;
+          failures;
+        })
+      (tup3
+         (tup6 small_nat gen_str gen_str bool small_nat gen_i64)
+         (tup4 gen_i64 small_nat small_nat gen_f)
+         (tup4 gen_f gen_f gen_f (small_list (tup3 small_nat small_nat gen_str)))))
+
+let gen_frame =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun (pid, version) -> S.Hello { pid; version }) (pair small_nat small_nat);
+        map (fun c -> S.Init c) gen_config;
+        map
+          (fun ((chunk, program, source, tool), (samples, todo)) ->
+            S.Assign { chunk; program; source; tool; samples; todo })
+          (pair (tup4 small_nat gen_str gen_str gen_str) (pair small_nat (small_list small_nat)));
+        map (fun (chunk, entry) -> S.Outcome { chunk; entry }) (pair small_nat gen_entry);
+        map
+          (fun (program, tool, reason) -> S.Quarantine { program; tool; reason })
+          (tup3 gen_str gen_str gen_str);
+        map (fun s -> S.Chunk_done s) gen_summary;
+        map
+          (fun (chunk, message) -> S.Chunk_failed { chunk; message })
+          (pair small_nat gen_str);
+        map (fun completed -> S.Heartbeat { completed }) small_nat;
+        return S.Shutdown;
+      ])
+
+let arb_frame = QCheck.make ~print:S.frame_name gen_frame
+
+(* ---- codec properties -------------------------------------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"every frame round-trips bit-exactly" ~count:300 arb_frame (fun f ->
+      S.decode (S.encode f) = f)
+
+let prop_no_prefix_decodes =
+  QCheck.Test.make ~name:"no strict prefix of a frame decodes" ~count:300
+    QCheck.(pair arb_frame small_nat)
+    (fun (f, cut) ->
+      let p = S.encode f in
+      let cut = cut mod String.length p in
+      match S.decode (String.sub p 0 cut) with
+      | _ -> false
+      | exception (W.Truncated | Invalid_argument _) -> true)
+
+let prop_stream_reassembles =
+  QCheck.Test.make ~name:"deframer reassembles frames across arbitrary chunking" ~count:100
+    QCheck.(pair (small_list arb_frame) small_nat)
+    (fun (frames, step) ->
+      let bytes = String.concat "" (List.map (fun f -> W.frame (S.encode f)) frames) in
+      let step = 1 + (step mod 7) in
+      let st = W.stream () in
+      let n = String.length bytes in
+      let i = ref 0 in
+      while !i < n do
+        let len = min step (n - !i) in
+        W.feed st (Bytes.of_string (String.sub bytes !i len)) len;
+        i := !i + len
+      done;
+      let rec pop acc =
+        match W.next st with None -> List.rev acc | Some p -> pop (S.decode p :: acc)
+      in
+      pop [] = frames && W.residue st = 0)
+
+let prop_torn_tail_is_residue =
+  QCheck.Test.make ~name:"a torn trailing frame is residue, never a decode" ~count:200
+    QCheck.(pair arb_frame small_nat)
+    (fun (f, cut) ->
+      let bytes = W.frame (S.encode f) in
+      let keep = 1 + (cut mod (String.length bytes - 1)) in
+      let st = W.stream () in
+      W.feed st (Bytes.of_string (String.sub bytes 0 keep)) keep;
+      W.next st = None && W.residue st = keep)
+
+let test_tool_names () =
+  List.iter
+    (fun t -> Alcotest.(check bool) "tool name inverts" true (S.tool_of_name (T.kind_name t) = t))
+    [ T.Refine; T.Llfi; T.Pinfi ];
+  Alcotest.check_raises "unknown tool" (Invalid_argument "Shard.tool_of_name: BOGUS") (fun () ->
+      ignore (S.tool_of_name "bogus"))
+
+let test_unknown_tag () =
+  match S.decode "\xfe" with
+  | _ -> Alcotest.fail "tag 254 decoded"
+  | exception Invalid_argument _ -> ()
+
+(* ---- sharded = domains = sequential ------------------------------------ *)
+
+let src =
+  {|
+int main() {
+  int i; float s = 0.0;
+  for (i = 0; i < 25; i = i + 1) { s = s + tofloat(i * i) * 0.125; }
+  print_float(s);
+  return 0;
+}
+|}
+
+let key (c : E.cell) =
+  (c.E.program, T.kind_name c.E.tool, c.E.counts, c.E.injection_cost, c.E.quarantined)
+
+let test_workers_match_domains () =
+  let samples = 8 and seed = 11 in
+  let programs = [ ("tiny", src) ] in
+  let sequential = E.run_matrix ~domains:1 ~samples ~seed programs Rep.tools in
+  let domains = E.run_matrix ~domains:4 ~samples ~seed programs Rep.tools in
+  let options = { C.default_options with C.workers = 4 } in
+  let sharded = C.run_matrix ~options ~samples ~seed programs Rep.tools in
+  Alcotest.(check bool) "domains = sequential" true
+    (List.map key domains = List.map key sequential);
+  Alcotest.(check bool) "workers = sequential" true
+    (List.map key sharded = List.map key sequential);
+  let t5 cells = Rep.table5 (Rep.chi2_rows cells [ "tiny" ]) in
+  Alcotest.(check string) "table5 identical" (t5 sequential) (t5 sharded)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    qcheck prop_roundtrip;
+    qcheck prop_no_prefix_decodes;
+    qcheck prop_stream_reassembles;
+    qcheck prop_torn_tail_is_residue;
+    Alcotest.test_case "tool name mapping" `Quick test_tool_names;
+    Alcotest.test_case "unknown tag rejected" `Quick test_unknown_tag;
+    Alcotest.test_case "workers = domains = sequential" `Quick test_workers_match_domains;
+  ]

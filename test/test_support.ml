@@ -152,9 +152,54 @@ let prop_int64_bound =
       let v = P.int64 r (Int64.of_int bound) in
       Int64.compare v 0L >= 0 && Int64.compare v (Int64.of_int bound) < 0)
 
+(* ---- Supervisor.backoff: the worker-restart schedule ------------------- *)
+
+module Sup = Refine_support.Supervisor
+
+let test_backoff_deterministic () =
+  for attempt = 0 to 10 do
+    Alcotest.(check (float 0.0))
+      "same (seed, attempt) same delay"
+      (Sup.backoff ~seed:7 attempt)
+      (Sup.backoff ~seed:7 attempt)
+  done
+
+let test_backoff_schedule_bounds () =
+  let base = 0.05 and cap = 2.0 in
+  for attempt = 0 to 40 do
+    let d = Sup.backoff ~base ~cap ~seed:3 attempt in
+    let floor_ = Float.min cap (base /. 2.0 *. (2.0 ** float_of_int (min attempt 32))) in
+    Alcotest.(check bool)
+      (Printf.sprintf "attempt %d in [%g, %g] (got %g)" attempt floor_ cap d)
+      true
+      (d >= floor_ && d <= cap)
+  done;
+  (* deep attempts saturate at exactly the cap *)
+  Alcotest.(check (float 0.0)) "saturates at cap" cap (Sup.backoff ~base ~cap ~seed:3 40)
+
+let test_backoff_seed_jitter () =
+  (* sibling workers must not restart in lockstep: across seeds the early
+     (uncapped) delays differ somewhere *)
+  let differs =
+    List.exists
+      (fun a -> Sup.backoff ~seed:1 a <> Sup.backoff ~seed:2 a)
+      [ 0; 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "different seeds de-synchronize" true differs
+
+let test_backoff_invalid () =
+  Alcotest.check_raises "base <= 0" (Invalid_argument "Supervisor.backoff") (fun () ->
+      ignore (Sup.backoff ~base:0.0 ~seed:1 0));
+  Alcotest.check_raises "cap < base" (Invalid_argument "Supervisor.backoff") (fun () ->
+      ignore (Sup.backoff ~base:1.0 ~cap:0.5 ~seed:1 0))
+
 let tests =
   [
     Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "backoff deterministic" `Quick test_backoff_deterministic;
+    Alcotest.test_case "backoff schedule bounds" `Quick test_backoff_schedule_bounds;
+    Alcotest.test_case "backoff seed jitter" `Quick test_backoff_seed_jitter;
+    Alcotest.test_case "backoff invalid args" `Quick test_backoff_invalid;
     Alcotest.test_case "prng seed sensitivity" `Quick test_prng_seed_sensitivity;
     Alcotest.test_case "prng copy" `Quick test_prng_copy;
     Alcotest.test_case "prng split independent" `Quick test_prng_split_independent;
