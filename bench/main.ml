@@ -46,7 +46,11 @@
                       (throughput per configuration), plus one run where a
                       worker is SIGKILLed mid-campaign to measure the
                       recovery overhead; results (all bit-identical) are
-                      written to BENCH_shard.json *)
+                      written to BENCH_shard.json
+     REFINE_LIVE      set to 0 to skip the live-status overhead probe: the
+                      same 2-worker campaign (telemetry forwarding on in
+                      both) with the /status server off vs on; the delta is
+                      the "live" section of BENCH_obs.json *)
 
 module T = Refine_core.Tool
 module E = Refine_campaign.Experiment
@@ -136,7 +140,7 @@ let print_listings () =
 
 let run_campaign () =
   let progs = List.map (fun n -> (n, (Reg.find n).Reg.source)) programs in
-  let journal =
+  let journal, scratch =
     match Sys.getenv_opt "REFINE_JOURNAL" with
     | Some path when path <> "" ->
       let resume = Sys.file_exists path in
@@ -144,8 +148,14 @@ let run_campaign () =
       if resume then
         Printf.printf "[journal: resuming from %s, %d samples already resolved]\n" path
           (Refine_campaign.Journal.length j);
-      Some j
-    | _ -> None
+      (Some j, None)
+    | _ when Obs.Control.enabled () ->
+      (* the trajectory point reports refine_journal_records_total; with no
+         journal the campaign never appends and the counter is a trivial 0,
+         not a measurement.  Journal to a scratch file and discard it. *)
+      let path = Filename.temp_file "refine_bench" ".journal" in
+      (Some (Refine_campaign.Journal.create path), Some path)
+    | _ -> (None, None)
   in
   let retries = int_of_string (getenv_default "REFINE_RETRIES" "1") in
   let cost_cap =
@@ -156,6 +166,11 @@ let run_campaign () =
   let t0 = Unix.gettimeofday () in
   let cells = E.run_matrix ?journal ~retries ?cost_cap ~samples ~seed progs Rep.tools in
   let wall = Unix.gettimeofday () -. t0 in
+  (match scratch with
+  | Some path ->
+    Option.iter Refine_campaign.Journal.close journal;
+    Sys.remove path
+  | None -> ());
   Printf.printf "\n[campaign: %d experiments in %.1fs]\n"
     (List.length programs * 3 * samples)
     wall;
@@ -241,7 +256,22 @@ let sum_counter name =
       match v with Obs.Metrics.Counter c when n = name -> Int64.add acc c | _ -> acc)
     0L (Obs.Metrics.snapshot ())
 
-let write_obs_json cells campaign_wall =
+let obs_counter_names =
+  [
+    "refine_campaign_samples_total";
+    "refine_campaign_cells_total";
+    "refine_exec_steps_total";
+    "refine_fi_site_hits_total";
+    "refine_supervisor_tasks_total";
+    "refine_supervisor_retries_total";
+    "refine_journal_records_total";
+  ]
+
+(* captured right after the campaign so the later probe sections don't
+   bleed into the trajectory point *)
+let capture_obs_counters () = List.map (fun n -> (n, sum_counter n)) obs_counter_names
+
+let write_obs_json ?live counters cells campaign_wall =
   let buf = Buffer.create 1024 in
   let pinfi = Rep.timing_total (tool_timing cells T.Pinfi) in
   Buffer.add_string buf "{\n";
@@ -264,24 +294,17 @@ let write_obs_json cells campaign_wall =
     Rep.tools;
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"counters\": {\n";
-  let counters =
-    [
-      "refine_campaign_samples_total";
-      "refine_campaign_cells_total";
-      "refine_exec_steps_total";
-      "refine_fi_site_hits_total";
-      "refine_supervisor_tasks_total";
-      "refine_supervisor_retries_total";
-      "refine_journal_records_total";
-    ]
-  in
   List.iteri
-    (fun i name ->
+    (fun i (name, v) ->
       Buffer.add_string buf
-        (Printf.sprintf "    \"%s\": %Ld%s\n" name (sum_counter name)
+        (Printf.sprintf "    \"%s\": %Ld%s\n" name v
            (if i < List.length counters - 1 then "," else "")))
     counters;
-  Buffer.add_string buf "  }\n}\n";
+  (match live with
+  | None -> Buffer.add_string buf "  }\n}\n"
+  | Some fragment ->
+    Buffer.add_string buf "  },\n";
+    Buffer.add_string buf (Printf.sprintf "  \"live\": %s\n}\n" fragment));
   let oc = open_out "BENCH_obs.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -698,6 +721,50 @@ let shard_section () =
     exit 1
   end
 
+(* ---- live status endpoint overhead probe ---------------------------------
+   DESIGN.md §17: with observability on, workers forward telemetry from
+   their heartbeat slot whether or not anyone is watching; the /status
+   server adds an accept loop to the coordinator's select rotation.  This
+   probe runs the same 2-worker campaign with the server off and on — the
+   delta is the cost of serving live status, and it must stay at noise
+   level.  Returns the JSON fragment embedded in BENCH_obs.json. *)
+
+let live_section () =
+  let module C = Refine_campaign.Coordinator in
+  section "Live status endpoint (2-worker campaign, server off vs on)";
+  let progs = [ "DC"; "EP" ] in
+  let srcs = List.map (fun n -> (n, (Reg.find n).Reg.source)) progs in
+  let n = min samples 48 in
+  let experiments = List.length progs * 3 * n in
+  let key (c : E.cell) = (c.E.program, T.kind_name c.E.tool, c.E.counts, c.E.injection_cost) in
+  let run status =
+    let options = { C.default_options with C.workers = 2; status } in
+    let t0 = Unix.gettimeofday () in
+    let cells = C.run_matrix ~options ~samples:n ~seed srcs Rep.tools in
+    (Unix.gettimeofday () -. t0, List.map key cells)
+  in
+  (* unmeasured warmup: the first worker fleet pays cold-start costs
+     (page cache, allocator growth) that would masquerade as overhead *)
+  ignore (run None);
+  let off_s, off_keys = run None in
+  let srv = Obs.Serve.create () in
+  let port = Obs.Serve.port srv in
+  let on_s, on_keys = run (Some srv) in
+  Obs.Serve.close srv;
+  let overhead_pct = if off_s > 0.0 then 100.0 *. ((on_s /. off_s) -. 1.0) else 0.0 in
+  let identical = off_keys = on_keys in
+  Printf.printf "  server off %.2fs, on %.2fs (port %d): %+.1f%% overhead, %s\n" off_s on_s port
+    overhead_pct
+    (if identical then "bit-identical" else "MISMATCH");
+  if not identical then begin
+    Printf.printf "[live probe: DETERMINISM VIOLATION]\n";
+    exit 1
+  end;
+  Printf.sprintf
+    "{ \"workers\": 2, \"experiments\": %d, \"server_off_wall_s\": %.6f, \"server_on_wall_s\": \
+     %.6f, \"overhead_pct\": %.2f, \"identical\": %b }"
+    experiments off_s on_s overhead_pct identical
+
 (* ---- main ---------------------------------------------------------------- *)
 
 (* when a shard coordinator (the campaign above, or another process) spawns
@@ -725,7 +792,7 @@ let () =
   print_table6 cells;
   print_figure5 cells;
   print_overhead cells;
-  if obs then write_obs_json cells campaign_wall;
+  let obs_counters = if obs then Some (capture_obs_counters ()) else None in
   if getenv_default "REFINE_QUOTAS" "1" <> "0" then quotas_section ();
   if getenv_default "REFINE_PASSES" "1" <> "0" then passes_section ();
   if fastpath then begin
@@ -736,6 +803,12 @@ let () =
     fastpath_section ~campaign_sps ()
   end;
   if getenv_default "REFINE_SHARD" "1" <> "0" then shard_section ();
+  let live =
+    if obs && getenv_default "REFINE_LIVE" "1" <> "0" then Some (live_section ()) else None
+  in
+  (match obs_counters with
+  | Some counters -> write_obs_json ?live counters cells campaign_wall
+  | None -> ());
   if getenv_default "REFINE_EXTENSIONS" "1" <> "0" then extensions_section ();
   if getenv_default "REFINE_BECHAMEL" "1" <> "0" then bechamel_section ();
   print_newline ()

@@ -366,10 +366,19 @@ let campaign_cmd =
              ~doc:"Skip the post-instrumentation machine-code verifier (cells whose \
                    instrumented code fails verification are normally quarantined).")
   in
+  let status_port =
+    Arg.(value & opt (some int) None
+         & info [ "status-port" ] ~docv:"PORT"
+             ~doc:"Serve live campaign status on 127.0.0.1:PORT for the duration of the run \
+                   (0 = kernel-assigned, printed at startup): $(b,/status) (progress JSON with \
+                   per-worker liveness, rolling samples/s and ETA), $(b,/metrics) (Prometheus \
+                   text) and $(b,/healthz).  Implies observability.")
+  in
   let action programs samples seed csv journal resume retries sample_timeout domains workers
-      metrics_out trace_out output_quota wall_clock livelock no_verify_mir opt passes
-      verify_each no_cache =
-    if metrics_out <> None || trace_out <> None then Refine_obs.Control.enable ();
+      metrics_out trace_out status_port output_quota wall_clock livelock no_verify_mir opt
+      passes verify_each no_cache =
+    if metrics_out <> None || trace_out <> None || status_port <> None then
+      Refine_obs.Control.enable ();
     if no_cache then Refine_passes.Artifact_cache.enabled := false;
     (match trace_out with
     | Some path -> Refine_obs.Span.set_file_sink path
@@ -391,19 +400,71 @@ let campaign_cmd =
         livelock_window = livelock;
       }
     in
+    let server =
+      Option.map
+        (fun port ->
+          let s = Refine_obs.Serve.create ~port () in
+          Printf.printf "[status: http://127.0.0.1:%d/status]\n%!" (Refine_obs.Serve.port s);
+          s)
+        status_port
+    in
     let cells =
       match workers with
       | Some w when w > 0 ->
-        let options = { Refine_campaign.Coordinator.default_options with workers = w } in
+        (* the coordinator polls the status server from its select loop *)
+        let options =
+          { Refine_campaign.Coordinator.default_options with workers = w; status = server }
+        in
         Refine_campaign.Coordinator.run_matrix ~options ?journal ~retries
           ?cost_cap:sample_timeout ~quotas ~pipeline:(spec_of opt passes)
           ~verify_mir:(not no_verify_mir) ~verify_each ~cache:(not no_cache) ~samples ~seed
           srcs Refine_campaign.Report.tools
       | _ ->
-        Refine_campaign.Experiment.run_matrix ?domains ?journal ~retries
-          ?cost_cap:sample_timeout ~quotas ~pipeline:(spec_of opt passes)
-          ~verify_mir:(not no_verify_mir) ~verify_each ~samples ~seed srcs
-          Refine_campaign.Report.tools
+        (* in-process path: a tiny pump domain drives the server, and the
+           /status provider reads the campaign's own progress counters *)
+        let stop = Atomic.make false in
+        let pump =
+          Option.map
+            (fun s ->
+              let total = List.length srcs * List.length Refine_campaign.Report.tools in
+              let sum name =
+                List.fold_left
+                  (fun acc (n, _, v) ->
+                    match v with
+                    | Refine_obs.Metrics.Counter c when n = name -> acc + Int64.to_int c
+                    | _ -> acc)
+                  0
+                  (Refine_obs.Metrics.snapshot ())
+              in
+              Refine_obs.Serve.set_status s (fun () ->
+                  let quarantined = sum "refine_quarantined_cells_total" in
+                  {
+                    Refine_obs.Serve.p_samples_done =
+                      sum "refine_campaign_samples_total"
+                      + sum "refine_campaign_resumed_samples_total";
+                    p_samples_total = total * samples;
+                    p_cells_done = sum "refine_campaign_cells_total" + quarantined;
+                    p_cells_total = total;
+                    p_cells_quarantined = quarantined;
+                    p_workers = None;
+                    p_finished = Atomic.get stop;
+                  });
+              Domain.spawn (fun () ->
+                  while not (Atomic.get stop) do
+                    Refine_obs.Serve.poll s;
+                    Unix.sleepf 0.02
+                  done))
+            server
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set stop true;
+            Option.iter Domain.join pump)
+          (fun () ->
+            Refine_campaign.Experiment.run_matrix ?domains ?journal ~retries
+              ?cost_cap:sample_timeout ~quotas ~pipeline:(spec_of opt passes)
+              ~verify_mir:(not no_verify_mir) ~verify_each ~samples ~seed srcs
+              Refine_campaign.Report.tools)
     in
     List.iter (fun p -> print_string (Refine_campaign.Report.figure4_program cells p)) names;
     print_string (Refine_campaign.Report.table5 (Refine_campaign.Report.chi2_rows cells names));
@@ -428,23 +489,33 @@ let campaign_cmd =
       Refine_obs.Metrics.save path;
       Printf.printf "[metrics written to %s]\n" path
     | None -> ());
-    match trace_out with
+    (match trace_out with
     | Some path ->
       Refine_obs.Span.close_sink ();
       Printf.printf "[trace written to %s]\n" path
-    | None -> ()
+    | None -> ());
+    (* flush any in-flight status requests, then release the port *)
+    Option.iter
+      (fun s ->
+        for _ = 1 to 10 do
+          Refine_obs.Serve.poll s;
+          Unix.sleepf 0.01
+        done;
+        Refine_obs.Serve.close s)
+      server
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run the evaluation matrix on benchmark programs and print Figure 4/Table 5/Figure 5 \
              plus the Figure 8/9 overhead breakdown. Supports checkpoint/resume \
              ($(b,--journal)/$(b,--resume)), bounded retries, a per-sample watchdog, \
-             observability exports ($(b,--metrics-out)/$(b,--trace-out)), and sandbox quotas \
+             observability exports ($(b,--metrics-out)/$(b,--trace-out)), a live status \
+             endpoint ($(b,--status-port)), and sandbox quotas \
              ($(b,--output-quota)/$(b,--wall-clock)/$(b,--livelock)).")
     Term.(const action $ programs $ samples $ seed $ csv $ journal $ resume $ retries
-          $ sample_timeout $ domains $ workers $ metrics_out $ trace_out $ output_quota
-          $ wall_clock $ livelock $ no_verify_mir $ opt_arg $ passes_arg $ verify_each_arg
-          $ no_cache_arg)
+          $ sample_timeout $ domains $ workers $ metrics_out $ trace_out $ status_port
+          $ output_quota $ wall_clock $ livelock $ no_verify_mir $ opt_arg $ passes_arg
+          $ verify_each_arg $ no_cache_arg)
 
 (* hidden internal entry point: serve shard frames on stdin/stdout.  The
    coordinator normally reaches the worker loop via the REFINE_SHARD_WORKER

@@ -69,6 +69,10 @@ type options = {
   backoff_cap : float;
   exe : string option; (* worker executable; None = Sys.executable_name *)
   chaos : chaos;
+  status : Obs.Serve.t option;
+      (* live status endpoint, polled from the select loop; the
+         coordinator installs its /status provider and marks it finished
+         on return — the caller owns create/close *)
 }
 
 let default_options =
@@ -83,6 +87,7 @@ let default_options =
     backoff_cap = 0.5;
     exe = None;
     chaos = no_chaos;
+    status = None;
   }
 
 exception Aborted of int
@@ -183,14 +188,18 @@ type chunk = {
   mutable todo : int list; (* shrinks as outcomes are acknowledged *)
   mutable reassigns : int;
   mutable assigned_at : float; (* when last handed to a worker; for trace spans *)
+  mutable span_id : int; (* dispatch-span id of the current assignment; 0 = none *)
 }
 
 (* the compile/run spans live in the worker processes, so the coordinator
-   emits its own dispatch-level span per chunk — the sharded trace shows
-   assignment → completion/death instead of being empty *)
+   emits its own dispatch-level span per chunk and hands its id to the
+   worker in Assign — worker spans re-parent under it, and the merged
+   JSONL trace reads as one causal timeline: campaign → chunk dispatch →
+   prepare/sample/execute in the worker *)
 let emit_chunk_span ~now ~ok ~slot ch =
   if ch.assigned_at > 0.0 then
     Obs.Span.emit
+      ?span_id:(if ch.span_id = 0 then None else Some ch.span_id)
       ~attrs:
         [
           ("program", ch.cell.program);
@@ -213,6 +222,12 @@ type worker = {
   mutable restarts : int;
   mutable kill_sent : bool;
   mutable alive : bool; (* pid running, fds open *)
+  mutable merge : Obs.Metrics.merge_state;
+      (* last-applied telemetry per worker *incarnation*: reset on respawn,
+         because a fresh process restarts its cumulative counters from
+         zero.  The dead incarnation's last-shipped totals stay merged;
+         whatever it hadn't shipped died with it — the metrics mirror of
+         the journal's torn-line policy. *)
 }
 
 let add_timing (a : E.timing) (s : S.chunk_summary) =
@@ -258,6 +273,7 @@ let spawn ~exe ~config w =
   w.last_seen <- Unix.gettimeofday ();
   w.kill_sent <- false;
   w.alive <- true;
+  w.merge <- Obs.Metrics.merge_source ();
   S.write_fd c2w_w (S.Init config)
 
 let sigkill w = try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ()
@@ -290,8 +306,16 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
       cache;
       pipeline = Option.map Refine_passes.Pipeline.print pipeline;
       heartbeat_s = options.heartbeat_s;
+      obs = Obs.Control.enabled ();
+      trace = Obs.Span.sink_active ();
     }
   in
+  (* one trace per campaign; the id stamps the coordinator's chunk spans
+     and travels to workers in every Assign *)
+  let trace_id =
+    if config.S.trace then Printf.sprintf "c%d-%x" (Unix.getpid ()) (seed land 0xffffff) else ""
+  in
+  if trace_id <> "" then Obs.Span.set_context ~trace:trace_id ();
   (* cells, prefilled from the resume journal (same semantics as
      Experiment.run_cell: resolved samples load instead of re-running, a
      journaled quarantine short-circuits the cell) *)
@@ -353,7 +377,7 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
           | None -> max 1 (List.length !pending / (options.workers * 2))
         in
         let push todo =
-          let ch = { id = !next_id; cell; todo; reassigns = 0; assigned_at = 0.0 } in
+          let ch = { id = !next_id; cell; todo; reassigns = 0; assigned_at = 0.0; span_id = 0 } in
           incr next_id;
           Hashtbl.replace chunks_by_id ch.id ch;
           Queue.add ch queue
@@ -393,6 +417,7 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
           restarts = 0;
           kill_sent = false;
           alive = false;
+          merge = Obs.Metrics.merge_source ();
         })
   in
   let alive_count () =
@@ -473,6 +498,9 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
       if not (List.mem w.slot cell.served_by) then cell.served_by <- w.slot :: cell.served_by;
       w.state <- Busy ch;
       ch.assigned_at <- Unix.gettimeofday ();
+      (* each dispatch is its own span: a reassigned chunk gets a fresh id,
+         so the death-span and the retry-span stay distinct in the trace *)
+      ch.span_id <- (if trace_id = "" then 0 else Obs.Span.fresh_id ());
       (try
          S.write_fd w.to_w
            (S.Assign
@@ -483,6 +511,8 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
                 tool = cell.tool_name;
                 samples = cell.samples;
                 todo = ch.todo;
+                trace = trace_id;
+                parent_span = ch.span_id;
               })
        with Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
          (* the worker died before the assign: requeue (via Busy state)
@@ -555,6 +585,14 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
       match Hashtbl.find_opt chunks_by_id id with
       | None -> ()
       | Some ch -> if ch.cell.degraded = None then ch.cell.degraded <- Some message)
+    | S.Metrics_delta items ->
+      (* cumulative snapshot → per-incarnation delta → local registry;
+         after the last chunk's ship this registry is the fleet union *)
+      Obs.Metrics.merge_snapshot w.merge items
+    | S.Trace_batch events ->
+      (* already re-parented by the worker's trace context; sink-only so
+         span metrics (which arrive via deltas) are not double counted *)
+      List.iter Obs.Span.forward events
     | S.Init _ | S.Assign _ | S.Shutdown ->
       Printf.eprintf "[shard] worker %d sent coordinator frame %s — killing\n%!" w.slot
         (S.frame_name frame);
@@ -575,6 +613,52 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
       handle_death w
     | exception Unix.Unix_error _ -> handle_death w
   in
+  (* live status endpoint: install the /status provider over this
+     campaign's aggregation state; polled from the select loop below *)
+  let finished = ref false in
+  (match options.status with
+  | None -> ()
+  | Some srv ->
+    Obs.Serve.set_status srv (fun () ->
+        let now = Unix.gettimeofday () in
+        let sdone, cdone, quar =
+          List.fold_left
+            (fun (sd, cd, q) c ->
+              match (c.quarantined, c.degraded) with
+              | Some _, _ -> (sd + c.samples, cd + 1, q + 1)
+              | _, Some _ -> (sd + c.samples, cd + 1, q)
+              | None, None ->
+                let r = Hashtbl.length c.resolved in
+                (sd + r, (if r >= c.samples then cd + 1 else cd), q))
+            (0, 0, 0) cells
+        in
+        {
+          Obs.Serve.p_samples_done = sdone;
+          p_samples_total = List.length cells * samples;
+          p_cells_done = cdone;
+          p_cells_total = List.length cells;
+          p_cells_quarantined = quar;
+          p_workers =
+            Some
+              (Array.to_list workers
+              |> List.map (fun w ->
+                     {
+                       Obs.Serve.w_slot = w.slot;
+                       w_pid = w.pid;
+                       w_alive = w.alive;
+                       w_state =
+                         (match w.state with
+                         | Idle -> "idle"
+                         | Busy _ -> "busy"
+                         | Waiting _ -> "waiting"
+                         | Dead -> "dead");
+                       w_last_seen_s =
+                         (if w.last_seen > 0.0 then now -. w.last_seen else -1.0);
+                       w_restarts = w.restarts;
+                     }));
+          p_finished = !finished;
+        }));
+  let poll_status () = Option.iter Obs.Serve.poll options.status in
   (* launch *)
   Array.iter
     (fun w -> try spawn ~exe ~config w with Unix.Unix_error _ -> w.state <- Dead)
@@ -601,12 +685,17 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
     let readable_of =
       Array.to_list workers |> List.filter (fun w -> w.alive) |> List.map (fun w -> (w.from_w, w))
     in
-    (if readable_of = [] then Unix.sleepf 0.005
+    let srv_fds = match options.status with Some s -> Obs.Serve.fds s | None -> [] in
+    (if readable_of = [] && srv_fds = [] then Unix.sleepf 0.005
      else
-       match Unix.select (List.map fst readable_of) [] [] 0.05 with
+       match Unix.select (List.map fst readable_of @ srv_fds) [] [] 0.05 with
        | readable, _, _ ->
-         List.iter (fun fd -> process (List.assoc fd readable_of)) readable
+         List.iter
+           (fun fd ->
+             match List.assoc_opt fd readable_of with Some w -> process w | None -> ())
+           readable
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    poll_status ();
     let now = Unix.gettimeofday () in
     Array.iter
       (fun w ->
@@ -630,6 +719,9 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
       end)
     workers;
   Obs.Metrics.set m_workers 0.0;
+  finished := true;
+  poll_status ();
+  if trace_id <> "" then Obs.Span.clear_context ();
   if !aborted then raise (Aborted !unique);
   (* anything still queued ran out of workers *)
   let stranded =

@@ -43,6 +43,12 @@ type options = {
       (** worker executable; [None] = [Sys.executable_name] (the
           embedding binary must call {!Worker.maybe_exec} first) *)
   chaos : chaos;
+  status : Refine_obs.Serve.t option;
+      (** live status endpoint: the coordinator installs its [/status]
+          provider (progress, per-worker liveness/restarts, rolling
+          samples/s, ETA) and polls the server from its select loop; the
+          caller owns create/close and may keep serving after return —
+          the provider stays valid and reports [finished] *)
 }
 
 val default_options : options
@@ -76,4 +82,12 @@ val run_matrix :
     [timing] sums per-chunk attributions, so repeated chunk preparations
     legitimately inflate it relative to a single-process run.  Only the
     [output_bytes] / [wall_clock_s] / [livelock_window] quota fields
-    travel to workers (the CLI surface); the rest stay at defaults. *)
+    travel to workers (the CLI surface); the rest stay at defaults.
+
+    Observability plane (DESIGN.md §17): when {!Refine_obs.Control} is
+    enabled, workers forward cumulative registry snapshots that are
+    merged per-incarnation into the coordinator's registry — with
+    cell-granular chunking ([chunk_samples = Some samples]) the merged
+    counters equal the [--domains] single-process run.  When a span sink
+    is active, one trace id spans the campaign and worker spans re-parent
+    under per-chunk dispatch spans. *)

@@ -18,8 +18,13 @@
 module W = Refine_support.Wire
 module F = Refine_core.Fault
 module T = Refine_core.Tool
+module M = Refine_obs.Metrics
+module Sp = Refine_obs.Span
 
-let version = 1
+(* v2: observability plane — Init carries obs/trace switches, Assign
+   carries the trace context, and workers stream Metrics_delta /
+   Trace_batch frames (DESIGN.md §17). *)
+let version = 2
 
 type config = {
   seed : int;
@@ -33,6 +38,8 @@ type config = {
   cache : bool;
   pipeline : string option; (* Pipeline.print form; None = tool default *)
   heartbeat_s : float; (* min seconds between worker heartbeat frames *)
+  obs : bool; (* worker enables its metrics registry + delta forwarding *)
+  trace : bool; (* worker buffers spans and ships Trace_batch frames *)
 }
 
 let default_config =
@@ -48,6 +55,8 @@ let default_config =
     cache = true;
     pipeline = None;
     heartbeat_s = 0.02;
+    obs = false;
+    trace = false;
   }
 
 type chunk_summary = {
@@ -77,6 +86,8 @@ type frame =
       tool : string; (* Tool.kind_name *)
       samples : int; (* full cell sample count — keys the PRNG splits *)
       todo : int list; (* sample indices this chunk must resolve *)
+      trace : string; (* campaign trace id; "" when tracing is off *)
+      parent_span : int; (* coordinator's dispatch-span id for this chunk *)
     }
   | Outcome of { chunk : int; entry : Journal.entry }
   | Quarantine of { program : string; tool : string; reason : string }
@@ -84,6 +95,8 @@ type frame =
   | Chunk_failed of { chunk : int; message : string } (* non-quarantine prepare failure *)
   | Heartbeat of { completed : int } (* samples resolved by this worker so far *)
   | Shutdown
+  | Metrics_delta of M.export_item list (* cumulative registry snapshot items *)
+  | Trace_batch of Sp.event list (* buffered spans, already re-parented *)
 
 let tool_of_name name =
   match String.uppercase_ascii name with
@@ -104,6 +117,87 @@ let tag = function
   | Chunk_failed _ -> 7
   | Heartbeat _ -> 8
   | Shutdown -> 9
+  | Metrics_delta _ -> 10
+  | Trace_batch _ -> 11
+
+let put_labels b labels =
+  W.put_list b
+    (fun b (k, v) ->
+      W.put_string b k;
+      W.put_string b v)
+    labels
+
+let get_labels c =
+  W.get_list c (fun c ->
+      let k = W.get_string c in
+      let v = W.get_string c in
+      (k, v))
+
+let put_value b = function
+  | M.Counter v ->
+    W.put_u8 b 0;
+    W.put_i64 b v
+  | M.Gauge v ->
+    W.put_u8 b 1;
+    W.put_f64 b v
+  | M.Histogram h ->
+    W.put_u8 b 2;
+    W.put_list b W.put_f64 (Array.to_list h.M.bounds);
+    W.put_list b W.put_i64 (Array.to_list h.M.counts);
+    W.put_f64 b h.M.sum;
+    W.put_i64 b h.M.count
+
+let get_value c =
+  match W.get_u8 c with
+  | 0 -> M.Counter (W.get_i64 c)
+  | 1 -> M.Gauge (W.get_f64 c)
+  | 2 ->
+    let bounds = Array.of_list (W.get_list c W.get_f64) in
+    let counts = Array.of_list (W.get_list c W.get_i64) in
+    let sum = W.get_f64 c in
+    let count = W.get_i64 c in
+    M.Histogram { M.bounds; counts; sum; count }
+  | t -> invalid_arg (Printf.sprintf "Shard: unknown metric value tag %d" t)
+
+let put_item b (it : M.export_item) =
+  W.put_string b it.M.x_name;
+  put_labels b it.M.x_labels;
+  W.put_string b it.M.x_help;
+  put_value b it.M.x_value
+
+let get_item c =
+  let x_name = W.get_string c in
+  let x_labels = get_labels c in
+  let x_help = W.get_string c in
+  let x_value = get_value c in
+  { M.x_name; x_labels; x_help; x_value }
+
+let put_event b (e : Sp.event) =
+  W.put_string b e.Sp.name;
+  put_labels b e.Sp.attrs;
+  W.put_f64 b e.Sp.t_start;
+  W.put_f64 b e.Sp.dur_s;
+  W.put_int b e.Sp.depth;
+  W.put_int b e.Sp.domain;
+  W.put_i64 b e.Sp.cost;
+  W.put_bool b e.Sp.ok;
+  W.put_string b e.Sp.trace;
+  W.put_int b e.Sp.span_id;
+  W.put_int b e.Sp.parent
+
+let get_event c =
+  let name = W.get_string c in
+  let attrs = get_labels c in
+  let t_start = W.get_f64 c in
+  let dur_s = W.get_f64 c in
+  let depth = W.get_int c in
+  let domain = W.get_int c in
+  let cost = W.get_i64 c in
+  let ok = W.get_bool c in
+  let trace = W.get_string c in
+  let span_id = W.get_int c in
+  let parent = W.get_int c in
+  { Sp.name; attrs; t_start; dur_s; depth; domain; cost; ok; trace; span_id; parent }
 
 let put_entry b (e : Journal.entry) =
   W.put_string b e.Journal.program;
@@ -131,14 +225,18 @@ let encode f =
     W.put_bool b c.verify_each;
     W.put_bool b c.cache;
     W.put_option b W.put_string c.pipeline;
-    W.put_f64 b c.heartbeat_s
-  | Assign { chunk; program; source; tool; samples; todo } ->
+    W.put_f64 b c.heartbeat_s;
+    W.put_bool b c.obs;
+    W.put_bool b c.trace
+  | Assign { chunk; program; source; tool; samples; todo; trace; parent_span } ->
     W.put_int b chunk;
     W.put_string b program;
     W.put_string b source;
     W.put_string b tool;
     W.put_int b samples;
-    W.put_list b W.put_int todo
+    W.put_list b W.put_int todo;
+    W.put_string b trace;
+    W.put_int b parent_span
   | Outcome { chunk; entry } ->
     W.put_int b chunk;
     put_entry b entry
@@ -170,7 +268,9 @@ let encode f =
     W.put_int b chunk;
     W.put_string b message
   | Heartbeat { completed } -> W.put_int b completed
-  | Shutdown -> ());
+  | Shutdown -> ()
+  | Metrics_delta items -> W.put_list b put_item items
+  | Trace_batch events -> W.put_list b put_event events);
   Buffer.contents b
 
 (* ---- decode ----------------------------------------------------------- *)
@@ -204,6 +304,8 @@ let decode payload =
       let cache = W.get_bool c in
       let pipeline = W.get_option c W.get_string in
       let heartbeat_s = W.get_f64 c in
+      let obs = W.get_bool c in
+      let trace = W.get_bool c in
       Init
         {
           seed;
@@ -217,6 +319,8 @@ let decode payload =
           cache;
           pipeline;
           heartbeat_s;
+          obs;
+          trace;
         }
     | 3 ->
       let chunk = W.get_int c in
@@ -225,7 +329,9 @@ let decode payload =
       let tool = W.get_string c in
       let samples = W.get_int c in
       let todo = W.get_list c W.get_int in
-      Assign { chunk; program; source; tool; samples; todo }
+      let trace = W.get_string c in
+      let parent_span = W.get_int c in
+      Assign { chunk; program; source; tool; samples; todo; trace; parent_span }
     | 4 ->
       let chunk = W.get_int c in
       let entry = get_entry c in
@@ -281,6 +387,8 @@ let decode payload =
       let completed = W.get_int c in
       Heartbeat { completed }
     | 9 -> Shutdown
+    | 10 -> Metrics_delta (W.get_list c get_item)
+    | 11 -> Trace_batch (W.get_list c get_event)
     | t -> invalid_arg (Printf.sprintf "Shard.decode: unknown frame tag %d" t)
   in
   W.expect_end c;
@@ -296,6 +404,8 @@ let frame_name = function
   | Chunk_failed _ -> "chunk-failed"
   | Heartbeat _ -> "heartbeat"
   | Shutdown -> "shutdown"
+  | Metrics_delta _ -> "metrics-delta"
+  | Trace_batch _ -> "trace-batch"
 
 (* ---- framed IO over file descriptors ---------------------------------- *)
 

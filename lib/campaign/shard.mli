@@ -10,6 +10,9 @@
     properties). *)
 
 val version : int
+(** v2: observability plane — [Init] carries obs/trace switches, [Assign]
+    carries the trace context, workers stream [Metrics_delta] /
+    [Trace_batch] frames (DESIGN.md §17). *)
 
 type config = {
   seed : int;
@@ -23,6 +26,8 @@ type config = {
   cache : bool;
   pipeline : string option;  (** [Pipeline.print] form; [None] = tool default *)
   heartbeat_s : float;  (** min seconds between worker heartbeat frames *)
+  obs : bool;  (** worker enables its registry and forwards deltas *)
+  trace : bool;  (** worker buffers spans and ships [Trace_batch] frames *)
 }
 (** Campaign-wide settings, sent once per worker as the [Init] frame —
     the worker-process mirror of {!Experiment.run_cell}'s options. *)
@@ -60,6 +65,8 @@ type frame =
       tool : string;  (** {!Refine_core.Tool.kind_name} *)
       samples : int;  (** full cell sample count — keys the PRNG splits *)
       todo : int list;  (** sample indices this chunk must resolve *)
+      trace : string;  (** campaign trace id; [""] when tracing is off *)
+      parent_span : int;  (** coordinator's dispatch-span id for this chunk *)
     }
   | Outcome of { chunk : int; entry : Journal.entry }
       (** one resolved sample — a journal line on the wire *)
@@ -69,6 +76,13 @@ type frame =
       (** non-quarantine preparation failure: the cell degrades *)
   | Heartbeat of { completed : int }
   | Shutdown  (** coordinator → worker: exit after the current frame *)
+  | Metrics_delta of Refine_obs.Metrics.export_item list
+      (** worker → coordinator: cumulative registry snapshot (the
+          coordinator's {!Refine_obs.Metrics.merge_snapshot} turns it into
+          a delta) *)
+  | Trace_batch of Refine_obs.Span.event list
+      (** worker → coordinator: buffered spans, already re-parented under
+          the Assign trace context *)
 
 val tool_of_name : string -> Refine_core.Tool.kind
 (** Inverse of {!Refine_core.Tool.kind_name}; [Invalid_argument] on

@@ -31,6 +31,8 @@ module E = Experiment
 module J = Journal
 module F = Refine_core.Fault
 module T = Refine_core.Tool
+module M = Refine_obs.Metrics
+module Sp = Refine_obs.Span
 
 let env_var = "REFINE_SHARD_WORKER"
 
@@ -58,6 +60,19 @@ let quotas_of_config (c : S.config) =
 let placeholder ~program ~tool sample =
   { J.program; tool; sample; outcome = F.Benign; cost = 0L; attempts = 0 }
 
+(* Campaign-level counters the worker must never forward: the coordinator
+   counts these itself from Outcome/Quarantine frames (which stays exact
+   across worker crashes), and the worker-side values double-count anyway
+   (placeholder pre-resolution inflates resumed-samples, per-chunk
+   run_cell calls inflate cells). *)
+let campaign_level =
+  [
+    "refine_campaign_samples_total";
+    "refine_campaign_cells_total";
+    "refine_campaign_resumed_samples_total";
+    "refine_quarantined_cells_total";
+  ]
+
 let summary_of_cell ~chunk (cell : E.cell) : S.chunk_summary =
   {
     S.chunk;
@@ -80,8 +95,8 @@ let summary_of_cell ~chunk (cell : E.cell) : S.chunk_summary =
         cell.E.failures;
   }
 
-let run_assign ~(config : S.config) ~send ~completed ~chunk ~program ~source ~tool ~samples
-    ~todo =
+let run_assign ~(config : S.config) ~send ~ship ~completed ~chunk ~program ~source ~tool
+    ~samples ~todo =
   let tool_kind = S.tool_of_name tool in
   let in_todo = Hashtbl.create 64 in
   List.iter (fun i -> Hashtbl.replace in_todo i ()) todo;
@@ -109,7 +124,10 @@ let run_assign ~(config : S.config) ~send ~completed ~chunk ~program ~source ~to
     let now = Unix.gettimeofday () in
     if now -. !last_hb >= config.S.heartbeat_s then begin
       last_hb := now;
-      send (S.Heartbeat { completed = !completed })
+      send (S.Heartbeat { completed = !completed });
+      (* the heartbeat poll slot doubles as the telemetry-forwarding slot:
+         live dashboards see in-flight progress at heartbeat cadence *)
+      ship ()
     end
   in
   let pipeline = Option.map Refine_passes.Pipeline.parse config.S.pipeline in
@@ -119,10 +137,16 @@ let run_assign ~(config : S.config) ~send ~completed ~chunk ~program ~source ~to
       ~verify_mir:config.S.verify_mir ~verify_each:config.S.verify_each ~cache:config.S.cache
       ~samples ~seed:config.S.seed tool_kind ~program ~source ()
   with
-  | cell -> send (S.Chunk_done (summary_of_cell ~chunk cell))
+  | cell ->
+    (* final telemetry for this chunk must precede Chunk_done on the pipe:
+       the coordinator may stop reading once every chunk is summarized, so
+       ordering here is what makes fleet-merged counters exact *)
+    ship ();
+    send (S.Chunk_done (summary_of_cell ~chunk cell))
   | exception e ->
     (* non-quarantine preparation failure: the coordinator degrades the
        cell; the worker itself stays up for the next chunk *)
+    ship ();
     send (S.Chunk_failed { chunk; message = Printexc.to_string e })
 
 let main ?(input = Unix.stdin) ?(output = Unix.stdout) () =
@@ -135,11 +159,49 @@ let main ?(input = Unix.stdin) ?(output = Unix.stdout) () =
   let config = ref S.default_config in
   let completed = ref 0 in
   let running = ref true in
+  (* Telemetry forwarding: ship the registry as *cumulative* export items
+     (changed-since-last-ship only, to bound frame size) plus any spans
+     buffered in the memory sink.  The coordinator's merge_snapshot turns
+     cumulative values into deltas, which makes a re-shipped or reordered
+     snapshot harmless. *)
+  let last_shipped : (string * M.labels, M.value) Hashtbl.t = Hashtbl.create 64 in
+  let ship () =
+    let c = !config in
+    if c.S.obs then begin
+      let items =
+        List.filter
+          (fun (it : M.export_item) ->
+            (not (List.mem it.M.x_name campaign_level))
+            &&
+            match Hashtbl.find_opt last_shipped (it.M.x_name, it.M.x_labels) with
+            | Some v -> v <> it.M.x_value
+            | None -> true)
+          (M.export ())
+      in
+      List.iter
+        (fun (it : M.export_item) ->
+          Hashtbl.replace last_shipped (it.M.x_name, it.M.x_labels) it.M.x_value)
+        items;
+      if items <> [] then send (S.Metrics_delta items);
+      if c.S.trace then
+        match Sp.drain () with [] -> () | evs -> send (S.Trace_batch evs)
+    end
+  in
   let handle = function
-    | S.Init c -> config := c
-    | S.Assign { chunk; program; source; tool; samples; todo } ->
-      run_assign ~config:!config ~send ~completed ~chunk ~program ~source ~tool ~samples ~todo
-    | S.Shutdown -> running := false
+    | S.Init c ->
+      config := c;
+      if c.S.obs then Refine_obs.Control.enable ();
+      if c.S.trace then Sp.set_memory_sink ()
+    | S.Assign { chunk; program; source; tool; samples; todo; trace; parent_span } ->
+      (* adopt the coordinator's trace context: everything this chunk
+         emits re-parents under the coordinator's dispatch span *)
+      Sp.set_context ~trace ~parent:parent_span ();
+      run_assign ~config:!config ~send ~ship ~completed ~chunk ~program ~source ~tool ~samples
+        ~todo;
+      Sp.clear_context ()
+    | S.Shutdown ->
+      ship ();
+      running := false
     | f -> raise (S.Protocol_error ("worker: unexpected frame " ^ S.frame_name f))
   in
   while !running do

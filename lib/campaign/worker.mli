@@ -3,7 +3,12 @@
     over stdin/stdout.  Chunks run through the ordinary
     {!Experiment.run_cell} with a streaming {!Journal.sink} (each resolved
     sample becomes an [Outcome] frame) and a time-gated heartbeat invoked
-    from the in-flight poll slot — a hung sample stops heartbeating. *)
+    from the in-flight poll slot — a hung sample stops heartbeating.
+
+    When [Init] enables the observability plane (DESIGN.md §17), the
+    heartbeat slot also forwards telemetry: cumulative [Metrics_delta]
+    snapshots and buffered [Trace_batch] spans, with a final flush before
+    each chunk summary and on [Shutdown]. *)
 
 val env_var : string
 (** ["REFINE_SHARD_WORKER"] — set (non-empty, non-["0"]) in a spawned

@@ -203,6 +203,101 @@ let find name labels =
     (fun (n, l, v) -> if n = name && l = labels then Some v else None)
     (snapshot ())
 
+(* ---- fleet delta export / merge (DESIGN.md §17) ------------------------ *)
+
+type export_item = {
+  x_name : string;
+  x_labels : labels;
+  x_help : string;
+  x_value : value;
+}
+
+let export () =
+  List.map
+    (fun m ->
+      let name = name_of m in
+      let help = match Hashtbl.find_opt kinds name with Some (_, h) -> h | None -> "" in
+      { x_name = name; x_labels = labels_of m; x_help = help; x_value = value_of m })
+    (sorted_metrics ())
+
+type merge_state = (string * labels, value) Hashtbl.t
+
+let merge_source () : merge_state = Hashtbl.create 64
+
+(* Merge applicators bypass the [Control.enabled] gate: a coordinator must
+   land a remote worker's cumulative snapshot even if its own recording
+   switch happens to be off at that instant. *)
+let apply_counter c k =
+  if k <> 0 then begin
+    let cell = Domain.DLS.get c.c_key in
+    cell.n <- cell.n + k
+  end
+
+let apply_hist h dcounts dsum dnobs =
+  let cell = Domain.DLS.get h.h_key in
+  Array.iteri (fun i d -> cell.hc_counts.(i) <- cell.hc_counts.(i) + d) dcounts;
+  cell.hc_sum <- cell.hc_sum +. dsum;
+  cell.hc_nobs <- cell.hc_nobs + dnobs
+
+(* Each source ships *cumulative* values; [merge_snapshot] applies only the
+   elementwise non-negative difference against the last value applied from
+   that same source, then remembers the elementwise max.  Replayed or
+   reordered snapshots of a monotone series therefore contribute nothing
+   new — the merge is commutative and idempotent over any interleaving of
+   sources (pinned by qcheck in test_obs).  Items that clash with a local
+   registration (kind, or histogram bounds) are dropped rather than
+   corrupting the registry. *)
+let merge_snapshot (st : merge_state) items =
+  List.iter
+    (fun it ->
+      let key = (it.x_name, it.x_labels) in
+      let last = Hashtbl.find_opt st key in
+      try
+        match it.x_value with
+        | Counter v ->
+          let prev = match last with Some (Counter p) -> p | _ -> 0L in
+          let c = counter ~help:it.x_help ~labels:it.x_labels it.x_name in
+          let d = Int64.sub v prev in
+          if Int64.compare d 0L > 0 then apply_counter c (Int64.to_int d);
+          Hashtbl.replace st key (Counter (if Int64.compare v prev > 0 then v else prev))
+        | Gauge v ->
+          (* gauges are not monotone: last write from the source wins *)
+          let g = gauge ~help:it.x_help ~labels:it.x_labels it.x_name in
+          Atomic.set g.g_v v;
+          Hashtbl.replace st key (Gauge v)
+        | Histogram hv ->
+          let h = histogram ~help:it.x_help ~labels:it.x_labels ~buckets:hv.bounds it.x_name in
+          if h.h_bounds = hv.bounds && Array.length hv.counts = Array.length h.h_bounds + 1 then begin
+            let prev =
+              match last with
+              | Some (Histogram p) when p.bounds = hv.bounds -> p
+              | _ ->
+                { bounds = hv.bounds; counts = Array.make (Array.length hv.counts) 0L; sum = 0.0;
+                  count = 0L }
+            in
+            let dcounts =
+              Array.mapi
+                (fun i v ->
+                  let d = Int64.to_int (Int64.sub v prev.counts.(i)) in
+                  if d > 0 then d else 0)
+                hv.counts
+            in
+            let dsum = Float.max 0.0 (hv.sum -. prev.sum) in
+            let dnobs = max 0 (Int64.to_int (Int64.sub hv.count prev.count)) in
+            apply_hist h dcounts dsum dnobs;
+            let mcounts =
+              Array.mapi
+                (fun i v -> if Int64.compare v prev.counts.(i) > 0 then v else prev.counts.(i))
+                hv.counts
+            in
+            Hashtbl.replace st key
+              (Histogram
+                 { bounds = hv.bounds; counts = mcounts; sum = Float.max hv.sum prev.sum;
+                   count = (if Int64.compare hv.count prev.count > 0 then hv.count else prev.count) })
+          end
+      with Invalid_argument _ -> ())
+    items
+
 (* ---- Prometheus text exposition --------------------------------------- *)
 
 let escape_label s =
@@ -224,6 +319,19 @@ let render_labels = function
     ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
     ^ "}"
 
+(* HELP text runs to end-of-line, so only backslash and newline need
+   escaping (exposition-format escaping rules, stricter than labels). *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let render_float v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
@@ -239,7 +347,8 @@ let dump () =
         let kind, help =
           match Hashtbl.find_opt kinds name with Some kh -> kh | None -> (Kcounter, "")
         in
-        if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+        if help <> "" then
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
         Buffer.add_string buf
           (Printf.sprintf "# TYPE %s %s\n" name
              (match kind with Kcounter -> "counter" | Kgauge -> "gauge" | Khistogram -> "histogram"))

@@ -58,6 +58,38 @@ val snapshot : unit -> (string * labels * value) list
 
 val find : string -> labels -> value option
 
+(** {1 Fleet delta export / merge (DESIGN.md §17)}
+
+    Sharded campaigns ship each worker's registry to the coordinator as
+    periodic *cumulative* snapshots.  {!merge_snapshot} applies only the
+    elementwise non-negative difference against the last snapshot applied
+    from the same source, so the merge is commutative and idempotent over
+    any interleaving of (possibly replayed) snapshots — the merged
+    registry converges on the union of the fleet. *)
+
+type export_item = {
+  x_name : string;
+  x_labels : labels;
+  x_help : string;  (** carried so the receiver can register unseen metrics *)
+  x_value : value;
+}
+
+val export : unit -> export_item list
+(** Full cumulative snapshot of the registry with registration metadata,
+    sorted like {!snapshot}. *)
+
+type merge_state
+(** Last-applied values for one remote source.  Allocate one per source
+    (e.g. per worker incarnation) with {!merge_source}. *)
+
+val merge_source : unit -> merge_state
+
+val merge_snapshot : merge_state -> export_item list -> unit
+(** Merge one cumulative snapshot from the source tracked by [state] into
+    the local registry, registering metrics not seen locally.  Items that
+    clash with a local registration (kind or histogram bounds) are
+    dropped.  Bypasses the {!Control.enabled} gate. *)
+
 val dump : unit -> string
 (** Prometheus text exposition format ([# TYPE] / [# HELP] headers,
     cumulative [_bucket{le=...}] / [_sum] / [_count] histogram series). *)

@@ -1,0 +1,18 @@
+(** Loader for the JSONL span trace written by {!Span} file sinks
+    (DESIGN.md §17).
+
+    Mirrors the campaign journal's torn-line policy: a process killed
+    mid-append leaves at most one partial final line, which is dropped
+    without a parse attempt and flagged in [torn]; any other undecodable
+    line is counted in [skipped] instead of failing the load. *)
+
+type result = {
+  events : Span.event list;  (** decoded events, in file order *)
+  skipped : int;  (** undecodable lines dropped *)
+  torn : bool;  (** a torn (newline-less) final line was dropped *)
+}
+
+val load : string -> result
+
+val parse_event : string -> Span.event option
+(** Decode one JSONL line (exposed for tests). *)

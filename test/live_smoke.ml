@@ -1,0 +1,178 @@
+(* Live-observability smoke test: the status endpoint of DESIGN.md §17
+   serves a real sharded campaign while it runs.
+
+   A 2-worker campaign (with one worker SIGKILLed mid-flight) runs with
+   the status server on an ephemeral port; a client domain polls /status
+   throughout.  Afterwards:
+
+   1. every polled samples_done is monotone non-decreasing and the final
+      /status reports finished with all samples done;
+   2. the induced SIGKILL is visible in worker liveness (a restart count
+      in the workers array, and usually an alive=false sighting);
+   3. the final /metrics scrape byte-matches the file Metrics.save wrote
+      (the scrape IS the --metrics-out artifact) and passes promlint.
+
+   Run via:  dune build @live-smoke *)
+
+module C = Refine_campaign.Coordinator
+module E = Refine_campaign.Experiment
+module Rep = Refine_campaign.Report
+module Obs = Refine_obs
+module M = Obs.Metrics
+module Reg = Refine_bench_progs.Registry
+
+(* the coordinator re-execs this very binary as its workers *)
+let () = Refine_campaign.Worker.maybe_exec ()
+
+let check name cond =
+  if not cond then begin
+    Printf.printf "[live-smoke] FAIL: %s\n%!" name;
+    exit 1
+  end
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* every integer following a "key": occurrence *)
+let find_ints key body =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let nn = String.length needle and nb = String.length body in
+  let out = ref [] in
+  let rec scan i =
+    if i + nn > nb then List.rev !out
+    else if String.sub body i nn = needle then begin
+      let j = ref (i + nn) in
+      let start = !j in
+      if !j < nb && body.[!j] = '-' then incr j;
+      while !j < nb && body.[!j] >= '0' && body.[!j] <= '9' do incr j done;
+      if !j > start then out := int_of_string (String.sub body start (!j - start)) :: !out;
+      scan !j
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 and b = Bytes.create 4096 in
+      let rec go () =
+        match Unix.read fd b 0 4096 with
+        | 0 -> Buffer.contents buf
+        | n ->
+          Buffer.add_subbytes buf b 0 n;
+          go ()
+      in
+      go ())
+
+let body_of response =
+  let sep = "\r\n\r\n" in
+  let n = String.length response in
+  let rec find i =
+    if i + 4 > n then response else if String.sub response i 4 = sep then String.sub response (i + 4) (n - i - 4) else find (i + 1)
+  in
+  find 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let () =
+  let programs = [ "DC"; "EP" ] in
+  let samples = 12 and seed = 9 in
+  let srcs = List.map (fun n -> (n, (Reg.find n).Reg.source)) programs in
+  let total = List.length programs * List.length Rep.tools * samples in
+  Obs.Control.enable ();
+  let srv = Obs.Serve.create () in
+  let port = Obs.Serve.port srv in
+  Printf.printf "[live-smoke] status server on port %d\n%!" port;
+  let prom = Filename.temp_file "refine_live" ".prom" in
+  (* 0 = campaign running, 1 = campaign done + metrics saved, 2 = client done *)
+  let phase = Atomic.make 0 in
+
+  let client =
+    Domain.spawn (fun () ->
+        let polls = ref [] in
+        let saw_dead = ref false in
+        let rec watch () =
+          let st = body_of (http_get port "/status") in
+          (match find_ints "samples_done" st with v :: _ -> polls := v :: !polls | [] -> ());
+          if contains st "\"alive\":false" then saw_dead := true;
+          if Atomic.get phase >= 1 && contains st "\"finished\":true" then st
+          else begin
+            Unix.sleepf 0.005;
+            watch ()
+          end
+        in
+        let final_status = watch () in
+        let metrics = body_of (http_get port "/metrics") in
+        Atomic.set phase 2;
+        (List.rev !polls, !saw_dead, final_status, metrics))
+  in
+
+  (* kill worker 0 a quarter of the way in: the respawn must be visible
+     over /status as a nonzero restart count *)
+  let options =
+    {
+      C.default_options with
+      C.workers = 2;
+      status = Some srv;
+      chaos = { C.no_chaos with C.kill_worker = Some (0, total / 4) };
+    }
+  in
+  let cells = C.run_matrix ~options ~samples ~seed srcs Rep.tools in
+  M.save prom;
+  Atomic.set phase 1;
+  (* keep serving until the client has scraped the final state *)
+  while Atomic.get phase < 2 do
+    Obs.Serve.poll srv;
+    Unix.sleepf 0.002
+  done;
+  Obs.Serve.poll srv;
+  let polls, saw_dead, final_status, metrics = Domain.join client in
+  Obs.Serve.close srv;
+
+  check "campaign fully resolved"
+    (List.for_all (fun (c : E.cell) -> E.total c.E.counts = samples) cells);
+  check "status was polled during the run" (List.length polls >= 2);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  check "samples_done monotone non-decreasing" (monotone polls);
+  Printf.printf "[live-smoke] %d /status polls, progress %s\n%!" (List.length polls)
+    (match (polls, List.rev polls) with
+    | f :: _, l :: _ -> Printf.sprintf "%d -> %d" f l
+    | _ -> "-");
+
+  check "final status reports finished" (contains final_status "\"finished\":true");
+  (match find_ints "samples_done" final_status with
+  | v :: _ -> check "final samples_done = total" (v = total)
+  | [] -> check "final samples_done present" false);
+  check "final eta is 0" (contains final_status "\"eta_s\":0.000");
+  let restarts = List.fold_left ( + ) 0 (find_ints "restarts" final_status) in
+  check "induced SIGKILL visible as a worker restart" (restarts >= 1);
+  check "both worker slots reported" (List.length (find_ints "slot" final_status) = 2);
+  Printf.printf "[live-smoke] worker restarts over /status: %d%s\n%!" restarts
+    (if saw_dead then " (dead worker observed live)" else "");
+
+  check "/metrics scrape byte-matches the saved dump" (metrics = read_file prom);
+  (match Promlint.lint metrics with
+  | [] -> ()
+  | errs ->
+    Printf.printf "[live-smoke] FAIL: promlint: %s\n%!" (String.concat "; " errs);
+    exit 1);
+  check "scrape carries campaign counters" (contains metrics "refine_campaign_samples_total");
+  Sys.remove prom;
+  Printf.printf
+    "[live-smoke] PASS: live /status + /metrics over a crash-recovering campaign (%d samples)\n%!"
+    total

@@ -207,6 +207,17 @@ let () =
     (fun n -> if not (contains n) then fail "prometheus dump lacks %s" n)
     [ "# TYPE refine_campaign_samples_total counter"; "refine_span_duration_seconds_bucket"; "le=\"+Inf\"" ];
 
+  (* the raw dump must survive a strict exposition-format parser *)
+  let raw =
+    let ic = open_in prom in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (match Promlint.lint raw with
+  | [] -> print_endline "[obs-smoke] promlint: dump is clean"
+  | errs -> fail "promlint: %s" (String.concat "; " errs));
+
   (* overhead attribution reached the cells *)
   List.iter
     (fun (c : E.cell) ->

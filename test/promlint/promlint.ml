@@ -1,0 +1,208 @@
+(* A miniature promtool-style lint for the Prometheus text exposition
+   format (version 0.0.4), strict enough to catch the conformance bugs a
+   real scraper would choke on: samples without a preceding TYPE,
+   duplicate series, malformed label syntax, unparseable values,
+   histogram buckets that are not cumulative, and histograms missing the
+   +Inf bucket or with +Inf <> _count.  [lint] returns human-readable
+   complaints; the empty list means the dump parses cleanly. *)
+
+type sample = { s_name : string; s_labels : (string * string) list; s_value : string }
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  s <> ""
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+(* label names may not contain ':' *)
+let valid_label_name s =
+  s <> ""
+  && (let c = s.[0] in (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+  && String.for_all (fun c -> is_name_char c && c <> ':') s
+
+let valid_value s =
+  s = "+Inf" || s = "-Inf" || s = "NaN"
+  || match float_of_string_opt s with Some _ -> true | None -> false
+
+exception Bad of string
+
+(* parse one sample line: name{k="v",...} value *)
+let parse_sample line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  let name = String.sub line 0 !i in
+  if not (valid_name name) then raise (Bad (Printf.sprintf "invalid metric name in %S" line));
+  let labels = ref [] in
+  (if !i < n && line.[!i] = '{' then begin
+     incr i;
+     let rec pairs () =
+       if !i >= n then raise (Bad (Printf.sprintf "unterminated label set in %S" line));
+       if line.[!i] = '}' then incr i
+       else begin
+         let start = !i in
+         while !i < n && line.[!i] <> '=' do incr i done;
+         if !i >= n then raise (Bad (Printf.sprintf "label without '=' in %S" line));
+         let k = String.sub line start (!i - start) in
+         if not (valid_label_name k) then
+           raise (Bad (Printf.sprintf "invalid label name %S in %S" k line));
+         incr i;
+         if !i >= n || line.[!i] <> '"' then
+           raise (Bad (Printf.sprintf "label value not quoted in %S" line));
+         incr i;
+         let buf = Buffer.create 16 in
+         let rec str () =
+           if !i >= n then raise (Bad (Printf.sprintf "unterminated label value in %S" line));
+           match line.[!i] with
+           | '"' -> incr i
+           | '\\' ->
+               if !i + 1 >= n then raise (Bad (Printf.sprintf "trailing backslash in %S" line));
+               (match line.[!i + 1] with
+               | '\\' -> Buffer.add_char buf '\\'
+               | '"' -> Buffer.add_char buf '"'
+               | 'n' -> Buffer.add_char buf '\n'
+               | c -> raise (Bad (Printf.sprintf "bad escape '\\%c' in %S" c line)));
+               i := !i + 2;
+               str ()
+           | c ->
+               Buffer.add_char buf c;
+               incr i;
+               str ()
+         in
+         str ();
+         labels := (k, Buffer.contents buf) :: !labels;
+         if !i < n && line.[!i] = ',' then begin incr i; pairs () end
+         else if !i < n && line.[!i] = '}' then begin incr i end
+         else raise (Bad (Printf.sprintf "expected ',' or '}' in %S" line))
+       end
+     in
+     pairs ()
+   end);
+  if !i >= n || line.[!i] <> ' ' then
+    raise (Bad (Printf.sprintf "expected space before value in %S" line));
+  incr i;
+  let value = String.sub line !i (n - !i) in
+  if not (valid_value value) then raise (Bad (Printf.sprintf "unparseable value %S in %S" value line));
+  { s_name = name; s_labels = List.rev !labels; s_value = value }
+
+(* strip a _bucket/_sum/_count suffix to find the declaring family *)
+let family name =
+  let strip suf =
+    let ls = String.length suf and ln = String.length name in
+    if ln > ls && String.sub name (ln - ls) ls = suf then Some (String.sub name 0 (ln - ls))
+    else None
+  in
+  match strip "_bucket" with
+  | Some f -> f
+  | None -> ( match strip "_sum" with Some f -> f | None -> ( match strip "_count" with Some f -> f | None -> name))
+
+let lint text =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let helps : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let seen_series : (string * (string * string) list, unit) Hashtbl.t = Hashtbl.create 64 in
+  let samples = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      if line = "" then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        match String.split_on_char ' ' (String.sub line 7 (String.length line - 7)) with
+        | [ name; kind ] ->
+            if not (valid_name name) then err "TYPE line with invalid name: %S" line;
+            if not (List.mem kind [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ]) then
+              err "TYPE line with unknown kind %S" kind;
+            if Hashtbl.mem types name then err "duplicate TYPE for %s" name;
+            Hashtbl.replace types name kind
+        | _ -> err "malformed TYPE line: %S" line
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+        (match String.index_opt (String.sub line 7 (String.length line - 7)) ' ' with
+        | None -> err "malformed HELP line: %S" line
+        | Some i ->
+            let name = String.sub line 7 i in
+            if not (valid_name name) then err "HELP line with invalid name: %S" line
+            else begin
+              if Hashtbl.mem helps name then err "duplicate HELP for %s" name;
+              Hashtbl.replace helps name ()
+            end)
+      end
+      else if String.length line >= 1 && line.[0] = '#' then ()
+      else
+        match parse_sample line with
+        | exception Bad m -> err "%s" m
+        | s ->
+            let fam = family s.s_name in
+            if not (Hashtbl.mem types fam || Hashtbl.mem types s.s_name) then
+              err "sample %s without a preceding TYPE" s.s_name;
+            let key = (s.s_name, List.sort compare s.s_labels) in
+            if Hashtbl.mem seen_series key then
+              err "duplicate series %s{%s}" s.s_name
+                (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) s.s_labels));
+            Hashtbl.replace seen_series key ();
+            samples := s :: !samples)
+    lines;
+  let samples = List.rev !samples in
+  (* histogram shape: per (family, non-le labels): buckets cumulative,
+     +Inf present, +Inf = _count, _sum and _count present *)
+  Hashtbl.iter
+    (fun name kind ->
+      if kind = "histogram" then begin
+        let buckets = ref [] and counts = ref [] and sums = ref [] in
+        List.iter
+          (fun s ->
+            if s.s_name = name ^ "_bucket" then
+              buckets :=
+                (List.filter (fun (k, _) -> k <> "le") s.s_labels,
+                 List.assoc_opt "le" s.s_labels, s.s_value)
+                :: !buckets
+            else if s.s_name = name ^ "_count" then counts := (s.s_labels, s.s_value) :: !counts
+            else if s.s_name = name ^ "_sum" then sums := (s.s_labels, s.s_value) :: !sums)
+          samples;
+        let groups =
+          List.sort_uniq compare (List.map (fun (g, _, _) -> g) !buckets)
+        in
+        if groups = [] then err "histogram %s has no buckets" name;
+        List.iter
+          (fun g ->
+            let mine = List.filter (fun (g', _, _) -> g' = g) (List.rev !buckets) in
+            (match List.filter (fun (_, le, _) -> le = None) mine with
+            | [] -> ()
+            | _ -> err "histogram %s bucket without le label" name);
+            let parsed =
+              List.filter_map
+                (fun (_, le, v) ->
+                  match le with
+                  | Some le ->
+                      let b = if le = "+Inf" then infinity else float_of_string le in
+                      Some (b, float_of_string v)
+                  | None -> None)
+                mine
+            in
+            let sorted = List.sort (fun (a, _) (b, _) -> compare a b) parsed in
+            let rec cumulative = function
+              | (_, c1) :: ((_, c2) :: _ as rest) ->
+                  if c2 < c1 then err "histogram %s buckets not cumulative" name;
+                  cumulative rest
+              | _ -> ()
+            in
+            cumulative sorted;
+            (match List.rev sorted with
+            | (b, last) :: _ ->
+                if b <> infinity then err "histogram %s missing +Inf bucket" name
+                else begin
+                  match List.assoc_opt g !counts with
+                  | None -> err "histogram %s missing _count" name
+                  | Some c ->
+                      if float_of_string c <> last then
+                        err "histogram %s: +Inf bucket %g <> _count %s" name last c
+                end
+            | [] -> err "histogram %s missing +Inf bucket" name);
+            if List.assoc_opt g !sums = None then err "histogram %s missing _sum" name)
+          groups
+      end)
+    types;
+  List.rev !errors

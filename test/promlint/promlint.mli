@@ -1,0 +1,9 @@
+(** Miniature promtool-style lint for the Prometheus text exposition
+    format.  [lint dump] returns one human-readable complaint per
+    conformance violation (sample without TYPE, duplicate series, bad
+    label syntax, unparseable value, non-cumulative histogram buckets,
+    missing +Inf bucket, +Inf <> _count, missing _sum/_count); the empty
+    list means a strict parser accepts the dump.  Test-only — run it
+    over every metrics dump the suite produces. *)
+
+val lint : string -> string list

@@ -12,6 +12,8 @@ module J = Refine_campaign.Journal
 module W = Refine_support.Wire
 module F = Refine_core.Fault
 module T = Refine_core.Tool
+module M = Refine_obs.Metrics
+module Sp = Refine_obs.Span
 
 (* ---- frame generators -------------------------------------------------- *)
 
@@ -34,7 +36,8 @@ let gen_config =
   QCheck.Gen.(
     map
       (fun ((seed, retries, cost_cap, output_quota, wall_clock, livelock),
-            (verify_mir, verify_each, cache, pipeline, heartbeat_s)) ->
+            (verify_mir, verify_each, cache, pipeline, heartbeat_s),
+            (obs, trace)) ->
         {
           S.seed;
           retries;
@@ -47,10 +50,54 @@ let gen_config =
           cache;
           pipeline;
           heartbeat_s;
+          obs;
+          trace;
         })
-      (pair
+      (tup3
          (tup6 int small_nat (opt gen_i64) (opt small_nat) (opt gen_f) (opt small_nat))
-         (tup5 bool bool bool (opt gen_str) gen_f)))
+         (tup5 bool bool bool (opt gen_str) gen_f)
+         (pair bool bool)))
+
+(* ---- observability-plane payloads -------------------------------------- *)
+
+let gen_labels = QCheck.Gen.(small_list (pair gen_str gen_str))
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> M.Counter v) gen_i64;
+        map (fun v -> M.Gauge v) gen_f;
+        map
+          (fun (raw, cs, sum, count) ->
+            let bounds = Array.of_list (List.sort_uniq compare raw) in
+            let ncs = List.length cs in
+            let counts =
+              Array.init (Array.length bounds + 1) (fun i ->
+                  Int64.of_int (List.nth cs (i mod ncs)))
+            in
+            M.Histogram { M.bounds; counts; sum; count })
+          (tup4
+             (list_size (int_range 1 5) gen_f)
+             (list_size (int_range 1 6) small_nat)
+             gen_f
+             (map Int64.of_int small_nat));
+      ])
+
+let gen_item =
+  QCheck.Gen.(
+    map
+      (fun (x_name, x_labels, x_help, x_value) -> { M.x_name; x_labels; x_help; x_value })
+      (tup4 gen_str gen_labels gen_str gen_value))
+
+let gen_event =
+  QCheck.Gen.(
+    map
+      (fun ((name, attrs, t_start, dur_s, depth), (domain, cost, ok, trace, span_id, parent)) ->
+        { Sp.name; attrs; t_start; dur_s; depth; domain; cost; ok; trace; span_id; parent })
+      (pair
+         (tup5 gen_str gen_labels gen_f gen_f small_nat)
+         (tup6 small_nat gen_i64 bool gen_str small_nat small_nat)))
 
 let gen_summary =
   QCheck.Gen.(
@@ -86,9 +133,11 @@ let gen_frame =
         map (fun (pid, version) -> S.Hello { pid; version }) (pair small_nat small_nat);
         map (fun c -> S.Init c) gen_config;
         map
-          (fun ((chunk, program, source, tool), (samples, todo)) ->
-            S.Assign { chunk; program; source; tool; samples; todo })
-          (pair (tup4 small_nat gen_str gen_str gen_str) (pair small_nat (small_list small_nat)));
+          (fun ((chunk, program, source, tool), (samples, todo, trace, parent_span)) ->
+            S.Assign { chunk; program; source; tool; samples; todo; trace; parent_span })
+          (pair
+             (tup4 small_nat gen_str gen_str gen_str)
+             (tup4 small_nat (small_list small_nat) gen_str small_nat));
         map (fun (chunk, entry) -> S.Outcome { chunk; entry }) (pair small_nat gen_entry);
         map
           (fun (program, tool, reason) -> S.Quarantine { program; tool; reason })
@@ -99,6 +148,8 @@ let gen_frame =
           (pair small_nat gen_str);
         map (fun completed -> S.Heartbeat { completed }) small_nat;
         return S.Shutdown;
+        map (fun items -> S.Metrics_delta items) (small_list gen_item);
+        map (fun events -> S.Trace_batch events) (small_list gen_event);
       ])
 
 let arb_frame = QCheck.make ~print:S.frame_name gen_frame
@@ -189,6 +240,51 @@ let test_workers_match_domains () =
   let t5 cells = Rep.table5 (Rep.chi2_rows cells [ "tiny" ]) in
   Alcotest.(check string) "table5 identical" (t5 sequential) (t5 sharded)
 
+(* The observability-plane headline (DESIGN.md §17): with cell-granular
+   chunks, the coordinator's merged fleet counters are the same multiset
+   of (name, labels, value) as an in-process domains run — not
+   approximately, exactly.  [~cache:false] on both runs so neither can
+   skip golden-run profiling via a prepared-tier hit from earlier
+   tests. *)
+let det_counters =
+  [
+    "refine_campaign_samples_total";
+    "refine_campaign_cells_total";
+    "refine_exec_steps_total";
+    "refine_fi_site_hits_total";
+    "refine_run_cost_units_total";
+  ]
+
+let test_fleet_counters_match_domains () =
+  let samples = 6 and seed = 13 in
+  let programs = [ ("tiny", src) ] in
+  Refine_obs.Control.enable ();
+  let show (name, labels, v) =
+    let ls = String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels) in
+    let vs =
+      match v with
+      | M.Counter c -> Int64.to_string c
+      | M.Gauge g -> string_of_float g
+      | M.Histogram h -> Printf.sprintf "hist:%Ld" h.M.count
+    in
+    Printf.sprintf "%s{%s} %s" name ls vs
+  in
+  let capture () =
+    List.filter_map
+      (fun ((name, _, _) as m) -> if List.mem name det_counters then Some (show m) else None)
+      (M.snapshot ())
+  in
+  M.reset ();
+  let _ = E.run_matrix ~domains:2 ~cache:false ~samples ~seed programs Rep.tools in
+  let reference = capture () in
+  M.reset ();
+  let options = { C.default_options with C.workers = 2; chunk_samples = Some samples } in
+  let _ = C.run_matrix ~options ~cache:false ~samples ~seed programs Rep.tools in
+  let fleet = capture () in
+  M.reset ();
+  Refine_obs.Control.disable ();
+  Alcotest.(check (list string)) "fleet-merged counters = domains run" reference fleet
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let tests =
@@ -200,4 +296,5 @@ let tests =
     Alcotest.test_case "tool name mapping" `Quick test_tool_names;
     Alcotest.test_case "unknown tag rejected" `Quick test_unknown_tag;
     Alcotest.test_case "workers = domains = sequential" `Quick test_workers_match_domains;
+    Alcotest.test_case "fleet counters = domains counters" `Quick test_fleet_counters_match_domains;
   ]
