@@ -617,7 +617,10 @@ let extensions_section () =
         Int64.to_int
           (Int64.add 1L (Refine_support.Prng.int64 r prepared.T.profile.Refine_core.Fault.dyn_count))
       in
-      let ctrl = Refine_core.Pinfi.create ~flips (Refine_core.Runtime.Inject { target; rng = r }) in
+      let ctrl =
+        Refine_core.Pinfi.create ~flips
+          (Refine_core.Runtime.Inject { target; rng = r; model = Refine_core.Fault.Reg_bit })
+      in
       let eng = Refine_machine.Exec.create prepared.T.image in
       Refine_core.Pinfi.attach ctrl eng;
       let res =
@@ -721,6 +724,71 @@ let shard_section () =
     exit 1
   end
 
+(* ---- BENCH_faultmodels.json: cross-layer fault-model probe ----------------
+   DESIGN.md §18: the same (DC+EP x 3 tools) matrix under every fault model
+   — register bit (the paper's), memory cell, instruction image, 3-bit
+   independent and 4-bit burst.  Reports per-model campaign wall time
+   (overhead vs reg) and the outcome-distribution shift vs the reg-bit
+   reference (total variation distance over crash/SOC/benign), and checks
+   the new refine_injections_total{tool,model} series lint clean. *)
+
+let faultmodels_section () =
+  section "Cross-layer fault models (reg / mem / instr / multi:3 / burst:4)";
+  let module F = Refine_core.Fault in
+  let progs = [ "DC"; "EP" ] in
+  let srcs = List.map (fun n -> (n, (Reg.find n).Reg.source)) progs in
+  let n = min samples 48 in
+  let models = [ "reg"; "mem"; "instr"; "multi:3"; "burst:4" ] in
+  let dist (cells : E.cell list) =
+    let tot = List.fold_left (fun acc (c : E.cell) -> acc + E.total c.E.counts) 0 cells in
+    let sum f = List.fold_left (fun acc (c : E.cell) -> acc + f c.E.counts) 0 cells in
+    let p x = float_of_int x /. float_of_int (max 1 tot) in
+    (p (sum (fun c -> c.E.crash)), p (sum (fun c -> c.E.soc)), p (sum (fun c -> c.E.benign)))
+  in
+  let tv (c1, s1, b1) (c2, s2, b2) =
+    0.5 *. (abs_float (c1 -. c2) +. abs_float (s1 -. s2) +. abs_float (b1 -. b2))
+  in
+  let runs =
+    List.map
+      (fun name ->
+        let model = F.model_of_string name in
+        let t0 = Unix.gettimeofday () in
+        let cells = E.run_matrix ~model ~samples:n ~seed srcs Rep.tools in
+        (name, Unix.gettimeofday () -. t0, dist cells))
+      models
+  in
+  let _, reg_wall, reg_dist = List.hd runs in
+  List.iter
+    (fun (name, wall, d) ->
+      let c, s, b = d in
+      Printf.printf "  %-8s %6.2fs (%.2fx vs reg)  crash/SOC/benign %4.1f/%4.1f/%4.1f%%  shift vs reg %.3f\n"
+        name wall
+        (if reg_wall > 0.0 then wall /. reg_wall else 0.0)
+        (100.0 *. c) (100.0 *. s) (100.0 *. b) (tv d reg_dist))
+    runs;
+  (* the per-model injection counters must lint clean *)
+  (match Promlint.lint (Obs.Metrics.dump ()) with
+  | [] -> Printf.printf "  promlint: injection counters clean\n"
+  | errs ->
+    Printf.printf "[fault-model probe: PROMLINT VIOLATION: %s]\n" (String.concat "; " errs);
+    exit 1);
+  let oc = open_out "BENCH_faultmodels.json" in
+  Printf.fprintf oc "{\n  \"experiments_per_model\": %d,\n  \"models\": [\n%s\n  ]\n}\n"
+    (List.length progs * 3 * n)
+    (String.concat ",\n"
+       (List.map
+          (fun (name, wall, d) ->
+            let c, s, b = d in
+            Printf.sprintf
+              "    { \"model\": \"%s\", \"wall_s\": %.6f, \"overhead_vs_reg\": %.3f, \
+               \"crash\": %.4f, \"soc\": %.4f, \"benign\": %.4f, \"shift_vs_reg\": %.4f }"
+              name wall
+              (if reg_wall > 0.0 then wall /. reg_wall else 0.0)
+              c s b (tv d reg_dist))
+          runs));
+  close_out oc;
+  Printf.printf "[fault-model probe written to BENCH_faultmodels.json]\n"
+
 (* ---- live status endpoint overhead probe ---------------------------------
    DESIGN.md §17: with observability on, workers forward telemetry from
    their heartbeat slot whether or not anyone is watching; the /status
@@ -803,6 +871,7 @@ let () =
     fastpath_section ~campaign_sps ()
   end;
   if getenv_default "REFINE_SHARD" "1" <> "0" then shard_section ();
+  if getenv_default "REFINE_FAULTMODELS" "1" <> "0" then faultmodels_section ();
   let live =
     if obs && getenv_default "REFINE_LIVE" "1" <> "0" then Some (live_section ()) else None
   in

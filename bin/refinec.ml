@@ -161,8 +161,20 @@ let fi_cmd =
     Arg.(value & opt int 100 & info [ "samples" ] ~docv:"N" ~doc:"Number of FI experiments.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
-  let action src tool funcs instrs samples seed opt passes verify_each no_cache =
+  let fault_model =
+    Arg.(value & opt string "reg"
+         & info [ "fault-model" ] ~docv:"MODEL"
+             ~doc:"What state each fault strikes: $(b,reg) (single register bit, the paper's \
+                   model), $(b,mem) (one bit of a data memory cell), $(b,instr) (the in-flight \
+                   instruction image), $(b,multi:K) (K independent register bits per fault) or \
+                   $(b,burst:K) (K adjacent register bits).")
+  in
+  let action src tool funcs instrs samples seed fault_model opt passes verify_each no_cache =
     if no_cache then Refine_passes.Artifact_cache.enabled := false;
+    let model =
+      try Refine_core.Fault.model_of_string fault_model
+      with Invalid_argument msg -> Printf.eprintf "bad --fault-model: %s\n" msg; exit 2
+    in
     if String.lowercase_ascii tool = "opcode" then begin
       (* the §4.5 extension: persistent valid-opcode corruption *)
       let m = Refine_minic.Frontend.compile (read_source src) in
@@ -201,11 +213,13 @@ let fi_cmd =
       }
     in
     let cell =
-      Refine_campaign.Experiment.run_cell ~sel ~pipeline:(spec_of opt passes) ~verify_each
-        ~samples ~seed kind ~program:src ~source:(read_source src) ()
+      Refine_campaign.Experiment.run_cell ~sel ~model ~pipeline:(spec_of opt passes)
+        ~verify_each ~samples ~seed kind ~program:src ~source:(read_source src) ()
     in
     let module E = Refine_campaign.Experiment in
-    Printf.printf "tool: %s   program: %s\n" (Refine_core.Tool.kind_name kind) src;
+    Printf.printf "tool: %s   program: %s   fault model: %s\n"
+      (Refine_core.Tool.kind_name kind) src
+      (Refine_core.Fault.string_of_model model);
     Printf.printf "dynamic FI targets: %Ld   static sites: %d\n"
       cell.E.profile.Refine_core.Fault.dyn_count cell.E.static_instrumented;
     Printf.printf "samples: %d   (margin of error ±%.1f%% at 95%%)\n" samples
@@ -220,8 +234,8 @@ let fi_cmd =
   Cmd.v
     (Cmd.info "fi"
        ~doc:"Run a fault-injection campaign cell (profiling + N classified injections).")
-    Term.(const action $ src_arg $ tool $ funcs $ instrs $ samples $ seed $ opt_arg $ passes_arg
-          $ verify_each_arg $ no_cache_arg)
+    Term.(const action $ src_arg $ tool $ funcs $ instrs $ samples $ seed $ fault_model
+          $ opt_arg $ passes_arg $ verify_each_arg $ no_cache_arg)
 
 (* ---- passes ---- *)
 
@@ -290,6 +304,16 @@ let campaign_cmd =
     Arg.(value & opt int 200 & info [ "samples" ] ~docv:"N" ~doc:"Experiments per cell.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let fault_models =
+    Arg.(value & opt string "reg"
+         & info [ "fault-model" ] ~docv:"MODELS"
+             ~doc:"Comma-separated fault models to run the matrix under: $(b,reg) (single \
+                   register bit, the paper's model), $(b,mem) (memory-cell bit), $(b,instr) \
+                   (instruction-image corruption), $(b,multi:K) and $(b,burst:K) (K-bit \
+                   register faults).  Each model runs the full (program, tool) grid; the \
+                   report renders one Table 5/6 section per model and the CSV tags every \
+                   row with its model.")
+  in
   let csv =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the cells to a CSV file.")
@@ -374,12 +398,22 @@ let campaign_cmd =
                    per-worker liveness, rolling samples/s and ETA), $(b,/metrics) (Prometheus \
                    text) and $(b,/healthz).  Implies observability.")
   in
-  let action programs samples seed csv journal resume retries sample_timeout domains workers
-      metrics_out trace_out status_port output_quota wall_clock livelock no_verify_mir opt
-      passes verify_each no_cache =
+  let action programs samples seed fault_models csv journal resume retries sample_timeout
+      domains workers metrics_out trace_out status_port output_quota wall_clock livelock
+      no_verify_mir opt passes verify_each no_cache =
     if metrics_out <> None || trace_out <> None || status_port <> None then
       Refine_obs.Control.enable ();
     if no_cache then Refine_passes.Artifact_cache.enabled := false;
+    let models =
+      String.split_on_char ',' fault_models |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             try Refine_core.Fault.model_of_string s
+             with Invalid_argument msg ->
+               Printf.eprintf "bad --fault-model: %s\n" msg;
+               exit 2)
+    in
+    let models = if models = [] then [ Refine_core.Fault.Reg_bit ] else models in
     (match trace_out with
     | Some path -> Refine_obs.Span.set_file_sink path
     | None -> ());
@@ -415,10 +449,13 @@ let campaign_cmd =
         let options =
           { Refine_campaign.Coordinator.default_options with workers = w; status = server }
         in
-        Refine_campaign.Coordinator.run_matrix ~options ?journal ~retries
-          ?cost_cap:sample_timeout ~quotas ~pipeline:(spec_of opt passes)
-          ~verify_mir:(not no_verify_mir) ~verify_each ~cache:(not no_cache) ~samples ~seed
-          srcs Refine_campaign.Report.tools
+        List.concat_map
+          (fun model ->
+            Refine_campaign.Coordinator.run_matrix ~options ?journal ~retries
+              ?cost_cap:sample_timeout ~quotas ~model ~pipeline:(spec_of opt passes)
+              ~verify_mir:(not no_verify_mir) ~verify_each ~cache:(not no_cache) ~samples
+              ~seed srcs Refine_campaign.Report.tools)
+          models
       | _ ->
         (* in-process path: a tiny pump domain drives the server, and the
            /status provider reads the campaign's own progress counters *)
@@ -426,7 +463,10 @@ let campaign_cmd =
         let pump =
           Option.map
             (fun s ->
-              let total = List.length srcs * List.length Refine_campaign.Report.tools in
+              let total =
+                List.length srcs * List.length Refine_campaign.Report.tools
+                * List.length models
+              in
               let sum name =
                 List.fold_left
                   (fun acc (n, _, v) ->
@@ -461,15 +501,32 @@ let campaign_cmd =
             Atomic.set stop true;
             Option.iter Domain.join pump)
           (fun () ->
-            Refine_campaign.Experiment.run_matrix ?domains ?journal ~retries
-              ?cost_cap:sample_timeout ~quotas ~pipeline:(spec_of opt passes)
-              ~verify_mir:(not no_verify_mir) ~verify_each ~samples ~seed srcs
-              Refine_campaign.Report.tools)
+            List.concat_map
+              (fun model ->
+                Refine_campaign.Experiment.run_matrix ?domains ?journal ~retries
+                  ?cost_cap:sample_timeout ~quotas ~model ~pipeline:(spec_of opt passes)
+                  ~verify_mir:(not no_verify_mir) ~verify_each ~samples ~seed srcs
+                  Refine_campaign.Report.tools)
+              models)
     in
-    List.iter (fun p -> print_string (Refine_campaign.Report.figure4_program cells p)) names;
-    print_string (Refine_campaign.Report.table5 (Refine_campaign.Report.chi2_rows cells names));
-    print_string (Refine_campaign.Report.figure5 cells names);
-    print_string (Refine_campaign.Report.overhead_table cells names);
+    (* figure 4/5 and the overhead table read the paper's reg-bit shape:
+       render them over the first model's cells; the per-model Table 5/6
+       sections cover every model in the run *)
+    let first_cells =
+      match Refine_campaign.Report.models cells with
+      | [] -> cells
+      | m :: _ -> Refine_campaign.Report.cells_of_model m cells
+    in
+    List.iter
+      (fun p -> print_string (Refine_campaign.Report.figure4_program first_cells p))
+      names;
+    (match models with
+    | [ _ ] ->
+      print_string
+        (Refine_campaign.Report.table5 (Refine_campaign.Report.chi2_rows cells names))
+    | _ -> print_string (Refine_campaign.Report.model_sections cells names));
+    print_string (Refine_campaign.Report.figure5 first_cells names);
+    print_string (Refine_campaign.Report.overhead_table first_cells names);
     print_string (Refine_campaign.Report.quarantine_report cells);
     let journal_skipped =
       match journal with Some j -> Refine_campaign.Journal.skipped j | None -> 0
@@ -512,10 +569,10 @@ let campaign_cmd =
              observability exports ($(b,--metrics-out)/$(b,--trace-out)), a live status \
              endpoint ($(b,--status-port)), and sandbox quotas \
              ($(b,--output-quota)/$(b,--wall-clock)/$(b,--livelock)).")
-    Term.(const action $ programs $ samples $ seed $ csv $ journal $ resume $ retries
-          $ sample_timeout $ domains $ workers $ metrics_out $ trace_out $ status_port
-          $ output_quota $ wall_clock $ livelock $ no_verify_mir $ opt_arg $ passes_arg
-          $ verify_each_arg $ no_cache_arg)
+    Term.(const action $ programs $ samples $ seed $ fault_models $ csv $ journal $ resume
+          $ retries $ sample_timeout $ domains $ workers $ metrics_out $ trace_out
+          $ status_port $ output_quota $ wall_clock $ livelock $ no_verify_mir $ opt_arg
+          $ passes_arg $ verify_each_arg $ no_cache_arg)
 
 (* hidden internal entry point: serve shard frames on stdin/stdout.  The
    coordinator normally reaches the worker loop via the REFINE_SHARD_WORKER

@@ -286,10 +286,11 @@ let reap w =
 (* ---- the campaign ----------------------------------------------------- *)
 
 let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
-    ?(quotas = T.default_quotas) ?pipeline ?(verify_mir = true) ?(verify_each = false)
-    ?(cache = true) ~samples ~seed (programs : (string * string) list) (tools : T.kind list) :
-    E.cell list =
+    ?(quotas = T.default_quotas) ?(model = F.Reg_bit) ?pipeline ?(verify_mir = true)
+    ?(verify_each = false) ?(cache = true) ~samples ~seed
+    (programs : (string * string) list) (tools : T.kind list) : E.cell list =
   if options.workers < 1 then invalid_arg "Coordinator.run_matrix: workers < 1";
+  let model_name = F.string_of_model model in
   (* a worker dying mid-assign must surface as EPIPE, not kill us *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let exe = match options.exe with Some e -> e | None -> Sys.executable_name in
@@ -341,7 +342,7 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
                       Obs.Metrics.inc m_resumed;
                       Hashtbl.replace resolved i e
                     end)
-                  (J.completed j ~program ~tool:tool_name)));
+                  (J.completed ~model:model_name j ~program ~tool:tool_name)));
             {
               program;
               source;
@@ -509,6 +510,7 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
                 program = cell.program;
                 source = cell.source;
                 tool = cell.tool_name;
+                model = model_name;
                 samples = cell.samples;
                 todo = ch.todo;
                 trace = trace_id;
@@ -543,7 +545,9 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
         if Hashtbl.mem cell.resolved entry.J.sample then Obs.Metrics.inc m_dup
         else begin
           (* normalize the identity to the coordinator's view of the cell *)
-          let entry = { entry with J.program = cell.program; tool = cell.tool_name } in
+          let entry =
+            { entry with J.program = cell.program; tool = cell.tool_name; model = model_name }
+          in
           Hashtbl.replace cell.resolved entry.J.sample entry;
           incr unique;
           Obs.Metrics.inc (m_outcome entry.J.outcome);
@@ -609,6 +613,13 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
       List.iter (fun f -> if w.alive then handle_frame ~now w f) fs
     | exception S.Protocol_error msg ->
       Printf.eprintf "[shard] worker %d: %s — killing\n%!" w.slot msg;
+      sigkill w;
+      handle_death w
+    | exception S.Protocol_mismatch { expected_version; tag } ->
+      (* version skew, not corruption: the worker is a different build *)
+      Printf.eprintf
+        "[shard] worker %d sent frame tag %d unknown to protocol v%d — version skew, killing\n%!"
+        w.slot tag expected_version;
       sigkill w;
       handle_death w
     | exception Unix.Unix_error _ -> handle_death w
@@ -741,6 +752,7 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
         {
           E.program = c.program;
           tool = c.tool;
+          model;
           samples = c.samples;
           counts = E.zero;
           injection_cost = 0L;
@@ -754,6 +766,7 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
         {
           E.program = c.program;
           tool = c.tool;
+          model;
           samples = c.samples;
           counts = { E.zero with E.tool_error = c.samples };
           injection_cost = 0L;
@@ -787,6 +800,7 @@ let run_matrix ?(options = default_options) ?journal ?(retries = 0) ?cost_cap
         {
           E.program = c.program;
           tool = c.tool;
+          model;
           samples = c.samples;
           counts;
           injection_cost;

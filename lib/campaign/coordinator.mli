@@ -64,6 +64,7 @@ val run_matrix :
   ?retries:int ->
   ?cost_cap:int64 ->
   ?quotas:Refine_core.Tool.quotas ->
+  ?model:Refine_core.Fault.model ->
   ?pipeline:Refine_passes.Pipeline.spec ->
   ?verify_mir:bool ->
   ?verify_each:bool ->
@@ -77,7 +78,9 @@ val run_matrix :
     journal resume semantics (resolved samples load instead of re-running;
     journaled quarantines short-circuit), same bit-identical counts and
     injection costs for a given [seed] — pinned by the workers-vs-domains
-    equality test.  Differences: cells carry an empty [golden_output]
+    equality test.  [model] (default {!Refine_core.Fault.Reg_bit}) travels
+    to workers in every [Assign] frame and stamps resolved entries, so
+    per-model campaigns shard exactly like register-bit ones.  Differences: cells carry an empty [golden_output]
     (like CSV-loaded cells, only its length crosses the wire) and
     [timing] sums per-chunk attributions, so repeated chunk preparations
     legitimately inflate it relative to a single-process run.  Only the

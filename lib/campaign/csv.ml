@@ -1,11 +1,21 @@
 (* CSV export/import of campaign results, so long campaigns can be archived
    and re-analyzed without re-running (the paper's 44,856-experiment matrix
-   took cluster time; ours persists to a file). *)
+   took cluster time; ours persists to a file).
+
+   The current schema appends the fault-model columns ([fault_model],
+   [bits], DESIGN.md §18); [of_string] also accepts the pre-model 17-column
+   header, loading such rows as Reg_bit cells, so archived campaigns stay
+   readable forever. *)
 
 module E = Experiment
 module T = Refine_core.Tool
+module F = Refine_core.Fault
 
 let header =
+  "program,tool,fault_model,bits,samples,crash,soc,benign,tool_error,dyn_count,profile_cost,injection_cost,static_sites,instrument_s,compile_s,execute_s,harness_s,quarantined,quarantine_reason"
+
+(* the pre-model schema (v1): no fault_model/bits columns *)
+let legacy_header =
   "program,tool,samples,crash,soc,benign,tool_error,dyn_count,profile_cost,injection_cost,static_sites,instrument_s,compile_s,execute_s,harness_s,quarantined,quarantine_reason"
 
 (* reasons must stay a single CSV field; Journal.record_quarantine already
@@ -14,9 +24,11 @@ let sanitize_reason s =
   String.map (function ',' | '\n' | '\r' | '\t' -> ' ' | c -> c) s
 
 let row_of_cell (c : E.cell) =
-  Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%Ld,%Ld,%Ld,%d,%.6f,%.6f,%.6f,%.6f,%d,%s" c.E.program
-    (T.kind_name c.E.tool) c.E.samples c.E.counts.E.crash c.E.counts.E.soc c.E.counts.E.benign
-    c.E.counts.E.tool_error c.E.profile.Refine_core.Fault.dyn_count
+  Printf.sprintf "%s,%s,%s,%d,%d,%d,%d,%d,%d,%Ld,%Ld,%Ld,%d,%.6f,%.6f,%.6f,%.6f,%d,%s"
+    c.E.program (T.kind_name c.E.tool)
+    (F.string_of_model c.E.model)
+    (F.model_bits c.E.model) c.E.samples c.E.counts.E.crash c.E.counts.E.soc
+    c.E.counts.E.benign c.E.counts.E.tool_error c.E.profile.Refine_core.Fault.dyn_count
     c.E.profile.Refine_core.Fault.profile_cost c.E.injection_cost c.E.static_instrumented
     c.E.timing.E.instrument_s c.E.timing.E.compile_s c.E.timing.E.execute_s
     c.E.timing.E.harness_s
@@ -39,6 +51,10 @@ let tool_of_name = function
   | "PINFI" -> T.Pinfi
   | s -> raise (Parse_error ("unknown tool " ^ s))
 
+let model_of_name s =
+  try F.model_of_string s
+  with Invalid_argument _ -> raise (Parse_error ("unknown fault model " ^ s))
+
 (* Parses rows back into cells.  The golden output is not persisted (it can
    be arbitrarily large); reloaded profiles carry an empty golden output and
    are suitable for statistics, not for re-running injections. *)
@@ -47,59 +63,65 @@ let of_string (s : string) : E.cell list =
   match lines with
   | [] -> []
   | hdr :: rows ->
-    if String.trim hdr <> header then raise (Parse_error "unexpected CSV header");
+    let legacy =
+      if String.trim hdr = header then false
+      else if String.trim hdr = legacy_header then true
+      else raise (Parse_error "unexpected CSV header")
+    in
+    let cell ~program ~tool ~model ~samples ~crash ~soc ~benign ~tool_error ~dyn ~pcost
+        ~icost ~sites ~instr_s ~comp_s ~exec_s ~harn_s ~quarantined ~reason =
+      {
+        E.program;
+        tool = tool_of_name tool;
+        model;
+        samples = int_of_string samples;
+        counts =
+          {
+            E.crash = int_of_string crash;
+            soc = int_of_string soc;
+            benign = int_of_string benign;
+            tool_error = int_of_string tool_error;
+          };
+        injection_cost = Int64.of_string icost;
+        profile =
+          {
+            Refine_core.Fault.golden_output = "";
+            golden_exit = 0;
+            dyn_count = Int64.of_string dyn;
+            profile_cost = Int64.of_string pcost;
+          };
+        static_instrumented = int_of_string sites;
+        failures = [];
+        timing =
+          {
+            E.instrument_s = float_of_string instr_s;
+            compile_s = float_of_string comp_s;
+            execute_s = float_of_string exec_s;
+            harness_s = float_of_string harn_s;
+          };
+        quarantined = (if int_of_string quarantined <> 0 then Some reason else None);
+      }
+    in
     List.map
       (fun line ->
-        match String.split_on_char ',' line with
-        | [
-            program;
-            tool;
-            samples;
-            crash;
-            soc;
-            benign;
-            tool_error;
-            dyn;
-            pcost;
-            icost;
-            sites;
-            instr_s;
-            comp_s;
-            exec_s;
-            harn_s;
-            quarantined;
-            reason;
-          ] ->
-          {
-            E.program;
-            tool = tool_of_name tool;
-            samples = int_of_string samples;
-            counts =
-              {
-                E.crash = int_of_string crash;
-                soc = int_of_string soc;
-                benign = int_of_string benign;
-                tool_error = int_of_string tool_error;
-              };
-            injection_cost = Int64.of_string icost;
-            profile =
-              {
-                Refine_core.Fault.golden_output = "";
-                golden_exit = 0;
-                dyn_count = Int64.of_string dyn;
-                profile_cost = Int64.of_string pcost;
-              };
-            static_instrumented = int_of_string sites;
-            failures = [];
-            timing =
-              {
-                E.instrument_s = float_of_string instr_s;
-                compile_s = float_of_string comp_s;
-                execute_s = float_of_string exec_s;
-                harness_s = float_of_string harn_s;
-              };
-            quarantined = (if int_of_string quarantined <> 0 then Some reason else None);
-          }
+        match (legacy, String.split_on_char ',' line) with
+        | ( false,
+            [
+              program; tool; model; _bits; samples; crash; soc; benign; tool_error; dyn; pcost;
+              icost; sites; instr_s; comp_s; exec_s; harn_s; quarantined; reason;
+            ] ) ->
+          (* [bits] is derivable from the model string; it exists for
+             spreadsheet convenience and is not re-validated here *)
+          cell ~program ~tool ~model:(model_of_name model) ~samples ~crash ~soc ~benign
+            ~tool_error ~dyn ~pcost ~icost ~sites ~instr_s ~comp_s ~exec_s ~harn_s ~quarantined
+            ~reason
+        | ( true,
+            [
+              program; tool; samples; crash; soc; benign; tool_error; dyn; pcost; icost; sites;
+              instr_s; comp_s; exec_s; harn_s; quarantined; reason;
+            ] ) ->
+          cell ~program ~tool ~model:F.Reg_bit ~samples ~crash ~soc ~benign ~tool_error ~dyn
+            ~pcost ~icost ~sites ~instr_s ~comp_s ~exec_s ~harn_s ~quarantined ~reason
         | _ -> raise (Parse_error ("bad CSV row: " ^ line)))
       rows
 

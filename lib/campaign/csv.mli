@@ -1,6 +1,12 @@
 (** CSV persistence for campaign results. *)
 
 val header : string
+(** Current schema: includes the [fault_model] and [bits] columns
+    (DESIGN.md §18). *)
+
+val legacy_header : string
+(** The pre-model 17-column schema; {!of_string} still accepts it, loading
+    rows as {!Refine_core.Fault.Reg_bit} cells. *)
 
 val to_string : Experiment.cell list -> string
 val save : string -> Experiment.cell list -> unit
@@ -10,6 +16,7 @@ exception Parse_error of string
 val of_string : string -> Experiment.cell list
 (** Inverse of {!to_string}.  Golden outputs are not persisted: reloaded
     cells are suitable for statistics and reporting, not for re-running
-    injections. *)
+    injections.  Files written before the fault-model columns existed
+    ({!legacy_header}) load with [model = Reg_bit]. *)
 
 val load : string -> Experiment.cell list

@@ -87,6 +87,7 @@ let m_quarantine_reason = function
 type cell = {
   program : string;
   tool : T.kind;
+  model : F.model; (* what state the faults struck (DESIGN.md §18) *)
   samples : int;
   counts : counts;
   injection_cost : int64; (* summed modeled time of all injection runs *)
@@ -102,9 +103,14 @@ type cell = {
 
 (* Stable seed derivation: FNV-1a over the cell identity instead of
    [Hashtbl.hash], whose output may change between OCaml releases.  The
-   NUL separator keeps ("ab","c") and ("a","bc") distinct. *)
-let cell_seed ~seed ~program tool =
-  seed lxor P.hash_string (program ^ "\000" ^ T.kind_name tool)
+   NUL separator keeps ("ab","c") and ("a","bc") distinct.  The fault
+   model joins the identity ONLY when it is not the default Reg_bit, so
+   every pre-model campaign seed (and its journaled samples) stays
+   bit-identical. *)
+let cell_seed ?(model = F.Reg_bit) ~seed ~program tool =
+  let id = program ^ "\000" ^ T.kind_name tool in
+  let id = if model = F.Reg_bit then id else id ^ "\000" ^ F.string_of_model model in
+  seed lxor P.hash_string id
 
 (* Attempt [a] of a sample re-draws from a fresh deterministic split of the
    sample's own base generator, so retries (after e.g. a watchdog kill)
@@ -122,10 +128,11 @@ let rng_for_attempt base a =
 (* A quarantined (program, tool) cell: no samples ran and none will — the
    cell is structurally unfit for injection (failed MIR verification, or a
    nondeterministic golden run).  Reported, excluded from chi-squared. *)
-let quarantined_cell ~program ~tool ~samples reason =
+let quarantined_cell ~program ~tool ~model ~samples reason =
   {
     program;
     tool;
+    model;
     samples;
     counts = zero;
     injection_cost = 0L;
@@ -142,11 +149,13 @@ let quarantined_cell ~program ~tool ~samples reason =
    during preparation resolves the whole cell as quarantined — journaled
    so a resume never re-prepares it. *)
 let run_cell ?domains ?(sel = T.Selection.default) ?journal ?sink ?(retries = 0) ?cost_cap
-    ?(quotas = T.default_quotas) ?pipeline ?verify_mir ?verify_each ?cache ?chaos ?token
-    ?watchdog ?heartbeat ~samples ~seed (tool : T.kind) ~program ~source () : cell =
+    ?(quotas = T.default_quotas) ?(model = F.Reg_bit) ?pipeline ?verify_mir ?verify_each
+    ?cache ?chaos ?token ?watchdog ?heartbeat ~samples ~seed (tool : T.kind) ~program ~source
+    () : cell =
   let domains =
     match domains with Some d -> d | None -> Refine_support.Parallel.default_domains ()
   in
+  let model_name = F.string_of_model model in
   (* all checkpoint traffic goes through one sink: a local journal file, a
      shard worker's frame stream, or nothing *)
   let sink =
@@ -165,7 +174,7 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?sink ?(retries = 0)
     (match sink with
     | Some s -> s.Journal.push_quarantine ~program ~tool:tool_name ~reason
     | None -> ());
-    quarantined_cell ~program ~tool ~samples reason
+    quarantined_cell ~program ~tool ~model ~samples reason
   in
   match
     Option.bind sink (fun s -> s.Journal.find_quarantine ~program ~tool:tool_name)
@@ -177,7 +186,7 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?sink ?(retries = 0)
          (match String.index_opt reason ':' with
          | Some i -> String.sub reason 0 i
          | None -> reason));
-    quarantined_cell ~program ~tool ~samples reason
+    quarantined_cell ~program ~tool ~model ~samples reason
   | None -> (
   let span_attrs = [ ("program", program); ("tool", tool_name) ] in
   let phases = Obs.Phase.create () in
@@ -188,12 +197,12 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?sink ?(retries = 0)
   with
   | exception T.Quarantine (category, detail) -> quarantine (category ^ ": " ^ detail)
   | prepared ->
-  let master = P.create (cell_seed ~seed ~program tool) in
+  let master = P.create (cell_seed ~model ~seed ~program tool) in
   let bases = Array.init samples (fun _ -> P.split master) in
   let results : F.experiment option array = Array.make samples None in
   (match sink with
   | Some s ->
-    let resolved = s.Journal.resolved ~program ~tool:tool_name in
+    let resolved = s.Journal.resolved ~program ~tool:tool_name ~model:model_name in
     Hashtbl.iter
       (fun i (e : Journal.entry) ->
         if i >= 0 && i < samples then begin
@@ -228,7 +237,7 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?sink ?(retries = 0)
      when it ends in a watchdog kill or cancellation *)
   let timed_injection rng =
     let t0 = Obs.Control.now () in
-    match T.run_injection ?cost_cap ~quotas ~poll prepared rng with
+    match T.run_injection ?cost_cap ~quotas ~model ~poll prepared rng with
     | e ->
       let dt = Obs.Control.now () -. t0 in
       Obs.Phase.add phases "execute" dt;
@@ -254,6 +263,7 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?sink ?(retries = 0)
         {
           Journal.program;
           tool = tool_name;
+          model = model_name;
           sample = i;
           outcome = e.F.outcome;
           cost = e.F.run_cost;
@@ -298,6 +308,7 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?sink ?(retries = 0)
   {
     program;
     tool;
+    model;
     samples;
     counts;
     injection_cost;
@@ -310,10 +321,11 @@ let run_cell ?domains ?(sel = T.Selection.default) ?journal ?sink ?(retries = 0)
 
 (* A cell whose preparation (compile/profile) failed outright: every
    sample is a ToolError, the campaign continues. *)
-let degraded_cell ~program ~tool ~samples exn =
+let degraded_cell ?(model = F.Reg_bit) ~program ~tool ~samples exn =
   {
     program;
     tool;
+    model;
     samples;
     counts = { zero with tool_error = samples };
     injection_cost = 0L;
@@ -328,23 +340,27 @@ let degraded_cell ~program ~tool ~samples exn =
    fails to prepare degrades to all-ToolError instead of aborting the
    remaining cells (a [Tool.Quarantine] already resolved inside
    [run_cell] as a quarantined cell). *)
-let run_matrix ?domains ?sel ?journal ?sink ?retries ?cost_cap ?quotas ?pipeline ?verify_mir
-    ?verify_each ?cache ?chaos ?token ?watchdog ~samples ~seed
+let run_matrix ?domains ?sel ?journal ?sink ?retries ?cost_cap ?quotas ?model ?pipeline
+    ?verify_mir ?verify_each ?cache ?chaos ?token ?watchdog ~samples ~seed
     (programs : (string * string) list) (tools : T.kind list) : cell list =
   List.concat_map
     (fun (program, source) ->
       List.map
         (fun tool ->
           try
-            run_cell ?domains ?sel ?journal ?sink ?retries ?cost_cap ?quotas ?pipeline
+            run_cell ?domains ?sel ?journal ?sink ?retries ?cost_cap ?quotas ?model ?pipeline
               ?verify_mir ?verify_each ?cache ?chaos ?token ?watchdog ~samples ~seed tool
               ~program ~source ()
-          with e -> degraded_cell ~program ~tool ~samples e)
+          with e -> degraded_cell ?model ~program ~tool ~samples e)
         tools)
     programs
 
-let find_cell cells ~program ~tool =
-  List.find (fun c -> c.program = program && c.tool = tool) cells
+let find_cell ?model cells ~program ~tool =
+  List.find
+    (fun c ->
+      c.program = program && c.tool = tool
+      && match model with None -> true | Some m -> c.model = m)
+    cells
 
 (* contingency row for the chi-squared tests; ToolError is excluded *)
 let row c = [| c.counts.crash; c.counts.soc; c.counts.benign |]

@@ -35,6 +35,10 @@ val zero_timing : timing
 type cell = {
   program : string;
   tool : Refine_core.Tool.kind;
+  model : Refine_core.Fault.model;
+      (** what state the faults struck ({!Refine_core.Fault.model});
+          {!Refine_core.Fault.Reg_bit} for pre-model campaigns and loaded
+          legacy CSVs *)
   samples : int;  (** requested sample count *)
   counts : counts;
   injection_cost : int64;  (** summed modeled time of all injection runs —
@@ -54,10 +58,18 @@ type cell = {
           ran, and the cell is excluded from the contingency rows *)
 }
 
-val cell_seed : seed:int -> program:string -> Refine_core.Tool.kind -> int
+val cell_seed :
+  ?model:Refine_core.Fault.model ->
+  seed:int ->
+  program:string ->
+  Refine_core.Tool.kind ->
+  int
 (** Stable per-cell seed: [seed] xor the FNV-1a hash of the cell identity.
     Unlike the previous [Hashtbl.hash] derivation this is reproducible
-    across OCaml versions. *)
+    across OCaml versions.  The fault model joins the identity only when
+    it is not the default {!Refine_core.Fault.Reg_bit}, so pre-model
+    campaign seeds are unchanged; distinct models draw from disjoint
+    deterministic streams. *)
 
 val run_cell :
   ?domains:int ->
@@ -67,6 +79,7 @@ val run_cell :
   ?retries:int ->
   ?cost_cap:int64 ->
   ?quotas:Refine_core.Tool.quotas ->
+  ?model:Refine_core.Fault.model ->
   ?pipeline:Refine_passes.Pipeline.spec ->
   ?verify_mir:bool ->
   ?verify_each:bool ->
@@ -124,6 +137,7 @@ val run_matrix :
   ?retries:int ->
   ?cost_cap:int64 ->
   ?quotas:Refine_core.Tool.quotas ->
+  ?model:Refine_core.Fault.model ->
   ?pipeline:Refine_passes.Pipeline.spec ->
   ?verify_mir:bool ->
   ?verify_each:bool ->
@@ -141,7 +155,13 @@ val run_matrix :
     quarantined cell for {!Refine_core.Tool.Quarantine}); the remaining
     cells still run. *)
 
-val find_cell : cell list -> program:string -> tool:Refine_core.Tool.kind -> cell
+val find_cell :
+  ?model:Refine_core.Fault.model ->
+  cell list ->
+  program:string ->
+  tool:Refine_core.Tool.kind ->
+  cell
+(** First cell matching (program, tool) and, when given, [model]. *)
 
 val row : cell -> int array
 (** [crash; soc; benign] contingency row for {!Refine_stats.Chi2.test};

@@ -26,6 +26,7 @@ module F = Refine_core.Fault
 type entry = {
   program : string;
   tool : string; (* Tool.kind_name *)
+  model : string; (* Fault.string_of_model; "reg" for pre-v2 journals *)
   sample : int; (* 0-based index within the cell *)
   outcome : F.outcome;
   cost : int64;
@@ -41,7 +42,11 @@ type t = {
   lock : Mutex.t;
 }
 
-let magic = "# refine-journal v1"
+(* v2 appends the fault-model field (DESIGN.md §18).  The version tag is a
+   comment line, so a v1 loader's tolerant parse ignores it; this loader
+   accepts both the v1 shape (6 fields, implicitly the paper's "reg"
+   model) and the v2 shape (7 fields). *)
+let magic = "# refine-journal v2"
 
 (* reasons travel on one journal/CSV line; field and line separators are
    squashed to spaces *)
@@ -49,9 +54,9 @@ let sanitize s =
   String.map (function '\t' | '\n' | '\r' | ',' -> ' ' | c -> c) s
 
 let render e =
-  Printf.sprintf "%s\t%s\t%d\t%s\t%Ld\t%d" e.program e.tool e.sample
+  Printf.sprintf "%s\t%s\t%d\t%s\t%Ld\t%d\t%s" e.program e.tool e.sample
     (F.string_of_outcome e.outcome)
-    e.cost e.attempts
+    e.cost e.attempts e.model
 
 let render_quarantine (program, tool, reason) =
   Printf.sprintf "Q\t%s\t%s\t%s" program tool (sanitize reason)
@@ -63,19 +68,29 @@ let render_quarantine (program, tool, reason) =
    unknown names; the try-with turns that into a skip, and the caller
    counts skips so the degradation report can surface them. *)
 let parse line =
-  match String.split_on_char '\t' line with
-  | [ program; tool; sample; outcome; cost; attempts ] -> (
+  let decode program tool sample outcome cost attempts model =
     try
+      (* validate the model name so a corrupt trailing field skips the
+         line instead of resurfacing later as a loader error *)
+      ignore (F.model_of_string model);
       Some
         {
           program;
           tool;
+          model;
           sample = int_of_string sample;
           outcome = F.outcome_of_string outcome;
           cost = Int64.of_string cost;
           attempts = int_of_string attempts;
         }
-    with _ -> None)
+    with _ -> None
+  in
+  match String.split_on_char '\t' line with
+  (* v1 shape: no model field — the paper's single-bit register model *)
+  | [ program; tool; sample; outcome; cost; attempts ] ->
+    decode program tool sample outcome cost attempts "reg"
+  | [ program; tool; sample; outcome; cost; attempts; model ] ->
+    decode program tool sample outcome cost attempts model
   | _ -> None
 
 let parse_quarantine line =
@@ -228,10 +243,12 @@ let entries t = locked t (fun () -> List.rev t.entries)
 
 let length t = List.length (entries t)
 
-let completed t ~program ~tool =
+let completed ?(model = "reg") t ~program ~tool =
   let tbl = Hashtbl.create 64 in
   List.iter
-    (fun e -> if e.program = program && e.tool = tool then Hashtbl.replace tbl e.sample e)
+    (fun e ->
+      if e.program = program && e.tool = tool && e.model = model then
+        Hashtbl.replace tbl e.sample e)
     (entries t);
   tbl
 
@@ -243,7 +260,7 @@ let completed t ~program ~tool =
    difference. *)
 
 type sink = {
-  resolved : program:string -> tool:string -> (int, entry) Hashtbl.t;
+  resolved : program:string -> tool:string -> model:string -> (int, entry) Hashtbl.t;
   push : entry -> unit;
   push_quarantine : program:string -> tool:string -> reason:string -> unit;
   find_quarantine : program:string -> tool:string -> string option;
@@ -251,7 +268,7 @@ type sink = {
 
 let sink t =
   {
-    resolved = (fun ~program ~tool -> completed t ~program ~tool);
+    resolved = (fun ~program ~tool ~model -> completed ~model t ~program ~tool);
     push = (fun e -> record t e);
     push_quarantine = (fun ~program ~tool ~reason -> record_quarantine t ~program ~tool ~reason);
     find_quarantine = (fun ~program ~tool -> quarantine_reason t ~program ~tool);
@@ -259,7 +276,7 @@ let sink t =
 
 let null_sink =
   {
-    resolved = (fun ~program:_ ~tool:_ -> Hashtbl.create 1);
+    resolved = (fun ~program:_ ~tool:_ ~model:_ -> Hashtbl.create 1);
     push = ignore;
     push_quarantine = (fun ~program:_ ~tool:_ ~reason:_ -> ());
     find_quarantine = (fun ~program:_ ~tool:_ -> None);

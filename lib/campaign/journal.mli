@@ -13,6 +13,10 @@
 type entry = {
   program : string;
   tool : string;  (** {!Refine_core.Tool.kind_name} *)
+  model : string;
+      (** {!Refine_core.Fault.string_of_model}; entries loaded from pre-v2
+          journals default to ["reg"] (the paper's single-bit register
+          model) *)
   sample : int;  (** 0-based sample index within the cell *)
   outcome : Refine_core.Fault.outcome;
   cost : int64;  (** modeled cost of the run (budget burned, for tool errors) *)
@@ -58,12 +62,14 @@ val entries : t -> entry list
 
 val length : t -> int
 
-val completed : t -> program:string -> tool:string -> (int, entry) Hashtbl.t
-(** The resolved samples of one (program, tool) cell, keyed by sample
-    index (latest entry wins on duplicates). *)
+val completed :
+  ?model:string -> t -> program:string -> tool:string -> (int, entry) Hashtbl.t
+(** The resolved samples of one (program, tool, fault model) cell, keyed
+    by sample index (latest entry wins on duplicates).  [model] defaults
+    to ["reg"], which also matches every pre-v2 entry. *)
 
 type sink = {
-  resolved : program:string -> tool:string -> (int, entry) Hashtbl.t;
+  resolved : program:string -> tool:string -> model:string -> (int, entry) Hashtbl.t;
       (** samples already resolved elsewhere, to load instead of re-run *)
   push : entry -> unit;  (** checkpoint one newly resolved sample *)
   push_quarantine : program:string -> tool:string -> reason:string -> unit;

@@ -221,6 +221,37 @@ let table6 (cells : E.cell list) programs =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* ---- Per-fault-model sections (DESIGN.md §18) -------------------------- *)
+
+(* The distinct fault models present in a cell list, first-seen order —
+   a multi-model campaign concatenates its per-model cell lists, so this
+   recovers the order the models ran in. *)
+let models (cells : E.cell list) =
+  List.fold_left
+    (fun acc (c : E.cell) -> if List.mem c.E.model acc then acc else c.E.model :: acc)
+    [] cells
+  |> List.rev
+
+let cells_of_model model (cells : E.cell list) =
+  List.filter (fun (c : E.cell) -> c.E.model = model) cells
+
+(* Table 5 + Table 6 per fault model.  For Reg_bit the section reproduces
+   the paper's tables verbatim; the other models reuse the same rendering
+   (the paper's @1068 column stays as the Reg_bit reference point the
+   shifted distributions are read against). *)
+let model_sections (cells : E.cell list) programs =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun model ->
+      let mcells = cells_of_model model cells in
+      Buffer.add_string buf
+        (Printf.sprintf "==== fault model: %s ====\n\n"
+           (Refine_core.Fault.string_of_model model));
+      Buffer.add_string buf (table5 (chi2_rows mcells programs));
+      Buffer.add_string buf (table6 mcells programs))
+    (models cells);
+  Buffer.contents buf
+
 (* ---- Campaign robustness: degradation warnings ------------------------ *)
 
 (* Samplesize-aware warnings when harness failures (ToolError), a

@@ -49,6 +49,17 @@ val table6 : Experiment.cell list -> string list -> string
 val figure5 : Experiment.cell list -> string list -> string
 (** Campaign execution time normalized to PINFI, measured | paper. *)
 
+val models : Experiment.cell list -> Refine_core.Fault.model list
+(** The distinct fault models present, first-seen order. *)
+
+val cells_of_model :
+  Refine_core.Fault.model -> Experiment.cell list -> Experiment.cell list
+
+val model_sections : Experiment.cell list -> string list -> string
+(** One banner + {!table5} + {!table6} block per fault model present in
+    the cells (DESIGN.md §18).  A single-model campaign renders exactly
+    one section; the Reg_bit section reproduces the paper's tables. *)
+
 val timing_total : Experiment.timing -> float
 (** Sum of every overhead column of a cell's timing. *)
 

@@ -23,8 +23,16 @@ module Sp = Refine_obs.Span
 
 (* v2: observability plane — Init carries obs/trace switches, Assign
    carries the trace context, and workers stream Metrics_delta /
-   Trace_batch frames (DESIGN.md §17). *)
-let version = 2
+   Trace_batch frames (DESIGN.md §17).
+   v3: fault models — Assign carries the cell's fault model and Outcome
+   entries echo it back (DESIGN.md §18). *)
+let version = 3
+
+exception Protocol_mismatch of { expected_version : int; tag : int }
+(* An unknown frame tag is a version skew, not a torn frame: a v2 peer
+   can neither have sent tag 12+ nor omit the Assign model field without
+   the strict codec rejecting the payload, so we surface which side is
+   too old instead of a generic protocol error. *)
 
 type config = {
   seed : int;
@@ -84,6 +92,7 @@ type frame =
       program : string;
       source : string;
       tool : string; (* Tool.kind_name *)
+      model : string; (* Fault.string_of_model — what state the faults strike *)
       samples : int; (* full cell sample count — keys the PRNG splits *)
       todo : int list; (* sample indices this chunk must resolve *)
       trace : string; (* campaign trace id; "" when tracing is off *)
@@ -202,6 +211,7 @@ let get_event c =
 let put_entry b (e : Journal.entry) =
   W.put_string b e.Journal.program;
   W.put_string b e.Journal.tool;
+  W.put_string b e.Journal.model;
   W.put_int b e.Journal.sample;
   W.put_string b (F.string_of_outcome e.Journal.outcome);
   W.put_i64 b e.Journal.cost;
@@ -228,11 +238,12 @@ let encode f =
     W.put_f64 b c.heartbeat_s;
     W.put_bool b c.obs;
     W.put_bool b c.trace
-  | Assign { chunk; program; source; tool; samples; todo; trace; parent_span } ->
+  | Assign { chunk; program; source; tool; model; samples; todo; trace; parent_span } ->
     W.put_int b chunk;
     W.put_string b program;
     W.put_string b source;
     W.put_string b tool;
+    W.put_string b model;
     W.put_int b samples;
     W.put_list b W.put_int todo;
     W.put_string b trace;
@@ -278,11 +289,12 @@ let encode f =
 let get_entry c : Journal.entry =
   let program = W.get_string c in
   let tool = W.get_string c in
+  let model = W.get_string c in
   let sample = W.get_int c in
   let outcome = F.outcome_of_string (W.get_string c) in
   let cost = W.get_i64 c in
   let attempts = W.get_int c in
-  { Journal.program; tool; sample; outcome; cost; attempts }
+  { Journal.program; tool; model; sample; outcome; cost; attempts }
 
 let decode payload =
   let c = W.cursor payload in
@@ -327,11 +339,12 @@ let decode payload =
       let program = W.get_string c in
       let source = W.get_string c in
       let tool = W.get_string c in
+      let model = W.get_string c in
       let samples = W.get_int c in
       let todo = W.get_list c W.get_int in
       let trace = W.get_string c in
       let parent_span = W.get_int c in
-      Assign { chunk; program; source; tool; samples; todo; trace; parent_span }
+      Assign { chunk; program; source; tool; model; samples; todo; trace; parent_span }
     | 4 ->
       let chunk = W.get_int c in
       let entry = get_entry c in
@@ -389,7 +402,7 @@ let decode payload =
     | 9 -> Shutdown
     | 10 -> Metrics_delta (W.get_list c get_item)
     | 11 -> Trace_batch (W.get_list c get_event)
-    | t -> invalid_arg (Printf.sprintf "Shard.decode: unknown frame tag %d" t)
+    | t -> raise (Protocol_mismatch { expected_version = version; tag = t })
   in
   W.expect_end c;
   f

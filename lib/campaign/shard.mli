@@ -12,7 +12,14 @@
 val version : int
 (** v2: observability plane — [Init] carries obs/trace switches, [Assign]
     carries the trace context, workers stream [Metrics_delta] /
-    [Trace_batch] frames (DESIGN.md §17). *)
+    [Trace_batch] frames (DESIGN.md §17).
+    v3: fault models — [Assign] carries the cell's fault model and
+    [Outcome] entries echo it back (DESIGN.md §18). *)
+
+exception Protocol_mismatch of { expected_version : int; tag : int }
+(** {!decode} met a frame tag this protocol version does not know — a
+    version skew between coordinator and worker, reported with the local
+    {!version} and the offending tag so the error names both sides. *)
 
 type config = {
   seed : int;
@@ -63,6 +70,7 @@ type frame =
       program : string;
       source : string;  (** program source travels inline — no shared filesystem *)
       tool : string;  (** {!Refine_core.Tool.kind_name} *)
+      model : string;  (** {!Refine_core.Fault.string_of_model} *)
       samples : int;  (** full cell sample count — keys the PRNG splits *)
       todo : int list;  (** sample indices this chunk must resolve *)
       trace : string;  (** campaign trace id; [""] when tracing is off *)
@@ -93,8 +101,8 @@ val encode : frame -> string
 
 val decode : string -> frame
 (** Inverse of {!encode}.  Raises {!Refine_support.Wire.Truncated} on a
-    short buffer and [Invalid_argument] on an unknown tag, a malformed
-    field, or trailing bytes. *)
+    short buffer, {!Protocol_mismatch} on an unknown frame tag, and
+    [Invalid_argument] on a malformed field or trailing bytes. *)
 
 val frame_name : frame -> string
 (** Stable lowercase label, used by the [refine_shard_frames_total{type}]

@@ -57,8 +57,8 @@ let quotas_of_config (c : S.config) =
    resolved (skipping execution) but the worker discards its own counts —
    the coordinator aggregates from Outcome frames, so the values here are
    never observed *)
-let placeholder ~program ~tool sample =
-  { J.program; tool; sample; outcome = F.Benign; cost = 0L; attempts = 0 }
+let placeholder ~program ~tool ~model sample =
+  { J.program; tool; model; sample; outcome = F.Benign; cost = 0L; attempts = 0 }
 
 (* Campaign-level counters the worker must never forward: the coordinator
    counts these itself from Outcome/Quarantine frames (which stays exact
@@ -96,14 +96,16 @@ let summary_of_cell ~chunk (cell : E.cell) : S.chunk_summary =
   }
 
 let run_assign ~(config : S.config) ~send ~ship ~completed ~chunk ~program ~source ~tool
-    ~samples ~todo =
+    ~model ~samples ~todo =
   let tool_kind = S.tool_of_name tool in
+  let fault_model = F.model_of_string model in
   let in_todo = Hashtbl.create 64 in
   List.iter (fun i -> Hashtbl.replace in_todo i ()) todo;
-  let resolved ~program ~tool =
+  let resolved ~program ~tool ~model =
     let tbl = Hashtbl.create 64 in
     for i = 0 to samples - 1 do
-      if not (Hashtbl.mem in_todo i) then Hashtbl.replace tbl i (placeholder ~program ~tool i)
+      if not (Hashtbl.mem in_todo i) then
+        Hashtbl.replace tbl i (placeholder ~program ~tool ~model i)
     done;
     tbl
   in
@@ -133,9 +135,9 @@ let run_assign ~(config : S.config) ~send ~ship ~completed ~chunk ~program ~sour
   let pipeline = Option.map Refine_passes.Pipeline.parse config.S.pipeline in
   match
     E.run_cell ~domains:1 ~sink ~heartbeat ~retries:config.S.retries
-      ?cost_cap:config.S.cost_cap ~quotas:(quotas_of_config config) ?pipeline
-      ~verify_mir:config.S.verify_mir ~verify_each:config.S.verify_each ~cache:config.S.cache
-      ~samples ~seed:config.S.seed tool_kind ~program ~source ()
+      ?cost_cap:config.S.cost_cap ~quotas:(quotas_of_config config) ~model:fault_model
+      ?pipeline ~verify_mir:config.S.verify_mir ~verify_each:config.S.verify_each
+      ~cache:config.S.cache ~samples ~seed:config.S.seed tool_kind ~program ~source ()
   with
   | cell ->
     (* final telemetry for this chunk must precede Chunk_done on the pipe:
@@ -192,12 +194,12 @@ let main ?(input = Unix.stdin) ?(output = Unix.stdout) () =
       config := c;
       if c.S.obs then Refine_obs.Control.enable ();
       if c.S.trace then Sp.set_memory_sink ()
-    | S.Assign { chunk; program; source; tool; samples; todo; trace; parent_span } ->
+    | S.Assign { chunk; program; source; tool; model; samples; todo; trace; parent_span } ->
       (* adopt the coordinator's trace context: everything this chunk
          emits re-parents under the coordinator's dispatch span *)
       Sp.set_context ~trace ~parent:parent_span ();
-      run_assign ~config:!config ~send ~ship ~completed ~chunk ~program ~source ~tool ~samples
-        ~todo;
+      run_assign ~config:!config ~send ~ship ~completed ~chunk ~program ~source ~tool ~model
+        ~samples ~todo;
       Sp.clear_context ()
     | S.Shutdown ->
       ship ();

@@ -16,6 +16,40 @@ type record = {
   bit : int;
 }
 
+(* Fault models (DESIGN.md §18): what state the transient fault strikes at
+   the chosen dynamic trigger instance.  [Reg_bit] is the paper's model
+   (one bit of one output operand); the others bring the gpuFI-4/InjectV
+   fault-target dimension into the campaign matrix: data-memory cells,
+   the loaded code image, and multi-bit register upsets (k independent
+   bits, or a contiguous burst). *)
+type model =
+  | Reg_bit
+  | Mem_cell
+  | Instr_image
+  | Multi_bit of { bits : int; burst : bool }
+
+let string_of_model = function
+  | Reg_bit -> "reg"
+  | Mem_cell -> "mem"
+  | Instr_image -> "instr"
+  | Multi_bit { bits; burst } ->
+    Printf.sprintf "%s:%d" (if burst then "burst" else "multi") bits
+
+let model_of_string s =
+  let bad () = invalid_arg ("Fault.model_of_string: " ^ s) in
+  match String.split_on_char ':' s with
+  | [ "reg" ] -> Reg_bit
+  | [ "mem" ] -> Mem_cell
+  | [ "instr" ] -> Instr_image
+  | [ ("multi" | "burst") as kind; k ] -> (
+    match int_of_string_opt k with
+    | Some bits when bits >= 1 && bits <= 64 -> Multi_bit { bits; burst = kind = "burst" }
+    | _ -> bad ())
+  | _ -> bad ()
+
+(* the [bits] column of the campaign CSV: flipped bits per fault *)
+let model_bits = function Multi_bit { bits; _ } -> bits | Reg_bit | Mem_cell | Instr_image -> 1
+
 (* Tool_error is not part of the paper's outcome taxonomy: it marks a
    harness-side failure (worker exception, retry exhaustion, watchdog
    kill), so the sample degrades the achieved n instead of polluting the

@@ -10,6 +10,38 @@ type record = {
 (** One line of the fault log of Figure 3b: which dynamic instruction,
     operand and bit were hit — "for reference and repeatability". *)
 
+(** What state the transient fault strikes at the chosen dynamic trigger
+    instance (DESIGN.md §18).  [Reg_bit] is the paper's single-bit
+    register-operand model and the default everywhere; the others extend
+    the campaign matrix with the gpuFI-4/InjectV fault-target dimension. *)
+type model =
+  | Reg_bit  (** one bit of one output operand — the paper's §4.3 model *)
+  | Mem_cell
+      (** one bit of a data-memory cell chosen uniformly from the
+          snapshot's initialized image (falling back to the top-of-stack
+          sentinel cell for programs with no initialized data) *)
+  | Instr_image
+      (** one bit of the loaded code image at the target pc: the mutated
+          slot may decode to a different (possibly wild) instruction or to
+          an illegal encoding, which traps
+          {!Refine_machine.Exec.Illegal_instr} and classifies as
+          {!Crash} *)
+  | Multi_bit of { bits : int; burst : bool }
+      (** [bits] distinct uniform bits of the chosen operand, or a
+          contiguous burst of [bits] bits at a uniform position *)
+
+val string_of_model : model -> string
+(** Stable short form used by the CLI, CSV, journal, wire protocol and
+    metric labels: ["reg"], ["mem"], ["instr"], ["multi:<k>"],
+    ["burst:<k>"]. *)
+
+val model_of_string : string -> model
+(** Inverse of {!string_of_model}; [Invalid_argument] on unknown forms or
+    a bit count outside [1, 64]. *)
+
+val model_bits : model -> int
+(** Bits flipped per fault: [bits] for {!Multi_bit}, otherwise 1. *)
+
 type outcome =
   | Crash  (** trap, nonzero exit code, or 10x-profiling timeout *)
   | Soc  (** silent output corruption: output differs from the golden run *)

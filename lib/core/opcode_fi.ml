@@ -17,38 +17,13 @@ module M = Refine_mir.Minstr
 module E = Refine_machine.Exec
 module L = Refine_backend.Layout
 module P = Refine_support.Prng
-module I = Refine_ir.Ir
 
-(* Valid same-shape opcode replacements.  Instructions with no compatible
-   alternative (moves, control transfers, ...) are not corruption targets,
-   exactly as REFINE's valid-opcode restriction demands. *)
-let alternatives (i : M.t) : M.t list =
-  let ibinops = [ I.Add; I.Sub; I.Mul; I.And; I.Or; I.Xor; I.Shl; I.Lshr; I.Ashr ] in
-  let fbinops = [ I.Fadd; I.Fsub; I.Fmul; I.Fdiv ] in
-  let int_ccs = [ M.CEq; M.CNe; M.CLt; M.CLe; M.CGt; M.CGe ] in
-  let float_ccs = [ M.CFeq; M.CFne; M.CFlt; M.CFle; M.CFgt; M.CFge ] in
-  match i with
-  | M.Mbin (op, d, a, b) ->
-    List.filter_map
-      (fun op' -> if op' <> op then Some (M.Mbin (op', d, a, b)) else None)
-      ibinops
-  | M.Mfbin (op, d, a, b) ->
-    List.filter_map
-      (fun op' -> if op' <> op then Some (M.Mfbin (op', d, a, b)) else None)
-      fbinops
-  | M.Mfun (op, d, a) ->
-    List.filter_map
-      (fun op' -> if op' <> op then Some (M.Mfun (op', d, a)) else None)
-      [ I.Fneg; I.Fsqrt; I.Fabs ]
-  | M.Mjcc (cc, l) ->
-    let pool = if List.mem cc int_ccs then int_ccs else float_ccs in
-    List.filter_map (fun cc' -> if cc' <> cc then Some (M.Mjcc (cc', l)) else None) pool
-  | M.Msetcc (cc, d) ->
-    let pool = if List.mem cc int_ccs then int_ccs else float_ccs in
-    List.filter_map (fun cc' -> if cc' <> cc then Some (M.Msetcc (cc', d)) else None) pool
-  | M.Mload (d, b, off) -> [ M.Mlea (d, b, None, off) ] (* mov r,[m] -> lea r,[m] *)
-  | M.Mlea (d, b, None, off) -> [ M.Mload (d, b, off) ]
-  | _ -> []
+(* Valid same-shape opcode replacements — shared with the Instr_image
+   fault model's opcode-field mutation, so the two corruption mechanisms
+   cannot drift.  Instructions with no compatible alternative (moves,
+   control transfers, ...) are not corruption targets, exactly as
+   REFINE's valid-opcode restriction demands. *)
+let alternatives = Corrupt.alternatives
 
 let is_target i = alternatives i <> []
 
@@ -70,7 +45,7 @@ let attach (ctrl : ctrl) (image : L.image) : E.t =
       ctrl.count <- ctrl.count + 1;
       match ctrl.mode with
       | Runtime.Profile -> ()
-      | Runtime.Inject { target; rng } ->
+      | Runtime.Inject { target; rng; model = _ } ->
         if (not ctrl.fired) && ctrl.count = target then begin
           ctrl.fired <- true;
           let alts = alternatives i in
@@ -105,7 +80,7 @@ let run_injection (image : L.image) (p : Fault.profile) (rng : P.t) : Fault.expe
   if p.Fault.dyn_count = 0L then { Fault.outcome = Fault.Benign; run_cost = 0L; fault = None }
   else begin
     let target = Int64.to_int (Int64.add 1L (P.int64 rng p.Fault.dyn_count)) in
-    let ctrl = create (Runtime.Inject { target; rng }) in
+    let ctrl = create (Runtime.Inject { target; rng; model = Fault.Reg_bit }) in
     let eng = attach ctrl image in
     let max_cost = Int64.mul Fi_cost.timeout_factor p.Fault.profile_cost in
     let r = E.run ~max_cost eng in

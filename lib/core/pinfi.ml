@@ -39,28 +39,36 @@ let attach (ctrl : ctrl) (eng : E.t) =
       ctrl.count <- ctrl.count + 1;
       match ctrl.mode with
       | Runtime.Profile -> ()
-      | Runtime.Inject { target; rng } ->
+      | Runtime.Inject { target; rng; model } ->
         if (not ctrl.fired) && ctrl.count = target then begin
           ctrl.fired <- true;
-          let outs = M.outputs i in
-          let op = P.int rng (List.length outs) in
-          let reg = List.nth outs op in
-          let width = R.width_bits reg in
-          (* choose [flips] distinct bits of the register *)
-          let chosen = Hashtbl.create 4 in
-          while Hashtbl.length chosen < min ctrl.flips width do
-            Hashtbl.replace chosen (P.int rng width) ()
-          done;
-          let first_bit = ref 0 in
-          Hashtbl.iter
-            (fun bit () ->
-              first_bit := bit;
-              eng.E.regs.(reg) <- Refine_support.Bitops.flip_bit eng.E.regs.(reg) bit)
-            chosen;
-          ctrl.record <-
-            Some
-              { Fault.dyn_index = Int64.of_int ctrl.count; op_index = op; reg_name = R.name reg;
-                bit = !first_bit };
+          let dyn_index = Int64.of_int ctrl.count in
+          (match model with
+          | Fault.Mem_cell ->
+            ctrl.record <- Some (Corrupt.mem_fault rng eng ~dyn_index)
+          | Fault.Instr_image ->
+            (* the DBI hook knows the exact pc it observed — no walk-back *)
+            ctrl.record <- Some (Corrupt.image_fault rng eng ~pc ~dyn_index)
+          | Fault.Reg_bit | Fault.Multi_bit _ ->
+            let outs = M.outputs i in
+            let op = P.int rng (List.length outs) in
+            let reg = List.nth outs op in
+            let width = R.width_bits reg in
+            (* bit positions: the model's k/burst, or the legacy [flips]
+               count for Reg_bit (one uniform draw when flips = 1 — the
+               same sequence as the pre-model hook) *)
+            let chosen =
+              match model with
+              | Fault.Multi_bit { bits; burst } ->
+                Refine_support.Bitops.draw_bits (P.int rng) ~width ~bits ~burst
+              | _ -> Refine_support.Bitops.draw_bits (P.int rng) ~width ~bits:ctrl.flips ~burst:false
+            in
+            eng.E.regs.(reg) <-
+              Int64.logxor eng.E.regs.(reg) (Refine_support.Bitops.mask_of_bits chosen);
+            ctrl.record <-
+              Some
+                { Fault.dyn_index; op_index = op; reg_name = R.name reg;
+                  bit = List.hd chosen });
           (* detach: drop the hook and the DBI per-instruction tax *)
           eng.E.post_hook <- None;
           eng.E.hook_cost <- 0

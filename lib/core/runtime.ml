@@ -21,7 +21,7 @@ module P = Refine_support.Prng
    boxed [Int64] allocation plus structural equality. *)
 type mode =
   | Profile
-  | Inject of { target : int; rng : P.t }
+  | Inject of { target : int; rng : P.t; model : Fault.model }
 
 type ctrl = {
   mutable count : int;
@@ -40,17 +40,41 @@ let should_fire ctrl =
 (* --- REFINE control library ------------------------------------------- *)
 
 (* selInstr(): count the dynamic instrumented instruction; result 1 in r0
-   iff this is the instance to inject into. *)
+   iff this is the instance to inject into.
+
+   Register faults (Reg_bit/Multi_bit) answer 1 and let the spliced
+   SetupFI/FI_k blocks do the flip.  Mem_cell and Instr_image faults have
+   no register target for the splice to flip: the library performs the
+   mutation right here at the trigger instance and answers 0, so the
+   splice's register path stays cold — the trigger timing is identical,
+   only the struck state differs (DESIGN.md §18). *)
 let refine_sel_instr ctrl (eng : E.t) =
   ctrl.count <- ctrl.count + 1;
-  eng.E.regs.(R.ret_gpr) <- (if should_fire ctrl then 1L else 0L)
+  if should_fire ctrl then begin
+    match ctrl.mode with
+    | Profile -> eng.E.regs.(R.ret_gpr) <- 0L
+    | Inject { rng; model; _ } -> (
+      match model with
+      | Fault.Reg_bit | Fault.Multi_bit _ -> eng.E.regs.(R.ret_gpr) <- 1L
+      | Fault.Mem_cell ->
+        ctrl.fired <- true;
+        ctrl.record <- Some (Corrupt.mem_fault rng eng ~dyn_index:(Int64.of_int ctrl.count));
+        eng.E.regs.(R.ret_gpr) <- 0L
+      | Fault.Instr_image ->
+        ctrl.fired <- true;
+        let pc = Corrupt.instrumented_pc eng in
+        ctrl.record <-
+          Some (Corrupt.image_fault rng eng ~pc ~dyn_index:(Int64.of_int ctrl.count));
+        eng.E.regs.(R.ret_gpr) <- 0L)
+  end
+  else eng.E.regs.(R.ret_gpr) <- 0L
 
 (* setupFI(nOps in r1, sizes packed per byte in r2): choose the operand and
    bit uniformly; result (op << 6) | bit in r0. *)
 let refine_setup_fi ctrl (eng : E.t) =
   match ctrl.mode with
   | Profile -> eng.E.regs.(R.ret_gpr) <- 0L
-  | Inject { rng; _ } ->
+  | Inject { rng; model; _ } ->
     ctrl.fired <- true;
     let nops = Int64.to_int eng.E.regs.(R.gpr 1) in
     let sizes = eng.E.regs.(R.gpr 2) in
@@ -58,7 +82,11 @@ let refine_setup_fi ctrl (eng : E.t) =
     let size =
       Int64.to_int (Int64.logand (Int64.shift_right_logical sizes (8 * op)) 0xFFL)
     in
-    let bit = P.int rng (max 1 size) in
+    let bit, mask = Corrupt.draw_mask rng ~width:(max 1 size) model in
+    (* Multi_bit: arm the engine's pending FI mask so the splice's single
+       Mxorbit/Mxorbitmem applies all k bits at once (Exec consumes and
+       clears it); Reg_bit keeps the splice's own single-bit path *)
+    (match model with Fault.Multi_bit _ -> eng.E.fi_mask <- mask | _ -> ());
     ctrl.record <-
       Some { Fault.dyn_index = Int64.of_int ctrl.count; op_index = op; reg_name = "<refine>"; bit };
     eng.E.regs.(R.ret_gpr) <- Int64.of_int ((op lsl 6) lor bit)
@@ -71,20 +99,35 @@ let refine_handlers ctrl : (string * int * (E.t -> unit)) list =
 
 (* --- LLFI control library ---------------------------------------------- *)
 
-(* injectFault(id in r1, value in r2/f1): count, flip a uniform bit of the
-   64-bit value at the target instance, return it in r0/f0. *)
+(* One LLFI fault at the trigger instance: register-value faults flip the
+   instrumented IR value (the classic injectFault semantics); Mem_cell and
+   Instr_image faults strike memory/code instead and return the value
+   unchanged — the IR-level hook is only the trigger clock for them. *)
+let llfi_fire ctrl rng model (eng : E.t) (v : int64) : int64 =
+  ctrl.fired <- true;
+  let dyn_index = Int64.of_int ctrl.count in
+  match model with
+  | Fault.Reg_bit | Fault.Multi_bit _ ->
+    let bit, mask = Corrupt.draw_mask rng ~width:64 model in
+    ctrl.record <- Some { Fault.dyn_index; op_index = 0; reg_name = "<ir-value>"; bit };
+    Int64.logxor v mask
+  | Fault.Mem_cell ->
+    ctrl.record <- Some (Corrupt.mem_fault rng eng ~dyn_index);
+    v
+  | Fault.Instr_image ->
+    let pc = Corrupt.instrumented_pc eng in
+    ctrl.record <- Some (Corrupt.image_fault rng eng ~pc ~dyn_index);
+    v
+
+(* injectFault(id in r1, value in r2/f1): count, fault at the target
+   instance, return the (possibly flipped) value in r0/f0. *)
 let llfi_inject_int ctrl (eng : E.t) =
   ctrl.count <- ctrl.count + 1;
   let v = eng.E.regs.(R.gpr 2) in
   let v' =
     if should_fire ctrl then begin
       match ctrl.mode with
-      | Inject { rng; _ } ->
-        ctrl.fired <- true;
-        let bit = P.int rng 64 in
-        ctrl.record <-
-          Some { Fault.dyn_index = Int64.of_int ctrl.count; op_index = 0; reg_name = "<ir-value>"; bit };
-        Refine_support.Bitops.flip_bit v bit
+      | Inject { rng; model; _ } -> llfi_fire ctrl rng model eng v
       | Profile -> v
     end
     else v
@@ -97,12 +140,7 @@ let llfi_inject_float ctrl (eng : E.t) =
   let v' =
     if should_fire ctrl then begin
       match ctrl.mode with
-      | Inject { rng; _ } ->
-        ctrl.fired <- true;
-        let bit = P.int rng 64 in
-        ctrl.record <-
-          Some { Fault.dyn_index = Int64.of_int ctrl.count; op_index = 0; reg_name = "<ir-value>"; bit };
-        Refine_support.Bitops.flip_bit v bit
+      | Inject { rng; model; _ } -> llfi_fire ctrl rng model eng v
       | Profile -> v
     end
     else v
@@ -117,11 +155,22 @@ let llfi_inject_bool ctrl (eng : E.t) =
   let v' =
     if should_fire ctrl then begin
       match ctrl.mode with
-      | Inject _ ->
+      | Inject { rng; model; _ } -> (
         ctrl.fired <- true;
-        ctrl.record <-
-          Some { Fault.dyn_index = Int64.of_int ctrl.count; op_index = 0; reg_name = "<ir-bool>"; bit = 0 };
-        Refine_support.Bitops.flip_bit v 0
+        let dyn_index = Int64.of_int ctrl.count in
+        match model with
+        | Fault.Reg_bit | Fault.Multi_bit _ ->
+          (* i1 values have one meaningful bit: any register fault —
+             single or multi — inverts the decision, drawing nothing *)
+          ctrl.record <- Some { Fault.dyn_index; op_index = 0; reg_name = "<ir-bool>"; bit = 0 };
+          Refine_support.Bitops.flip_bit v 0
+        | Fault.Mem_cell ->
+          ctrl.record <- Some (Corrupt.mem_fault rng eng ~dyn_index);
+          v
+        | Fault.Instr_image ->
+          let pc = Corrupt.instrumented_pc eng in
+          ctrl.record <- Some (Corrupt.image_fault rng eng ~pc ~dyn_index);
+          v)
       | Profile -> v
     end
     else v

@@ -8,10 +8,14 @@
 
 type mode =
   | Profile
-  | Inject of { target : int; rng : Refine_support.Prng.t }
+  | Inject of { target : int; rng : Refine_support.Prng.t; model : Fault.model }
       (** [target] is the 1-based dynamic instance to fire at.  A native
           [int] so the per-call trigger test in the control library is a
-          word compare — dynamic populations are bounded far below 2^62. *)
+          word compare — dynamic populations are bounded far below 2^62.
+          [model] selects what state the fault strikes at that instance
+          ({!Fault.model}); register models flip through the tool's own
+          mechanism, Mem_cell/Instr_image mutate memory/code via
+          {!Corrupt} with the hook as the trigger clock. *)
 
 type ctrl = {
   mutable count : int;  (** dynamic instrumented-instruction counter *)

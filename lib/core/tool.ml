@@ -128,6 +128,17 @@ let m_quota_trips =
         "refine_quota_trips_total")
     quota_kind_names
 
+(* Injection tally by (tool, fault model).  Created lazily on first use per
+   label pair — [Metrics.counter] is mutex-protected and idempotent, so the
+   per-sample cost of a repeat call is one registry lookup, and model
+   labels only exist for models actually campaigned. *)
+let note_injection kind (model : Fault.model) =
+  if Obs.Control.enabled () then
+    Obs.Metrics.inc
+      (Obs.Metrics.counter ~help:"fault injections performed by fault model"
+         ~labels:[ ("tool", kind_name kind); ("model", Fault.string_of_model model) ]
+         "refine_injections_total")
+
 let note_quota_trip (r : E.result) =
   if Obs.Control.enabled () then
     match r.E.status with
@@ -450,8 +461,8 @@ exception Sample_budget_exceeded of int64
    (DESIGN.md §13): tripped quotas end the run [Trapped] and classify as
    Crash — an outcome, never an exception, so the supervisor burns no
    retries on them. *)
-let run_injection ?cost_cap ?(quotas = no_quotas) ?poll (p : prepared) (rng : P.t) :
-    Fault.experiment =
+let run_injection ?cost_cap ?(quotas = no_quotas) ?(model = Fault.Reg_bit) ?poll
+    (p : prepared) (rng : P.t) : Fault.experiment =
   if p.profile.Fault.dyn_count = 0L then
     { Fault.outcome = Fault.Benign; run_cost = 0L; fault = None }
   else begin
@@ -468,7 +479,8 @@ let run_injection ?cost_cap ?(quotas = no_quotas) ?poll (p : prepared) (rng : P.
         ?heap_quota:quotas.heap_bytes ?wall_clock:quotas.wall_clock_s ~clock:Obs.Control.now
         ?livelock:quotas.livelock_window ?poll eng
     in
-    let mode = Runtime.Inject { target; rng } in
+    note_injection p.kind model;
+    let mode = Runtime.Inject { target; rng; model } in
     let r, record =
       match p.kind with
       | Refine ->

@@ -174,6 +174,7 @@ exception Sample_budget_exceeded of int64
 val run_injection :
   ?cost_cap:int64 ->
   ?quotas:quotas ->
+  ?model:Fault.model ->
   ?poll:(unit -> unit) ->
   prepared ->
   Refine_support.Prng.t ->
@@ -181,7 +182,10 @@ val run_injection :
 (** One fault-injection experiment: selects a uniform dynamic target
     instruction / output operand / bit from the tool's population, runs to
     completion (or the 10x-profiling timeout) and classifies the outcome
-    against the golden output.  [cost_cap] kills the sample with
+    against the golden output.  [model] (default {!Fault.Reg_bit}) selects
+    what state the fault strikes at the chosen dynamic instance
+    ({!Fault.model}); the trigger draw and timing are model-independent,
+    so one prepared binary serves every model.  [cost_cap] kills the sample with
     {!Sample_budget_exceeded} if it burns that much modeled cost before the
     paper's own 10x timeout fires (caps at or above the 10x timeout are
     inert: hitting the 10x timeout stays a Crash, the paper's semantics).

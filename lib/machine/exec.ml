@@ -45,6 +45,7 @@ type trap =
   | Heap_quota of int
   | Wall_clock of float
   | Livelock
+  | Illegal_instr of int
 
 let string_of_trap = function
   | Mem_fault a -> Printf.sprintf "memory fault at 0x%x" a
@@ -57,6 +58,7 @@ let string_of_trap = function
   | Heap_quota q -> Printf.sprintf "heap quota exceeded (%d bytes)" q
   | Wall_clock s -> Printf.sprintf "wall-clock deadline exceeded (%.3fs)" s
   | Livelock -> "livelock: architectural state repeated"
+  | Illegal_instr a -> Printf.sprintf "illegal instruction encoding at pc %d" a
 
 type status = Running | Exited of int | Trapped of trap | Timed_out
 
@@ -92,6 +94,18 @@ type t = {
       (* pre-resolved extern dispatch, indexed by image.ext_slot_of_pc *)
   mutable builtins : (t -> unit) option array;
       (* memoized libc/libm handlers per ext slot, reused across resets *)
+  mutable fi_mask : int64;
+      (* pending multi-bit FI mask: when nonzero, the next Mxorbit /
+         Mxorbitmem applies this XOR mask instead of its single-bit flip,
+         then clears it (set by the REFINE control library, DESIGN.md §18) *)
+  mutable overlay_pc : int;
+      (* Instr_image corruption overlay: the engine-local view of one
+         mutated code slot.  -1 = none.  The shared [image.code] array is
+         never written, so snapshots, the prepared-tier cache fingerprint
+         and sibling engines stay pristine; [reset] clears the overlay. *)
+  mutable overlay_instr : M.t option;
+      (* the mutated instruction at [overlay_pc]; None = the corrupted
+         encoding no longer decodes (executing it traps [Illegal_instr]) *)
   snap : Bytes.t option; (* pristine memory to blit on [reset] *)
 }
 
@@ -324,6 +338,9 @@ let make ~(ext_extra : (string * int * (t -> unit)) list) (image : L.image) mem 
       heap_quota = max_int;
       handlers = [||];
       builtins = [||];
+      fi_mask = 0L;
+      overlay_pc = -1;
+      overlay_instr = None;
       snap;
     }
   in
@@ -365,6 +382,9 @@ let reset ?(ext_extra = []) (t : t) : unit =
   t.hook_cost <- 0;
   t.prof <- None;
   t.heap_quota <- max_int;
+  t.fi_mask <- 0L;
+  t.overlay_pc <- -1;
+  t.overlay_instr <- None;
   Hashtbl.reset t.ext_extra;
   List.iter (fun (name, cost, fn) -> Hashtbl.replace t.ext_extra name (cost, fn)) ext_extra;
   t.handlers <- bind_handlers t
@@ -373,15 +393,13 @@ let reset ?(ext_extra = []) (t : t) : unit =
 
 let opd (t : t) = function M.Reg r -> t.regs.(r) | M.Imm v -> v
 
-let step (t : t) =
+(* Execute [i] as the instruction at [pc0] (bounds already established by
+   [step]'s guard).  Factored out of [step] so the Instr_image overlay can
+   substitute a mutated instruction for the fetched one without an
+   allocation on the hot path. *)
+let exec_instr (t : t) pc0 (i : M.t) =
   let code = t.image.L.code in
-  if t.pc < 0 || t.pc >= Array.length code then begin
-    t.status <- Trapped (Bad_pc t.pc)
-  end
-  else begin
-    let pc0 = t.pc in
-    (* bounds established by the guard above *)
-    let i = Array.unsafe_get code pc0 in
+  begin
     t.steps <- t.steps + 1;
     t.cost <- t.cost + 1 + t.hook_cost;
     (match t.prof with
@@ -449,17 +467,71 @@ let step (t : t) =
            else t.pc <- target
          end
        | M.Mxorbit (d, s) ->
-         t.regs.(d) <-
-           Int64.logxor t.regs.(d) (Int64.shift_left 1L (Int64.to_int (Int64.logand t.regs.(s) 63L)))
+         (* a pending multi-bit mask overrides the single-bit flip: the
+            splice stays one instruction, the fault gets k bits (§18) *)
+         if t.fi_mask <> 0L then begin
+           t.regs.(d) <- Int64.logxor t.regs.(d) t.fi_mask;
+           t.fi_mask <- 0L
+         end
+         else
+           t.regs.(d) <-
+             Int64.logxor t.regs.(d)
+               (Int64.shift_left 1L (Int64.to_int (Int64.logand t.regs.(s) 63L)))
        | M.Mxorbitmem (b, off, s) ->
          let addr = Int64.to_int t.regs.(b) + off in
          let v = load64 t addr in
-         store64 t addr
-           (Int64.logxor v (Int64.shift_left 1L (Int64.to_int (Int64.logand t.regs.(s) 63L))))
+         let mask =
+           if t.fi_mask <> 0L then begin
+             let m = t.fi_mask in
+             t.fi_mask <- 0L;
+             m
+           end
+           else Int64.shift_left 1L (Int64.to_int (Int64.logand t.regs.(s) 63L))
+         in
+         store64 t addr (Int64.logxor v mask)
        | M.Mhalt -> t.status <- Exited (Int64.to_int t.regs.(R.ret_gpr)));
        match t.post_hook with Some h -> h t pc0 i | None -> ()
      with Halt_trap tr -> t.status <- Trapped tr)
   end
+
+let step (t : t) =
+  let code = t.image.L.code in
+  if t.pc < 0 || t.pc >= Array.length code then t.status <- Trapped (Bad_pc t.pc)
+  else begin
+    let pc0 = t.pc in
+    (* overlay check is one int compare on the hot path; only a hit pays
+       for the option match *)
+    if pc0 = t.overlay_pc then (
+      match t.overlay_instr with
+      | Some i -> exec_instr t pc0 i
+      | None ->
+        (* the corrupted slot no longer decodes: the fetch itself traps *)
+        t.steps <- t.steps + 1;
+        t.cost <- t.cost + 1;
+        t.status <- Trapped (Illegal_instr pc0))
+    else exec_instr t pc0 (Array.unsafe_get code pc0)
+  end
+
+(* Byte-granular memory fault (Mem_cell model): XOR one bit of one data
+   byte.  Out-of-range addresses are a harness defect (callers draw the
+   cell from the initialized image), so they raise [Invalid_argument]
+   rather than a machine trap. *)
+let flip_mem_bit (t : t) ~addr ~bit =
+  if addr < Mem.null_guard || addr >= Mem.mem_size then
+    invalid_arg (Printf.sprintf "Exec.flip_mem_bit: address 0x%x outside data memory" addr);
+  if bit < 0 || bit > 7 then
+    invalid_arg (Printf.sprintf "Exec.flip_mem_bit: bit %d out of [0,7]" bit);
+  let b = Char.code (Bytes.get t.mem addr) in
+  Bytes.set t.mem addr (Char.chr (b lxor (1 lsl bit)))
+
+(* Install the Instr_image corruption overlay: the engine-local view of one
+   mutated code slot ([None] = the mutated encoding is illegal).  The
+   shared [image.code] is never written; [reset] clears the overlay. *)
+let set_overlay (t : t) ~pc instr =
+  if pc < 0 || pc >= Array.length t.image.L.code then
+    invalid_arg (Printf.sprintf "Exec.set_overlay: pc %d outside the code image" pc);
+  t.overlay_pc <- pc;
+  t.overlay_instr <- instr
 
 let enable_profiling t =
   match t.prof with

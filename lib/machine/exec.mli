@@ -32,6 +32,9 @@ type trap =
   | Heap_quota of int  (** sandbox: heap grew past the byte quota *)
   | Wall_clock of float  (** sandbox: real-time deadline (seconds) expired *)
   | Livelock  (** sandbox: architectural state fingerprint repeated *)
+  | Illegal_instr of int
+      (** the Instr_image fault model corrupted the code slot at this pc
+          into an encoding that no longer decodes; fetching it traps *)
 
 val string_of_trap : trap -> string
 
@@ -75,6 +78,19 @@ type t = {
   mutable builtins : (t -> unit) option array;
       (** memoized libc/libm handlers per extern slot, reused across
           {!reset}s so signatures are parsed once per engine.  Internal. *)
+  mutable fi_mask : int64;
+      (** pending multi-bit FI mask: when nonzero, the next [Mxorbit] /
+          [Mxorbitmem] applies this XOR mask instead of its single-bit
+          flip, then clears it.  Set by the REFINE control library for the
+          Multi_bit fault model (DESIGN.md §18); cleared by {!reset}. *)
+  mutable overlay_pc : int;
+      (** Instr_image corruption overlay: engine-local view of one mutated
+          code slot ([-1] = none).  The shared [image.code] array is never
+          written, so snapshots and sibling engines stay pristine. *)
+  mutable overlay_instr : Refine_mir.Minstr.t option;
+      (** the mutated instruction at [overlay_pc]; [None] = the corrupted
+          encoding no longer decodes, so fetching it traps
+          [Illegal_instr]. *)
   snap : Bytes.t option;
       (** pristine memory blitted back by {!reset}; [None] for engines made
           with {!create} *)
@@ -117,6 +133,20 @@ val reset : ?ext_extra:(string * int * (t -> unit)) list -> t -> unit
 
 val step : t -> unit
 (** Execute one instruction (or set a trap status). *)
+
+val flip_mem_bit : t -> addr:int -> bit:int -> unit
+(** XOR one bit of one data-memory byte — the Mem_cell fault model's
+    mutation.  [Invalid_argument] if [addr] is outside
+    [[Memlayout.null_guard, Memlayout.mem_size)] or [bit] outside [0, 7]:
+    callers draw the cell from the initialized image, so an out-of-range
+    address is a harness defect, not a machine trap. *)
+
+val set_overlay : t -> pc:int -> Refine_mir.Minstr.t option -> unit
+(** Install the Instr_image corruption overlay at [pc] ([None] = the
+    mutated encoding is illegal; executing that slot traps
+    [Illegal_instr]).  The shared image code is never written; {!reset}
+    clears the overlay.  [Invalid_argument] if [pc] is outside the code
+    image. *)
 
 val enable_profiling : t -> profile
 (** Attach (or return the already-attached) executor profile.  The record

@@ -17,6 +17,36 @@ let clear_bit v i =
   check_index i;
   Int64.logand v (Int64.lognot (Int64.shift_left 1L i))
 
+(* Multi-bit fault-mask drawing (DESIGN.md §18).  [draw n] must return a
+   uniform int in [0, n) — callers pass [Prng.int rng], so the result is a
+   pure function of the PRNG state and the draw sequence is identical on
+   every replay (the determinism property fixed-seed campaigns rely on).
+   Distinct bits use rejection (re-draw on a duplicate), which consumes
+   exactly the same number of draws for the same PRNG state; bursts draw
+   one uniform start position.  The result is sorted ascending. *)
+let draw_bits (draw : int -> int) ~width ~bits ~burst : int list =
+  if width < 1 || width > 64 then
+    invalid_arg (Printf.sprintf "Bitops.draw_bits: width %d out of [1,64]" width);
+  if bits < 1 || bits > 64 then
+    invalid_arg (Printf.sprintf "Bitops.draw_bits: bits %d out of [1,64]" bits);
+  let k = min bits width in
+  if burst then begin
+    let start = draw (width - k + 1) in
+    List.init k (fun i -> start + i)
+  end
+  else begin
+    let rec collect acc n =
+      if n = 0 then acc
+      else
+        let b = draw width in
+        if List.mem b acc then collect acc n else collect (b :: acc) (n - 1)
+    in
+    List.sort compare (collect [] k)
+  end
+
+let mask_of_bits bits =
+  List.fold_left (fun m b -> set_bit m b) 0L bits
+
 let popcount v =
   let rec loop v acc = if v = 0L then acc else loop (Int64.logand v (Int64.sub v 1L)) (acc + 1) in
   loop v 0

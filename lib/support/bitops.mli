@@ -17,6 +17,19 @@ val clear_bit : int64 -> int -> int64
 val popcount : int64 -> int
 (** Number of set bits. *)
 
+val draw_bits : (int -> int) -> width:int -> bits:int -> burst:bool -> int list
+(** [draw_bits draw ~width ~bits ~burst] chooses the bit positions of one
+    multi-bit fault below [width]: [bits] distinct uniform positions
+    (rejection-sampled, so the draw sequence is a pure function of the
+    PRNG state), or with [burst] a contiguous run of [bits] positions at a
+    uniform start.  [draw n] must return a uniform int in [0, n) —
+    callers pass [Prng.int rng].  [bits] is clamped to [width]; the result
+    is sorted ascending.  [Invalid_argument] if [width] or [bits] is
+    outside [1, 64]. *)
+
+val mask_of_bits : int list -> int64
+(** OR of [1 lsl b] over the list — the XOR mask of a multi-bit fault. *)
+
 val float_bits : float -> int64
 (** IEEE-754 bit image (same as [Int64.bits_of_float]). *)
 

@@ -1,0 +1,63 @@
+(* Fault-model smoke: exercised on every `dune runtest` via the
+   @fault-smoke alias so the cross-layer fault models (DESIGN.md §18) stay
+   covered end-to-end by CI, not just by the property suite.
+
+   Runs a tiny 1-program x 3-tool campaign under every fault model,
+   sequentially and with 4 worker domains, requires the outcome tables to
+   match bit-exactly per model, round-trips the cells through the CSV
+   schema, and checks the Instr_image decode-trap guarantee: a corrupted
+   encoding crashes the simulated program, never the harness. *)
+
+module F = Refine_core.Fault
+module T = Refine_core.Tool
+module E = Refine_campaign.Experiment
+module Rep = Refine_campaign.Report
+module Csv = Refine_campaign.Csv
+
+let src =
+  "global float acc[4]; global int bias = 7; int main() { int i; float x = 1.5; int s = 0; \
+   for (i = 0; i < 40; i = i + 1) { x = x * 1.01 + 0.1; s = s + i + bias; acc[i % 4] = x; } \
+   print_int(s); print_float(x); return 0; }"
+
+let models = [ "reg"; "mem"; "instr"; "multi:3"; "burst:2" ]
+
+let summary (c : E.cell) =
+  Printf.sprintf "%s/%s crash=%d soc=%d benign=%d err=%d cost=%Ld" c.E.program
+    (T.kind_name c.E.tool) c.E.counts.E.crash c.E.counts.E.soc c.E.counts.E.benign
+    c.E.counts.E.tool_error c.E.injection_cost
+
+let () =
+  let all = ref [] in
+  List.iter
+    (fun name ->
+      let model = F.model_of_string name in
+      let run domains =
+        E.run_matrix ~domains ~model ~samples:12 ~seed:20170712 [ ("tiny", src) ] Rep.tools
+      in
+      let seq = run 1 and par = run 4 in
+      let a = List.map summary seq and b = List.map summary par in
+      if a <> b then begin
+        Printf.printf "fault-smoke FAILED: %s sequential <> domains 4\n  seq: %s\n  par: %s\n"
+          name (String.concat " | " a) (String.concat " | " b);
+        exit 1
+      end;
+      (if model = F.Instr_image then
+         List.iter
+           (fun (c : E.cell) ->
+             if c.E.quarantined = None && c.E.counts.E.tool_error > 0 then begin
+               Printf.printf "fault-smoke FAILED: instr decode trap surfaced as tool_error (%s)\n"
+                 (summary c);
+               exit 1
+             end)
+           seq);
+      all := !all @ seq;
+      Printf.printf "fault-smoke %-8s %s\n" name (String.concat " | " a))
+    models;
+  let back = Csv.of_string (Csv.to_string !all) in
+  let key (c : E.cell) = (c.E.program, c.E.tool, c.E.model, c.E.counts, c.E.injection_cost) in
+  if List.map key back <> List.map key !all then begin
+    Printf.printf "fault-smoke FAILED: CSV round-trip lost per-model cells\n";
+    exit 1
+  end;
+  Printf.printf "fault-smoke OK: %d models bit-identical across domain counts, CSV round-trip\n"
+    (List.length models)

@@ -96,6 +96,7 @@ let test_torn_final_line () =
     {
       J.program = "tiny";
       tool = "REFINE";
+      model = "reg";
       sample = i;
       outcome = Refine_core.Fault.Benign;
       cost = Int64.of_int (100 + i);

@@ -159,7 +159,8 @@ let test_multibit_flips () =
   let outcome flips seed =
     let ctrl =
       Refine_core.Pinfi.create ~flips
-        (Refine_core.Runtime.Inject { target = 20; rng = P.create seed })
+        (Refine_core.Runtime.Inject
+           { target = 20; rng = P.create seed; model = Refine_core.Fault.Reg_bit })
     in
     let eng = Refine_machine.Exec.create image in
     Refine_core.Pinfi.attach ctrl eng;

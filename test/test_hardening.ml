@@ -428,7 +428,7 @@ let prop_journal_roundtrip =
     QCheck.(quad outcome_gen small_nat (map Int64.of_int small_nat) small_nat)
     (fun (outcome, sample, cost, attempts) ->
       let path = tmpfile () in
-      let e = { J.program = "p"; tool = "REFINE"; sample; outcome; cost; attempts } in
+      let e = { J.program = "p"; tool = "REFINE"; model = "reg"; sample; outcome; cost; attempts } in
       let j = J.create path in
       J.record j e;
       let j' = J.create ~resume:true path in

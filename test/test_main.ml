@@ -25,6 +25,7 @@ let () =
       ("robustness", Test_robustness.tests);
       ("hardening", Test_hardening.tests);
       ("extensions", Test_extensions.tests);
+      ("faultmodels", Test_faultmodels.tests);
       ("paper", Test_paper_reproduction.tests);
       ("integration", Test_integration.tests);
       ("misc", Test_misc.tests);

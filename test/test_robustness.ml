@@ -226,7 +226,7 @@ let test_reports_survive_degraded_matrix () =
 (* ---- journal ----------------------------------------------------------- *)
 
 let entry sample outcome cost =
-  { J.program = "p"; tool = "REFINE"; sample; outcome; cost; attempts = 1 }
+  { J.program = "p"; tool = "REFINE"; model = "reg"; sample; outcome; cost; attempts = 1 }
 
 let test_journal_roundtrip () =
   let path = tmpfile () in

@@ -25,12 +25,15 @@ let gen_i64 = QCheck.Gen.map Int64.of_int QCheck.Gen.int
 let gen_f = QCheck.Gen.map (fun i -> float_of_int i *. 0.0625) QCheck.Gen.(int_range (-1_000_000) 1_000_000)
 let gen_outcome = QCheck.Gen.oneofl [ F.Crash; F.Soc; F.Benign; F.Tool_error ]
 
+let gen_model_str =
+  QCheck.Gen.oneofl [ "reg"; "mem"; "instr"; "multi:3"; "burst:4" ]
+
 let gen_entry =
   QCheck.Gen.(
     map
-      (fun (program, tool, sample, outcome, cost, attempts) ->
-        { J.program; tool; sample; outcome; cost; attempts })
-      (tup6 gen_str gen_str small_nat gen_outcome gen_i64 small_nat))
+      (fun ((program, tool, sample, outcome, cost, attempts), model) ->
+        { J.program; tool; model; sample; outcome; cost; attempts })
+      (pair (tup6 gen_str gen_str small_nat gen_outcome gen_i64 small_nat) gen_model_str))
 
 let gen_config =
   QCheck.Gen.(
@@ -133,10 +136,10 @@ let gen_frame =
         map (fun (pid, version) -> S.Hello { pid; version }) (pair small_nat small_nat);
         map (fun c -> S.Init c) gen_config;
         map
-          (fun ((chunk, program, source, tool), (samples, todo, trace, parent_span)) ->
-            S.Assign { chunk; program; source; tool; samples; todo; trace; parent_span })
+          (fun ((chunk, program, source, tool, model), (samples, todo, trace, parent_span)) ->
+            S.Assign { chunk; program; source; tool; model; samples; todo; trace; parent_span })
           (pair
-             (tup4 small_nat gen_str gen_str gen_str)
+             (tup5 small_nat gen_str gen_str gen_str gen_model_str)
              (tup4 small_nat (small_list small_nat) gen_str small_nat));
         map (fun (chunk, entry) -> S.Outcome { chunk; entry }) (pair small_nat gen_entry);
         map
@@ -206,10 +209,14 @@ let test_tool_names () =
   Alcotest.check_raises "unknown tool" (Invalid_argument "Shard.tool_of_name: BOGUS") (fun () ->
       ignore (S.tool_of_name "bogus"))
 
+(* an unknown tag is a protocol-version skew, not a torn frame: it must
+   surface as Protocol_mismatch naming the local version and the tag *)
 let test_unknown_tag () =
   match S.decode "\xfe" with
   | _ -> Alcotest.fail "tag 254 decoded"
-  | exception Invalid_argument _ -> ()
+  | exception S.Protocol_mismatch { expected_version; tag } ->
+    Alcotest.(check int) "reports local protocol version" S.version expected_version;
+    Alcotest.(check int) "reports offending tag" 254 tag
 
 (* ---- sharded = domains = sequential ------------------------------------ *)
 
@@ -239,6 +246,36 @@ let test_workers_match_domains () =
     (List.map key sharded = List.map key sequential);
   let t5 cells = Rep.table5 (Rep.chi2_rows cells [ "tiny" ]) in
   Alcotest.(check string) "table5 identical" (t5 sequential) (t5 sharded)
+
+(* The fault-model plane (DESIGN.md §18): the sharded-equals-in-process
+   guarantee must hold for every fault model, not just the paper's
+   register-bit default — the Assign frame carries the model, the workers
+   thread it into run_cell, and the coordinator filters its journal prefill
+   by it.  One model also takes a SIGKILL mid-campaign: kill-and-reassign
+   must stay bit-identical under non-default models too. *)
+let test_models_match_domains () =
+  let samples = 6 and seed = 17 in
+  let programs = [ ("tiny", src) ] in
+  List.iter
+    (fun (name, chaos) ->
+      let model = F.model_of_string name in
+      let sequential = E.run_matrix ~domains:1 ~model ~samples ~seed programs Rep.tools in
+      let domains = E.run_matrix ~domains:4 ~model ~samples ~seed programs Rep.tools in
+      let options = { C.default_options with C.workers = 2; chaos } in
+      let sharded = C.run_matrix ~options ~model ~samples ~seed programs Rep.tools in
+      Alcotest.(check bool)
+        (name ^ ": domains = sequential")
+        true
+        (List.map key domains = List.map key sequential);
+      Alcotest.(check bool)
+        (name ^ ": workers = sequential")
+        true
+        (List.map key sharded = List.map key sequential))
+    [
+      ("mem", C.no_chaos);
+      ("instr", { C.no_chaos with C.kill_worker = Some (0, 4) });
+      ("burst:2", C.no_chaos);
+    ]
 
 (* The observability-plane headline (DESIGN.md §17): with cell-granular
    chunks, the coordinator's merged fleet counters are the same multiset
@@ -296,5 +333,7 @@ let tests =
     Alcotest.test_case "tool name mapping" `Quick test_tool_names;
     Alcotest.test_case "unknown tag rejected" `Quick test_unknown_tag;
     Alcotest.test_case "workers = domains = sequential" `Quick test_workers_match_domains;
+    Alcotest.test_case "per-model workers = domains = sequential (with kill)" `Quick
+      test_models_match_domains;
     Alcotest.test_case "fleet counters = domains counters" `Quick test_fleet_counters_match_domains;
   ]
