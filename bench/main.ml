@@ -510,6 +510,118 @@ let fastpath_section ~campaign_sps () =
   close_out oc;
   Printf.printf "[fast-path throughput written to BENCH_fastpath.json]\n"
 
+(* ---- BENCH_decode.json: pre-decoded executor throughput -------------------
+   DESIGN.md §19: the pre-decoded engine replaces the per-opcode match
+   interpreter with per-pc dispatch closures plus fused superinstructions.
+   The probe measures raw simulated instructions/sec on the same spin loop
+   as the fast-path section with the legacy engine vs the decoded engine
+   (the ISSUE 9 target is >=5x), and re-runs the fixed-seed (DC+EP x 3
+   tools) matrix under all five fault models with the decoded path off and
+   on — the outcome tables must be bit-identical. *)
+
+let decode_section () =
+  section "Pre-decoded executor (DESIGN.md par. 19) - legacy vs decoded throughput";
+  let module M = Refine_mir.Minstr in
+  let module R = Refine_mir.Reg in
+  let module MF = Refine_mir.Mfunc in
+  let module Ex = Refine_machine.Exec in
+  let module F = Refine_core.Fault in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (Unix.gettimeofday () -. t0, v)
+  in
+  let spin_image =
+    let mf = MF.create "main" in
+    List.iteri
+      (fun k i ->
+        let b = MF.add_block mf k in
+        b.MF.code <- [ i ])
+      [
+        M.Mmov (R.gpr 1, M.Imm 7L);
+        M.Mcmp (R.gpr 1, M.Imm 0L);
+        M.Mjcc (M.CEq, 4);
+        M.Mjmp 1;
+        M.Mhalt;
+      ];
+    Refine_backend.Layout.build ~globals:[] [ mf ]
+  in
+  (* a counted work loop with an accumulator: the back edge does not
+     close over the latch triple alone, so the decoded engine cannot
+     bulk-retire iterations — this measures honest per-iteration fused
+     dispatch (single op + fused latch triple) on real loop work *)
+  let work_image =
+    let mf = MF.create "main" in
+    List.iteri
+      (fun k i ->
+        let b = MF.add_block mf k in
+        b.MF.code <- [ i ])
+      [
+        M.Mmov (R.gpr 1, M.Imm 1_000_000_000L);
+        M.Mmov (R.gpr 2, M.Imm 0L);
+        M.Mbin (Refine_ir.Ir.Add, R.gpr 2, R.gpr 2, M.Reg (R.gpr 1));
+        M.Mbin (Refine_ir.Ir.Sub, R.gpr 1, R.gpr 1, M.Imm 1L);
+        M.Mcmp (R.gpr 1, M.Imm 0L);
+        M.Mjcc (M.CNe, 2);
+        M.Mhalt;
+      ];
+    Refine_backend.Layout.build ~globals:[] [ mf ]
+  in
+  let spin_steps = 20_000_000 in
+  let probe image ~decoded =
+    let eng = Ex.create image in
+    if decoded then Ex.install_decoded eng (Some (Ex.decode image));
+    let s, () = timed (fun () -> ignore (Ex.run ~max_steps:(Int64.of_int spin_steps) eng)) in
+    float_of_int spin_steps /. s
+  in
+  ignore (probe spin_image ~decoded:false) (* warm-up: page in the code and the image *);
+  let legacy_ips = probe spin_image ~decoded:false in
+  let decoded_ips = probe spin_image ~decoded:true in
+  let speedup = decoded_ips /. legacy_ips in
+  Printf.printf "spin loop, simulated instructions/sec: legacy %.2fM, decoded %.2fM (%.2fx)\n"
+    (legacy_ips /. 1e6) (decoded_ips /. 1e6) speedup;
+  let work_legacy_ips = probe work_image ~decoded:false in
+  let work_decoded_ips = probe work_image ~decoded:true in
+  let work_speedup = work_decoded_ips /. work_legacy_ips in
+  Printf.printf "work loop, simulated instructions/sec: legacy %.2fM, decoded %.2fM (%.2fx)\n"
+    (work_legacy_ips /. 1e6) (work_decoded_ips /. 1e6) work_speedup;
+  (* fixed-seed outcome tables under every fault model, decoded off vs on *)
+  let progs = [ "DC"; "EP" ] in
+  let srcs = List.map (fun n -> (n, (Reg.find n).Reg.source)) progs in
+  let n = min samples 48 in
+  let models = [ "reg"; "mem"; "instr"; "multi:3"; "burst:4" ] in
+  let key (c : E.cell) = (c.E.program, T.kind_name c.E.tool, c.E.counts, c.E.injection_cost) in
+  let matrix () =
+    List.map
+      (fun name ->
+        T.reset_artifact_caches ();
+        List.map key (E.run_matrix ~model:(F.model_of_string name) ~samples:n ~seed srcs Rep.tools))
+      models
+  in
+  T.use_decode := false;
+  let legacy_tables = matrix () in
+  T.use_decode := true;
+  let decoded_tables = matrix () in
+  let identical = legacy_tables = decoded_tables in
+  Printf.printf "outcome tables (%s x 3 tools x %d, models %s): %s\n"
+    (String.concat "+" progs) n (String.concat "/" models)
+    (if identical then "bit-identical decoded vs legacy" else "MISMATCH decoded vs legacy");
+  let oc = open_out "BENCH_decode.json" in
+  Printf.fprintf oc
+    "{\n  \"spin_steps\": %d,\n  \"legacy_sim_instr_per_s\": %.0f,\n  \
+     \"decoded_sim_instr_per_s\": %.0f,\n  \"speedup\": %.2f,\n  \
+     \"work_legacy_sim_instr_per_s\": %.0f,\n  \"work_decoded_sim_instr_per_s\": %.0f,\n  \
+     \"work_speedup\": %.2f,\n  \
+     \"outcome_models\": %d,\n  \"outcome_tables_identical\": %b\n}\n"
+    spin_steps legacy_ips decoded_ips speedup work_legacy_ips work_decoded_ips work_speedup
+    (List.length models) identical;
+  close_out oc;
+  Printf.printf "[decode throughput written to BENCH_decode.json]\n";
+  if not identical then begin
+    Printf.printf "[decode probe: DETERMINISM VIOLATION]\n";
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks ------------------------------------------ *)
 
 let bechamel_section () =
@@ -870,6 +982,7 @@ let () =
     in
     fastpath_section ~campaign_sps ()
   end;
+  if getenv_default "REFINE_DECODE" "1" <> "0" then decode_section ();
   if getenv_default "REFINE_SHARD" "1" <> "0" then shard_section ();
   if getenv_default "REFINE_FAULTMODELS" "1" <> "0" then faultmodels_section ();
   let live =

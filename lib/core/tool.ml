@@ -166,19 +166,87 @@ let next_snap_id = Atomic.make 0
 let engine_cache : (int * E.t) option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
-let acquire ?(ext_extra = []) ~image ~snap ~snap_id () =
-  if not !use_fast_path then E.create ~ext_extra image
-  else begin
-    let cell = Domain.DLS.get engine_cache in
-    match !cell with
-    | Some (id, eng) when id = snap_id ->
-      E.reset ~ext_extra eng;
-      eng
-    | _ ->
-      let eng = E.create_from_snapshot ~ext_extra snap in
-      cell := Some (snap_id, eng);
-      eng
+(* ---- pre-decoded engine (DESIGN.md §19) -------------------------------
+
+   Each snapshot's image is decoded once — per-pc dispatch closures plus
+   fused superinstructions — and stored in a content-addressed artifact
+   tier keyed by the snapshot id, so engines handed out by [acquire] never
+   re-decode: a cached engine keeps its decoded program across [reset]
+   (the decode is a property of the image, not of a sample), and a fresh
+   engine installs the per-snapshot decode from the cache.  Settable off
+   ([--no-decode]) to force the legacy interpreter; outcome tables are
+   bit-identical either way (asserted by the differential decode suite). *)
+
+let use_decode = ref true
+
+let m_decode_hits =
+  Obs.Metrics.counter ~help:"decoded-program cache hits" "refine_decode_cache_hits_total"
+
+let m_decode_misses =
+  Obs.Metrics.counter ~help:"decoded-program cache misses (images decoded)"
+    "refine_decode_cache_misses_total"
+
+let m_superinstr =
+  Array.map
+    (fun idiom ->
+      Obs.Metrics.counter ~help:"superinstructions fused at decode time by idiom"
+        ~labels:[ ("idiom", idiom) ] "refine_decoded_superinstr_total")
+    E.idioms
+
+(* Fingerprint over the instruction array (pure data, no closures): a
+   post-layout mutation of the shared code invalidates the decoded entry
+   on serve instead of dispatching stale closures. *)
+let decoded_cache : E.dprogram Artifact_cache.t =
+  Artifact_cache.create ~name:"decoded"
+    ~fingerprint:(fun dp ->
+      Digest.string (Marshal.to_string (E.decoded_image dp).Refine_backend.Layout.code []))
+    ()
+
+let decoded_for ~snap_id ~image =
+  if not !Artifact_cache.enabled then begin
+    if Obs.Control.enabled () then Obs.Metrics.inc m_decode_misses;
+    E.decode image
   end
+  else begin
+    let key = Artifact_cache.key [ "decoded"; string_of_int snap_id ] in
+    match Artifact_cache.find decoded_cache key with
+    | Some dp when E.decoded_image dp == image ->
+      if Obs.Control.enabled () then Obs.Metrics.inc m_decode_hits;
+      dp
+    | _ ->
+      let dp = E.decode image in
+      Artifact_cache.add decoded_cache key dp;
+      if Obs.Control.enabled () then begin
+        Obs.Metrics.inc m_decode_misses;
+        Array.iteri
+          (fun i n -> if n > 0 then Obs.Metrics.add64 m_superinstr.(i) (Int64.of_int n))
+          (E.superinstr_counts dp)
+      end;
+      dp
+  end
+
+let acquire ?(ext_extra = []) ~image ~snap ~snap_id () =
+  let eng =
+    if not !use_fast_path then E.create ~ext_extra image
+    else begin
+      let cell = Domain.DLS.get engine_cache in
+      match !cell with
+      | Some (id, eng) when id = snap_id ->
+        E.reset ~ext_extra eng;
+        eng
+      | _ ->
+        let eng = E.create_from_snapshot ~ext_extra snap in
+        cell := Some (snap_id, eng);
+        eng
+    end
+  in
+  (* a cached engine keeps its dprog across reset, so the cache lookup
+     only runs for fresh engines (or after a kill-switch flip) *)
+  if !use_decode then begin
+    if not (E.decoded eng) then E.install_decoded eng (Some (decoded_for ~snap_id ~image))
+  end
+  else if E.decoded eng then E.install_decoded eng None;
+  eng
 
 type prepared = {
   kind : kind;
@@ -319,11 +387,14 @@ let prepared_cache : prepared Artifact_cache.t =
 let reset_artifact_caches () =
   Artifact_cache.clear ir_cache;
   Artifact_cache.clear prepared_cache;
+  Artifact_cache.clear decoded_cache;
   Atomic.set compile_invocation_count 0
 
 let ir_cache_stats () = Artifact_cache.stats ir_cache
 
 let prepared_cache_stats () = Artifact_cache.stats prepared_cache
+
+let decoded_cache_stats () = Artifact_cache.stats decoded_cache
 
 (* [phases] buckets wall-clock time into the overhead-breakdown columns
    (instrument / compile / execute); the profiling runs count as execute.

@@ -48,6 +48,15 @@ val use_fast_path : bool ref
     results are bit-identical either way (asserted by the fast-path test
     suite). *)
 
+val use_decode : bool ref
+(** When [true] (the default), engines handed out for simulator runs carry
+    the pre-decoded program for their snapshot (DESIGN.md §19): per-pc
+    dispatch closures with fused superinstructions, decoded once per
+    snapshot and served from a content-addressed cache tier.  Set to
+    [false] ([refinec --no-decode]) to force the legacy per-opcode match
+    interpreter; outcome tables are bit-identical either way (asserted by
+    the differential decode suite). *)
+
 type prepared = {
   kind : kind;
   sel : Selection.t;
@@ -120,8 +129,12 @@ val ir_cache_stats : unit -> Refine_passes.Artifact_cache.stats
 
 val prepared_cache_stats : unit -> Refine_passes.Artifact_cache.stats
 
+val decoded_cache_stats : unit -> Refine_passes.Artifact_cache.stats
+(** The decoded-program tier (DESIGN.md §19): one entry per snapshot,
+    keyed by snapshot id, fingerprinted over the instruction array. *)
+
 val reset_artifact_caches : unit -> unit
-(** Drop both cache tiers and zero {!compile_invocations} (test/bench
+(** Drop all three cache tiers and zero {!compile_invocations} (test/bench
     isolation). *)
 
 val prepare :

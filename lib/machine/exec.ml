@@ -106,8 +106,36 @@ type t = {
   mutable overlay_instr : M.t option;
       (* the mutated instruction at [overlay_pc]; None = the corrupted
          encoding no longer decodes (executing it traps [Illegal_instr]) *)
+  mutable dprog : dprogram option;
+      (* pre-decoded program installed on this engine (DESIGN.md §19);
+         None = the legacy match-per-opcode interpreter *)
+  mutable d_active : (t -> unit) array;
+      (* the dispatch table the decoded loop reads: [dprog.d_fused]
+         normally, [dprog.d_single] while an Instr_image overlay is armed
+         (a superinstruction head must never replay a stale slot) *)
+  mutable d_overlay : (t -> unit) option;
+      (* decoded form of [overlay_instr], rebuilt by [set_overlay] and
+         cleared by [reset] in the same pass as [overlay_pc]/[fi_mask] *)
+  mutable d_check : unit -> unit;
+      (* the current run's 1024-step poll-slot check, called by decoded
+         closures after every retired constituent *)
+  mutable d_max_steps : int; (* current run's budgets, re-tested between *)
+  mutable d_max_cost : int; (*  fused constituents exactly like the legacy
+                                while-condition *)
   snap : Bytes.t option; (* pristine memory to blit on [reset] *)
 }
+
+(* A decoded program: per-pc closure tables plus static decode facts.
+   Closures capture no engine, so one dprogram is shared read-only by
+   every engine of the same image, across domains. *)
+and dprogram = {
+  d_image : L.image; (* the image this decode was built from *)
+  d_fused : (t -> unit) array; (* dispatch table with superinstruction heads *)
+  d_single : (t -> unit) array; (* fusion-free per-pc decodes *)
+  d_super : int array; (* fused sites per idiom, indexed like [idioms] *)
+}
+
+let no_check () = ()
 
 type result = {
   status : status;
@@ -151,8 +179,13 @@ let eval_cc t (cc : M.cc) =
 
 (* --- memory ----------------------------------------------------------- *)
 
+(* [addr > mem_size - 8] rather than [addr + 8 > mem_size]: the latter
+   wraps for addresses within 8 of max_int (reachable when a fault writes
+   a huge value into a base register) and would let the access through to
+   the Bytes bounds check, surfacing as a harness exception instead of the
+   machine trap it models. *)
 let check_addr addr =
-  if addr < Mem.null_guard || addr + 8 > Mem.mem_size then raise (Halt_trap (Mem_fault addr))
+  if addr < Mem.null_guard || addr > Mem.mem_size - 8 then raise (Halt_trap (Mem_fault addr))
 
 let load64 t addr =
   check_addr addr;
@@ -341,6 +374,12 @@ let make ~(ext_extra : (string * int * (t -> unit)) list) (image : L.image) mem 
       fi_mask = 0L;
       overlay_pc = -1;
       overlay_instr = None;
+      dprog = None;
+      d_active = [||];
+      d_overlay = None;
+      d_check = no_check;
+      d_max_steps = max_int;
+      d_max_cost = max_int;
       snap;
     }
   in
@@ -385,6 +424,14 @@ let reset ?(ext_extra = []) (t : t) : unit =
   t.fi_mask <- 0L;
   t.overlay_pc <- -1;
   t.overlay_instr <- None;
+  (* decoded-overlay state is cleared in the same pass as the overlay and
+     FI mask: a reused engine must never dispatch a stale corrupted decode
+     or keep running on the overlay-degraded single-instruction table *)
+  t.d_overlay <- None;
+  (match t.dprog with Some dp -> t.d_active <- dp.d_fused | None -> t.d_active <- [||]);
+  t.d_check <- no_check;
+  t.d_max_steps <- max_int;
+  t.d_max_cost <- max_int;
   Hashtbl.reset t.ext_extra;
   List.iter (fun (name, cost, fn) -> Hashtbl.replace t.ext_extra name (cost, fn)) ext_extra;
   t.handlers <- bind_handlers t
@@ -512,6 +559,992 @@ let step (t : t) =
     else exec_instr t pc0 (Array.unsafe_get code pc0)
   end
 
+(* --- pre-decoded engine (DESIGN.md §19) ---------------------------------
+
+   The decoded executor turns each loaded instruction into a closure with
+   operands, flag-word writes, branch targets and extern slots resolved at
+   decode time — generalizing §14's extern-slot pre-resolution to every
+   opcode — plus superinstructions fusing the hot MinC idioms
+   (compare-branch, load-op-store, loop-back-edge).  Exactness invariants
+   (asserted by the differential qcheck suite):
+
+   - every constituent of a superinstruction retires its own step / cost /
+     profile counts and ends with the legacy loop's 1024-step poll-slot
+     test, so FI triggers (the word-compare on the target step), heart-
+     beats, livelock fingerprints and quota trips fire at bit-identical
+     points;
+   - between constituents the fused closure re-tests exactly the legacy
+     while-condition (status, max_steps, max_cost) plus the fall-through
+     pc, so budget exhaustion, traps and taken branches leave the machine
+     in the state the legacy interpreter would;
+   - fused idioms contain no extern calls, so nothing a constituent
+     executes can install an overlay or a DBI hook mid-fusion;
+   - the dispatch loop falls back to the legacy [step] while a [post_hook]
+     is attached (PINFI / tracing observe per-instruction semantics, and
+     decoded dispatch resumes the moment the hook detaches itself) and
+     routes the overlaid pc through the overlay decode.
+
+   Decoded closures capture no engine: a [dprogram] is immutable and
+   shared read-only across engines and domains. *)
+
+type dop = t -> unit
+
+(* unaligned 64-bit little-endian access without the per-access Bytes
+   bounds check — [check_addr] has already validated the range *)
+external unsafe_get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external bswap64 : int64 -> int64 = "%bswap_int64"
+
+let[@inline always] dload64 t addr =
+  check_addr addr;
+  let v = unsafe_get64 t.mem addr in
+  if Sys.big_endian then bswap64 v else v
+
+let[@inline always] dstore64 t addr v =
+  check_addr addr;
+  unsafe_set64 t.mem addr (if Sys.big_endian then bswap64 v else v)
+
+(* retire-check: the legacy run loop's poll-slot test, executed after
+   every retired constituent *)
+let[@inline always] rc (t : t) = if t.steps land 1023 = 0 then t.d_check ()
+
+(* per-constituent accounting, identical to [exec_instr]'s prologue with
+   the opcode class [k] baked in at decode time *)
+let[@inline always] account (t : t) k =
+  t.steps <- t.steps + 1;
+  t.cost <- t.cost + 1 + t.hook_cost;
+  match t.prof with
+  | None -> ()
+  | Some p -> p.class_steps.(k) <- p.class_steps.(k) + 1
+
+(* the legacy while-condition, re-tested between fused constituents *)
+let[@inline always] d_live (t : t) =
+  (match t.status with Running -> true | _ -> false)
+  && t.steps < t.d_max_steps && t.cost < t.d_max_cost
+
+(* comparisons spelled with the int64-specialized operators: the compiler
+   compiles them to unboxed native compares instead of C calls *)
+let[@inline always] set_flags_r (t : t) (r : int64) =
+  let i = (if r = 0L then 1 else 0) lor if r < 0L then 2 else 0 in
+  Array.unsafe_set t.regs R.flags (Array.unsafe_get flag_words i)
+
+let[@inline always] flags_of (va : int64) (vb : int64) =
+  (if va = vb then 1 else 0) lor if va < vb then 2 else 0
+
+(* integer condition codes as a FLAGS bit test: [Some (mask, want)] means
+   the condition holds iff [(flags land mask <> 0) = want]; [None] for
+   float codes (they additionally read the UNORD bit) *)
+let int_cc : M.cc -> (int * bool) option = function
+  | M.CEq -> Some (1, true)
+  | M.CNe -> Some (1, false)
+  | M.CLt -> Some (2, true)
+  | M.CLe -> Some (3, true)
+  | M.CGt -> Some (3, false)
+  | M.CGe -> Some (2, false)
+  | _ -> None
+
+(* [eval_cc] specialized to a closure over the integer FLAGS word *)
+let cc_fn (cc : M.cc) : int -> bool =
+  match cc with
+  | M.CEq -> fun fl -> fl land 1 <> 0
+  | M.CNe -> fun fl -> fl land 1 = 0
+  | M.CLt -> fun fl -> fl land 2 <> 0
+  | M.CLe -> fun fl -> fl land 3 <> 0
+  | M.CGt -> fun fl -> fl land 3 = 0
+  | M.CGe -> fun fl -> fl land 2 = 0
+  | M.CFeq -> fun fl -> fl land 1 <> 0 && fl land 4 = 0
+  | M.CFne -> fun fl -> fl land 1 = 0 || fl land 4 <> 0
+  | M.CFlt -> fun fl -> fl land 2 <> 0 && fl land 4 = 0
+  | M.CFle -> fun fl -> fl land 3 <> 0 && fl land 4 = 0
+  | M.CFgt -> fun fl -> fl land 3 = 0 && fl land 4 = 0
+  | M.CFge -> fun fl -> fl land 2 = 0 && fl land 4 = 0
+
+(* Decode one instruction as the slot at [pc0] into a closure.  [image]
+   supplies the class and extern-slot tables — always those of the
+   original pc, matching [exec_instr], including for Instr_image overlay
+   instructions.  Register indices are validated here so the closures use
+   unchecked array access; an operand outside the register file
+   (impossible for layout output, and [Corrupt.mutate] clamps registers)
+   falls back to the legacy [exec_instr]. *)
+let decode_one (image : L.image) (pc0 : int) (i : M.t) : dop =
+  let k = image.L.class_of_pc.(pc0) in
+  let pc1 = pc0 + 1 in
+  let code_len = Array.length image.L.code in
+  let okr r = r >= 0 && r < R.num_regs in
+  let oko = function M.Reg r -> okr r | M.Imm _ -> true in
+  let via_legacy : dop =
+   fun t ->
+    exec_instr t pc0 i;
+    rc t
+  in
+  match i with
+  | M.Mmov (d, M.Reg s) when okr d && okr s ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs d (Array.unsafe_get t.regs s);
+      rc t
+  | M.Mmov (d, M.Imm v) when okr d ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs d v;
+      rc t
+  | M.Mload (d, b, off) when okr d && okr b ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs d (dload64 t (Int64.to_int (Array.unsafe_get t.regs b) + off));
+      rc t
+  | M.Mstore (s, b, off) when okr s && okr b ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      dstore64 t (Int64.to_int (Array.unsafe_get t.regs b) + off) (Array.unsafe_get t.regs s);
+      rc t
+  | M.Mloadidx (d, b, ix, off) when okr d && okr b && okr ix ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs d
+        (dload64 t
+           (Int64.to_int (Array.unsafe_get t.regs b)
+           + (8 * Int64.to_int (Array.unsafe_get t.regs ix))
+           + off));
+      rc t
+  | M.Mstoreidx (s, b, ix, off) when okr s && okr b && okr ix ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      dstore64 t
+        (Int64.to_int (Array.unsafe_get t.regs b)
+        + (8 * Int64.to_int (Array.unsafe_get t.regs ix))
+        + off)
+        (Array.unsafe_get t.regs s);
+      rc t
+  | M.Mlea (d, b, Some ix, off) when okr d && okr b && okr ix ->
+    let offl = Int64.of_int off in
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs d
+        (Int64.add
+           (Int64.add (Array.unsafe_get t.regs b) (Int64.mul 8L (Array.unsafe_get t.regs ix)))
+           offl);
+      rc t
+  | M.Mlea (d, b, None, off) when okr d && okr b ->
+    let offl = Int64.of_int off in
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs d (Int64.add (Array.unsafe_get t.regs b) offl);
+      rc t
+  | M.Mbin (op, d, a, b) when okr d && okr a && oko b ->
+    let fin (t : t) (r : int64) =
+      Array.unsafe_set t.regs d r;
+      set_flags_r t r;
+      rc t
+    in
+    (match b with
+    | M.Imm vb -> (
+      match (op : Refine_ir.Ir.ibinop) with
+      | Add ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.add (Array.unsafe_get t.regs a) vb)
+      | Sub ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.sub (Array.unsafe_get t.regs a) vb)
+      | Mul ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.mul (Array.unsafe_get t.regs a) vb)
+      | And ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.logand (Array.unsafe_get t.regs a) vb)
+      | Or ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.logor (Array.unsafe_get t.regs a) vb)
+      | Xor ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.logxor (Array.unsafe_get t.regs a) vb)
+      | Shl ->
+        let sh = Int64.to_int (Int64.logand vb 63L) in
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.shift_left (Array.unsafe_get t.regs a) sh)
+      | Lshr ->
+        let sh = Int64.to_int (Int64.logand vb 63L) in
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.shift_right_logical (Array.unsafe_get t.regs a) sh)
+      | Ashr ->
+        let sh = Int64.to_int (Int64.logand vb 63L) in
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.shift_right (Array.unsafe_get t.regs a) sh)
+      | Div ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          let va = Array.unsafe_get t.regs a in
+          if vb = 0L then raise (Halt_trap Div_by_zero)
+          else if va = Int64.min_int && vb = -1L then fin t Int64.min_int
+          else fin t (Int64.div va vb)
+      | Rem ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          let va = Array.unsafe_get t.regs a in
+          if vb = 0L then raise (Halt_trap Div_by_zero)
+          else if va = Int64.min_int && vb = -1L then fin t 0L
+          else fin t (Int64.rem va vb))
+    | M.Reg rb -> (
+      match (op : Refine_ir.Ir.ibinop) with
+      | Add ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.add (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs rb))
+      | Sub ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.sub (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs rb))
+      | Mul ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.mul (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs rb))
+      | And ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.logand (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs rb))
+      | Or ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.logor (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs rb))
+      | Xor ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t (Int64.logxor (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs rb))
+      | Shl ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t
+            (Int64.shift_left (Array.unsafe_get t.regs a)
+               (Int64.to_int (Int64.logand (Array.unsafe_get t.regs rb) 63L)))
+      | Lshr ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t
+            (Int64.shift_right_logical (Array.unsafe_get t.regs a)
+               (Int64.to_int (Int64.logand (Array.unsafe_get t.regs rb) 63L)))
+      | Ashr ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          fin t
+            (Int64.shift_right (Array.unsafe_get t.regs a)
+               (Int64.to_int (Int64.logand (Array.unsafe_get t.regs rb) 63L)))
+      | Div ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          let va = Array.unsafe_get t.regs a and vb = Array.unsafe_get t.regs rb in
+          if vb = 0L then raise (Halt_trap Div_by_zero)
+          else if va = Int64.min_int && vb = -1L then fin t Int64.min_int
+          else fin t (Int64.div va vb)
+      | Rem ->
+        fun t ->
+          account t k;
+          t.pc <- pc1;
+          let va = Array.unsafe_get t.regs a and vb = Array.unsafe_get t.regs rb in
+          if vb = 0L then raise (Halt_trap Div_by_zero)
+          else if va = Int64.min_int && vb = -1L then fin t 0L
+          else fin t (Int64.rem va vb)))
+  | M.Mfbin (op, d, a, b) when okr d && okr a && okr b ->
+    let fin (t : t) r =
+      Array.unsafe_set t.regs d (b64 r);
+      rc t
+    in
+    (match (op : Refine_ir.Ir.fbinop) with
+    | Fadd ->
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        fin t (f64 (Array.unsafe_get t.regs a) +. f64 (Array.unsafe_get t.regs b))
+    | Fsub ->
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        fin t (f64 (Array.unsafe_get t.regs a) -. f64 (Array.unsafe_get t.regs b))
+    | Fmul ->
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        fin t (f64 (Array.unsafe_get t.regs a) *. f64 (Array.unsafe_get t.regs b))
+    | Fdiv ->
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        fin t (f64 (Array.unsafe_get t.regs a) /. f64 (Array.unsafe_get t.regs b)))
+  | M.Mfun (op, d, a) when okr d && okr a -> (
+    match (op : Refine_ir.Ir.funop) with
+    | Fneg ->
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        Array.unsafe_set t.regs d (b64 (-.f64 (Array.unsafe_get t.regs a)));
+        rc t
+    | Fsqrt ->
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        Array.unsafe_set t.regs d (b64 (sqrt (f64 (Array.unsafe_get t.regs a))));
+        rc t
+    | Fabs ->
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        Array.unsafe_set t.regs d (b64 (Float.abs (f64 (Array.unsafe_get t.regs a))));
+        rc t)
+  | M.Mcvt (Sitofp, d, a) when okr d && okr a ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs d (b64 (Int64.to_float (Array.unsafe_get t.regs a)));
+      rc t
+  | M.Mcvt (Fptosi, d, a) when okr d && okr a ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs d (Refine_ir.Interp.fptosi (f64 (Array.unsafe_get t.regs a)));
+      rc t
+  | M.Mcmp (a, M.Imm vb) when okr a ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      let fl = flags_of (Array.unsafe_get t.regs a) vb in
+      Array.unsafe_set t.regs R.flags (Array.unsafe_get flag_words fl);
+      rc t
+  | M.Mcmp (a, M.Reg rb) when okr a && okr rb ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      let fl = flags_of (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs rb) in
+      Array.unsafe_set t.regs R.flags (Array.unsafe_get flag_words fl);
+      rc t
+  | M.Mfcmp (a, b) when okr a && okr b ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      let va = f64 (Array.unsafe_get t.regs a) and vb = f64 (Array.unsafe_get t.regs b) in
+      let fl =
+        if Float.is_nan va || Float.is_nan vb then 4
+        else (if va = vb then 1 else 0) lor if va < vb then 2 else 0
+      in
+      Array.unsafe_set t.regs R.flags (Array.unsafe_get flag_words fl);
+      rc t
+  | M.Msetcc (cc, d) when okr d ->
+    let test = cc_fn cc in
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs d
+        (if test (Int64.to_int (Array.unsafe_get t.regs R.flags)) then 1L else 0L);
+      rc t
+  | M.Mjcc (cc, target) -> (
+    match int_cc cc with
+    | Some (mask, want) ->
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        let fl = Int64.to_int (Array.unsafe_get t.regs R.flags) in
+        if (fl land mask <> 0) = want then t.pc <- target;
+        rc t
+    | None ->
+      let test = cc_fn cc in
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        if test (Int64.to_int (Array.unsafe_get t.regs R.flags)) then t.pc <- target;
+        rc t)
+  | M.Mjmp target ->
+    fun t ->
+      account t k;
+      t.pc <- target;
+      rc t
+  | M.Mpush r when okr r ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      push t (Array.unsafe_get t.regs r);
+      rc t
+  | M.Mpop r when okr r ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs r (pop t);
+      rc t
+  | M.Mpushf ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      push t t.regs.(R.flags);
+      rc t
+  | M.Mpopf ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      t.regs.(R.flags) <- pop t;
+      rc t
+  | M.Mcalli target ->
+    (* the return address is a decode-time constant: no box per call *)
+    let ra = Int64.of_int pc1 in
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      push t ra;
+      t.pc <- target;
+      rc t
+  | M.Mcall name ->
+    let tr = Halt_trap (Extern_fault ("unresolved call " ^ name)) in
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      raise tr
+  | M.Mcallext name ->
+    (* extern slot resolved at decode time (the §14 fast path, one step
+       earlier); slot -1 = post-layout mutated code, by-name fallback *)
+    let slot = image.L.ext_slot_of_pc.(pc0) in
+    if slot >= 0 then
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        t.handlers.(slot) t;
+        rc t
+    else
+      fun t ->
+        account t k;
+        t.pc <- pc1;
+        do_callext t name;
+        rc t
+  | M.Mret ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      let ra = pop t in
+      if ra = sentinel then t.status <- Exited (Int64.to_int t.regs.(R.ret_gpr))
+      else begin
+        let target = Int64.to_int ra in
+        if target < 0 || target >= code_len then raise (Halt_trap (Bad_pc target))
+        else t.pc <- target
+      end;
+      rc t
+  | M.Mxorbit (d, s) when okr d && okr s ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      (if t.fi_mask <> 0L then begin
+         Array.unsafe_set t.regs d (Int64.logxor (Array.unsafe_get t.regs d) t.fi_mask);
+         t.fi_mask <- 0L
+       end
+       else
+         Array.unsafe_set t.regs d
+           (Int64.logxor (Array.unsafe_get t.regs d)
+              (Int64.shift_left 1L
+                 (Int64.to_int (Int64.logand (Array.unsafe_get t.regs s) 63L)))));
+      rc t
+  | M.Mxorbitmem (b, off, s) when okr b && okr s ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      let addr = Int64.to_int (Array.unsafe_get t.regs b) + off in
+      let v = dload64 t addr in
+      let mask =
+        if t.fi_mask <> 0L then begin
+          let m = t.fi_mask in
+          t.fi_mask <- 0L;
+          m
+        end
+        else Int64.shift_left 1L (Int64.to_int (Int64.logand (Array.unsafe_get t.regs s) 63L))
+      in
+      dstore64 t addr (Int64.logxor v mask);
+      rc t
+  | M.Mhalt ->
+    fun t ->
+      account t k;
+      t.pc <- pc1;
+      t.status <- Exited (Int64.to_int t.regs.(R.ret_gpr));
+      rc t
+  | _ -> via_legacy
+
+(* --- superinstruction fusion ------------------------------------------- *)
+
+(* Compose two decoded constituents: [f2] runs only if [f1] fell through
+   to [next1] with the legacy while-condition intact.  Exact by
+   construction, because every single-instruction decode self-retires and
+   self-checks. *)
+let compose2 next1 (f1 : dop) (f2 : dop) : dop =
+ fun t ->
+  f1 t;
+  if t.pc = next1 && d_live t then f2 t
+
+(* --- batched retirement --------------------------------------------------
+
+   A superinstruction's constituents are only *observable* individually at
+   a 1024-step poll slot, a trap, a budget edge, or a status change: those
+   are the only points where anything outside the fused closure reads the
+   counters or the architectural state.  The compare-branch idioms contain
+   no trapping or status-changing constituent, so when the guard proves no
+   poll slot and no budget edge falls inside the group, the per-constituent
+   counter writes collapse into one batched update and the intermediate
+   FLAGS/pc writes into their final values — bit-identical by construction,
+   since no observation point was skipped.  The guard declining (boundary
+   or budget edge inside the group) falls back to the constituent-exact
+   slow path, which retires one at a time with the legacy poll-slot test
+   after each. *)
+
+(* Hand-fused integer compare-branch: one closure, flags kept in a local,
+   the cc as a decode-time FLAGS bit test. *)
+let fuse_pair2 (image : L.image) pc0 a (b : M.mopd) ~mask ~want ~tgt : dop =
+  let k0 = image.L.class_of_pc.(pc0) and k1 = image.L.class_of_pc.(pc0 + 1) in
+  let pc1 = pc0 + 1 and pc2 = pc0 + 2 in
+  let finish (t : t) fl =
+    let s = t.steps in
+    let dc = 1 + t.hook_cost in
+    if s land 1023 <= 1021 && t.d_max_steps - s >= 2 && t.d_max_cost - t.cost >= 2 * dc then begin
+      (* batched: no poll slot or budget edge inside the pair *)
+      t.steps <- s + 2;
+      t.cost <- t.cost + (2 * dc);
+      (match t.prof with
+      | None -> ()
+      | Some p ->
+        p.class_steps.(k0) <- p.class_steps.(k0) + 1;
+        p.class_steps.(k1) <- p.class_steps.(k1) + 1);
+      Array.unsafe_set t.regs R.flags (Array.unsafe_get flag_words fl);
+      t.pc <- (if (fl land mask <> 0) = want then tgt else pc2)
+    end
+    else begin
+      (* constituent-exact slow path across the boundary/edge *)
+      account t k0;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs R.flags (Array.unsafe_get flag_words fl);
+      rc t;
+      if d_live t then begin
+        account t k1;
+        t.pc <- pc2;
+        if (fl land mask <> 0) = want then t.pc <- tgt;
+        rc t
+      end
+    end
+  in
+  match b with
+  | M.Imm vb -> fun t -> finish t (flags_of (Array.unsafe_get t.regs a) vb)
+  | M.Reg rb -> fun t -> finish t (flags_of (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs rb))
+
+(* Hand-fused loop back edge: compare + conditional exit + backward jump,
+   the bottom-of-loop shape of every counted MinC loop.  The jump
+   constituent retires only on the fall-through path, exactly as the
+   legacy interpreter would reach it.
+
+   [spin] marks a tight self-loop ([jt = pc0] and the compared registers
+   not FLAGS): the triple writes nothing but FLAGS and pc, so once the
+   branch falls through every further iteration is identical until the
+   next poll slot or budget edge — those iterations retire in bulk and the
+   boundary iteration goes through the constituent-exact path, firing the
+   poll check at exactly the legacy step count with exactly the legacy
+   architectural state. *)
+let fuse_loop3 (image : L.image) pc0 a (b : M.mopd) ~mask ~want ~tgt ~jt ~spin : dop =
+  let k0 = image.L.class_of_pc.(pc0)
+  and k1 = image.L.class_of_pc.(pc0 + 1)
+  and k2 = image.L.class_of_pc.(pc0 + 2) in
+  let pc1 = pc0 + 1 and pc2 = pc0 + 2 in
+  let finish (t : t) fl =
+    let s = t.steps in
+    let dc = 1 + t.hook_cost in
+    if s land 1023 <= 1020 && t.d_max_steps - s >= 3 && t.d_max_cost - t.cost >= 3 * dc then begin
+      (* batched: no poll slot or budget edge inside the triple *)
+      Array.unsafe_set t.regs R.flags (Array.unsafe_get flag_words fl);
+      let prof2 () =
+        match t.prof with
+        | None -> ()
+        | Some p ->
+          p.class_steps.(k0) <- p.class_steps.(k0) + 1;
+          p.class_steps.(k1) <- p.class_steps.(k1) + 1
+      in
+      if (fl land mask <> 0) = want then begin
+        (* exit taken: only cmp+jcc retire *)
+        t.steps <- s + 2;
+        t.cost <- t.cost + (2 * dc);
+        prof2 ();
+        t.pc <- tgt
+      end
+      else begin
+        t.steps <- s + 3;
+        t.cost <- t.cost + (3 * dc);
+        prof2 ();
+        (match t.prof with
+        | None -> ()
+        | Some p -> p.class_steps.(k2) <- p.class_steps.(k2) + 1);
+        t.pc <- jt;
+        if spin then begin
+          (* idempotent spin: retire whole further iterations in bulk up
+             to the next poll slot / budget edge *)
+          let n =
+            min
+              ((1023 - (t.steps land 1023)) / 3)
+              (min ((t.d_max_steps - t.steps) / 3) ((t.d_max_cost - t.cost) / (3 * dc)))
+          in
+          if n > 0 then begin
+            t.steps <- t.steps + (3 * n);
+            t.cost <- t.cost + (3 * n * dc);
+            match t.prof with
+            | None -> ()
+            | Some p ->
+              p.class_steps.(k0) <- p.class_steps.(k0) + n;
+              p.class_steps.(k1) <- p.class_steps.(k1) + n;
+              p.class_steps.(k2) <- p.class_steps.(k2) + n
+          end
+        end
+      end
+    end
+    else begin
+      (* constituent-exact slow path across the boundary/edge *)
+      account t k0;
+      t.pc <- pc1;
+      Array.unsafe_set t.regs R.flags (Array.unsafe_get flag_words fl);
+      rc t;
+      if d_live t then begin
+        account t k1;
+        t.pc <- pc2;
+        if (fl land mask <> 0) = want then begin
+          t.pc <- tgt;
+          rc t
+        end
+        else begin
+          rc t;
+          if d_live t then begin
+            account t k2;
+            t.pc <- jt;
+            rc t
+          end
+        end
+      end
+    end
+  in
+  match b with
+  | M.Imm vb -> fun t -> finish t (flags_of (Array.unsafe_get t.regs a) vb)
+  | M.Reg rb -> fun t -> finish t (flags_of (Array.unsafe_get t.regs a) (Array.unsafe_get t.regs rb))
+
+(* Hand-fused counted-loop latch: a non-trapping integer op updating the
+   latch register, the compare on it, and the conditional back edge, in
+   one group.  The branch is the last constituent, so all three always
+   retire together and the batched path needs only the boundary/budget
+   guard; the op's intermediate FLAGS write is unobservable inside the
+   batch (the compare overwrites it), so only the compare's flags are
+   stored.  Decode guarantees none of the operands is FLAGS itself.
+
+   [burn = Some (delta, m)] marks the canonical counted self-latch:
+   [tgt = pc0], the op steps the latch register by [delta] (+-1), and the
+   compare is [latch <> m] (CNe).  Every further iteration then has the
+   closed form latch_j = latch + j*delta with the branch taken while
+   latch_j <> m, so whole iterations retire in bulk up to the iteration
+   before the exit value, the next poll slot, or a budget edge — with the
+   latch register and FLAGS materialized to their exact architectural
+   values at the stopping point. *)
+let fuse_latch3 (image : L.image) pc0 (op : Refine_ir.Ir.ibinop) d a (b : M.mopd) a2
+    (b2 : M.mopd) ~mask ~want ~tgt ~burn : dop =
+  let k0 = image.L.class_of_pc.(pc0)
+  and k1 = image.L.class_of_pc.(pc0 + 1)
+  and k2 = image.L.class_of_pc.(pc0 + 2) in
+  let pc3 = pc0 + 3 in
+  let s0 = decode_one image pc0 image.L.code.(pc0)
+  and s1 = decode_one image (pc0 + 1) image.L.code.(pc0 + 1)
+  and s2 = decode_one image (pc0 + 2) image.L.code.(pc0 + 2) in
+  fun t ->
+    let s = t.steps in
+    let dc = 1 + t.hook_cost in
+    if s land 1023 <= 1020 && t.d_max_steps - s >= 3 && t.d_max_cost - t.cost >= 3 * dc then begin
+      let va = Array.unsafe_get t.regs a in
+      let vb = match b with M.Imm v -> v | M.Reg r -> Array.unsafe_get t.regs r in
+      let r =
+        match op with
+        | Add -> Int64.add va vb
+        | Sub -> Int64.sub va vb
+        | Mul -> Int64.mul va vb
+        | And -> Int64.logand va vb
+        | Or -> Int64.logor va vb
+        | Xor -> Int64.logxor va vb
+        | Shl -> Int64.shift_left va (Int64.to_int (Int64.logand vb 63L))
+        | Lshr -> Int64.shift_right_logical va (Int64.to_int (Int64.logand vb 63L))
+        | Ashr -> Int64.shift_right va (Int64.to_int (Int64.logand vb 63L))
+        | Div | Rem -> assert false (* excluded at decode: they can trap *)
+      in
+      Array.unsafe_set t.regs d r;
+      let va2 = Array.unsafe_get t.regs a2 in
+      let vb2 = match b2 with M.Imm v -> v | M.Reg rr -> Array.unsafe_get t.regs rr in
+      let fl = flags_of va2 vb2 in
+      Array.unsafe_set t.regs R.flags (Array.unsafe_get flag_words fl);
+      t.steps <- s + 3;
+      t.cost <- t.cost + (3 * dc);
+      (match t.prof with
+      | None -> ()
+      | Some p ->
+        p.class_steps.(k0) <- p.class_steps.(k0) + 1;
+        p.class_steps.(k1) <- p.class_steps.(k1) + 1;
+        p.class_steps.(k2) <- p.class_steps.(k2) + 1);
+      if (fl land mask <> 0) = want then begin
+        t.pc <- tgt;
+        match burn with
+        | None -> ()
+        | Some (delta, m) ->
+          (* counted self-latch: bulk-retire up to the iteration before
+             the exit value / next poll slot / budget edge *)
+          let cap =
+            min
+              ((1023 - (t.steps land 1023)) / 3)
+              (min ((t.d_max_steps - t.steps) / 3) ((t.d_max_cost - t.cost) / (3 * dc)))
+          in
+          if cap > 0 then begin
+            (* the branch was taken, so r <> m and the (wrapping) exit
+               distance is >= 1 *)
+            let j_exit = if delta < 0L then Int64.sub r m else Int64.sub m r in
+            let k64 = Int64.sub j_exit 1L in
+            let k =
+              if Int64.unsigned_compare k64 (Int64.of_int cap) >= 0 then cap
+              else Int64.to_int k64
+            in
+            if k > 0 then begin
+              let r' = Int64.add r (Int64.mul delta (Int64.of_int k)) in
+              Array.unsafe_set t.regs d r';
+              Array.unsafe_set t.regs R.flags (Array.unsafe_get flag_words (flags_of r' m));
+              t.steps <- t.steps + (3 * k);
+              t.cost <- t.cost + (3 * k * dc);
+              match t.prof with
+              | None -> ()
+              | Some p ->
+                p.class_steps.(k0) <- p.class_steps.(k0) + k;
+                p.class_steps.(k1) <- p.class_steps.(k1) + k;
+                p.class_steps.(k2) <- p.class_steps.(k2) + k
+            end
+          end
+      end
+      else t.pc <- pc3
+    end
+    else begin
+      (* constituent-exact slow path across the boundary/edge *)
+      s0 t;
+      if t.pc = pc0 + 1 && d_live t then begin
+        s1 t;
+        if t.pc = pc0 + 2 && d_live t then s2 t
+      end
+    end
+
+let idioms = [| "cmp-branch"; "load-op-store"; "loop-back" |]
+
+(* Decode a whole image: per-pc single decodes, then a fused table where
+   idiom heads are replaced by superinstructions.  Interior pcs of a fused
+   region keep their single decodes, so jumps landing mid-idiom dispatch
+   correctly. *)
+let decode (image : L.image) : dprogram =
+  let code = image.L.code in
+  let n = Array.length code in
+  let single = Array.init n (fun pc -> decode_one image pc code.(pc)) in
+  let fused = Array.copy single in
+  let super = Array.make (Array.length idioms) 0 in
+  let okr r = r >= 0 && r < R.num_regs in
+  let oko = function M.Reg r -> okr r | M.Imm _ -> true in
+  for pc = 0 to n - 1 do
+    let fused3 =
+      pc + 2 < n
+      &&
+      match (code.(pc), code.(pc + 1), code.(pc + 2)) with
+      | M.Mcmp (a, b), M.Mjcc (cc, tgt), M.Mjmp jt when jt <= pc + 2 && okr a && oko b -> (
+        match int_cc cc with
+        | Some (mask, want) ->
+          (* [spin]: self-loop whose compare doesn't read FLAGS, so the
+             burned iterations are provably identical *)
+          let spin =
+            jt = pc && a <> R.flags
+            && match b with M.Reg rb -> rb <> R.flags | M.Imm _ -> true
+          in
+          fused.(pc) <- fuse_loop3 image pc a b ~mask ~want ~tgt ~jt ~spin;
+          super.(2) <- super.(2) + 1;
+          true
+        | None -> false)
+      | M.Mload _, M.Mbin _, M.Mstore _ ->
+        fused.(pc) <-
+          compose2 (pc + 1) single.(pc) (compose2 (pc + 2) single.(pc + 1) single.(pc + 2));
+        super.(1) <- super.(1) + 1;
+        true
+      | M.Mbin (op, d, a, b), M.Mcmp (a2, b2), M.Mjcc (cc, tgt)
+        when (match op with Div | Rem -> false | _ -> true)
+             && okr d && okr a && oko b && okr a2 && oko b2 && d <> R.flags && a <> R.flags
+             && a2 <> R.flags
+             && (match b with M.Reg r -> r <> R.flags | M.Imm _ -> true)
+             && (match b2 with M.Reg r -> r <> R.flags | M.Imm _ -> true) -> (
+        match int_cc cc with
+        | Some (mask, want) ->
+          (* closed-form bulk retirement for the canonical counted
+             self-latch: step the latch by +-1, compare it to a constant,
+             loop while not equal *)
+          let burn =
+            if tgt = pc && a = d && a2 = d && (match cc with M.CNe -> true | _ -> false) then
+              match (op, b, b2) with
+              | Sub, M.Imm st, M.Imm m when st = 1L || st = -1L -> Some (Int64.neg st, m)
+              | Add, M.Imm st, M.Imm m when st = 1L || st = -1L -> Some (st, m)
+              | _ -> None
+            else None
+          in
+          fused.(pc) <- fuse_latch3 image pc op d a b a2 b2 ~mask ~want ~tgt ~burn;
+          (* a backward target is a loop latch; forward is a fused
+             compare-branch with a leading op *)
+          (if tgt <= pc + 2 then super.(2) <- super.(2) + 1
+           else super.(0) <- super.(0) + 1);
+          true
+        | None -> false)
+      | _ -> false
+    in
+    if (not fused3) && pc + 1 < n then
+      match (code.(pc), code.(pc + 1)) with
+      | M.Mcmp (a, b), M.Mjcc (cc, tgt) when okr a && oko b && int_cc cc <> None ->
+        let mask, want = match int_cc cc with Some mw -> mw | None -> assert false in
+        fused.(pc) <- fuse_pair2 image pc a b ~mask ~want ~tgt;
+        super.(0) <- super.(0) + 1
+      | (M.Mcmp _ | M.Mfcmp _), M.Mjcc _ ->
+        fused.(pc) <- compose2 (pc + 1) single.(pc) single.(pc + 1);
+        super.(0) <- super.(0) + 1
+      | _ -> ()
+  done;
+  { d_image = image; d_fused = fused; d_single = single; d_super = super }
+
+let decoded_image dp = dp.d_image
+
+let superinstr_counts dp = Array.copy dp.d_super
+
+(* Install (or uninstall, with [None]) a decoded program on an engine.
+   The dprogram must have been built from the engine's own image — decoded
+   closures bake that image's class/extern tables and code bounds. *)
+let install_decoded (t : t) = function
+  | Some dp ->
+    if dp.d_image != t.image then
+      invalid_arg "Exec.install_decoded: decoded program was built from a different image";
+    t.dprog <- Some dp;
+    t.d_active <- (if t.overlay_pc >= 0 then dp.d_single else dp.d_fused)
+  | None ->
+    t.dprog <- None;
+    t.d_active <- [||];
+    t.d_overlay <- None
+
+let decoded t = match t.dprog with Some _ -> true | None -> false
+
+(* --- engine interface (DESIGN.md §19) ----------------------------------
+
+   Every execution substrate drives the same machine state [t] through
+   [run]'s budget/quota envelope: the loop executes instructions while the
+   status is Running and the step/cost budgets hold, calling [check] at
+   every 1024-step poll slot.  [run] selects the engine per call from
+   [t.dprog], so the legacy interpreter stays alive for differential
+   testing and as the substrate for hooked (PINFI/trace) execution. *)
+
+module type ENGINE = sig
+  val name : string
+  val loop : t -> max_steps:int -> max_cost:int -> check:(unit -> unit) -> unit
+end
+
+module Legacy_engine : ENGINE = struct
+  let name = "legacy"
+
+  let loop (t : t) ~max_steps ~max_cost ~check =
+    while
+      (match t.status with Running -> true | _ -> false)
+      && t.steps < max_steps && t.cost < max_cost
+    do
+      step t;
+      (* poll-slot cadence: plain int mask, no boxed arithmetic per step *)
+      if t.steps land 1023 = 0 then check ()
+    done
+end
+
+module Decoded_engine : ENGINE = struct
+  let name = "decoded"
+
+  (* Threaded dispatch over the decoded closure table.  Per iteration: one
+     bounds check, one overlay compare, one hook check, one indirect call.
+     [d_active] is re-read every iteration because [set_overlay] can
+     switch the engine to the single-instruction table mid-run (the FI
+     control library installs Instr_image overlays at the trigger).  One
+     try frame wraps the whole loop instead of one per instruction; the
+     handler replicates the legacy post-trap poll-slot check (which can
+     overwrite a trap with [Output_quota] at a boundary). *)
+  let loop (t : t) ~max_steps ~max_cost ~check =
+    t.d_max_steps <- max_steps;
+    t.d_max_cost <- max_cost;
+    t.d_check <- check;
+    let len = Array.length t.image.L.code in
+    (try
+       while
+         (match t.status with Running -> true | _ -> false)
+         && t.steps < max_steps && t.cost < max_cost
+       do
+         let pc = t.pc in
+         if pc < 0 || pc >= len then begin
+           t.status <- Trapped (Bad_pc pc);
+           if t.steps land 1023 = 0 then check ()
+         end
+         else if pc = t.overlay_pc then begin
+           match (t.overlay_instr, t.d_overlay, t.post_hook) with
+           | Some _, Some f, None -> f t (* decoded overlay self-checks *)
+           | ov, _, _ ->
+             (match ov with
+             | Some i -> exec_instr t pc i
+             | None ->
+               (* the corrupted slot no longer decodes: the fetch traps *)
+               t.steps <- t.steps + 1;
+               t.cost <- t.cost + 1;
+               t.status <- Trapped (Illegal_instr pc));
+             if t.steps land 1023 = 0 then check ()
+         end
+         else begin
+           match t.post_hook with
+           | None -> (Array.unsafe_get t.d_active pc) t
+           | Some _ ->
+             (* per-instruction DBI semantics: route through the legacy
+                step while a hook is attached *)
+             step t;
+             if t.steps land 1023 = 0 then check ()
+         end
+       done
+     with Halt_trap tr ->
+       t.status <- Trapped tr;
+       if t.steps land 1023 = 0 then check ());
+    t.d_check <- no_check;
+    t.d_max_steps <- max_int;
+    t.d_max_cost <- max_int
+end
+
+let engine_name t = if decoded t then Decoded_engine.name else Legacy_engine.name
+
 (* Byte-granular memory fault (Mem_cell model): XOR one bit of one data
    byte.  Out-of-range addresses are a harness defect (callers draw the
    cell from the initialized image), so they raise [Invalid_argument]
@@ -531,7 +1564,15 @@ let set_overlay (t : t) ~pc instr =
   if pc < 0 || pc >= Array.length t.image.L.code then
     invalid_arg (Printf.sprintf "Exec.set_overlay: pc %d outside the code image" pc);
   t.overlay_pc <- pc;
-  t.overlay_instr <- instr
+  t.overlay_instr <- instr;
+  (* decoded-cache bypass for the overlaid pc: drop to the fusion-free
+     table (a superinstruction spanning [pc] would execute the pristine
+     encoding) and pre-decode the corrupted slot itself *)
+  match t.dprog with
+  | None -> ()
+  | Some dp ->
+    t.d_active <- dp.d_single;
+    t.d_overlay <- (match instr with Some i -> Some (decode_one t.image pc i) | None -> None)
 
 let enable_profiling t =
   match t.prof with
@@ -630,14 +1671,9 @@ let run ?(max_steps = Int64.max_int) ?(max_cost = Int64.max_int) ?output_quota ?
       end
     | _ -> ()
   in
-  while
-    (match t.status with Running -> true | _ -> false)
-    && t.steps < max_steps && t.cost < max_cost
-  do
-    step t;
-    (* poll-slot cadence: plain int mask, no boxed arithmetic per step *)
-    if t.steps land 1023 = 0 then check_quotas ()
-  done;
+  (match t.dprog with
+  | Some _ -> Decoded_engine.loop t ~max_steps ~max_cost ~check:check_quotas
+  | None -> Legacy_engine.loop t ~max_steps ~max_cost ~check:check_quotas);
   let status = if t.status = Running then Timed_out else t.status in
   let output = Buffer.contents t.env.out in
   let truncated = String.length output > oq in

@@ -52,6 +52,19 @@ type profile = {
     off and two int array ops when on; the owner flushes the totals into
     the observability registry after the run (DESIGN.md §12). *)
 
+type dprogram
+(** A pre-decoded program (DESIGN.md §19): one closure per code slot with
+    operands, flag-word ops, branch targets and extern slots resolved at
+    decode time, plus a parallel table where the hot MinC idioms
+    (compare-branch, load-op-store, loop-back-edge) are fused into
+    superinstructions.  Immutable and engine-free: one [dprogram] is
+    decoded per snapshot (content-addressed by the campaign layer) and
+    shared read-only by every engine and domain executing that image.
+    Superinstructions retire their constituents' step/cost/profile counts
+    individually and re-test the run loop's budget condition between
+    constituents, so decoded execution is bit-identical to the legacy
+    interpreter — the invariant the differential qcheck suite asserts. *)
+
 type t = {
   image : Refine_backend.Layout.image;
   regs : int64 array;  (** [Reg.num_regs] raw images: GPRs, FPRs, FLAGS *)
@@ -91,6 +104,24 @@ type t = {
       (** the mutated instruction at [overlay_pc]; [None] = the corrupted
           encoding no longer decodes, so fetching it traps
           [Illegal_instr]. *)
+  mutable dprog : dprogram option;
+      (** installed decoded program; [None] = legacy dispatch.  Set via
+          {!install_decoded}; survives {!reset} (the decode is a property
+          of the image, not of a sample). *)
+  mutable d_active : (t -> unit) array;
+      (** live dispatch table: the fused table normally, the fusion-free
+          single-instruction table while an Instr_image overlay is armed
+          (a superinstruction spanning the overlaid pc would execute the
+          pristine encoding).  Internal. *)
+  mutable d_overlay : (t -> unit) option;
+      (** decoded form of the overlay instruction at [overlay_pc], built
+          by {!set_overlay} and cleared by {!reset}.  Internal. *)
+  mutable d_check : unit -> unit;
+      (** the active run's poll-slot check, installed for the duration of
+          a decoded {!run} so superinstruction constituents can self-check
+          at 1024-step boundaries.  Internal. *)
+  mutable d_max_steps : int;  (** active decoded-run step budget.  Internal. *)
+  mutable d_max_cost : int;  (** active decoded-run cost budget.  Internal. *)
   snap : Bytes.t option;
       (** pristine memory blitted back by {!reset}; [None] for engines made
           with {!create} *)
@@ -151,6 +182,57 @@ val set_overlay : t -> pc:int -> Refine_mir.Minstr.t option -> unit
 val enable_profiling : t -> profile
 (** Attach (or return the already-attached) executor profile.  The record
     is updated in place as the machine runs. *)
+
+(** {1 Pre-decoded engine (DESIGN.md §19)} *)
+
+val decode : Refine_backend.Layout.image -> dprogram
+(** Decode every instruction of [image] into a dispatch closure and fuse
+    superinstructions over the hot idioms.  Pure per image: the campaign
+    layer caches the result per snapshot in the content-addressed artifact
+    cache so engines handed out by [Tool.acquire] never re-decode. *)
+
+val install_decoded : t -> dprogram option -> unit
+(** Attach ([Some dp]) or detach ([None]) a decoded program.  [dp] must
+    have been built from the engine's own image ([Invalid_argument]
+    otherwise — decoded closures bake that image's class and extern-slot
+    tables).  With a program installed, {!run} dispatches through
+    {!Decoded_engine}; detaching falls back to the legacy interpreter. *)
+
+val decoded : t -> bool
+(** Whether a decoded program is installed. *)
+
+val engine_name : t -> string
+(** ["decoded"] or ["legacy"] — the engine {!run} would select now. *)
+
+val idioms : string array
+(** Superinstruction idiom names, in {!superinstr_counts} index order:
+    [[|"cmp-branch"; "load-op-store"; "loop-back"|]]. *)
+
+val superinstr_counts : dprogram -> int array
+(** Static fusion sites per idiom (indexed like {!idioms}) — the feed for
+    the [refine_decoded_superinstr_total] metric. *)
+
+val decoded_image : dprogram -> Refine_backend.Layout.image
+(** The image this program was decoded from (physical identity is the
+    {!install_decoded} compatibility check). *)
+
+(** An execution substrate: drives the machine until the status leaves
+    [Running] or a budget trips, calling [check] at every 1024-step poll
+    slot.  {!run} selects the engine per call from [t.dprog]; the legacy
+    interpreter stays alive behind this interface for differential
+    testing and for hooked (PINFI/trace) execution. *)
+module type ENGINE = sig
+  val name : string
+  val loop : t -> max_steps:int -> max_cost:int -> check:(unit -> unit) -> unit
+end
+
+module Legacy_engine : ENGINE
+(** The per-opcode match interpreter ({!step} in a while loop). *)
+
+module Decoded_engine : ENGINE
+(** Threaded dispatch over the decoded closure table; falls back to
+    {!step} per instruction while a [post_hook] is attached and routes the
+    Instr_image overlay pc through the overlay decode. *)
 
 val run :
   ?max_steps:int64 ->

@@ -1,0 +1,222 @@
+(* Differential tests for the pre-decoded engine (DESIGN.md §19).
+
+   The decoded executor — per-pc dispatch closures, fused
+   superinstructions with batched retirement, per-snapshot decode caching
+   — must be invisible in results: every observable (outcome, steps,
+   cost, output, final architectural state) is byte-identical to the
+   legacy per-opcode interpreter over random programs, engine-level
+   faults, truncated budgets with mid-sequence resets, Instr_image
+   overlays, and fixed-seed campaigns under all five fault models. *)
+
+module M = Refine_mir.Minstr
+module R = Refine_mir.Reg
+module X = Refine_machine.Exec
+module L = Refine_backend.Layout
+module P = Refine_support.Prng
+module F = Refine_core.Fault
+module T = Refine_core.Tool
+module Ex = Refine_campaign.Experiment
+
+let compile_image seed =
+  let m = Refine_minic.Frontend.compile (Test_semantics.gen_program seed) in
+  Refine_passes.Pipeline.optimize Refine_passes.Pipeline.O2 m;
+  Refine_passes.Pipeline.compile m
+
+(* Digest of everything an outside observer could distinguish after a
+   run: the full register file (FLAGS included), data memory, pc and the
+   retired step/cost counters.  Catches divergence that the result record
+   alone would mask (e.g. a superinstruction writing FLAGS early). *)
+let fingerprint (e : X.t) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string (e.X.regs, Digest.bytes e.X.mem, e.X.pc, e.X.steps, e.X.cost, e.X.heap) []))
+
+(* --- engine-level differential over random programs -------------------- *)
+
+(* One observation protocol applied to a legacy and a decoded engine of
+   the same snapshot: a truncated run at a random step budget (stresses
+   the batched-retirement budget guards and bulk-burn clamps), a reset, a
+   memory-cell fault + full run, another reset, then an Instr_image
+   overlay run (stresses the fusion-free dispatch table + overlay
+   decode).  Every leg must agree byte-for-byte including the state
+   fingerprint at each stopping point. *)
+let observe ~cut ~addr ~bit ~ov_pc ~ov_instr (e : X.t) =
+  let budget = X.run ~max_steps:(Int64.of_int cut) ~max_cost:20_000_000L e in
+  let fp_budget = fingerprint e in
+  X.reset e;
+  X.flip_mem_bit e ~addr ~bit;
+  let faulted = X.run ~max_cost:20_000_000L e in
+  let fp_faulted = fingerprint e in
+  X.reset e;
+  X.set_overlay e ~pc:ov_pc ov_instr;
+  let overlaid = X.run ~max_cost:20_000_000L e in
+  (budget, fp_budget, faulted, fp_faulted, overlaid, fingerprint e)
+
+let prop_decoded_matches_legacy =
+  QCheck.Test.make
+    ~name:"decoded = legacy: outcome, steps, fingerprint (budgets, faults, overlays)" ~count:10
+    QCheck.(pair (int_range 1 5000) (int_range 1 30_000))
+    (fun (seed, cut) ->
+      let image = compile_image seed in
+      let snap = X.snapshot image in
+      let rng = P.create (seed lxor 0x5eed) in
+      let addr = Refine_ir.Memlayout.null_guard + P.int rng 4096 in
+      let bit = P.int rng 8 in
+      let ov_pc = P.int rng (Array.length image.L.code) in
+      let ov_instr = if P.int rng 4 = 0 then None else Some image.L.code.(image.L.entry) in
+      let leg = X.create_from_snapshot snap in
+      let dec = X.create_from_snapshot snap in
+      X.install_decoded dec (Some (X.decode image));
+      let go = observe ~cut ~addr ~bit ~ov_pc ~ov_instr in
+      let ol = go leg and od = go dec in
+      if ol <> od then
+        QCheck.Test.fail_reportf "legacy/decoded divergence (seed %d, cut %d)" seed cut;
+      true)
+
+(* --- reset erases decoded-overlay state in the same pass ---------------- *)
+
+let src_tiny =
+  {|
+int main() {
+  int i; float s = 0.0;
+  for (i = 0; i < 40; i = i + 1) { s = s + tofloat(i * i) * 0.125; }
+  print_float(s);
+  return 0;
+}
+|}
+
+let prepared_tiny = lazy (T.prepare T.Pinfi src_tiny)
+
+let prop_decoded_reset_pristine =
+  QCheck.Test.make ~name:"decoded overlay state never outlives reset" ~count:25
+    QCheck.(pair (int_range 0 100_000) bool)
+    (fun (off, legal) ->
+      let p = Lazy.force prepared_tiny in
+      let eng = X.create_from_snapshot p.T.snap in
+      X.install_decoded eng (Some (X.decode p.T.image));
+      let pristine = eng.X.d_active in
+      let pc = p.T.image.L.entry + (off mod 8) in
+      X.set_overlay eng ~pc (if legal then Some p.T.image.L.code.(p.T.image.L.entry) else None);
+      eng.X.fi_mask <- 0xF0L;
+      (* arming the overlay must swap dispatch to the fusion-free table (a
+         superinstruction spanning the overlaid pc would execute the
+         pristine encoding) and, for a decodable mutation, build the
+         overlay closure *)
+      assert (not (eng.X.d_active == pristine));
+      assert ((eng.X.d_overlay <> None) = legal);
+      X.reset eng;
+      X.decoded eng
+      && eng.X.d_overlay = None
+      && eng.X.d_active == pristine
+      && eng.X.overlay_pc = -1
+      && eng.X.overlay_instr = None
+      && eng.X.fi_mask = 0L)
+
+let test_decoded_illegal_overlay () =
+  let p = Lazy.force prepared_tiny in
+  let eng = X.create_from_snapshot p.T.snap in
+  X.install_decoded eng (Some (X.decode p.T.image));
+  X.set_overlay eng ~pc:eng.X.pc None;
+  let r = X.run eng in
+  match r.X.status with
+  | X.Trapped (X.Illegal_instr _) -> ()
+  | _ -> Alcotest.failf "expected Illegal_instr, got %a" Test_fastpath.pp_result r
+
+(* --- engine interface: install / detach / compatibility ----------------- *)
+
+let test_install_detach () =
+  let image = compile_image 42 in
+  let snap = X.snapshot image in
+  let eng = X.create_from_snapshot snap in
+  Alcotest.(check string) "legacy by default" "legacy" (X.engine_name eng);
+  X.install_decoded eng (Some (X.decode image));
+  Alcotest.(check string) "decoded when installed" "decoded" (X.engine_name eng);
+  let r1 = X.run eng in
+  X.install_decoded eng None;
+  Alcotest.(check string) "legacy after detach" "legacy" (X.engine_name eng);
+  X.reset eng;
+  let r2 = X.run eng in
+  Alcotest.check Test_fastpath.result_t "detached run identical" r1 r2;
+  let other = compile_image 43 in
+  Alcotest.check_raises "foreign decode rejected"
+    (Invalid_argument "Exec.install_decoded: decoded program was built from a different image")
+    (fun () -> X.install_decoded eng (Some (X.decode other)))
+
+let test_superinstr_counts () =
+  (* one site of each idiom: a counted self-latch (loop-back), a
+     load-op-store, and a forward compare-branch *)
+  let image =
+    Test_fastpath.image_of
+      [
+        M.Mmov (R.gpr 1, M.Imm 100L);
+        M.Mbin (Refine_ir.Ir.Sub, R.gpr 1, R.gpr 1, M.Imm 1L) (* pc 1: latch head *);
+        M.Mcmp (R.gpr 1, M.Imm 0L);
+        M.Mjcc (M.CNe, 1);
+        M.Mload (R.gpr 2, R.rsp, -8);
+        M.Mbin (Refine_ir.Ir.Add, R.gpr 2, R.gpr 2, M.Imm 1L);
+        M.Mstore (R.gpr 2, R.rsp, -8);
+        M.Mcmp (R.gpr 2, M.Imm 0L);
+        M.Mjcc (M.CEq, 10);
+        M.Mhalt;
+        M.Mhalt;
+      ]
+  in
+  let dp = X.decode image in
+  let counts = X.superinstr_counts dp in
+  Array.iteri
+    (fun i idiom ->
+      Alcotest.(check bool) (idiom ^ " fused at least once") true (counts.(i) >= 1))
+    X.idioms;
+  (* and the fused program still runs identically *)
+  let snap = X.snapshot image in
+  let leg = X.create_from_snapshot snap in
+  let dec = X.create_from_snapshot snap in
+  X.install_decoded dec (Some dp);
+  Alcotest.check Test_fastpath.result_t "fused idioms identical"
+    (X.run leg) (X.run dec)
+
+(* --- fixed-seed campaign equality, decoded on/off, all five models ------ *)
+
+let all_models =
+  [
+    F.Reg_bit;
+    F.Mem_cell;
+    F.Instr_image;
+    F.Multi_bit { bits = 3; burst = false };
+    F.Multi_bit { bits = 4; burst = true };
+  ]
+
+let test_campaign_equality_all_models () =
+  let programs = [ ("ints", Test_fastpath.src_int); ("floats", Test_fastpath.src_float) ] in
+  let tools = [ T.Refine; T.Llfi ] in
+  Fun.protect
+    ~finally:(fun () -> T.use_decode := true)
+    (fun () ->
+      List.iter
+        (fun model ->
+          let run_matrix () =
+            T.reset_artifact_caches ();
+            Test_fastpath.matrix_summary
+              (Ex.run_matrix ~model ~domains:2 ~samples:20 ~seed:11 programs tools)
+          in
+          T.use_decode := false;
+          let legacy = run_matrix () in
+          T.use_decode := true;
+          let decoded = run_matrix () in
+          Alcotest.(check string)
+            (F.string_of_model model ^ ": outcome table decoded = legacy") legacy decoded)
+        all_models)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    qcheck prop_decoded_matches_legacy;
+    qcheck prop_decoded_reset_pristine;
+    Alcotest.test_case "illegal overlay traps under decoded dispatch" `Quick
+      test_decoded_illegal_overlay;
+    Alcotest.test_case "install/detach/foreign-image checks" `Quick test_install_detach;
+    Alcotest.test_case "all three idioms fuse and run identically" `Quick test_superinstr_counts;
+    Alcotest.test_case "fixed-seed campaigns: decoded = legacy for all 5 models" `Slow
+      test_campaign_equality_all_models;
+  ]

@@ -17,6 +17,7 @@ let () =
       ("backend", Test_backend.tests);
       ("machine", Test_machine.tests);
       ("fastpath", Test_fastpath.tests);
+      ("decode", Test_decode.tests);
       ("fi", Test_fi.tests);
       ("semantics", Test_semantics.tests);
       ("benchmarks", Test_benchmarks.tests);
