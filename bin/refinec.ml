@@ -69,6 +69,14 @@ let no_decode_arg =
                  threaded-dispatch engine (DESIGN.md §19).  Results are bit-identical either \
                  way; only simulation throughput differs.")
 
+let no_detach_arg =
+  Arg.(value & flag
+       & info [ "no-detach" ]
+           ~doc:"Keep every sample attached to the instrumented binary for its whole run \
+                 instead of handing off to the golden snapshot once the injection has \
+                 retired (DESIGN.md §20).  Results are bit-identical either way; only \
+                 simulation throughput differs.")
+
 (* -O alias unless --passes overrides; parse errors are usage errors *)
 let spec_of opt passes =
   match passes with
@@ -180,9 +188,10 @@ let fi_cmd =
                    $(b,burst:K) (K adjacent register bits).")
   in
   let action src tool funcs instrs samples seed fault_model opt passes verify_each no_cache
-      no_decode =
+      no_decode no_detach =
     if no_cache then Refine_passes.Artifact_cache.enabled := false;
     if no_decode then Refine_core.Tool.use_decode := false;
+    if no_detach then Refine_core.Tool.use_detach := false;
     let model =
       try Refine_core.Fault.model_of_string fault_model
       with Invalid_argument msg -> Printf.eprintf "bad --fault-model: %s\n" msg; exit 2
@@ -247,7 +256,8 @@ let fi_cmd =
     (Cmd.info "fi"
        ~doc:"Run a fault-injection campaign cell (profiling + N classified injections).")
     Term.(const action $ src_arg $ tool $ funcs $ instrs $ samples $ seed $ fault_model
-          $ opt_arg $ passes_arg $ verify_each_arg $ no_cache_arg $ no_decode_arg)
+          $ opt_arg $ passes_arg $ verify_each_arg $ no_cache_arg $ no_decode_arg
+          $ no_detach_arg)
 
 (* ---- passes ---- *)
 
@@ -412,11 +422,12 @@ let campaign_cmd =
   in
   let action programs samples seed fault_models csv journal resume retries sample_timeout
       domains workers metrics_out trace_out status_port output_quota wall_clock livelock
-      no_verify_mir opt passes verify_each no_cache no_decode =
+      no_verify_mir opt passes verify_each no_cache no_decode no_detach =
     if metrics_out <> None || trace_out <> None || status_port <> None then
       Refine_obs.Control.enable ();
     if no_cache then Refine_passes.Artifact_cache.enabled := false;
     if no_decode then Refine_core.Tool.use_decode := false;
+    if no_detach then Refine_core.Tool.use_detach := false;
     let models =
       String.split_on_char ',' fault_models |> List.map String.trim
       |> List.filter (fun s -> s <> "")
@@ -585,7 +596,7 @@ let campaign_cmd =
     Term.(const action $ programs $ samples $ seed $ fault_models $ csv $ journal $ resume
           $ retries $ sample_timeout $ domains $ workers $ metrics_out $ trace_out
           $ status_port $ output_quota $ wall_clock $ livelock $ no_verify_mir $ opt_arg
-          $ passes_arg $ verify_each_arg $ no_cache_arg $ no_decode_arg)
+          $ passes_arg $ verify_each_arg $ no_cache_arg $ no_decode_arg $ no_detach_arg)
 
 (* hidden internal entry point: serve shard frames on stdin/stdout.  The
    coordinator normally reaches the worker loop via the REFINE_SHARD_WORKER

@@ -1,0 +1,231 @@
+(* Correspondence map between a REFINE-instrumented image and its golden
+   (uninstrumented) twin — the metadata that lets the executor detach a
+   sample to the golden snapshot once the single injection has retired
+   (DESIGN.md §20).
+
+   The REFINE pass (paper §4.2) splices a fixed control-flow pattern after
+   every candidate instruction and touches nothing else, so the original
+   instruction stream is recoverable from the instrumented image alone:
+   every splice is anchored by its [Mcallext "fi_sel_instr"] — a name the
+   application can never call (layout resolves application calls to
+   [Mcalli], and MinC sources cannot name the FI runtime library) — and
+   the PreFI/PostFI shape around the anchor is rigid.  [build] parses the
+   splices, derives the instrumented-pc -> golden-pc rank map, and then
+   cross-validates the extraction instruction-by-instruction against the
+   actual golden image (branch targets translated through the map), so a
+   wrong parse can never produce a map: it produces [None] and the caller
+   falls back to branch-patching.
+
+   The [cost_w] table carries the attached cost model onto the golden
+   image: each candidate's golden pc is weighted with the full modeled
+   cost of its non-firing splice (interior instructions plus the
+   [fi_sel_instr] library call), so a detached run charges bit-identical
+   modeled cost at every original-instruction boundary — the invariant
+   that keeps fixed-seed outcome tables identical with detach on or off. *)
+
+module M = Refine_mir.Minstr
+module R = Refine_mir.Reg
+
+type splice = {
+  sp_cand : int;  (* pc of the candidate instruction (original) *)
+  sp_start : int;  (* first spliced pc: the PreFI [Mpush r0] *)
+  sp_end : int;  (* last spliced pc: the PostFI [Mpop r0] *)
+  sp_cost : int;  (* modeled cost of the non-firing path through the splice *)
+}
+
+type t = {
+  rank_of_pc : int array;
+  next_rank : int array;
+  cost_w : int array;
+  splices : splice list;
+}
+
+(* Parse every splice of [code], anchored at [Mcallext "fi_sel_instr"].
+   Raises [Not_found] on any shape violation — the caller turns that into
+   the overlay fallback. *)
+let parse_splices ~lib_call_cost (code : M.t array) : splice list =
+  let n = Array.length code in
+  let r0 = R.gpr 0 in
+  let out = ref [] in
+  let last_end = ref (-1) in
+  for a = 0 to n - 1 do
+    match code.(a) with
+    | M.Mcallext "fi_sel_instr" ->
+      let save_flags = a >= 1 && code.(a - 1) = M.Mpushf in
+      let sp_start = if save_flags then a - 2 else a - 1 in
+      if sp_start < 1 then raise Not_found;
+      if code.(sp_start) <> M.Mpush r0 then raise Not_found;
+      (* candidate must be an original instruction, outside any prior splice *)
+      if sp_start - 1 <= !last_end then raise Not_found;
+      if a + 3 >= n then raise Not_found;
+      if code.(a + 1) <> M.Mcmp (R.ret_gpr, M.Imm 0L) then raise Not_found;
+      let post =
+        match code.(a + 2) with M.Mjcc (M.CEq, p) -> p | _ -> raise Not_found
+      in
+      (match code.(a + 3) with
+      | M.Mjmp setup when setup = a + 4 -> ()
+      | _ -> raise Not_found);
+      if post <= a + 3 then raise Not_found;
+      let sp_end =
+        if save_flags then begin
+          if post + 1 >= n then raise Not_found;
+          if code.(post) <> M.Mpopf || code.(post + 1) <> M.Mpop r0 then raise Not_found;
+          post + 1
+        end
+        else begin
+          if post >= n then raise Not_found;
+          if code.(post) <> M.Mpop r0 then raise Not_found;
+          post
+        end
+      in
+      (* the splice is always followed by more code in the same function
+         (a candidate is never a terminator, so at least the block's own
+         terminator comes after the PostFI restores) *)
+      if sp_end + 1 >= n then raise Not_found;
+      (* non-firing path: push r0 [, pushf], callext, cmp, jcc, popf?, pop
+         r0 — 7 (or 5) interior instructions plus the library call *)
+      let interior = if save_flags then 7 else 5 in
+      out :=
+        { sp_cand = sp_start - 1; sp_start; sp_end; sp_cost = interior + lib_call_cost }
+        :: !out;
+      last_end := sp_end
+    | _ -> ()
+  done;
+  List.rev !out
+
+(* Translate one instrumented-image instruction into golden coordinates:
+   branch/call targets go through [rank]; everything else is unchanged.
+   A target inside a splice has no golden rank — impossible for genuine
+   original code (splice labels are fresh and only intra-splice), so it
+   fails the validation. *)
+let translate (rank : int array) (i : M.t) : M.t option =
+  let tr l = if l >= 0 && l < Array.length rank && rank.(l) >= 0 then Some rank.(l) else None in
+  match i with
+  | M.Mjmp l -> ( match tr l with Some l' -> Some (M.Mjmp l') | None -> None)
+  | M.Mjcc (cc, l) -> ( match tr l with Some l' -> Some (M.Mjcc (cc, l')) | None -> None)
+  | M.Mcalli l -> ( match tr l with Some l' -> Some (M.Mcalli l') | None -> None)
+  | i -> Some i
+
+(* A call-site candidate poisons map mode: attached, the splice after an
+   [Mcalli] executes when the callee RETURNS, so its cost lands on the
+   return edge — but the golden image can only carry the weight on the
+   call instruction itself, which would charge it at call time.  Any run
+   ending (trap, timeout, [exit] from a callee) while such a frame is
+   open, and any frame already open at handoff, would then diverge in
+   modeled cost.  The branch-patched fallback keeps the splice head at its
+   original pc, so the returned-to [Mjmp] pays the cost exactly where the
+   attached run pays it — [map_eligible] steers those images there. *)
+let cand_is_call (code : M.t array) (s : splice) =
+  match code.(s.sp_cand) with M.Mcalli _ | M.Mcall _ -> true | _ -> false
+
+let map_eligible (instr : Layout.image) : bool =
+  let code = instr.Layout.code in
+  match parse_splices ~lib_call_cost:0 code with
+  | exception Not_found -> false
+  | spl -> not (List.exists (cand_is_call code) spl)
+
+let build ~lib_call_cost (instr : Layout.image) (golden : Layout.image) : t option =
+  let icode = instr.Layout.code and gcode = golden.Layout.code in
+  let n = Array.length icode and gn = Array.length gcode in
+  match parse_splices ~lib_call_cost icode with
+  | exception Not_found -> None
+  | spl when List.exists (cand_is_call icode) spl -> None
+  | spl ->
+    let in_splice = Array.make n false in
+    List.iter
+      (fun s ->
+        for pc = s.sp_start to s.sp_end do
+          in_splice.(pc) <- true
+        done)
+      spl;
+    let rank_of_pc = Array.make n (-1) in
+    let g = ref 0 in
+    for pc = 0 to n - 1 do
+      if not in_splice.(pc) then begin
+        rank_of_pc.(pc) <- !g;
+        incr g
+      end
+    done;
+    if !g <> gn then None
+    else if
+      (* memory layout must be shared for the state blit to be sound *)
+      instr.Layout.heap_base <> golden.Layout.heap_base
+      || rank_of_pc.(instr.Layout.entry) <> golden.Layout.entry
+    then None
+    else begin
+      (* golden validation: the extracted original stream, with branch
+         targets translated, must equal the golden image exactly *)
+      let ok = ref true in
+      for pc = 0 to n - 1 do
+        if !ok && rank_of_pc.(pc) >= 0 then
+          match translate rank_of_pc icode.(pc) with
+          | Some i' -> if i' <> gcode.(rank_of_pc.(pc)) then ok := false
+          | None -> ok := false
+      done;
+      if not !ok then None
+      else begin
+        let next_rank = Array.make (n + 1) (-1) in
+        for pc = n - 1 downto 0 do
+          next_rank.(pc) <- (if rank_of_pc.(pc) >= 0 then rank_of_pc.(pc) else next_rank.(pc + 1))
+        done;
+        let cost_w = Array.make gn 1 in
+        List.iter (fun s -> cost_w.(rank_of_pc.(s.sp_cand)) <- 1 + s.sp_cost) spl;
+        Some { rank_of_pc; next_rank; cost_w; splices = spl }
+      end
+    end
+
+(* Overlay fallback: a copy of the instrumented image whose splice heads
+   are branch-patched to fall through ([Mjmp] over the splice), with the
+   skipped splice's modeled cost carried as the jump's weight.  Same code
+   coordinates as the instrumented image, so a handoff needs no pc or
+   return-address translation and is safe even from inside a splice (the
+   interior instructions are kept at their original pcs with weight 1). *)
+let patch_refine ~lib_call_cost (instr : Layout.image) : (Layout.image * t) option =
+  let icode = instr.Layout.code in
+  let n = Array.length icode in
+  match parse_splices ~lib_call_cost icode with
+  | exception Not_found -> None
+  | spl ->
+    let code = Array.copy icode in
+    let cost_w = Array.make n 1 in
+    (* shared coordinates: every pc outside a splice carries over as
+       itself.  A pc *inside* a splice (the handoff poll can fire while a
+       partially-executed splice's saves are still on the stack) has no
+       safe counterpart on the patched copy — the head branch would skip
+       the unexecuted remainder — so its rank is [-1] and the handoff
+       drains attached to the next boundary, exactly like map mode. *)
+    let rank_of_pc = Array.init n (fun i -> i) in
+    let next_rank = Array.init (n + 1) (fun i -> if i < n then i else -1) in
+    List.iter
+      (fun s ->
+        code.(s.sp_start) <- M.Mjmp (s.sp_end + 1);
+        (* the candidate still retires separately at weight 1, so the jump
+           carries exactly the skipped splice's cost — not 1 + sp_cost *)
+        cost_w.(s.sp_start) <- s.sp_cost;
+        for pc = s.sp_start + 1 to s.sp_end do
+          rank_of_pc.(pc) <- -1
+        done)
+      spl;
+    Some ({ instr with Layout.code }, { rank_of_pc; next_rank; cost_w; splices = spl })
+
+(* LLFI variant of the fallback: replace each instrumented call by a
+   substitute instruction (the post-injection no-op semantics of the
+   library call), weighted with the call's modeled cost.  [table] maps the
+   extern name to (replacement, extra modeled cost). *)
+let patch_calls ~(table : (string * M.t * int) list) (instr : Layout.image) :
+    Layout.image * int array =
+  let icode = instr.Layout.code in
+  let n = Array.length icode in
+  let code = Array.copy icode in
+  let cost_w = Array.make n 1 in
+  for pc = 0 to n - 1 do
+    match icode.(pc) with
+    | M.Mcallext name -> (
+      match List.find_opt (fun (nm, _, _) -> nm = name) table with
+      | Some (_, repl, extra) ->
+        code.(pc) <- repl;
+        cost_w.(pc) <- 1 + extra
+      | None -> ())
+    | _ -> ()
+  done;
+  ({ instr with Layout.code }, cost_w)

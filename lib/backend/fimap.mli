@@ -1,0 +1,64 @@
+(** Correspondence map between a REFINE-instrumented image and its golden
+    (uninstrumented) twin, plus the branch-patched fallback images — the
+    backend metadata behind post-injection detach (DESIGN.md §20).
+
+    [build] parses the FI splices out of the instrumented image (each is
+    anchored by its [Mcallext "fi_sel_instr"], a name application code can
+    never call) and cross-validates the extracted original stream against
+    the actual golden image with branch targets translated, so a wrong
+    parse yields [None] — never a wrong map. *)
+
+type splice = {
+  sp_cand : int;  (** pc of the candidate (original) instruction *)
+  sp_start : int;  (** first spliced pc: the PreFI [Mpush r0] *)
+  sp_end : int;  (** last spliced pc: the PostFI [Mpop r0] *)
+  sp_cost : int;  (** modeled cost of the non-firing path through the splice *)
+}
+
+type t = {
+  rank_of_pc : int array;
+      (** instrumented pc -> golden pc; [-1] for spliced (inserted) pcs *)
+  next_rank : int array;
+      (** length [n+1]: golden pc of the first original instruction at or
+          after each instrumented pc ([-1] past the end) — return-address
+          translation for frames whose call site was a candidate *)
+  cost_w : int array;
+      (** per golden pc: attached-equivalent modeled cost weight (1 for
+          plain instructions; 1 + the non-firing splice cost at candidate
+          pcs), fed to [Exec.decode]'s [cost_of] *)
+  splices : splice list;
+}
+
+val map_eligible : Layout.image -> bool
+(** Cheap pre-check (no golden build needed): the splices parse and no
+    candidate is a call instruction.  A call-site candidate's splice is
+    paid on the return edge attached, which the golden image cannot
+    model exactly — such images must use {!patch_refine} instead. *)
+
+val build : lib_call_cost:int -> Layout.image -> Layout.image -> t option
+(** [build ~lib_call_cost instrumented golden] parses and validates the
+    correspondence.  [lib_call_cost] is the modeled cost of one
+    [fi_sel_instr] call (the caller passes [Fi_cost.refine_lib_call]).
+    [None] when the splice shape does not parse, any candidate is a call
+    instruction (see {!map_eligible}) or the extracted stream does not
+    match [golden] — callers fall back to {!patch_refine}. *)
+
+val patch_refine : lib_call_cost:int -> Layout.image -> (Layout.image * t) option
+(** Overlay fallback: a copy of the instrumented image with every splice
+    head branch-patched to fall through, plus the correspondence metadata
+    that keeps the handoff attached-identical.  Same code coordinates as
+    the instrumented image, so [rank_of_pc] and [next_rank] are the
+    identity — except *inside* a splice, where the rank is [-1]: a poll
+    can fire mid-splice, and carrying such a pc onto the patched copy
+    would skip the splice's unexecuted remainder, so the handoff drains
+    attached to the next boundary first.  [cost_w] weights each patched
+    splice-head branch with the skipped splice's modeled cost.  [None]
+    when the splices do not parse. *)
+
+val patch_calls :
+  table:(string * Refine_mir.Minstr.t * int) list ->
+  Layout.image ->
+  Layout.image * int array
+(** LLFI variant: replace each [Mcallext name] whose [name] appears in
+    [table] by its replacement instruction, carrying the call's modeled
+    extra cost as the slot's weight. *)

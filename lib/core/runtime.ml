@@ -48,8 +48,38 @@ let should_fire ctrl =
    mutation right here at the trigger instance and answers 0, so the
    splice's register path stays cold — the trigger timing is identical,
    only the struck state differs (DESIGN.md §18). *)
+(* Fast-path bookkeeping (DESIGN.md §20): the decoded engine's fi-splice
+   superinstruction may retire provably non-firing selector calls without
+   entering this library, banking their dynamic counts in
+   [eng.fi_sel_pending].  Fold those back before using [ctrl.count]. *)
+let[@inline] fold_pending ctrl (eng : E.t) =
+  if eng.E.fi_sel_pending <> 0 then begin
+    ctrl.count <- ctrl.count + eng.E.fi_sel_pending;
+    eng.E.fi_sel_pending <- 0
+  end
+
+(* Called by Tool after a run completes, before it reads [ctrl.count]:
+   selector calls retired in-engine after the last real library call are
+   still pending and must count toward the dynamic-instruction total. *)
+let absorb ctrl (eng : E.t) = fold_pending ctrl eng
+
+(* After a real selector call, publish how many upcoming calls are
+   provably non-firing so the engine may retire them without us.  Profile
+   mode never fires; Inject can skip exactly up to (but not including)
+   the target instance — and once fired or past the target, never again
+   (count is monotonic). *)
+let[@inline] publish_skip ctrl (eng : E.t) =
+  eng.E.fi_sel_skip <-
+    (match ctrl.mode with
+    | Profile -> max_int
+    | Inject { target; _ } ->
+      let d = target - ctrl.count - 1 in
+      if d >= 0 && not ctrl.fired then d else max_int)
+
 let refine_sel_instr ctrl (eng : E.t) =
+  fold_pending ctrl eng;
   ctrl.count <- ctrl.count + 1;
+  publish_skip ctrl eng;
   if should_fire ctrl then begin
     match ctrl.mode with
     | Profile -> eng.E.regs.(R.ret_gpr) <- 0L
@@ -58,10 +88,12 @@ let refine_sel_instr ctrl (eng : E.t) =
       | Fault.Reg_bit | Fault.Multi_bit _ -> eng.E.regs.(R.ret_gpr) <- 1L
       | Fault.Mem_cell ->
         ctrl.fired <- true;
+        eng.E.detach_req <- true;
         ctrl.record <- Some (Corrupt.mem_fault rng eng ~dyn_index:(Int64.of_int ctrl.count));
         eng.E.regs.(R.ret_gpr) <- 0L
       | Fault.Instr_image ->
         ctrl.fired <- true;
+        eng.E.detach_req <- true;
         let pc = Corrupt.instrumented_pc eng in
         ctrl.record <-
           Some (Corrupt.image_fault rng eng ~pc ~dyn_index:(Int64.of_int ctrl.count));
@@ -72,10 +104,12 @@ let refine_sel_instr ctrl (eng : E.t) =
 (* setupFI(nOps in r1, sizes packed per byte in r2): choose the operand and
    bit uniformly; result (op << 6) | bit in r0. *)
 let refine_setup_fi ctrl (eng : E.t) =
-  match ctrl.mode with
+  fold_pending ctrl eng;
+  (match ctrl.mode with
   | Profile -> eng.E.regs.(R.ret_gpr) <- 0L
   | Inject { rng; model; _ } ->
     ctrl.fired <- true;
+    eng.E.detach_req <- true;
     let nops = Int64.to_int eng.E.regs.(R.gpr 1) in
     let sizes = eng.E.regs.(R.gpr 2) in
     let op = P.int rng (max 1 nops) in
@@ -89,7 +123,9 @@ let refine_setup_fi ctrl (eng : E.t) =
     (match model with Fault.Multi_bit _ -> eng.E.fi_mask <- mask | _ -> ());
     ctrl.record <-
       Some { Fault.dyn_index = Int64.of_int ctrl.count; op_index = op; reg_name = "<refine>"; bit };
-    eng.E.regs.(R.ret_gpr) <- Int64.of_int ((op lsl 6) lor bit)
+    eng.E.regs.(R.ret_gpr) <- Int64.of_int ((op lsl 6) lor bit));
+  (* fired (or Profile): every later selector call is non-firing *)
+  publish_skip ctrl eng
 
 let refine_handlers ctrl : (string * int * (E.t -> unit)) list =
   [
@@ -105,6 +141,7 @@ let refine_handlers ctrl : (string * int * (E.t -> unit)) list =
    unchanged — the IR-level hook is only the trigger clock for them. *)
 let llfi_fire ctrl rng model (eng : E.t) (v : int64) : int64 =
   ctrl.fired <- true;
+  eng.E.detach_req <- true;
   let dyn_index = Int64.of_int ctrl.count in
   match model with
   | Fault.Reg_bit | Fault.Multi_bit _ ->
@@ -157,6 +194,7 @@ let llfi_inject_bool ctrl (eng : E.t) =
       match ctrl.mode with
       | Inject { rng; model; _ } -> (
         ctrl.fired <- true;
+        eng.E.detach_req <- true;
         let dyn_index = Int64.of_int ctrl.count in
         match model with
         | Fault.Reg_bit | Fault.Multi_bit _ ->

@@ -26,6 +26,13 @@ type ctrl = {
 
 val create : mode -> ctrl
 
+val absorb : ctrl -> Refine_machine.Exec.t -> unit
+(** Fold selector calls the decoded engine's fi-splice fast path retired
+    without entering the library ([Exec.fi_sel_pending]) back into
+    [ctrl.count].  Must run after the engine run completes and before
+    [ctrl.count] is read (DESIGN.md §20); a no-op for engines that never
+    took the fast path. *)
+
 val refine_handlers : ctrl -> (string * int * (Refine_machine.Exec.t -> unit)) list
 (** The REFINE control library: [fi_sel_instr] (the paper's selInstr) and
     [fi_setup_fi] (setupFI), as engine extern handlers with their modeled

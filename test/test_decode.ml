@@ -144,7 +144,9 @@ let test_install_detach () =
 
 let test_superinstr_counts () =
   (* one site of each idiom: a counted self-latch (loop-back), a
-     load-op-store, and a forward compare-branch *)
+     load-op-store, a forward compare-branch, and — as dead code behind
+     the halt — a REFINE FI splice in the exact shape the backend pass
+     emits (fi-splice) *)
   let image =
     Test_fastpath.image_of
       [
@@ -158,6 +160,16 @@ let test_superinstr_counts () =
         M.Mcmp (R.gpr 2, M.Imm 0L);
         M.Mjcc (M.CEq, 10);
         M.Mhalt;
+        M.Mhalt;
+        M.Mpush (R.gpr 0) (* pc 11: splice head (dead code) *);
+        M.Mpushf;
+        M.Mcallext "fi_sel_instr";
+        M.Mcmp (R.ret_gpr, M.Imm 0L);
+        M.Mjcc (M.CEq, 18);
+        M.Mjmp 17;
+        M.Mhalt (* setup block stand-in *);
+        M.Mpopf (* pc 18: post *);
+        M.Mpop (R.gpr 0);
         M.Mhalt;
       ]
   in
@@ -216,7 +228,7 @@ let tests =
     Alcotest.test_case "illegal overlay traps under decoded dispatch" `Quick
       test_decoded_illegal_overlay;
     Alcotest.test_case "install/detach/foreign-image checks" `Quick test_install_detach;
-    Alcotest.test_case "all three idioms fuse and run identically" `Quick test_superinstr_counts;
+    Alcotest.test_case "all four idioms fuse and run identically" `Quick test_superinstr_counts;
     Alcotest.test_case "fixed-seed campaigns: decoded = legacy for all 5 models" `Slow
       test_campaign_equality_all_models;
   ]
